@@ -1,0 +1,80 @@
+//! Central-difference gradient checking.
+//!
+//! Every backward rule in this crate (and every hand-derived gradient in
+//! `mfcp-optim`) is validated against these finite-difference estimates in
+//! the test suites.
+
+use mfcp_linalg::Matrix;
+
+/// Central-difference gradient of a scalar function of a matrix.
+///
+/// Evaluates `f` at `2 * x.len()` perturbed points with step `eps`.
+pub fn finite_diff(x: &Matrix, f: impl Fn(&Matrix) -> f64, eps: f64) -> Matrix {
+    let mut grad = Matrix::zeros(x.rows(), x.cols());
+    for r in 0..x.rows() {
+        for c in 0..x.cols() {
+            let mut xp = x.clone();
+            xp[(r, c)] += eps;
+            let mut xm = x.clone();
+            xm[(r, c)] -= eps;
+            grad[(r, c)] = (f(&xp) - f(&xm)) / (2.0 * eps);
+        }
+    }
+    grad
+}
+
+/// Relative error between an analytic gradient and its finite-difference
+/// estimate: `max |g - ĝ| / (1 + max(|g|, |ĝ|))`.
+pub fn relative_error(analytic: &Matrix, numeric: &Matrix) -> f64 {
+    assert_eq!(analytic.shape(), numeric.shape());
+    let diff = analytic.max_abs_diff(numeric).expect("shapes equal");
+    let scale = 1.0 + analytic.max_abs().max(numeric.max_abs());
+    diff / scale
+}
+
+/// Convenience assertion combining [`finite_diff`] and [`relative_error`].
+///
+/// # Panics
+/// Panics when the relative error exceeds `tol`.
+pub fn assert_gradients_close(
+    x: &Matrix,
+    f: impl Fn(&Matrix) -> f64,
+    analytic: &Matrix,
+    eps: f64,
+    tol: f64,
+) {
+    let numeric = finite_diff(x, f, eps);
+    let err = relative_error(analytic, &numeric);
+    assert!(
+        err <= tol,
+        "gradient check failed: relative error {err:.3e} > {tol:.3e}\nanalytic: {analytic:?}\nnumeric: {numeric:?}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finite_diff_of_quadratic() {
+        // f(x) = Σ x², ∇f = 2x.
+        let x = Matrix::from_rows(&[&[1.0, -2.0], &[0.5, 3.0]]);
+        let g = finite_diff(&x, |m| m.as_slice().iter().map(|v| v * v).sum(), 1e-6);
+        let expected = x.scale(2.0);
+        assert!(g.approx_eq(&expected, 1e-6));
+    }
+
+    #[test]
+    fn relative_error_zero_for_equal() {
+        let g = Matrix::filled(2, 2, 1.5);
+        assert_eq!(relative_error(&g, &g), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient check failed")]
+    fn assertion_fires_on_wrong_gradient() {
+        let x = Matrix::from_rows(&[&[1.0]]);
+        let wrong = Matrix::from_rows(&[&[100.0]]);
+        assert_gradients_close(&x, |m| m[(0, 0)].powi(2), &wrong, 1e-6, 1e-4);
+    }
+}

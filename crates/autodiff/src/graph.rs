@@ -1,0 +1,856 @@
+//! The tape: eagerly evaluated nodes plus a reverse sweep.
+
+use mfcp_linalg::Matrix;
+
+/// Handle to a node in a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(usize);
+
+/// The operation that produced a node, with the parent handles the reverse
+/// sweep needs. Values needed by the backward rule (e.g. the output of
+/// `tanh`) are re-read from the stored node values rather than duplicated.
+#[derive(Debug, Clone)]
+enum Op {
+    Input,
+    Add(NodeId, NodeId),
+    Sub(NodeId, NodeId),
+    Mul(NodeId, NodeId),
+    Div(NodeId, NodeId),
+    Neg(NodeId),
+    AddScalar(NodeId),
+    MulScalar(NodeId, f64),
+    Matmul(NodeId, NodeId),
+    Transpose(NodeId),
+    Relu(NodeId),
+    LeakyRelu(NodeId, f64),
+    Tanh(NodeId),
+    Sigmoid(NodeId),
+    Exp(NodeId),
+    Ln(NodeId),
+    Powi(NodeId, i32),
+    Sum(NodeId),
+    Mean(NodeId),
+    AddRowBroadcast(NodeId, NodeId),
+    SoftplusScaled(NodeId, f64),
+    Huber(NodeId, f64),
+    SoftmaxRows(NodeId),
+    LogsumexpRows(NodeId),
+    SumCols(NodeId),
+    ConcatRows(NodeId, NodeId),
+}
+
+struct Node {
+    value: Matrix,
+    op: Op,
+    grad: Option<Matrix>,
+}
+
+/// An eagerly evaluated computation tape over [`Matrix`] values.
+///
+/// Operations append nodes; [`Graph::backward`] (or
+/// [`Graph::backward_with_seed`]) performs the reverse sweep. Gradients
+/// accumulate across multiple backward calls until [`Graph::zero_grad`].
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph { nodes: Vec::new() }
+    }
+
+    /// Number of nodes on the tape.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Removes every node, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+    }
+
+    fn push(&mut self, value: Matrix, op: Op) -> NodeId {
+        self.nodes.push(Node {
+            value,
+            op,
+            grad: None,
+        });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Registers a leaf node (an input or a parameter).
+    pub fn input(&mut self, value: Matrix) -> NodeId {
+        self.push(value, Op::Input)
+    }
+
+    /// The forward value of a node.
+    pub fn value(&self, id: NodeId) -> &Matrix {
+        &self.nodes[id.0].value
+    }
+
+    /// The accumulated adjoint of a node, if the reverse sweep reached it.
+    pub fn grad(&self, id: NodeId) -> Option<&Matrix> {
+        self.nodes[id.0].grad.as_ref()
+    }
+
+    /// Clears all accumulated adjoints.
+    pub fn zero_grad(&mut self) {
+        for node in &mut self.nodes {
+            node.grad = None;
+        }
+    }
+
+    // ---- elementwise binary ops -------------------------------------
+
+    /// Elementwise `a + b`.
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a) + self.value(b);
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// Elementwise `a - b`.
+    pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a) - self.value(b);
+        self.push(v, Op::Sub(a, b))
+    }
+
+    /// Elementwise (Hadamard) product `a ⊙ b`.
+    pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).hadamard(self.value(b)).expect("mul shape");
+        self.push(v, Op::Mul(a, b))
+    }
+
+    /// Elementwise quotient `a / b`.
+    pub fn div(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self
+            .value(a)
+            .zip_map(self.value(b), |x, y| x / y)
+            .expect("div shape");
+        self.push(v, Op::Div(a, b))
+    }
+
+    // ---- unary / scalar ops ------------------------------------------
+
+    /// Elementwise negation.
+    pub fn neg(&mut self, a: NodeId) -> NodeId {
+        let v = -self.value(a);
+        self.push(v, Op::Neg(a))
+    }
+
+    /// Adds a scalar to every entry.
+    pub fn add_scalar(&mut self, a: NodeId, s: f64) -> NodeId {
+        let v = self.value(a).map(|x| x + s);
+        self.push(v, Op::AddScalar(a))
+    }
+
+    /// Multiplies every entry by a scalar.
+    pub fn mul_scalar(&mut self, a: NodeId, s: f64) -> NodeId {
+        let v = self.value(a).scale(s);
+        self.push(v, Op::MulScalar(a, s))
+    }
+
+    /// Matrix product `a · b`.
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).matmul(self.value(b)).expect("matmul shape");
+        self.push(v, Op::Matmul(a, b))
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).transpose();
+        self.push(v, Op::Transpose(a))
+    }
+
+    /// Elementwise ReLU.
+    pub fn relu(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).map(|x| x.max(0.0));
+        self.push(v, Op::Relu(a))
+    }
+
+    /// Elementwise leaky ReLU with negative slope `alpha`.
+    pub fn leaky_relu(&mut self, a: NodeId, alpha: f64) -> NodeId {
+        let v = self.value(a).map(|x| if x > 0.0 { x } else { alpha * x });
+        self.push(v, Op::LeakyRelu(a, alpha))
+    }
+
+    /// Elementwise hyperbolic tangent.
+    pub fn tanh(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).map(f64::tanh);
+        self.push(v, Op::Tanh(a))
+    }
+
+    /// Elementwise logistic sigmoid.
+    pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(v, Op::Sigmoid(a))
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).map(f64::exp);
+        self.push(v, Op::Exp(a))
+    }
+
+    /// Elementwise natural log.
+    pub fn ln(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).map(f64::ln);
+        self.push(v, Op::Ln(a))
+    }
+
+    /// Elementwise integer power.
+    pub fn powi(&mut self, a: NodeId, n: i32) -> NodeId {
+        let v = self.value(a).map(|x| x.powi(n));
+        self.push(v, Op::Powi(a, n))
+    }
+
+    /// Numerically-stable scaled softplus `log(1 + exp(beta·x)) / beta`,
+    /// a smooth positive-output activation used by the execution-time head.
+    pub fn softplus_scaled(&mut self, a: NodeId, beta: f64) -> NodeId {
+        let v = self.value(a).map(|x| {
+            let bx = beta * x;
+            if bx > 30.0 {
+                x
+            } else {
+                bx.exp().ln_1p() / beta
+            }
+        });
+        self.push(v, Op::SoftplusScaled(a, beta))
+    }
+
+    // ---- reductions / broadcasts --------------------------------------
+
+    /// Sum of all entries, as a `1 x 1` matrix.
+    pub fn sum(&mut self, a: NodeId) -> NodeId {
+        let v = Matrix::from_vec(1, 1, vec![self.value(a).sum()]);
+        self.push(v, Op::Sum(a))
+    }
+
+    /// Mean of all entries, as a `1 x 1` matrix.
+    pub fn mean(&mut self, a: NodeId) -> NodeId {
+        let v = Matrix::from_vec(1, 1, vec![self.value(a).mean()]);
+        self.push(v, Op::Mean(a))
+    }
+
+    /// Adds a `1 x cols` row vector to every row of `a` (bias addition).
+    pub fn add_row_broadcast(&mut self, a: NodeId, row: NodeId) -> NodeId {
+        let av = self.value(a);
+        let rv = self.value(row);
+        assert_eq!(rv.rows(), 1, "broadcast operand must be a row vector");
+        assert_eq!(av.cols(), rv.cols(), "broadcast width mismatch");
+        let mut v = av.clone();
+        for r in 0..v.rows() {
+            for c in 0..v.cols() {
+                v[(r, c)] += rv[(0, c)];
+            }
+        }
+        self.push(v, Op::AddRowBroadcast(a, row))
+    }
+
+    /// Mean squared error `mean((a - b)²)` as a `1 x 1` node.
+    pub fn mse(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let d = self.sub(a, b);
+        let sq = self.mul(d, d);
+        self.mean(sq)
+    }
+
+    /// Elementwise Huber penalty `ρ_δ(x)`: quadratic (`x²/2`) inside
+    /// `|x| ≤ δ`, linear (`δ(|x| − δ/2)`) outside — the robust regression
+    /// loss for heavy-tailed targets.
+    pub fn huber(&mut self, a: NodeId, delta: f64) -> NodeId {
+        assert!(delta > 0.0, "delta must be positive");
+        let v = self.value(a).map(|x| {
+            if x.abs() <= delta {
+                0.5 * x * x
+            } else {
+                delta * (x.abs() - 0.5 * delta)
+            }
+        });
+        self.push(v, Op::Huber(a, delta))
+    }
+
+    /// Row-wise softmax (each row sums to one).
+    pub fn softmax_rows(&mut self, a: NodeId) -> NodeId {
+        let av = self.value(a);
+        let mut v = av.clone();
+        for r in 0..v.rows() {
+            mfcp_linalg::vector::softmax_inplace(v.row_mut(r));
+        }
+        self.push(v, Op::SoftmaxRows(a))
+    }
+
+    /// Row-wise log-sum-exp, as an `R x 1` column.
+    pub fn logsumexp_rows(&mut self, a: NodeId) -> NodeId {
+        let av = self.value(a);
+        let v = Matrix::from_fn(av.rows(), 1, |r, _| {
+            mfcp_linalg::vector::logsumexp(av.row(r))
+        });
+        self.push(v, Op::LogsumexpRows(a))
+    }
+
+    /// Column sums, as a `1 x C` row.
+    pub fn sum_cols(&mut self, a: NodeId) -> NodeId {
+        let av = self.value(a);
+        let mut v = Matrix::zeros(1, av.cols());
+        for r in 0..av.rows() {
+            for c in 0..av.cols() {
+                v[(0, c)] += av[(r, c)];
+            }
+        }
+        self.push(v, Op::SumCols(a))
+    }
+
+    /// Vertical concatenation `[a; b]` (column counts must match).
+    pub fn concat_rows(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).vstack(self.value(b)).expect("concat shape");
+        self.push(v, Op::ConcatRows(a, b))
+    }
+
+    // ---- reverse sweep -------------------------------------------------
+
+    /// Runs the reverse sweep from a scalar (`1 x 1`) node with seed 1.
+    ///
+    /// # Panics
+    /// Panics if `root` is not `1 x 1`.
+    pub fn backward(&mut self, root: NodeId) {
+        let shape = self.value(root).shape();
+        assert_eq!(shape, (1, 1), "backward root must be scalar, got {shape:?}");
+        let seed = Matrix::from_vec(1, 1, vec![1.0]);
+        self.backward_with_seed(root, seed);
+    }
+
+    /// Runs the reverse sweep from `root` with an explicit seed adjoint.
+    ///
+    /// This is how externally computed decision gradients (`dL/dt̂` from
+    /// the matching layer) are chained into predictor training: build the
+    /// forward graph up to the prediction node, then seed that node with
+    /// the upstream gradient.
+    ///
+    /// # Panics
+    /// Panics if `seed` does not match `root`'s shape.
+    pub fn backward_with_seed(&mut self, root: NodeId, seed: Matrix) {
+        assert_eq!(
+            seed.shape(),
+            self.value(root).shape(),
+            "seed shape must match root"
+        );
+        self.accumulate(root, seed);
+        for idx in (0..=root.0).rev() {
+            let Some(grad) = self.nodes[idx].grad.clone() else {
+                continue;
+            };
+            let op = self.nodes[idx].op.clone();
+            match op {
+                Op::Input => {}
+                Op::Add(a, b) => {
+                    self.accumulate(a, grad.clone());
+                    self.accumulate(b, grad);
+                }
+                Op::Sub(a, b) => {
+                    self.accumulate(a, grad.clone());
+                    self.accumulate(b, -&grad);
+                }
+                Op::Mul(a, b) => {
+                    let ga = grad.hadamard(self.val(b)).expect("shape");
+                    let gb = grad.hadamard(self.val(a)).expect("shape");
+                    self.accumulate(a, ga);
+                    self.accumulate(b, gb);
+                }
+                Op::Div(a, b) => {
+                    let bv = self.val(b).clone();
+                    let ga = grad.zip_map(&bv, |g, y| g / y).expect("shape");
+                    let av = self.val(a).clone();
+                    let gb = Matrix::from_fn(bv.rows(), bv.cols(), |r, c| {
+                        -grad[(r, c)] * av[(r, c)] / (bv[(r, c)] * bv[(r, c)])
+                    });
+                    self.accumulate(a, ga);
+                    self.accumulate(b, gb);
+                }
+                Op::Neg(a) => self.accumulate(a, -&grad),
+                Op::AddScalar(a) => self.accumulate(a, grad),
+                Op::MulScalar(a, s) => self.accumulate(a, grad.scale(s)),
+                Op::Matmul(a, b) => {
+                    let ga = grad.matmul(&self.val(b).transpose()).expect("shape");
+                    let gb = self.val(a).transpose().matmul(&grad).expect("shape");
+                    self.accumulate(a, ga);
+                    self.accumulate(b, gb);
+                }
+                Op::Transpose(a) => self.accumulate(a, grad.transpose()),
+                Op::Relu(a) => {
+                    let av = self.val(a);
+                    let ga = grad
+                        .zip_map(av, |g, x| if x > 0.0 { g } else { 0.0 })
+                        .expect("shape");
+                    self.accumulate(a, ga);
+                }
+                Op::LeakyRelu(a, alpha) => {
+                    let av = self.val(a);
+                    let ga = grad
+                        .zip_map(av, |g, x| if x > 0.0 { g } else { alpha * g })
+                        .expect("shape");
+                    self.accumulate(a, ga);
+                }
+                Op::Tanh(a) => {
+                    let out = self.nodes[idx].value.clone();
+                    let ga = grad.zip_map(&out, |g, t| g * (1.0 - t * t)).expect("shape");
+                    self.accumulate(a, ga);
+                }
+                Op::Sigmoid(a) => {
+                    let out = self.nodes[idx].value.clone();
+                    let ga = grad
+                        .zip_map(&out, |g, s| g * s * (1.0 - s))
+                        .expect("shape");
+                    self.accumulate(a, ga);
+                }
+                Op::Exp(a) => {
+                    let out = self.nodes[idx].value.clone();
+                    let ga = grad.hadamard(&out).expect("shape");
+                    self.accumulate(a, ga);
+                }
+                Op::Ln(a) => {
+                    let av = self.val(a);
+                    let ga = grad.zip_map(av, |g, x| g / x).expect("shape");
+                    self.accumulate(a, ga);
+                }
+                Op::Powi(a, n) => {
+                    let av = self.val(a);
+                    let ga = grad
+                        .zip_map(av, |g, x| g * n as f64 * x.powi(n - 1))
+                        .expect("shape");
+                    self.accumulate(a, ga);
+                }
+                Op::SoftplusScaled(a, beta) => {
+                    // d/dx softplus(beta x)/beta = sigmoid(beta x)
+                    let av = self.val(a);
+                    let ga = grad
+                        .zip_map(av, |g, x| g / (1.0 + (-beta * x).exp()))
+                        .expect("shape");
+                    self.accumulate(a, ga);
+                }
+                Op::Sum(a) => {
+                    let g = grad[(0, 0)];
+                    let shape = self.val(a).shape();
+                    self.accumulate(a, Matrix::filled(shape.0, shape.1, g));
+                }
+                Op::Mean(a) => {
+                    let shape = self.val(a).shape();
+                    let n = (shape.0 * shape.1).max(1) as f64;
+                    let g = grad[(0, 0)] / n;
+                    self.accumulate(a, Matrix::filled(shape.0, shape.1, g));
+                }
+                Op::Huber(a, delta) => {
+                    // dρ/dx = clamp(x, −δ, δ).
+                    let av = self.val(a);
+                    let ga = grad
+                        .zip_map(av, |g, x| g * x.clamp(-delta, delta))
+                        .expect("shape");
+                    self.accumulate(a, ga);
+                }
+                Op::SoftmaxRows(a) => {
+                    // For each row: ga = s ⊙ (g − ⟨g, s⟩).
+                    let out = self.nodes[idx].value.clone();
+                    let mut ga = Matrix::zeros(out.rows(), out.cols());
+                    for r in 0..out.rows() {
+                        let dot = mfcp_linalg::vector::dot(grad.row(r), out.row(r));
+                        for c in 0..out.cols() {
+                            ga[(r, c)] = out[(r, c)] * (grad[(r, c)] - dot);
+                        }
+                    }
+                    self.accumulate(a, ga);
+                }
+                Op::LogsumexpRows(a) => {
+                    // d lse(a_r)/d a_rc = softmax(a_r)_c.
+                    let av = self.val(a).clone();
+                    let mut ga = Matrix::zeros(av.rows(), av.cols());
+                    for r in 0..av.rows() {
+                        let sm = mfcp_linalg::vector::softmax(av.row(r));
+                        for c in 0..av.cols() {
+                            ga[(r, c)] = grad[(r, 0)] * sm[c];
+                        }
+                    }
+                    self.accumulate(a, ga);
+                }
+                Op::SumCols(a) => {
+                    let shape = self.val(a).shape();
+                    let ga = Matrix::from_fn(shape.0, shape.1, |_, c| grad[(0, c)]);
+                    self.accumulate(a, ga);
+                }
+                Op::ConcatRows(a, b) => {
+                    let ra = self.val(a).rows();
+                    let cols = grad.cols();
+                    let ga = grad.block(0, 0, ra, cols);
+                    let gb = grad.block(ra, 0, grad.rows() - ra, cols);
+                    self.accumulate(a, ga);
+                    self.accumulate(b, gb);
+                }
+                Op::AddRowBroadcast(a, row) => {
+                    self.accumulate(a, grad.clone());
+                    // Bias gradient: column sums of the incoming adjoint.
+                    let mut grow = Matrix::zeros(1, grad.cols());
+                    for r in 0..grad.rows() {
+                        for c in 0..grad.cols() {
+                            grow[(0, c)] += grad[(r, c)];
+                        }
+                    }
+                    self.accumulate(row, grow);
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn val(&self, id: NodeId) -> &Matrix {
+        &self.nodes[id.0].value
+    }
+
+    fn accumulate(&mut self, id: NodeId, g: Matrix) {
+        let slot = &mut self.nodes[id.0].grad;
+        match slot {
+            Some(existing) => *existing += &g,
+            None => *slot = Some(g),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalar(g: &Graph, id: NodeId) -> f64 {
+        g.value(id)[(0, 0)]
+    }
+
+    #[test]
+    fn add_sub_grads() {
+        let mut g = Graph::new();
+        let a = g.input(Matrix::from_rows(&[&[1.0, 2.0]]));
+        let b = g.input(Matrix::from_rows(&[&[3.0, 4.0]]));
+        let c = g.add(a, b);
+        let d = g.sub(c, a); // d = b
+        let s = g.sum(d);
+        g.backward(s);
+        assert_eq!(g.grad(b).unwrap().as_slice(), &[1.0, 1.0]);
+        assert_eq!(g.grad(a).unwrap().as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn mul_grad() {
+        let mut g = Graph::new();
+        let a = g.input(Matrix::from_rows(&[&[2.0, 3.0]]));
+        let b = g.input(Matrix::from_rows(&[&[5.0, 7.0]]));
+        let p = g.mul(a, b);
+        let s = g.sum(p);
+        g.backward(s);
+        assert_eq!(g.grad(a).unwrap().as_slice(), &[5.0, 7.0]);
+        assert_eq!(g.grad(b).unwrap().as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn div_grad() {
+        let mut g = Graph::new();
+        let a = g.input(Matrix::from_rows(&[&[6.0]]));
+        let b = g.input(Matrix::from_rows(&[&[3.0]]));
+        let q = g.div(a, b);
+        let s = g.sum(q);
+        g.backward(s);
+        assert!((g.grad(a).unwrap()[(0, 0)] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((g.grad(b).unwrap()[(0, 0)] + 6.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matmul_grads() {
+        let mut g = Graph::new();
+        let a = g.input(Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let b = g.input(Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]));
+        let p = g.matmul(a, b);
+        let s = g.sum(p);
+        g.backward(s);
+        // d sum(AB) / dA = 1 Bᵀ, entries are row sums of B.
+        assert_eq!(
+            g.grad(a).unwrap(),
+            &Matrix::from_rows(&[&[11.0, 15.0], &[11.0, 15.0]])
+        );
+        assert_eq!(
+            g.grad(b).unwrap(),
+            &Matrix::from_rows(&[&[4.0, 4.0], &[6.0, 6.0]])
+        );
+    }
+
+    #[test]
+    fn chain_through_activations() {
+        // loss = mean(tanh(x)^2); check against central differences.
+        let x0 = Matrix::from_rows(&[&[0.3, -0.7, 1.2]]);
+        let f = |x: &Matrix| {
+            let mut g = Graph::new();
+            let xi = g.input(x.clone());
+            let t = g.tanh(xi);
+            let sq = g.mul(t, t);
+            let m = g.mean(sq);
+            scalar(&g, m)
+        };
+        let mut g = Graph::new();
+        let xi = g.input(x0.clone());
+        let t = g.tanh(xi);
+        let sq = g.mul(t, t);
+        let m = g.mean(sq);
+        g.backward(m);
+        let analytic = g.grad(xi).unwrap().clone();
+        let numeric = crate::gradcheck::finite_diff(&x0, f, 1e-6);
+        assert!(analytic.approx_eq(&numeric, 1e-6));
+    }
+
+    #[test]
+    fn relu_and_leaky_grad() {
+        let mut g = Graph::new();
+        let x = g.input(Matrix::from_rows(&[&[-1.0, 2.0]]));
+        let r = g.relu(x);
+        let s = g.sum(r);
+        g.backward(s);
+        assert_eq!(g.grad(x).unwrap().as_slice(), &[0.0, 1.0]);
+
+        let mut g = Graph::new();
+        let x = g.input(Matrix::from_rows(&[&[-1.0, 2.0]]));
+        let r = g.leaky_relu(x, 0.1);
+        let s = g.sum(r);
+        g.backward(s);
+        assert_eq!(g.grad(x).unwrap().as_slice(), &[0.1, 1.0]);
+    }
+
+    #[test]
+    fn exp_ln_powi_grads_match_numeric() {
+        let x0 = Matrix::from_rows(&[&[0.5, 1.5, 2.5]]);
+        let build = |g: &mut Graph, xi: NodeId| {
+            let e = g.exp(xi);
+            let l = g.ln(e); // identity, but exercises both rules
+            let p = g.powi(l, 3);
+            g.sum(p)
+        };
+        let mut g = Graph::new();
+        let xi = g.input(x0.clone());
+        let root = build(&mut g, xi);
+        g.backward(root);
+        let analytic = g.grad(xi).unwrap().clone();
+        let numeric = crate::gradcheck::finite_diff(
+            &x0,
+            |x| {
+                let mut g = Graph::new();
+                let xi = g.input(x.clone());
+                let root = build(&mut g, xi);
+                scalar(&g, root)
+            },
+            1e-6,
+        );
+        assert!(analytic.approx_eq(&numeric, 1e-5));
+    }
+
+    #[test]
+    fn softplus_matches_numeric_and_is_positive() {
+        let x0 = Matrix::from_rows(&[&[-2.0, 0.0, 3.0, 40.0]]);
+        let mut g = Graph::new();
+        let xi = g.input(x0.clone());
+        let sp = g.softplus_scaled(xi, 1.5);
+        assert!(g.value(sp).min().unwrap() > 0.0);
+        let s = g.sum(sp);
+        g.backward(s);
+        let analytic = g.grad(xi).unwrap().clone();
+        let numeric = crate::gradcheck::finite_diff(
+            &x0,
+            |x| {
+                let mut g = Graph::new();
+                let xi = g.input(x.clone());
+                let sp = g.softplus_scaled(xi, 1.5);
+                let s = g.sum(sp);
+                scalar(&g, s)
+            },
+            1e-6,
+        );
+        assert!(analytic.approx_eq(&numeric, 1e-5));
+    }
+
+    #[test]
+    fn row_broadcast_bias_grad() {
+        let mut g = Graph::new();
+        let x = g.input(Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]));
+        let b = g.input(Matrix::from_rows(&[&[10.0, 20.0]]));
+        let y = g.add_row_broadcast(x, b);
+        assert_eq!(g.value(y)[(2, 1)], 26.0);
+        let s = g.sum(y);
+        g.backward(s);
+        // Bias gradient is the column sum of ones = number of rows.
+        assert_eq!(g.grad(b).unwrap().as_slice(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn mse_loss_value_and_grad() {
+        let mut g = Graph::new();
+        let pred = g.input(Matrix::from_rows(&[&[1.0, 2.0]]));
+        let target = g.input(Matrix::from_rows(&[&[0.0, 4.0]]));
+        let loss = g.mse(pred, target);
+        assert!((scalar(&g, loss) - (1.0 + 4.0) / 2.0).abs() < 1e-12);
+        g.backward(loss);
+        // d/dpred mean((p-t)^2) = 2 (p-t) / n
+        assert_eq!(g.grad(pred).unwrap().as_slice(), &[1.0, -2.0]);
+    }
+
+    #[test]
+    fn grad_accumulates_on_fanout() {
+        // y = x + x  =>  dy/dx = 2
+        let mut g = Graph::new();
+        let x = g.input(Matrix::from_rows(&[&[3.0]]));
+        let y = g.add(x, x);
+        let s = g.sum(y);
+        g.backward(s);
+        assert_eq!(g.grad(x).unwrap()[(0, 0)], 2.0);
+    }
+
+    #[test]
+    fn backward_with_external_seed() {
+        // Seed the output with an arbitrary upstream gradient, as the
+        // decision-focused pipeline does.
+        let mut g = Graph::new();
+        let x = g.input(Matrix::from_rows(&[&[1.0, 2.0]]));
+        let y = g.mul_scalar(x, 3.0);
+        let seed = Matrix::from_rows(&[&[10.0, -1.0]]);
+        g.backward_with_seed(y, seed);
+        assert_eq!(g.grad(x).unwrap().as_slice(), &[30.0, -3.0]);
+    }
+
+    #[test]
+    fn zero_grad_resets() {
+        let mut g = Graph::new();
+        let x = g.input(Matrix::from_rows(&[&[1.0]]));
+        let s = g.sum(x);
+        g.backward(s);
+        assert!(g.grad(x).is_some());
+        g.zero_grad();
+        assert!(g.grad(x).is_none());
+    }
+
+    #[test]
+    fn huber_matches_numeric_and_is_robust() {
+        let x0 = Matrix::from_rows(&[&[-3.0, -0.5, 0.0, 0.5, 3.0]]);
+        let mut g = Graph::new();
+        let x = g.input(x0.clone());
+        let h = g.huber(x, 1.0);
+        // Values: quadratic inside, linear outside.
+        assert!((g.value(h)[(0, 1)] - 0.125).abs() < 1e-12);
+        assert!((g.value(h)[(0, 0)] - 2.5).abs() < 1e-12);
+        let s = g.sum(h);
+        g.backward(s);
+        let analytic = g.grad(x).unwrap().clone();
+        let numeric = crate::gradcheck::finite_diff(
+            &x0,
+            |m| {
+                let mut g = Graph::new();
+                let x = g.input(m.clone());
+                let h = g.huber(x, 1.0);
+                let s = g.sum(h);
+                g.value(s)[(0, 0)]
+            },
+            1e-6,
+        );
+        assert!(analytic.approx_eq(&numeric, 1e-6));
+        // Gradient saturates at ±δ for outliers.
+        assert_eq!(analytic[(0, 0)], -1.0);
+        assert_eq!(analytic[(0, 4)], 1.0);
+    }
+
+    #[test]
+    fn softmax_rows_forward_and_grad() {
+        let x0 = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[0.5, -0.5, 0.0]]);
+        let mut g = Graph::new();
+        let x = g.input(x0.clone());
+        let s = g.softmax_rows(x);
+        // Rows sum to one.
+        for r in 0..2 {
+            let sum: f64 = g.value(s).row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+        }
+        // Gradient of a weighted sum of the softmax vs central differences.
+        let c = Matrix::from_rows(&[&[0.3, -1.0, 0.7], &[2.0, 0.1, -0.4]]);
+        let ci = g.input(c.clone());
+        let w = g.mul(s, ci);
+        let loss = g.sum(w);
+        g.backward(loss);
+        let analytic = g.grad(x).unwrap().clone();
+        let numeric = crate::gradcheck::finite_diff(
+            &x0,
+            |m| {
+                let mut g = Graph::new();
+                let x = g.input(m.clone());
+                let s = g.softmax_rows(x);
+                let ci = g.input(c.clone());
+                let w = g.mul(s, ci);
+                let l = g.sum(w);
+                g.value(l)[(0, 0)]
+            },
+            1e-6,
+        );
+        assert!(analytic.approx_eq(&numeric, 1e-6));
+    }
+
+    #[test]
+    fn logsumexp_rows_matches_smooth_max_identity() {
+        // lse(x) with backward = softmax weights.
+        let x0 = Matrix::from_rows(&[&[1.0, 3.0, 2.0]]);
+        let mut g = Graph::new();
+        let x = g.input(x0.clone());
+        let l = g.logsumexp_rows(x);
+        assert_eq!(g.value(l).shape(), (1, 1));
+        assert!((g.value(l)[(0, 0)] - mfcp_linalg::vector::logsumexp(x0.row(0))).abs() < 1e-12);
+        let s = g.sum(l);
+        g.backward(s);
+        let expected = mfcp_linalg::vector::softmax(x0.row(0));
+        for (got, want) in g.grad(x).unwrap().as_slice().iter().zip(&expected) {
+            assert!((got - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sum_cols_grad_broadcasts() {
+        let mut g = Graph::new();
+        let x = g.input(Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]));
+        let sc = g.sum_cols(x);
+        assert_eq!(g.value(sc).as_slice(), &[9.0, 12.0]);
+        let w = g.input(Matrix::from_rows(&[&[2.0, -1.0]]));
+        let p = g.mul(sc, w);
+        let loss = g.sum(p);
+        g.backward(loss);
+        // Every row gets the column weight.
+        let grad = g.grad(x).unwrap();
+        for r in 0..3 {
+            assert_eq!(grad[(r, 0)], 2.0);
+            assert_eq!(grad[(r, 1)], -1.0);
+        }
+    }
+
+    #[test]
+    fn concat_rows_splits_gradient() {
+        let mut g = Graph::new();
+        let a = g.input(Matrix::from_rows(&[&[1.0, 2.0]]));
+        let b = g.input(Matrix::from_rows(&[&[3.0, 4.0], &[5.0, 6.0]]));
+        let cat = g.concat_rows(a, b);
+        assert_eq!(g.value(cat).shape(), (3, 2));
+        assert_eq!(g.value(cat)[(2, 1)], 6.0);
+        let w = g.input(Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]));
+        let p = g.mul(cat, w);
+        let loss = g.sum(p);
+        g.backward(loss);
+        assert_eq!(g.grad(a).unwrap().as_slice(), &[1.0, 1.0]);
+        assert_eq!(g.grad(b).unwrap().as_slice(), &[2.0, 2.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward root must be scalar")]
+    fn backward_requires_scalar_root() {
+        let mut g = Graph::new();
+        let x = g.input(Matrix::zeros(2, 2));
+        g.backward(x);
+    }
+}

@@ -1,0 +1,40 @@
+//! Reverse-mode automatic differentiation over dense matrices.
+//!
+//! Rust has no PyTorch; MFCP's predictors need gradients of a scalar loss
+//! with respect to every network parameter, *and* the training pipeline
+//! needs to inject externally computed gradients (the matching layer's
+//! `dL/dX* · dX*/dt̂` term from paper Eq. 7) into the middle of the
+//! backward pass. This crate provides exactly that:
+//!
+//! * [`Graph`] — an eagerly-evaluated tape. Every operation appends a node
+//!   holding its value and its parents; [`Graph::backward`] replays the
+//!   tape in reverse, accumulating adjoints.
+//! * [`Graph::backward_with_seed`] — starts the reverse sweep from an
+//!   arbitrary node with an arbitrary seed adjoint, which is how the
+//!   decision-focused regret gradient is chained into the predictor.
+//! * [`gradcheck`] — central-difference gradient checking used throughout
+//!   the test suite.
+//!
+//! The design is index-based (nodes are [`NodeId`]s into the graph) rather
+//! than lifetime-based so that user code stays free of borrow gymnastics.
+//!
+//! ```
+//! use mfcp_autodiff::Graph;
+//! use mfcp_linalg::Matrix;
+//!
+//! let mut g = Graph::new();
+//! let x = g.input(Matrix::from_rows(&[&[1.0, 2.0]]));
+//! let w = g.input(Matrix::from_rows(&[&[3.0], &[4.0]]));
+//! let y = g.matmul(x, w);          // y = x·w = [[11]]
+//! let loss = g.sum(y);
+//! g.backward(loss);
+//! assert_eq!(g.grad(w).unwrap().as_slice(), &[1.0, 2.0]); // dy/dw = xᵀ
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gradcheck;
+mod graph;
+
+pub use graph::{Graph, NodeId};

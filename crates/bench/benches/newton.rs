@@ -1,0 +1,53 @@
+//! First-order (Algorithm 1 / mirror descent) vs second-order (damped
+//! Newton on the barrier problem) relaxed matching solvers: per-solve
+//! cost at equal solution quality.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mfcp_linalg::Matrix;
+use mfcp_optim::solver::{solve_relaxed, solve_relaxed_newton, NewtonOptions, SolverOptions};
+use mfcp_optim::{MatchingProblem, RelaxationParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_problem(seed: u64, m: usize, n: usize) -> MatchingProblem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let t = Matrix::from_fn(m, n, |_, _| rng.gen_range(0.5..3.0));
+    let a = Matrix::from_fn(m, n, |_, _| rng.gen_range(0.7..1.0));
+    MatchingProblem::new(t, a, 0.78)
+}
+
+fn bench_newton_vs_mirror(c: &mut Criterion) {
+    let mut group = c.benchmark_group("newton_vs_mirror");
+    let params = RelaxationParams::default();
+    for &(m, n) in &[(3usize, 5usize), (3, 15), (5, 25)] {
+        let problem = random_problem(1, m, n);
+        group.bench_with_input(
+            BenchmarkId::new("mirror_descent_tight", format!("M{m}xN{n}")),
+            &problem,
+            |b, p| {
+                let opts = SolverOptions {
+                    max_iters: 5000,
+                    tol: 1e-12,
+                    ..Default::default()
+                };
+                b.iter(|| black_box(solve_relaxed(p, &params, &opts)))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("newton", format!("M{m}xN{n}")),
+            &problem,
+            |b, p| {
+                b.iter(|| black_box(solve_relaxed_newton(p, &params, &NewtonOptions::default())))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_newton_vs_mirror
+}
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Criterion benchmarks for the matching solvers: Algorithm 1 across
+//! problem sizes and projection rules, the exact branch-and-bound, and
+//! the full deployment pipeline (relax → round → repair → local search).
+//!
+//! These back the complexity claims of §3.5: each Algorithm 1 iteration
+//! is O(MN), so relaxed-solve time should scale linearly in M·N at a
+//! fixed iteration budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mfcp_linalg::Matrix;
+use mfcp_optim::exact::{solve_exact, ExactOptions};
+use mfcp_optim::rounding::solve_discrete;
+use mfcp_optim::solver::{solve_relaxed, ProjectionKind, SolverOptions};
+use mfcp_optim::{MatchingProblem, RelaxationParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_problem(seed: u64, m: usize, n: usize) -> MatchingProblem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let t = Matrix::from_fn(m, n, |_, _| rng.gen_range(0.5..3.0));
+    let a = Matrix::from_fn(m, n, |_, _| rng.gen_range(0.7..1.0));
+    MatchingProblem::new(t, a, 0.78)
+}
+
+fn bench_relaxed_solver_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relaxed_solver_scaling");
+    let opts = SolverOptions {
+        max_iters: 200,
+        tol: 0.0, // fixed iteration budget to expose O(MN) per-iter cost
+        ..Default::default()
+    };
+    let params = RelaxationParams::default();
+    for &(m, n) in &[(3usize, 5usize), (3, 25), (3, 100), (8, 50), (16, 100)] {
+        let problem = random_problem(1, m, n);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("M{m}xN{n}")),
+            &problem,
+            |b, p| b.iter(|| black_box(solve_relaxed(p, &params, &opts))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_projection_kinds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("projection_kinds");
+    let problem = random_problem(2, 3, 25);
+    let params = RelaxationParams::default();
+    for proj in [
+        ProjectionKind::MirrorDescent,
+        ProjectionKind::SoftmaxPaper,
+        ProjectionKind::Euclidean,
+    ] {
+        let opts = SolverOptions {
+            max_iters: 200,
+            tol: 0.0,
+            projection: proj,
+            ..Default::default()
+        };
+        group.bench_function(format!("{proj:?}"), |b| {
+            b.iter(|| black_box(solve_relaxed(&problem, &params, &opts)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_vs_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_vs_pipeline");
+    for &n in &[6usize, 12, 18] {
+        let problem = random_problem(3, 3, n);
+        group.bench_with_input(BenchmarkId::new("branch_and_bound", n), &problem, |b, p| {
+            b.iter(|| black_box(solve_exact(p, &ExactOptions::default())))
+        });
+        group.bench_with_input(BenchmarkId::new("relax_round_search", n), &problem, |b, p| {
+            b.iter(|| {
+                black_box(solve_discrete(
+                    p,
+                    &RelaxationParams::default(),
+                    &SolverOptions::default(),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_relaxed_solver_scaling, bench_projection_kinds, bench_exact_vs_pipeline
+}
+criterion_main!(benches);

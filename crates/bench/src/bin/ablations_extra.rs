@@ -1,0 +1,108 @@
+//! Extra ablations beyond the paper's Table 1, covering the design
+//! decisions DESIGN.md calls out:
+//!
+//! * projection rule in Algorithm 1 (mirror descent vs the literal
+//!   value-space softmax vs Euclidean projection),
+//! * alternating vs joint ω/φ updates (§3.3),
+//! * the MSE anchor weight of the decision-focused phase.
+//!
+//! Usage: `cargo run -p mfcp-bench --release --bin ablations_extra [-- --quick]`
+
+use mfcp_bench::{write_csv, ExperimentSetup};
+use mfcp_core::eval::evaluate_method;
+use mfcp_core::train::{train_mfcp, GradientMode};
+use mfcp_optim::solver::ProjectionKind;
+use mfcp_platform::metrics::MeanStd;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let seeds: Vec<u64> = if quick { vec![1] } else { vec![1, 2, 3] };
+    let base = ExperimentSetup {
+        eval_rounds: if quick { 8 } else { 25 },
+        mfcp_rounds: if quick { 60 } else { 200 },
+        ..Default::default()
+    };
+
+    struct Variant {
+        label: &'static str,
+        projection: ProjectionKind,
+        alternating: bool,
+        mse_anchor: f64,
+    }
+    let variants = [
+        Variant {
+            label: "default (mirror, alternating, anchor 0.3)",
+            projection: ProjectionKind::MirrorDescent,
+            alternating: true,
+            mse_anchor: 0.3,
+        },
+        Variant {
+            label: "paper-literal softmax projection",
+            projection: ProjectionKind::SoftmaxPaper,
+            alternating: true,
+            mse_anchor: 0.3,
+        },
+        Variant {
+            label: "euclidean projection",
+            projection: ProjectionKind::Euclidean,
+            alternating: true,
+            mse_anchor: 0.3,
+        },
+        Variant {
+            label: "joint omega/phi updates",
+            projection: ProjectionKind::MirrorDescent,
+            alternating: false,
+            mse_anchor: 0.3,
+        },
+        Variant {
+            label: "no MSE anchor",
+            projection: ProjectionKind::MirrorDescent,
+            alternating: true,
+            mse_anchor: 0.0,
+        },
+    ];
+
+    println!("Extra ablations of the MFCP training design (MFCP-AD, Setting A)");
+    println!("{:<42} {:>16} {:>16}", "variant", "regret", "utilization");
+    let mut csv = Vec::new();
+    for v in &variants {
+        let mut regret = MeanStd::new();
+        let mut util = MeanStd::new();
+        for &seed in &seeds {
+            let (train, test) = base.datasets(seed);
+            let mut cfg = base.mfcp_config(train.clusters(), GradientMode::Analytic);
+            cfg.solver.projection = v.projection;
+            cfg.alternating = v.alternating;
+            cfg.mse_anchor = v.mse_anchor;
+            let (pred, _) = train_mfcp(&train, &cfg, seed.wrapping_add(101));
+            let opts = base.eval_options(test.clusters());
+            let scores =
+                evaluate_method(&pred, &test, &opts, &mut StdRng::seed_from_u64(seed + 707));
+            regret.push(scores.regret.mean());
+            util.push(scores.utilization.mean());
+        }
+        println!(
+            "{:<42} {:>16} {:>16}",
+            v.label,
+            regret.to_string(),
+            util.to_string()
+        );
+        csv.push(format!(
+            "{},{:.4},{:.4},{:.4},{:.4}",
+            v.label,
+            regret.mean(),
+            regret.std(),
+            util.mean(),
+            util.std()
+        ));
+    }
+    write_csv(
+        "results/ablations_extra.csv",
+        "variant,regret_mean,regret_std,utilization_mean,utilization_std",
+        &csv,
+    )
+    .unwrap();
+    println!("\nwrote results/ablations_extra.csv");
+}

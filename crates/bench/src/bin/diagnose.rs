@@ -1,0 +1,118 @@
+//! Developer diagnostic: does the decision-focused phase actually improve
+//! on the TSM warm start? Prints per-phase eval scores and the training
+//! loss trajectory for one seed.
+//!
+//! Usage: `cargo run -p mfcp-bench --release --bin diagnose [-- seed]`
+//! Env overrides: NOISE, TRIALS, HIDDEN, NTRAIN, DLR, ROUNDS, CLIP, BETA.
+
+use mfcp_bench::ExperimentSetup;
+use mfcp_core::eval::evaluate_method;
+use mfcp_core::methods::TamPredictor;
+use mfcp_core::train::{train_mfcp, train_tsm, train_ucb, GradientMode};
+use mfcp_platform::dataset::NoiseConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let mut setup = ExperimentSetup {
+        eval_rounds: 25,
+        ..Default::default()
+    };
+    setup.noise = NoiseConfig {
+        time_rel_std: env_f64("NOISE", setup.noise.time_rel_std),
+        reliability_trials: env_usize("TRIALS", setup.noise.reliability_trials),
+    };
+    let hidden = env_usize("HIDDEN", setup.supervised.hidden[0]);
+    setup.supervised.hidden = if hidden == 0 { vec![] } else { vec![hidden] };
+    setup.lossy_embedding = env_usize("LOSSY", 1) != 0;
+    setup.n_train = env_usize("NTRAIN", setup.n_train);
+    setup.gamma = env_f64("GAMMA", setup.gamma);
+    setup.mfcp_rounds = env_usize("ROUNDS", setup.mfcp_rounds);
+    setup.relaxation.beta = env_f64("BETA", setup.relaxation.beta);
+    let dlr = env_f64("DLR", 1e-3);
+    let clip = env_f64("CLIP", 2.0);
+
+    let (train, test) = setup.datasets(seed);
+    let opts = setup.eval_options(test.clusters());
+
+    let tam = TamPredictor::fit(&train);
+    let s = evaluate_method(&tam, &test, &opts, &mut StdRng::seed_from_u64(42));
+    println!(
+        "TAM      regret {:>8}  rel {:>8}  util {:>8}",
+        s.regret.to_string(),
+        s.reliability.to_string(),
+        s.utilization.to_string(),
+    );
+    let ucb = train_ucb(&train, &setup.supervised, setup.kappa, seed.wrapping_add(101));
+    let s = evaluate_method(&ucb, &test, &opts, &mut StdRng::seed_from_u64(42));
+    println!(
+        "UCB      regret {:>8}  rel {:>8}  util {:>8}",
+        s.regret.to_string(),
+        s.reliability.to_string(),
+        s.utilization.to_string(),
+    );
+    let tsm = train_tsm(&train, &setup.supervised, seed.wrapping_add(101));
+    let s = evaluate_method(&tsm, &test, &opts, &mut StdRng::seed_from_u64(42));
+    println!(
+        "TSM      regret {:>8}  rel {:>8}  util {:>8}  (opt makespan {:.3})",
+        s.regret.to_string(),
+        s.reliability.to_string(),
+        s.utilization.to_string(),
+        s.optimal_makespan.mean()
+    );
+
+    for (label, mode) in [
+        ("MFCP-AD", GradientMode::Analytic),
+        (
+            "MFCP-FG",
+            GradientMode::ForwardGradient(setup.zeroth_options()),
+        ),
+    ] {
+        let mut cfg = setup.mfcp_config(train.clusters(), mode);
+        cfg.lr = dlr;
+        cfg.grad_clip = clip;
+        let (pred, report) = train_mfcp(&train, &cfg, seed.wrapping_add(101));
+        let s = evaluate_method(&pred, &test, &opts, &mut StdRng::seed_from_u64(42));
+        println!(
+            "{label}  regret {:>8}  rel {:>8}  util {:>8}",
+            s.regret.to_string(),
+            s.reliability.to_string(),
+            s.utilization.to_string(),
+        );
+        let h = &report.loss_history;
+        let q = (h.len() / 4).max(1);
+        let chunk_mean = |c: &[f64]| c.iter().sum::<f64>() / c.len() as f64;
+        println!(
+            "         loss quartiles: {:.4} {:.4} {:.4} {:.4}   best round {}",
+            chunk_mean(&h[..q]),
+            chunk_mean(&h[q..2 * q]),
+            chunk_mean(&h[2 * q..3 * q]),
+            chunk_mean(&h[3 * q..]),
+            report.best_round,
+        );
+        let vs: Vec<String> = report
+            .validation_history
+            .iter()
+            .map(|v| format!("{v:.3}"))
+            .collect();
+        println!("         val history: {}", vs.join(" "));
+    }
+}

@@ -1,0 +1,108 @@
+//! Figure 2 — the paper's motivating example, reproduced quantitatively:
+//! two clusters with different response curves (A linear in the task
+//! feature, B exponential), three tasks, and *linear-regression*
+//! predictors. Plain MSE fitting mis-ranks the clusters for the middle
+//! task; re-weighting the fit toward decision-relevant tasks (the
+//! matching-focused idea) fixes the allocation without fixing the
+//! prediction error.
+//!
+//! Usage: `cargo run -p mfcp-bench --release --bin fig2`
+
+use mfcp_linalg::{qr, Matrix};
+
+/// Ground-truth response curves from the paper's illustration.
+fn time_a(z: f64) -> f64 {
+    1.0 + 2.0 * z // Cluster A: linear growth
+}
+
+fn time_b(z: f64) -> f64 {
+    0.4 * (1.8 * z).exp() + 0.4 // Cluster B: slow start, explosive tail
+}
+
+/// Weighted 1-D linear least squares: minimizes Σ w_i (a + b z_i − t_i)².
+fn weighted_linear_fit(zs: &[f64], ts: &[f64], ws: &[f64]) -> (f64, f64) {
+    let n = zs.len();
+    let design = Matrix::from_fn(n, 2, |r, c| {
+        let w = ws[r].sqrt();
+        if c == 0 {
+            w
+        } else {
+            w * zs[r]
+        }
+    });
+    let rhs: Vec<f64> = (0..n).map(|r| ws[r].sqrt() * ts[r]).collect();
+    let coef = qr::lstsq(&design, &rhs).expect("well-posed fit");
+    (coef[0], coef[1])
+}
+
+fn main() {
+    // Training features densely cover [0, 2]; the three illustration
+    // tasks sit at the paper's qualitative positions.
+    let train_z: Vec<f64> = (0..21).map(|i| i as f64 * 0.1).collect();
+    let tasks = [0.4f64, 1.0, 1.8];
+
+    let ta: Vec<f64> = train_z.iter().map(|&z| time_a(z)).collect();
+    let tb: Vec<f64> = train_z.iter().map(|&z| time_b(z)).collect();
+    let uniform = vec![1.0; train_z.len()];
+
+    // --- upper panel: independent MSE fits ------------------------------
+    let (a0, a1) = weighted_linear_fit(&train_z, &ta, &uniform);
+    let (b0, b1) = weighted_linear_fit(&train_z, &tb, &uniform);
+    println!("MSE-fit predictors:     t̂_A(z) = {a0:.2} + {a1:.2} z    t̂_B(z) = {b0:.2} + {b1:.2} z");
+
+    // --- lower panel: matching-focused weights --------------------------
+    // Weight each training point by its decision relevance: points where
+    // the two clusters' true times are close decide allocations, points
+    // deep inside one cluster's win region do not.
+    let weights: Vec<f64> = train_z
+        .iter()
+        .map(|&z| {
+            let gap = (time_a(z) - time_b(z)).abs();
+            1.0 / (0.05 + gap * gap)
+        })
+        .collect();
+    let (a0m, a1m) = weighted_linear_fit(&train_z, &ta, &weights);
+    let (b0m, b1m) = weighted_linear_fit(&train_z, &tb, &weights);
+    println!("matching-focused fits:  t̂_A(z) = {a0m:.2} + {a1m:.2} z    t̂_B(z) = {b0m:.2} + {b1m:.2} z");
+
+    println!(
+        "\n{:>6} {:>9} {:>9} {:>7} | {:>9} {:>9} {:>7} | {:>9} {:>9} {:>7}",
+        "task", "true A", "true B", "best", "MSE Â", "MSE B̂", "pick", "MF Â", "MF B̂", "pick"
+    );
+    let mut mse_correct = 0;
+    let mut mf_correct = 0;
+    for (k, &z) in tasks.iter().enumerate() {
+        let (true_a, true_b) = (time_a(z), time_b(z));
+        let best = if true_a <= true_b { "A" } else { "B" };
+        let (pa, pb) = (a0 + a1 * z, b0 + b1 * z);
+        let mse_pick = if pa <= pb { "A" } else { "B" };
+        let (qa, qb) = (a0m + a1m * z, b0m + b1m * z);
+        let mf_pick = if qa <= qb { "A" } else { "B" };
+        mse_correct += (mse_pick == best) as usize;
+        mf_correct += (mf_pick == best) as usize;
+        println!(
+            "{:>6} {:>9.2} {:>9.2} {:>7} | {:>9.2} {:>9.2} {:>7} | {:>9.2} {:>9.2} {:>7}",
+            k + 1,
+            true_a,
+            true_b,
+            best,
+            pa,
+            pb,
+            mse_pick,
+            qa,
+            qb,
+            mf_pick
+        );
+    }
+    println!(
+        "\ncorrect allocations: MSE fit {mse_correct}/3, matching-focused fit {mf_correct}/3"
+    );
+    assert!(
+        mf_correct >= mse_correct,
+        "the motivating example should favour the matching-focused fit"
+    );
+    println!(
+        "(the matching-focused fit still mispredicts absolute times — it spends\n\
+         its limited linear capacity where decisions are made, exactly Fig. 2's point)"
+    );
+}

@@ -1,0 +1,57 @@
+//! Figure 4 — overall performance: five methods × three metrics × three
+//! cluster settings (§4.3: five tasks matched to three heterogeneous
+//! clusters, three experiment sets A/B/C).
+//!
+//! Usage: `cargo run -p mfcp-bench --release --bin fig4 [-- --quick]`
+
+use mfcp_bench::{format_table, run_method, write_csv, ExperimentSetup, MethodKind};
+use mfcp_platform::metrics::paired_comparison;
+use mfcp_platform::settings::Setting;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let seeds: Vec<u64> = if quick { vec![1, 2] } else { vec![1, 2, 3, 4, 5, 6, 7, 8] };
+    let mut csv_lines = Vec::new();
+    println!("Figure 4: overall performance (N=5 tasks, M=3 clusters)");
+    println!("seeds: {seeds:?}{}", if quick { " [--quick]" } else { "" });
+
+    for setting in Setting::ALL {
+        let setup = ExperimentSetup {
+            setting,
+            eval_rounds: if quick { 10 } else { 30 },
+            mfcp_rounds: if quick { 60 } else { 240 },
+            ..Default::default()
+        };
+        let rows: Vec<_> = MethodKind::ALL
+            .iter()
+            .map(|&kind| run_method(&setup, kind, &seeds))
+            .collect();
+        print!("{}", format_table(&format!("Setting {setting:?}"), &rows));
+        // Paired per-seed comparison vs the TSM baseline (lower = better).
+        let tsm = rows.iter().find(|r| r.method == "TSM").unwrap();
+        for name in ["MFCP-AD", "MFCP-FG", "UCB"] {
+            let row = rows.iter().find(|r| r.method == name).unwrap();
+            let cmp = paired_comparison(&row.per_seed_regret, &tsm.per_seed_regret, 1e-6);
+            println!("  {name} vs TSM (per-seed regret): {cmp}");
+        }
+        for r in &rows {
+            csv_lines.push(format!(
+                "{setting:?},{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}",
+                r.method,
+                r.regret.mean(),
+                r.regret.std(),
+                r.reliability.mean(),
+                r.reliability.std(),
+                r.utilization.mean(),
+                r.utilization.std()
+            ));
+        }
+    }
+    write_csv(
+        "results/fig4.csv",
+        "setting,method,regret_mean,regret_std,reliability_mean,reliability_std,utilization_mean,utilization_std",
+        &csv_lines,
+    )
+    .expect("write results/fig4.csv");
+    println!("\nwrote results/fig4.csv");
+}

@@ -1,0 +1,59 @@
+//! Figure 5 — scalability: regret and cluster utilization vs the number
+//! of tasks per round (§4.4: Setting A, varying the number of tasks in a
+//! single round).
+//!
+//! Usage: `cargo run -p mfcp-bench --release --bin fig5 [-- --quick]`
+
+use mfcp_bench::{run_method, write_csv, ExperimentSetup, MethodKind};
+use mfcp_platform::settings::Setting;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let seeds: Vec<u64> = if quick { vec![1, 2] } else { vec![1, 2, 3] };
+    let task_counts: &[usize] = if quick { &[5, 15] } else { &[5, 10, 15, 20, 25] };
+    println!("Figure 5: scaling with the number of tasks (Setting A)");
+    println!("seeds: {seeds:?}{}", if quick { " [--quick]" } else { "" });
+
+    let mut csv_lines = Vec::new();
+    println!(
+        "\n{:<6} {:<10} {:>14} {:>14}",
+        "N", "Method", "Regret", "Utilization"
+    );
+    for &n in task_counts {
+        let setup = ExperimentSetup {
+            setting: Setting::A,
+            round_size: n,
+            // Keep the train/test pools comfortably larger than a round.
+            n_train: 110.max(4 * n),
+            n_test: 60.max(3 * n),
+            eval_rounds: if quick { 8 } else { 20 },
+            mfcp_rounds: if quick { 50 } else { 160 },
+            ..Default::default()
+        };
+        for kind in MethodKind::ALL {
+            let agg = run_method(&setup, kind, &seeds);
+            println!(
+                "{:<6} {:<10} {:>14} {:>14}",
+                n,
+                agg.method,
+                agg.regret.to_string(),
+                agg.utilization.to_string()
+            );
+            csv_lines.push(format!(
+                "{n},{},{:.4},{:.4},{:.4},{:.4}",
+                agg.method,
+                agg.regret.mean(),
+                agg.regret.std(),
+                agg.utilization.mean(),
+                agg.utilization.std()
+            ));
+        }
+    }
+    write_csv(
+        "results/fig5.csv",
+        "n_tasks,method,regret_mean,regret_std,utilization_mean,utilization_std",
+        &csv_lines,
+    )
+    .expect("write results/fig5.csv");
+    println!("\nwrote results/fig5.csv");
+}

@@ -1,0 +1,95 @@
+//! Hyper-parameter sensitivity of the MFCP relaxation: regret and
+//! utilization as functions of the smooth-max temperature β, the barrier
+//! weight λ, and the entropy weight ρ (the three knobs of Eq. 8–10 plus
+//! the DESIGN.md entropy device).
+//!
+//! Usage: `cargo run -p mfcp-bench --release --bin sweeps [-- --quick]`
+
+use mfcp_bench::{write_csv, ExperimentSetup};
+use mfcp_core::eval::evaluate_method;
+use mfcp_core::train::{train_mfcp, GradientMode};
+use mfcp_platform::metrics::MeanStd;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn run_point(base: &ExperimentSetup, seeds: &[u64]) -> (MeanStd, MeanStd, MeanStd) {
+    let mut regret = MeanStd::new();
+    let mut reliability = MeanStd::new();
+    let mut utilization = MeanStd::new();
+    for &seed in seeds {
+        let (train, test) = base.datasets(seed);
+        let cfg = base.mfcp_config(train.clusters(), GradientMode::Analytic);
+        let (pred, _) = train_mfcp(&train, &cfg, seed.wrapping_add(101));
+        let opts = base.eval_options(test.clusters());
+        let scores = evaluate_method(
+            &pred,
+            &test,
+            &opts,
+            &mut StdRng::seed_from_u64(seed.wrapping_add(707)),
+        );
+        regret.push(scores.regret.mean());
+        reliability.push(scores.reliability.mean());
+        utilization.push(scores.utilization.mean());
+    }
+    (regret, reliability, utilization)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let seeds: Vec<u64> = if quick { vec![1] } else { vec![1, 2, 3] };
+    let base = ExperimentSetup {
+        eval_rounds: if quick { 8 } else { 25 },
+        mfcp_rounds: if quick { 40 } else { 120 },
+        ..Default::default()
+    };
+    println!("MFCP-AD hyper-parameter sensitivity (Setting A, seeds {seeds:?})");
+    let mut csv = Vec::new();
+
+    println!("\n-- smooth-max temperature β (default 5) --");
+    println!("{:>8} {:>16} {:>16} {:>16}", "beta", "regret", "reliability", "utilization");
+    for beta in [1.0, 2.0, 5.0, 10.0, 20.0] {
+        let mut setup = base.clone();
+        setup.relaxation.beta = beta;
+        let (r, a, u) = run_point(&setup, &seeds);
+        println!("{beta:>8.1} {:>16} {:>16} {:>16}", r.to_string(), a.to_string(), u.to_string());
+        csv.push(format!("beta,{beta},{:.4},{:.4},{:.4}", r.mean(), a.mean(), u.mean()));
+    }
+
+    println!("\n-- barrier weight λ (default 0.05) --");
+    println!("{:>8} {:>16} {:>16} {:>16}", "lambda", "regret", "reliability", "utilization");
+    for lambda in [0.005, 0.02, 0.05, 0.2, 0.8] {
+        let mut setup = base.clone();
+        setup.relaxation.lambda = lambda;
+        let (r, a, u) = run_point(&setup, &seeds);
+        println!(
+            "{lambda:>8.3} {:>16} {:>16} {:>16}",
+            r.to_string(),
+            a.to_string(),
+            u.to_string()
+        );
+        csv.push(format!(
+            "lambda,{lambda},{:.4},{:.4},{:.4}",
+            r.mean(),
+            a.mean(),
+            u.mean()
+        ));
+    }
+
+    println!("\n-- entropy weight ρ (default 0.01) --");
+    println!("{:>8} {:>16} {:>16} {:>16}", "rho", "regret", "reliability", "utilization");
+    for rho in [0.001, 0.005, 0.01, 0.05, 0.2] {
+        let mut setup = base.clone();
+        setup.relaxation.rho = rho;
+        let (r, a, u) = run_point(&setup, &seeds);
+        println!("{rho:>8.3} {:>16} {:>16} {:>16}", r.to_string(), a.to_string(), u.to_string());
+        csv.push(format!("rho,{rho},{:.4},{:.4},{:.4}", r.mean(), a.mean(), u.mean()));
+    }
+
+    write_csv(
+        "results/sweeps.csv",
+        "parameter,value,regret_mean,reliability_mean,utilization_mean",
+        &csv,
+    )
+    .unwrap();
+    println!("\nwrote results/sweeps.csv");
+}

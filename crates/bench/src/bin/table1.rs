@@ -1,0 +1,49 @@
+//! Table 1 — ablation study of MFCP's gradient-computation design:
+//! (1) linear cost instead of the smoothed max, (2) hard hinge penalty
+//! instead of the log barrier, (3) zeroth-order gradients instead of
+//! analytic differentiation, vs the full MFCP.
+//!
+//! Usage: `cargo run -p mfcp-bench --release --bin table1 [-- --quick]`
+
+use mfcp_bench::{format_table, run_ablation, write_csv, AblationVariant, ExperimentSetup};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let seeds: Vec<u64> = if quick { vec![1, 2] } else { vec![1, 2, 3, 4, 5] };
+    let setup = ExperimentSetup {
+        eval_rounds: if quick { 10 } else { 30 },
+        mfcp_rounds: if quick { 60 } else { 240 },
+        ..Default::default()
+    };
+    println!("Table 1: ablation study of MFCP (Setting A, N=5, M=3)");
+    println!("seeds: {seeds:?}{}", if quick { " [--quick]" } else { "" });
+
+    let rows: Vec<_> = AblationVariant::ALL
+        .iter()
+        .map(|&v| run_ablation(&setup, v, &seeds))
+        .collect();
+    print!("{}", format_table("Table 1 (ablation)", &rows));
+
+    let csv_lines: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}",
+                r.method,
+                r.regret.mean(),
+                r.regret.std(),
+                r.reliability.mean(),
+                r.reliability.std(),
+                r.utilization.mean(),
+                r.utilization.std()
+            )
+        })
+        .collect();
+    write_csv(
+        "results/table1.csv",
+        "variant,regret_mean,regret_std,reliability_mean,reliability_std,utilization_mean,utilization_std",
+        &csv_lines,
+    )
+    .expect("write results/table1.csv");
+    println!("\nwrote results/table1.csv");
+}

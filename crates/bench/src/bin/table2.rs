@@ -1,0 +1,73 @@
+//! Table 2 — parallel task execution (§4.5): the speedup curve ζ decays
+//! exponentially from 1 to 0.6, the matching objective becomes
+//! non-convex, and MFCP-AD drops out (analytic differentiation assumes
+//! convexity); TAM / TSM / UCB / MFCP-FG are compared.
+//!
+//! Usage: `cargo run -p mfcp-bench --release --bin table2 [-- --quick]`
+
+use mfcp_bench::{format_table, run_method, write_csv, ExperimentSetup, MethodKind};
+use mfcp_optim::SpeedupCurve;
+use mfcp_platform::settings::Setting;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let seeds: Vec<u64> = if quick { vec![1, 2] } else { vec![1, 2, 3, 4, 5] };
+    let setup = ExperimentSetup {
+        setting: Setting::A,
+        round_size: 10,
+        speedup: Some(SpeedupCurve::paper_parallel()),
+        eval_rounds: if quick { 8 } else { 25 },
+        mfcp_rounds: if quick { 40 } else { 160 },
+        ..Default::default()
+    };
+    println!("Table 2: parallel task execution (ζ: exp decay 1 → 0.6, N=10)");
+    println!("seeds: {seeds:?}{}", if quick { " [--quick]" } else { "" });
+
+    let methods = [
+        MethodKind::Tam,
+        MethodKind::Tsm,
+        MethodKind::Ucb,
+        MethodKind::MfcpFg,
+    ];
+    let rows: Vec<_> = methods
+        .iter()
+        .map(|&kind| run_method(&setup, kind, &seeds))
+        .collect();
+    print!("{}", format_table("Table 2 (parallel execution)", &rows));
+
+    // The paper reports MFCP-FG's relative regret reduction vs TSM/UCB.
+    let find = |name: &str| rows.iter().find(|r| r.method == name).unwrap();
+    let fg = find("MFCP-FG").regret.mean();
+    let tsm = find("TSM").regret.mean();
+    let ucb = find("UCB").regret.mean();
+    if tsm > 0.0 && ucb > 0.0 {
+        println!(
+            "\nMFCP-FG regret reduction: {:.1}% vs TSM, {:.1}% vs UCB",
+            100.0 * (1.0 - fg / tsm),
+            100.0 * (1.0 - fg / ucb)
+        );
+    }
+
+    let csv_lines: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}",
+                r.method,
+                r.regret.mean(),
+                r.regret.std(),
+                r.reliability.mean(),
+                r.reliability.std(),
+                r.utilization.mean(),
+                r.utilization.std()
+            )
+        })
+        .collect();
+    write_csv(
+        "results/table2.csv",
+        "method,regret_mean,regret_std,reliability_mean,reliability_std,utilization_mean,utilization_std",
+        &csv_lines,
+    )
+    .expect("write results/table2.csv");
+    println!("\nwrote results/table2.csv");
+}

@@ -1,0 +1,317 @@
+//! The §4.1.3 evaluation harness: regret, reliability and utilization of
+//! a method's matchings over sampled test rounds, against the exact
+//! branch-and-bound ground truth.
+
+use crate::methods::PerformancePredictor;
+use crate::train::sample_round_indices;
+use mfcp_linalg::Matrix;
+use mfcp_optim::exact::{solve_exact, ExactOptions};
+use mfcp_optim::rounding;
+use mfcp_optim::solver::SolverOptions;
+use mfcp_optim::{MatchingProblem, RelaxationParams, SpeedupCurve};
+use mfcp_parallel::{par_map, ParallelConfig};
+use mfcp_platform::dataset::PlatformDataset;
+use mfcp_platform::execution::average_success_rate;
+use mfcp_platform::metrics::MeanStd;
+use rand::{Rng, SeedableRng};
+
+/// Evaluation configuration.
+#[derive(Debug, Clone)]
+pub struct EvalOptions {
+    /// Tasks per evaluation round (`N`).
+    pub round_size: usize,
+    /// Number of evaluation rounds to sample.
+    pub rounds: usize,
+    /// Reliability threshold `γ`.
+    pub gamma: f64,
+    /// Per-cluster speedup curves (empty → sequential).
+    pub speedup: Vec<SpeedupCurve>,
+    /// Relaxation parameters used when the method's matching is solved.
+    pub relaxation: RelaxationParams,
+    /// Algorithm 1 options used for the method's matching.
+    pub solver: SolverOptions,
+    /// When > 0, reliability is measured by averaging this many
+    /// failure-injected execution simulations per round instead of taking
+    /// the expectation (the paper's metric is the expectation; simulation
+    /// mode exercises the full platform loop).
+    pub executions_per_round: usize,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            round_size: 5,
+            rounds: 30,
+            gamma: 0.85,
+            speedup: Vec::new(),
+            relaxation: RelaxationParams::default(),
+            solver: SolverOptions::default(),
+            executions_per_round: 0,
+        }
+    }
+}
+
+/// Aggregated scores for one method (the three paper metrics).
+#[derive(Debug, Clone, Default)]
+pub struct MethodScores {
+    /// Makespan gap vs the ground-truth-optimal matching (paper Eq. 6,
+    /// measured on true execution times).
+    pub regret: MeanStd,
+    /// Mean realized task success probability.
+    pub reliability: MeanStd,
+    /// Cluster utilization.
+    pub utilization: MeanStd,
+    /// Absolute makespan of the method's matchings (for scale context).
+    pub makespan: MeanStd,
+    /// Absolute makespan of the ground-truth-optimal matchings.
+    pub optimal_makespan: MeanStd,
+}
+
+fn speedup_vec(opts: &EvalOptions, m: usize) -> Vec<SpeedupCurve> {
+    if opts.speedup.is_empty() {
+        vec![SpeedupCurve::None; m]
+    } else {
+        assert_eq!(opts.speedup.len(), m);
+        opts.speedup.clone()
+    }
+}
+
+/// Evaluates `method` on sampled rounds from `test`.
+///
+/// For each round the method sees only the task features; its predicted
+/// matrices are matched (relax → round → repair → local search) and the
+/// resulting assignment is scored against the *true* performance matrices,
+/// with the optimal matching computed by exact branch-and-bound.
+pub fn evaluate_method(
+    method: &dyn PerformancePredictor,
+    test: &PlatformDataset,
+    opts: &EvalOptions,
+    rng: &mut impl Rng,
+) -> MethodScores {
+    let m = test.clusters();
+    let speedup = speedup_vec(opts, m);
+    // Round task-sets are drawn sequentially (deterministic under a
+    // seeded RNG), then the independent per-round solves fan out across
+    // threads. Results are identical to the sequential evaluation.
+    let rounds: Vec<(Vec<usize>, u64)> = (0..opts.rounds)
+        .map(|_| {
+            let idx = sample_round_indices(test.len(), opts.round_size, rng);
+            let exec_seed: u64 = rng.gen();
+            (idx, exec_seed)
+        })
+        .collect();
+    let per_round: Vec<(f64, f64, f64, f64, f64)> = par_map(
+        &ParallelConfig::default(),
+        &rounds,
+        |(idx, exec_seed)| {
+            let n = idx.len();
+            let features = Matrix::from_fn(n, test.features.cols(), |r, c| {
+                test.features[(idx[r], c)]
+            });
+            let t_true = Matrix::from_fn(m, n, |i, j| test.true_times[(i, idx[j])]);
+            let a_true = Matrix::from_fn(m, n, |i, j| test.true_reliability[(i, idx[j])]);
+            let problem_true = MatchingProblem::with_speedup(
+                t_true.clone(),
+                a_true.clone(),
+                opts.gamma,
+                speedup.clone(),
+            );
+
+            // The method's matching, from its own predictions. Times are
+            // normalized by their mean before the relaxed solve so that
+            // β, λ and ρ are scale-free; the argmin is unchanged in
+            // spirit and the final discrete matching is evaluated in true
+            // units anyway.
+            let (t_hat, a_hat) = method.predict(&features);
+            let t_scale = t_hat.mean().max(1e-9);
+            let problem_pred = MatchingProblem::with_speedup(
+                t_hat.scale(1.0 / t_scale),
+                a_hat,
+                opts.gamma,
+                speedup.clone(),
+            );
+            let assignment =
+                rounding::solve_discrete(&problem_pred, &opts.relaxation, &opts.solver);
+
+            // Ground-truth optimum.
+            let optimal = solve_exact(&problem_true, &ExactOptions::default());
+            let span = assignment.makespan(&problem_true);
+            let opt_span = optimal.assignment.makespan(&problem_true);
+            let reliability = if opts.executions_per_round > 0 {
+                let mut exec_rng = rand::rngs::StdRng::seed_from_u64(*exec_seed);
+                average_success_rate(
+                    &problem_true,
+                    &assignment,
+                    opts.executions_per_round,
+                    &mut exec_rng,
+                )
+            } else {
+                assignment.mean_reliability(&problem_true)
+            };
+            (
+                (span - opt_span).max(0.0),
+                reliability,
+                assignment.utilization(&problem_true),
+                span,
+                opt_span,
+            )
+        },
+    );
+    let mut scores = MethodScores::default();
+    for (regret, reliability, utilization, span, opt_span) in per_round {
+        scores.regret.push(regret);
+        scores.reliability.push(reliability);
+        scores.utilization.push(utilization);
+        scores.makespan.push(span);
+        scores.optimal_makespan.push(opt_span);
+    }
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::TamPredictor;
+    use mfcp_platform::dataset::NoiseConfig;
+    use mfcp_platform::embedding::FeatureEmbedder;
+    use mfcp_platform::settings::{ClusterPool, Setting};
+    use mfcp_platform::task::TaskGenerator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dataset(n: usize, seed: u64) -> PlatformDataset {
+        let model = ClusterPool::standard().setting(Setting::A);
+        let mut rng = StdRng::seed_from_u64(seed);
+        PlatformDataset::generate(
+            &model,
+            &FeatureEmbedder::default_platform(),
+            &TaskGenerator::default(),
+            n,
+            &NoiseConfig::default(),
+            &mut rng,
+        )
+    }
+
+    /// An oracle that predicts the truth exactly — its regret must be
+    /// (near) zero, validating the whole evaluation plumbing.
+    struct Oracle {
+        test: PlatformDataset,
+    }
+
+    impl PerformancePredictor for Oracle {
+        fn name(&self) -> String {
+            "Oracle".into()
+        }
+        fn predict(&self, features: &Matrix) -> (Matrix, Matrix) {
+            // Look the features up in the dataset by exact match.
+            let m = self.test.clusters();
+            let n = features.rows();
+            let mut t = Matrix::zeros(m, n);
+            let mut a = Matrix::zeros(m, n);
+            for j in 0..n {
+                let row = features.row(j);
+                let orig = (0..self.test.len())
+                    .find(|&k| self.test.features.row(k) == row)
+                    .expect("oracle only sees test tasks");
+                for i in 0..m {
+                    t[(i, j)] = self.test.true_times[(i, orig)];
+                    a[(i, j)] = self.test.true_reliability[(i, orig)];
+                }
+            }
+            (t, a)
+        }
+    }
+
+    #[test]
+    fn oracle_has_near_zero_regret() {
+        let test = dataset(30, 1);
+        let oracle = Oracle { test: test.clone() };
+        let opts = EvalOptions {
+            rounds: 12,
+            gamma: 0.8,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let scores = evaluate_method(&oracle, &test, &opts, &mut rng);
+        // The oracle's relaxed+rounded+local-searched matching should be
+        // optimal or within a few percent of it on every round.
+        assert!(
+            scores.regret.mean() < 0.05 * scores.optimal_makespan.mean(),
+            "oracle regret too high: {} vs optimal makespan {}",
+            scores.regret.mean(),
+            scores.optimal_makespan.mean()
+        );
+        assert!(scores.utilization.mean() > 0.3);
+    }
+
+    #[test]
+    fn tam_scores_are_sane_and_worse_than_oracle() {
+        let test = dataset(30, 3);
+        let oracle = Oracle { test: test.clone() };
+        let tam = TamPredictor::fit(&test);
+        let opts = EvalOptions {
+            rounds: 12,
+            gamma: 0.8,
+            ..Default::default()
+        };
+        let scores_tam =
+            evaluate_method(&tam, &test, &opts, &mut StdRng::seed_from_u64(4));
+        let scores_oracle =
+            evaluate_method(&oracle, &test, &opts, &mut StdRng::seed_from_u64(4));
+        assert!(scores_tam.regret.mean() >= scores_oracle.regret.mean());
+        assert!((0.0..=1.0).contains(&scores_tam.reliability.mean()));
+        assert!((0.0..=1.0).contains(&scores_tam.utilization.mean()));
+        assert_eq!(scores_tam.regret.count(), 12);
+    }
+
+    #[test]
+    fn simulated_reliability_tracks_expectation() {
+        let test = dataset(30, 8);
+        let tam = TamPredictor::fit(&test);
+        let expectation = evaluate_method(
+            &tam,
+            &test,
+            &EvalOptions {
+                rounds: 10,
+                gamma: 0.8,
+                ..Default::default()
+            },
+            &mut StdRng::seed_from_u64(11),
+        );
+        let simulated = evaluate_method(
+            &tam,
+            &test,
+            &EvalOptions {
+                rounds: 10,
+                gamma: 0.8,
+                executions_per_round: 400,
+                ..Default::default()
+            },
+            &mut StdRng::seed_from_u64(11),
+        );
+        // Same matchings (same seed); simulated success rate converges to
+        // the expectation by the LLN.
+        assert_eq!(expectation.regret.mean(), simulated.regret.mean());
+        assert!(
+            (expectation.reliability.mean() - simulated.reliability.mean()).abs() < 0.02,
+            "{} vs {}",
+            expectation.reliability.mean(),
+            simulated.reliability.mean()
+        );
+    }
+
+    #[test]
+    fn evaluation_deterministic_under_seed() {
+        let test = dataset(25, 5);
+        let tam = TamPredictor::fit(&test);
+        let opts = EvalOptions {
+            rounds: 6,
+            gamma: 0.8,
+            ..Default::default()
+        };
+        let a = evaluate_method(&tam, &test, &opts, &mut StdRng::seed_from_u64(9));
+        let b = evaluate_method(&tam, &test, &opts, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a.regret.mean(), b.regret.mean());
+        assert_eq!(a.utilization.std(), b.utilization.std());
+    }
+}

@@ -1,0 +1,591 @@
+//! The five evaluated systems (§4.1.2): TAM, TSM, UCB, MFCP-AD, MFCP-FG.
+//!
+//! Every method reduces to the same interface: given the features of one
+//! round of tasks, produce the predicted performance matrices `(T̂, Â)`
+//! that the (shared) matching pipeline then optimizes. What differs is how
+//! the predictions are formed and how the predictors were trained.
+
+use crate::predictor::ClusterPredictor;
+use mfcp_linalg::Matrix;
+use mfcp_platform::dataset::PlatformDataset;
+
+/// A system that predicts per-cluster performance for a round of tasks.
+///
+/// `Sync` is required so evaluation rounds can fan out across threads;
+/// predictors are plain data after training.
+pub trait PerformancePredictor: Sync {
+    /// Display name (matches the paper's method names).
+    fn name(&self) -> String;
+
+    /// Predicts `(T̂, Â)` (`M x N` each) for an `N x d` feature batch.
+    ///
+    /// Reliability entries must lie in `[0, 1]` and times must be
+    /// positive; implementations clamp as needed.
+    fn predict(&self, features: &Matrix) -> (Matrix, Matrix);
+}
+
+/// Task-Agnostic Matching: "ignores task variations in execution time and
+/// reliability, using average cluster performance across tasks".
+#[derive(Debug, Clone)]
+pub struct TamPredictor {
+    /// Mean measured execution time per cluster.
+    pub mean_times: Vec<f64>,
+    /// Mean measured reliability per cluster.
+    pub mean_reliability: Vec<f64>,
+}
+
+impl TamPredictor {
+    /// Computes per-cluster averages over the training measurements.
+    pub fn fit(train: &PlatformDataset) -> Self {
+        let m = train.clusters();
+        let n = train.len().max(1) as f64;
+        let mean_times = (0..m)
+            .map(|i| train.times.row(i).iter().sum::<f64>() / n)
+            .collect();
+        let mean_reliability = (0..m)
+            .map(|i| train.reliability.row(i).iter().sum::<f64>() / n)
+            .collect();
+        TamPredictor {
+            mean_times,
+            mean_reliability,
+        }
+    }
+}
+
+impl PerformancePredictor for TamPredictor {
+    fn name(&self) -> String {
+        "TAM".into()
+    }
+
+    fn predict(&self, features: &Matrix) -> (Matrix, Matrix) {
+        let n = features.rows();
+        let m = self.mean_times.len();
+        let t = Matrix::from_fn(m, n, |i, _| self.mean_times[i].max(1e-6));
+        let a = Matrix::from_fn(m, n, |i, _| self.mean_reliability[i].clamp(0.0, 1.0));
+        (t, a)
+    }
+}
+
+/// Two-Stage Method: per-cluster MLPs trained by MSE, then matching on
+/// the point predictions (the conventional predict-then-optimize
+/// pipeline, e.g. Yang et al. 2022).
+///
+/// The networks learn execution times in units of `time_scale` (the mean
+/// measured time of the training set) so their targets are O(1); the
+/// prediction matrices are rescaled back to hours.
+#[derive(Debug, Clone)]
+pub struct TsmPredictor {
+    /// One predictor pair per cluster.
+    pub predictors: Vec<ClusterPredictor>,
+    /// Unit of the time head's output (hours per predicted unit).
+    pub time_scale: f64,
+}
+
+impl TsmPredictor {
+    /// Builds the prediction matrices for a feature batch (times in
+    /// hours).
+    pub fn matrices(&self, features: &Matrix) -> (Matrix, Matrix) {
+        let m = self.predictors.len();
+        let n = features.rows();
+        let mut t = Matrix::zeros(m, n);
+        let mut a = Matrix::zeros(m, n);
+        for (i, p) in self.predictors.iter().enumerate() {
+            let ti = p.predict_times(features);
+            let ai = p.predict_reliability(features);
+            for j in 0..n {
+                t[(i, j)] = (ti[j] * self.time_scale).max(1e-6);
+                a[(i, j)] = ai[j].clamp(0.0, 1.0);
+            }
+        }
+        (t, a)
+    }
+}
+
+impl TsmPredictor {
+    /// Serializes the full method (scale + every cluster's networks).
+    pub fn to_document(&self) -> String {
+        let mut out = format!(
+            "mfcp-tsm v1\ntime_scale {:e}\nclusters {}\n",
+            self.time_scale,
+            self.predictors.len()
+        );
+        for p in &self.predictors {
+            out.push_str("==cluster==\n");
+            out.push_str(&p.to_document());
+        }
+        out
+    }
+
+    /// Parses a document produced by [`TsmPredictor::to_document`].
+    pub fn from_document(text: &str) -> Result<Self, mfcp_nn::persist::ModelFormatError> {
+        let err = |m: &str| mfcp_nn::persist::ModelFormatError {
+            message: m.to_string(),
+        };
+        let rest = text
+            .strip_prefix("mfcp-tsm v1\n")
+            .ok_or_else(|| err("bad tsm header"))?;
+        let (scale_line, rest) = rest.split_once('\n').ok_or_else(|| err("truncated"))?;
+        let time_scale: f64 = scale_line
+            .strip_prefix("time_scale ")
+            .ok_or_else(|| err("missing time_scale"))?
+            .parse()
+            .map_err(|_| err("bad time_scale"))?;
+        let (count_line, rest) = rest.split_once('\n').ok_or_else(|| err("truncated"))?;
+        let count: usize = count_line
+            .strip_prefix("clusters ")
+            .ok_or_else(|| err("missing cluster count"))?
+            .parse()
+            .map_err(|_| err("bad cluster count"))?;
+        let sections: Vec<&str> = rest
+            .split("==cluster==\n")
+            .filter(|s| !s.trim().is_empty())
+            .collect();
+        if sections.len() != count {
+            return Err(err("cluster count mismatch"));
+        }
+        let predictors = sections
+            .into_iter()
+            .map(ClusterPredictor::from_document)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(TsmPredictor {
+            predictors,
+            time_scale,
+        })
+    }
+}
+
+impl PerformancePredictor for TsmPredictor {
+    fn name(&self) -> String {
+        "TSM".into()
+    }
+
+    fn predict(&self, features: &Matrix) -> (Matrix, Matrix) {
+        self.matrices(features)
+    }
+}
+
+/// Upper-Confidence-Bound matching (Zhou et al. 2020 flavour): the TSM
+/// predictors plus per-cluster residual scales; matching uses the robust
+/// (pessimistic) corner of the confidence box — inflated times, deflated
+/// reliabilities — so prediction errors cannot make a bad cluster look
+/// good.
+#[derive(Debug, Clone)]
+pub struct UcbPredictor {
+    /// Underlying point predictors.
+    pub inner: TsmPredictor,
+    /// Per-cluster residual std of the time predictor.
+    pub time_std: Vec<f64>,
+    /// Per-cluster residual std of the reliability predictor.
+    pub rel_std: Vec<f64>,
+    /// Confidence width multiplier `κ`.
+    pub kappa: f64,
+}
+
+impl UcbPredictor {
+    /// Wraps trained TSM predictors with residual statistics measured on
+    /// `train`.
+    pub fn from_tsm(inner: TsmPredictor, train: &PlatformDataset, kappa: f64) -> Self {
+        let (t_hat, a_hat) = inner.matrices(&train.features);
+        // Predictions come out as M x N with N = train.len(); residuals
+        // against the measured matrices.
+        let m = train.clusters();
+        let n = train.len().max(1) as f64;
+        let mut time_std = vec![0.0; m];
+        let mut rel_std = vec![0.0; m];
+        for i in 0..m {
+            let mut st = 0.0;
+            let mut sa = 0.0;
+            for j in 0..train.len() {
+                let dt = t_hat[(i, j)] - train.times[(i, j)];
+                let da = a_hat[(i, j)] - train.reliability[(i, j)];
+                st += dt * dt;
+                sa += da * da;
+            }
+            time_std[i] = (st / n).sqrt();
+            rel_std[i] = (sa / n).sqrt();
+        }
+        UcbPredictor {
+            inner,
+            time_std,
+            rel_std,
+            kappa,
+        }
+    }
+}
+
+impl PerformancePredictor for UcbPredictor {
+    fn name(&self) -> String {
+        "UCB".into()
+    }
+
+    fn predict(&self, features: &Matrix) -> (Matrix, Matrix) {
+        let (mut t, mut a) = self.inner.matrices(features);
+        for i in 0..t.rows() {
+            for j in 0..t.cols() {
+                t[(i, j)] = (t[(i, j)] + self.kappa * self.time_std[i]).max(1e-6);
+                a[(i, j)] = (a[(i, j)] - self.kappa * self.rel_std[i]).clamp(0.0, 1.0);
+            }
+        }
+        (t, a)
+    }
+}
+
+/// Ensemble UCB: an extension of the paper's UCB baseline with
+/// *heteroscedastic, per-task* uncertainty. `E` independently initialized
+/// TSM fits form a deep ensemble; the matching uses the pessimistic
+/// corner of the per-entry ensemble spread (mean + κ·std time,
+/// mean − κ·std reliability). Unlike the per-cluster constant widths of
+/// [`UcbPredictor`], the widths here grow exactly where the predictors
+/// disagree — unfamiliar tasks — rather than shifting whole clusters.
+#[derive(Debug, Clone)]
+pub struct EnsembleUcbPredictor {
+    /// Independently trained members.
+    pub members: Vec<TsmPredictor>,
+    /// Confidence width multiplier `κ`.
+    pub kappa: f64,
+}
+
+impl EnsembleUcbPredictor {
+    /// Wraps independently trained TSM fits.
+    ///
+    /// # Panics
+    /// Panics on an empty ensemble.
+    pub fn new(members: Vec<TsmPredictor>, kappa: f64) -> Self {
+        assert!(!members.is_empty(), "ensemble needs at least one member");
+        EnsembleUcbPredictor { members, kappa }
+    }
+
+    /// Per-entry ensemble mean and standard deviation of `(T̂, Â)`.
+    pub fn statistics(&self, features: &Matrix) -> (Matrix, Matrix, Matrix, Matrix) {
+        let preds: Vec<(Matrix, Matrix)> =
+            self.members.iter().map(|m| m.matrices(features)).collect();
+        let (m, n) = preds[0].0.shape();
+        let e = preds.len() as f64;
+        let mut t_mean = Matrix::zeros(m, n);
+        let mut a_mean = Matrix::zeros(m, n);
+        for (t, a) in &preds {
+            t_mean += t;
+            a_mean += a;
+        }
+        t_mean = t_mean.scale(1.0 / e);
+        a_mean = a_mean.scale(1.0 / e);
+        let mut t_var = Matrix::zeros(m, n);
+        let mut a_var = Matrix::zeros(m, n);
+        for (t, a) in &preds {
+            for i in 0..m {
+                for j in 0..n {
+                    t_var[(i, j)] += (t[(i, j)] - t_mean[(i, j)]).powi(2) / e;
+                    a_var[(i, j)] += (a[(i, j)] - a_mean[(i, j)]).powi(2) / e;
+                }
+            }
+        }
+        (t_mean, a_mean, t_var.map(f64::sqrt), a_var.map(f64::sqrt))
+    }
+}
+
+impl PerformancePredictor for EnsembleUcbPredictor {
+    fn name(&self) -> String {
+        "UCB-E".into()
+    }
+
+    fn predict(&self, features: &Matrix) -> (Matrix, Matrix) {
+        let (t_mean, a_mean, t_std, a_std) = self.statistics(features);
+        let (m, n) = t_mean.shape();
+        let mut t = Matrix::zeros(m, n);
+        let mut a = Matrix::zeros(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                t[(i, j)] = (t_mean[(i, j)] + self.kappa * t_std[(i, j)]).max(1e-6);
+                a[(i, j)] = (a_mean[(i, j)] - self.kappa * a_std[(i, j)]).clamp(0.0, 1.0);
+            }
+        }
+        (t, a)
+    }
+}
+
+/// An MFCP predictor: structurally identical to TSM (per-cluster MLPs)
+/// but trained end-to-end against the matching regret — see
+/// [`crate::train::train_mfcp`]. The `variant` records the gradient path
+/// used ("MFCP-AD" or "MFCP-FG").
+#[derive(Debug, Clone)]
+pub struct MfcpPredictor {
+    /// One predictor pair per cluster.
+    pub predictors: Vec<ClusterPredictor>,
+    /// Unit of the time head's output (hours per predicted unit).
+    pub time_scale: f64,
+    /// "MFCP-AD" or "MFCP-FG".
+    pub variant: String,
+}
+
+impl MfcpPredictor {
+    fn matrices(&self, features: &Matrix) -> (Matrix, Matrix) {
+        TsmPredictor {
+            predictors: self.predictors.clone(),
+            time_scale: self.time_scale,
+        }
+        .matrices(features)
+    }
+}
+
+impl MfcpPredictor {
+    /// Serializes the trained predictor (variant + scale + networks).
+    pub fn to_document(&self) -> String {
+        format!(
+            "mfcp-dfl v1\nvariant {}\n{}",
+            self.variant,
+            TsmPredictor {
+                predictors: self.predictors.clone(),
+                time_scale: self.time_scale,
+            }
+            .to_document()
+        )
+    }
+
+    /// Parses a document produced by [`MfcpPredictor::to_document`].
+    pub fn from_document(text: &str) -> Result<Self, mfcp_nn::persist::ModelFormatError> {
+        let err = |m: &str| mfcp_nn::persist::ModelFormatError {
+            message: m.to_string(),
+        };
+        let rest = text
+            .strip_prefix("mfcp-dfl v1\n")
+            .ok_or_else(|| err("bad dfl header"))?;
+        let (variant_line, rest) = rest.split_once('\n').ok_or_else(|| err("truncated"))?;
+        let variant = variant_line
+            .strip_prefix("variant ")
+            .ok_or_else(|| err("missing variant"))?
+            .to_string();
+        let inner = TsmPredictor::from_document(rest)?;
+        Ok(MfcpPredictor {
+            predictors: inner.predictors,
+            time_scale: inner.time_scale,
+            variant,
+        })
+    }
+}
+
+impl PerformancePredictor for MfcpPredictor {
+    fn name(&self) -> String {
+        self.variant.clone()
+    }
+
+    fn predict(&self, features: &Matrix) -> (Matrix, Matrix) {
+        self.matrices(features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfcp_platform::cluster::PerfModel;
+    use mfcp_platform::dataset::NoiseConfig;
+    use mfcp_platform::embedding::FeatureEmbedder;
+    use mfcp_platform::settings::{ClusterPool, Setting};
+    use mfcp_platform::task::TaskGenerator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dataset(n: usize, seed: u64) -> (PlatformDataset, PerfModel) {
+        let model = ClusterPool::standard().setting(Setting::A);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ds = PlatformDataset::generate(
+            &model,
+            &FeatureEmbedder::default_platform(),
+            &TaskGenerator::default(),
+            n,
+            &NoiseConfig::default(),
+            &mut rng,
+        );
+        (ds, model)
+    }
+
+    #[test]
+    fn tam_predicts_constants_per_cluster() {
+        let (ds, _) = dataset(30, 1);
+        let tam = TamPredictor::fit(&ds);
+        let (t, a) = tam.predict(&ds.features);
+        assert_eq!(t.shape(), (3, 30));
+        for i in 0..3 {
+            for j in 1..30 {
+                assert_eq!(t[(i, j)], t[(i, 0)], "TAM times are task-agnostic");
+                assert_eq!(a[(i, j)], a[(i, 0)]);
+            }
+        }
+        // TAM's mean matches the data mean.
+        let expected = ds.times.row(0).iter().sum::<f64>() / 30.0;
+        assert!((t[(0, 0)] - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ucb_is_pessimistic_relative_to_tsm() {
+        let (ds, _) = dataset(25, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let predictors = (0..3)
+            .map(|_| ClusterPredictor::new(ds.features.cols(), &[8], &mut rng))
+            .collect();
+        let tsm = TsmPredictor {
+            predictors,
+            time_scale: 1.0,
+        };
+        let ucb = UcbPredictor::from_tsm(tsm.clone(), &ds, 1.0);
+        // Untrained predictors still produce nonzero residual stds.
+        assert!(ucb.time_std.iter().all(|&s| s > 0.0));
+        let (t_tsm, a_tsm) = tsm.predict(&ds.features);
+        let (t_ucb, a_ucb) = ucb.predict(&ds.features);
+        for i in 0..3 {
+            for j in 0..25 {
+                assert!(t_ucb[(i, j)] >= t_tsm[(i, j)]);
+                assert!(a_ucb[(i, j)] <= a_tsm[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn ucb_kappa_zero_equals_tsm() {
+        let (ds, _) = dataset(10, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let predictors = (0..3)
+            .map(|_| ClusterPredictor::new(ds.features.cols(), &[8], &mut rng))
+            .collect();
+        let tsm = TsmPredictor {
+            predictors,
+            time_scale: 1.0,
+        };
+        let ucb = UcbPredictor::from_tsm(tsm.clone(), &ds, 0.0);
+        let (t_tsm, a_tsm) = tsm.predict(&ds.features);
+        let (t_ucb, a_ucb) = ucb.predict(&ds.features);
+        assert!(t_ucb.approx_eq(&t_tsm, 1e-12));
+        assert!(a_ucb.approx_eq(&a_tsm, 1e-12));
+    }
+
+    #[test]
+    fn ensemble_ucb_is_pessimistic_and_width_reflects_disagreement() {
+        let (ds, _) = dataset(20, 21);
+        let mut rng = StdRng::seed_from_u64(22);
+        let members: Vec<TsmPredictor> = (0..4)
+            .map(|_| TsmPredictor {
+                predictors: (0..3)
+                    .map(|_| ClusterPredictor::new(ds.features.cols(), &[6], &mut rng))
+                    .collect(),
+                time_scale: 1.0,
+            })
+            .collect();
+        let ens = EnsembleUcbPredictor::new(members, 1.0);
+        let (t_mean, a_mean, t_std, a_std) = ens.statistics(&ds.features);
+        // Untrained members disagree, so widths are strictly positive.
+        assert!(t_std.max_abs() > 0.0);
+        assert!(a_std.max_abs() > 0.0);
+        let (t, a) = ens.predict(&ds.features);
+        for i in 0..3 {
+            for j in 0..ds.len() {
+                assert!(t[(i, j)] >= t_mean[(i, j)] - 1e-12);
+                assert!(a[(i, j)] <= a_mean[(i, j)] + 1e-12);
+                assert!((0.0..=1.0).contains(&a[(i, j)]));
+            }
+        }
+        // κ = 0 collapses to the ensemble mean.
+        let ens0 = EnsembleUcbPredictor::new(ens.members.clone(), 0.0);
+        let (t0, _) = ens0.predict(&ds.features);
+        assert!(t0.approx_eq(&t_mean.map(|v| v.max(1e-6)), 1e-12));
+    }
+
+    #[test]
+    fn single_member_ensemble_equals_member() {
+        let (ds, _) = dataset(8, 23);
+        let mut rng = StdRng::seed_from_u64(24);
+        let member = TsmPredictor {
+            predictors: (0..3)
+                .map(|_| ClusterPredictor::new(ds.features.cols(), &[6], &mut rng))
+                .collect(),
+            time_scale: 1.0,
+        };
+        let ens = EnsembleUcbPredictor::new(vec![member.clone()], 3.0);
+        let (t_e, a_e) = ens.predict(&ds.features);
+        let (t_m, a_m) = member.predict(&ds.features);
+        // Zero spread: κ has no effect.
+        assert!(t_e.approx_eq(&t_m, 1e-12));
+        assert!(a_e.approx_eq(&a_m, 1e-12));
+    }
+
+    #[test]
+    fn tsm_and_mfcp_documents_round_trip() {
+        let (ds, _) = dataset(10, 9);
+        let mut rng = StdRng::seed_from_u64(10);
+        let predictors: Vec<ClusterPredictor> = (0..3)
+            .map(|_| ClusterPredictor::new(ds.features.cols(), &[6], &mut rng))
+            .collect();
+        let tsm = TsmPredictor {
+            predictors: predictors.clone(),
+            time_scale: 2.5,
+        };
+        let back = TsmPredictor::from_document(&tsm.to_document()).unwrap();
+        assert_eq!(back.time_scale, 2.5);
+        let (t1, a1) = tsm.predict(&ds.features);
+        let (t2, a2) = back.predict(&ds.features);
+        assert!(t1.approx_eq(&t2, 0.0));
+        assert!(a1.approx_eq(&a2, 0.0));
+
+        let mfcp = MfcpPredictor {
+            predictors,
+            time_scale: 2.5,
+            variant: "MFCP-AD".into(),
+        };
+        let back = MfcpPredictor::from_document(&mfcp.to_document()).unwrap();
+        assert_eq!(back.variant, "MFCP-AD");
+        let (t3, _) = back.predict(&ds.features);
+        assert!(t1.approx_eq(&t3, 0.0));
+    }
+
+    #[test]
+    fn document_corruption_detected() {
+        let (ds, _) = dataset(5, 11);
+        let mut rng = StdRng::seed_from_u64(12);
+        let p = ClusterPredictor::new(ds.features.cols(), &[4], &mut rng);
+        let doc = p.to_document();
+        assert!(ClusterPredictor::from_document(&doc).is_ok());
+        assert!(ClusterPredictor::from_document("garbage").is_err());
+        assert!(ClusterPredictor::from_document(
+            &doc.replace("--reliability--", "--oops--")
+        )
+        .is_err());
+        assert!(TsmPredictor::from_document(&doc).is_err());
+    }
+
+    #[test]
+    fn all_methods_respect_output_ranges() {
+        let (ds, _) = dataset(15, 6);
+        let mut rng = StdRng::seed_from_u64(7);
+        let predictors: Vec<ClusterPredictor> = (0..3)
+            .map(|_| ClusterPredictor::new(ds.features.cols(), &[8], &mut rng))
+            .collect();
+        let methods: Vec<Box<dyn PerformancePredictor>> = vec![
+            Box::new(TamPredictor::fit(&ds)),
+            Box::new(TsmPredictor {
+                predictors: predictors.clone(),
+                time_scale: 1.0,
+            }),
+            Box::new(UcbPredictor::from_tsm(
+                TsmPredictor {
+                    predictors: predictors.clone(),
+                    time_scale: 1.0,
+                },
+                &ds,
+                1.0,
+            )),
+            Box::new(MfcpPredictor {
+                predictors,
+                time_scale: 1.0,
+                variant: "MFCP-AD".into(),
+            }),
+        ];
+        for method in &methods {
+            let (t, a) = method.predict(&ds.features);
+            assert_eq!(t.shape(), (3, 15), "{}", method.name());
+            assert!(t.as_slice().iter().all(|&v| v > 0.0), "{}", method.name());
+            assert!(
+                a.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)),
+                "{}",
+                method.name()
+            );
+        }
+    }
+}

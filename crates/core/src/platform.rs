@@ -1,0 +1,264 @@
+//! The deployed exchange platform: a continuously operating orchestrator
+//! that matches incoming rounds with its current predictors, accumulates
+//! fresh measurements in a bounded replay buffer, and periodically
+//! retrains with the decision-focused loop.
+//!
+//! This is the operational loop the paper's Fig. 1 sketches: "the
+//! platform builds cluster-specific predictors", matches user rounds, and
+//! keeps learning as new clusters/tasks are profiled.
+
+use crate::methods::{MfcpPredictor, PerformancePredictor};
+use crate::train::{train_mfcp, MfcpTrainConfig};
+use mfcp_linalg::Matrix;
+use mfcp_optim::rounding::solve_discrete;
+use mfcp_optim::{Assignment, MatchingProblem, SpeedupCurve};
+use mfcp_platform::dataset::PlatformDataset;
+use mfcp_platform::embedding::FeatureEmbedder;
+use mfcp_platform::task::TaskSpec;
+
+/// Configuration of a deployed [`ExchangePlatform`].
+#[derive(Debug, Clone)]
+pub struct PlatformConfig {
+    /// Reliability threshold `γ` enforced at matching time.
+    pub gamma: f64,
+    /// Per-cluster speedup curves (empty → sequential execution).
+    pub speedup: Vec<SpeedupCurve>,
+    /// Training configuration (warm start + decision-focused phase).
+    pub train: MfcpTrainConfig,
+    /// Retrain after this many newly recorded measurements (0 = never
+    /// retrain automatically).
+    pub retrain_after: usize,
+    /// Replay-buffer capacity in tasks (oldest measurements evicted).
+    pub history_capacity: usize,
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        PlatformConfig {
+            gamma: 0.82,
+            speedup: Vec::new(),
+            train: MfcpTrainConfig::default(),
+            retrain_after: 50,
+            history_capacity: 400,
+        }
+    }
+}
+
+/// A running exchange platform instance.
+pub struct ExchangePlatform {
+    embedder: FeatureEmbedder,
+    config: PlatformConfig,
+    history: PlatformDataset,
+    predictor: MfcpPredictor,
+    fresh_since_training: usize,
+    retrain_count: usize,
+    seed: u64,
+}
+
+impl ExchangePlatform {
+    /// Boots the platform from an initial profiled dataset: trains the
+    /// predictors end-to-end before serving the first round.
+    pub fn bootstrap(
+        embedder: FeatureEmbedder,
+        initial: PlatformDataset,
+        mut config: PlatformConfig,
+        seed: u64,
+    ) -> Self {
+        config.train.gamma = config.gamma;
+        config.train.speedup = config.speedup.clone();
+        let (predictor, _) = train_mfcp(&initial, &config.train, seed);
+        ExchangePlatform {
+            embedder,
+            config,
+            history: initial,
+            predictor,
+            fresh_since_training: 0,
+            retrain_count: 0,
+            seed,
+        }
+    }
+
+    /// Number of clusters the platform manages.
+    pub fn clusters(&self) -> usize {
+        self.history.clusters()
+    }
+
+    /// Tasks currently in the replay buffer.
+    pub fn history_len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// How many times the platform has retrained since bootstrap.
+    pub fn retrain_count(&self) -> usize {
+        self.retrain_count
+    }
+
+    /// The current predictor (e.g. for persistence via
+    /// [`MfcpPredictor::to_document`]).
+    pub fn predictor(&self) -> &MfcpPredictor {
+        &self.predictor
+    }
+
+    /// Matches a round of incoming tasks using the current predictors:
+    /// embed → predict `(T̂, Â)` → relax → round → repair → local search.
+    pub fn match_tasks(&self, tasks: &[TaskSpec]) -> Assignment {
+        let features = self.embedder.embed_batch(tasks);
+        self.match_features(&features)
+    }
+
+    /// Matches a round given pre-embedded features (`N x d`).
+    pub fn match_features(&self, features: &Matrix) -> Assignment {
+        let (t_hat, a_hat) = self.predictor.predict(features);
+        let scale = t_hat.mean().max(1e-9);
+        let speedup = if self.config.speedup.is_empty() {
+            vec![SpeedupCurve::None; t_hat.rows()]
+        } else {
+            self.config.speedup.clone()
+        };
+        let problem = MatchingProblem::with_speedup(
+            t_hat.scale(1.0 / scale),
+            a_hat,
+            self.config.gamma,
+            speedup,
+        );
+        solve_discrete(&problem, &self.config.train.relaxation, &self.config.train.solver)
+    }
+
+    /// Records freshly profiled measurements (tasks run on *every*
+    /// cluster, as the paper's ground-truth collection does), bounding the
+    /// buffer and retraining when due. Returns whether a retrain ran.
+    pub fn record_measurements(&mut self, measurements: &PlatformDataset) -> bool {
+        self.history = self
+            .history
+            .concat(measurements)
+            .truncate_front(self.config.history_capacity);
+        self.fresh_since_training += measurements.len();
+        if self.config.retrain_after > 0 && self.fresh_since_training >= self.config.retrain_after
+        {
+            self.retrain();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Forces an immediate retrain on the current buffer.
+    pub fn retrain(&mut self) {
+        self.retrain_count += 1;
+        let seed = self.seed.wrapping_add(self.retrain_count as u64);
+        let (predictor, _) = train_mfcp(&self.history, &self.config.train, seed);
+        self.predictor = predictor;
+        self.fresh_since_training = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::TsmTrainConfig;
+    use mfcp_platform::dataset::NoiseConfig;
+    use mfcp_platform::settings::{ClusterPool, Setting};
+    use mfcp_platform::task::TaskGenerator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn quick_config() -> PlatformConfig {
+        PlatformConfig {
+            gamma: 0.80,
+            train: MfcpTrainConfig {
+                warm_start: TsmTrainConfig {
+                    hidden: vec![8],
+                    epochs: 40,
+                    ..Default::default()
+                },
+                rounds: 6,
+                validate_every: 3,
+                ..Default::default()
+            },
+            retrain_after: 20,
+            history_capacity: 60,
+            ..Default::default()
+        }
+    }
+
+    fn profiled(n: usize, seed: u64) -> PlatformDataset {
+        let model = ClusterPool::standard().setting(Setting::A);
+        let mut rng = StdRng::seed_from_u64(seed);
+        PlatformDataset::generate(
+            &model,
+            &FeatureEmbedder::bottlenecked_platform(),
+            &TaskGenerator::default(),
+            n,
+            &NoiseConfig::default(),
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn bootstrap_and_match() {
+        let platform = ExchangePlatform::bootstrap(
+            FeatureEmbedder::bottlenecked_platform(),
+            profiled(40, 1),
+            quick_config(),
+            7,
+        );
+        assert_eq!(platform.clusters(), 3);
+        let mut rng = StdRng::seed_from_u64(2);
+        let tasks = TaskGenerator::default().sample_many(6, &mut rng);
+        let assignment = platform.match_tasks(&tasks);
+        assert_eq!(assignment.tasks(), 6);
+        assert!(assignment.cluster_of.iter().all(|&c| c < 3));
+    }
+
+    #[test]
+    fn retrains_after_enough_measurements() {
+        let mut platform = ExchangePlatform::bootstrap(
+            FeatureEmbedder::bottlenecked_platform(),
+            profiled(40, 3),
+            quick_config(),
+            7,
+        );
+        assert_eq!(platform.retrain_count(), 0);
+        // 12 fresh tasks: below the threshold of 20 — no retrain.
+        assert!(!platform.record_measurements(&profiled(12, 4)));
+        assert_eq!(platform.retrain_count(), 0);
+        // 12 more: crosses the threshold.
+        assert!(platform.record_measurements(&profiled(12, 5)));
+        assert_eq!(platform.retrain_count(), 1);
+        // Counter resets.
+        assert!(!platform.record_measurements(&profiled(5, 6)));
+    }
+
+    #[test]
+    fn history_capacity_enforced() {
+        let mut platform = ExchangePlatform::bootstrap(
+            FeatureEmbedder::bottlenecked_platform(),
+            profiled(40, 8),
+            PlatformConfig {
+                retrain_after: 0, // manual retraining only
+                history_capacity: 50,
+                ..quick_config()
+            },
+            7,
+        );
+        platform.record_measurements(&profiled(30, 9));
+        assert_eq!(platform.history_len(), 50, "buffer must stay bounded");
+        assert_eq!(platform.retrain_count(), 0, "retrain_after=0 disables auto retrain");
+    }
+
+    #[test]
+    fn matching_changes_after_retraining_on_shifted_data() {
+        // Deterministic matcher before/after retraining on new data: the
+        // predictor must actually be replaced.
+        let mut platform = ExchangePlatform::bootstrap(
+            FeatureEmbedder::bottlenecked_platform(),
+            profiled(40, 10),
+            quick_config(),
+            7,
+        );
+        let before = platform.predictor().to_document();
+        platform.record_measurements(&profiled(25, 11));
+        let after = platform.predictor().to_document();
+        assert_ne!(before, after, "retraining must update the predictor");
+    }
+}

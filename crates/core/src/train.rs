@@ -1,0 +1,868 @@
+//! Training pipelines: TSM's supervised baseline and MFCP's end-to-end
+//! decision-focused loop (paper Fig. 3 / Algorithm 2).
+
+use crate::methods::{EnsembleUcbPredictor, MfcpPredictor, TsmPredictor, UcbPredictor};
+use crate::predictor::ClusterPredictor;
+use mfcp_autodiff::Graph;
+use mfcp_linalg::Matrix;
+use mfcp_nn::{Adam, Loss, Optimizer};
+use mfcp_optim::objective;
+use mfcp_optim::solver::{solve_relaxed, SolverOptions};
+use mfcp_optim::zeroth::{estimate_gradient, ZerothOrderOptions};
+use mfcp_optim::{kkt, MatchingProblem, RelaxationParams, SpeedupCurve};
+use mfcp_parallel::{par_map, ParallelConfig};
+use mfcp_platform::dataset::PlatformDataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the supervised (MSE) predictor training used by TSM,
+/// UCB, and MFCP's warm start.
+#[derive(Debug, Clone)]
+pub struct TsmTrainConfig {
+    /// Hidden layer widths of both predictor networks.
+    pub hidden: Vec<usize>,
+    /// Training epochs (full passes over the training tasks).
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Regression loss for the (log-)time head. Reliability always uses
+    /// MSE (its targets are bounded frequencies).
+    pub time_loss: Loss,
+    /// Thread configuration: clusters train concurrently.
+    pub parallel: ParallelConfig,
+}
+
+impl Default for TsmTrainConfig {
+    fn default() -> Self {
+        TsmTrainConfig {
+            hidden: vec![32, 32],
+            epochs: 300,
+            lr: 0.01,
+            batch_size: 32,
+            time_loss: Loss::Mse,
+            parallel: ParallelConfig::default(),
+        }
+    }
+}
+
+/// How MFCP obtains `dX*/dt̂` and `dX*/dâ`.
+#[derive(Debug, Clone)]
+pub enum GradientMode {
+    /// Implicit KKT differentiation (MFCP-AD; convex case only).
+    Analytic,
+    /// Zeroth-order forward gradients (MFCP-FG; any case).
+    ForwardGradient(ZerothOrderOptions),
+}
+
+/// Configuration for the end-to-end MFCP training loop.
+#[derive(Debug, Clone)]
+pub struct MfcpTrainConfig {
+    /// Warm-start supervised phase (set `epochs: 0` to disable).
+    pub warm_start: TsmTrainConfig,
+    /// Number of decision-focused training rounds.
+    pub rounds: usize,
+    /// Tasks per sampled round (`N`).
+    pub round_size: usize,
+    /// Adam learning rate for the decision-focused phase.
+    pub lr: f64,
+    /// Reliability threshold `γ`.
+    pub gamma: f64,
+    /// Per-cluster speedup curves (empty → sequential execution).
+    pub speedup: Vec<SpeedupCurve>,
+    /// Relaxation hyper-parameters (β, λ, ρ, barrier, cost).
+    pub relaxation: RelaxationParams,
+    /// Algorithm 1 solver options.
+    pub solver: SolverOptions,
+    /// Gradient path: analytic (AD) or forward-gradient (FG).
+    pub mode: GradientMode,
+    /// Alternate ω/φ updates between rounds (paper §3.3: "we fix ω when
+    /// optimizing φ, and fix φ when optimizing ω").
+    pub alternating: bool,
+    /// L2 cap on each injected decision gradient (per cluster per round).
+    /// Near-vertex matchings produce occasional spiky implicit gradients;
+    /// clipping keeps Adam from amplifying them into destructive steps.
+    pub grad_clip: f64,
+    /// Number of fixed validation rounds used for best-snapshot
+    /// selection (0 disables validation and returns the final iterate).
+    pub validation_rounds: usize,
+    /// Validate (and possibly snapshot) every this many training rounds.
+    pub validate_every: usize,
+    /// Fraction of training tasks held out for validation. With
+    /// capacity-limited predictors (which barely memorize), `0.0`
+    /// validates on rounds drawn from the training tasks themselves and
+    /// lets the warm start see all data; a positive fraction buys an
+    /// unbiased validation signal at the cost of warm-start data.
+    pub validation_split: f64,
+    /// Weight of the MSE anchor blended into every decision update. The
+    /// regret gradient only constrains predictions *at decision
+    /// boundaries*; off those boundaries the networks are free to drift
+    /// arbitrarily far from the measurements, which destroys
+    /// generalization. A small pull toward the measured targets keeps the
+    /// decision-focused phase on the data manifold (the standard
+    /// regret + α·MSE composite loss of the DFL literature).
+    pub mse_anchor: f64,
+}
+
+impl Default for MfcpTrainConfig {
+    fn default() -> Self {
+        MfcpTrainConfig {
+            warm_start: TsmTrainConfig::default(),
+            rounds: 160,
+            round_size: 5,
+            lr: 1e-3,
+            gamma: 0.85,
+            speedup: Vec::new(),
+            relaxation: RelaxationParams::default(),
+            solver: SolverOptions::default(),
+            mode: GradientMode::Analytic,
+            alternating: true,
+            grad_clip: 2.0,
+            validation_rounds: 12,
+            validate_every: 10,
+            validation_split: 0.0,
+            mse_anchor: 0.3,
+        }
+    }
+}
+
+/// Rescales `v` in place so its L2 norm is at most `cap`; returns the
+/// resulting norm. Vectors with negligible norm are zeroed (a dead zone:
+/// plateau gradients carry no signal worth an optimizer step).
+fn clip_l2(v: &mut [f64], cap: f64) -> f64 {
+    let norm = mfcp_linalg::vector::norm2(v);
+    if norm < 1e-12 {
+        for x in v.iter_mut() {
+            *x = 0.0;
+        }
+        return 0.0;
+    }
+    if norm > cap {
+        let s = cap / norm;
+        for x in v.iter_mut() {
+            *x *= s;
+        }
+        return cap;
+    }
+    norm
+}
+
+/// Per-cluster decision gradients plus the (round-scaled) predictions
+/// they were computed at: `(∂L/∂t̂, ∂L/∂â, t̂, â)`.
+type ClusterGradients = (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>);
+
+/// Diagnostics from an MFCP training run.
+#[derive(Debug, Clone, Default)]
+pub struct TrainReport {
+    /// Relaxed regret loss (Eq. 12's upper level) per round.
+    pub loss_history: Vec<f64>,
+    /// Validation (discrete regret) at each validation checkpoint.
+    pub validation_history: Vec<f64>,
+    /// The round whose snapshot was ultimately returned.
+    pub best_round: usize,
+}
+
+/// Discrete-regret validation: match each validation round with the
+/// current predictors and compare makespans against the exact optimum on
+/// the *measured* matrices.
+fn validation_regret(
+    predictors: &[ClusterPredictor],
+    train: &PlatformDataset,
+    times_scaled: &Matrix,
+    val_rounds: &[Vec<usize>],
+    cfg: &MfcpTrainConfig,
+    speedup: &[SpeedupCurve],
+) -> f64 {
+    use mfcp_optim::exact::{solve_exact, ExactOptions};
+    use mfcp_optim::rounding::solve_discrete;
+    let m = train.clusters();
+    let mut total = 0.0;
+    for idx in val_rounds {
+        let n = idx.len();
+        let features = Matrix::from_fn(n, train.features.cols(), |r, c| {
+            train.features[(idx[r], c)]
+        });
+        let t_meas = Matrix::from_fn(m, n, |i, j| times_scaled[(i, idx[j])]);
+        let a_meas = Matrix::from_fn(m, n, |i, j| train.reliability[(i, idx[j])]);
+        let problem_true = MatchingProblem::with_speedup(
+            t_meas,
+            a_meas,
+            cfg.gamma,
+            speedup.to_vec(),
+        );
+        let (t_hat, a_hat) = predicted_matrices(predictors, &features);
+        let scale = t_hat.mean().max(1e-9);
+        let problem_pred = MatchingProblem::with_speedup(
+            t_hat.scale(1.0 / scale),
+            a_hat,
+            cfg.gamma,
+            speedup.to_vec(),
+        );
+        let assignment = solve_discrete(&problem_pred, &cfg.relaxation, &cfg.solver);
+        let optimal = solve_exact(&problem_true, &ExactOptions::default());
+        total += (assignment.makespan(&problem_true)
+            - optimal.assignment.makespan(&problem_true))
+        .max(0.0);
+    }
+    total / val_rounds.len().max(1) as f64
+}
+
+/// Trains one cluster's predictor pair by MSE. Time targets are given in
+/// *scaled* units and regressed in log space (the time head predicts
+/// `log t`).
+fn train_cluster_supervised(
+    features: &Matrix,
+    times_scaled: &Matrix,
+    reliability: &Matrix,
+    cfg: &TsmTrainConfig,
+    seed: u64,
+) -> ClusterPredictor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut predictor = ClusterPredictor::new(features.cols(), &cfg.hidden, &mut rng);
+    let mut opt_t = Adam::new(cfg.lr);
+    let mut opt_a = Adam::new(cfg.lr);
+    let n = features.rows();
+    let mut order: Vec<usize> = (0..n).collect();
+    for _ in 0..cfg.epochs {
+        mfcp_nn::data::shuffle(&mut order, &mut rng);
+        for chunk in order.chunks(cfg.batch_size.max(1)) {
+            let xb = Matrix::from_fn(chunk.len(), features.cols(), |r, c| {
+                features[(chunk[r], c)]
+            });
+            let tb = Matrix::from_fn(chunk.len(), 1, |r, _| {
+                times_scaled[(chunk[r], 0)].max(1e-9).ln()
+            });
+            let ab = Matrix::from_fn(chunk.len(), 1, |r, _| reliability[(chunk[r], 0)]);
+
+            let mut g = Graph::new();
+            let xi = g.input(xb.clone());
+            let pass = predictor.time_model.forward(&mut g, xi);
+            let ti = g.input(tb);
+            let loss = cfg.time_loss.build(&mut g, pass.output, ti);
+            g.backward(loss);
+            let grads = predictor.time_model.grads(&g, &pass);
+            let mut params = predictor.time_model.params_mut();
+            opt_t.step(&mut params, &grads);
+
+            let mut g = Graph::new();
+            let xi = g.input(xb);
+            let pass = predictor.rel_model.forward(&mut g, xi);
+            let ai = g.input(ab);
+            let loss = g.mse(pass.output, ai);
+            g.backward(loss);
+            let grads = predictor.rel_model.grads(&g, &pass);
+            let mut params = predictor.rel_model.params_mut();
+            opt_a.step(&mut params, &grads);
+        }
+    }
+    predictor
+}
+
+/// Trains the TSM baseline: per-cluster MSE predictors (clusters train in
+/// parallel).
+pub fn train_tsm(train: &PlatformDataset, cfg: &TsmTrainConfig, seed: u64) -> TsmPredictor {
+    let m = train.clusters();
+    let time_scale = train.times.mean().max(1e-9);
+    let cluster_ids: Vec<usize> = (0..m).collect();
+    let predictors = par_map(&cfg.parallel, &cluster_ids, |&i| {
+        let data = train.cluster_data(i);
+        let times_scaled = data.times.scale(1.0 / time_scale);
+        train_cluster_supervised(
+            &data.features,
+            &times_scaled,
+            &data.reliability,
+            cfg,
+            seed.wrapping_add(i as u64).wrapping_mul(0x9E3779B97F4A7C15),
+        )
+    });
+    TsmPredictor {
+        predictors,
+        time_scale,
+    }
+}
+
+/// Trains the ensemble UCB extension: `members` independently seeded TSM
+/// fits wrapped in [`EnsembleUcbPredictor`].
+pub fn train_ensemble_ucb(
+    train: &PlatformDataset,
+    cfg: &TsmTrainConfig,
+    members: usize,
+    kappa: f64,
+    seed: u64,
+) -> EnsembleUcbPredictor {
+    assert!(members >= 1);
+    let fits: Vec<TsmPredictor> = (0..members)
+        .map(|e| train_tsm(train, cfg, seed.wrapping_add(1000 + e as u64)))
+        .collect();
+    EnsembleUcbPredictor::new(fits, kappa)
+}
+
+/// Trains the UCB baseline: TSM plus residual confidence widths.
+pub fn train_ucb(
+    train: &PlatformDataset,
+    cfg: &TsmTrainConfig,
+    kappa: f64,
+    seed: u64,
+) -> UcbPredictor {
+    let tsm = train_tsm(train, cfg, seed);
+    UcbPredictor::from_tsm(tsm, train, kappa)
+}
+
+/// Builds the per-cluster speedup vector for `m` clusters from a config
+/// (empty config ⇒ sequential execution).
+fn speedup_vec(cfg: &MfcpTrainConfig, m: usize) -> Vec<SpeedupCurve> {
+    if cfg.speedup.is_empty() {
+        vec![SpeedupCurve::None; m]
+    } else {
+        assert_eq!(cfg.speedup.len(), m, "one speedup curve per cluster");
+        cfg.speedup.clone()
+    }
+}
+
+/// The end-to-end MFCP training loop (paper Fig. 3 / Algorithm 2).
+///
+/// Each round samples `N = round_size` tasks, and for each cluster `i`
+/// splices that cluster's *predictions* into the otherwise-measured
+/// matrices (Algorithm 2 line 3), solves the relaxed matching, forms the
+/// regret gradient `∂L/∂X* = (1/N)·∇_X F(X, T, A)` under the measured
+/// matrices, pulls it back to `∂L/∂t̂_i`, `∂L/∂â_i` through the matching
+/// layer (analytically or by forward gradients), and finally
+/// backpropagates into the predictor parameters.
+pub fn train_mfcp(
+    train: &PlatformDataset,
+    cfg: &MfcpTrainConfig,
+    seed: u64,
+) -> (MfcpPredictor, TrainReport) {
+    let m = train.clusters();
+    assert!(train.len() >= cfg.round_size, "need at least one full round of tasks");
+    let speedup = speedup_vec(cfg, m);
+
+    // Hold out a validation slice for best-snapshot selection. Validating
+    // on the fitting tasks is useless: the warm start memorizes their
+    // measured values and can never be beaten there, while the decision
+    // phase's gains only show on unseen tasks.
+    let mut val_rng = StdRng::seed_from_u64(seed.wrapping_add(0x7A11));
+    let use_validation = cfg.validation_rounds > 0;
+    let use_split = use_validation
+        && cfg.validation_split > 0.0
+        && train.len() >= 2 * cfg.round_size.max(4);
+    let (fit, val) = if use_split {
+        train.split(1.0 - cfg.validation_split, &mut val_rng)
+    } else {
+        (train.clone(), train.clone())
+    };
+    let fit = &fit;
+
+    // Phase 1: supervised warm start (standard DFL practice — start the
+    // decision-focused phase from sensible point predictions).
+    let warm = train_tsm(fit, &cfg.warm_start, seed);
+    let time_scale = warm.time_scale;
+    let mut predictors = warm.predictors;
+
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0xDF));
+    let mut opt_t: Vec<Adam> = (0..m).map(|_| Adam::new(cfg.lr)).collect();
+    let mut opt_a: Vec<Adam> = (0..m).map(|_| Adam::new(cfg.lr)).collect();
+
+    // All matching happens in scaled time units so β, λ, ρ are
+    // well-conditioned regardless of the platform's absolute time scale.
+    let times_scaled = fit.times.scale(1.0 / time_scale);
+    let val_times_scaled = val.times.scale(1.0 / time_scale);
+
+    // Fixed validation rounds: decision gradients are noisy (sampled
+    // rounds, near-vertex solutions), so the final iterate is not
+    // necessarily the best one.
+    let val_rounds: Vec<Vec<usize>> = if use_validation {
+        (0..cfg.validation_rounds)
+            .map(|_| sample_round_indices(val.len(), cfg.round_size.min(val.len()), &mut val_rng))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let mut best_score = if val_rounds.is_empty() {
+        f64::INFINITY
+    } else {
+        validation_regret(&predictors, &val, &val_times_scaled, &val_rounds, cfg, &speedup)
+    };
+    let mut best_predictors = predictors.clone();
+    let mut best_round = 0usize;
+    let mut report = TrainReport::default();
+    report.validation_history.push(best_score);
+
+    for round in 0..cfg.rounds {
+        // ---- sample a round of N tasks --------------------------------
+        let mut idx: Vec<usize> = (0..fit.len()).collect();
+        mfcp_nn::data::shuffle(&mut idx, &mut rng);
+        idx.truncate(cfg.round_size);
+        let n = idx.len();
+        let features = Matrix::from_fn(n, fit.features.cols(), |r, c| {
+            fit.features[(idx[r], c)]
+        });
+        // Per-round normalization: divide this round's times (measured
+        // and predicted alike) by the round's mean measured time, so the
+        // smooth-max temperature β sees O(1) values regardless of which
+        // tasks were drawn. The normalizer depends only on measured data,
+        // so it is a constant w.r.t. the predictor parameters.
+        let t_meas_raw = Matrix::from_fn(m, n, |i, j| times_scaled[(i, idx[j])]);
+        let round_scale = t_meas_raw.mean().max(1e-9);
+        let t_meas = t_meas_raw.scale(1.0 / round_scale);
+        let a_meas = Matrix::from_fn(m, n, |i, j| fit.reliability[(i, idx[j])]);
+        let problem_true =
+            MatchingProblem::with_speedup(t_meas.clone(), a_meas.clone(), cfg.gamma, speedup.clone());
+
+        // ---- loss bookkeeping (all-clusters-predicted regret) ----------
+        let (t_all, a_all) = predicted_matrices(&predictors, &features);
+        let problem_all = MatchingProblem::with_speedup(
+            t_all.scale(1.0 / round_scale),
+            a_all,
+            cfg.gamma,
+            speedup.clone(),
+        );
+        let sol_pred_all = solve_relaxed(&problem_all, &cfg.relaxation, &cfg.solver);
+        let sol_true = solve_relaxed(&problem_true, &cfg.relaxation, &cfg.solver);
+        let loss = (objective::value(&problem_true, &cfg.relaxation, &sol_pred_all.x)
+            - objective::value(&problem_true, &cfg.relaxation, &sol_true.x))
+            / n as f64;
+        report.loss_history.push(loss);
+
+        let update_time = !cfg.alternating || round % 2 == 0;
+        let update_rel = !cfg.alternating || round % 2 == 1;
+
+        // ---- per-cluster decision gradients (parallel) ------------------
+        // Each cluster's matching solve and gradient pullback is
+        // independent of the others (Algorithm 2 fixes all other rows at
+        // measured values), so the expensive part fans out across threads;
+        // the optimizer steps below stay sequential.
+        let cluster_seeds: Vec<(usize, u64)> = (0..m).map(|i| (i, rng.gen::<u64>())).collect();
+        let cluster_grads: Vec<Option<ClusterGradients>> = par_map(
+            &ParallelConfig::default(),
+            &cluster_seeds,
+            |&(i, fg_seed)| {
+                let t_hat: Vec<f64> = predictors[i]
+                    .predict_times(&features)
+                    .into_iter()
+                    .map(|v| v / round_scale)
+                    .collect();
+                let a_hat: Vec<f64> = predictors[i]
+                    .predict_reliability(&features)
+                    .into_iter()
+                    .map(|v| v.clamp(0.0, 1.0))
+                    .collect();
+                let problem_pred = problem_true
+                    .with_time_row(i, &t_hat)
+                    .with_reliability_row(i, &a_hat);
+                let sol = solve_relaxed(&problem_pred, &cfg.relaxation, &cfg.solver);
+
+                // ∂L/∂X* = (1/N)·∇_X F(X, T_meas, A_meas) at X = X*(T̂, Â).
+                let dl_dx = objective::grad_x(&problem_true, &cfg.relaxation, &sol.x)
+                    .scale(1.0 / n as f64);
+
+                let grads = match &cfg.mode {
+                    GradientMode::Analytic => {
+                        // A singular KKT system (a fully collapsed vertex
+                        // solution) carries no usable gradient — skip the
+                        // round for this cluster rather than aborting.
+                        match kkt::implicit_gradients(
+                            &problem_pred,
+                            &cfg.relaxation,
+                            &sol.x,
+                            &dl_dx,
+                        ) {
+                            Ok(g) => (g.dl_dt.row(i).to_vec(), g.dl_da.row(i).to_vec()),
+                            Err(_) => return None,
+                        }
+                    }
+                    GradientMode::ForwardGradient(zo) => {
+                        let mut fg_rng = StdRng::seed_from_u64(fg_seed);
+                        let solve_t = |theta: &[f64]| {
+                            let p = problem_pred.with_time_row(
+                                i,
+                                &theta.iter().map(|&v| v.max(1e-6)).collect::<Vec<_>>(),
+                            );
+                            solve_relaxed(&p, &cfg.relaxation, &cfg.solver).x
+                        };
+                        let solve_a = |theta: &[f64]| {
+                            let p = problem_pred.with_reliability_row(i, theta);
+                            solve_relaxed(&p, &cfg.relaxation, &cfg.solver).x
+                        };
+                        // The S perturbation solves are already parallel
+                        // inside estimate_gradient; keep them sequential
+                        // here to avoid nested fan-out.
+                        let zo_inner = ZerothOrderOptions {
+                            parallel: ParallelConfig::sequential(),
+                            ..zo.clone()
+                        };
+                        let gt = if update_time {
+                            estimate_gradient(&t_hat, &sol.x, &dl_dx, solve_t, &zo_inner, &mut fg_rng)
+                        } else {
+                            vec![0.0; n]
+                        };
+                        let ga = if update_rel {
+                            estimate_gradient(&a_hat, &sol.x, &dl_dx, solve_a, &zo_inner, &mut fg_rng)
+                        } else {
+                            vec![0.0; n]
+                        };
+                        (gt, ga)
+                    }
+                };
+                Some((grads.0, grads.1, t_hat, a_hat))
+            },
+        );
+
+        // ---- sequential optimizer steps ---------------------------------
+        for (i, cluster_grad) in cluster_grads.into_iter().enumerate() {
+            let Some((dl_dt_i, dl_da_i, t_hat, a_hat)) = cluster_grad else {
+                continue;
+            };
+
+            if update_time {
+                // Chain through the exponential head: out = log t̂, so
+                // ∂L/∂out = ∂L/∂t̂ · t̂ (units cancel: t_hat is already in
+                // round-scaled units, matching dl_dt_i). Blend in the MSE
+                // anchor in log space: ∂/∂out mean((out − log t_meas)²).
+                let mut seed: Vec<f64> = (0..n).map(|r| dl_dt_i[r] * t_hat[r]).collect();
+                let clipped = clip_l2(&mut seed, cfg.grad_clip);
+                if cfg.mse_anchor > 0.0 {
+                    for (r, s) in seed.iter_mut().enumerate() {
+                        let out = (t_hat[r] * round_scale).max(1e-12).ln();
+                        let target = t_meas[(i, r)].max(1e-12).ln() + round_scale.ln();
+                        *s += cfg.mse_anchor * 2.0 * (out - target) / n as f64;
+                    }
+                }
+                if clipped > 0.0 || cfg.mse_anchor > 0.0 {
+                    let seed_grad = Matrix::from_fn(n, 1, |r, _| seed[r]);
+                    let mut g = Graph::new();
+                    let xi = g.input(features.clone());
+                    let pass = predictors[i].time_model.forward(&mut g, xi);
+                    g.backward_with_seed(pass.output, seed_grad);
+                    let grads = predictors[i].time_model.grads(&g, &pass);
+                    let mut params = predictors[i].time_model.params_mut();
+                    opt_t[i].step(&mut params, &grads);
+                }
+            }
+            if update_rel {
+                let mut seed: Vec<f64> = dl_da_i.clone();
+                let clipped = clip_l2(&mut seed, cfg.grad_clip);
+                if cfg.mse_anchor > 0.0 {
+                    for (r, s) in seed.iter_mut().enumerate() {
+                        *s += cfg.mse_anchor * 2.0 * (a_hat[r] - a_meas[(i, r)]) / n as f64;
+                    }
+                }
+                if clipped > 0.0 || cfg.mse_anchor > 0.0 {
+                    let seed_grad = Matrix::from_fn(n, 1, |r, _| seed[r]);
+                    let mut g = Graph::new();
+                    let xi = g.input(features.clone());
+                    let pass = predictors[i].rel_model.forward(&mut g, xi);
+                    g.backward_with_seed(pass.output, seed_grad);
+                    let grads = predictors[i].rel_model.grads(&g, &pass);
+                    let mut params = predictors[i].rel_model.params_mut();
+                    opt_a[i].step(&mut params, &grads);
+                }
+            }
+        }
+
+        // ---- best-snapshot validation ----------------------------------
+        let last = round + 1 == cfg.rounds;
+        if !val_rounds.is_empty() && ((round + 1) % cfg.validate_every.max(1) == 0 || last) {
+            let score =
+                validation_regret(&predictors, &val, &val_times_scaled, &val_rounds, cfg, &speedup);
+            report.validation_history.push(score);
+            if score < best_score {
+                best_score = score;
+                best_predictors = predictors.clone();
+                best_round = round + 1;
+            }
+        }
+    }
+
+    if !val_rounds.is_empty() {
+        predictors = best_predictors;
+        report.best_round = best_round;
+    }
+
+    (
+        MfcpPredictor {
+            predictors,
+            time_scale,
+            variant: match cfg.mode {
+                GradientMode::Analytic => "MFCP-AD".into(),
+                GradientMode::ForwardGradient(_) => "MFCP-FG".into(),
+            },
+        },
+        report,
+    )
+}
+
+/// Stacks per-cluster predictions (scaled time units) into matrices.
+fn predicted_matrices(predictors: &[ClusterPredictor], features: &Matrix) -> (Matrix, Matrix) {
+    let m = predictors.len();
+    let n = features.rows();
+    let mut t = Matrix::zeros(m, n);
+    let mut a = Matrix::zeros(m, n);
+    for (i, p) in predictors.iter().enumerate() {
+        let ti = p.predict_times(features);
+        let ai = p.predict_reliability(features);
+        for j in 0..n {
+            t[(i, j)] = ti[j].max(1e-6);
+            a[(i, j)] = ai[j].clamp(0.0, 1.0);
+        }
+    }
+    (t, a)
+}
+
+/// A tiny deterministic helper for picking distinct round indices in
+/// benches and tests.
+pub fn sample_round_indices(total: usize, round_size: usize, rng: &mut impl Rng) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..total).collect();
+    mfcp_nn::data::shuffle(&mut idx, rng);
+    idx.truncate(round_size.min(total));
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfcp_platform::dataset::NoiseConfig;
+    use mfcp_platform::embedding::FeatureEmbedder;
+    use mfcp_platform::settings::{ClusterPool, Setting};
+    use mfcp_platform::task::TaskGenerator;
+
+    fn dataset(n: usize, seed: u64) -> PlatformDataset {
+        let model = ClusterPool::standard().setting(Setting::A);
+        let mut rng = StdRng::seed_from_u64(seed);
+        PlatformDataset::generate(
+            &model,
+            &FeatureEmbedder::default_platform(),
+            &TaskGenerator::default(),
+            n,
+            &NoiseConfig::default(),
+            &mut rng,
+        )
+    }
+
+    fn quick_tsm_cfg() -> TsmTrainConfig {
+        TsmTrainConfig {
+            hidden: vec![24],
+            epochs: 120,
+            lr: 0.01,
+            batch_size: 16,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn tsm_learns_better_than_mean_predictor() {
+        let train = dataset(80, 1);
+        let test = dataset(40, 2);
+        let tsm = train_tsm(&train, &quick_tsm_cfg(), 7);
+        let (t_hat, _) = tsm.matrices(&test.features);
+        // Compare against predicting the per-cluster mean (TAM's view).
+        let mut mse_tsm = 0.0;
+        let mut mse_mean = 0.0;
+        for i in 0..3 {
+            let mean_i = train.times.row(i).iter().sum::<f64>() / train.len() as f64;
+            for j in 0..test.len() {
+                let truth = test.true_times[(i, j)];
+                mse_tsm += (t_hat[(i, j)] - truth).powi(2);
+                mse_mean += (mean_i - truth).powi(2);
+            }
+        }
+        assert!(
+            mse_tsm < mse_mean * 0.8,
+            "TSM should clearly beat the constant predictor: {mse_tsm} vs {mse_mean}"
+        );
+    }
+
+    #[test]
+    fn tsm_deterministic_under_seed() {
+        let train = dataset(30, 3);
+        let a = train_tsm(&train, &quick_tsm_cfg(), 11);
+        let b = train_tsm(&train, &quick_tsm_cfg(), 11);
+        let (ta, _) = a.matrices(&train.features);
+        let (tb, _) = b.matrices(&train.features);
+        assert!(ta.approx_eq(&tb, 1e-12));
+    }
+
+    #[test]
+    fn ucb_has_positive_widths_after_training() {
+        let train = dataset(40, 4);
+        let ucb = train_ucb(&train, &quick_tsm_cfg(), 1.0, 13);
+        assert!(ucb.time_std.iter().all(|&s| s > 0.0));
+        assert!(ucb.rel_std.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn mfcp_ad_training_runs_and_reduces_regret_loss() {
+        let train = dataset(60, 5);
+        let cfg = MfcpTrainConfig {
+            warm_start: quick_tsm_cfg(),
+            rounds: 40,
+            round_size: 5,
+            lr: 3e-3,
+            gamma: 0.8,
+            mode: GradientMode::Analytic,
+            ..Default::default()
+        };
+        let (pred, report) = train_mfcp(&train, &cfg, 17);
+        assert_eq!(pred.variant, "MFCP-AD");
+        assert_eq!(report.loss_history.len(), 40);
+        assert!(report.loss_history.iter().all(|l| l.is_finite()));
+        // Decision loss should be non-negative up to smoothing slack and
+        // trend downward: compare first-quarter and last-quarter means.
+        let q = 10;
+        let early: f64 = report.loss_history[..q].iter().sum::<f64>() / q as f64;
+        let late: f64 =
+            report.loss_history[report.loss_history.len() - q..].iter().sum::<f64>() / q as f64;
+        assert!(
+            late <= early + 0.05,
+            "regret loss should not blow up: early {early}, late {late}"
+        );
+    }
+
+    /// End-to-end gradient check of the full MFCP-AD chain:
+    /// dL/dω = dL/dX* · dX*/dt̂ (KKT) · dt̂/dout (exp head) · dout/dω
+    /// against central differences of the actual pipeline loss.
+    #[test]
+    fn decision_gradient_chain_matches_finite_differences() {
+        use mfcp_optim::objective;
+        let train = dataset(12, 99);
+        let m = train.clusters();
+        let n = 5;
+        let gamma = 0.8;
+        let relaxation = RelaxationParams::default();
+        let solver = SolverOptions {
+            max_iters: 20_000,
+            tol: 1e-14,
+            ..Default::default()
+        };
+        let idx: Vec<usize> = (0..n).collect();
+        let features = Matrix::from_fn(n, train.features.cols(), |r, c| {
+            train.features[(idx[r], c)]
+        });
+        let time_scale = train.times.mean();
+        let t_meas = Matrix::from_fn(m, n, |i, j| train.times[(i, idx[j])] / time_scale);
+        let a_meas = Matrix::from_fn(m, n, |i, j| train.reliability[(i, idx[j])]);
+        let problem_true = MatchingProblem::new(t_meas, a_meas, gamma);
+
+        let mut rng = StdRng::seed_from_u64(5);
+        let predictor = ClusterPredictor::new(train.features.cols(), &[8], &mut rng);
+        let cluster = 0usize;
+
+        // The pipeline loss as a function of the time model's parameters.
+        let loss_of = |p: &ClusterPredictor| -> f64 {
+            let t_hat = p.predict_times(&features);
+            let a_hat: Vec<f64> = p
+                .predict_reliability(&features)
+                .into_iter()
+                .map(|v| v.clamp(0.0, 1.0))
+                .collect();
+            let problem_pred = problem_true
+                .with_time_row(cluster, &t_hat)
+                .with_reliability_row(cluster, &a_hat);
+            let sol = solve_relaxed(&problem_pred, &relaxation, &solver);
+            objective::value(&problem_true, &relaxation, &sol.x) / n as f64
+        };
+
+        // Analytic chain.
+        let t_hat = predictor.predict_times(&features);
+        let a_hat: Vec<f64> = predictor
+            .predict_reliability(&features)
+            .into_iter()
+            .map(|v| v.clamp(0.0, 1.0))
+            .collect();
+        let problem_pred = problem_true
+            .with_time_row(cluster, &t_hat)
+            .with_reliability_row(cluster, &a_hat);
+        let sol = solve_relaxed(&problem_pred, &relaxation, &solver);
+        let dl_dx =
+            objective::grad_x(&problem_true, &relaxation, &sol.x).scale(1.0 / n as f64);
+        let grads =
+            kkt::implicit_gradients(&problem_pred, &relaxation, &sol.x, &dl_dx).unwrap();
+        let dl_dt_row = grads.dl_dt.row(cluster).to_vec();
+        let seed_grad = Matrix::from_fn(n, 1, |r, _| dl_dt_row[r] * t_hat[r]);
+        let mut g = Graph::new();
+        let xi = g.input(features.clone());
+        let pass = predictor.time_model.forward(&mut g, xi);
+        g.backward_with_seed(pass.output, seed_grad);
+        let analytic = predictor.time_model.grads(&g, &pass);
+
+        // Check a handful of parameters of each tensor numerically.
+        let h = 1e-5;
+        let mut checked = 0;
+        for (pi, g_tensor) in analytic.iter().enumerate() {
+            for &(r, c) in &[(0usize, 0usize)] {
+                if r >= g_tensor.rows() || c >= g_tensor.cols() {
+                    continue;
+                }
+                let mut p_plus = predictor.clone();
+                p_plus.time_model.params_mut()[pi][(r, c)] += h;
+                let mut p_minus = predictor.clone();
+                p_minus.time_model.params_mut()[pi][(r, c)] -= h;
+                let numeric = (loss_of(&p_plus) - loss_of(&p_minus)) / (2.0 * h);
+                let a = g_tensor[(r, c)];
+                assert!(
+                    (a - numeric).abs() < 5e-3 * (1.0 + numeric.abs().max(a.abs())),
+                    "param tensor {pi} entry ({r},{c}): analytic {a} vs numeric {numeric}"
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked >= 3, "checked too few parameters");
+    }
+
+    #[test]
+    fn mfcp_fg_training_runs() {
+        let train = dataset(50, 6);
+        let cfg = MfcpTrainConfig {
+            warm_start: quick_tsm_cfg(),
+            rounds: 10,
+            round_size: 5,
+            lr: 3e-3,
+            gamma: 0.8,
+            mode: GradientMode::ForwardGradient(ZerothOrderOptions {
+                delta: 0.05,
+                samples: 4,
+                parallel: ParallelConfig::default(),
+            }),
+            ..Default::default()
+        };
+        let (pred, report) = train_mfcp(&train, &cfg, 19);
+        assert_eq!(pred.variant, "MFCP-FG");
+        assert_eq!(report.loss_history.len(), 10);
+        // Predictions remain valid after decision-focused updates.
+        let (t, a) = predicted_matrices(&pred.predictors, &train.features);
+        assert!(t.as_slice().iter().all(|&v| v > 0.0 && v.is_finite()));
+        assert!(a.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn mfcp_fg_supports_parallel_speedup_curves() {
+        let train = dataset(40, 7);
+        let cfg = MfcpTrainConfig {
+            warm_start: quick_tsm_cfg(),
+            rounds: 6,
+            round_size: 5,
+            gamma: 0.8,
+            speedup: vec![SpeedupCurve::paper_parallel(); 3],
+            mode: GradientMode::ForwardGradient(ZerothOrderOptions {
+                delta: 0.05,
+                samples: 4,
+                parallel: ParallelConfig::default(),
+            }),
+            ..Default::default()
+        };
+        let (_pred, report) = train_mfcp(&train, &cfg, 23);
+        assert!(report.loss_history.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn sample_round_indices_distinct() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let idx = sample_round_indices(20, 5, &mut rng);
+        assert_eq!(idx.len(), 5);
+        let set: std::collections::HashSet<_> = idx.iter().collect();
+        assert_eq!(set.len(), 5);
+        // Clamps when asking for more than available.
+        assert_eq!(sample_round_indices(3, 10, &mut rng).len(), 3);
+    }
+}

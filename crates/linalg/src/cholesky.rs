@@ -1,0 +1,156 @@
+//! Cholesky factorization for symmetric positive-definite systems.
+//!
+//! Used for the Gauss–Newton style preconditioning experiments and for
+//! covariance sampling in the workload generator (correlated task features).
+
+use crate::{LinalgError, Matrix, Result};
+
+/// A lower-triangular Cholesky factor `A = L Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factors a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read; symmetry of the upper
+    /// triangle is the caller's responsibility.
+    pub fn factor(a: &Matrix) -> Result<Cholesky> {
+        if a.rows() != a.cols() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(LinalgError::NotPositiveDefinite { pivot: i });
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Solves `A x = b` via forward/back substitution.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "cholesky_solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // L y = b
+        let mut y = b.to_vec();
+        for i in 0..n {
+            let mut acc = y[i];
+            for j in 0..i {
+                acc -= self.l[(i, j)] * y[j];
+            }
+            y[i] = acc / self.l[(i, i)];
+        }
+        // Lᵀ x = y
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for j in (i + 1)..n {
+                acc -= self.l[(j, i)] * y[j];
+            }
+            y[i] = acc / self.l[(i, i)];
+        }
+        Ok(y)
+    }
+
+    /// Log-determinant of `A` (sum of `2 log L_ii`), handy for Gaussian
+    /// likelihoods.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| 2.0 * self.l[(i, i)].ln()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_spd(rng: &mut StdRng, n: usize) -> Matrix {
+        let b = Matrix::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0));
+        let mut a = b.matmul(&b.transpose()).unwrap();
+        for i in 0..n {
+            a[(i, i)] += n as f64; // guarantee positive definiteness
+        }
+        a
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = random_spd(&mut rng, 8);
+        let ch = Cholesky::factor(&a).unwrap();
+        let llt = ch.l().matmul(&ch.l().transpose()).unwrap();
+        assert!(llt.approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn solve_matches_lu() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = random_spd(&mut rng, 10);
+        let b: Vec<f64> = (0..10).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let x_ch = Cholesky::factor(&a).unwrap().solve(&b).unwrap();
+        let x_lu = crate::lu::solve(&a, &b).unwrap();
+        for (c, l) in x_ch.iter().zip(&x_lu) {
+            assert!((c - l).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(Cholesky::factor(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn log_det_matches_lu_det() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = random_spd(&mut rng, 6);
+        let ch = Cholesky::factor(&a).unwrap();
+        let det = crate::lu::Lu::factor(&a).unwrap().det();
+        assert!((ch.log_det() - det.ln()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn identity_solve_is_identity() {
+        let ch = Cholesky::factor(&Matrix::identity(4)).unwrap();
+        let b = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(ch.solve(&b).unwrap(), b.to_vec());
+    }
+}

@@ -1,0 +1,209 @@
+//! Symmetric eigendecomposition by the cyclic Jacobi method.
+//!
+//! Used for conditioning diagnostics of the matching layer: the KKT
+//! Hessian's spectrum determines both how fast Newton converges and how
+//! trustworthy the implicit gradients are (paper §3.3's linear system).
+//! Jacobi is slow (`O(n³)` per sweep) but simple, unconditionally stable,
+//! and accurate to machine precision on the small symmetric matrices MFCP
+//! produces.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// The eigendecomposition `A = V diag(λ) Vᵀ` of a symmetric matrix.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues in descending order.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors, one per column, aligned with `values`.
+    pub vectors: Matrix,
+}
+
+/// Computes the eigendecomposition of a symmetric matrix with cyclic
+/// Jacobi rotations.
+///
+/// Only the lower triangle is read; symmetry is the caller's
+/// responsibility. Fails on non-square input.
+///
+/// ```
+/// use mfcp_linalg::{eigen::symmetric_eigen, Matrix};
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+/// let eig = symmetric_eigen(&a).unwrap();
+/// assert!((eig.values[0] - 3.0).abs() < 1e-12);
+/// assert!((eig.values[1] - 1.0).abs() < 1e-12);
+/// ```
+pub fn symmetric_eigen(a: &Matrix) -> Result<SymmetricEigen> {
+    if a.rows() != a.cols() {
+        return Err(LinalgError::NotSquare { shape: a.shape() });
+    }
+    let n = a.rows();
+    // Work on a symmetrized copy.
+    let mut m = Matrix::from_fn(n, n, |r, c| {
+        if r >= c {
+            a[(r, c)]
+        } else {
+            a[(c, r)]
+        }
+    });
+    let mut v = Matrix::identity(n);
+    let scale = m.max_abs().max(1e-300);
+    let tol = 1e-14 * scale;
+    let max_sweeps = 64;
+    for _ in 0..max_sweeps {
+        // Largest off-diagonal magnitude this sweep.
+        let mut off: f64 = 0.0;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                off = off.max(m[(p, q)].abs());
+            }
+        }
+        if off <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= tol {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                // Rotation angle zeroing (p, q).
+                let theta = 0.5 * (aqq - app) / apq;
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    1.0 / (theta - (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                // Apply the rotation to rows/columns p and q.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    // Extract and sort descending.
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    order.sort_by(|&i, &j| diag[j].total_cmp(&diag[i]));
+    let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let vectors = Matrix::from_fn(n, n, |r, c| v[(r, order[c])]);
+    Ok(SymmetricEigen { values, vectors })
+}
+
+/// Spectral condition number `λ_max / λ_min` of a symmetric
+/// positive-definite matrix (∞ when `λ_min ≤ 0`).
+pub fn spd_condition_number(a: &Matrix) -> Result<f64> {
+    let eig = symmetric_eigen(a)?;
+    let max = *eig.values.first().expect("non-empty");
+    let min = *eig.values.last().expect("non-empty");
+    if min <= 0.0 {
+        Ok(f64::INFINITY)
+    } else {
+        Ok(max / min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_symmetric(rng: &mut StdRng, n: usize) -> Matrix {
+        let b = Matrix::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0));
+        Matrix::from_fn(n, n, |r, c| 0.5 * (b[(r, c)] + b[(c, r)]))
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let a = Matrix::from_diag(&[3.0, -1.0, 2.0]);
+        let eig = symmetric_eigen(&a).unwrap();
+        assert_eq!(eig.values.len(), 3);
+        assert!((eig.values[0] - 3.0).abs() < 1e-12);
+        assert!((eig.values[1] - 2.0).abs() < 1e-12);
+        assert!((eig.values[2] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let eig = symmetric_eigen(&a).unwrap();
+        assert!((eig.values[0] - 3.0).abs() < 1e-12);
+        assert!((eig.values[1] - 1.0).abs() < 1e-12);
+        // Eigenvector for λ=3 is ±(1,1)/√2.
+        let v0 = eig.vectors.col(0);
+        assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-10);
+        assert!((v0[0] - v0[1]).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_and_orthonormality() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for n in [1usize, 2, 5, 12] {
+            let a = random_symmetric(&mut rng, n);
+            let eig = symmetric_eigen(&a).unwrap();
+            // V diag(λ) Vᵀ == A.
+            let lam = Matrix::from_diag(&eig.values);
+            let rec = eig
+                .vectors
+                .matmul(&lam)
+                .unwrap()
+                .matmul(&eig.vectors.transpose())
+                .unwrap();
+            assert!(rec.approx_eq(&a, 1e-9), "n={n}");
+            // VᵀV == I.
+            let vtv = eig.vectors.transpose().matmul(&eig.vectors).unwrap();
+            assert!(vtv.approx_eq(&Matrix::identity(n), 1e-9), "n={n}");
+            // Descending order.
+            for w in eig.values.windows(2) {
+                assert!(w[0] >= w[1] - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_and_det_invariants() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = random_symmetric(&mut rng, 7);
+        let eig = symmetric_eigen(&a).unwrap();
+        let trace: f64 = (0..7).map(|i| a[(i, i)]).sum();
+        let eig_sum: f64 = eig.values.iter().sum();
+        assert!((trace - eig_sum).abs() < 1e-9);
+        let det = crate::lu::Lu::factor(&a).map(|lu| lu.det());
+        if let Ok(det) = det {
+            let eig_prod: f64 = eig.values.iter().product();
+            assert!((det - eig_prod).abs() < 1e-8 * (1.0 + det.abs()));
+        }
+    }
+
+    #[test]
+    fn condition_number() {
+        let a = Matrix::from_diag(&[100.0, 1.0]);
+        assert!((spd_condition_number(&a).unwrap() - 100.0).abs() < 1e-9);
+        let indefinite = Matrix::from_diag(&[1.0, -1.0]);
+        assert!(spd_condition_number(&indefinite).unwrap().is_infinite());
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(symmetric_eigen(&Matrix::zeros(2, 3)).is_err());
+    }
+}

@@ -1,0 +1,239 @@
+//! Free functions on `&[f64]` slices shared across the workspace.
+//!
+//! The matching optimizer and the neural nets both work with flat slices
+//! for their hot inner loops; these helpers keep the numerics (notably the
+//! numerically-stable softmax / log-sum-exp used by the smoothed max of
+//! paper Eq. 8) in one audited place.
+
+/// Dot product. Panics if lengths differ.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    a.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// L1 norm.
+#[inline]
+pub fn norm1(a: &[f64]) -> f64 {
+    a.iter().map(|x| x.abs()).sum()
+}
+
+/// Infinity norm (0 for an empty slice).
+#[inline]
+pub fn norm_inf(a: &[f64]) -> f64 {
+    a.iter().fold(0.0, |acc, x| acc.max(x.abs()))
+}
+
+/// In-place `y += alpha * x`. Panics if lengths differ.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// In-place scaling `x *= alpha`.
+#[inline]
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// Numerically stable log-sum-exp: `log(Σ exp(x_i))`.
+///
+/// Returns `-inf` for an empty slice (the sum of zero exponentials).
+pub fn logsumexp(x: &[f64]) -> f64 {
+    let m = x.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !m.is_finite() {
+        return m; // empty slice or all -inf
+    }
+    let s: f64 = x.iter().map(|&v| (v - m).exp()).sum();
+    m + s.ln()
+}
+
+/// Numerically stable softmax, written into a fresh `Vec`.
+///
+/// An empty input yields an empty output.
+pub fn softmax(x: &[f64]) -> Vec<f64> {
+    let mut out = x.to_vec();
+    softmax_inplace(&mut out);
+    out
+}
+
+/// In-place numerically stable softmax.
+pub fn softmax_inplace(x: &mut [f64]) {
+    if x.is_empty() {
+        return;
+    }
+    let m = x.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for v in x.iter_mut() {
+        *v = (*v - m).exp();
+        sum += *v;
+    }
+    let inv = 1.0 / sum;
+    for v in x.iter_mut() {
+        *v *= inv;
+    }
+}
+
+/// Mean of the entries (0 for an empty slice).
+pub fn mean(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        0.0
+    } else {
+        x.iter().sum::<f64>() / x.len() as f64
+    }
+}
+
+/// Population variance of the entries (0 for fewer than two values).
+pub fn variance(x: &[f64]) -> f64 {
+    if x.len() < 2 {
+        return 0.0;
+    }
+    let mu = mean(x);
+    x.iter().map(|&v| (v - mu) * (v - mu)).sum::<f64>() / x.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(x: &[f64]) -> f64 {
+    variance(x).sqrt()
+}
+
+/// Index of the maximum entry; `None` for an empty slice. Ties pick the
+/// first occurrence.
+pub fn argmax(x: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in x.iter().enumerate() {
+        match best {
+            Some((_, bv)) if v <= bv => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Index of the minimum entry; `None` for an empty slice.
+pub fn argmin(x: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in x.iter().enumerate() {
+        match best {
+            Some((_, bv)) if v >= bv => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Clamps every entry into `[lo, hi]` in place.
+pub fn clamp_inplace(x: &mut [f64], lo: f64, hi: f64) {
+    for v in x {
+        *v = v.clamp(lo, hi);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norms() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(norm1(&[-1.0, 2.0]), 3.0);
+        assert_eq!(norm_inf(&[-5.0, 2.0]), 5.0);
+        assert_eq!(norm_inf(&[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, -1.0], &mut y);
+        assert_eq!(y, vec![7.0, -1.0]);
+        scale(0.5, &mut y);
+        assert_eq!(y, vec![3.5, -0.5]);
+    }
+
+    #[test]
+    fn logsumexp_stability() {
+        // Would overflow a naive implementation.
+        let v = logsumexp(&[1000.0, 1000.0]);
+        assert!((v - (1000.0 + 2.0_f64.ln())).abs() < 1e-9);
+        // Large negative values must not underflow to -inf incorrectly.
+        let v = logsumexp(&[-1000.0, -1000.0]);
+        assert!((v - (-1000.0 + 2.0_f64.ln())).abs() < 1e-9);
+        assert_eq!(logsumexp(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn logsumexp_upper_bounds_max() {
+        let xs = [0.3, -1.2, 2.5, 2.4];
+        let lse = logsumexp(&xs);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(lse >= max);
+        assert!(lse <= max + (xs.len() as f64).ln());
+    }
+
+    #[test]
+    fn softmax_properties() {
+        let s = softmax(&[1.0, 2.0, 3.0]);
+        assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(s[2] > s[1] && s[1] > s[0]);
+        // Shift invariance.
+        let s2 = softmax(&[101.0, 102.0, 103.0]);
+        for (a, b) in s.iter().zip(&s2) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        assert!(softmax(&[]).is_empty());
+    }
+
+    #[test]
+    fn stats() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert!((variance(&[1.0, 2.0, 3.0]) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn argminmax() {
+        assert_eq!(argmax(&[1.0, 3.0, 2.0]), Some(1));
+        assert_eq!(argmin(&[1.0, 3.0, 2.0]), Some(0));
+        assert_eq!(argmax(&[]), None);
+        // Ties resolve to the first occurrence.
+        assert_eq!(argmax(&[2.0, 2.0]), Some(0));
+    }
+
+    #[test]
+    fn clamp() {
+        let mut v = vec![-1.0, 0.5, 2.0];
+        clamp_inplace(&mut v, 0.0, 1.0);
+        assert_eq!(v, vec![0.0, 0.5, 1.0]);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_softmax_simplex(v in proptest::collection::vec(-50.0f64..50.0, 1..40)) {
+            let s = softmax(&v);
+            let sum: f64 = s.iter().sum();
+            proptest::prop_assert!((sum - 1.0).abs() < 1e-9);
+            proptest::prop_assert!(s.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+
+        #[test]
+        fn prop_logsumexp_bounds(v in proptest::collection::vec(-50.0f64..50.0, 1..40)) {
+            let lse = logsumexp(&v);
+            let max = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            proptest::prop_assert!(lse >= max - 1e-12);
+            proptest::prop_assert!(lse <= max + (v.len() as f64).ln() + 1e-12);
+        }
+    }
+}

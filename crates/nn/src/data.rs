@@ -1,0 +1,200 @@
+//! Dataset utilities: deterministic shuffles, splits and mini-batches.
+
+use mfcp_linalg::Matrix;
+use rand::Rng;
+
+/// A supervised dataset of row-major features and targets.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// `n x d` feature matrix.
+    pub features: Matrix,
+    /// `n x k` target matrix.
+    pub targets: Matrix,
+}
+
+impl Dataset {
+    /// Creates a dataset; panics if row counts disagree.
+    pub fn new(features: Matrix, targets: Matrix) -> Self {
+        assert_eq!(
+            features.rows(),
+            targets.rows(),
+            "feature/target row mismatch"
+        );
+        Dataset { features, targets }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.features.rows()
+    }
+
+    /// True when the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Selects the rows at `indices` into a new dataset.
+    pub fn select(&self, indices: &[usize]) -> Dataset {
+        let f = Matrix::from_fn(indices.len(), self.features.cols(), |r, c| {
+            self.features[(indices[r], c)]
+        });
+        let t = Matrix::from_fn(indices.len(), self.targets.cols(), |r, c| {
+            self.targets[(indices[r], c)]
+        });
+        Dataset {
+            features: f,
+            targets: t,
+        }
+    }
+
+    /// Random split into `(train, test)` with `train_fraction` of samples
+    /// in the training half (rounded down, but at least one sample in each
+    /// half when `len() >= 2`).
+    pub fn split(&self, train_fraction: f64, rng: &mut impl Rng) -> (Dataset, Dataset) {
+        assert!((0.0..=1.0).contains(&train_fraction));
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        shuffle(&mut idx, rng);
+        let mut n_train = (self.len() as f64 * train_fraction) as usize;
+        if self.len() >= 2 {
+            n_train = n_train.clamp(1, self.len() - 1);
+        }
+        let (train_idx, test_idx) = idx.split_at(n_train);
+        (self.select(train_idx), self.select(test_idx))
+    }
+
+    /// Iterates over shuffled mini-batches of up to `batch_size` rows.
+    pub fn batches<'a, R: Rng>(
+        &'a self,
+        batch_size: usize,
+        rng: &mut R,
+    ) -> impl Iterator<Item = Dataset> + 'a {
+        assert!(batch_size > 0);
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        shuffle(&mut idx, rng);
+        BatchIter {
+            dataset: self,
+            indices: idx,
+            cursor: 0,
+            batch_size,
+        }
+    }
+}
+
+struct BatchIter<'a> {
+    dataset: &'a Dataset,
+    indices: Vec<usize>,
+    cursor: usize,
+    batch_size: usize,
+}
+
+impl Iterator for BatchIter<'_> {
+    type Item = Dataset;
+
+    fn next(&mut self) -> Option<Dataset> {
+        if self.cursor >= self.indices.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.indices.len());
+        let batch = self.dataset.select(&self.indices[self.cursor..end]);
+        self.cursor = end;
+        Some(batch)
+    }
+}
+
+/// Fisher–Yates shuffle driven by the caller's RNG (deterministic under a
+/// seeded RNG, which the experiment harness relies on).
+pub fn shuffle<T>(items: &mut [T], rng: &mut impl Rng) {
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy(n: usize) -> Dataset {
+        Dataset::new(
+            Matrix::from_fn(n, 2, |r, c| (r * 2 + c) as f64),
+            Matrix::from_fn(n, 1, |r, _| r as f64),
+        )
+    }
+
+    #[test]
+    fn select_picks_rows() {
+        let d = toy(5);
+        let s = d.select(&[4, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.targets[(0, 0)], 4.0);
+        assert_eq!(s.targets[(1, 0)], 0.0);
+        assert_eq!(s.features[(0, 1)], 9.0);
+    }
+
+    #[test]
+    fn split_partitions_everything() {
+        let d = toy(10);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (train, test) = d.split(0.7, &mut rng);
+        assert_eq!(train.len() + test.len(), 10);
+        assert_eq!(train.len(), 7);
+        // Together they cover all targets exactly once.
+        let mut seen: Vec<f64> = train
+            .targets
+            .as_slice()
+            .iter()
+            .chain(test.targets.as_slice())
+            .copied()
+            .collect();
+        seen.sort_by(f64::total_cmp);
+        assert_eq!(seen, (0..10).map(|i| i as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_never_empty_for_two_plus() {
+        let d = toy(2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let (train, test) = d.split(0.01, &mut rng);
+        assert_eq!(train.len(), 1);
+        assert_eq!(test.len(), 1);
+    }
+
+    #[test]
+    fn batches_cover_dataset() {
+        let d = toy(10);
+        let mut rng = StdRng::seed_from_u64(3);
+        let batches: Vec<Dataset> = d.batches(3, &mut rng).collect();
+        assert_eq!(batches.len(), 4); // 3+3+3+1
+        assert_eq!(batches.iter().map(|b| b.len()).sum::<usize>(), 10);
+        assert_eq!(batches[3].len(), 1);
+    }
+
+    #[test]
+    fn batch_size_larger_than_dataset() {
+        let d = toy(3);
+        let mut rng = StdRng::seed_from_u64(9);
+        let batches: Vec<Dataset> = d.batches(10, &mut rng).collect();
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].len(), 3);
+    }
+
+    #[test]
+    fn shuffle_deterministic_under_seed() {
+        let mut a: Vec<u32> = (0..100).collect();
+        let mut b: Vec<u32> = (0..100).collect();
+        shuffle(&mut a, &mut StdRng::seed_from_u64(7));
+        shuffle(&mut b, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+        let mut c: Vec<u32> = (0..100).collect();
+        shuffle(&mut c, &mut StdRng::seed_from_u64(8));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature/target row mismatch")]
+    fn mismatched_rows_rejected() {
+        Dataset::new(Matrix::zeros(3, 2), Matrix::zeros(4, 1));
+    }
+}

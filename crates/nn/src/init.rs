@@ -1,0 +1,71 @@
+//! Weight initialization schemes.
+
+use mfcp_linalg::Matrix;
+use rand::Rng;
+
+/// Initialization scheme for a weight matrix of shape `fan_in x fan_out`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Init {
+    /// Xavier/Glorot uniform: `U(-√(6/(fan_in+fan_out)), +√(...))`.
+    XavierUniform,
+    /// He/Kaiming uniform: `U(-√(6/fan_in), +√(6/fan_in))`; pairs with ReLU.
+    HeUniform,
+    /// All zeros (used for biases).
+    Zeros,
+}
+
+/// Samples a `fan_in x fan_out` weight matrix.
+pub fn weight_matrix(init: Init, fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Matrix {
+    match init {
+        Init::XavierUniform => {
+            let bound = (6.0 / (fan_in + fan_out) as f64).sqrt();
+            Matrix::from_fn(fan_in, fan_out, |_, _| rng.gen_range(-bound..bound))
+        }
+        Init::HeUniform => {
+            let bound = (6.0 / fan_in.max(1) as f64).sqrt();
+            Matrix::from_fn(fan_in, fan_out, |_, _| rng.gen_range(-bound..bound))
+        }
+        Init::Zeros => Matrix::zeros(fan_in, fan_out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = weight_matrix(Init::XavierUniform, 10, 20, &mut rng);
+        let bound = (6.0 / 30.0_f64).sqrt();
+        assert!(w.max_abs() <= bound);
+        assert_eq!(w.shape(), (10, 20));
+        // Not degenerate: some spread.
+        assert!(w.max_abs() > bound * 0.1);
+    }
+
+    #[test]
+    fn he_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = weight_matrix(Init::HeUniform, 16, 4, &mut rng);
+        assert!(w.max_abs() <= (6.0 / 16.0_f64).sqrt());
+    }
+
+    #[test]
+    fn zeros_is_zero() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = weight_matrix(Init::Zeros, 3, 3, &mut rng);
+        assert_eq!(w.max_abs(), 0.0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut r1 = StdRng::seed_from_u64(42);
+        let mut r2 = StdRng::seed_from_u64(42);
+        let w1 = weight_matrix(Init::XavierUniform, 5, 5, &mut r1);
+        let w2 = weight_matrix(Init::XavierUniform, 5, 5, &mut r2);
+        assert_eq!(w1, w2);
+    }
+}

@@ -1,0 +1,35 @@
+//! Minimal neural-network library on top of `mfcp-autodiff`.
+//!
+//! MFCP's predictors `m_ω` (execution time) and `m_φ` (reliability) are
+//! small fully-connected networks over fixed task features (the paper's
+//! §4.1.1: a GNN embeds tasks, "in the subsequent predictor training, we
+//! only utilized fully connected layers"). This crate provides everything
+//! those predictors need:
+//!
+//! * [`Mlp`] — a multi-layer perceptron whose forward pass is recorded on
+//!   an autodiff [`Graph`](mfcp_autodiff::Graph), so gradients can come
+//!   either from a standard loss node (TSM's MSE training) or from an
+//!   externally seeded adjoint (MFCP's decision-focused regret gradient).
+//! * [`Activation`] — ReLU / LeakyReLU / Tanh / Sigmoid / scaled softplus
+//!   (smooth positive outputs for execution times) / identity.
+//! * [`init`] — Xavier and He initialization.
+//! * [`Sgd`] / [`Adam`] behind the [`Optimizer`] trait, with
+//!   [`LrSchedule`]s.
+//! * [`data`] — deterministic shuffling, train/test splits, mini-batches.
+//! * [`persist`] — dependency-free text serialization of trained models.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod activation;
+pub mod data;
+pub mod init;
+mod loss;
+mod mlp;
+mod optimizer;
+pub mod persist;
+
+pub use activation::Activation;
+pub use loss::Loss;
+pub use mlp::{Mlp, MlpPass};
+pub use optimizer::{Adam, LrSchedule, Optimizer, Sgd};

@@ -1,0 +1,90 @@
+//! Regression losses as graph builders.
+
+use mfcp_autodiff::{Graph, NodeId};
+
+/// Which regression loss to record on the graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Default)]
+pub enum Loss {
+    /// Mean squared error.
+    #[default]
+    Mse,
+    /// Mean Huber penalty with threshold `delta` — robust to the
+    /// heavy-tailed residuals that memory-wall tasks produce.
+    Huber {
+        /// Residual magnitude where the penalty switches from quadratic
+        /// to linear.
+        delta: f64,
+    },
+}
+
+
+impl Loss {
+    /// Records `loss(pred, target)` on the graph as a `1 x 1` node.
+    pub fn build(self, g: &mut Graph, pred: NodeId, target: NodeId) -> NodeId {
+        match self {
+            Loss::Mse => g.mse(pred, target),
+            Loss::Huber { delta } => {
+                let d = g.sub(pred, target);
+                let h = g.huber(d, delta);
+                g.mean(h)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfcp_linalg::Matrix;
+
+    #[test]
+    fn mse_and_huber_agree_on_small_residuals() {
+        // Inside the Huber threshold, huber = d²/2, so 2·huber == mse.
+        let pred_m = Matrix::from_rows(&[&[0.1, -0.2, 0.3]]);
+        let target_m = Matrix::zeros(1, 3);
+        let value = |loss: Loss| {
+            let mut g = Graph::new();
+            let p = g.input(pred_m.clone());
+            let t = g.input(target_m.clone());
+            let l = loss.build(&mut g, p, t);
+            g.value(l)[(0, 0)]
+        };
+        let mse = value(Loss::Mse);
+        let huber = value(Loss::Huber { delta: 1.0 });
+        assert!((mse - 2.0 * huber).abs() < 1e-12);
+    }
+
+    #[test]
+    fn huber_downweights_outliers() {
+        // One large residual: Huber grows linearly, MSE quadratically.
+        let small = Matrix::from_rows(&[&[10.0]]);
+        let big = Matrix::from_rows(&[&[20.0]]);
+        let target = Matrix::zeros(1, 1);
+        let value = |loss: Loss, pred: &Matrix| {
+            let mut g = Graph::new();
+            let p = g.input(pred.clone());
+            let t = g.input(target.clone());
+            let l = loss.build(&mut g, p, t);
+            g.value(l)[(0, 0)]
+        };
+        let mse_ratio = value(Loss::Mse, &big) / value(Loss::Mse, &small);
+        let huber_ratio = value(Loss::Huber { delta: 1.0 }, &big)
+            / value(Loss::Huber { delta: 1.0 }, &small);
+        assert!((mse_ratio - 4.0).abs() < 1e-12);
+        assert!(huber_ratio < 2.2, "Huber must grow ~linearly, got {huber_ratio}");
+    }
+
+    #[test]
+    fn gradients_flow_for_both() {
+        for loss in [Loss::Mse, Loss::Huber { delta: 0.5 }] {
+            let mut g = Graph::new();
+            let p = g.input(Matrix::from_rows(&[&[1.0, -2.0]]));
+            let t = g.input(Matrix::zeros(1, 2));
+            let l = loss.build(&mut g, p, t);
+            g.backward(l);
+            let grad = g.grad(p).unwrap();
+            assert!(grad.max_abs() > 0.0, "{loss:?}");
+        }
+    }
+}

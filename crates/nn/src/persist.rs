@@ -1,0 +1,264 @@
+//! Dependency-free text serialization for trained networks.
+//!
+//! A deployed exchange platform trains predictors once and matches many
+//! rounds; persisting the networks is table stakes. The format is a
+//! line-oriented, human-inspectable text document:
+//!
+//! ```text
+//! mfcp-mlp v1
+//! layers 2
+//! layer 18 32 relu
+//! <32 lines of 18 weights each? no — one line per weight row>
+//! bias <32 floats>
+//! layer 32 1 identity
+//! ...
+//! ```
+//!
+//! Floats are written with `{:e}` round-trip precision.
+
+use crate::{Activation, Mlp};
+use mfcp_linalg::Matrix;
+use std::fmt;
+use std::path::Path;
+
+/// Errors from parsing a persisted model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelFormatError {
+    /// Human-readable description including the offending line.
+    pub message: String,
+}
+
+impl fmt::Display for ModelFormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "model format error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ModelFormatError {}
+
+fn err(message: impl Into<String>) -> ModelFormatError {
+    ModelFormatError {
+        message: message.into(),
+    }
+}
+
+fn activation_tag(a: Activation) -> String {
+    match a {
+        Activation::Identity => "identity".into(),
+        Activation::Relu => "relu".into(),
+        Activation::LeakyRelu(alpha) => format!("leaky_relu {alpha:e}"),
+        Activation::Tanh => "tanh".into(),
+        Activation::Sigmoid => "sigmoid".into(),
+        Activation::SoftplusScaled(beta) => format!("softplus {beta:e}"),
+    }
+}
+
+fn parse_activation(tokens: &[&str]) -> Result<Activation, ModelFormatError> {
+    let parse_param = |tokens: &[&str]| -> Result<f64, ModelFormatError> {
+        tokens
+            .get(1)
+            .ok_or_else(|| err("missing activation parameter"))?
+            .parse()
+            .map_err(|_| err("bad activation parameter"))
+    };
+    match tokens.first().copied() {
+        Some("identity") => Ok(Activation::Identity),
+        Some("relu") => Ok(Activation::Relu),
+        Some("tanh") => Ok(Activation::Tanh),
+        Some("sigmoid") => Ok(Activation::Sigmoid),
+        Some("leaky_relu") => Ok(Activation::LeakyRelu(parse_param(tokens)?)),
+        Some("softplus") => Ok(Activation::SoftplusScaled(parse_param(tokens)?)),
+        other => Err(err(format!("unknown activation {other:?}"))),
+    }
+}
+
+/// Serializes an MLP to the text format.
+pub fn mlp_to_string(mlp: &Mlp) -> String {
+    let specs = mlp.layer_specs();
+    let mut out = String::new();
+    out.push_str("mfcp-mlp v1\n");
+    out.push_str(&format!("layers {}\n", specs.len()));
+    for (weight, bias, activation) in specs {
+        out.push_str(&format!(
+            "layer {} {} {}\n",
+            weight.rows(),
+            weight.cols(),
+            activation_tag(activation)
+        ));
+        for r in 0..weight.rows() {
+            let row: Vec<String> = weight.row(r).iter().map(|v| format!("{v:e}")).collect();
+            out.push_str(&row.join(" "));
+            out.push('\n');
+        }
+        let brow: Vec<String> = bias.row(0).iter().map(|v| format!("{v:e}")).collect();
+        out.push_str("bias ");
+        out.push_str(&brow.join(" "));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses an MLP from the text format.
+pub fn mlp_from_string(text: &str) -> Result<Mlp, ModelFormatError> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or_else(|| err("empty document"))?;
+    if header.trim() != "mfcp-mlp v1" {
+        return Err(err(format!("bad header {header:?}")));
+    }
+    let count_line = lines.next().ok_or_else(|| err("missing layer count"))?;
+    let count: usize = count_line
+        .trim()
+        .strip_prefix("layers ")
+        .ok_or_else(|| err("expected `layers <k>`"))?
+        .parse()
+        .map_err(|_| err("bad layer count"))?;
+    if count == 0 {
+        return Err(err("zero layers"));
+    }
+    let parse_floats = |line: &str| -> Result<Vec<f64>, ModelFormatError> {
+        line.split_whitespace()
+            .map(|t| t.parse().map_err(|_| err(format!("bad float {t:?}"))))
+            .collect()
+    };
+    let mut specs = Vec::with_capacity(count);
+    for li in 0..count {
+        let layer_line = lines
+            .next()
+            .ok_or_else(|| err(format!("missing layer header {li}")))?;
+        let tokens: Vec<&str> = layer_line.split_whitespace().collect();
+        if tokens.len() < 4 || tokens[0] != "layer" {
+            return Err(err(format!("bad layer header {layer_line:?}")));
+        }
+        let rows: usize = tokens[1].parse().map_err(|_| err("bad layer rows"))?;
+        let cols: usize = tokens[2].parse().map_err(|_| err("bad layer cols"))?;
+        let activation = parse_activation(&tokens[3..])?;
+        let mut weight = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            let row_line = lines
+                .next()
+                .ok_or_else(|| err(format!("missing weight row {r} of layer {li}")))?;
+            let values = parse_floats(row_line)?;
+            if values.len() != cols {
+                return Err(err(format!(
+                    "layer {li} row {r}: expected {cols} values, got {}",
+                    values.len()
+                )));
+            }
+            weight.row_mut(r).copy_from_slice(&values);
+        }
+        let bias_line = lines
+            .next()
+            .ok_or_else(|| err(format!("missing bias of layer {li}")))?;
+        let bias_body = bias_line
+            .trim()
+            .strip_prefix("bias ")
+            .ok_or_else(|| err("expected `bias <floats>`"))?;
+        let bvalues = parse_floats(bias_body)?;
+        if bvalues.len() != cols {
+            return Err(err(format!(
+                "layer {li}: bias expected {cols} values, got {}",
+                bvalues.len()
+            )));
+        }
+        specs.push((weight, Matrix::row_vector(&bvalues), activation));
+    }
+    // Shape consistency across layers.
+    for w in specs.windows(2) {
+        if w[0].0.cols() != w[1].0.rows() {
+            return Err(err("incompatible consecutive layer shapes"));
+        }
+    }
+    Ok(Mlp::from_layer_specs(specs))
+}
+
+/// Saves an MLP to a file.
+pub fn save_mlp(mlp: &Mlp, path: impl AsRef<Path>) -> std::io::Result<()> {
+    std::fs::write(path, mlp_to_string(mlp))
+}
+
+/// Loads an MLP from a file.
+pub fn load_mlp(path: impl AsRef<Path>) -> Result<Mlp, Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(mlp_from_string(&text)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn sample_mlp(seed: u64) -> Mlp {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Mlp::new(
+            &[4, 7, 3, 1],
+            Activation::LeakyRelu(0.02),
+            Activation::SoftplusScaled(1.5),
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let mlp = sample_mlp(1);
+        let text = mlp_to_string(&mlp);
+        let back = mlp_from_string(&text).unwrap();
+        // {:e} formatting round-trips f64 exactly.
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = mfcp_linalg::Matrix::from_fn(5, 4, |_, _| rng.gen_range(-1.0..1.0));
+        assert!(mlp.predict(&x).approx_eq(&back.predict(&x), 0.0));
+        for (a, b) in mlp.params().iter().zip(back.params()) {
+            assert!(a.approx_eq(b, 0.0));
+        }
+    }
+
+    #[test]
+    fn all_activations_round_trip() {
+        for act in [
+            Activation::Identity,
+            Activation::Relu,
+            Activation::Tanh,
+            Activation::Sigmoid,
+            Activation::LeakyRelu(0.1),
+            Activation::SoftplusScaled(2.0),
+        ] {
+            let mut rng = StdRng::seed_from_u64(3);
+            let mlp = Mlp::new(&[2, 3, 1], act, act, &mut rng);
+            let back = mlp_from_string(&mlp_to_string(&mlp)).unwrap();
+            assert_eq!(back.layer_specs()[0].2, act);
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let mlp = sample_mlp(5);
+        let dir = std::env::temp_dir().join("mfcp_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.txt");
+        save_mlp(&mlp, &path).unwrap();
+        let back = load_mlp(&path).unwrap();
+        assert_eq!(back.num_params(), mlp.num_params());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let mlp = sample_mlp(7);
+        let good = mlp_to_string(&mlp);
+        assert!(mlp_from_string("").is_err());
+        assert!(mlp_from_string("wrong header\nlayers 1").is_err());
+        assert!(mlp_from_string(&good.replace("mfcp-mlp v1", "mfcp-mlp v9")).is_err());
+        // Truncate the document mid-layer.
+        let truncated: String = good.lines().take(4).collect::<Vec<_>>().join("\n");
+        assert!(mlp_from_string(&truncated).is_err());
+        // Corrupt a float.
+        let corrupted = good.replacen("e-", "x-", 1);
+        assert!(mlp_from_string(&corrupted).is_err());
+    }
+
+    #[test]
+    fn rejects_shape_mismatch() {
+        let text = "mfcp-mlp v1\nlayers 2\nlayer 2 3 relu\n1 2 3\n4 5 6\nbias 1 2 3\nlayer 4 1 identity\n1\n2\n3\n4\nbias 1\n";
+        assert!(mlp_from_string(text).is_err());
+    }
+}

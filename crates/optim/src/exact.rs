@@ -1,0 +1,407 @@
+//! Exact branch-and-bound solver for small matching instances.
+//!
+//! Used as ground truth by the test suite and the regret benches: the
+//! paper's evaluation computes `X*(T, A)` — the optimal matching under the
+//! *true* performance matrices — and the paper-scale instances (`M = 3`,
+//! `N ≤ 25`) are within reach of branch-and-bound with LPT seeding and
+//! load/reliability pruning.
+
+use crate::problem::{Assignment, MatchingProblem};
+use crate::speedup::SpeedupCurve;
+
+/// Options for [`solve_exact`].
+#[derive(Debug, Clone, Copy)]
+pub struct ExactOptions {
+    /// Maximum search-tree nodes before giving up on optimality.
+    pub node_limit: u64,
+}
+
+impl Default for ExactOptions {
+    fn default() -> Self {
+        ExactOptions {
+            node_limit: 20_000_000,
+        }
+    }
+}
+
+/// Result of an exact solve.
+#[derive(Debug, Clone)]
+pub struct ExactResult {
+    /// Best assignment found (always populated; best-effort if the
+    /// reliability constraint is unsatisfiable).
+    pub assignment: Assignment,
+    /// Whether the assignment satisfies the reliability constraint.
+    pub feasible: bool,
+    /// Whether the search finished within the node limit (the assignment
+    /// is then provably optimal among feasible assignments).
+    pub optimal: bool,
+    /// Nodes expanded.
+    pub nodes: u64,
+}
+
+fn speedup_floor(curve: SpeedupCurve) -> f64 {
+    match curve {
+        SpeedupCurve::None => 1.0,
+        SpeedupCurve::ExpDecay { floor, .. } => floor,
+    }
+}
+
+/// LPT greedy: tasks in decreasing min-time order, each placed on the
+/// cluster minimizing the resulting makespan (ties to the more reliable
+/// cluster).
+pub fn greedy_lpt(problem: &MatchingProblem) -> Assignment {
+    let m = problem.clusters();
+    let n = problem.tasks();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        let ta = problem.times.col(a).into_iter().fold(f64::INFINITY, f64::min);
+        let tb = problem.times.col(b).into_iter().fold(f64::INFINITY, f64::min);
+        tb.total_cmp(&ta)
+    });
+    let mut cluster_of = vec![0usize; n];
+    let mut sums = vec![0.0; m];
+    let mut counts = vec![0.0; m];
+    for &j in &order {
+        let mut best = (f64::INFINITY, f64::NEG_INFINITY, 0usize);
+        for i in 0..m {
+            let new_time =
+                problem.speedup[i].eval(counts[i] + 1.0) * (sums[i] + problem.times[(i, j)]);
+            let others = (0..m)
+                .filter(|&k| k != i)
+                .map(|k| problem.speedup[k].eval(counts[k]) * sums[k])
+                .fold(0.0, f64::max);
+            let span = new_time.max(others);
+            let rel = problem.reliability[(i, j)];
+            if span < best.0 - 1e-12 || (span < best.0 + 1e-12 && rel > best.1) {
+                best = (span, rel, i);
+            }
+        }
+        cluster_of[j] = best.2;
+        sums[best.2] += problem.times[(best.2, j)];
+        counts[best.2] += 1.0;
+    }
+    Assignment::new(cluster_of)
+}
+
+struct Search<'a> {
+    problem: &'a MatchingProblem,
+    /// Running per-cluster capacity usage (empty when unconstrained).
+    cap_used: Vec<f64>,
+    order: Vec<usize>,
+    /// `max_rel_suffix[k]` = Σ over tasks `order[k..]` of the per-task
+    /// maximum reliability.
+    max_rel_suffix: Vec<f64>,
+    /// `min_time_suffix[k]` = Σ over tasks `order[k..]` of
+    /// `min_i floor_i · t_ij`.
+    min_time_suffix: Vec<f64>,
+    floors: Vec<f64>,
+    needed_rel: f64,
+    best_span: f64,
+    best: Option<Vec<usize>>,
+    nodes: u64,
+    node_limit: u64,
+    truncated: bool,
+}
+
+impl Search<'_> {
+    fn recurse(
+        &mut self,
+        depth: usize,
+        sums: &mut Vec<f64>,
+        counts: &mut Vec<f64>,
+        rel_acc: f64,
+        current: &mut Vec<usize>,
+    ) {
+        self.nodes += 1;
+        if self.nodes > self.node_limit {
+            self.truncated = true;
+            return;
+        }
+        let m = self.problem.clusters();
+        // Bound 1: reliability can no longer reach the threshold.
+        if rel_acc + self.max_rel_suffix[depth] < self.needed_rel - 1e-12 {
+            return;
+        }
+        // Bound 2: makespan lower bounds.
+        let lb_cluster = (0..m)
+            .map(|i| self.floors[i] * sums[i])
+            .fold(0.0, f64::max);
+        let lb_avg = ((0..m).map(|i| self.floors[i] * sums[i]).sum::<f64>()
+            + self.min_time_suffix[depth])
+            / m as f64;
+        if lb_cluster.max(lb_avg) >= self.best_span - 1e-12 {
+            return;
+        }
+        if depth == self.order.len() {
+            // Complete assignment: evaluate the real (speedup-adjusted) span.
+            let span = (0..m)
+                .map(|i| self.problem.speedup[i].eval(counts[i]) * sums[i])
+                .fold(0.0, f64::max);
+            if span < self.best_span - 1e-12 {
+                self.best_span = span;
+                self.best = Some(current.clone());
+            }
+            return;
+        }
+        let j = self.order[depth];
+        // Explore clusters in increasing resulting-load order (best-first).
+        let mut choices: Vec<usize> = (0..m).collect();
+        choices.sort_by(|&a, &b| {
+            let la = sums[a] + self.problem.times[(a, j)];
+            let lb = sums[b] + self.problem.times[(b, j)];
+            la.total_cmp(&lb)
+        });
+        for i in choices {
+            // Capacity pruning: usage only grows down a branch.
+            if let Some(cap) = &self.problem.capacity {
+                if self.cap_used[i] + cap.usage[(i, j)] > cap.limits[i] + 1e-9 {
+                    continue;
+                }
+                self.cap_used[i] += cap.usage[(i, j)];
+            }
+            sums[i] += self.problem.times[(i, j)];
+            counts[i] += 1.0;
+            current.push(i);
+            self.recurse(
+                depth + 1,
+                sums,
+                counts,
+                rel_acc + self.problem.reliability[(i, j)],
+                current,
+            );
+            current.pop();
+            counts[i] -= 1.0;
+            sums[i] -= self.problem.times[(i, j)];
+            if let Some(cap) = &self.problem.capacity {
+                self.cap_used[i] -= cap.usage[(i, j)];
+            }
+            if self.truncated {
+                return;
+            }
+        }
+    }
+}
+
+/// Finds the makespan-optimal feasible assignment by branch-and-bound.
+pub fn solve_exact(problem: &MatchingProblem, opts: &ExactOptions) -> ExactResult {
+    let m = problem.clusters();
+    let n = problem.tasks();
+    assert!(m > 0, "need at least one cluster");
+    if n == 0 {
+        return ExactResult {
+            assignment: Assignment::new(vec![]),
+            feasible: true,
+            optimal: true,
+            nodes: 0,
+        };
+    }
+
+    // Seed the incumbent with LPT (+ reliability repair + local search).
+    let mut incumbent = greedy_lpt(problem);
+    crate::rounding::repair_reliability(problem, &mut incumbent);
+    crate::rounding::local_search(problem, &mut incumbent, 10);
+    let incumbent_feasible = incumbent.is_feasible(problem);
+    let incumbent_span = if incumbent_feasible {
+        incumbent.makespan(problem)
+    } else {
+        f64::INFINITY
+    };
+
+    // Order tasks by decreasing minimum execution time (hardest first).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        let ta = problem.times.col(a).into_iter().fold(f64::INFINITY, f64::min);
+        let tb = problem.times.col(b).into_iter().fold(f64::INFINITY, f64::min);
+        tb.total_cmp(&ta)
+    });
+
+    let floors: Vec<f64> = problem.speedup.iter().map(|&c| speedup_floor(c)).collect();
+    let mut max_rel_suffix = vec![0.0; n + 1];
+    let mut min_time_suffix = vec![0.0; n + 1];
+    for k in (0..n).rev() {
+        let j = order[k];
+        let col_rel = problem.reliability.col(j);
+        max_rel_suffix[k] =
+            max_rel_suffix[k + 1] + col_rel.iter().cloned().fold(0.0, f64::max);
+        let min_t = (0..m)
+            .map(|i| floors[i] * problem.times[(i, j)])
+            .fold(f64::INFINITY, f64::min);
+        min_time_suffix[k] = min_time_suffix[k + 1] + min_t;
+    }
+
+    let mut search = Search {
+        problem,
+        cap_used: vec![0.0; m],
+        order,
+        max_rel_suffix,
+        min_time_suffix,
+        floors,
+        needed_rel: problem.gamma * n as f64,
+        best_span: incumbent_span,
+        best: None,
+        nodes: 0,
+        node_limit: opts.node_limit,
+        truncated: false,
+    };
+    let mut sums = vec![0.0; m];
+    let mut counts = vec![0.0; m];
+    let mut current = Vec::with_capacity(n);
+    search.recurse(0, &mut sums, &mut counts, 0.0, &mut current);
+
+    let assignment = match search.best {
+        Some(by_depth) => {
+            // Map depth-ordered choices back to task order.
+            let mut cluster_of = vec![0usize; n];
+            for (depth, &cluster) in by_depth.iter().enumerate() {
+                cluster_of[search.order[depth]] = cluster;
+            }
+            Assignment::new(cluster_of)
+        }
+        None => incumbent,
+    };
+    let feasible = assignment.is_feasible(problem);
+    ExactResult {
+        feasible,
+        optimal: !search.truncated && feasible,
+        nodes: search.nodes,
+        assignment,
+    }
+}
+
+/// Brute-force enumeration (`m^n` assignments) — test oracle only.
+pub fn solve_brute_force(problem: &MatchingProblem) -> Option<Assignment> {
+    let m = problem.clusters();
+    let n = problem.tasks();
+    let total = (m as u64).checked_pow(n as u32).expect("instance too large");
+    let mut best: Option<(f64, Assignment)> = None;
+    for code in 0..total {
+        let mut c = code;
+        let mut cluster_of = Vec::with_capacity(n);
+        for _ in 0..n {
+            cluster_of.push((c % m as u64) as usize);
+            c /= m as u64;
+        }
+        let asg = Assignment::new(cluster_of);
+        if !asg.is_feasible(problem) {
+            continue;
+        }
+        let span = asg.makespan(problem);
+        if best.as_ref().is_none_or(|(s, _)| span < *s - 1e-15) {
+            best = Some((span, asg));
+        }
+    }
+    best.map(|(_, a)| a)
+}
+
+/// Convenience used by tests: the optimal feasible makespan, if any.
+pub fn optimal_makespan(problem: &MatchingProblem) -> Option<f64> {
+    solve_brute_force(problem).map(|a| a.makespan(problem))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfcp_linalg::Matrix;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_problem(seed: u64, m: usize, n: usize, gamma: f64, parallel: bool) -> MatchingProblem {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = Matrix::from_fn(m, n, |_, _| rng.gen_range(0.5..3.0));
+        let a = Matrix::from_fn(m, n, |_, _| rng.gen_range(0.7..1.0));
+        let speedup = if parallel {
+            vec![SpeedupCurve::paper_parallel(); m]
+        } else {
+            vec![SpeedupCurve::None; m]
+        };
+        MatchingProblem::with_speedup(t, a, gamma, speedup)
+    }
+
+    #[test]
+    fn bb_matches_brute_force_sequential() {
+        for seed in 0..15 {
+            let problem = random_problem(seed, 3, 6, 0.78, false);
+            let bb = solve_exact(&problem, &ExactOptions::default());
+            let bf = solve_brute_force(&problem);
+            match bf {
+                Some(opt) => {
+                    assert!(bb.feasible, "seed {seed}: B&B missed feasibility");
+                    assert!(
+                        (bb.assignment.makespan(&problem) - opt.makespan(&problem)).abs() < 1e-9,
+                        "seed {seed}: {} vs {}",
+                        bb.assignment.makespan(&problem),
+                        opt.makespan(&problem)
+                    );
+                }
+                None => assert!(!bb.feasible, "seed {seed}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bb_matches_brute_force_parallel() {
+        for seed in 100..110 {
+            let problem = random_problem(seed, 3, 6, 0.75, true);
+            let bb = solve_exact(&problem, &ExactOptions::default());
+            if let Some(opt) = solve_brute_force(&problem) {
+                assert!(bb.feasible);
+                assert!(
+                    (bb.assignment.makespan(&problem) - opt.makespan(&problem)).abs() < 1e-9,
+                    "seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bb_handles_paper_scale_quickly() {
+        let problem = random_problem(7, 3, 25, 0.78, false);
+        let result = solve_exact(&problem, &ExactOptions::default());
+        assert!(result.optimal, "nodes = {}", result.nodes);
+        assert!(result.feasible);
+    }
+
+    #[test]
+    fn greedy_is_reasonable() {
+        let problem = random_problem(3, 3, 10, 0.0, false);
+        let greedy = greedy_lpt(&problem);
+        let exact = solve_exact(&problem, &ExactOptions::default());
+        let ratio = greedy.makespan(&problem) / exact.assignment.makespan(&problem);
+        assert!(ratio < 2.0, "LPT should be within 2x of optimal, got {ratio}");
+    }
+
+    #[test]
+    fn infeasible_instance_flagged() {
+        let t = Matrix::from_rows(&[&[1.0], &[1.0]]);
+        let a = Matrix::from_rows(&[&[0.5], &[0.6]]);
+        let problem = MatchingProblem::new(t, a, 0.99);
+        let result = solve_exact(&problem, &ExactOptions::default());
+        assert!(!result.feasible);
+        assert!(!result.optimal);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let problem = MatchingProblem::new(Matrix::zeros(2, 0), Matrix::zeros(2, 0), 0.5);
+        let result = solve_exact(&problem, &ExactOptions::default());
+        assert!(result.optimal);
+        assert_eq!(result.assignment.tasks(), 0);
+    }
+
+    #[test]
+    fn node_limit_respected() {
+        let problem = random_problem(11, 4, 14, 0.75, false);
+        let result = solve_exact(&problem, &ExactOptions { node_limit: 50 });
+        assert!(result.nodes <= 51);
+        // Still returns a usable (greedy) assignment.
+        assert_eq!(result.assignment.tasks(), 14);
+    }
+
+    #[test]
+    fn single_cluster_trivial() {
+        let problem = random_problem(13, 1, 5, 0.0, false);
+        let result = solve_exact(&problem, &ExactOptions::default());
+        assert!(result.optimal);
+        assert_eq!(result.assignment.cluster_of, vec![0; 5]);
+    }
+}

@@ -1,0 +1,541 @@
+//! Implicit differentiation of the relaxed matching optimum through its
+//! KKT stationarity system (paper §3.3, Eq. 13–15) — the MFCP-AD path.
+//!
+//! At the relaxed optimum returned by Algorithm 1 the iterate is strictly
+//! interior (the entropy term keeps every `x_ij > 0`), so the only active
+//! constraints are the per-task simplex equalities `Σ_i x_ij = 1`.
+//! Stationarity then reads
+//!
+//! ```text
+//! ∇_X F(X*, T, A) + Dᵀ ν = 0,      D X* = 1
+//! ```
+//!
+//! and total differentiation gives the symmetric saddle system
+//!
+//! ```text
+//! [ H   Dᵀ ] [ dX ]     [ ∇²_XT F · dT + ∇²_XA F · dA ]
+//! [ D   0  ] [ dν ]  = −[ 0                            ]
+//! ```
+//!
+//! (the specialization of the paper's Eq. 15 to inactive box constraints:
+//! with `0 < x < 1` strictly, complementary slackness forces `μ¹ = μ² = 0`
+//! and those rows drop out). For training we never materialize `dX/dT`;
+//! we solve the *adjoint* system once per backward pass:
+//! `K [y; z] = [∂L/∂X; 0]`, then contract `∂L/∂T = −(∇²_XT F)ᵀ y` and
+//! `∂L/∂A = −(∇²_XA F)ᵀ y`, both available in closed form.
+//!
+//! Only the convex (sequential-execution) case is supported — exactly the
+//! regime where the paper applies MFCP-AD; the parallel case goes through
+//! [`crate::zeroth`].
+
+use crate::objective::{self, BarrierKind, CostKind, RelaxationParams};
+use crate::problem::MatchingProblem;
+use mfcp_linalg::{lu::Lu, LinalgError, Matrix};
+
+/// Gradients of a scalar loss with respect to the problem's performance
+/// matrices, obtained by implicit differentiation.
+#[derive(Debug, Clone)]
+pub struct KktGradients {
+    /// `∂L/∂T`, shape `M x N`.
+    pub dl_dt: Matrix,
+    /// `∂L/∂A`, shape `M x N`.
+    pub dl_da: Matrix,
+}
+
+/// Second derivative `φ''(g)` of the barrier.
+fn barrier_second_derivative(params: &RelaxationParams, g: f64) -> f64 {
+    match params.barrier {
+        BarrierKind::Log { eps } => {
+            if g >= eps {
+                params.lambda / (g * g)
+            } else {
+                0.0
+            }
+        }
+        BarrierKind::HardPenalty | BarrierKind::None => 0.0,
+    }
+}
+
+/// Assembles the symmetric KKT saddle matrix `[[H, Dᵀ], [D, 0]]` at `x`,
+/// where `H = ∇²_XX F` (smooth-max + barrier + entropy terms, plus mild
+/// Tikhonov damping) and `D` stacks the per-task simplex equalities.
+///
+/// Shared by [`implicit_gradients`] (which solves the adjoint system) and
+/// the Newton solver in [`crate::solver`] (which solves the primal step
+/// system).
+pub fn assemble_kkt_matrix(
+    problem: &MatchingProblem,
+    params: &RelaxationParams,
+    x: &Matrix,
+) -> Matrix {
+    let (m, n) = x.shape();
+    let mn = m * n;
+    let dim = mn + n;
+    let stats = objective::cluster_stats(problem, params, x);
+    let g = objective::reliability_slack(problem, x);
+    let ddphi = barrier_second_derivative(params, g);
+    let (beta, w): (f64, Vec<f64>) = match params.cost {
+        CostKind::SmoothMax => (params.beta, stats.weights.clone()),
+        CostKind::LinearSum => (0.0, vec![1.0; m]),
+    };
+    let t = &problem.times;
+    let a = &problem.reliability;
+    let nf = n as f64;
+    let idx = |i: usize, j: usize| i * n + j;
+    let mut k = Matrix::zeros(dim, dim);
+
+    // H1 (smooth max): β t_ij t_kl (δ_ik w_i − w_i w_k)
+    // H2 (barrier):    φ''(g) a_ij a_kl / N²
+    // H3 (entropy):    ρ / x_ij on the diagonal
+    // H4 (capacity):   per-cluster rank-1 blocks
+    //                  φ''(slack_i) u_ij u_il / limit_i²
+    let cap_ddphi: Vec<f64> = match &problem.capacity {
+        Some(cap) => (0..m)
+            .map(|i| barrier_second_derivative(params, cap.slack(x, i)))
+            .collect(),
+        None => vec![0.0; m],
+    };
+    for i in 0..m {
+        for j in 0..n {
+            let row = idx(i, j);
+            for kk in 0..m {
+                for l in 0..n {
+                    let col = idx(kk, l);
+                    let mut h =
+                        beta * t[(i, j)] * t[(kk, l)] * w[i] * ((i == kk) as u8 as f64 - w[kk]);
+                    h += ddphi * a[(i, j)] * a[(kk, l)] / (nf * nf);
+                    if i == kk && cap_ddphi[i] != 0.0 {
+                        let cap = problem.capacity.as_ref().expect("capacity present");
+                        h += cap_ddphi[i] * cap.usage[(i, j)] * cap.usage[(i, l)]
+                            / (cap.limits[i] * cap.limits[i]);
+                    }
+                    k[(row, col)] += h;
+                }
+            }
+            if params.rho != 0.0 {
+                // Floor the entry so a fully collapsed coordinate cannot
+                // blow the diagonal up to the point of swamping every
+                // other pivot of the LU factorization.
+                k[(row, row)] += params.rho / x[(i, j)].max(1e-7);
+            }
+        }
+    }
+    // Mild Tikhonov damping for numerical safety on near-singular systems.
+    let damping = 1e-10 * (1.0 + k.max_abs());
+    for d in 0..mn {
+        k[(d, d)] += damping;
+    }
+    // D blocks: equality constraint j touches x_{i j} for all i.
+    for j in 0..n {
+        for i in 0..m {
+            k[(idx(i, j), mn + j)] = 1.0; // Dᵀ
+            k[(mn + j, idx(i, j))] = 1.0; // D
+        }
+    }
+    k
+}
+
+/// Computes `∂L/∂T` and `∂L/∂A` at the relaxed optimum `x_star` given the
+/// upstream gradient `dl_dx = ∂L/∂X*`.
+///
+/// # Errors
+/// Returns an error when the KKT matrix is singular (e.g. `rho = 0` with a
+/// vertex solution).
+///
+/// # Panics
+/// Panics if any speedup curve is non-trivial (non-convex case — use the
+/// zeroth-order path). Both cost kinds are supported ([`CostKind::LinearSum`]
+/// is the β → 0 limit of the smooth-max formulas).
+pub fn implicit_gradients(
+    problem: &MatchingProblem,
+    params: &RelaxationParams,
+    x_star: &Matrix,
+    dl_dx: &Matrix,
+) -> Result<KktGradients, LinalgError> {
+    assert!(
+        problem.speedup.iter().all(|c| c.is_trivial()),
+        "MFCP-AD requires the convex (sequential) setting; use zeroth-order gradients for parallel execution"
+    );
+    let (m, n) = x_star.shape();
+    assert_eq!((m, n), problem.times.shape());
+    assert_eq!(dl_dx.shape(), (m, n));
+    let mn = m * n;
+    if mn == 0 {
+        return Ok(KktGradients {
+            dl_dt: Matrix::zeros(m, n),
+            dl_da: Matrix::zeros(m, n),
+        });
+    }
+
+    let stats = objective::cluster_stats(problem, params, x_star);
+    let g = objective::reliability_slack(problem, x_star);
+    let dphi = objective::barrier_derivative(params, g);
+    let ddphi = barrier_second_derivative(params, g);
+    // The linear-sum ablation is the β → 0 limit with uniform weights:
+    // the cost Hessian vanishes and the cross term reduces to the
+    // identity (∂²F/∂x_ij∂t_kl = δ_ik δ_jl).
+    let (beta, w): (f64, Vec<f64>) = match params.cost {
+        CostKind::SmoothMax => (params.beta, stats.weights.clone()),
+        CostKind::LinearSum => (0.0, vec![1.0; m]),
+    };
+    let w = &w;
+    let t = &problem.times;
+    let a = &problem.reliability;
+    let nf = n as f64;
+    let idx = |i: usize, j: usize| i * n + j;
+    let k = assemble_kkt_matrix(problem, params, x_star);
+
+    // ---- adjoint solve K [y; z] = [dl_dx; 0] --------------------------
+    let mut rhs = vec![0.0; mn + n];
+    for i in 0..m {
+        for j in 0..n {
+            rhs[idx(i, j)] = dl_dx[(i, j)];
+        }
+    }
+    let y_full = Lu::factor(&k)?.solve(&rhs)?;
+    let y = Matrix::from_fn(m, n, |i, j| y_full[idx(i, j)]);
+
+    // ---- contract with the closed-form cross Hessians ------------------
+    // r_i = Σ_j t_ij y_ij ;  ȳᵗ = Σ_i w_i r_i ;  q = Σ_ij y_ij a_ij
+    let mut r = vec![0.0; m];
+    let mut q = 0.0;
+    for i in 0..m {
+        for j in 0..n {
+            r[i] += t[(i, j)] * y[(i, j)];
+            q += a[(i, j)] * y[(i, j)];
+        }
+    }
+    let rbar: f64 = (0..m).map(|i| w[i] * r[i]).sum();
+
+    // ∂²F/∂x_ij ∂t_kl = w_i δ_ik δ_jl + β t_ij w_i (δ_ik − w_k) x_kl
+    // (∇²_XT F)ᵀ y [kl] = w_k y_kl + β w_k x_kl (r_k − r̄)
+    let mut dl_dt = Matrix::zeros(m, n);
+    for kcl in 0..m {
+        for l in 0..n {
+            let v = w[kcl] * y[(kcl, l)] + beta * w[kcl] * x_star[(kcl, l)] * (r[kcl] - rbar);
+            dl_dt[(kcl, l)] = -v;
+        }
+    }
+
+    // ∂²F/∂x_ij ∂a_kl = φ''(g) (x_kl/N)(a_ij/N) + φ'(g) δ_ik δ_jl / N
+    // (∇²_XA F)ᵀ y [kl] = φ'' x_kl q / N² + φ' y_kl / N
+    let mut dl_da = Matrix::zeros(m, n);
+    for kcl in 0..m {
+        for l in 0..n {
+            let v = ddphi * x_star[(kcl, l)] * q / (nf * nf) + dphi * y[(kcl, l)] / nf;
+            dl_da[(kcl, l)] = -v;
+        }
+    }
+
+    Ok(KktGradients { dl_dt, dl_da })
+}
+
+/// Full Jacobians of the relaxed optimum with respect to the prediction
+/// matrices, as dense `(M·N) x (M·N)` matrices in row-major `(i·N + j)`
+/// flattening: `dx_dt[(p, q)] = ∂X*_p / ∂T_q`.
+#[derive(Debug, Clone)]
+pub struct SolutionJacobians {
+    /// `∂X*/∂T`.
+    pub dx_dt: Matrix,
+    /// `∂X*/∂A`.
+    pub dx_da: Matrix,
+}
+
+/// Materializes `∂X*/∂T` and `∂X*/∂A` at the relaxed optimum — the
+/// interpretability view of the matching layer: column `(k, l)` says how
+/// every assignment probability moves when the prediction for task `l` on
+/// cluster `k` changes. One LU factorization, `2·M·N` solves.
+///
+/// Training never needs this (it uses the adjoint VJP in
+/// [`implicit_gradients`]); use it for per-round sensitivity reports and
+/// diagnostics. Same convexity restriction as the rest of this module.
+pub fn solution_jacobians(
+    problem: &MatchingProblem,
+    params: &RelaxationParams,
+    x_star: &Matrix,
+) -> Result<SolutionJacobians, LinalgError> {
+    assert!(
+        problem.speedup.iter().all(|c| c.is_trivial()),
+        "solution Jacobians require the convex (sequential) setting"
+    );
+    let (m, n) = x_star.shape();
+    let mn = m * n;
+    if mn == 0 {
+        return Ok(SolutionJacobians {
+            dx_dt: Matrix::zeros(0, 0),
+            dx_da: Matrix::zeros(0, 0),
+        });
+    }
+    let stats = objective::cluster_stats(problem, params, x_star);
+    let g = objective::reliability_slack(problem, x_star);
+    let dphi = objective::barrier_derivative(params, g);
+    let ddphi = barrier_second_derivative(params, g);
+    let (beta, w): (f64, Vec<f64>) = match params.cost {
+        CostKind::SmoothMax => (params.beta, stats.weights.clone()),
+        CostKind::LinearSum => (0.0, vec![1.0; m]),
+    };
+    let t = &problem.times;
+    let a = &problem.reliability;
+    let nf = n as f64;
+    let idx = |i: usize, j: usize| i * n + j;
+    let lu = Lu::factor(&assemble_kkt_matrix(problem, params, x_star))?;
+
+    let mut dx_dt = Matrix::zeros(mn, mn);
+    let mut dx_da = Matrix::zeros(mn, mn);
+    let mut rhs = vec![0.0; mn + n];
+    for kcl in 0..m {
+        for l in 0..n {
+            let col = idx(kcl, l);
+            // ---- dX/dT column: rhs = −∇²_XT F e_(k,l) -----------------
+            // ∂²F/∂x_ij∂t_kl = w_i δ_ik δ_jl + β t_ij w_i (δ_ik − w_k) x_kl
+            for slot in rhs.iter_mut() {
+                *slot = 0.0;
+            }
+            for i in 0..m {
+                for j in 0..n {
+                    let mut v = 0.0;
+                    if i == kcl && j == l {
+                        v += w[i];
+                    }
+                    v += beta
+                        * t[(i, j)]
+                        * w[i]
+                        * ((i == kcl) as u8 as f64 - w[kcl])
+                        * x_star[(kcl, l)];
+                    rhs[idx(i, j)] = -v;
+                }
+            }
+            let sol = lu.solve(&rhs)?;
+            for p in 0..mn {
+                dx_dt[(p, col)] = sol[p];
+            }
+            // ---- dX/dA column ------------------------------------------
+            // ∂²F/∂x_ij∂a_kl = φ''(g)(x_kl/N)(a_ij/N) + φ'(g) δ_ik δ_jl/N
+            for slot in rhs.iter_mut() {
+                *slot = 0.0;
+            }
+            for i in 0..m {
+                for j in 0..n {
+                    let mut v = ddphi * x_star[(kcl, l)] * a[(i, j)] / (nf * nf);
+                    if i == kcl && j == l {
+                        v += dphi / nf;
+                    }
+                    rhs[idx(i, j)] = -v;
+                }
+            }
+            let sol = lu.solve(&rhs)?;
+            for p in 0..mn {
+                dx_da[(p, col)] = sol[p];
+            }
+        }
+    }
+    Ok(SolutionJacobians { dx_dt, dx_da })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{solve_relaxed, SolverOptions};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn tight_opts() -> SolverOptions {
+        SolverOptions {
+            max_iters: 20_000,
+            lr: 0.5,
+            tol: 1e-14,
+            ..Default::default()
+        }
+    }
+
+    fn random_setup(seed: u64, m: usize, n: usize) -> (MatchingProblem, RelaxationParams, Matrix) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = Matrix::from_fn(m, n, |_, _| rng.gen_range(0.5..2.5));
+        let a = Matrix::from_fn(m, n, |_, _| rng.gen_range(0.75..1.0));
+        let problem = MatchingProblem::new(t, a, 0.7);
+        let params = RelaxationParams {
+            beta: 3.0,
+            lambda: 0.05,
+            rho: 0.05,
+            ..Default::default()
+        };
+        let c = Matrix::from_fn(m, n, |_, _| rng.gen_range(-1.0..1.0));
+        (problem, params, c)
+    }
+
+    /// L(T, A) = <c, X*(T, A)>: the canonical linear probe for testing
+    /// Jacobians of an argmin.
+    fn probe_loss(problem: &MatchingProblem, params: &RelaxationParams, c: &Matrix) -> f64 {
+        let sol = solve_relaxed(problem, params, &tight_opts());
+        c.hadamard(&sol.x).unwrap().sum()
+    }
+
+    #[test]
+    fn dt_matches_finite_differences() {
+        let (problem, params, c) = random_setup(1, 3, 4);
+        let sol = solve_relaxed(&problem, &params, &tight_opts());
+        let grads = implicit_gradients(&problem, &params, &sol.x, &c).unwrap();
+
+        let h = 1e-5;
+        for &(i, j) in &[(0usize, 0usize), (1, 2), (2, 3)] {
+            let mut tp = problem.clone();
+            tp.times[(i, j)] += h;
+            let mut tm = problem.clone();
+            tm.times[(i, j)] -= h;
+            let numeric = (probe_loss(&tp, &params, &c) - probe_loss(&tm, &params, &c)) / (2.0 * h);
+            let analytic = grads.dl_dt[(i, j)];
+            assert!(
+                (analytic - numeric).abs() < 2e-3 * (1.0 + numeric.abs()),
+                "dT[{i},{j}]: analytic {analytic} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn da_matches_finite_differences() {
+        // Make the barrier bind: gamma close to the achievable mean.
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = Matrix::from_fn(3, 4, |_, _| rng.gen_range(0.5..2.5));
+        let a = Matrix::from_fn(3, 4, |_, _| rng.gen_range(0.75..0.95));
+        let problem = MatchingProblem::new(t, a, 0.82);
+        let params = RelaxationParams {
+            beta: 3.0,
+            lambda: 0.1,
+            rho: 0.05,
+            ..Default::default()
+        };
+        let c = Matrix::from_fn(3, 4, |_, _| rng.gen_range(-1.0..1.0));
+        let sol = solve_relaxed(&problem, &params, &tight_opts());
+        let g = objective::reliability_slack(&problem, &sol.x);
+        assert!(g > 0.0, "barrier must be active-side feasible");
+        let grads = implicit_gradients(&problem, &params, &sol.x, &c).unwrap();
+
+        let h = 1e-5;
+        for &(i, j) in &[(0usize, 1usize), (1, 0), (2, 2)] {
+            let mut pp = problem.clone();
+            pp.reliability[(i, j)] += h;
+            let mut pm = problem.clone();
+            pm.reliability[(i, j)] -= h;
+            let numeric = (probe_loss(&pp, &params, &c) - probe_loss(&pm, &params, &c)) / (2.0 * h);
+            let analytic = grads.dl_da[(i, j)];
+            assert!(
+                (analytic - numeric).abs() < 2e-3 * (1.0 + numeric.abs()),
+                "dA[{i},{j}]: analytic {analytic} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn reliability_gradient_nonzero_through_barrier() {
+        // The whole point of the interior-point reformulation: ∂X*/∂A must
+        // not vanish when the constraint is strictly satisfied.
+        let (problem, params, c) = random_setup(3, 3, 5);
+        let sol = solve_relaxed(&problem, &params, &tight_opts());
+        let grads = implicit_gradients(&problem, &params, &sol.x, &c).unwrap();
+        assert!(
+            grads.dl_da.max_abs() > 1e-8,
+            "log barrier should give meaningful reliability gradients"
+        );
+    }
+
+    #[test]
+    fn hard_penalty_gradient_vanishes_when_feasible() {
+        // The ablation's failure mode (paper Table 1 row 2): with a hinge
+        // penalty and a satisfied constraint, ∂X*/∂A ≡ 0.
+        let (problem, mut params, c) = random_setup(4, 3, 5);
+        params.barrier = BarrierKind::HardPenalty;
+        let sol = solve_relaxed(&problem, &params, &tight_opts());
+        assert!(objective::reliability_slack(&problem, &sol.x) > 0.0);
+        let grads = implicit_gradients(&problem, &params, &sol.x, &c).unwrap();
+        assert!(grads.dl_da.max_abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "convex")]
+    fn rejects_parallel_setting() {
+        let (mut problem, params, c) = random_setup(5, 2, 3);
+        problem.speedup = vec![crate::speedup::SpeedupCurve::paper_parallel(); 2];
+        let x = crate::solver::uniform_init(2, 3);
+        let _ = implicit_gradients(&problem, &params, &x, &c);
+    }
+
+    #[test]
+    fn linear_cost_gradients_match_finite_differences() {
+        let (problem, mut params, c) = random_setup(8, 3, 4);
+        params.cost = CostKind::LinearSum;
+        let sol = solve_relaxed(&problem, &params, &tight_opts());
+        let grads = implicit_gradients(&problem, &params, &sol.x, &c).unwrap();
+        let h = 1e-5;
+        for &(i, j) in &[(0usize, 0usize), (2, 3)] {
+            let mut tp = problem.clone();
+            tp.times[(i, j)] += h;
+            let mut tm = problem.clone();
+            tm.times[(i, j)] -= h;
+            let numeric =
+                (probe_loss(&tp, &params, &c) - probe_loss(&tm, &params, &c)) / (2.0 * h);
+            let analytic = grads.dl_dt[(i, j)];
+            assert!(
+                (analytic - numeric).abs() < 2e-3 * (1.0 + numeric.abs()),
+                "dT[{i},{j}]: analytic {analytic} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn jacobian_consistent_with_adjoint_vjp() {
+        // For any upstream gradient c: implicit_gradients(c) must equal
+        // the contraction of c with the materialized Jacobians.
+        let (problem, params, c) = random_setup(6, 3, 4);
+        let sol = solve_relaxed(&problem, &params, &tight_opts());
+        let grads = implicit_gradients(&problem, &params, &sol.x, &c).unwrap();
+        let jac = solution_jacobians(&problem, &params, &sol.x).unwrap();
+        let (m, n) = (3, 4);
+        let mn = m * n;
+        let cvec: Vec<f64> = (0..mn).map(|p| c[(p / n, p % n)]).collect();
+        for kcl in 0..m {
+            for l in 0..n {
+                let col = kcl * n + l;
+                let via_jac_t: f64 = (0..mn).map(|p| cvec[p] * jac.dx_dt[(p, col)]).sum();
+                let via_jac_a: f64 = (0..mn).map(|p| cvec[p] * jac.dx_da[(p, col)]).sum();
+                assert!(
+                    (via_jac_t - grads.dl_dt[(kcl, l)]).abs() < 1e-8,
+                    "dT[{kcl},{l}]: {via_jac_t} vs {}",
+                    grads.dl_dt[(kcl, l)]
+                );
+                assert!(
+                    (via_jac_a - grads.dl_da[(kcl, l)]).abs() < 1e-8,
+                    "dA[{kcl},{l}]: {via_jac_a} vs {}",
+                    grads.dl_da[(kcl, l)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jacobian_columns_sum_to_zero_within_tasks() {
+        // Perturbing any prediction moves mass within each task's simplex
+        // column, so ∂(Σ_i x_ij)/∂θ = 0 for every task j.
+        let (problem, params, _) = random_setup(7, 3, 4);
+        let sol = solve_relaxed(&problem, &params, &tight_opts());
+        let jac = solution_jacobians(&problem, &params, &sol.x).unwrap();
+        let (m, n) = (3, 4);
+        for col in 0..m * n {
+            for j in 0..n {
+                let mass_change: f64 = (0..m).map(|i| jac.dx_dt[(i * n + j, col)]).sum();
+                assert!(
+                    mass_change.abs() < 1e-8,
+                    "column {col}, task {j}: mass change {mass_change}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_problem_returns_zeros() {
+        let problem = MatchingProblem::new(Matrix::zeros(2, 0), Matrix::zeros(2, 0), 0.5);
+        let params = RelaxationParams::default();
+        let x = Matrix::zeros(2, 0);
+        let g = implicit_gradients(&problem, &params, &x, &Matrix::zeros(2, 0)).unwrap();
+        assert_eq!(g.dl_dt.shape(), (2, 0));
+    }
+}

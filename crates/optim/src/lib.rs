@@ -1,0 +1,43 @@
+//! The relaxed cluster–task matching layer of MFCP.
+//!
+//! This crate implements §2 and §3.2–§3.4 of the paper:
+//!
+//! * [`MatchingProblem`] — the integer program of Eq. (2): assign each of
+//!   `N` deep-learning tasks to one of `M` clusters, minimizing the
+//!   makespan `max_i ζ_i(n_i)·xᵢᵀtᵢ` (Eq. 3 / Eq. 16) subject to the
+//!   platform-wide reliability constraint `g(X, A) ≥ 0` (Eq. 4).
+//! * [`objective`] — the continuous relaxation: log-sum-exp smoothing of
+//!   the max (Eq. 8, Theorem 1), the logarithmic interior-point barrier
+//!   (Eq. 9), the hard-penalty ablation (Table 1 row 2), the linear-cost
+//!   ablation (Table 1 row 1), and an entropy regularizer that makes the
+//!   relaxed optimum unique and interior (a standard DFL device; see
+//!   DESIGN.md).
+//! * [`solver`] — Algorithm 1: projected gradient descent over the product
+//!   of per-task simplices, with mirror-descent (exponentiated-gradient),
+//!   literal-paper-softmax and Euclidean projections.
+//! * [`rounding`] — deployment-time rounding of the relaxed solution plus
+//!   reliability repair and local search (§3.2: "rounded to produce
+//!   discrete solutions").
+//! * [`exact`] — a branch-and-bound solver for small instances, used as
+//!   ground truth in tests and benches.
+//! * [`kkt`] — implicit differentiation of the optimum through the KKT
+//!   stationarity system (Eq. 14–15), the MFCP-AD gradient path.
+//! * [`zeroth`] — the zeroth-order forward-gradient estimator of
+//!   Algorithm 2 (lines 5–11), the MFCP-FG gradient path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exact;
+pub mod kkt;
+pub mod objective;
+pub mod problem;
+pub mod rounding;
+pub mod solver;
+pub mod speedup;
+pub mod zeroth;
+
+pub use objective::{BarrierKind, CostKind, RelaxationParams};
+pub use problem::{Assignment, CapacityConstraint, MatchingProblem};
+pub use solver::{NewtonOptions, ProjectionKind, RelaxedSolution, SolverOptions};
+pub use speedup::SpeedupCurve;

@@ -1,0 +1,468 @@
+//! The continuous relaxed objective `F(X, T, A)` (paper Eq. 8–10, 17).
+//!
+//! For a relaxed matching `X` (columns on the probability simplex), with
+//! per-cluster fractional load `n_i = xᵢᵀ1` and weighted time
+//! `ℓ_i = xᵢᵀtᵢ`, the smoothed makespan is
+//!
+//! ```text
+//! f̃(X, T) = (1/β) · log Σ_i exp(β · ζ_i(n_i) · ℓ_i)        (Eq. 8 / 17)
+//! ```
+//!
+//! and the full training objective adds the reliability barrier and an
+//! entropy regularizer:
+//!
+//! ```text
+//! F(X, T, A) = f̃(X, T) + φ_λ(g(X, A)) + ρ · Σ_ij x_ij log x_ij
+//! ```
+//!
+//! where `g(X, A) = (1/N) Σ_ij x_ij a_ij − γ` is the reliability slack.
+//!
+//! Two deliberate deviations from the paper's notation, both recorded in
+//! DESIGN.md:
+//!
+//! 1. The paper normalizes `g` by `1/(MN)`; we use `1/N` so that `g` is
+//!    the mean per-task success probability minus `γ`, matching both the
+//!    paper's *evaluation* metric ("average success probability of task
+//!    execution") and its threshold values (γ ≈ 0.85). With `1/(MN)` the
+//!    stated thresholds would be unsatisfiable for `M > 1`.
+//! 2. The entropy term (weight `ρ`) is not in the paper's equations but is
+//!    the standard decision-focused-learning device for making the relaxed
+//!    argmin unique, interior, and stably differentiable; with `ρ = 0` the
+//!    smoothed LP's optimum sits on a face of the simplex where the KKT
+//!    Jacobian is singular. Set `rho = 0.0` to recover the paper's exact
+//!    objective for forward solves.
+
+use crate::problem::MatchingProblem;
+use mfcp_linalg::{vector, Matrix};
+
+/// Smallest admissible entry when evaluating `x log x` and barrier logs.
+const X_FLOOR: f64 = 1e-12;
+
+/// How the reliability constraint enters the objective.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BarrierKind {
+    /// Logarithmic interior-point barrier `−λ log g` (Eq. 9), extended
+    /// linearly (C¹) below `eps` so iterates that stray infeasible get a
+    /// steep-but-finite restoring gradient.
+    Log {
+        /// Slack below which the linear extension takes over.
+        eps: f64,
+    },
+    /// Hard hinge penalty `λ · max(0, −g)` — the Table 1 row (2) ablation.
+    HardPenalty,
+    /// No reliability term (unconstrained; used by tests and TAM).
+    None,
+}
+
+impl BarrierKind {
+    /// The default log barrier.
+    pub fn log() -> Self {
+        BarrierKind::Log { eps: 1e-3 }
+    }
+}
+
+/// Shape of the time-cost term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostKind {
+    /// Smoothed makespan (log-sum-exp of cluster times) — the paper's
+    /// objective.
+    SmoothMax,
+    /// Sum of cluster times — the Table 1 row (1) ablation ("Maximum
+    /// Loss" replaced by a linear function).
+    LinearSum,
+}
+
+/// Hyper-parameters of the relaxation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RelaxationParams {
+    /// Smooth-max temperature `β` (larger → closer to the true max).
+    pub beta: f64,
+    /// Barrier weight `λ`.
+    pub lambda: f64,
+    /// Entropy-regularizer weight `ρ` (see module docs).
+    pub rho: f64,
+    /// Reliability-term form.
+    pub barrier: BarrierKind,
+    /// Time-cost form.
+    pub cost: CostKind,
+}
+
+impl Default for RelaxationParams {
+    fn default() -> Self {
+        RelaxationParams {
+            beta: 5.0,
+            lambda: 0.05,
+            rho: 0.01,
+            barrier: BarrierKind::log(),
+            cost: CostKind::SmoothMax,
+        }
+    }
+}
+
+/// Per-cluster quantities of a relaxed matching, shared by the value,
+/// gradient and Hessian computations.
+#[derive(Debug, Clone)]
+pub struct ClusterStats {
+    /// Fractional load `n_i = xᵢᵀ1`.
+    pub count: Vec<f64>,
+    /// Weighted time `ℓ_i = xᵢᵀtᵢ`.
+    pub load: Vec<f64>,
+    /// Adjusted time `s_i = ζ_i(n_i)·ℓ_i`.
+    pub adjusted: Vec<f64>,
+    /// Softmax weights `w_i ∝ exp(β s_i)` (uniform for `CostKind::LinearSum`).
+    pub weights: Vec<f64>,
+}
+
+/// Computes the per-cluster statistics of `x` under `problem`/`params`.
+pub fn cluster_stats(problem: &MatchingProblem, params: &RelaxationParams, x: &Matrix) -> ClusterStats {
+    let m = problem.clusters();
+    debug_assert_eq!(x.shape(), problem.times.shape());
+    let mut count = vec![0.0; m];
+    let mut load = vec![0.0; m];
+    for i in 0..m {
+        let xi = x.row(i);
+        count[i] = xi.iter().sum();
+        load[i] = vector::dot(xi, problem.times.row(i));
+    }
+    let adjusted: Vec<f64> = (0..m)
+        .map(|i| problem.speedup[i].eval(count[i]) * load[i])
+        .collect();
+    let weights = match params.cost {
+        CostKind::SmoothMax => {
+            let scaled: Vec<f64> = adjusted.iter().map(|&s| params.beta * s).collect();
+            vector::softmax(&scaled)
+        }
+        CostKind::LinearSum => vec![1.0; m],
+    };
+    ClusterStats {
+        count,
+        load,
+        adjusted,
+        weights,
+    }
+}
+
+/// The smoothed time cost `f̃(X, T)` (Eq. 8/17) or its linear ablation.
+pub fn smooth_cost(problem: &MatchingProblem, params: &RelaxationParams, x: &Matrix) -> f64 {
+    let stats = cluster_stats(problem, params, x);
+    match params.cost {
+        CostKind::SmoothMax => {
+            let scaled: Vec<f64> = stats.adjusted.iter().map(|&s| params.beta * s).collect();
+            vector::logsumexp(&scaled) / params.beta
+        }
+        CostKind::LinearSum => stats.adjusted.iter().sum(),
+    }
+}
+
+/// The *true* (non-smoothed) relaxed cost `max_i ζ_i(n_i)·ℓ_i`.
+pub fn true_cost(problem: &MatchingProblem, x: &Matrix) -> f64 {
+    let params = RelaxationParams::default();
+    cluster_stats(problem, &params, x)
+        .adjusted
+        .into_iter()
+        .fold(0.0, f64::max)
+}
+
+/// Reliability slack `g(X, A) = (1/N) Σ_ij x_ij a_ij − γ`.
+pub fn reliability_slack(problem: &MatchingProblem, x: &Matrix) -> f64 {
+    let n = problem.tasks();
+    if n == 0 {
+        return 1.0 - problem.gamma;
+    }
+    let mut acc = 0.0;
+    for i in 0..problem.clusters() {
+        acc += vector::dot(x.row(i), problem.reliability.row(i));
+    }
+    acc / n as f64 - problem.gamma
+}
+
+/// Barrier value `φ_λ(g)`.
+pub fn barrier_value(params: &RelaxationParams, g: f64) -> f64 {
+    match params.barrier {
+        BarrierKind::Log { eps } => {
+            if g >= eps {
+                -params.lambda * g.ln()
+            } else {
+                // C¹ linear extension: matches value and slope at g = eps.
+                -params.lambda * (eps.ln() + (g - eps) / eps)
+            }
+        }
+        BarrierKind::HardPenalty => params.lambda * (-g).max(0.0),
+        BarrierKind::None => 0.0,
+    }
+}
+
+/// Barrier derivative `dφ_λ/dg`.
+pub fn barrier_derivative(params: &RelaxationParams, g: f64) -> f64 {
+    match params.barrier {
+        BarrierKind::Log { eps } => {
+            if g >= eps {
+                -params.lambda / g
+            } else {
+                -params.lambda / eps
+            }
+        }
+        BarrierKind::HardPenalty => {
+            if g < 0.0 {
+                -params.lambda
+            } else {
+                0.0
+            }
+        }
+        BarrierKind::None => 0.0,
+    }
+}
+
+/// Entropy regularizer `ρ Σ x log x` (`0 log 0 := 0`).
+pub fn entropy_value(params: &RelaxationParams, x: &Matrix) -> f64 {
+    if params.rho == 0.0 {
+        return 0.0;
+    }
+    params.rho
+        * x.as_slice()
+            .iter()
+            .map(|&v| {
+                let v = v.max(X_FLOOR);
+                v * v.ln()
+            })
+            .sum::<f64>()
+}
+
+/// Capacity-barrier value: `Σ_i φ_λ(slack_i)` over the per-cluster
+/// normalized capacity slacks (0 when the problem has no capacity
+/// constraints).
+pub fn capacity_barrier_value(
+    problem: &MatchingProblem,
+    params: &RelaxationParams,
+    x: &Matrix,
+) -> f64 {
+    let Some(cap) = &problem.capacity else {
+        return 0.0;
+    };
+    (0..problem.clusters())
+        .map(|i| barrier_value(params, cap.slack(x, i)))
+        .sum()
+}
+
+/// Full relaxed objective `F(X, T, A)`.
+pub fn value(problem: &MatchingProblem, params: &RelaxationParams, x: &Matrix) -> f64 {
+    let g = reliability_slack(problem, x);
+    smooth_cost(problem, params, x)
+        + barrier_value(params, g)
+        + capacity_barrier_value(problem, params, x)
+        + entropy_value(params, x)
+}
+
+/// Gradient `∇_X F(X, T, A)` as an `M x N` matrix.
+///
+/// For the smooth-max cost, `∂F/∂x_ij = w_i · (ζ_i(n_i) t_ij + ζ_i'(n_i) ℓ_i)`
+/// plus the barrier term `φ'(g) · a_ij / N` and the entropy term
+/// `ρ (1 + log x_ij)`.
+pub fn grad_x(problem: &MatchingProblem, params: &RelaxationParams, x: &Matrix) -> Matrix {
+    let (m, n) = x.shape();
+    let stats = cluster_stats(problem, params, x);
+    let g = reliability_slack(problem, x);
+    let dphi = barrier_derivative(params, g);
+    let mut grad = Matrix::zeros(m, n);
+    for i in 0..m {
+        let zeta = problem.speedup[i].eval(stats.count[i]);
+        let dzeta = problem.speedup[i].derivative(stats.count[i]);
+        let w = stats.weights[i];
+        // Capacity barrier: ∂slack_i/∂x_ij = −u_ij / limit_i.
+        let cap_dphi = problem
+            .capacity
+            .as_ref()
+            .map(|cap| barrier_derivative(params, cap.slack(x, i)));
+        for j in 0..n {
+            let ds = zeta * problem.times[(i, j)] + dzeta * stats.load[i];
+            let mut gij = w * ds;
+            if n > 0 {
+                gij += dphi * problem.reliability[(i, j)] / n as f64;
+            }
+            if let (Some(dphi_c), Some(cap)) = (cap_dphi, &problem.capacity) {
+                gij -= dphi_c * cap.usage[(i, j)] / cap.limits[i];
+            }
+            if params.rho != 0.0 {
+                gij += params.rho * (1.0 + x[(i, j)].max(X_FLOOR).ln());
+            }
+            grad[(i, j)] = gij;
+        }
+    }
+    grad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::speedup::SpeedupCurve;
+    use mfcp_autodiff::gradcheck;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_problem(seed: u64, m: usize, n: usize, parallel: bool) -> MatchingProblem {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = Matrix::from_fn(m, n, |_, _| rng.gen_range(0.5..3.0));
+        let a = Matrix::from_fn(m, n, |_, _| rng.gen_range(0.6..1.0));
+        let speedup = if parallel {
+            vec![SpeedupCurve::paper_parallel(); m]
+        } else {
+            vec![SpeedupCurve::None; m]
+        };
+        MatchingProblem::with_speedup(t, a, 0.7, speedup)
+    }
+
+    fn random_interior_x(seed: u64, m: usize, n: usize) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Matrix::from_fn(m, n, |_, _| rng.gen_range(0.1..1.0));
+        for j in 0..n {
+            let col_sum: f64 = (0..m).map(|i| x[(i, j)]).sum();
+            for i in 0..m {
+                x[(i, j)] /= col_sum;
+            }
+        }
+        x
+    }
+
+    #[test]
+    fn theorem1_smooth_max_sandwiches_true_max() {
+        // f(X,T) <= f̃(X,T) <= f(X,T) + log(M)/β, and f̃ → f as β → ∞.
+        let problem = random_problem(1, 4, 6, false);
+        let x = random_interior_x(2, 4, 6);
+        let f_true = true_cost(&problem, &x);
+        let mut prev_gap = f64::INFINITY;
+        for beta in [1.0, 5.0, 25.0, 125.0, 625.0] {
+            let params = RelaxationParams {
+                beta,
+                barrier: BarrierKind::None,
+                rho: 0.0,
+                ..Default::default()
+            };
+            let f_smooth = smooth_cost(&problem, &params, &x);
+            assert!(f_smooth >= f_true - 1e-9, "beta={beta}");
+            assert!(
+                f_smooth <= f_true + (4.0_f64).ln() / beta + 1e-9,
+                "beta={beta}"
+            );
+            let gap = f_smooth - f_true;
+            assert!(gap <= prev_gap + 1e-12, "gap must shrink with beta");
+            prev_gap = gap;
+        }
+        assert!(prev_gap < 1e-3, "beta=625 should be within 1e-3 of true max");
+    }
+
+    #[test]
+    fn linear_cost_is_sum() {
+        let problem = random_problem(3, 3, 4, false);
+        let x = random_interior_x(4, 3, 4);
+        let params = RelaxationParams {
+            cost: CostKind::LinearSum,
+            barrier: BarrierKind::None,
+            rho: 0.0,
+            ..Default::default()
+        };
+        let expected: f64 = (0..3)
+            .map(|i| vector::dot(x.row(i), problem.times.row(i)))
+            .sum();
+        assert!((smooth_cost(&problem, &params, &x) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reliability_slack_matches_assignment_metric() {
+        // On a 0/1 matrix, slack + gamma equals the Assignment metric.
+        let problem = random_problem(5, 3, 5, false);
+        let asg = crate::problem::Assignment::new(vec![0, 1, 2, 0, 1]);
+        let x = asg.to_matrix(3);
+        let slack = reliability_slack(&problem, &x);
+        assert!((slack + problem.gamma - asg.mean_reliability(&problem)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn barrier_log_and_extension_are_c1() {
+        let params = RelaxationParams {
+            lambda: 0.5,
+            barrier: BarrierKind::Log { eps: 1e-2 },
+            ..Default::default()
+        };
+        // Continuity at eps.
+        let eps = 1e-2;
+        let v_hi = barrier_value(&params, eps + 1e-9);
+        let v_lo = barrier_value(&params, eps - 1e-9);
+        assert!((v_hi - v_lo).abs() < 1e-6);
+        let d_hi = barrier_derivative(&params, eps + 1e-9);
+        let d_lo = barrier_derivative(&params, eps - 1e-9);
+        assert!((d_hi - d_lo).abs() < 1e-3);
+        // Steeply increasing cost as slack shrinks.
+        assert!(barrier_value(&params, 1e-4) > barrier_value(&params, 0.1));
+    }
+
+    #[test]
+    fn hard_penalty_zero_when_feasible() {
+        let params = RelaxationParams {
+            lambda: 2.0,
+            barrier: BarrierKind::HardPenalty,
+            ..Default::default()
+        };
+        assert_eq!(barrier_value(&params, 0.3), 0.0);
+        assert_eq!(barrier_derivative(&params, 0.3), 0.0);
+        assert!((barrier_value(&params, -0.1) - 0.2).abs() < 1e-12);
+        assert_eq!(barrier_derivative(&params, -0.1), -2.0);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference_all_variants() {
+        let configs = [
+            (false, CostKind::SmoothMax, BarrierKind::log(), 0.01),
+            (false, CostKind::SmoothMax, BarrierKind::HardPenalty, 0.0),
+            (false, CostKind::LinearSum, BarrierKind::log(), 0.01),
+            (true, CostKind::SmoothMax, BarrierKind::log(), 0.01),
+            (true, CostKind::SmoothMax, BarrierKind::None, 0.0),
+        ];
+        for (idx, &(parallel, cost, barrier, rho)) in configs.iter().enumerate() {
+            let problem = random_problem(10 + idx as u64, 3, 5, parallel);
+            let x = random_interior_x(20 + idx as u64, 3, 5);
+            let params = RelaxationParams {
+                beta: 4.0,
+                lambda: 0.1,
+                rho,
+                barrier,
+                cost,
+            };
+            let analytic = grad_x(&problem, &params, &x);
+            gradcheck::assert_gradients_close(
+                &x,
+                |xm| value(&problem, &params, xm),
+                &analytic,
+                1e-6,
+                1e-6,
+            );
+        }
+    }
+
+    #[test]
+    fn entropy_zero_when_rho_zero() {
+        let params = RelaxationParams {
+            rho: 0.0,
+            ..Default::default()
+        };
+        let x = Matrix::filled(2, 2, 0.5);
+        assert_eq!(entropy_value(&params, &x), 0.0);
+    }
+
+    #[test]
+    fn entropy_minimized_at_uniform() {
+        let params = RelaxationParams {
+            rho: 1.0,
+            ..Default::default()
+        };
+        let uniform = Matrix::filled(2, 1, 0.5);
+        let skewed = Matrix::from_rows(&[&[0.9], &[0.1]]);
+        assert!(entropy_value(&params, &uniform) < entropy_value(&params, &skewed));
+    }
+
+    #[test]
+    fn empty_problem_slack() {
+        let p = MatchingProblem::new(Matrix::zeros(2, 0), Matrix::zeros(2, 0), 0.8);
+        let x = Matrix::zeros(2, 0);
+        assert!((reliability_slack(&p, &x) - 0.2).abs() < 1e-12);
+    }
+}

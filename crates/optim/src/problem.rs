@@ -1,0 +1,352 @@
+//! The cluster–task matching problem (paper Eq. 2) and discrete solutions.
+
+use crate::speedup::SpeedupCurve;
+use mfcp_linalg::Matrix;
+
+/// Optional per-cluster resource-capacity constraints (an extension
+/// beyond the paper's single platform-wide reliability constraint):
+/// cluster `i` can host at most `limits[i]` units of aggregate resource,
+/// with task `j` consuming `usage[(i, j)]` units when placed there
+/// (typically accelerator memory).
+#[derive(Debug, Clone)]
+pub struct CapacityConstraint {
+    /// `M x N` per-placement resource usage `u_ij ≥ 0`.
+    pub usage: Matrix,
+    /// Per-cluster limits (length `M`, strictly positive).
+    pub limits: Vec<f64>,
+}
+
+impl CapacityConstraint {
+    /// Validates shapes and positivity.
+    pub fn new(usage: Matrix, limits: Vec<f64>) -> Self {
+        assert_eq!(usage.rows(), limits.len(), "one limit per cluster");
+        assert!(usage.as_slice().iter().all(|&u| u >= 0.0 && u.is_finite()));
+        assert!(limits.iter().all(|&c| c > 0.0 && c.is_finite()));
+        CapacityConstraint { usage, limits }
+    }
+
+    /// Normalized slack of cluster `i` under relaxed matching `x`:
+    /// `(limit_i − Σ_j x_ij u_ij) / limit_i`.
+    pub fn slack(&self, x: &Matrix, i: usize) -> f64 {
+        let used: f64 = (0..x.cols()).map(|j| x[(i, j)] * self.usage[(i, j)]).sum();
+        (self.limits[i] - used) / self.limits[i]
+    }
+}
+
+/// An instance of the matching problem: `M` clusters × `N` tasks.
+///
+/// `times[(i, j)]` is the execution time of task `j` on cluster `i`
+/// (`t_ij`), `reliability[(i, j)]` the probability that task `j` completes
+/// successfully on cluster `i` (`a_ij`). `gamma` is the platform-wide
+/// reliability threshold of Eq. (4); `speedup[i]` is cluster `i`'s
+/// parallel-execution time-adjustment curve `ζ_i` (Eq. 16) — use
+/// [`SpeedupCurve::None`] for the sequential-execution setting of Eq. (3).
+#[derive(Debug, Clone)]
+pub struct MatchingProblem {
+    /// `M x N` execution-time matrix `T`.
+    pub times: Matrix,
+    /// `M x N` reliability matrix `A`, entries in `[0, 1]`.
+    pub reliability: Matrix,
+    /// Reliability threshold `γ`.
+    pub gamma: f64,
+    /// Per-cluster speedup curves `ζ_i` (length `M`).
+    pub speedup: Vec<SpeedupCurve>,
+    /// Optional per-cluster capacity constraints.
+    pub capacity: Option<CapacityConstraint>,
+}
+
+impl MatchingProblem {
+    /// Builds a sequential-execution instance (`ζ_i ≡ 1`).
+    ///
+    /// # Panics
+    /// Panics if the matrices disagree in shape or reliabilities leave
+    /// `[0, 1]`.
+    pub fn new(times: Matrix, reliability: Matrix, gamma: f64) -> Self {
+        let m = times.rows();
+        Self::with_speedup(times, reliability, gamma, vec![SpeedupCurve::None; m])
+    }
+
+    /// Builds an instance with explicit speedup curves.
+    pub fn with_speedup(
+        times: Matrix,
+        reliability: Matrix,
+        gamma: f64,
+        speedup: Vec<SpeedupCurve>,
+    ) -> Self {
+        assert_eq!(
+            times.shape(),
+            reliability.shape(),
+            "times/reliability shape mismatch"
+        );
+        assert_eq!(speedup.len(), times.rows(), "one speedup curve per cluster");
+        assert!(
+            reliability
+                .as_slice()
+                .iter()
+                .all(|&a| (0.0..=1.0).contains(&a)),
+            "reliabilities must lie in [0, 1]"
+        );
+        assert!(times.as_slice().iter().all(|&t| t >= 0.0 && t.is_finite()));
+        MatchingProblem {
+            times,
+            reliability,
+            gamma,
+            speedup,
+            capacity: None,
+        }
+    }
+
+    /// Attaches per-cluster capacity constraints.
+    ///
+    /// # Panics
+    /// Panics if the constraint shape does not match the problem.
+    pub fn with_capacity(mut self, capacity: CapacityConstraint) -> Self {
+        assert_eq!(capacity.usage.shape(), self.times.shape());
+        self.capacity = Some(capacity);
+        self
+    }
+
+    /// Number of clusters `M`.
+    pub fn clusters(&self) -> usize {
+        self.times.rows()
+    }
+
+    /// Number of tasks `N`.
+    pub fn tasks(&self) -> usize {
+        self.times.cols()
+    }
+
+    /// Replaces row `i` of the time matrix (used when splicing one
+    /// cluster's *predicted* performance into otherwise-true matrices, as
+    /// Algorithm 2 line 3 does).
+    pub fn with_time_row(&self, i: usize, row: &[f64]) -> MatchingProblem {
+        assert_eq!(row.len(), self.tasks());
+        let mut p = self.clone();
+        p.times.row_mut(i).copy_from_slice(row);
+        p
+    }
+
+    /// Replaces row `i` of the reliability matrix (entries clamped to
+    /// `[0, 1]` — predictors can overshoot slightly).
+    pub fn with_reliability_row(&self, i: usize, row: &[f64]) -> MatchingProblem {
+        assert_eq!(row.len(), self.tasks());
+        let mut p = self.clone();
+        for (dst, &v) in p.reliability.row_mut(i).iter_mut().zip(row) {
+            *dst = v.clamp(0.0, 1.0);
+        }
+        p
+    }
+}
+
+/// A discrete matching: `cluster_of[j]` is the cluster task `j` runs on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    /// Cluster index per task.
+    pub cluster_of: Vec<usize>,
+}
+
+impl Assignment {
+    /// Builds an assignment from per-task cluster indices.
+    pub fn new(cluster_of: Vec<usize>) -> Self {
+        Assignment { cluster_of }
+    }
+
+    /// Number of tasks.
+    pub fn tasks(&self) -> usize {
+        self.cluster_of.len()
+    }
+
+    /// Number of tasks on each of the `m` clusters.
+    pub fn loads(&self, m: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; m];
+        for &c in &self.cluster_of {
+            assert!(c < m, "cluster index out of range");
+            counts[c] += 1;
+        }
+        counts
+    }
+
+    /// The dense 0/1 matrix `X` (`m x n`) representing this assignment.
+    pub fn to_matrix(&self, m: usize) -> Matrix {
+        let n = self.tasks();
+        let mut x = Matrix::zeros(m, n);
+        for (j, &c) in self.cluster_of.iter().enumerate() {
+            x[(c, j)] = 1.0;
+        }
+        x
+    }
+
+    /// Per-cluster completion time `ζ_i(n_i) · Σ_{j on i} t_ij`.
+    pub fn cluster_times(&self, problem: &MatchingProblem) -> Vec<f64> {
+        let m = problem.clusters();
+        let mut sums = vec![0.0; m];
+        let mut counts = vec![0.0; m];
+        for (j, &c) in self.cluster_of.iter().enumerate() {
+            sums[c] += problem.times[(c, j)];
+            counts[c] += 1.0;
+        }
+        (0..m)
+            .map(|i| problem.speedup[i].eval(counts[i]) * sums[i])
+            .collect()
+    }
+
+    /// The makespan `f(X, T)` of Eq. (3)/(16): the slowest cluster's
+    /// completion time.
+    pub fn makespan(&self, problem: &MatchingProblem) -> f64 {
+        self.cluster_times(problem)
+            .into_iter()
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean per-task success probability `(1/N) Σ_j a_{c(j), j}` — the
+    /// evaluation-metric form of the paper's reliability.
+    pub fn mean_reliability(&self, problem: &MatchingProblem) -> f64 {
+        if self.cluster_of.is_empty() {
+            return 1.0;
+        }
+        let total: f64 = self
+            .cluster_of
+            .iter()
+            .enumerate()
+            .map(|(j, &c)| problem.reliability[(c, j)])
+            .sum();
+        total / self.tasks() as f64
+    }
+
+    /// Whether every capacity limit holds (vacuously true without
+    /// capacity constraints).
+    pub fn capacity_feasible(&self, problem: &MatchingProblem) -> bool {
+        let Some(cap) = &problem.capacity else {
+            return true;
+        };
+        let m = problem.clusters();
+        let mut used = vec![0.0; m];
+        for (j, &c) in self.cluster_of.iter().enumerate() {
+            used[c] += cap.usage[(c, j)];
+        }
+        (0..m).all(|i| used[i] <= cap.limits[i] + 1e-9)
+    }
+
+    /// Whether the reliability constraint `mean_reliability ≥ γ` and all
+    /// capacity limits hold.
+    pub fn is_feasible(&self, problem: &MatchingProblem) -> bool {
+        self.mean_reliability(problem) >= problem.gamma - 1e-12 && self.capacity_feasible(problem)
+    }
+
+    /// Cluster utilization: total busy time divided by `M · makespan`
+    /// (the paper's §4.1.3 metric — low when some clusters idle while the
+    /// slowest finishes).
+    pub fn utilization(&self, problem: &MatchingProblem) -> f64 {
+        let times = self.cluster_times(problem);
+        let makespan = times.iter().cloned().fold(0.0, f64::max);
+        if makespan <= 0.0 {
+            return 1.0;
+        }
+        times.iter().sum::<f64>() / (problem.clusters() as f64 * makespan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_problem() -> MatchingProblem {
+        // 2 clusters, 3 tasks.
+        let t = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[2.0, 1.0, 1.0]]);
+        let a = Matrix::from_rows(&[&[0.9, 0.8, 0.7], &[0.6, 0.95, 0.85]]);
+        MatchingProblem::new(t, a, 0.8)
+    }
+
+    #[test]
+    fn construction_validates() {
+        let p = toy_problem();
+        assert_eq!(p.clusters(), 2);
+        assert_eq!(p.tasks(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "reliabilities must lie in")]
+    fn rejects_bad_reliability() {
+        MatchingProblem::new(Matrix::zeros(1, 1), Matrix::filled(1, 1, 1.5), 0.5);
+    }
+
+    #[test]
+    fn makespan_and_loads() {
+        let p = toy_problem();
+        let a = Assignment::new(vec![0, 1, 1]);
+        assert_eq!(a.loads(2), vec![1, 2]);
+        // Cluster 0: t=1; cluster 1: 1+1=2 → makespan 2.
+        assert_eq!(a.makespan(&p), 2.0);
+        let times = a.cluster_times(&p);
+        assert_eq!(times, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn reliability_metric() {
+        let p = toy_problem();
+        let a = Assignment::new(vec![0, 1, 1]);
+        let expected = (0.9 + 0.95 + 0.85) / 3.0;
+        assert!((a.mean_reliability(&p) - expected).abs() < 1e-12);
+        assert!(a.is_feasible(&p));
+        let bad = Assignment::new(vec![1, 0, 0]); // 0.6+0.8+0.7 = 0.7 mean
+        assert!(!bad.is_feasible(&p));
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        let p = toy_problem();
+        let a = Assignment::new(vec![0, 1, 1]);
+        let u = a.utilization(&p);
+        assert!((0.0..=1.0).contains(&u));
+        // busy = 1 + 2 = 3, denom = 2 * 2 → 0.75
+        assert!((u - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn to_matrix_roundtrip() {
+        let a = Assignment::new(vec![0, 1, 1]);
+        let x = a.to_matrix(2);
+        assert_eq!(x[(0, 0)], 1.0);
+        assert_eq!(x[(1, 0)], 0.0);
+        assert_eq!(x[(1, 2)], 1.0);
+        // Columns sum to one.
+        for j in 0..3 {
+            assert_eq!(x[(0, j)] + x[(1, j)], 1.0);
+        }
+    }
+
+    #[test]
+    fn speedup_changes_makespan() {
+        let t = Matrix::from_rows(&[&[1.0, 1.0]]);
+        let a = Matrix::from_rows(&[&[1.0, 1.0]]);
+        let curve = SpeedupCurve::ExpDecay {
+            floor: 0.5,
+            rate: 10.0, // effectively floor for n >= 2
+        };
+        let p = MatchingProblem::with_speedup(t, a, 0.0, vec![curve]);
+        let asg = Assignment::new(vec![0, 0]);
+        // 2 tasks in parallel: ζ(2) ≈ 0.5, total ≈ 1.0 instead of 2.0.
+        assert!((asg.makespan(&p) - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn row_splicing() {
+        let p = toy_problem();
+        let p2 = p.with_time_row(0, &[9.0, 9.0, 9.0]);
+        assert_eq!(p2.times[(0, 1)], 9.0);
+        assert_eq!(p2.times[(1, 1)], 1.0);
+        let p3 = p.with_reliability_row(1, &[2.0, -1.0, 0.5]);
+        assert_eq!(p3.reliability[(1, 0)], 1.0); // clamped
+        assert_eq!(p3.reliability[(1, 1)], 0.0); // clamped
+        assert_eq!(p3.reliability[(1, 2)], 0.5);
+    }
+
+    #[test]
+    fn empty_assignment_edge_cases() {
+        let p = MatchingProblem::new(Matrix::zeros(2, 0), Matrix::zeros(2, 0), 0.5);
+        let a = Assignment::new(vec![]);
+        assert_eq!(a.makespan(&p), 0.0);
+        assert_eq!(a.mean_reliability(&p), 1.0);
+        assert_eq!(a.utilization(&p), 1.0);
+    }
+}

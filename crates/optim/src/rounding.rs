@@ -1,0 +1,460 @@
+//! Deployment-time discretization of relaxed matchings (§3.2: "during
+//! testing or system deployment, the matching X* is obtained using the
+//! continuous version ... and subsequently rounded to produce discrete
+//! solutions"), plus reliability repair and local search.
+
+use crate::objective::{CostKind, RelaxationParams};
+use crate::problem::{Assignment, MatchingProblem};
+use crate::solver::{solve_relaxed, SolverOptions};
+use mfcp_linalg::{vector, Matrix};
+
+/// The discrete cost an assignment pays under the declared cost kind:
+/// the makespan for [`CostKind::SmoothMax`], the summed cluster time for
+/// the linear ablation.
+pub fn discrete_cost(problem: &MatchingProblem, assignment: &Assignment, cost: CostKind) -> f64 {
+    match cost {
+        CostKind::SmoothMax => assignment.makespan(problem),
+        CostKind::LinearSum => assignment.cluster_times(problem).iter().sum(),
+    }
+}
+
+/// Rounds a relaxed matching to the per-task argmax cluster.
+pub fn round_argmax(x: &Matrix) -> Assignment {
+    let mut cluster_of = Vec::with_capacity(x.cols());
+    for j in 0..x.cols() {
+        let col = x.col(j);
+        cluster_of.push(vector::argmax(&col).unwrap_or(0));
+    }
+    Assignment::new(cluster_of)
+}
+
+/// Greedily repairs the reliability constraint: while infeasible, apply
+/// the single-task reassignment with the best reliability gain per unit of
+/// makespan increase. Returns whether the result is feasible.
+pub fn repair_reliability(problem: &MatchingProblem, assignment: &mut Assignment) -> bool {
+    let m = problem.clusters();
+    let n = problem.tasks();
+    if n == 0 {
+        return true;
+    }
+    for _ in 0..(m * n) {
+        if assignment.is_feasible(problem) {
+            return true;
+        }
+        let base_makespan = assignment.makespan(problem);
+        let mut best: Option<(usize, usize, f64)> = None; // (task, cluster, score)
+        for j in 0..n {
+            let current = assignment.cluster_of[j];
+            for c in 0..m {
+                if c == current {
+                    continue;
+                }
+                let gain =
+                    problem.reliability[(c, j)] - problem.reliability[(current, j)];
+                if gain <= 0.0 {
+                    continue;
+                }
+                let mut trial = assignment.clone();
+                trial.cluster_of[j] = c;
+                let cost = (trial.makespan(problem) - base_makespan).max(0.0);
+                let score = gain / (1.0 + cost);
+                if best.is_none_or(|(_, _, s)| score > s) {
+                    best = Some((j, c, score));
+                }
+            }
+        }
+        match best {
+            Some((j, c, _)) => assignment.cluster_of[j] = c,
+            None => break, // no reliability-improving move exists
+        }
+    }
+    assignment.is_feasible(problem)
+}
+
+/// Feasibility-preserving local search on the makespan: repeatedly tries
+/// single-task moves and pairwise swaps, accepting strict improvements,
+/// until a fixpoint or `max_rounds`.
+pub fn local_search(problem: &MatchingProblem, assignment: &mut Assignment, max_rounds: usize) {
+    local_search_with_cost(problem, assignment, max_rounds, CostKind::SmoothMax)
+}
+
+/// [`local_search`] generalized to the declared cost kind, so the
+/// deployment pipeline optimizes the same objective its relaxation
+/// declared (the Table 1 linear-cost ablation must *not* get a makespan
+/// local search for free).
+pub fn local_search_with_cost(
+    problem: &MatchingProblem,
+    assignment: &mut Assignment,
+    max_rounds: usize,
+    cost: CostKind,
+) {
+    let m = problem.clusters();
+    let n = problem.tasks();
+    for _ in 0..max_rounds {
+        let mut improved = false;
+        let mut best_span = discrete_cost(problem, assignment, cost);
+        // Single-task moves.
+        for j in 0..n {
+            let original = assignment.cluster_of[j];
+            for c in 0..m {
+                if c == original {
+                    continue;
+                }
+                assignment.cluster_of[j] = c;
+                let span = discrete_cost(problem, assignment, cost);
+                if span < best_span - 1e-12 && assignment.is_feasible(problem) {
+                    best_span = span;
+                    improved = true;
+                } else {
+                    assignment.cluster_of[j] = original;
+                }
+                if assignment.cluster_of[j] == c {
+                    break; // accepted; re-evaluate moves for next task
+                }
+            }
+        }
+        // Pairwise swaps.
+        for j in 0..n {
+            for k in (j + 1)..n {
+                let (cj, ck) = (assignment.cluster_of[j], assignment.cluster_of[k]);
+                if cj == ck {
+                    continue;
+                }
+                assignment.cluster_of[j] = ck;
+                assignment.cluster_of[k] = cj;
+                let span = discrete_cost(problem, assignment, cost);
+                if span < best_span - 1e-12 && assignment.is_feasible(problem) {
+                    best_span = span;
+                    improved = true;
+                } else {
+                    assignment.cluster_of[j] = cj;
+                    assignment.cluster_of[k] = ck;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+}
+
+/// Greedily repairs capacity violations: while any cluster exceeds its
+/// limit, move the task whose relocation costs the least makespan off the
+/// most-overloaded cluster. Returns whether all limits hold afterwards.
+pub fn repair_capacity(problem: &MatchingProblem, assignment: &mut Assignment) -> bool {
+    let Some(cap) = &problem.capacity else {
+        return true;
+    };
+    let m = problem.clusters();
+    let n = problem.tasks();
+    for _ in 0..(m * n) {
+        // Per-cluster usage.
+        let mut used = vec![0.0; m];
+        for (j, &c) in assignment.cluster_of.iter().enumerate() {
+            used[c] += cap.usage[(c, j)];
+        }
+        let Some(worst) = (0..m)
+            .filter(|&i| used[i] > cap.limits[i] + 1e-9)
+            .max_by(|&a, &b| (used[a] - cap.limits[a]).total_cmp(&(used[b] - cap.limits[b])))
+        else {
+            return true; // all limits hold
+        };
+        // Cheapest relocation of any task off `worst` to a cluster with room.
+        let mut best: Option<(usize, usize, f64)> = None;
+        for j in 0..n {
+            if assignment.cluster_of[j] != worst {
+                continue;
+            }
+            for (c, &used_c) in used.iter().enumerate() {
+                if c == worst || used_c + cap.usage[(c, j)] > cap.limits[c] + 1e-9 {
+                    continue;
+                }
+                let mut trial = assignment.clone();
+                trial.cluster_of[j] = c;
+                let span = trial.makespan(problem);
+                if best.as_ref().is_none_or(|&(_, _, s)| span < s) {
+                    best = Some((j, c, span));
+                }
+            }
+        }
+        match best {
+            Some((j, c, _)) => assignment.cluster_of[j] = c,
+            None => return false, // nowhere to move anything
+        }
+    }
+    assignment.capacity_feasible(problem)
+}
+
+/// Randomized rounding: samples `trials` assignments from the relaxed
+/// per-task distributions, repairs each, and keeps the best feasible one
+/// under the declared cost (falling back to repaired argmax when nothing
+/// feasible is drawn). Often beats plain argmax rounding when the relaxed
+/// optimum splits tasks near-evenly.
+pub fn round_randomized(
+    problem: &MatchingProblem,
+    x: &Matrix,
+    cost: CostKind,
+    trials: usize,
+    rng: &mut impl rand::Rng,
+) -> Assignment {
+    let m = x.rows();
+    let n = x.cols();
+    let mut best: Option<(f64, Assignment)> = None;
+    let mut consider = |mut asg: Assignment| {
+        repair_reliability(problem, &mut asg);
+        if !asg.is_feasible(problem) {
+            return;
+        }
+        let c = discrete_cost(problem, &asg, cost);
+        if best.as_ref().is_none_or(|(b, _)| c < *b) {
+            best = Some((c, asg));
+        }
+    };
+    consider(round_argmax(x));
+    for _ in 0..trials {
+        let mut cluster_of = Vec::with_capacity(n);
+        for j in 0..n {
+            let mut draw: f64 = rng.gen_range(0.0..1.0);
+            let mut pick = m.saturating_sub(1);
+            for i in 0..m {
+                if draw < x[(i, j)] {
+                    pick = i;
+                    break;
+                }
+                draw -= x[(i, j)];
+            }
+            cluster_of.push(pick);
+        }
+        consider(Assignment::new(cluster_of));
+    }
+    best.map(|(_, a)| a).unwrap_or_else(|| {
+        let mut a = round_argmax(x);
+        repair_reliability(problem, &mut a);
+        a
+    })
+}
+
+/// The full deployment pipeline: relaxed solve → argmax rounding →
+/// reliability repair → local search.
+///
+/// ```
+/// use mfcp_linalg::Matrix;
+/// use mfcp_optim::rounding::solve_discrete;
+/// use mfcp_optim::{MatchingProblem, RelaxationParams, SolverOptions};
+///
+/// let times = Matrix::from_rows(&[&[1.0, 3.0], &[3.0, 1.0]]);
+/// let rel = Matrix::filled(2, 2, 0.95);
+/// let problem = MatchingProblem::new(times, rel, 0.9);
+/// let asg = solve_discrete(&problem, &RelaxationParams::default(), &Default::default());
+/// assert_eq!(asg.cluster_of, vec![0, 1]); // each task on its fast cluster
+/// assert!(asg.is_feasible(&problem));
+/// ```
+pub fn solve_discrete(
+    problem: &MatchingProblem,
+    params: &RelaxationParams,
+    opts: &SolverOptions,
+) -> Assignment {
+    let relaxed = solve_relaxed(problem, params, opts);
+    let mut assignment = round_argmax(&relaxed.x);
+    repair_capacity(problem, &mut assignment);
+    repair_reliability(problem, &mut assignment);
+    local_search_with_cost(problem, &mut assignment, 20, params.cost);
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_problem(seed: u64, m: usize, n: usize, gamma: f64) -> MatchingProblem {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = Matrix::from_fn(m, n, |_, _| rng.gen_range(0.5..3.0));
+        let a = Matrix::from_fn(m, n, |_, _| rng.gen_range(0.7..1.0));
+        MatchingProblem::new(t, a, gamma)
+    }
+
+    #[test]
+    fn round_picks_argmax() {
+        let x = Matrix::from_rows(&[&[0.7, 0.2], &[0.3, 0.8]]);
+        let a = round_argmax(&x);
+        assert_eq!(a.cluster_of, vec![0, 1]);
+    }
+
+    #[test]
+    fn repair_achieves_feasibility_when_possible() {
+        // Cluster 1 is perfectly reliable, so feasibility is achievable.
+        let t = Matrix::from_rows(&[&[1.0, 1.0, 1.0], &[2.0, 2.0, 2.0]]);
+        let a = Matrix::from_rows(&[&[0.5, 0.5, 0.5], &[1.0, 1.0, 1.0]]);
+        let problem = MatchingProblem::new(t, a, 0.9);
+        let mut asg = Assignment::new(vec![0, 0, 0]); // mean rel 0.5, infeasible
+        assert!(!asg.is_feasible(&problem));
+        assert!(repair_reliability(&problem, &mut asg));
+        assert!(asg.is_feasible(&problem));
+    }
+
+    #[test]
+    fn repair_reports_impossible() {
+        // No cluster can reach gamma.
+        let t = Matrix::from_rows(&[&[1.0], &[1.0]]);
+        let a = Matrix::from_rows(&[&[0.5], &[0.6]]);
+        let problem = MatchingProblem::new(t, a, 0.95);
+        let mut asg = Assignment::new(vec![0]);
+        assert!(!repair_reliability(&problem, &mut asg));
+        // It should still have moved to the best available cluster.
+        assert_eq!(asg.cluster_of, vec![1]);
+    }
+
+    #[test]
+    fn local_search_fixes_obvious_imbalance() {
+        // All four unit tasks on one of two identical clusters: local
+        // search must rebalance to makespan 2.
+        let t = Matrix::filled(2, 4, 1.0);
+        let a = Matrix::filled(2, 4, 1.0);
+        let problem = MatchingProblem::new(t, a, 0.5);
+        let mut asg = Assignment::new(vec![0, 0, 0, 0]);
+        assert_eq!(asg.makespan(&problem), 4.0);
+        local_search(&problem, &mut asg, 20);
+        assert_eq!(asg.makespan(&problem), 2.0);
+    }
+
+    #[test]
+    fn local_search_never_worsens() {
+        for seed in 0..10 {
+            let problem = random_problem(seed, 3, 8, 0.75);
+            let mut rng = StdRng::seed_from_u64(100 + seed);
+            let mut asg =
+                Assignment::new((0..8).map(|_| rng.gen_range(0..3)).collect());
+            let before = asg.makespan(&problem);
+            let feasible_before = asg.is_feasible(&problem);
+            local_search(&problem, &mut asg, 10);
+            assert!(asg.makespan(&problem) <= before + 1e-12);
+            if feasible_before {
+                assert!(asg.is_feasible(&problem), "feasibility must be preserved");
+            }
+        }
+    }
+
+    #[test]
+    fn repair_capacity_resolves_overloads() {
+        use crate::problem::CapacityConstraint;
+        let t = Matrix::filled(2, 4, 1.0);
+        let a = Matrix::filled(2, 4, 0.95);
+        let usage = Matrix::filled(2, 4, 1.0);
+        let problem = MatchingProblem::new(t, a, 0.0)
+            .with_capacity(CapacityConstraint::new(usage, vec![2.0, 4.0]));
+        let mut asg = Assignment::new(vec![0, 0, 0, 0]); // 4 units on a 2-unit cluster
+        assert!(!asg.capacity_feasible(&problem));
+        assert!(repair_capacity(&problem, &mut asg));
+        assert!(asg.capacity_feasible(&problem));
+
+        // Impossible case: total usage exceeds total capacity.
+        let problem2 = MatchingProblem::new(
+            Matrix::filled(2, 4, 1.0),
+            Matrix::filled(2, 4, 0.95),
+            0.0,
+        )
+        .with_capacity(CapacityConstraint::new(
+            Matrix::filled(2, 4, 1.0),
+            vec![1.0, 1.0],
+        ));
+        let mut asg2 = Assignment::new(vec![0, 0, 1, 1]);
+        assert!(!repair_capacity(&problem2, &mut asg2));
+    }
+
+    #[test]
+    fn randomized_rounding_at_least_as_good_as_argmax() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        for seed in 0..8 {
+            let problem = random_problem(seed, 3, 6, 0.75);
+            let params = RelaxationParams::default();
+            let relaxed =
+                crate::solver::solve_relaxed(&problem, &params, &SolverOptions::default());
+            let mut argmax = round_argmax(&relaxed.x);
+            repair_reliability(&problem, &mut argmax);
+            let mut rng = StdRng::seed_from_u64(1000 + seed);
+            let randomized = round_randomized(
+                &problem,
+                &relaxed.x,
+                crate::objective::CostKind::SmoothMax,
+                32,
+                &mut rng,
+            );
+            if argmax.is_feasible(&problem) {
+                assert!(
+                    randomized.makespan(&problem) <= argmax.makespan(&problem) + 1e-12,
+                    "seed {seed}: randomized {} vs argmax {}",
+                    randomized.makespan(&problem),
+                    argmax.makespan(&problem)
+                );
+            }
+            assert_eq!(randomized.tasks(), 6);
+        }
+    }
+
+    #[test]
+    fn randomized_rounding_deterministic_under_seed() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let problem = random_problem(3, 3, 5, 0.75);
+        let params = RelaxationParams::default();
+        let relaxed = crate::solver::solve_relaxed(&problem, &params, &SolverOptions::default());
+        let a = round_randomized(
+            &problem,
+            &relaxed.x,
+            crate::objective::CostKind::SmoothMax,
+            16,
+            &mut StdRng::seed_from_u64(5),
+        );
+        let b = round_randomized(
+            &problem,
+            &relaxed.x,
+            crate::objective::CostKind::SmoothMax,
+            16,
+            &mut StdRng::seed_from_u64(5),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn linear_cost_pipeline_collapses_onto_fast_clusters() {
+        // With the linear-sum objective, the pipeline sends each task to
+        // its (reliability-feasible) fastest cluster and the local search
+        // cannot rebalance — the utilization failure Table 1 row (1)
+        // demonstrates.
+        let t = Matrix::from_rows(&[&[1.0, 1.0, 1.0, 1.0], &[1.3, 1.3, 1.3, 1.3]]);
+        let a = Matrix::filled(2, 4, 0.95);
+        let problem = MatchingProblem::new(t, a, 0.5);
+        let params = RelaxationParams {
+            cost: CostKind::LinearSum,
+            rho: 0.001,
+            ..Default::default()
+        };
+        let asg = solve_discrete(&problem, &params, &SolverOptions::default());
+        assert_eq!(asg.cluster_of, vec![0; 4], "all tasks on the fast cluster");
+        // The default (smooth-max) pipeline balances instead.
+        let balanced = solve_discrete(
+            &problem,
+            &RelaxationParams::default(),
+            &SolverOptions::default(),
+        );
+        assert!(balanced.loads(2)[1] > 0, "makespan pipeline spreads load");
+    }
+
+    #[test]
+    fn solve_discrete_end_to_end() {
+        let problem = random_problem(42, 3, 6, 0.75);
+        let asg = solve_discrete(
+            &problem,
+            &RelaxationParams::default(),
+            &SolverOptions::default(),
+        );
+        assert_eq!(asg.tasks(), 6);
+        assert!(asg.is_feasible(&problem));
+        // Must beat the trivial all-on-one-cluster matching.
+        let naive = Assignment::new(vec![0; 6]);
+        assert!(asg.makespan(&problem) <= naive.makespan(&problem));
+    }
+}

@@ -1,0 +1,256 @@
+//! A fixed-size worker pool for `'static` jobs.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Error returned when interacting with a [`ThreadPool`] that has shut down.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// The pool's job channel is closed (the pool was dropped or poisoned).
+    Closed,
+    /// A worker panicked while executing a job.
+    WorkerPanicked,
+}
+
+impl fmt::Display for PoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoolError::Closed => write!(f, "thread pool has shut down"),
+            PoolError::WorkerPanicked => write!(f, "a worker thread panicked"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+struct Shared {
+    /// Number of jobs submitted but not yet completed.
+    in_flight: AtomicUsize,
+    /// Number of jobs that ended in a panic.
+    panicked: AtomicUsize,
+}
+
+/// A fixed-size thread pool executing boxed `'static` jobs.
+///
+/// Jobs are distributed to workers through a single multi-consumer crossbeam
+/// channel, which provides natural load balancing for the coarse-grained
+/// jobs MFCP submits (whole training epochs, whole perturbation solves).
+///
+/// ```
+/// use mfcp_parallel::ThreadPool;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use std::sync::Arc;
+///
+/// let pool = ThreadPool::new(4);
+/// let counter = Arc::new(AtomicUsize::new(0));
+/// for _ in 0..100 {
+///     let c = Arc::clone(&counter);
+///     pool.execute(move || {
+///         c.fetch_add(1, Ordering::SeqCst);
+///     });
+/// }
+/// pool.join();
+/// assert_eq!(counter.load(Ordering::SeqCst), 100);
+/// ```
+pub struct ThreadPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    shared: Arc<Shared>,
+    /// Guards `join` so concurrent joins don't race on the busy-wait.
+    join_lock: Mutex<()>,
+}
+
+impl ThreadPool {
+    /// Creates a pool with `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (sender, receiver): (Sender<Job>, Receiver<Job>) = unbounded();
+        let shared = Arc::new(Shared {
+            in_flight: AtomicUsize::new(0),
+            panicked: AtomicUsize::new(0),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let rx = receiver.clone();
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("mfcp-pool-{i}"))
+                    .spawn(move || worker_loop(rx, shared))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        ThreadPool {
+            sender: Some(sender),
+            workers,
+            shared,
+            join_lock: Mutex::new(()),
+        }
+    }
+
+    /// Creates a pool sized to the machine's available parallelism.
+    pub fn with_default_threads() -> Self {
+        Self::new(crate::default_threads())
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits a job for execution. Panics if the pool has shut down
+    /// (which cannot happen while the pool value is alive).
+    pub fn execute<F>(&self, job: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.try_execute(job).expect("pool is alive while owned");
+    }
+
+    /// Fallible variant of [`ThreadPool::execute`].
+    pub fn try_execute<F>(&self, job: F) -> Result<(), PoolError>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let sender = self.sender.as_ref().ok_or(PoolError::Closed)?;
+        self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
+        sender
+            .send(Box::new(job))
+            .map_err(|_| PoolError::Closed)?;
+        Ok(())
+    }
+
+    /// Blocks until every submitted job has completed.
+    ///
+    /// Returns an error if any job panicked since the last call to `join`.
+    pub fn join(&self) -> Result<(), PoolError> {
+        let _guard = self.join_lock.lock();
+        while self.shared.in_flight.load(Ordering::SeqCst) != 0 {
+            std::thread::yield_now();
+        }
+        let panics = self.shared.panicked.swap(0, Ordering::SeqCst);
+        if panics > 0 {
+            Err(PoolError::WorkerPanicked)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Number of jobs submitted but not yet finished.
+    pub fn in_flight(&self) -> usize {
+        self.shared.in_flight.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Closing the channel makes every worker's `recv` fail once the
+        // queue drains, so queued jobs still run before shutdown.
+        drop(self.sender.take());
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.workers.len())
+            .field("in_flight", &self.in_flight())
+            .finish()
+    }
+}
+
+fn worker_loop(rx: Receiver<Job>, shared: Arc<Shared>) {
+    while let Ok(job) = rx.recv() {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+        if result.is_err() {
+            shared.panicked.fetch_add(1, Ordering::SeqCst);
+        }
+        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn executes_all_jobs() {
+        let pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..1000 {
+            let c = Arc::clone(&counter);
+            pool.execute(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.join().unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 1000);
+    }
+
+    #[test]
+    fn join_reports_panics() {
+        let pool = ThreadPool::new(2);
+        pool.execute(|| panic!("boom"));
+        assert_eq!(pool.join(), Err(PoolError::WorkerPanicked));
+        // Pool remains usable afterwards.
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        pool.execute(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        pool.join().unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn drop_runs_queued_jobs() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = ThreadPool::new(1);
+            for _ in 0..50 {
+                let c = Arc::clone(&counter);
+                pool.execute(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn threads_clamped_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.threads(), 1);
+    }
+
+    #[test]
+    fn nested_submission() {
+        let pool = Arc::new(ThreadPool::new(2));
+        let counter = Arc::new(AtomicUsize::new(0));
+        let p2 = Arc::clone(&pool);
+        let c2 = Arc::clone(&counter);
+        pool.execute(move || {
+            for _ in 0..10 {
+                let c = Arc::clone(&c2);
+                p2.execute(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        // Wait for the outer job plus the 10 inner jobs.
+        while counter.load(Ordering::SeqCst) != 10 {
+            std::thread::yield_now();
+        }
+        pool.join().unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+}

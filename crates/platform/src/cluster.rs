@@ -1,0 +1,347 @@
+//! Heterogeneous cluster profiles and the ground-truth performance model.
+//!
+//! Each third-party cluster on the exchange responds differently to task
+//! structure — the paper's Fig. 2 motivation ("For Cluster A, task
+//! execution time increases linearly with z, while for Cluster B, it
+//! follows a more complex exponential trend"). The model below produces
+//! exactly that mix: throughput-bound clusters scale roughly linearly in
+//! task compute, while memory-bound clusters develop an exponential-like
+//! penalty once a task's working set exceeds capacity, and interconnect
+//! quality shifts the balance for communication-heavy jobs.
+
+use crate::task::{TaskFamily, TaskSpec};
+use mfcp_linalg::Matrix;
+
+/// Hardware character of a cluster's accelerators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AcceleratorClass {
+    /// Tensor-core rich parts — excellent on transformers.
+    TensorCore,
+    /// Strong FP32 pipelines — excellent on convolutions.
+    HighFp32,
+    /// Large memory, moderate compute — forgiving on big activations.
+    MemoryOptimized,
+    /// Balanced commodity GPUs.
+    Commodity,
+    /// Older institutional hardware — slow and less stable.
+    Legacy,
+}
+
+impl AcceleratorClass {
+    /// Family affinity multiplier: effective throughput factor for the
+    /// given model family (hardware specialization, Fig. 2's
+    /// "cluster-specific task preferences").
+    pub fn family_affinity(self, family: TaskFamily) -> f64 {
+        match (self, family) {
+            (AcceleratorClass::TensorCore, TaskFamily::Transformer) => 2.4,
+            (AcceleratorClass::TensorCore, TaskFamily::Cnn) => 1.3,
+            (AcceleratorClass::TensorCore, TaskFamily::Rnn) => 0.9,
+            (AcceleratorClass::HighFp32, TaskFamily::Cnn) => 1.8,
+            (AcceleratorClass::HighFp32, TaskFamily::Transformer) => 0.9,
+            (AcceleratorClass::HighFp32, TaskFamily::Rnn) => 1.1,
+            (AcceleratorClass::MemoryOptimized, TaskFamily::Rnn) => 1.4,
+            (AcceleratorClass::MemoryOptimized, _) => 1.0,
+            (AcceleratorClass::Commodity, _) => 1.0,
+            (AcceleratorClass::Legacy, TaskFamily::Transformer) => 0.6,
+            (AcceleratorClass::Legacy, _) => 0.8,
+        }
+    }
+}
+
+/// One third-party cluster managed by the exchange platform.
+#[derive(Debug, Clone)]
+pub struct ClusterProfile {
+    /// Human-readable name.
+    pub name: String,
+    /// Accelerator character.
+    pub accel: AcceleratorClass,
+    /// Aggregate throughput in TFLOP/s-equivalents.
+    pub throughput: f64,
+    /// Accelerator memory capacity (same units as
+    /// [`TaskSpec::memory_units`]).
+    pub memory_capacity: f64,
+    /// Batch size at which throughput reaches half its peak efficiency.
+    pub batch_half_saturation: f64,
+    /// Interconnect quality in `[0, 1]` (1 = datacenter-grade fabric).
+    pub interconnect: f64,
+    /// Stability logit: higher means fewer failures.
+    pub stability: f64,
+}
+
+impl ClusterProfile {
+    /// Ground-truth per-epoch execution time (hours) of `task` on this
+    /// cluster, running alone.
+    pub fn execution_time(&self, task: &TaskSpec) -> f64 {
+        let affinity = self.accel.family_affinity(task.family);
+        // Batch-size efficiency: small batches under-utilize the device.
+        let b = task.batch_size as f64;
+        let batch_eff = 0.35 + 0.65 * b / (b + self.batch_half_saturation);
+        let effective = self.throughput * affinity * batch_eff;
+        let base = task.epoch_tflops() / effective;
+
+        // Memory pressure: smooth until the working set approaches
+        // capacity, then exponential-like blow-up (spilling/recompute) —
+        // the Fig. 2 "exponential trend".
+        let pressure = task.memory_units() / self.memory_capacity;
+        // Exponential blow-up past capacity, saturating at ~12x (past that
+        // point a real platform would refuse the placement outright, which
+        // the reliability model captures instead). The cap also keeps the
+        // regret statistics of the evaluation stable: a single mis-placed
+        // memory-wall task should cost hours, not days.
+        let mem_penalty = if pressure <= 0.8 {
+            1.0 + 0.1 * pressure
+        } else {
+            let z = (2.2 * (pressure - 0.8)).min(1.2);
+            1.08 + z.exp() - 1.0
+        };
+
+        // Communication penalty for sync-heavy jobs on weak fabric.
+        let comm_penalty = 1.0 + 1.5 * task.comm_intensity() * (1.0 - self.interconnect);
+
+        base * mem_penalty * comm_penalty
+    }
+
+    /// Ground-truth success probability of `task` on this cluster.
+    ///
+    /// Failures come from hardware/communication interruptions: longer
+    /// jobs, memory-pressured jobs, and communication-heavy jobs on weak
+    /// fabric all fail more often; a higher stability logit protects.
+    pub fn reliability(&self, task: &TaskSpec) -> f64 {
+        let duration = self.execution_time(task);
+        let pressure = task.memory_units() / self.memory_capacity;
+        let logit = self.stability
+            - 0.35 * duration.ln_1p()
+            - 1.4 * (pressure - 0.7).max(0.0)
+            - 1.2 * task.comm_intensity() * (1.0 - self.interconnect);
+        let p = 1.0 / (1.0 + (-logit).exp());
+        p.clamp(0.5, 0.999)
+    }
+}
+
+/// The ground-truth performance oracle over a set of clusters — what the
+/// paper obtains by actually running tasks on the platform ("we run the
+/// tasks directly on each cluster to obtain their actual execution times
+/// and reliability metrics").
+#[derive(Debug, Clone)]
+pub struct PerfModel {
+    /// Profiles of the managed clusters.
+    pub clusters: Vec<ClusterProfile>,
+}
+
+impl PerfModel {
+    /// Creates the oracle for a set of clusters.
+    pub fn new(clusters: Vec<ClusterProfile>) -> Self {
+        assert!(!clusters.is_empty(), "need at least one cluster");
+        PerfModel { clusters }
+    }
+
+    /// Number of clusters `M`.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Always false (construction requires ≥ 1 cluster).
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// `M x N` ground-truth execution-time matrix for `tasks`.
+    pub fn time_matrix(&self, tasks: &[TaskSpec]) -> Matrix {
+        Matrix::from_fn(self.len(), tasks.len(), |i, j| {
+            self.clusters[i].execution_time(&tasks[j])
+        })
+    }
+
+    /// `M x N` ground-truth reliability matrix for `tasks`.
+    pub fn reliability_matrix(&self, tasks: &[TaskSpec]) -> Matrix {
+        Matrix::from_fn(self.len(), tasks.len(), |i, j| {
+            self.clusters[i].reliability(&tasks[j])
+        })
+    }
+
+    /// Builds the memory-capacity constraint for a round of `tasks`:
+    /// each task consumes its activation/parameter footprint
+    /// ([`TaskSpec::memory_units`]) against the cluster's accelerator
+    /// memory, scaled by `headroom` (how far past nominal capacity
+    /// spilling is tolerated before a placement is forbidden outright).
+    pub fn capacity_constraint(
+        &self,
+        tasks: &[TaskSpec],
+        headroom: f64,
+    ) -> mfcp_optim::CapacityConstraint {
+        assert!(headroom > 0.0);
+        let usage = Matrix::from_fn(self.len(), tasks.len(), |_, j| tasks[j].memory_units());
+        let limits = self
+            .clusters
+            .iter()
+            .map(|c| c.memory_capacity * headroom)
+            .collect();
+        mfcp_optim::CapacityConstraint::new(usage, limits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::settings::ClusterPool;
+    use crate::task::{Corpus, TaskGenerator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_cluster(accel: AcceleratorClass) -> ClusterProfile {
+        ClusterProfile {
+            name: format!("{accel:?}"),
+            accel,
+            throughput: 40.0,
+            memory_capacity: 30.0,
+            batch_half_saturation: 32.0,
+            interconnect: 0.8,
+            stability: 3.0,
+        }
+    }
+
+    fn transformer_task() -> TaskSpec {
+        TaskSpec {
+            family: TaskFamily::Transformer,
+            corpus: Corpus::Europarl,
+            depth: 12,
+            width: 768,
+            batch_size: 64,
+        }
+    }
+
+    fn cnn_task() -> TaskSpec {
+        TaskSpec {
+            family: TaskFamily::Cnn,
+            corpus: Corpus::Cifar10,
+            depth: 20,
+            width: 256,
+            batch_size: 64,
+        }
+    }
+
+    #[test]
+    fn tensor_core_prefers_transformers() {
+        // The Fig. 2 crossing: TensorCore beats HighFp32 on transformers
+        // and loses on CNNs (with otherwise identical hardware).
+        let tc = sample_cluster(AcceleratorClass::TensorCore);
+        let fp = sample_cluster(AcceleratorClass::HighFp32);
+        let tr = transformer_task();
+        let cnn = cnn_task();
+        assert!(tc.execution_time(&tr) < fp.execution_time(&tr));
+        assert!(tc.execution_time(&cnn) > fp.execution_time(&cnn));
+    }
+
+    #[test]
+    fn memory_pressure_is_nonlinear() {
+        // Below capacity the penalty is gentle; past it, explosive.
+        let c = sample_cluster(AcceleratorClass::Commodity);
+        let small = TaskSpec {
+            width: 128,
+            depth: 12,
+            ..cnn_task()
+        };
+        let mid = cnn_task();
+        let huge = TaskSpec {
+            family: TaskFamily::Transformer,
+            corpus: Corpus::ImageNet,
+            depth: 24,
+            width: 1024,
+            batch_size: 256,
+        };
+        assert!(huge.memory_units() > c.memory_capacity);
+        let t_small = c.execution_time(&small);
+        let t_mid = c.execution_time(&mid);
+        let t_huge = c.execution_time(&huge);
+        assert!(t_small < t_mid && t_mid < t_huge);
+        // Blow-up factor past capacity dwarfs the sub-capacity slope.
+        let flops_ratio = huge.epoch_tflops() / mid.epoch_tflops();
+        assert!(
+            t_huge / t_mid > flops_ratio * 1.5,
+            "memory wall should add a superlinear penalty"
+        );
+    }
+
+    #[test]
+    fn reliability_in_range_and_sensible() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let tasks = TaskGenerator::default().sample_many(100, &mut rng);
+        for accel in [
+            AcceleratorClass::TensorCore,
+            AcceleratorClass::Legacy,
+            AcceleratorClass::MemoryOptimized,
+        ] {
+            let c = sample_cluster(accel);
+            for t in &tasks {
+                let a = c.reliability(t);
+                assert!((0.5..=0.999).contains(&a));
+            }
+        }
+        // A less stable cluster is less reliable on the same task.
+        let stable = sample_cluster(AcceleratorClass::Commodity);
+        let flaky = ClusterProfile {
+            stability: 0.5,
+            ..stable.clone()
+        };
+        let t = cnn_task();
+        assert!(flaky.reliability(&t) < stable.reliability(&t));
+    }
+
+    #[test]
+    fn weak_interconnect_hurts_comm_heavy_jobs() {
+        let good = sample_cluster(AcceleratorClass::Commodity);
+        let bad = ClusterProfile {
+            interconnect: 0.2,
+            ..good.clone()
+        };
+        let comm_heavy = TaskSpec {
+            family: TaskFamily::Transformer,
+            corpus: Corpus::Europarl,
+            depth: 20,
+            width: 1024,
+            batch_size: 16,
+        };
+        let ratio_heavy = bad.execution_time(&comm_heavy) / good.execution_time(&comm_heavy);
+        let light = TaskSpec {
+            batch_size: 256,
+            width: 256,
+            depth: 4,
+            ..comm_heavy.clone()
+        };
+        let ratio_light = bad.execution_time(&light) / good.execution_time(&light);
+        assert!(ratio_heavy > ratio_light);
+    }
+
+    #[test]
+    fn capacity_constraint_builder() {
+        let pool = ClusterPool::standard();
+        let model = PerfModel::new(pool.clusters[..2].to_vec());
+        let mut rng = StdRng::seed_from_u64(9);
+        let tasks = TaskGenerator::default().sample_many(4, &mut rng);
+        let cap = model.capacity_constraint(&tasks, 1.5);
+        assert_eq!(cap.usage.shape(), (2, 4));
+        assert_eq!(cap.limits.len(), 2);
+        for (i, c) in model.clusters.iter().enumerate() {
+            assert!((cap.limits[i] - 1.5 * c.memory_capacity).abs() < 1e-12);
+        }
+        // Usage is per-task memory, identical across clusters.
+        for j in 0..4 {
+            assert_eq!(cap.usage[(0, j)], cap.usage[(1, j)]);
+            assert!((cap.usage[(0, j)] - tasks[j].memory_units()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn perf_model_matrices() {
+        let pool = ClusterPool::standard();
+        let model = PerfModel::new(pool.clusters[..3].to_vec());
+        let mut rng = StdRng::seed_from_u64(2);
+        let tasks = TaskGenerator::default().sample_many(5, &mut rng);
+        let t = model.time_matrix(&tasks);
+        let a = model.reliability_matrix(&tasks);
+        assert_eq!(t.shape(), (3, 5));
+        assert_eq!(a.shape(), (3, 5));
+        assert!(t.as_slice().iter().all(|&v| v > 0.0 && v.is_finite()));
+        assert!(a.as_slice().iter().all(|&v| (0.5..=0.999).contains(&v)));
+    }
+}

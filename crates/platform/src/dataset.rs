@@ -1,0 +1,358 @@
+//! Sampling `(z, t, a)` training data from the platform.
+//!
+//! The paper gathers ground truth by actually executing tasks: measured
+//! runtimes carry run-to-run variance, and reliability is an *empirical
+//! frequency* over a finite number of runs. Both effects are modelled
+//! here, because they are precisely the prediction noise the MFCP
+//! framework is designed to be robust to.
+
+use crate::cluster::PerfModel;
+use crate::embedding::FeatureEmbedder;
+use crate::task::{TaskGenerator, TaskSpec};
+use mfcp_linalg::Matrix;
+use rand::Rng;
+
+/// Measurement-noise configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct NoiseConfig {
+    /// Relative (multiplicative, log-normal-ish) runtime noise std.
+    pub time_rel_std: f64,
+    /// Number of Bernoulli trials behind each measured reliability
+    /// (0 = record the exact probability).
+    pub reliability_trials: usize,
+}
+
+impl Default for NoiseConfig {
+    fn default() -> Self {
+        NoiseConfig {
+            time_rel_std: 0.06,
+            reliability_trials: 25,
+        }
+    }
+}
+
+/// A set of tasks with shared features and per-cluster measurements.
+#[derive(Debug, Clone)]
+pub struct PlatformDataset {
+    /// The sampled task specs.
+    pub tasks: Vec<TaskSpec>,
+    /// `N x d` task features (shared by every cluster's predictor).
+    pub features: Matrix,
+    /// `M x N` *measured* execution times (noisy).
+    pub times: Matrix,
+    /// `M x N` *measured* reliabilities (empirical frequencies).
+    pub reliability: Matrix,
+    /// `M x N` noiseless ground-truth times.
+    pub true_times: Matrix,
+    /// `M x N` noiseless ground-truth reliabilities.
+    pub true_reliability: Matrix,
+}
+
+/// The measurements for a single cluster, in the supervised-learning
+/// layout the predictors train on.
+#[derive(Debug, Clone)]
+pub struct ClusterTaskData {
+    /// `N x d` features.
+    pub features: Matrix,
+    /// `N x 1` measured execution times.
+    pub times: Matrix,
+    /// `N x 1` measured reliabilities.
+    pub reliability: Matrix,
+}
+
+impl PlatformDataset {
+    /// Samples `n` tasks from `generator`, embeds them, and measures every
+    /// cluster on every task.
+    pub fn generate(
+        model: &PerfModel,
+        embedder: &FeatureEmbedder,
+        generator: &TaskGenerator,
+        n: usize,
+        noise: &NoiseConfig,
+        rng: &mut impl Rng,
+    ) -> PlatformDataset {
+        let tasks = generator.sample_many(n, rng);
+        Self::from_tasks(model, embedder, tasks, noise, rng)
+    }
+
+    /// Builds a dataset for an explicit task list.
+    pub fn from_tasks(
+        model: &PerfModel,
+        embedder: &FeatureEmbedder,
+        tasks: Vec<TaskSpec>,
+        noise: &NoiseConfig,
+        rng: &mut impl Rng,
+    ) -> PlatformDataset {
+        let features = embedder.embed_batch(&tasks);
+        let true_times = model.time_matrix(&tasks);
+        let true_reliability = model.reliability_matrix(&tasks);
+        let m = model.len();
+        let n = tasks.len();
+        let mut times = true_times.clone();
+        let mut reliability = true_reliability.clone();
+        for i in 0..m {
+            for j in 0..n {
+                if noise.time_rel_std > 0.0 {
+                    let eps = gaussian(rng) * noise.time_rel_std;
+                    times[(i, j)] = (true_times[(i, j)] * (1.0 + eps)).max(1e-6);
+                }
+                if noise.reliability_trials > 0 {
+                    let p = true_reliability[(i, j)];
+                    let successes = (0..noise.reliability_trials)
+                        .filter(|_| rng.gen_bool(p.clamp(0.0, 1.0)))
+                        .count();
+                    reliability[(i, j)] = successes as f64 / noise.reliability_trials as f64;
+                }
+            }
+        }
+        PlatformDataset {
+            tasks,
+            features,
+            times,
+            reliability,
+            true_times,
+            true_reliability,
+        }
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True when there are no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Number of clusters.
+    pub fn clusters(&self) -> usize {
+        self.times.rows()
+    }
+
+    /// The supervised view for cluster `i` (measured values).
+    pub fn cluster_data(&self, i: usize) -> ClusterTaskData {
+        let n = self.len();
+        ClusterTaskData {
+            features: self.features.clone(),
+            times: Matrix::from_fn(n, 1, |r, _| self.times[(i, r)]),
+            reliability: Matrix::from_fn(n, 1, |r, _| self.reliability[(i, r)]),
+        }
+    }
+
+    /// Selects a subset of task indices into a new dataset.
+    pub fn select(&self, indices: &[usize]) -> PlatformDataset {
+        let tasks: Vec<TaskSpec> = indices.iter().map(|&j| self.tasks[j].clone()).collect();
+        let pick_cols = |m: &Matrix| {
+            Matrix::from_fn(m.rows(), indices.len(), |r, c| m[(r, indices[c])])
+        };
+        let features = Matrix::from_fn(indices.len(), self.features.cols(), |r, c| {
+            self.features[(indices[r], c)]
+        });
+        PlatformDataset {
+            tasks,
+            features,
+            times: pick_cols(&self.times),
+            reliability: pick_cols(&self.reliability),
+            true_times: pick_cols(&self.true_times),
+            true_reliability: pick_cols(&self.true_reliability),
+        }
+    }
+
+    /// Appends another dataset's tasks (same clusters, same feature
+    /// dimension) — the replay-buffer operation of a continuously
+    /// operating platform.
+    ///
+    /// # Panics
+    /// Panics on cluster-count or feature-dimension mismatch.
+    pub fn concat(&self, other: &PlatformDataset) -> PlatformDataset {
+        assert_eq!(self.clusters(), other.clusters(), "cluster count mismatch");
+        assert_eq!(
+            self.features.cols(),
+            other.features.cols(),
+            "feature dimension mismatch"
+        );
+        let mut tasks = self.tasks.clone();
+        tasks.extend(other.tasks.iter().cloned());
+        PlatformDataset {
+            tasks,
+            features: self.features.vstack(&other.features).expect("shapes checked"),
+            times: self.times.hstack(&other.times).expect("shapes checked"),
+            reliability: self
+                .reliability
+                .hstack(&other.reliability)
+                .expect("shapes checked"),
+            true_times: self
+                .true_times
+                .hstack(&other.true_times)
+                .expect("shapes checked"),
+            true_reliability: self
+                .true_reliability
+                .hstack(&other.true_reliability)
+                .expect("shapes checked"),
+        }
+    }
+
+    /// Keeps only the most recent `capacity` tasks (replay-buffer bound).
+    pub fn truncate_front(&self, capacity: usize) -> PlatformDataset {
+        if self.len() <= capacity {
+            return self.clone();
+        }
+        let start = self.len() - capacity;
+        let indices: Vec<usize> = (start..self.len()).collect();
+        self.select(&indices)
+    }
+
+    /// Deterministic split into `(train, test)` by shuffled indices.
+    pub fn split(&self, train_fraction: f64, rng: &mut impl Rng) -> (PlatformDataset, PlatformDataset) {
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        for i in (1..idx.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            idx.swap(i, j);
+        }
+        let mut n_train = (self.len() as f64 * train_fraction) as usize;
+        if self.len() >= 2 {
+            n_train = n_train.clamp(1, self.len() - 1);
+        }
+        (self.select(&idx[..n_train]), self.select(&idx[n_train..]))
+    }
+}
+
+/// Standard normal via Box–Muller.
+fn gaussian(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::settings::{ClusterPool, Setting};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn make(n: usize, seed: u64, noise: NoiseConfig) -> PlatformDataset {
+        let model = ClusterPool::standard().setting(Setting::A);
+        let embedder = FeatureEmbedder::default_platform();
+        let mut rng = StdRng::seed_from_u64(seed);
+        PlatformDataset::generate(
+            &model,
+            &embedder,
+            &TaskGenerator::default(),
+            n,
+            &noise,
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn shapes_consistent() {
+        let d = make(12, 1, NoiseConfig::default());
+        assert_eq!(d.len(), 12);
+        assert_eq!(d.clusters(), 3);
+        assert_eq!(d.features.shape(), (12, FeatureEmbedder::default_platform().dim()));
+        assert_eq!(d.times.shape(), (3, 12));
+        assert_eq!(d.reliability.shape(), (3, 12));
+    }
+
+    #[test]
+    fn noise_perturbs_but_tracks_truth() {
+        let d = make(50, 2, NoiseConfig::default());
+        let mut rel_err_sum = 0.0;
+        let mut any_diff = false;
+        for i in 0..3 {
+            for j in 0..50 {
+                let rel = (d.times[(i, j)] - d.true_times[(i, j)]).abs() / d.true_times[(i, j)];
+                rel_err_sum += rel;
+                if rel > 1e-12 {
+                    any_diff = true;
+                }
+                assert!(rel < 0.5, "noise too large: {rel}");
+            }
+        }
+        assert!(any_diff, "noise should actually perturb measurements");
+        assert!(rel_err_sum / 150.0 < 0.1);
+    }
+
+    #[test]
+    fn zero_noise_reproduces_truth() {
+        let d = make(
+            10,
+            3,
+            NoiseConfig {
+                time_rel_std: 0.0,
+                reliability_trials: 0,
+            },
+        );
+        assert!(d.times.approx_eq(&d.true_times, 1e-15));
+        assert!(d.reliability.approx_eq(&d.true_reliability, 1e-15));
+    }
+
+    #[test]
+    fn reliability_is_empirical_frequency() {
+        let d = make(
+            30,
+            4,
+            NoiseConfig {
+                time_rel_std: 0.0,
+                reliability_trials: 25,
+            },
+        );
+        for i in 0..3 {
+            for j in 0..30 {
+                let v = d.reliability[(i, j)];
+                // Multiples of 1/25 in [0, 1].
+                let k = (v * 25.0).round();
+                assert!((v * 25.0 - k).abs() < 1e-9);
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_data_matches_columns() {
+        let d = make(8, 5, NoiseConfig::default());
+        let c1 = d.cluster_data(1);
+        assert_eq!(c1.features.shape().0, 8);
+        for j in 0..8 {
+            assert_eq!(c1.times[(j, 0)], d.times[(1, j)]);
+            assert_eq!(c1.reliability[(j, 0)], d.reliability[(1, j)]);
+        }
+    }
+
+    #[test]
+    fn split_partitions() {
+        let d = make(20, 6, NoiseConfig::default());
+        let mut rng = StdRng::seed_from_u64(7);
+        let (train, test) = d.split(0.75, &mut rng);
+        assert_eq!(train.len(), 15);
+        assert_eq!(test.len(), 5);
+        assert_eq!(train.clusters(), 3);
+    }
+
+    #[test]
+    fn concat_and_truncate() {
+        let a = make(6, 10, NoiseConfig::default());
+        let b = make(4, 11, NoiseConfig::default());
+        let joined = a.concat(&b);
+        assert_eq!(joined.len(), 10);
+        assert_eq!(joined.clusters(), 3);
+        assert_eq!(joined.tasks[6], b.tasks[0]);
+        assert_eq!(joined.times[(1, 7)], b.times[(1, 1)]);
+        // Truncation keeps the most recent tasks.
+        let bounded = joined.truncate_front(5);
+        assert_eq!(bounded.len(), 5);
+        assert_eq!(bounded.tasks[0], joined.tasks[5]);
+        // No-op when under capacity.
+        assert_eq!(joined.truncate_front(100).len(), 10);
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = make(10, 42, NoiseConfig::default());
+        let b = make(10, 42, NoiseConfig::default());
+        assert!(a.times.approx_eq(&b.times, 0.0));
+        assert!(a.reliability.approx_eq(&b.reliability, 0.0));
+    }
+}

@@ -1,0 +1,286 @@
+//! Failure-injecting execution simulation.
+//!
+//! Given a discrete matching, replays the workload on the platform: each
+//! task succeeds with its ground-truth probability; cluster completion
+//! times follow the (speedup-adjusted) schedule. This produces the
+//! §4.1.3 evaluation quantities — makespan, realized success rate, and
+//! cluster utilization — under actual stochastic execution rather than in
+//! expectation.
+
+use mfcp_optim::{Assignment, MatchingProblem};
+use rand::Rng;
+
+/// The outcome of one simulated execution round.
+#[derive(Debug, Clone)]
+pub struct ExecutionReport {
+    /// Wall-clock completion time of the slowest cluster.
+    pub makespan: f64,
+    /// Per-cluster busy time (speedup-adjusted).
+    pub cluster_busy: Vec<f64>,
+    /// Number of tasks that completed successfully.
+    pub successes: usize,
+    /// Indices of tasks that failed.
+    pub failed_tasks: Vec<usize>,
+    /// Realized success rate (`successes / N`; 1.0 for an empty round).
+    pub success_rate: f64,
+    /// Cluster utilization: `Σ busy / (M · makespan)`.
+    pub utilization: f64,
+}
+
+/// Simulates one execution of `assignment` on the true performance
+/// matrices in `problem`, drawing task failures from the reliability
+/// entries.
+pub fn simulate_execution(
+    problem: &MatchingProblem,
+    assignment: &Assignment,
+    rng: &mut impl Rng,
+) -> ExecutionReport {
+    let n = assignment.tasks();
+    assert_eq!(n, problem.tasks(), "assignment/problem size mismatch");
+    let cluster_busy = assignment.cluster_times(problem);
+    let makespan = cluster_busy.iter().cloned().fold(0.0, f64::max);
+    let mut failed_tasks = Vec::new();
+    for (j, &c) in assignment.cluster_of.iter().enumerate() {
+        let p = problem.reliability[(c, j)].clamp(0.0, 1.0);
+        if !rng.gen_bool(p) {
+            failed_tasks.push(j);
+        }
+    }
+    let successes = n - failed_tasks.len();
+    let success_rate = if n == 0 {
+        1.0
+    } else {
+        successes as f64 / n as f64
+    };
+    let utilization = if makespan <= 0.0 {
+        1.0
+    } else {
+        cluster_busy.iter().sum::<f64>() / (problem.clusters() as f64 * makespan)
+    };
+    ExecutionReport {
+        makespan,
+        cluster_busy,
+        successes,
+        failed_tasks,
+        success_rate,
+        utilization,
+    }
+}
+
+/// The outcome of an execution with retries.
+#[derive(Debug, Clone)]
+pub struct RetryReport {
+    /// Wall-clock completion including retry attempts.
+    pub makespan: f64,
+    /// Total attempts per task (1 = succeeded first try).
+    pub attempts: Vec<usize>,
+    /// Tasks that exhausted every attempt and were abandoned.
+    pub abandoned: Vec<usize>,
+    /// Extra busy time spent on failed attempts, per cluster.
+    pub wasted_time: Vec<f64>,
+}
+
+/// Simulates execution where failed tasks are retried on their assigned
+/// cluster up to `max_attempts` times — the operational cost of
+/// unreliability that the paper's reliability constraint guards against:
+/// every failed attempt burns the task's full execution time.
+pub fn simulate_with_retries(
+    problem: &MatchingProblem,
+    assignment: &Assignment,
+    max_attempts: usize,
+    rng: &mut impl Rng,
+) -> RetryReport {
+    assert!(max_attempts >= 1);
+    let m = problem.clusters();
+    let n = assignment.tasks();
+    assert_eq!(n, problem.tasks());
+    let mut attempts = vec![0usize; n];
+    let mut abandoned = Vec::new();
+    let mut busy = vec![0.0; m];
+    let mut wasted_time = vec![0.0; m];
+    let mut counts = vec![0.0; m];
+    for &c in &assignment.cluster_of {
+        counts[c] += 1.0;
+    }
+    for (j, &c) in assignment.cluster_of.iter().enumerate() {
+        let p = problem.reliability[(c, j)].clamp(0.0, 1.0);
+        let t = problem.times[(c, j)];
+        let mut done = false;
+        for _ in 0..max_attempts {
+            attempts[j] += 1;
+            busy[c] += t;
+            if rng.gen_bool(p) {
+                done = true;
+                break;
+            }
+            wasted_time[c] += t;
+        }
+        if !done {
+            abandoned.push(j);
+        }
+    }
+    // Apply the speedup curve to each cluster's aggregate busy time using
+    // its *task count* (retries share the same batching).
+    let makespan = (0..m)
+        .map(|i| problem.speedup[i].eval(counts[i]) * busy[i])
+        .fold(0.0, f64::max);
+    RetryReport {
+        makespan,
+        attempts,
+        abandoned,
+        wasted_time,
+    }
+}
+
+/// Averages `rounds` simulated executions (success rate converges to the
+/// assignment's mean reliability by the law of large numbers).
+pub fn average_success_rate(
+    problem: &MatchingProblem,
+    assignment: &Assignment,
+    rounds: usize,
+    rng: &mut impl Rng,
+) -> f64 {
+    if rounds == 0 {
+        return assignment.mean_reliability(problem);
+    }
+    let total: f64 = (0..rounds)
+        .map(|_| simulate_execution(problem, assignment, rng).success_rate)
+        .sum();
+    total / rounds as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfcp_linalg::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn problem() -> MatchingProblem {
+        let t = Matrix::from_rows(&[&[1.0, 2.0, 1.5], &[2.0, 1.0, 1.0]]);
+        let a = Matrix::from_rows(&[&[0.9, 0.8, 0.85], &[0.7, 0.95, 0.9]]);
+        MatchingProblem::new(t, a, 0.8)
+    }
+
+    #[test]
+    fn report_consistency() {
+        let p = problem();
+        let asg = Assignment::new(vec![0, 1, 1]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let report = simulate_execution(&p, &asg, &mut rng);
+        assert_eq!(report.makespan, asg.makespan(&p));
+        assert_eq!(report.successes + report.failed_tasks.len(), 3);
+        assert!((0.0..=1.0).contains(&report.utilization));
+        assert!((report.utilization - asg.utilization(&p)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn success_rate_converges_to_mean_reliability() {
+        let p = problem();
+        let asg = Assignment::new(vec![0, 1, 1]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let avg = average_success_rate(&p, &asg, 4000, &mut rng);
+        let expected = asg.mean_reliability(&p);
+        assert!(
+            (avg - expected).abs() < 0.02,
+            "LLN check: {avg} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn perfect_reliability_never_fails() {
+        let t = Matrix::filled(1, 4, 1.0);
+        let a = Matrix::filled(1, 4, 1.0);
+        let p = MatchingProblem::new(t, a, 0.5);
+        let asg = Assignment::new(vec![0; 4]);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let r = simulate_execution(&p, &asg, &mut rng);
+            assert_eq!(r.successes, 4);
+            assert!(r.failed_tasks.is_empty());
+        }
+    }
+
+    #[test]
+    fn empty_round() {
+        let p = MatchingProblem::new(Matrix::zeros(2, 0), Matrix::zeros(2, 0), 0.5);
+        let asg = Assignment::new(vec![]);
+        let mut rng = StdRng::seed_from_u64(4);
+        let r = simulate_execution(&p, &asg, &mut rng);
+        assert_eq!(r.success_rate, 1.0);
+        assert_eq!(r.makespan, 0.0);
+    }
+
+    #[test]
+    fn retries_with_perfect_reliability_are_single_attempts() {
+        let t = Matrix::filled(2, 4, 1.0);
+        let a = Matrix::filled(2, 4, 1.0);
+        let p = MatchingProblem::new(t, a, 0.5);
+        let asg = Assignment::new(vec![0, 0, 1, 1]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let r = simulate_with_retries(&p, &asg, 3, &mut rng);
+        assert_eq!(r.attempts, vec![1, 1, 1, 1]);
+        assert!(r.abandoned.is_empty());
+        assert_eq!(r.wasted_time, vec![0.0, 0.0]);
+        assert!((r.makespan - asg.makespan(&p)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retries_increase_makespan_under_failures() {
+        let t = Matrix::filled(1, 6, 1.0);
+        let a = Matrix::filled(1, 6, 0.5);
+        let p = MatchingProblem::new(t, a, 0.0);
+        let asg = Assignment::new(vec![0; 6]);
+        let mut rng = StdRng::seed_from_u64(6);
+        let r = simulate_with_retries(&p, &asg, 5, &mut rng);
+        assert!(r.makespan > asg.makespan(&p), "retries must add time");
+        assert!(r.attempts.iter().any(|&k| k > 1));
+        assert!(r.wasted_time[0] > 0.0);
+        // Expected attempts per task for p = 0.5 is ~2.
+        let mean_attempts: f64 =
+            r.attempts.iter().map(|&k| k as f64).sum::<f64>() / 6.0;
+        assert!(mean_attempts > 1.2 && mean_attempts < 4.0);
+    }
+
+    #[test]
+    fn unreliable_tasks_eventually_abandoned() {
+        // p clamps to the model floor of 0.0 only via construction; use a
+        // tiny probability so abandonment is near-certain.
+        let t = Matrix::filled(1, 3, 1.0);
+        let a = Matrix::filled(1, 3, 0.01);
+        let p = MatchingProblem::new(t, a, 0.0);
+        let asg = Assignment::new(vec![0; 3]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let r = simulate_with_retries(&p, &asg, 2, &mut rng);
+        assert!(!r.abandoned.is_empty());
+        for &j in &r.abandoned {
+            assert_eq!(r.attempts[j], 2);
+        }
+    }
+
+    #[test]
+    fn more_reliable_matching_wastes_less_retry_time() {
+        // Same times, very different reliabilities: the reliable cluster
+        // wastes less time across many simulations — the operational
+        // motivation for the paper's reliability constraint.
+        let t = Matrix::from_rows(&[&[1.0, 1.0, 1.0, 1.0], &[1.0, 1.0, 1.0, 1.0]]);
+        let a = Matrix::from_rows(&[&[0.99, 0.99, 0.99, 0.99], &[0.6, 0.6, 0.6, 0.6]]);
+        let p = MatchingProblem::new(t, a, 0.0);
+        let reliable = Assignment::new(vec![0; 4]);
+        let flaky = Assignment::new(vec![1; 4]);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut waste_reliable = 0.0;
+        let mut waste_flaky = 0.0;
+        for _ in 0..200 {
+            waste_reliable += simulate_with_retries(&p, &reliable, 5, &mut rng)
+                .wasted_time
+                .iter()
+                .sum::<f64>();
+            waste_flaky += simulate_with_retries(&p, &flaky, 5, &mut rng)
+                .wasted_time
+                .iter()
+                .sum::<f64>();
+        }
+        assert!(waste_reliable < waste_flaky * 0.2);
+    }
+}

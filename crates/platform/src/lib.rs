@@ -1,0 +1,60 @@
+//! A synthetic computing resource exchange platform.
+//!
+//! The paper evaluates MFCP on proprietary measurements from the Xirang
+//! platform (China Telecom): per-epoch runtimes and success probabilities
+//! of CV/NLP training jobs on third-party clusters. That data is not
+//! available, so this crate simulates the platform end to end — the
+//! substitution is recorded in DESIGN.md and preserves the two phenomena
+//! MFCP exploits:
+//!
+//! 1. **Cluster-specific task preferences** (the paper's Fig. 2): each
+//!    cluster's ground-truth execution-time model responds differently to
+//!    task structure (tensor-core-rich clusters favour transformers,
+//!    memory-bound clusters punish large activations, etc.), with
+//!    nonlinearities a small MLP cannot fit exactly from few samples.
+//! 2. **Reliability as a binding constraint**: third-party clusters fail
+//!    tasks with probabilities driven by cluster stability and task
+//!    resource pressure.
+//!
+//! Modules:
+//!
+//! * [`task`] — deep-learning task descriptors (CNN / Transformer / RNN
+//!   families with hyper-parameters) and workload generators.
+//! * [`embedding`] — a deterministic nonlinear feature embedding standing
+//!   in for the paper's GNN task encoder.
+//! * [`cluster`] — heterogeneous cluster hardware profiles and the
+//!   ground-truth execution-time / reliability models.
+//! * [`dataset`] — sampling `(z, t, a)` training data with measurement
+//!   noise, per cluster, plus train/test splits.
+//! * [`settings`] — the cluster pool and the paper's evaluation settings
+//!   A/B/C (§4.3).
+//! * [`execution`] — a failure-injecting execution simulator producing
+//!   the makespan / reliability / utilization numbers of §4.1.3.
+//! * [`metrics`] — mean ± std accumulators used by every experiment.
+//! * [`trace`] — CSV import/export of measurement traces.
+//! * [`scheduler`] — explicit within-cluster schedules (sequential and
+//!   processor-sharing), grounding the ζ speedup model of Eq. 16.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod dataset;
+pub mod embedding;
+pub mod execution;
+pub mod metrics;
+pub mod scheduler;
+pub mod settings;
+pub mod task;
+pub mod trace;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::cluster::{ClusterProfile, PerfModel};
+    pub use crate::dataset::{ClusterTaskData, PlatformDataset};
+    pub use crate::embedding::FeatureEmbedder;
+    pub use crate::execution::{simulate_execution, ExecutionReport};
+    pub use crate::metrics::{paired_comparison, MeanStd, PairedComparison};
+    pub use crate::settings::{ClusterPool, Setting};
+    pub use crate::task::{TaskFamily, TaskGenerator, TaskSpec};
+}

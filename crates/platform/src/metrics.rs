@@ -1,0 +1,255 @@
+//! Streaming mean ± std accumulation and paired-comparison statistics
+//! for experiment tables.
+
+use std::fmt;
+
+/// Result of a paired comparison between two methods evaluated on the
+/// same seeds/rounds.
+#[derive(Debug, Clone)]
+pub struct PairedComparison {
+    /// Number of pairs where the first method scored strictly lower.
+    pub wins: usize,
+    /// Number of strict losses.
+    pub losses: usize,
+    /// Number of ties (within `tie_tol`).
+    pub ties: usize,
+    /// Mean of the paired differences (first − second).
+    pub mean_diff: f64,
+    /// Two-sided sign-test p-value for the hypothesis "no difference".
+    pub sign_test_p: f64,
+}
+
+impl fmt::Display for PairedComparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}W/{}L/{}T, Δ={:+.3}, sign-test p={:.3}",
+            self.wins, self.losses, self.ties, self.mean_diff, self.sign_test_p
+        )
+    }
+}
+
+/// Exact two-sided binomial sign test: probability of seeing a split at
+/// least as extreme as `k` successes out of `n` under p = 1/2.
+fn sign_test_p_value(k: usize, n: usize) -> f64 {
+    if n == 0 {
+        return 1.0;
+    }
+    // P(X <= min(k, n-k)) * 2, X ~ Binomial(n, 1/2), capped at 1.
+    let lo = k.min(n - k);
+    let mut log_binom = 0.0f64; // log C(n, 0)
+    let ln2n = n as f64 * std::f64::consts::LN_2;
+    let mut tail = 0.0;
+    for i in 0..=lo {
+        if i > 0 {
+            log_binom += ((n - i + 1) as f64).ln() - (i as f64).ln();
+        }
+        tail += (log_binom - ln2n).exp();
+    }
+    (2.0 * tail).min(1.0)
+}
+
+/// Pairs per-seed scores of two methods (lower = better) and reports
+/// wins/losses/ties plus a sign test. Values within `tie_tol` are ties.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn paired_comparison(first: &[f64], second: &[f64], tie_tol: f64) -> PairedComparison {
+    assert_eq!(first.len(), second.len(), "paired slices must align");
+    let mut wins = 0;
+    let mut losses = 0;
+    let mut ties = 0;
+    let mut diff_sum = 0.0;
+    for (&a, &b) in first.iter().zip(second) {
+        diff_sum += a - b;
+        if (a - b).abs() <= tie_tol {
+            ties += 1;
+        } else if a < b {
+            wins += 1;
+        } else {
+            losses += 1;
+        }
+    }
+    let decisive = wins + losses;
+    PairedComparison {
+        wins,
+        losses,
+        ties,
+        mean_diff: if first.is_empty() {
+            0.0
+        } else {
+            diff_sum / first.len() as f64
+        },
+        sign_test_p: sign_test_p_value(wins, decisive),
+    }
+}
+
+/// Welford-style streaming accumulator for mean and standard deviation.
+///
+/// ```
+/// use mfcp_platform::metrics::MeanStd;
+/// let acc = MeanStd::from_values([1.0, 2.0, 3.0]);
+/// assert_eq!(acc.mean(), 2.0);
+/// assert_eq!(format!("{acc}"), "2.000 ± 0.816");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MeanStd {
+    n: usize,
+    mean: f64,
+    m2: f64,
+}
+
+impl MeanStd {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulates every value of an iterator.
+    pub fn from_values(values: impl IntoIterator<Item = f64>) -> Self {
+        let mut acc = Self::new();
+        for v in values {
+            acc.push(v);
+        }
+        acc
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, value: f64) {
+        self.n += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (value - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population standard deviation (0 for fewer than two observations).
+    pub fn std(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / self.n as f64).sqrt()
+        }
+    }
+
+    /// Merges another accumulator (parallel reduction).
+    pub fn merge(&mut self, other: &MeanStd) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.n + other.n;
+        let delta = other.mean - self.mean;
+        self.m2 += other.m2 + delta * delta * (self.n * other.n) as f64 / total as f64;
+        self.mean += delta * other.n as f64 / total as f64;
+        self.n = total;
+    }
+}
+
+impl fmt::Display for MeanStd {
+    /// Formats as the paper's tables do: `mean ± std` with three decimals.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} ± {:.3}", self.mean(), self.std())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_direct_formulas() {
+        let values = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let acc = MeanStd::from_values(values.iter().copied());
+        assert_eq!(acc.count(), 5);
+        assert!((acc.mean() - 3.0).abs() < 1e-12);
+        assert!((acc.std() - 2.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty = MeanStd::new();
+        assert_eq!(empty.mean(), 0.0);
+        assert_eq!(empty.std(), 0.0);
+        let one = MeanStd::from_values([7.0]);
+        assert_eq!(one.mean(), 7.0);
+        assert_eq!(one.std(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..50).map(|i| (i as f64).sin() * 3.0).collect();
+        let all = MeanStd::from_values(xs.iter().copied());
+        let mut left = MeanStd::from_values(xs[..20].iter().copied());
+        let right = MeanStd::from_values(xs[20..].iter().copied());
+        left.merge(&right);
+        assert!((left.mean() - all.mean()).abs() < 1e-12);
+        assert!((left.std() - all.std()).abs() < 1e-12);
+        assert_eq!(left.count(), 50);
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let mut a = MeanStd::from_values([1.0, 2.0]);
+        a.merge(&MeanStd::new());
+        assert_eq!(a.count(), 2);
+        let mut e = MeanStd::new();
+        e.merge(&a);
+        assert_eq!(e.count(), 2);
+        assert!((e.mean() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_format() {
+        let acc = MeanStd::from_values([1.0, 2.0, 3.0]);
+        assert_eq!(format!("{acc}"), "2.000 ± 0.816");
+    }
+
+    #[test]
+    fn paired_comparison_counts() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 2.0, 4.0, 3.0];
+        let cmp = paired_comparison(&a, &b, 1e-9);
+        assert_eq!(cmp.wins, 2); // 1<2 and 3<4
+        assert_eq!(cmp.losses, 1); // 4>3
+        assert_eq!(cmp.ties, 1);
+        assert!((cmp.mean_diff - (-0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sign_test_values() {
+        // All 8 of 8 wins: p = 2 * (1/2)^8 = 1/128.
+        let a = [0.0; 8];
+        let b = [1.0; 8];
+        let cmp = paired_comparison(&a, &b, 1e-12);
+        assert_eq!(cmp.wins, 8);
+        assert!((cmp.sign_test_p - 2.0 / 256.0).abs() < 1e-12);
+        // Even split: p = 1.
+        let a = [0.0, 1.0, 0.0, 1.0];
+        let b = [1.0, 0.0, 1.0, 0.0];
+        let cmp = paired_comparison(&a, &b, 1e-12);
+        assert!((cmp.sign_test_p - 1.0).abs() < 1e-9);
+        // Empty input.
+        let cmp = paired_comparison(&[], &[], 0.0);
+        assert_eq!(cmp.sign_test_p, 1.0);
+    }
+
+    #[test]
+    fn sign_test_monotone_in_extremity() {
+        let p6 = paired_comparison(&[0.0; 6], &[1.0; 6], 0.0).sign_test_p;
+        let p10 = paired_comparison(&[0.0; 10], &[1.0; 10], 0.0).sign_test_p;
+        assert!(p10 < p6, "more consistent wins → smaller p");
+    }
+}

@@ -1,0 +1,274 @@
+//! Within-cluster schedule simulation.
+//!
+//! The matching layer treats a cluster's completion time through two
+//! summary models: sequential execution (`Σ t_j`, paper Eq. 3) and the
+//! speedup-curve adjustment (`ζ(n)·Σ t_j`, Eq. 16). This module provides
+//! the *explicit* schedules behind those summaries:
+//!
+//! * [`sequential_schedule`] — one task at a time, with start/end stamps.
+//! * [`processor_sharing_schedule`] — an event-driven generalized
+//!   processor-sharing simulation where `k` concurrent tasks share an
+//!   aggregate service rate `s(k) = 1/ζ(k)` (so `k` *equal* tasks finish
+//!   at exactly `ζ(k)·Σt`, grounding Eq. 16), recomputed at every task
+//!   completion.
+//! * [`fit_speedup`] — recovers an empirical ζ curve from simulated
+//!   schedules, quantifying how well the scalar model summarizes
+//!   heterogeneous workloads.
+
+use crate::prelude::MeanStd;
+use mfcp_optim::SpeedupCurve;
+
+/// One task's slot in a schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleEntry {
+    /// Index of the task within the submitted batch.
+    pub task: usize,
+    /// Start time.
+    pub start: f64,
+    /// Completion time.
+    pub end: f64,
+}
+
+/// A complete within-cluster schedule.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// Per-task slots, in completion order.
+    pub entries: Vec<ScheduleEntry>,
+    /// Completion time of the last task.
+    pub makespan: f64,
+}
+
+impl Schedule {
+    /// The entry for a given task index.
+    pub fn entry(&self, task: usize) -> Option<&ScheduleEntry> {
+        self.entries.iter().find(|e| e.task == task)
+    }
+}
+
+/// Runs `times` one after another in submission order.
+pub fn sequential_schedule(times: &[f64]) -> Schedule {
+    let mut entries = Vec::with_capacity(times.len());
+    let mut clock = 0.0;
+    for (task, &t) in times.iter().enumerate() {
+        assert!(t >= 0.0 && t.is_finite(), "task times must be non-negative");
+        entries.push(ScheduleEntry {
+            task,
+            start: clock,
+            end: clock + t,
+        });
+        clock += t;
+    }
+    Schedule {
+        entries,
+        makespan: clock,
+    }
+}
+
+/// Event-driven generalized processor sharing: all submitted tasks start
+/// at time zero; while `k` tasks remain, the cluster serves at aggregate
+/// rate `s(k) = 1/ζ(k)`, split equally. Rates are recomputed whenever a
+/// task finishes.
+pub fn processor_sharing_schedule(times: &[f64], curve: SpeedupCurve) -> Schedule {
+    let n = times.len();
+    let mut remaining: Vec<(usize, f64)> = times
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| {
+            assert!(t >= 0.0 && t.is_finite(), "task times must be non-negative");
+            (i, t)
+        })
+        .collect();
+    let mut entries = Vec::with_capacity(n);
+    let mut clock = 0.0;
+    while !remaining.is_empty() {
+        let k = remaining.len();
+        // Aggregate service rate and equal split.
+        let aggregate = 1.0 / curve.eval(k as f64).max(1e-12);
+        let per_task = aggregate / k as f64;
+        // Next completion: the smallest remaining work.
+        let (min_idx, &(_, min_work)) = remaining
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1 .1.total_cmp(&b.1 .1))
+            .expect("non-empty");
+        let dt = min_work / per_task;
+        clock += dt;
+        // Drain work from everyone.
+        for (_, work) in remaining.iter_mut() {
+            *work -= min_work;
+        }
+        let (task, _) = remaining.remove(min_idx);
+        entries.push(ScheduleEntry {
+            task,
+            start: 0.0,
+            end: clock,
+        });
+        // Zero-work tasks finish at the same instant.
+        while let Some(pos) = remaining.iter().position(|&(_, w)| w <= 1e-15) {
+            let (task, _) = remaining.remove(pos);
+            entries.push(ScheduleEntry {
+                task,
+                start: 0.0,
+                end: clock,
+            });
+        }
+    }
+    Schedule {
+        entries,
+        makespan: clock,
+    }
+}
+
+/// An empirically fitted speedup point: the observed ratio
+/// `makespan / Σ t` for batches of a given size.
+#[derive(Debug, Clone)]
+pub struct SpeedupFit {
+    /// Batch size `n`.
+    pub batch_size: usize,
+    /// Observed `makespan / Σt` across the provided batches.
+    pub zeta: MeanStd,
+}
+
+/// Fits an empirical ζ curve from simulated processor-sharing schedules
+/// of each batch in `batches`.
+pub fn fit_speedup(batches: &[Vec<f64>], curve: SpeedupCurve) -> Vec<SpeedupFit> {
+    use std::collections::BTreeMap;
+    let mut by_size: BTreeMap<usize, MeanStd> = BTreeMap::new();
+    for batch in batches {
+        if batch.is_empty() {
+            continue;
+        }
+        let total: f64 = batch.iter().sum();
+        if total <= 0.0 {
+            continue;
+        }
+        let schedule = processor_sharing_schedule(batch, curve);
+        by_size
+            .entry(batch.len())
+            .or_default()
+            .push(schedule.makespan / total);
+    }
+    by_size
+        .into_iter()
+        .map(|(batch_size, zeta)| SpeedupFit { batch_size, zeta })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn sequential_is_cumulative() {
+        let s = sequential_schedule(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.makespan, 6.0);
+        assert_eq!(s.entry(0).unwrap().end, 1.0);
+        assert_eq!(s.entry(1).unwrap().start, 1.0);
+        assert_eq!(s.entry(2).unwrap().end, 6.0);
+    }
+
+    #[test]
+    fn single_task_unaffected_by_sharing() {
+        let s = processor_sharing_schedule(&[2.5], SpeedupCurve::paper_parallel());
+        assert!((s.makespan - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_tasks_reproduce_zeta_exactly() {
+        // k equal tasks under processor sharing all finish at ζ(k)·Σt —
+        // the Eq. 16 model is exact for homogeneous batches.
+        let curve = SpeedupCurve::paper_parallel();
+        for k in 1..=8usize {
+            let times = vec![1.5; k];
+            let s = processor_sharing_schedule(&times, curve);
+            let expected = curve.eval(k as f64) * 1.5 * k as f64;
+            assert!(
+                (s.makespan - expected).abs() < 1e-9,
+                "k={k}: {} vs {expected}",
+                s.makespan
+            );
+        }
+    }
+
+    #[test]
+    fn heterogeneous_batches_close_to_zeta_model() {
+        // With unequal tasks the scalar ζ model is an approximation; the
+        // simulated makespan must stay within a modest band of it.
+        let curve = SpeedupCurve::paper_parallel();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..30 {
+            let k = rng.gen_range(2..8);
+            let times: Vec<f64> = (0..k).map(|_| rng.gen_range(0.2..3.0)).collect();
+            let total: f64 = times.iter().sum();
+            let s = processor_sharing_schedule(&times, curve);
+            let model = curve.eval(k as f64) * total;
+            let ratio = s.makespan / model;
+            assert!(
+                (0.6..=1.25).contains(&ratio),
+                "ζ model should approximate the schedule: ratio {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharing_beats_sequential_for_multi_task_batches() {
+        let curve = SpeedupCurve::paper_parallel();
+        let times = [1.0, 2.0, 1.5, 0.5];
+        let seq = sequential_schedule(&times);
+        let par = processor_sharing_schedule(&times, curve);
+        assert!(par.makespan < seq.makespan);
+        // But never faster than perfect speedup at the ζ floor.
+        assert!(par.makespan >= 0.6 * seq.makespan - 1e-12);
+    }
+
+    #[test]
+    fn completion_order_is_shortest_first() {
+        let s = processor_sharing_schedule(&[3.0, 1.0, 2.0], SpeedupCurve::None);
+        let order: Vec<usize> = s.entries.iter().map(|e| e.task).collect();
+        assert_eq!(order, vec![1, 2, 0]);
+        // Monotone completion stamps.
+        for w in s.entries.windows(2) {
+            assert!(w[0].end <= w[1].end + 1e-12);
+        }
+    }
+
+    #[test]
+    fn fitted_zeta_decreasing_toward_floor() {
+        let curve = SpeedupCurve::paper_parallel();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut batches = Vec::new();
+        for k in 1..=10usize {
+            for _ in 0..20 {
+                batches.push((0..k).map(|_| rng.gen_range(0.5..2.0)).collect());
+            }
+        }
+        let fits = fit_speedup(&batches, curve);
+        assert_eq!(fits.len(), 10);
+        // ζ(1) = 1 exactly; the fitted curve decreases and respects the floor.
+        assert!((fits[0].zeta.mean() - 1.0).abs() < 1e-9);
+        for w in fits.windows(2) {
+            assert!(
+                w[1].zeta.mean() <= w[0].zeta.mean() + 0.02,
+                "fitted ζ must trend down"
+            );
+        }
+        assert!(fits.last().unwrap().zeta.mean() >= 0.6 - 1e-9);
+    }
+
+    #[test]
+    fn zero_time_tasks_handled() {
+        let s = processor_sharing_schedule(&[0.0, 1.0, 0.0], SpeedupCurve::paper_parallel());
+        assert_eq!(s.entries.len(), 3);
+        assert!(s.entry(0).unwrap().end <= 1e-12);
+        assert!(s.makespan > 0.0);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let s = processor_sharing_schedule(&[], SpeedupCurve::paper_parallel());
+        assert_eq!(s.makespan, 0.0);
+        assert!(s.entries.is_empty());
+    }
+}

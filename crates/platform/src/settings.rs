@@ -1,0 +1,208 @@
+//! The cluster pool and the paper's evaluation settings.
+//!
+//! §4.3: "we perform three experiment sets, each randomly selecting
+//! clusters (settings A, B, C)". We maintain a standard pool of eight
+//! heterogeneous clusters and derive each setting as a deterministic
+//! 3-cluster selection, so every experiment in `mfcp-bench` is exactly
+//! reproducible.
+
+use crate::cluster::{AcceleratorClass, ClusterProfile, PerfModel};
+
+/// A named selection of clusters (the paper's settings A/B/C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Setting {
+    /// Mixed: tensor-core + FP32 + commodity — strong heterogeneity.
+    A,
+    /// Capacity-skewed: memory-optimized + commodity + legacy.
+    B,
+    /// Specialist-heavy: FP32 render farm + tensor-core specialist + weak
+    /// FP32 — wins flip entirely by model family.
+    C,
+}
+
+impl Setting {
+    /// All settings, in paper order.
+    pub const ALL: [Setting; 3] = [Setting::A, Setting::B, Setting::C];
+
+    /// Indices into [`ClusterPool::standard`] for this setting.
+    pub fn indices(self) -> [usize; 3] {
+        match self {
+            Setting::A => [0, 1, 3],
+            Setting::B => [2, 7, 4],
+            Setting::C => [1, 5, 6],
+        }
+    }
+}
+
+/// The standard heterogeneous pool the exchange platform manages.
+#[derive(Debug, Clone)]
+pub struct ClusterPool {
+    /// The managed clusters.
+    pub clusters: Vec<ClusterProfile>,
+}
+
+impl ClusterPool {
+    /// Eight clusters spanning the accelerator classes, capacities and
+    /// stability levels a real exchange aggregates.
+    pub fn standard() -> Self {
+        let clusters = vec![
+            ClusterProfile {
+                name: "tc-research-lab".into(),
+                accel: AcceleratorClass::TensorCore,
+                throughput: 55.0,
+                memory_capacity: 36.0,
+                batch_half_saturation: 48.0,
+                interconnect: 0.85,
+                stability: 2.6,
+            },
+            ClusterProfile {
+                name: "fp32-render-farm".into(),
+                accel: AcceleratorClass::HighFp32,
+                throughput: 48.0,
+                memory_capacity: 24.0,
+                batch_half_saturation: 24.0,
+                interconnect: 0.7,
+                stability: 3.0,
+            },
+            ClusterProfile {
+                name: "mem-hpc-center".into(),
+                accel: AcceleratorClass::MemoryOptimized,
+                throughput: 34.0,
+                memory_capacity: 80.0,
+                batch_half_saturation: 32.0,
+                interconnect: 0.9,
+                stability: 3.4,
+            },
+            ClusterProfile {
+                name: "commodity-startup".into(),
+                accel: AcceleratorClass::Commodity,
+                throughput: 30.0,
+                memory_capacity: 28.0,
+                batch_half_saturation: 28.0,
+                interconnect: 0.6,
+                stability: 2.2,
+            },
+            ClusterProfile {
+                name: "legacy-university".into(),
+                accel: AcceleratorClass::Legacy,
+                throughput: 18.0,
+                memory_capacity: 20.0,
+                batch_half_saturation: 16.0,
+                interconnect: 0.45,
+                stability: 1.8,
+            },
+            ClusterProfile {
+                name: "tc-fintech-idle".into(),
+                accel: AcceleratorClass::TensorCore,
+                throughput: 42.0,
+                memory_capacity: 30.0,
+                batch_half_saturation: 40.0,
+                interconnect: 0.55,
+                stability: 2.0,
+            },
+            ClusterProfile {
+                name: "fp32-gaming-cafe".into(),
+                accel: AcceleratorClass::HighFp32,
+                throughput: 26.0,
+                memory_capacity: 16.0,
+                batch_half_saturation: 20.0,
+                interconnect: 0.35,
+                stability: 1.5,
+            },
+            ClusterProfile {
+                name: "commodity-broker".into(),
+                accel: AcceleratorClass::Commodity,
+                throughput: 36.0,
+                memory_capacity: 32.0,
+                batch_half_saturation: 30.0,
+                interconnect: 0.75,
+                stability: 2.8,
+            },
+        ];
+        ClusterPool { clusters }
+    }
+
+    /// Number of clusters in the pool.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Always false for the standard pool.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// The [`PerfModel`] for one of the paper's settings.
+    pub fn setting(&self, setting: Setting) -> PerfModel {
+        let profiles = setting
+            .indices()
+            .iter()
+            .map(|&i| self.clusters[i].clone())
+            .collect();
+        PerfModel::new(profiles)
+    }
+
+    /// A [`PerfModel`] over an arbitrary selection of pool indices.
+    pub fn select(&self, indices: &[usize]) -> PerfModel {
+        PerfModel::new(indices.iter().map(|&i| self.clusters[i].clone()).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskGenerator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_pool_has_eight_diverse_clusters() {
+        let pool = ClusterPool::standard();
+        assert_eq!(pool.len(), 8);
+        let classes: std::collections::HashSet<_> =
+            pool.clusters.iter().map(|c| c.accel).collect();
+        assert!(classes.len() >= 4, "pool should span accelerator classes");
+    }
+
+    #[test]
+    fn settings_are_three_distinct_clusters() {
+        let pool = ClusterPool::standard();
+        for s in Setting::ALL {
+            let idx = s.indices();
+            assert_eq!(idx.len(), 3);
+            assert!(idx.iter().all(|&i| i < pool.len()));
+            let unique: std::collections::HashSet<_> = idx.iter().collect();
+            assert_eq!(unique.len(), 3);
+            assert_eq!(pool.setting(s).len(), 3);
+        }
+    }
+
+    #[test]
+    fn settings_differ() {
+        assert_ne!(Setting::A.indices(), Setting::B.indices());
+        assert_ne!(Setting::B.indices(), Setting::C.indices());
+    }
+
+    #[test]
+    fn settings_produce_heterogeneous_performance() {
+        // Within each setting, different clusters must win on different
+        // tasks — otherwise matching is trivial and the experiments moot.
+        let pool = ClusterPool::standard();
+        let mut rng = StdRng::seed_from_u64(1);
+        let tasks = TaskGenerator::default().sample_many(40, &mut rng);
+        for s in Setting::ALL {
+            let model = pool.setting(s);
+            let t = model.time_matrix(&tasks);
+            let mut winners = std::collections::HashSet::new();
+            for j in 0..tasks.len() {
+                let col = t.col(j);
+                let best = mfcp_linalg::vector::argmin(&col).unwrap();
+                winners.insert(best);
+            }
+            assert!(
+                winners.len() >= 2,
+                "setting {s:?}: a single cluster dominates every task"
+            );
+        }
+    }
+}

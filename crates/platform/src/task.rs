@@ -1,0 +1,348 @@
+//! Deep-learning task descriptors and workload generation.
+//!
+//! Mirrors the paper's workload (§4.1.1): CV models on CIFAR-10 and
+//! ImageNet, NLP models on Europarl, "explored different model
+//! hyperparameter settings". A [`TaskSpec`] is the information the
+//! platform would extract from a submitted training job before embedding
+//! it into feature space.
+
+use rand::Rng;
+
+/// Model family of a submitted training job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskFamily {
+    /// Convolutional network (CV).
+    Cnn,
+    /// Transformer (CV large-scale or NLP).
+    Transformer,
+    /// Recurrent network (NLP).
+    Rnn,
+}
+
+impl TaskFamily {
+    /// All families, for enumeration.
+    pub const ALL: [TaskFamily; 3] = [TaskFamily::Cnn, TaskFamily::Transformer, TaskFamily::Rnn];
+
+    /// A stable index for one-hot encodings.
+    pub fn index(self) -> usize {
+        match self {
+            TaskFamily::Cnn => 0,
+            TaskFamily::Transformer => 1,
+            TaskFamily::Rnn => 2,
+        }
+    }
+}
+
+/// Training dataset the job runs over (sets the per-epoch sample count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Corpus {
+    /// 50k small images.
+    Cifar10,
+    /// 1.28M larger images.
+    ImageNet,
+    /// Parallel-text corpus (NLP).
+    Europarl,
+}
+
+impl Corpus {
+    /// Samples per epoch (in thousands).
+    pub fn kilo_samples(self) -> f64 {
+        match self {
+            Corpus::Cifar10 => 50.0,
+            Corpus::ImageNet => 1281.0,
+            Corpus::Europarl => 650.0,
+        }
+    }
+
+    /// Mean per-sample size in feature units (drives memory pressure).
+    pub fn sample_size(self) -> f64 {
+        match self {
+            Corpus::Cifar10 => 0.3,
+            Corpus::ImageNet => 4.0,
+            Corpus::Europarl => 1.0,
+        }
+    }
+}
+
+/// A deep-learning training job as seen by the platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskSpec {
+    /// Model family.
+    pub family: TaskFamily,
+    /// Dataset the job trains on.
+    pub corpus: Corpus,
+    /// Number of layers/blocks.
+    pub depth: usize,
+    /// Hidden width / channel count.
+    pub width: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+}
+
+impl TaskSpec {
+    /// Approximate parameter count in millions.
+    ///
+    /// Rough per-family scaling laws: CNN params grow with depth·width²
+    /// (conv kernels), transformers with depth·width² (attention + MLP
+    /// blocks, larger constant), RNNs with depth·width² (gates, smaller
+    /// constant).
+    pub fn params_millions(&self) -> f64 {
+        let d = self.depth as f64;
+        let w = self.width as f64;
+        let c = match self.family {
+            TaskFamily::Cnn => 9.0e-6,
+            TaskFamily::Transformer => 12.0e-6,
+            TaskFamily::Rnn => 4.0e-6,
+        };
+        c * d * w * w
+    }
+
+    /// Approximate per-epoch compute in TFLOPs.
+    ///
+    /// `flops/sample ≈ 2 · params · sample_size_factor`, times the number
+    /// of samples per epoch. Transformers pay a quadratic sequence-length
+    /// style surcharge that grows with width (longer contexts in bigger
+    /// models); this is the nonlinearity that makes per-cluster response
+    /// curves interesting.
+    pub fn epoch_tflops(&self) -> f64 {
+        let base = 2.0 * self.params_millions() * self.corpus.sample_size();
+        let surcharge = match self.family {
+            TaskFamily::Transformer => 1.0 + (self.width as f64 / 512.0).powi(2) * 0.5,
+            TaskFamily::Cnn => 1.0 + self.corpus.sample_size() * 0.25,
+            TaskFamily::Rnn => 1.0 + (self.depth as f64 / 8.0) * 0.3,
+        };
+        base * surcharge * self.corpus.kilo_samples() / 1000.0
+    }
+
+    /// Peak activation memory footprint in arbitrary units (drives both
+    /// memory-bound slowdowns and out-of-memory-style failures).
+    ///
+    /// Activation memory grows sub-linearly in batch size (gradient
+    /// checkpointing and micro-batching in practice), linearly in width
+    /// and depth.
+    pub fn memory_units(&self) -> f64 {
+        let act =
+            (self.batch_size as f64).sqrt() * self.width as f64 * self.depth as f64 * 1.2e-4;
+        act * self.corpus.sample_size().sqrt() + self.params_millions() * 0.05
+    }
+
+    /// Communication intensity in `[0, 1]`: how sensitive the job is to
+    /// interconnect quality (gradient sync frequency ∝ params / batch).
+    pub fn comm_intensity(&self) -> f64 {
+        let raw = self.params_millions() / (self.batch_size as f64).max(1.0);
+        (raw / (raw + 2.0)).clamp(0.0, 1.0)
+    }
+}
+
+/// Samples realistic [`TaskSpec`]s.
+///
+/// ```
+/// use mfcp_platform::task::TaskGenerator;
+/// use rand::{rngs::StdRng, SeedableRng};
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let tasks = TaskGenerator::default().sample_many(4, &mut rng);
+/// assert_eq!(tasks.len(), 4);
+/// assert!(tasks.iter().all(|t| t.epoch_tflops() > 0.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TaskGenerator {
+    /// Probability of drawing each family (CNN, Transformer, RNN).
+    pub family_weights: [f64; 3],
+}
+
+impl Default for TaskGenerator {
+    fn default() -> Self {
+        TaskGenerator {
+            family_weights: [0.4, 0.35, 0.25],
+        }
+    }
+}
+
+impl TaskGenerator {
+    /// Draws one task.
+    pub fn sample(&self, rng: &mut impl Rng) -> TaskSpec {
+        let total: f64 = self.family_weights.iter().sum();
+        let mut draw = rng.gen_range(0.0..total);
+        let mut family = TaskFamily::Cnn;
+        for (f, &w) in TaskFamily::ALL.iter().zip(&self.family_weights) {
+            if draw < w {
+                family = *f;
+                break;
+            }
+            draw -= w;
+        }
+        let corpus = match family {
+            TaskFamily::Cnn => {
+                if rng.gen_bool(0.6) {
+                    Corpus::Cifar10
+                } else {
+                    Corpus::ImageNet
+                }
+            }
+            TaskFamily::Transformer => {
+                if rng.gen_bool(0.5) {
+                    Corpus::ImageNet
+                } else {
+                    Corpus::Europarl
+                }
+            }
+            TaskFamily::Rnn => Corpus::Europarl,
+        };
+        // Architecture sizes are corpus-aware: users submit small models
+        // on the heavyweight corpora (per-epoch budgets would otherwise be
+        // unaffordable on an exchange of modest clusters), which also
+        // keeps the per-epoch time distribution within ~2 orders of
+        // magnitude instead of 4.
+        let heavyweight = corpus == Corpus::ImageNet;
+        let depth = match family {
+            TaskFamily::Cnn => {
+                if heavyweight {
+                    rng.gen_range(8..=20)
+                } else {
+                    rng.gen_range(8..=32)
+                }
+            }
+            TaskFamily::Transformer => {
+                if heavyweight {
+                    rng.gen_range(4..=8)
+                } else {
+                    rng.gen_range(4..=16)
+                }
+            }
+            TaskFamily::Rnn => rng.gen_range(2..=8),
+        };
+        let width = match family {
+            TaskFamily::Cnn => {
+                if heavyweight {
+                    *[64, 128, 192].get(rng.gen_range(0..3)).unwrap()
+                } else {
+                    *[64, 128, 256, 384].get(rng.gen_range(0..4)).unwrap()
+                }
+            }
+            TaskFamily::Transformer => {
+                if heavyweight {
+                    *[192, 256, 384].get(rng.gen_range(0..3)).unwrap()
+                } else {
+                    *[256, 384, 512, 768].get(rng.gen_range(0..4)).unwrap()
+                }
+            }
+            TaskFamily::Rnn => *[128, 256, 512].get(rng.gen_range(0..3)).unwrap(),
+        };
+        let batch_size = *[16, 32, 64, 128].get(rng.gen_range(0..4)).unwrap();
+        TaskSpec {
+            family,
+            corpus,
+            depth,
+            width,
+            batch_size,
+        }
+    }
+
+    /// Draws `n` tasks.
+    pub fn sample_many(&self, n: usize, rng: &mut impl Rng) -> Vec<TaskSpec> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn params_scale_with_size() {
+        let small = TaskSpec {
+            family: TaskFamily::Cnn,
+            corpus: Corpus::Cifar10,
+            depth: 8,
+            width: 64,
+            batch_size: 32,
+        };
+        let big = TaskSpec {
+            width: 512,
+            depth: 50,
+            ..small.clone()
+        };
+        assert!(big.params_millions() > 50.0 * small.params_millions());
+        assert!(big.epoch_tflops() > small.epoch_tflops());
+        assert!(big.memory_units() > small.memory_units());
+    }
+
+    #[test]
+    fn transformer_width_surcharge_is_superlinear() {
+        let base = TaskSpec {
+            family: TaskFamily::Transformer,
+            corpus: Corpus::Europarl,
+            depth: 12,
+            width: 256,
+            batch_size: 64,
+        };
+        let wide = TaskSpec {
+            width: 1024,
+            ..base.clone()
+        };
+        // Params grow 16x with width 4x; flops must grow even faster.
+        let param_ratio = wide.params_millions() / base.params_millions();
+        let flop_ratio = wide.epoch_tflops() / base.epoch_tflops();
+        assert!(flop_ratio > param_ratio * 1.2, "{flop_ratio} vs {param_ratio}");
+    }
+
+    #[test]
+    fn comm_intensity_bounded_and_monotone() {
+        let spec = TaskSpec {
+            family: TaskFamily::Transformer,
+            corpus: Corpus::Europarl,
+            depth: 12,
+            width: 768,
+            batch_size: 16,
+        };
+        let big_batch = TaskSpec {
+            batch_size: 256,
+            ..spec.clone()
+        };
+        assert!((0.0..=1.0).contains(&spec.comm_intensity()));
+        assert!(
+            spec.comm_intensity() > big_batch.comm_intensity(),
+            "bigger batches sync less often"
+        );
+    }
+
+    #[test]
+    fn generator_produces_valid_specs() {
+        let gen = TaskGenerator::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let tasks = gen.sample_many(200, &mut rng);
+        assert_eq!(tasks.len(), 200);
+        let mut families = [0usize; 3];
+        for t in &tasks {
+            assert!(t.depth >= 2 && t.depth <= 50);
+            assert!(t.width >= 64 && t.width <= 1024);
+            assert!(t.params_millions() > 0.0);
+            assert!(t.epoch_tflops() > 0.0);
+            families[t.family.index()] += 1;
+        }
+        // All three families should show up in 200 draws.
+        assert!(families.iter().all(|&c| c > 10), "{families:?}");
+    }
+
+    #[test]
+    fn generator_deterministic_under_seed() {
+        let gen = TaskGenerator::default();
+        let a = gen.sample_many(20, &mut StdRng::seed_from_u64(9));
+        let b = gen.sample_many(20, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rnn_uses_europarl() {
+        let gen = TaskGenerator {
+            family_weights: [0.0, 0.0, 1.0],
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        for t in gen.sample_many(20, &mut rng) {
+            assert_eq!(t.family, TaskFamily::Rnn);
+            assert_eq!(t.corpus, Corpus::Europarl);
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! CSV import/export of platform measurement traces.
+//!
+//! A real exchange accumulates profiling campaigns over months; this
+//! module persists a [`PlatformDataset`] as a plain CSV trace (one row
+//! per task, with the task descriptor, measured and true per-cluster
+//! times and reliabilities) so campaigns can be archived, diffed, and
+//! reloaded without rerunning the simulator.
+
+use crate::dataset::PlatformDataset;
+use crate::embedding::FeatureEmbedder;
+use crate::task::{Corpus, TaskFamily, TaskSpec};
+use mfcp_linalg::Matrix;
+use std::fmt;
+use std::path::Path;
+
+/// Errors from parsing a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceError {
+    /// Description, including the offending line number where known.
+    pub message: String,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace error: {}", self.message)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+fn err(message: impl Into<String>) -> TraceError {
+    TraceError {
+        message: message.into(),
+    }
+}
+
+fn family_tag(f: TaskFamily) -> &'static str {
+    match f {
+        TaskFamily::Cnn => "cnn",
+        TaskFamily::Transformer => "transformer",
+        TaskFamily::Rnn => "rnn",
+    }
+}
+
+fn parse_family(s: &str) -> Result<TaskFamily, TraceError> {
+    match s {
+        "cnn" => Ok(TaskFamily::Cnn),
+        "transformer" => Ok(TaskFamily::Transformer),
+        "rnn" => Ok(TaskFamily::Rnn),
+        other => Err(err(format!("unknown family {other:?}"))),
+    }
+}
+
+fn corpus_tag(c: Corpus) -> &'static str {
+    match c {
+        Corpus::Cifar10 => "cifar10",
+        Corpus::ImageNet => "imagenet",
+        Corpus::Europarl => "europarl",
+    }
+}
+
+fn parse_corpus(s: &str) -> Result<Corpus, TraceError> {
+    match s {
+        "cifar10" => Ok(Corpus::Cifar10),
+        "imagenet" => Ok(Corpus::ImageNet),
+        "europarl" => Ok(Corpus::Europarl),
+        other => Err(err(format!("unknown corpus {other:?}"))),
+    }
+}
+
+/// Serializes a dataset as CSV. Columns:
+/// `family,corpus,depth,width,batch_size` then, per cluster `i`,
+/// `t_meas_i,a_meas_i,t_true_i,a_true_i`.
+pub fn to_csv(dataset: &PlatformDataset) -> String {
+    let m = dataset.clusters();
+    let mut header = String::from("family,corpus,depth,width,batch_size");
+    for i in 0..m {
+        header.push_str(&format!(",t_meas_{i},a_meas_{i},t_true_{i},a_true_{i}"));
+    }
+    let mut out = header;
+    out.push('\n');
+    for (j, task) in dataset.tasks.iter().enumerate() {
+        out.push_str(&format!(
+            "{},{},{},{},{}",
+            family_tag(task.family),
+            corpus_tag(task.corpus),
+            task.depth,
+            task.width,
+            task.batch_size
+        ));
+        for i in 0..m {
+            out.push_str(&format!(
+                ",{:e},{:e},{:e},{:e}",
+                dataset.times[(i, j)],
+                dataset.reliability[(i, j)],
+                dataset.true_times[(i, j)],
+                dataset.true_reliability[(i, j)]
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a CSV trace back into a dataset, re-deriving features with
+/// `embedder` (features are a pure function of the task descriptor, so
+/// they are not stored).
+pub fn from_csv(text: &str, embedder: &FeatureEmbedder) -> Result<PlatformDataset, TraceError> {
+    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let (_, header) = lines.next().ok_or_else(|| err("empty trace"))?;
+    let columns: Vec<&str> = header.split(',').collect();
+    if columns.len() < 9 || columns[0] != "family" {
+        return Err(err("bad header"));
+    }
+    if !(columns.len() - 5).is_multiple_of(4) {
+        return Err(err("per-cluster column count must be a multiple of 4"));
+    }
+    let m = (columns.len() - 5) / 4;
+
+    let mut tasks = Vec::new();
+    let mut rows: Vec<Vec<f64>> = Vec::new(); // 4m values per task
+    for (lineno, line) in lines {
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != columns.len() {
+            return Err(err(format!(
+                "line {}: expected {} fields, got {}",
+                lineno + 1,
+                columns.len(),
+                fields.len()
+            )));
+        }
+        let parse_usize = |s: &str, what: &str| -> Result<usize, TraceError> {
+            s.parse()
+                .map_err(|_| err(format!("line {}: bad {what} {s:?}", lineno + 1)))
+        };
+        tasks.push(TaskSpec {
+            family: parse_family(fields[0])?,
+            corpus: parse_corpus(fields[1])?,
+            depth: parse_usize(fields[2], "depth")?,
+            width: parse_usize(fields[3], "width")?,
+            batch_size: parse_usize(fields[4], "batch_size")?,
+        });
+        let values: Result<Vec<f64>, TraceError> = fields[5..]
+            .iter()
+            .map(|s| {
+                s.parse()
+                    .map_err(|_| err(format!("line {}: bad float {s:?}", lineno + 1)))
+            })
+            .collect();
+        rows.push(values?);
+    }
+
+    let n = tasks.len();
+    let mut times = Matrix::zeros(m, n);
+    let mut reliability = Matrix::zeros(m, n);
+    let mut true_times = Matrix::zeros(m, n);
+    let mut true_reliability = Matrix::zeros(m, n);
+    for (j, row) in rows.iter().enumerate() {
+        for i in 0..m {
+            times[(i, j)] = row[4 * i];
+            reliability[(i, j)] = row[4 * i + 1];
+            true_times[(i, j)] = row[4 * i + 2];
+            true_reliability[(i, j)] = row[4 * i + 3];
+        }
+    }
+    let features = embedder.embed_batch(&tasks);
+    Ok(PlatformDataset {
+        tasks,
+        features,
+        times,
+        reliability,
+        true_times,
+        true_reliability,
+    })
+}
+
+/// Writes a dataset trace to a file.
+pub fn save_trace(dataset: &PlatformDataset, path: impl AsRef<Path>) -> std::io::Result<()> {
+    if let Some(dir) = path.as_ref().parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, to_csv(dataset))
+}
+
+/// Reads a dataset trace from a file.
+pub fn load_trace(
+    path: impl AsRef<Path>,
+    embedder: &FeatureEmbedder,
+) -> Result<PlatformDataset, Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(from_csv(&text, embedder)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::NoiseConfig;
+    use crate::settings::{ClusterPool, Setting};
+    use crate::task::TaskGenerator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample(n: usize) -> (PlatformDataset, FeatureEmbedder) {
+        let model = ClusterPool::standard().setting(Setting::A);
+        let embedder = FeatureEmbedder::bottlenecked_platform();
+        let mut rng = StdRng::seed_from_u64(1);
+        let ds = PlatformDataset::generate(
+            &model,
+            &embedder,
+            &TaskGenerator::default(),
+            n,
+            &NoiseConfig::default(),
+            &mut rng,
+        );
+        (ds, embedder)
+    }
+
+    #[test]
+    fn csv_round_trip_is_exact() {
+        let (ds, embedder) = sample(12);
+        let csv = to_csv(&ds);
+        let back = from_csv(&csv, &embedder).unwrap();
+        assert_eq!(back.tasks, ds.tasks);
+        assert!(back.times.approx_eq(&ds.times, 0.0));
+        assert!(back.reliability.approx_eq(&ds.reliability, 0.0));
+        assert!(back.true_times.approx_eq(&ds.true_times, 0.0));
+        assert!(back.features.approx_eq(&ds.features, 0.0));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let (ds, embedder) = sample(5);
+        let path = std::env::temp_dir().join("mfcp_trace_test/trace.csv");
+        save_trace(&ds, &path).unwrap();
+        let back = load_trace(&path, &embedder).unwrap();
+        assert_eq!(back.len(), 5);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_malformed_traces() {
+        let (ds, embedder) = sample(3);
+        let csv = to_csv(&ds);
+        assert!(from_csv("", &embedder).is_err());
+        assert!(from_csv("not,a,trace", &embedder).is_err());
+        // Drop a field from a data row.
+        let mut lines: Vec<&str> = csv.lines().collect();
+        let butchered = lines[1].rsplit_once(',').unwrap().0.to_string();
+        lines[1] = &butchered;
+        assert!(from_csv(&lines.join("\n"), &embedder).is_err());
+        // Unknown family.
+        let bad = csv.replacen("cnn", "gan", 1);
+        if bad != csv {
+            assert!(from_csv(&bad, &embedder).is_err());
+        }
+    }
+
+    #[test]
+    fn header_shape_checked() {
+        // 6 per-cluster columns is not a multiple of 4.
+        let text = "family,corpus,depth,width,batch_size,a,b,c,d,e,f\n";
+        assert!(from_csv(text, &FeatureEmbedder::bottlenecked_platform()).is_err());
+    }
+}

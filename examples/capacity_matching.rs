@@ -1,0 +1,76 @@
+//! The capacity-constraint extension in action: matching with and without
+//! per-cluster memory limits. Without limits, the matcher happily parks
+//! big-activation jobs on small-memory clusters and pays the memory-wall
+//! slowdown; with limits, those placements are forbidden outright and the
+//! platform avoids the cliff.
+//!
+//! Run with: `cargo run --release --example capacity_matching`
+
+use mfcp::optim::rounding::solve_discrete;
+use mfcp::optim::{MatchingProblem, RelaxationParams, SolverOptions};
+use mfcp::platform::metrics::MeanStd;
+use mfcp::platform::settings::{ClusterPool, Setting};
+use mfcp::platform::task::TaskGenerator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // Setting C has two small-memory FP32 clusters (24 and 16 units) next
+    // to a roomier tensor-core cluster — memory pressure is common.
+    let model = ClusterPool::standard().setting(Setting::C);
+    println!("clusters and memory capacities:");
+    for c in &model.clusters {
+        println!("  - {:<18} {:>5.0} units", c.name, c.memory_capacity);
+    }
+
+    let generator = TaskGenerator::default();
+    let mut rng = StdRng::seed_from_u64(17);
+    let params = RelaxationParams::default();
+    let opts = SolverOptions::default();
+
+    let mut span_free = MeanStd::new();
+    let mut span_cap = MeanStd::new();
+    let mut overloads = 0usize;
+    let mut infeasible_rounds = 0usize;
+    let rounds = 15;
+    for _ in 0..rounds {
+        let tasks = generator.sample_many(12, &mut rng);
+        let times = model.time_matrix(&tasks);
+        let reliability = model.reliability_matrix(&tasks);
+
+        // Unconstrained matching (the paper's formulation).
+        let free_problem = MatchingProblem::new(times.clone(), reliability.clone(), 0.8);
+        let free = solve_discrete(&free_problem, &params, &opts);
+
+        // Capacity-constrained matching: jointly, a cluster's jobs may
+        // use at most 80% of its accelerator memory (strict isolation,
+        // no spilling tolerated).
+        let cap_problem = MatchingProblem::new(times, reliability, 0.8)
+            .with_capacity(model.capacity_constraint(&tasks, 0.8));
+        let capped = solve_discrete(&cap_problem, &params, &opts);
+
+        if !free.capacity_feasible(&cap_problem) {
+            overloads += 1;
+        }
+        if !capped.capacity_feasible(&cap_problem) {
+            // A round whose aggregate demand exceeds aggregate capacity
+            // has no feasible matching at all; skip it in the averages.
+            infeasible_rounds += 1;
+            continue;
+        }
+        span_free.push(free.makespan(&free_problem));
+        span_cap.push(capped.makespan(&cap_problem));
+    }
+
+    println!("\nover {rounds} rounds of 12 jobs:");
+    println!("  unconstrained matching breached a memory limit in {overloads}/{rounds} rounds");
+    println!("  rounds with no feasible matching at all: {infeasible_rounds}/{rounds}");
+    println!("  makespan, unconstrained: {span_free}");
+    println!("  makespan, capacity-aware: {span_cap}");
+    println!(
+        "\n(the capacity-aware matchings stay feasible by construction — the\n\
+         barrier steers the relaxation and the pipeline repairs any residue;\n\
+         their makespans stay competitive because the memory-wall slowdowns\n\
+         the free matcher incurs are exactly what the limits forbid)"
+    );
+}

@@ -1,0 +1,73 @@
+//! Interpreting a matching decision: materialize the full Jacobian
+//! `∂X*/∂T̂` of one round's relaxed matching and report, per task, which
+//! predictions its assignment is most sensitive to — the counterfactual
+//! "what would have to be mispredicted to flip this placement".
+//!
+//! Run with: `cargo run --release --example matching_sensitivity`
+
+use mfcp::optim::kkt::solution_jacobians;
+use mfcp::optim::rounding::round_argmax;
+use mfcp::optim::solver::{solve_relaxed, SolverOptions};
+use mfcp::optim::{MatchingProblem, RelaxationParams};
+use mfcp::platform::settings::{ClusterPool, Setting};
+use mfcp::platform::task::TaskGenerator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let model = ClusterPool::standard().setting(Setting::A);
+    let mut rng = StdRng::seed_from_u64(5);
+    let tasks = TaskGenerator::default().sample_many(5, &mut rng);
+    let times = model.time_matrix(&tasks);
+    let scale = times.mean();
+    let problem = MatchingProblem::new(
+        times.scale(1.0 / scale),
+        model.reliability_matrix(&tasks),
+        0.82,
+    );
+    let (m, n) = (problem.clusters(), problem.tasks());
+
+    let params = RelaxationParams::default();
+    let tight = SolverOptions {
+        max_iters: 10_000,
+        tol: 1e-13,
+        ..Default::default()
+    };
+    let sol = solve_relaxed(&problem, &params, &tight);
+    let assignment = round_argmax(&sol.x);
+    println!("round of {n} tasks on {m} clusters; relaxed matching:");
+    for j in 0..n {
+        let probs: Vec<String> = (0..m).map(|i| format!("{:.2}", sol.x[(i, j)])).collect();
+        println!(
+            "  task {j}: [{}] → cluster {}",
+            probs.join(", "),
+            assignment.cluster_of[j]
+        );
+    }
+
+    let jac = solution_jacobians(&problem, &params, &sol.x).expect("convex case");
+    println!("\nper-task sensitivity: top prediction entries steering each placement");
+    println!("(∂ x[chosen, task] / ∂ t̂[cluster, task'], scaled time units)\n");
+    for j in 0..n {
+        let chosen = assignment.cluster_of[j];
+        let row = chosen * n + j;
+        // Rank all (cluster, task) prediction entries by |sensitivity|.
+        let mut entries: Vec<(usize, usize, f64)> = (0..m)
+            .flat_map(|k| (0..n).map(move |l| (k, l)))
+            .map(|(k, l)| (k, l, jac.dx_dt[(row, k * n + l)]))
+            .collect();
+        entries.sort_by(|a, b| b.2.abs().total_cmp(&a.2.abs()));
+        let top: Vec<String> = entries
+            .iter()
+            .take(3)
+            .map(|(k, l, s)| format!("t̂[{k},{l}] ({s:+.2})"))
+            .collect();
+        println!("  task {j} (on cluster {chosen}): {}", top.join(", "));
+    }
+    println!(
+        "\nreading: a negative entry on its own column means \"if that cluster\n\
+         were predicted slower, this task's mass there would drop\"; entries\n\
+         on *other* tasks' columns expose the makespan coupling — the joint\n\
+         interaction the paper argues two-stage prediction ignores."
+    );
+}

@@ -1,0 +1,65 @@
+//! Within-cluster scheduling in detail: ASCII Gantt charts of the
+//! sequential (Eq. 3) and processor-sharing (Eq. 16) executions of the
+//! same batch, plus the empirical ζ curve fitted from simulated
+//! schedules against the analytic curve the matching layer uses.
+//!
+//! Run with: `cargo run --release --example scheduler_gantt`
+
+use mfcp::optim::SpeedupCurve;
+use mfcp::platform::scheduler::{
+    fit_speedup, processor_sharing_schedule, sequential_schedule, Schedule,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn gantt(schedule: &Schedule, label: &str, width: usize) {
+    println!("\n{label} (makespan {:.2} h):", schedule.makespan);
+    let scale = width as f64 / schedule.makespan.max(1e-9);
+    let mut entries = schedule.entries.clone();
+    entries.sort_by_key(|e| e.task);
+    for e in &entries {
+        let start = (e.start * scale).round() as usize;
+        let end = ((e.end * scale).round() as usize).max(start + 1);
+        let mut bar = String::new();
+        bar.push_str(&" ".repeat(start));
+        bar.push_str(&"█".repeat(end - start));
+        println!("  task {:>2} |{bar:<width$}| {:>5.2} → {:>5.2}", e.task, e.start, e.end);
+    }
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let times: Vec<f64> = (0..6).map(|_| rng.gen_range(0.5..2.5)).collect();
+    println!("batch of 6 jobs, per-job times: {:?}", times.iter().map(|t| (t * 100.0).round() / 100.0).collect::<Vec<_>>());
+
+    let curve = SpeedupCurve::paper_parallel();
+    let seq = sequential_schedule(&times);
+    let par = processor_sharing_schedule(&times, curve);
+    gantt(&seq, "sequential execution", 48);
+    gantt(&par, "processor sharing (ζ-curve service rate)", 48);
+    println!(
+        "\nsharing finishes {:.0}% sooner; jobs complete shortest-first.",
+        100.0 * (1.0 - par.makespan / seq.makespan)
+    );
+
+    // Fit the empirical ζ from many random batches and compare.
+    let mut batches = Vec::new();
+    for k in 1..=8usize {
+        for _ in 0..40 {
+            batches.push((0..k).map(|_| rng.gen_range(0.5..2.5)).collect());
+        }
+    }
+    let fits = fit_speedup(&batches, curve);
+    println!("\nempirical ζ from simulated schedules vs the analytic model:");
+    println!("{:>4} {:>18} {:>12}", "n", "fitted ζ", "model ζ(n)");
+    for fit in fits {
+        println!(
+            "{:>4} {:>18} {:>12.3}",
+            fit.batch_size,
+            fit.zeta.to_string(),
+            curve.eval(fit.batch_size as f64)
+        );
+    }
+    println!("\n(the scalar ζ model of Eq. 16 is exact for homogeneous batches and a");
+    println!(" tight approximation for mixed ones — see scheduler.rs tests)");
+}

@@ -1,0 +1,269 @@
+//! `mfcp-cli` — operate the exchange platform from the command line:
+//! generate measurement traces, train predictors, evaluate them, and
+//! match task rounds with a trained model.
+//!
+//! ```text
+//! mfcp-cli generate --setting A --tasks 100 --seed 1 --out trace.csv
+//! mfcp-cli train    --trace trace.csv --method mfcp-ad --out model.txt
+//! mfcp-cli evaluate --trace test.csv --model model.txt --rounds 20
+//! mfcp-cli match    --trace tasks.csv --model model.txt
+//! ```
+
+use mfcp::core::eval::{evaluate_method, EvalOptions};
+use mfcp::core::methods::{MfcpPredictor, PerformancePredictor, TsmPredictor};
+use mfcp::core::train::{train_mfcp, train_tsm, GradientMode, MfcpTrainConfig, TsmTrainConfig};
+use mfcp::optim::rounding::solve_discrete;
+use mfcp::optim::{MatchingProblem, RelaxationParams, SolverOptions};
+use mfcp::platform::dataset::{NoiseConfig, PlatformDataset};
+use mfcp::platform::embedding::FeatureEmbedder;
+use mfcp::platform::settings::{ClusterPool, Setting};
+use mfcp::platform::task::TaskGenerator;
+use mfcp::platform::trace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+mfcp-cli — computing resource exchange platform tooling
+
+USAGE:
+  mfcp-cli generate --out <trace.csv> [--setting A|B|C] [--tasks N] [--seed S]
+                    [--time-noise F] [--rel-trials K]
+  mfcp-cli train    --trace <trace.csv> --out <model.txt>
+                    [--method tsm|mfcp-ad|mfcp-fg] [--rounds N] [--gamma G] [--seed S]
+  mfcp-cli evaluate --trace <trace.csv> --model <model.txt>
+                    [--rounds R] [--round-size N] [--gamma G] [--seed S]
+  mfcp-cli match    --trace <trace.csv> --model <model.txt> [--gamma G]
+
+Traces are the CSV format of mfcp-platform::trace; models are the text
+documents of TsmPredictor/MfcpPredictor::to_document.";
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let key = arg
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got {arg:?}"))?;
+        let value = it
+            .next()
+            .ok_or_else(|| format!("--{key} requires a value"))?;
+        flags.insert(key.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn flag_or<'a>(flags: &'a HashMap<String, String>, key: &str, default: &'a str) -> &'a str {
+    flags.get(key).map(String::as_str).unwrap_or(default)
+}
+
+fn parse_num<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("bad --{key} value {v:?}")),
+    }
+}
+
+fn parse_setting(s: &str) -> Result<Setting, String> {
+    match s {
+        "A" | "a" => Ok(Setting::A),
+        "B" | "b" => Ok(Setting::B),
+        "C" | "c" => Ok(Setting::C),
+        other => Err(format!("unknown setting {other:?} (A, B or C)")),
+    }
+}
+
+/// A trained model of either flavor.
+enum Model {
+    Tsm(TsmPredictor),
+    Mfcp(MfcpPredictor),
+}
+
+impl Model {
+    fn load(path: &str) -> Result<Model, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        if text.starts_with("mfcp-dfl v1") {
+            MfcpPredictor::from_document(&text)
+                .map(Model::Mfcp)
+                .map_err(|e| e.to_string())
+        } else if text.starts_with("mfcp-tsm v1") {
+            TsmPredictor::from_document(&text)
+                .map(Model::Tsm)
+                .map_err(|e| e.to_string())
+        } else {
+            Err(format!("{path}: unrecognized model header"))
+        }
+    }
+
+    fn as_predictor(&self) -> &dyn PerformancePredictor {
+        match self {
+            Model::Tsm(m) => m,
+            Model::Mfcp(m) => m,
+        }
+    }
+}
+
+fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let out = flags.get("out").ok_or("generate requires --out")?;
+    let setting = parse_setting(flag_or(flags, "setting", "A"))?;
+    let tasks: usize = parse_num(flags, "tasks", 100)?;
+    let seed: u64 = parse_num(flags, "seed", 1)?;
+    let noise = NoiseConfig {
+        time_rel_std: parse_num(flags, "time-noise", 0.10)?,
+        reliability_trials: parse_num(flags, "rel-trials", 15)?,
+    };
+    let model = ClusterPool::standard().setting(setting);
+    let embedder = FeatureEmbedder::bottlenecked_platform();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dataset = PlatformDataset::generate(
+        &model,
+        &embedder,
+        &TaskGenerator::default(),
+        tasks,
+        &noise,
+        &mut rng,
+    );
+    trace::save_trace(&dataset, out).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {out}: {} tasks x {} clusters (setting {setting:?}, seed {seed})",
+        dataset.len(),
+        dataset.clusters()
+    );
+    Ok(())
+}
+
+fn load_dataset(flags: &HashMap<String, String>) -> Result<PlatformDataset, String> {
+    let path = flags.get("trace").ok_or("missing --trace")?;
+    trace::load_trace(path, &FeatureEmbedder::bottlenecked_platform()).map_err(|e| e.to_string())
+}
+
+fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
+    let out = flags.get("out").ok_or("train requires --out")?;
+    let dataset = load_dataset(flags)?;
+    let method = flag_or(flags, "method", "mfcp-ad");
+    let seed: u64 = parse_num(flags, "seed", 1)?;
+    let gamma: f64 = parse_num(flags, "gamma", 0.82)?;
+    let rounds: usize = parse_num(flags, "rounds", 160)?;
+    let supervised = TsmTrainConfig {
+        hidden: vec![8],
+        epochs: 200,
+        ..Default::default()
+    };
+    let document = match method {
+        "tsm" => {
+            let model = train_tsm(&dataset, &supervised, seed);
+            model.to_document()
+        }
+        "mfcp-ad" | "mfcp-fg" => {
+            let mode = if method == "mfcp-ad" {
+                GradientMode::Analytic
+            } else {
+                GradientMode::ForwardGradient(Default::default())
+            };
+            let cfg = MfcpTrainConfig {
+                warm_start: supervised,
+                rounds,
+                gamma,
+                lr: 5e-3,
+                mode,
+                ..Default::default()
+            };
+            let (model, report) = train_mfcp(&dataset, &cfg, seed);
+            println!(
+                "trained {method}: {} rounds, best snapshot at round {}",
+                report.loss_history.len(),
+                report.best_round
+            );
+            model.to_document()
+        }
+        other => return Err(format!("unknown method {other:?} (tsm, mfcp-ad, mfcp-fg)")),
+    };
+    std::fs::write(out, document).map_err(|e| format!("write {out}: {e}"))?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn cmd_evaluate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let dataset = load_dataset(flags)?;
+    let model = Model::load(flags.get("model").ok_or("evaluate requires --model")?)?;
+    let opts = EvalOptions {
+        rounds: parse_num(flags, "rounds", 20)?,
+        round_size: parse_num(flags, "round-size", 5)?,
+        gamma: parse_num(flags, "gamma", 0.82)?,
+        ..Default::default()
+    };
+    let seed: u64 = parse_num(flags, "seed", 707)?;
+    let scores = evaluate_method(
+        model.as_predictor(),
+        &dataset,
+        &opts,
+        &mut StdRng::seed_from_u64(seed),
+    );
+    println!("method:       {}", model.as_predictor().name());
+    println!("rounds:       {} x {} tasks", opts.rounds, opts.round_size);
+    println!("regret:       {}", scores.regret);
+    println!("reliability:  {}", scores.reliability);
+    println!("utilization:  {}", scores.utilization);
+    println!("makespan:     {} (optimal {})", scores.makespan, scores.optimal_makespan);
+    Ok(())
+}
+
+fn cmd_match(flags: &HashMap<String, String>) -> Result<(), String> {
+    let dataset = load_dataset(flags)?;
+    let model = Model::load(flags.get("model").ok_or("match requires --model")?)?;
+    let gamma: f64 = parse_num(flags, "gamma", 0.82)?;
+    let (t_hat, a_hat) = model.as_predictor().predict(&dataset.features);
+    let scale = t_hat.mean().max(1e-9);
+    let problem = MatchingProblem::new(t_hat.scale(1.0 / scale), a_hat, gamma);
+    let assignment = solve_discrete(
+        &problem,
+        &RelaxationParams::default(),
+        &SolverOptions::default(),
+    );
+    println!("matched {} tasks onto {} clusters:", dataset.len(), dataset.clusters());
+    for (j, (task, &cluster)) in dataset
+        .tasks
+        .iter()
+        .zip(&assignment.cluster_of)
+        .enumerate()
+    {
+        println!(
+            "  task {j:>3} ({:?} depth {} width {} batch {}) -> cluster {cluster}",
+            task.family, task.depth, task.width, task.batch_size
+        );
+    }
+    let loads = assignment.loads(dataset.clusters());
+    println!("cluster loads: {loads:?}");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = parse_flags(rest).and_then(|flags| match command.as_str() {
+        "generate" => cmd_generate(&flags),
+        "train" => cmd_train(&flags),
+        "evaluate" => cmd_evaluate(&flags),
+        "match" => cmd_match(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    });
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

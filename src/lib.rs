@@ -1,0 +1,31 @@
+//! # MFCP — Joint Prediction and Matching for Computing Resource Exchange Platforms
+//!
+//! Façade crate re-exporting the whole MFCP workspace behind a single
+//! dependency. See the individual crates for module-level documentation:
+//!
+//! * [`mfcp_platform`] — the computing-resource-exchange-platform simulator
+//!   (tasks, clusters, ground-truth performance models, metrics).
+//! * [`mfcp_core`] — the MFCP training framework and the baselines
+//!   (TAM, TSM, UCB, MFCP-AD, MFCP-FG).
+//! * [`mfcp_optim`] — the relaxed matching problem, Algorithm 1, implicit
+//!   KKT differentiation and zeroth-order gradient estimation.
+//! * [`mfcp_nn`] / [`mfcp_autodiff`] / [`mfcp_linalg`] / [`mfcp_parallel`] —
+//!   the neural-network, autodiff, linear-algebra and parallelism substrates.
+
+#![forbid(unsafe_code)]
+
+pub use mfcp_autodiff as autodiff;
+pub use mfcp_core as core;
+pub use mfcp_linalg as linalg;
+pub use mfcp_nn as nn;
+pub use mfcp_optim as optim;
+pub use mfcp_parallel as parallel;
+pub use mfcp_platform as platform;
+
+/// Convenience prelude importing the types most programs need.
+pub mod prelude {
+    pub use mfcp_core::prelude::*;
+    pub use mfcp_linalg::Matrix;
+    pub use mfcp_optim::{MatchingProblem, RelaxationParams, SolverOptions};
+    pub use mfcp_platform::prelude::*;
+}

@@ -1,0 +1,132 @@
+//! Property-based gradient checking of the autodiff engine: random
+//! compositions of unary/binary ops must match central differences.
+
+use mfcp_autodiff::{gradcheck, Graph, NodeId};
+use mfcp_linalg::Matrix;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The unary ops safe to chain on arbitrary bounded inputs.
+#[derive(Debug, Clone, Copy)]
+enum UnaryOp {
+    Tanh,
+    Sigmoid,
+    LeakyRelu,
+    Softplus,
+    MulScalar,
+    AddScalar,
+    Huber,
+}
+
+const OPS: [UnaryOp; 7] = [
+    UnaryOp::Tanh,
+    UnaryOp::Sigmoid,
+    UnaryOp::LeakyRelu,
+    UnaryOp::Softplus,
+    UnaryOp::MulScalar,
+    UnaryOp::AddScalar,
+    UnaryOp::Huber,
+];
+
+fn apply(op: UnaryOp, g: &mut Graph, x: NodeId) -> NodeId {
+    match op {
+        UnaryOp::Tanh => g.tanh(x),
+        UnaryOp::Sigmoid => g.sigmoid(x),
+        UnaryOp::LeakyRelu => g.leaky_relu(x, 0.1),
+        UnaryOp::Softplus => g.softplus_scaled(x, 1.3),
+        UnaryOp::MulScalar => g.mul_scalar(x, 0.7),
+        UnaryOp::AddScalar => g.add_scalar(x, 0.2),
+        UnaryOp::Huber => g.huber(x, 0.8),
+    }
+}
+
+/// Builds loss = mean(chain(x) ⊙ chain2(x)) for a random op chain.
+fn build(ops: &[UnaryOp], x: &Matrix) -> (Graph, NodeId, NodeId) {
+    let mut g = Graph::new();
+    let xi = g.input(x.clone());
+    let mut h = xi;
+    for &op in ops {
+        h = apply(op, &mut g, h);
+    }
+    // A second branch from the same input exercises adjoint accumulation.
+    let t = g.tanh(xi);
+    let prod = g.mul(h, t);
+    let loss = g.mean(prod);
+    (g, xi, loss)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn prop_random_chain_gradients_match(
+        seed in 0u64..100_000,
+        depth in 1usize..6,
+        rows in 1usize..4,
+        cols in 1usize..5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ops: Vec<UnaryOp> = (0..depth)
+            .map(|_| OPS[rng.gen_range(0..OPS.len())])
+            .collect();
+        // Keep inputs away from the ReLU/Huber kinks so central
+        // differences are valid.
+        let x = Matrix::from_fn(rows, cols, |_, _| {
+            let mut v: f64 = rng.gen_range(-1.2..1.2);
+            for bad in [0.0f64] {
+                if (v - bad).abs() < 0.05 {
+                    v += 0.1;
+                }
+            }
+            v
+        });
+
+        let (mut g, xi, loss) = build(&ops, &x);
+        g.backward(loss);
+        let analytic = g.grad(xi).unwrap().clone();
+        let numeric = gradcheck::finite_diff(
+            &x,
+            |m| {
+                let (g, _, loss) = build(&ops, m);
+                g.value(loss)[(0, 0)]
+            },
+            1e-6,
+        );
+        let err = gradcheck::relative_error(&analytic, &numeric);
+        prop_assert!(err < 1e-5, "ops {ops:?}: relative error {err}");
+    }
+
+    #[test]
+    fn prop_matmul_chain_gradients_match(
+        seed in 0u64..100_000,
+        m in 1usize..4,
+        k in 1usize..4,
+        n in 1usize..4,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a0 = Matrix::from_fn(m, k, |_, _| rng.gen_range(-1.0..1.0));
+        let b0 = Matrix::from_fn(k, n, |_, _| rng.gen_range(-1.0..1.0));
+        let build = |a: &Matrix, b: &Matrix| {
+            let mut g = Graph::new();
+            let ai = g.input(a.clone());
+            let bi = g.input(b.clone());
+            let p = g.matmul(ai, bi);
+            let t = g.tanh(p);
+            let loss = g.mean(t);
+            (g, ai, bi, loss)
+        };
+        let (mut g, ai, _bi, loss) = build(&a0, &b0);
+        g.backward(loss);
+        let analytic_a = g.grad(ai).unwrap().clone();
+        let numeric_a = gradcheck::finite_diff(
+            &a0,
+            |a| {
+                let (g, _, _, loss) = build(a, &b0);
+                g.value(loss)[(0, 0)]
+            },
+            1e-6,
+        );
+        prop_assert!(gradcheck::relative_error(&analytic_a, &numeric_a) < 1e-5);
+    }
+}

@@ -1,0 +1,185 @@
+//! Integration tests for the per-cluster capacity-constraint extension:
+//! barrier gradients, solver behaviour, exact search, and the rounding
+//! pipeline must all respect the limits.
+
+use mfcp::optim::exact::{solve_brute_force, solve_exact, ExactOptions};
+use mfcp::optim::objective::{self, RelaxationParams};
+use mfcp::optim::problem::CapacityConstraint;
+use mfcp::optim::rounding::solve_discrete;
+use mfcp::optim::solver::{solve_relaxed, SolverOptions};
+use mfcp::optim::{Assignment, MatchingProblem};
+use mfcp_autodiff::gradcheck;
+use mfcp_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn capacitated_problem(seed: u64, m: usize, n: usize, tightness: f64) -> MatchingProblem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let t = Matrix::from_fn(m, n, |_, _| rng.gen_range(0.5..2.5));
+    let a = Matrix::from_fn(m, n, |_, _| rng.gen_range(0.75..1.0));
+    let usage = Matrix::from_fn(m, n, |_, _| rng.gen_range(0.5..1.5));
+    // Limits sized so roughly `tightness` of the total usage fits per
+    // cluster — tight enough to matter, loose enough to stay feasible.
+    let per_cluster: f64 = usage.mean() * n as f64 / m as f64;
+    let limits = vec![per_cluster * tightness; m];
+    MatchingProblem::new(t, a, 0.7).with_capacity(CapacityConstraint::new(usage, limits))
+}
+
+#[test]
+fn capacity_gradient_matches_finite_differences() {
+    let problem = capacitated_problem(1, 3, 5, 1.6);
+    let params = RelaxationParams::default();
+    let mut rng = StdRng::seed_from_u64(2);
+    // A strictly interior x with columns on the simplex.
+    let mut x = Matrix::from_fn(3, 5, |_, _| rng.gen_range(0.1..1.0));
+    for j in 0..5 {
+        let s: f64 = (0..3).map(|i| x[(i, j)]).sum();
+        for i in 0..3 {
+            x[(i, j)] /= s;
+        }
+    }
+    let analytic = objective::grad_x(&problem, &params, &x);
+    gradcheck::assert_gradients_close(
+        &x,
+        |xm| objective::value(&problem, &params, xm),
+        &analytic,
+        1e-6,
+        1e-6,
+    );
+    // The capacity barrier must actually contribute.
+    assert!(objective::capacity_barrier_value(&problem, &params, &x) != 0.0);
+}
+
+#[test]
+fn solver_steers_away_from_saturated_clusters() {
+    // One cluster is fastest for every task but can only hold ~2 of 6
+    // units of work; the barrier must spill mass onto the slower ones.
+    let t = Matrix::from_rows(&[
+        &[1.0, 1.0, 1.0, 1.0, 1.0, 1.0],
+        &[1.5, 1.5, 1.5, 1.5, 1.5, 1.5],
+        &[1.5, 1.5, 1.5, 1.5, 1.5, 1.5],
+    ]);
+    let a = Matrix::filled(3, 6, 0.95);
+    let usage = Matrix::filled(3, 6, 1.0);
+    let limits = vec![2.0, 6.0, 6.0];
+    let problem =
+        MatchingProblem::new(t, a, 0.5).with_capacity(CapacityConstraint::new(usage, limits));
+    let params = RelaxationParams {
+        lambda: 0.1,
+        ..Default::default()
+    };
+    let sol = solve_relaxed(&problem, &params, &SolverOptions::default());
+    let cap = problem.capacity.as_ref().unwrap();
+    let mass0: f64 = (0..6).map(|j| sol.x[(0, j)]).sum();
+    assert!(
+        mass0 < 3.0,
+        "fast cluster must not be loaded past its capacity region, got {mass0}"
+    );
+    assert!(
+        cap.slack(&sol.x, 0) > -0.05,
+        "relaxed solution nearly respects the limit"
+    );
+    // Without the capacity constraint the fast cluster takes much more.
+    let unconstrained = MatchingProblem::new(
+        problem.times.clone(),
+        problem.reliability.clone(),
+        0.5,
+    );
+    let free = solve_relaxed(&unconstrained, &params, &SolverOptions::default());
+    let free_mass0: f64 = (0..6).map(|j| free.x[(0, j)]).sum();
+    assert!(free_mass0 > mass0 + 0.5);
+}
+
+#[test]
+fn pipeline_produces_capacity_feasible_matchings() {
+    for seed in 0..8 {
+        let problem = capacitated_problem(seed, 3, 6, 1.8);
+        let asg = solve_discrete(
+            &problem,
+            &RelaxationParams::default(),
+            &SolverOptions::default(),
+        );
+        assert!(
+            asg.capacity_feasible(&problem),
+            "seed {seed}: pipeline exceeded a capacity limit"
+        );
+    }
+}
+
+#[test]
+fn exact_matches_brute_force_with_capacity() {
+    for seed in 20..28 {
+        let problem = capacitated_problem(seed, 3, 6, 1.8);
+        let bb = solve_exact(&problem, &ExactOptions::default());
+        let bf = solve_brute_force(&problem);
+        match bf {
+            Some(opt) => {
+                assert!(bb.feasible, "seed {seed}");
+                assert!(bb.assignment.capacity_feasible(&problem), "seed {seed}");
+                assert!(
+                    (bb.assignment.makespan(&problem) - opt.makespan(&problem)).abs() < 1e-9,
+                    "seed {seed}: {} vs {}",
+                    bb.assignment.makespan(&problem),
+                    opt.makespan(&problem)
+                );
+            }
+            None => assert!(!bb.feasible, "seed {seed}"),
+        }
+    }
+}
+
+#[test]
+fn infeasible_capacity_detected() {
+    // Total usage exceeds total capacity: no feasible assignment exists.
+    let t = Matrix::filled(2, 4, 1.0);
+    let a = Matrix::filled(2, 4, 0.95);
+    let usage = Matrix::filled(2, 4, 1.0);
+    let limits = vec![1.0, 1.0]; // 2 units of room for 4 units of work
+    let problem =
+        MatchingProblem::new(t, a, 0.0).with_capacity(CapacityConstraint::new(usage, limits));
+    assert!(solve_brute_force(&problem).is_none());
+    let bb = solve_exact(&problem, &ExactOptions::default());
+    assert!(!bb.feasible);
+    let asg = Assignment::new(vec![0, 0, 1, 1]);
+    assert!(!asg.capacity_feasible(&problem));
+}
+
+#[test]
+fn capacity_implicit_gradients_match_finite_differences() {
+    // MFCP-AD through a capacity-constrained matching layer.
+    use mfcp::optim::kkt::implicit_gradients;
+    let problem = capacitated_problem(31, 3, 4, 1.5);
+    let params = RelaxationParams {
+        rho: 0.05,
+        lambda: 0.08,
+        beta: 3.0,
+        ..Default::default()
+    };
+    let tight = SolverOptions {
+        max_iters: 20_000,
+        lr: 0.5,
+        tol: 1e-14,
+        ..Default::default()
+    };
+    let sol = solve_relaxed(&problem, &params, &tight);
+    let mut rng = StdRng::seed_from_u64(32);
+    let c = Matrix::from_fn(3, 4, |_, _| rng.gen_range(-1.0..1.0));
+    let grads = implicit_gradients(&problem, &params, &sol.x, &c).unwrap();
+    let probe = |p: &MatchingProblem| {
+        let s = solve_relaxed(p, &params, &tight);
+        c.hadamard(&s.x).unwrap().sum()
+    };
+    let h = 1e-5;
+    for &(i, j) in &[(0usize, 1usize), (2, 3)] {
+        let mut tp = problem.clone();
+        tp.times[(i, j)] += h;
+        let mut tm = problem.clone();
+        tm.times[(i, j)] -= h;
+        let numeric = (probe(&tp) - probe(&tm)) / (2.0 * h);
+        let analytic = grads.dl_dt[(i, j)];
+        assert!(
+            (analytic - numeric).abs() < 5e-3 * (1.0 + numeric.abs()),
+            "dT[{i},{j}]: analytic {analytic} vs numeric {numeric}"
+        );
+    }
+}

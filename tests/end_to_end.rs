@@ -1,0 +1,142 @@
+//! End-to-end pipeline tests spanning every crate: platform generation →
+//! predictor training → differentiable matching → evaluation.
+
+use mfcp::core::eval::{evaluate_method, EvalOptions};
+use mfcp::core::methods::{PerformancePredictor, TamPredictor};
+use mfcp::core::train::{
+    train_mfcp, train_tsm, train_ucb, GradientMode, MfcpTrainConfig, TsmTrainConfig,
+};
+use mfcp::optim::SpeedupCurve;
+use mfcp::platform::dataset::{NoiseConfig, PlatformDataset};
+use mfcp::platform::embedding::FeatureEmbedder;
+use mfcp::platform::settings::{ClusterPool, Setting};
+use mfcp::platform::task::TaskGenerator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn datasets(setting: Setting, seed: u64) -> (PlatformDataset, PlatformDataset) {
+    let model = ClusterPool::standard().setting(setting);
+    let embedder = FeatureEmbedder::bottlenecked_platform();
+    let generator = TaskGenerator::default();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let noise = NoiseConfig {
+        time_rel_std: 0.10,
+        reliability_trials: 15,
+    };
+    let train = PlatformDataset::generate(&model, &embedder, &generator, 60, &noise, &mut rng);
+    let test = PlatformDataset::generate(&model, &embedder, &generator, 30, &noise, &mut rng);
+    (train, test)
+}
+
+fn quick_supervised() -> TsmTrainConfig {
+    TsmTrainConfig {
+        hidden: vec![8],
+        epochs: 80,
+        lr: 0.01,
+        batch_size: 32,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn all_methods_produce_feasible_scored_matchings() {
+    let (train, test) = datasets(Setting::A, 1);
+    let opts = EvalOptions {
+        round_size: 5,
+        rounds: 5,
+        gamma: 0.80,
+        ..Default::default()
+    };
+    let tam = TamPredictor::fit(&train);
+    let tsm = train_tsm(&train, &quick_supervised(), 2);
+    let ucb = train_ucb(&train, &quick_supervised(), 1.0, 2);
+    let methods: Vec<&dyn PerformancePredictor> = vec![&tam, &tsm, &ucb];
+    for method in methods {
+        let scores = evaluate_method(method, &test, &opts, &mut StdRng::seed_from_u64(3));
+        assert_eq!(scores.regret.count(), 5, "{}", method.name());
+        assert!(scores.regret.mean() >= 0.0);
+        assert!((0.0..=1.0).contains(&scores.reliability.mean()));
+        assert!((0.0..=1.0).contains(&scores.utilization.mean()));
+        assert!(scores.makespan.mean() >= scores.optimal_makespan.mean() - 1e-9);
+    }
+}
+
+#[test]
+fn mfcp_ad_end_to_end_not_worse_than_untrained_baseline() {
+    let (train, test) = datasets(Setting::A, 5);
+    let cfg = MfcpTrainConfig {
+        warm_start: quick_supervised(),
+        rounds: 20,
+        round_size: 5,
+        lr: 5e-3,
+        gamma: 0.80,
+        mode: GradientMode::Analytic,
+        ..Default::default()
+    };
+    let (mfcp, report) = train_mfcp(&train, &cfg, 7);
+    assert_eq!(report.loss_history.len(), 20);
+    let opts = EvalOptions {
+        round_size: 5,
+        rounds: 6,
+        gamma: 0.80,
+        ..Default::default()
+    };
+    let scores = evaluate_method(&mfcp, &test, &opts, &mut StdRng::seed_from_u64(9));
+    // The decision phase snapshots on validation regret, so MFCP must stay
+    // within noise of its own supervised warm start (identical seed and
+    // config) — it can improve on it but never collapse.
+    let warm = train_tsm(&train, &quick_supervised(), 7);
+    let warm_scores = evaluate_method(&warm, &test, &opts, &mut StdRng::seed_from_u64(9));
+    assert!(
+        scores.regret.mean() <= 2.0 * warm_scores.regret.mean() + 0.5,
+        "MFCP {} vs warm start {}",
+        scores.regret.mean(),
+        warm_scores.regret.mean()
+    );
+}
+
+#[test]
+fn mfcp_fg_end_to_end_parallel_setting() {
+    let (train, test) = datasets(Setting::A, 11);
+    let cfg = MfcpTrainConfig {
+        warm_start: quick_supervised(),
+        rounds: 8,
+        round_size: 6,
+        lr: 5e-3,
+        gamma: 0.80,
+        speedup: vec![SpeedupCurve::paper_parallel(); 3],
+        mode: GradientMode::ForwardGradient(Default::default()),
+        validate_every: 4,
+        ..Default::default()
+    };
+    let (mfcp, report) = train_mfcp(&train, &cfg, 13);
+    assert_eq!(mfcp.variant, "MFCP-FG");
+    assert!(report.loss_history.iter().all(|l| l.is_finite()));
+    let opts = EvalOptions {
+        round_size: 6,
+        rounds: 4,
+        gamma: 0.80,
+        speedup: vec![SpeedupCurve::paper_parallel(); 3],
+        ..Default::default()
+    };
+    let scores = evaluate_method(&mfcp, &test, &opts, &mut StdRng::seed_from_u64(17));
+    assert!(scores.regret.mean().is_finite());
+    assert!(scores.utilization.mean() > 0.0);
+}
+
+#[test]
+fn evaluation_is_reproducible_across_settings() {
+    for setting in Setting::ALL {
+        let (train, test) = datasets(setting, 23);
+        let tam = TamPredictor::fit(&train);
+        let opts = EvalOptions {
+            round_size: 5,
+            rounds: 4,
+            gamma: 0.80,
+            ..Default::default()
+        };
+        let a = evaluate_method(&tam, &test, &opts, &mut StdRng::seed_from_u64(1));
+        let b = evaluate_method(&tam, &test, &opts, &mut StdRng::seed_from_u64(1));
+        assert_eq!(a.regret.mean(), b.regret.mean(), "{setting:?}");
+    }
+}

@@ -1,0 +1,107 @@
+//! Theorem 2 (ε-feasibility): the interior-point relaxation keeps its
+//! iterates (and the rounded deployment matchings) within a vanishing
+//! distance of the reliability constraint.
+
+use mfcp::optim::objective::{reliability_slack, RelaxationParams};
+use mfcp::optim::rounding::solve_discrete;
+use mfcp::optim::solver::{solve_relaxed, SolverOptions};
+use mfcp::optim::MatchingProblem;
+use mfcp_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_problem(seed: u64, m: usize, n: usize, gamma: f64) -> MatchingProblem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let t = Matrix::from_fn(m, n, |_, _| rng.gen_range(0.5..3.0));
+    let a = Matrix::from_fn(m, n, |_, _| rng.gen_range(0.7..1.0));
+    MatchingProblem::new(t, a, gamma)
+}
+
+#[test]
+fn relaxed_solutions_are_eps_feasible() {
+    // With the log barrier, the relaxed optimum keeps strictly positive
+    // slack on instances where the uniform start is feasible.
+    for seed in 0..10 {
+        let problem = random_problem(seed, 3, 6, 0.78);
+        let params = RelaxationParams::default();
+        let sol = solve_relaxed(&problem, &params, &SolverOptions::default());
+        let slack = reliability_slack(&problem, &sol.x);
+        assert!(
+            slack > -1e-3,
+            "seed {seed}: barrier failed to keep feasibility, slack {slack}"
+        );
+    }
+}
+
+#[test]
+fn slack_grows_as_lambda_grows() {
+    // A heavier barrier weight pushes the solution deeper into the
+    // feasible region (more conservative matchings).
+    let problem = random_problem(42, 3, 8, 0.80);
+    let opts = SolverOptions::default();
+    let slack_at = |lambda: f64| {
+        let params = RelaxationParams {
+            lambda,
+            ..Default::default()
+        };
+        let sol = solve_relaxed(&problem, &params, &opts);
+        reliability_slack(&problem, &sol.x)
+    };
+    let light = slack_at(0.01);
+    let heavy = slack_at(0.5);
+    assert!(
+        heavy >= light - 1e-9,
+        "λ=0.5 slack {heavy} should be ≥ λ=0.01 slack {light}"
+    );
+}
+
+#[test]
+fn deployment_pipeline_repairs_to_feasibility() {
+    // Whenever a feasible discrete matching exists, the relax → round →
+    // repair pipeline must find one.
+    let mut feasible_instances = 0;
+    for seed in 100..115 {
+        let problem = random_problem(seed, 3, 6, 0.82);
+        if mfcp::optim::exact::solve_brute_force(&problem).is_none() {
+            continue; // no feasible matching at all
+        }
+        feasible_instances += 1;
+        let asg = solve_discrete(
+            &problem,
+            &RelaxationParams::default(),
+            &SolverOptions::default(),
+        );
+        assert!(
+            asg.is_feasible(&problem),
+            "seed {seed}: pipeline produced infeasible matching"
+        );
+    }
+    assert!(feasible_instances >= 5, "test instances too restrictive");
+}
+
+#[test]
+fn tight_threshold_still_handled() {
+    // γ barely below the best achievable mean reliability: the barrier
+    // must not blow up and the pipeline must stay close to feasible.
+    let mut rng = StdRng::seed_from_u64(7);
+    let t = Matrix::from_fn(2, 5, |_, _| rng.gen_range(0.5..2.0));
+    let a = Matrix::from_fn(2, 5, |_, _| rng.gen_range(0.9..0.95));
+    // Max achievable mean reliability:
+    let best: f64 = (0..5)
+        .map(|j| (0..2).map(|i| a[(i, j)]).fold(0.0, f64::max))
+        .sum::<f64>()
+        / 5.0;
+    let problem = MatchingProblem::new(t, a, best - 0.005);
+    let sol = solve_relaxed(
+        &problem,
+        &RelaxationParams::default(),
+        &SolverOptions::default(),
+    );
+    assert!(sol.objective.is_finite());
+    let asg = solve_discrete(
+        &problem,
+        &RelaxationParams::default(),
+        &SolverOptions::default(),
+    );
+    assert!(asg.mean_reliability(&problem) >= problem.gamma - 0.02);
+}

@@ -1,0 +1,155 @@
+//! Cross-engine gradient consistency: the analytic (KKT) and zeroth-order
+//! (forward) gradient paths must agree on the matching layer, across
+//! random instances — the property that makes MFCP-AD and MFCP-FG
+//! interchangeable in the convex case (paper §4.3: "MFCP with forward
+//! gradient can achieve performance comparable to analytical
+//! differentiation").
+
+use mfcp::optim::kkt::implicit_gradients;
+use mfcp::optim::solver::{solve_relaxed, SolverOptions};
+use mfcp::optim::zeroth::{estimate_gradient, ZerothOrderOptions};
+use mfcp::optim::{MatchingProblem, RelaxationParams};
+use mfcp_linalg::{vector, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn tight() -> SolverOptions {
+    SolverOptions {
+        max_iters: 8000,
+        tol: 1e-13,
+        ..Default::default()
+    }
+}
+
+fn cosine(a: &[f64], b: &[f64]) -> f64 {
+    let na = vector::norm2(a);
+    let nb = vector::norm2(b);
+    if na == 0.0 || nb == 0.0 {
+        return 1.0;
+    }
+    vector::dot(a, b) / (na * nb)
+}
+
+#[test]
+fn ad_and_fg_gradients_align() {
+    let mut agree = 0;
+    let trials = 4;
+    for seed in 0..trials {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (m, n) = (3, 4);
+        let t = Matrix::from_fn(m, n, |_, _| rng.gen_range(0.5..2.5));
+        let a = Matrix::from_fn(m, n, |_, _| rng.gen_range(0.75..1.0));
+        let problem = MatchingProblem::new(t, a, 0.78);
+        let params = RelaxationParams::default();
+        let sol = solve_relaxed(&problem, &params, &tight());
+        let c = Matrix::from_fn(m, n, |_, _| rng.gen_range(-1.0..1.0));
+
+        let kkt = implicit_gradients(&problem, &params, &sol.x, &c).unwrap();
+        let ad_row: Vec<f64> = kkt.dl_dt.row(0).to_vec();
+
+        let theta: Vec<f64> = problem.times.row(0).to_vec();
+        let solve = |th: &[f64]| {
+            let p = problem.with_time_row(0, th);
+            solve_relaxed(&p, &params, &tight()).x
+        };
+        let zo = ZerothOrderOptions {
+            delta: 0.02,
+            samples: 256,
+            ..Default::default()
+        };
+        let fg = estimate_gradient(&theta, &sol.x, &c, solve, &zo, &mut rng);
+
+        let cos = cosine(&ad_row, &fg);
+        if cos > 0.85 {
+            agree += 1;
+        } else {
+            eprintln!("seed {seed}: cosine {cos}, ad {ad_row:?}, fg {fg:?}");
+        }
+    }
+    assert!(
+        agree >= trials - 1,
+        "AD and FG disagreed on {} of {trials} instances",
+        trials - agree
+    );
+}
+
+#[test]
+fn reliability_gradients_flow_through_barrier_both_ways() {
+    let mut rng = StdRng::seed_from_u64(9);
+    let (m, n) = (3, 4);
+    let t = Matrix::from_fn(m, n, |_, _| rng.gen_range(0.5..2.5));
+    let a = Matrix::from_fn(m, n, |_, _| rng.gen_range(0.78..0.92));
+    let problem = MatchingProblem::new(t, a, 0.80);
+    let params = RelaxationParams {
+        lambda: 0.1,
+        ..Default::default()
+    };
+    let sol = solve_relaxed(&problem, &params, &tight());
+    let c = Matrix::from_fn(m, n, |_, _| rng.gen_range(-1.0..1.0));
+
+    let kkt = implicit_gradients(&problem, &params, &sol.x, &c).unwrap();
+    assert!(
+        kkt.dl_da.max_abs() > 1e-9,
+        "analytic reliability gradient vanished"
+    );
+
+    let theta: Vec<f64> = problem.reliability.row(0).to_vec();
+    let solve = |th: &[f64]| {
+        let p = problem.with_reliability_row(0, th);
+        solve_relaxed(&p, &params, &tight()).x
+    };
+    let zo = ZerothOrderOptions {
+        delta: 0.02,
+        samples: 256,
+        ..Default::default()
+    };
+    let fg = estimate_gradient(&theta, &sol.x, &c, solve, &zo, &mut rng);
+    assert!(
+        vector::norm_inf(&fg) > 1e-9,
+        "zeroth-order reliability gradient vanished"
+    );
+}
+
+#[test]
+fn fg_error_shrinks_with_samples_on_matching_layer() {
+    // Theorem 3's variance term on the real matching layer (not a toy
+    // linear map): quadrupling S should cut the error vs AD noticeably.
+    let mut rng = StdRng::seed_from_u64(21);
+    let (m, n) = (3, 4);
+    let t = Matrix::from_fn(m, n, |_, _| rng.gen_range(0.5..2.5));
+    let a = Matrix::from_fn(m, n, |_, _| rng.gen_range(0.75..1.0));
+    let problem = MatchingProblem::new(t, a, 0.78);
+    let params = RelaxationParams::default();
+    let sol = solve_relaxed(&problem, &params, &tight());
+    let c = Matrix::from_fn(m, n, |_, _| rng.gen_range(-1.0..1.0));
+    let kkt = implicit_gradients(&problem, &params, &sol.x, &c).unwrap();
+    let ad_row: Vec<f64> = kkt.dl_dt.row(0).to_vec();
+
+    let theta: Vec<f64> = problem.times.row(0).to_vec();
+    let solve = |th: &[f64]| {
+        let p = problem.with_time_row(0, th);
+        solve_relaxed(&p, &params, &tight()).x
+    };
+    let err_with = |samples: usize| {
+        // Average error over a few independent estimates.
+        let mut total = 0.0;
+        for rep in 0..3 {
+            let mut rng = StdRng::seed_from_u64(100 + rep);
+            let zo = ZerothOrderOptions {
+                delta: 0.02,
+                samples,
+                ..Default::default()
+            };
+            let fg = estimate_gradient(&theta, &sol.x, &c, solve, &zo, &mut rng);
+            let diff: Vec<f64> = fg.iter().zip(&ad_row).map(|(f, a)| f - a).collect();
+            total += vector::norm2(&diff);
+        }
+        total / 3.0
+    };
+    let coarse = err_with(8);
+    let fine = err_with(128);
+    assert!(
+        fine < coarse,
+        "error should shrink with S: S=8 → {coarse}, S=128 → {fine}"
+    );
+}

@@ -1,0 +1,122 @@
+//! Matching-quality integration tests: the relaxed pipeline against the
+//! exact solvers across instance families, including property-based
+//! sweeps.
+
+use mfcp::optim::exact::{greedy_lpt, solve_brute_force, solve_exact, ExactOptions};
+use mfcp::optim::rounding::solve_discrete;
+use mfcp::optim::solver::SolverOptions;
+use mfcp::optim::{Assignment, MatchingProblem, RelaxationParams, SpeedupCurve};
+use mfcp_linalg::Matrix;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_problem(seed: u64, m: usize, n: usize, gamma: f64, parallel: bool) -> MatchingProblem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let t = Matrix::from_fn(m, n, |_, _| rng.gen_range(0.5..3.0));
+    let a = Matrix::from_fn(m, n, |_, _| rng.gen_range(0.7..1.0));
+    let speedup = if parallel {
+        vec![SpeedupCurve::paper_parallel(); m]
+    } else {
+        vec![SpeedupCurve::None; m]
+    };
+    MatchingProblem::with_speedup(t, a, gamma, speedup)
+}
+
+#[test]
+fn relaxed_pipeline_close_to_optimal() {
+    // Relax → round → repair → local search should land within 10% of the
+    // brute-force optimum on most small instances (and never be wildly
+    // off on any).
+    let mut total_ratio = 0.0;
+    let mut count = 0;
+    for seed in 0..12 {
+        let problem = random_problem(seed, 3, 6, 0.78, false);
+        let Some(opt) = solve_brute_force(&problem) else {
+            continue;
+        };
+        let asg = solve_discrete(
+            &problem,
+            &RelaxationParams::default(),
+            &SolverOptions::default(),
+        );
+        let ratio = asg.makespan(&problem) / opt.makespan(&problem);
+        assert!(ratio < 1.5, "seed {seed}: pipeline ratio {ratio}");
+        total_ratio += ratio;
+        count += 1;
+    }
+    assert!(count >= 8);
+    let avg = total_ratio / count as f64;
+    assert!(avg < 1.1, "average pipeline/optimal ratio {avg}");
+}
+
+#[test]
+fn exact_beats_or_matches_greedy_everywhere() {
+    for seed in 50..60 {
+        let problem = random_problem(seed, 3, 8, 0.0, false);
+        let exact = solve_exact(&problem, &ExactOptions::default());
+        let greedy = greedy_lpt(&problem);
+        assert!(
+            exact.assignment.makespan(&problem) <= greedy.makespan(&problem) + 1e-9,
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn parallel_speedup_never_increases_makespan() {
+    // For any fixed assignment, enabling the speedup curve can only lower
+    // (or keep) each cluster's completion time.
+    let mut rng = StdRng::seed_from_u64(77);
+    for seed in 0..10 {
+        let seq = random_problem(seed, 3, 8, 0.0, false);
+        let par = MatchingProblem::with_speedup(
+            seq.times.clone(),
+            seq.reliability.clone(),
+            seq.gamma,
+            vec![SpeedupCurve::paper_parallel(); 3],
+        );
+        let asg = Assignment::new((0..8).map(|_| rng.gen_range(0..3)).collect());
+        assert!(asg.makespan(&par) <= asg.makespan(&seq) + 1e-12);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn prop_pipeline_assignment_is_valid(seed in 0u64..5000, n in 2usize..8) {
+        let problem = random_problem(seed, 3, n, 0.75, false);
+        let asg = solve_discrete(
+            &problem,
+            &RelaxationParams::default(),
+            &SolverOptions { max_iters: 150, ..Default::default() },
+        );
+        prop_assert_eq!(asg.tasks(), n);
+        prop_assert!(asg.cluster_of.iter().all(|&c| c < 3));
+        // Makespan equals the max cluster time by construction.
+        let times = asg.cluster_times(&problem);
+        let max = times.iter().cloned().fold(0.0, f64::max);
+        prop_assert!((asg.makespan(&problem) - max).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prop_exact_is_lower_bound(seed in 0u64..2000) {
+        // The exact solver's feasible makespan lower-bounds any feasible
+        // assignment's makespan.
+        let problem = random_problem(seed, 3, 5, 0.75, false);
+        let exact = solve_exact(&problem, &ExactOptions::default());
+        if exact.feasible {
+            let pipeline = solve_discrete(
+                &problem,
+                &RelaxationParams::default(),
+                &SolverOptions { max_iters: 150, ..Default::default() },
+            );
+            if pipeline.is_feasible(&problem) {
+                prop_assert!(
+                    exact.assignment.makespan(&problem) <= pipeline.makespan(&problem) + 1e-9
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Cross-crate persistence round trips: a trained model saved to disk and
+//! reloaded must make byte-identical predictions and matchings, and a
+//! dataset archived as a CSV trace must evaluate identically.
+
+use mfcp::core::eval::{evaluate_method, EvalOptions};
+use mfcp::core::methods::{MfcpPredictor, TsmPredictor};
+use mfcp::core::train::{train_mfcp, train_tsm, GradientMode, MfcpTrainConfig, TsmTrainConfig};
+use mfcp::platform::dataset::{NoiseConfig, PlatformDataset};
+use mfcp::platform::embedding::FeatureEmbedder;
+use mfcp::platform::settings::{ClusterPool, Setting};
+use mfcp::platform::task::TaskGenerator;
+use mfcp::platform::trace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn datasets(seed: u64) -> (PlatformDataset, PlatformDataset) {
+    let model = ClusterPool::standard().setting(Setting::A);
+    let embedder = FeatureEmbedder::bottlenecked_platform();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let train = PlatformDataset::generate(
+        &model,
+        &embedder,
+        &TaskGenerator::default(),
+        50,
+        &NoiseConfig::default(),
+        &mut rng,
+    );
+    let test = PlatformDataset::generate(
+        &model,
+        &embedder,
+        &TaskGenerator::default(),
+        25,
+        &NoiseConfig::default(),
+        &mut rng,
+    );
+    (train, test)
+}
+
+fn quick_supervised() -> TsmTrainConfig {
+    TsmTrainConfig {
+        hidden: vec![8],
+        epochs: 60,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn trained_tsm_survives_disk_round_trip() {
+    let (train, test) = datasets(1);
+    let tsm = train_tsm(&train, &quick_supervised(), 2);
+
+    let dir = std::env::temp_dir().join("mfcp_persistence_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("tsm.txt");
+    std::fs::write(&path, tsm.to_document()).unwrap();
+    let loaded = TsmPredictor::from_document(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let opts = EvalOptions {
+        rounds: 6,
+        gamma: 0.80,
+        ..Default::default()
+    };
+    let a = evaluate_method(&tsm, &test, &opts, &mut StdRng::seed_from_u64(3));
+    let b = evaluate_method(&loaded, &test, &opts, &mut StdRng::seed_from_u64(3));
+    assert_eq!(a.regret.mean(), b.regret.mean());
+    assert_eq!(a.utilization.mean(), b.utilization.mean());
+}
+
+#[test]
+fn trained_mfcp_survives_disk_round_trip() {
+    let (train, test) = datasets(5);
+    let cfg = MfcpTrainConfig {
+        warm_start: quick_supervised(),
+        rounds: 8,
+        gamma: 0.80,
+        mode: GradientMode::Analytic,
+        validate_every: 4,
+        ..Default::default()
+    };
+    let (mfcp, _) = train_mfcp(&train, &cfg, 7);
+    let loaded = MfcpPredictor::from_document(&mfcp.to_document()).unwrap();
+    assert_eq!(loaded.variant, "MFCP-AD");
+
+    let opts = EvalOptions {
+        rounds: 5,
+        gamma: 0.80,
+        ..Default::default()
+    };
+    let a = evaluate_method(&mfcp, &test, &opts, &mut StdRng::seed_from_u64(9));
+    let b = evaluate_method(&loaded, &test, &opts, &mut StdRng::seed_from_u64(9));
+    assert_eq!(a.regret.mean(), b.regret.mean());
+}
+
+#[test]
+fn archived_trace_evaluates_identically() {
+    let (train, test) = datasets(11);
+    let embedder = FeatureEmbedder::bottlenecked_platform();
+    let restored = trace::from_csv(&trace::to_csv(&test), &embedder).unwrap();
+
+    let tsm = train_tsm(&train, &quick_supervised(), 13);
+    let opts = EvalOptions {
+        rounds: 6,
+        gamma: 0.80,
+        ..Default::default()
+    };
+    let original = evaluate_method(&tsm, &test, &opts, &mut StdRng::seed_from_u64(17));
+    let reloaded = evaluate_method(&tsm, &restored, &opts, &mut StdRng::seed_from_u64(17));
+    assert_eq!(original.regret.mean(), reloaded.regret.mean());
+    assert_eq!(original.reliability.mean(), reloaded.reliability.mean());
+}
+
+#[test]
+fn model_documents_are_versioned_and_distinguishable() {
+    let (train, _) = datasets(19);
+    let tsm = train_tsm(&train, &quick_supervised(), 21);
+    let doc = tsm.to_document();
+    assert!(doc.starts_with("mfcp-tsm v1"));
+    // A TSM document must not parse as an MFCP one and vice versa.
+    assert!(MfcpPredictor::from_document(&doc).is_err());
+    let mfcp_doc = MfcpPredictor {
+        predictors: tsm.predictors.clone(),
+        time_scale: tsm.time_scale,
+        variant: "MFCP-FG".into(),
+    }
+    .to_document();
+    assert!(mfcp_doc.starts_with("mfcp-dfl v1"));
+    assert!(TsmPredictor::from_document(&mfcp_doc).is_err());
+}

@@ -1,0 +1,125 @@
+//! Larger-scale stress tests (ignored by default; run with
+//! `cargo test --release -- --ignored` or as part of the final sweep).
+
+use mfcp::core::eval::{evaluate_method, EvalOptions};
+use mfcp::core::methods::TamPredictor;
+use mfcp::core::train::{train_mfcp, train_tsm, GradientMode, MfcpTrainConfig, TsmTrainConfig};
+use mfcp::optim::exact::{solve_exact, ExactOptions};
+use mfcp::optim::rounding::solve_discrete;
+use mfcp::optim::solver::{solve_relaxed, SolverOptions};
+use mfcp::optim::{MatchingProblem, RelaxationParams};
+use mfcp::platform::dataset::{NoiseConfig, PlatformDataset};
+use mfcp::platform::embedding::FeatureEmbedder;
+use mfcp::platform::settings::ClusterPool;
+use mfcp::platform::task::TaskGenerator;
+use mfcp_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+#[ignore = "stress test: ~1 min in release"]
+fn five_cluster_forty_task_pipeline() {
+    // M = 5 clusters from the pool, N = 40 tasks per round: well past the
+    // paper's largest configuration.
+    let pool = ClusterPool::standard();
+    let model = pool.select(&[0, 1, 2, 3, 7]);
+    let embedder = FeatureEmbedder::bottlenecked_platform();
+    let mut rng = StdRng::seed_from_u64(1);
+    let train = PlatformDataset::generate(
+        &model,
+        &embedder,
+        &TaskGenerator::default(),
+        160,
+        &NoiseConfig::default(),
+        &mut rng,
+    );
+    let test = PlatformDataset::generate(
+        &model,
+        &embedder,
+        &TaskGenerator::default(),
+        120,
+        &NoiseConfig::default(),
+        &mut rng,
+    );
+    let cfg = MfcpTrainConfig {
+        warm_start: TsmTrainConfig {
+            hidden: vec![8],
+            epochs: 120,
+            ..Default::default()
+        },
+        rounds: 30,
+        round_size: 40,
+        lr: 5e-3,
+        gamma: 0.80,
+        mode: GradientMode::Analytic,
+        ..Default::default()
+    };
+    let (mfcp, report) = train_mfcp(&train, &cfg, 3);
+    assert!(report.loss_history.iter().all(|l| l.is_finite()));
+
+    let opts = EvalOptions {
+        round_size: 40,
+        rounds: 6,
+        gamma: 0.80,
+        ..Default::default()
+    };
+    let scores = evaluate_method(&mfcp, &test, &opts, &mut StdRng::seed_from_u64(5));
+    let tam_scores = evaluate_method(
+        &TamPredictor::fit(&train),
+        &test,
+        &opts,
+        &mut StdRng::seed_from_u64(5),
+    );
+    assert!(
+        scores.regret.mean() < tam_scores.regret.mean(),
+        "MFCP {} vs TAM {}",
+        scores.regret.mean(),
+        tam_scores.regret.mean()
+    );
+    assert!(scores.utilization.mean() > tam_scores.utilization.mean());
+
+    // TSM at this scale also runs end to end.
+    let tsm = train_tsm(&train, &cfg.warm_start, 3);
+    let tsm_scores = evaluate_method(&tsm, &test, &opts, &mut StdRng::seed_from_u64(5));
+    assert!(tsm_scores.regret.mean().is_finite());
+}
+
+#[test]
+#[ignore = "stress test: large relaxed solves"]
+fn relaxed_solver_scales_to_hundreds_of_tasks() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let (m, n) = (10usize, 300usize);
+    let t = Matrix::from_fn(m, n, |_, _| rng.gen_range(0.2..3.0));
+    let a = Matrix::from_fn(m, n, |_, _| rng.gen_range(0.7..1.0));
+    let problem = MatchingProblem::new(t, a, 0.78);
+    let sol = solve_relaxed(
+        &problem,
+        &RelaxationParams::default(),
+        &SolverOptions::default(),
+    );
+    assert!(sol.objective.is_finite());
+    let asg = solve_discrete(
+        &problem,
+        &RelaxationParams::default(),
+        &SolverOptions::default(),
+    );
+    assert_eq!(asg.tasks(), n);
+    assert!(asg.is_feasible(&problem));
+    // Utilization of the pipeline matching should be high at this scale.
+    assert!(asg.utilization(&problem) > 0.7, "{}", asg.utilization(&problem));
+}
+
+#[test]
+#[ignore = "stress test: branch-and-bound ceiling"]
+fn exact_solver_handles_thirty_tasks() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let t = Matrix::from_fn(3, 30, |_, _| rng.gen_range(0.2..3.0));
+    let a = Matrix::from_fn(3, 30, |_, _| rng.gen_range(0.7..1.0));
+    let problem = MatchingProblem::new(t, a, 0.78);
+    let result = solve_exact(&problem, &ExactOptions::default());
+    assert!(result.feasible);
+    // Even if the node limit truncates, the incumbent must be sane.
+    let naive = (0..30).map(|_| 0).collect::<Vec<_>>();
+    let naive_span = mfcp::optim::Assignment::new(naive).makespan(&problem);
+    assert!(result.assignment.makespan(&problem) < naive_span);
+}
