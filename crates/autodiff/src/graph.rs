@@ -403,9 +403,7 @@ impl Graph {
                 }
                 Op::Sigmoid(a) => {
                     let out = self.nodes[idx].value.clone();
-                    let ga = grad
-                        .zip_map(&out, |g, s| g * s * (1.0 - s))
-                        .expect("shape");
+                    let ga = grad.zip_map(&out, |g, s| g * s * (1.0 - s)).expect("shape");
                     self.accumulate(a, ga);
                 }
                 Op::Exp(a) => {

@@ -33,9 +33,7 @@ fn bench_kkt(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("M{m}xN{n}")),
             &(problem, params, x, dl_dx),
-            |b, (p, prm, x, g)| {
-                b.iter(|| black_box(implicit_gradients(p, prm, x, g).unwrap()))
-            },
+            |b, (p, prm, x, g)| b.iter(|| black_box(implicit_gradients(p, prm, x, g).unwrap())),
         );
     }
     group.finish();

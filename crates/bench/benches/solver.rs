@@ -71,15 +71,19 @@ fn bench_exact_vs_pipeline(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("branch_and_bound", n), &problem, |b, p| {
             b.iter(|| black_box(solve_exact(p, &ExactOptions::default())))
         });
-        group.bench_with_input(BenchmarkId::new("relax_round_search", n), &problem, |b, p| {
-            b.iter(|| {
-                black_box(solve_discrete(
-                    p,
-                    &RelaxationParams::default(),
-                    &SolverOptions::default(),
-                ))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("relax_round_search", n),
+            &problem,
+            |b, p| {
+                b.iter(|| {
+                    black_box(solve_discrete(
+                        p,
+                        &RelaxationParams::default(),
+                        &SolverOptions::default(),
+                    ))
+                })
+            },
+        );
     }
     group.finish();
 }

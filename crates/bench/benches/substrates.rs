@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mfcp_autodiff::Graph;
-use mfcp_linalg::{lu::Lu, Matrix, MatmulOptions};
+use mfcp_linalg::{lu::Lu, MatmulOptions, Matrix};
 use mfcp_nn::{Activation, Mlp};
 use mfcp_parallel::ParallelConfig;
 use rand::rngs::StdRng;
@@ -54,7 +54,12 @@ fn bench_lu(c: &mut Criterion) {
 fn bench_mlp(c: &mut Criterion) {
     let mut group = c.benchmark_group("mlp_forward_backward");
     let mut rng = StdRng::seed_from_u64(3);
-    let mlp = Mlp::new(&[18, 32, 32, 1], Activation::Relu, Activation::Identity, &mut rng);
+    let mlp = Mlp::new(
+        &[18, 32, 32, 1],
+        Activation::Relu,
+        Activation::Identity,
+        &mut rng,
+    );
     for &batch in &[5usize, 32, 128] {
         let x = random_matrix(&mut rng, batch, 18);
         group.bench_with_input(BenchmarkId::new("forward", batch), &x, |b, x| {

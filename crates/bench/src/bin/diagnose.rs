@@ -61,7 +61,12 @@ fn main() {
         s.reliability.to_string(),
         s.utilization.to_string(),
     );
-    let ucb = train_ucb(&train, &setup.supervised, setup.kappa, seed.wrapping_add(101));
+    let ucb = train_ucb(
+        &train,
+        &setup.supervised,
+        setup.kappa,
+        seed.wrapping_add(101),
+    );
     let s = evaluate_method(&ucb, &test, &opts, &mut StdRng::seed_from_u64(42));
     println!(
         "UCB      regret {:>8}  rel {:>8}  util {:>8}",

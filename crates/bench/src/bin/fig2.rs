@@ -48,7 +48,9 @@ fn main() {
     // --- upper panel: independent MSE fits ------------------------------
     let (a0, a1) = weighted_linear_fit(&train_z, &ta, &uniform);
     let (b0, b1) = weighted_linear_fit(&train_z, &tb, &uniform);
-    println!("MSE-fit predictors:     t̂_A(z) = {a0:.2} + {a1:.2} z    t̂_B(z) = {b0:.2} + {b1:.2} z");
+    println!(
+        "MSE-fit predictors:     t̂_A(z) = {a0:.2} + {a1:.2} z    t̂_B(z) = {b0:.2} + {b1:.2} z"
+    );
 
     // --- lower panel: matching-focused weights --------------------------
     // Weight each training point by its decision relevance: points where
@@ -63,7 +65,9 @@ fn main() {
         .collect();
     let (a0m, a1m) = weighted_linear_fit(&train_z, &ta, &weights);
     let (b0m, b1m) = weighted_linear_fit(&train_z, &tb, &weights);
-    println!("matching-focused fits:  t̂_A(z) = {a0m:.2} + {a1m:.2} z    t̂_B(z) = {b0m:.2} + {b1m:.2} z");
+    println!(
+        "matching-focused fits:  t̂_A(z) = {a0m:.2} + {a1m:.2} z    t̂_B(z) = {b0m:.2} + {b1m:.2} z"
+    );
 
     println!(
         "\n{:>6} {:>9} {:>9} {:>7} | {:>9} {:>9} {:>7} | {:>9} {:>9} {:>7}",
@@ -94,9 +98,7 @@ fn main() {
             mf_pick
         );
     }
-    println!(
-        "\ncorrect allocations: MSE fit {mse_correct}/3, matching-focused fit {mf_correct}/3"
-    );
+    println!("\ncorrect allocations: MSE fit {mse_correct}/3, matching-focused fit {mf_correct}/3");
     assert!(
         mf_correct >= mse_correct,
         "the motivating example should favour the matching-focused fit"

@@ -10,7 +10,11 @@ use mfcp_platform::settings::Setting;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let seeds: Vec<u64> = if quick { vec![1, 2] } else { vec![1, 2, 3, 4, 5, 6, 7, 8] };
+    let seeds: Vec<u64> = if quick {
+        vec![1, 2]
+    } else {
+        vec![1, 2, 3, 4, 5, 6, 7, 8]
+    };
     let mut csv_lines = Vec::new();
     println!("Figure 4: overall performance (N=5 tasks, M=3 clusters)");
     println!("seeds: {seeds:?}{}", if quick { " [--quick]" } else { "" });

@@ -10,7 +10,11 @@ use mfcp_platform::settings::Setting;
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let seeds: Vec<u64> = if quick { vec![1, 2] } else { vec![1, 2, 3] };
-    let task_counts: &[usize] = if quick { &[5, 15] } else { &[5, 10, 15, 20, 25] };
+    let task_counts: &[usize] = if quick {
+        &[5, 15]
+    } else {
+        &[5, 10, 15, 20, 25]
+    };
     println!("Figure 5: scaling with the number of tasks (Setting A)");
     println!("seeds: {seeds:?}{}", if quick { " [--quick]" } else { "" });
 

@@ -46,17 +46,33 @@ fn main() {
     let mut csv = Vec::new();
 
     println!("\n-- smooth-max temperature β (default 5) --");
-    println!("{:>8} {:>16} {:>16} {:>16}", "beta", "regret", "reliability", "utilization");
+    println!(
+        "{:>8} {:>16} {:>16} {:>16}",
+        "beta", "regret", "reliability", "utilization"
+    );
     for beta in [1.0, 2.0, 5.0, 10.0, 20.0] {
         let mut setup = base.clone();
         setup.relaxation.beta = beta;
         let (r, a, u) = run_point(&setup, &seeds);
-        println!("{beta:>8.1} {:>16} {:>16} {:>16}", r.to_string(), a.to_string(), u.to_string());
-        csv.push(format!("beta,{beta},{:.4},{:.4},{:.4}", r.mean(), a.mean(), u.mean()));
+        println!(
+            "{beta:>8.1} {:>16} {:>16} {:>16}",
+            r.to_string(),
+            a.to_string(),
+            u.to_string()
+        );
+        csv.push(format!(
+            "beta,{beta},{:.4},{:.4},{:.4}",
+            r.mean(),
+            a.mean(),
+            u.mean()
+        ));
     }
 
     println!("\n-- barrier weight λ (default 0.05) --");
-    println!("{:>8} {:>16} {:>16} {:>16}", "lambda", "regret", "reliability", "utilization");
+    println!(
+        "{:>8} {:>16} {:>16} {:>16}",
+        "lambda", "regret", "reliability", "utilization"
+    );
     for lambda in [0.005, 0.02, 0.05, 0.2, 0.8] {
         let mut setup = base.clone();
         setup.relaxation.lambda = lambda;
@@ -76,13 +92,26 @@ fn main() {
     }
 
     println!("\n-- entropy weight ρ (default 0.01) --");
-    println!("{:>8} {:>16} {:>16} {:>16}", "rho", "regret", "reliability", "utilization");
+    println!(
+        "{:>8} {:>16} {:>16} {:>16}",
+        "rho", "regret", "reliability", "utilization"
+    );
     for rho in [0.001, 0.005, 0.01, 0.05, 0.2] {
         let mut setup = base.clone();
         setup.relaxation.rho = rho;
         let (r, a, u) = run_point(&setup, &seeds);
-        println!("{rho:>8.3} {:>16} {:>16} {:>16}", r.to_string(), a.to_string(), u.to_string());
-        csv.push(format!("rho,{rho},{:.4},{:.4},{:.4}", r.mean(), a.mean(), u.mean()));
+        println!(
+            "{rho:>8.3} {:>16} {:>16} {:>16}",
+            r.to_string(),
+            a.to_string(),
+            u.to_string()
+        );
+        csv.push(format!(
+            "rho,{rho},{:.4},{:.4},{:.4}",
+            r.mean(),
+            a.mean(),
+            u.mean()
+        ));
     }
 
     write_csv(

@@ -9,7 +9,11 @@ use mfcp_bench::{format_table, run_ablation, write_csv, AblationVariant, Experim
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let seeds: Vec<u64> = if quick { vec![1, 2] } else { vec![1, 2, 3, 4, 5] };
+    let seeds: Vec<u64> = if quick {
+        vec![1, 2]
+    } else {
+        vec![1, 2, 3, 4, 5]
+    };
     let setup = ExperimentSetup {
         eval_rounds: if quick { 10 } else { 30 },
         mfcp_rounds: if quick { 60 } else { 240 },

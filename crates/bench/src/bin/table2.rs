@@ -11,7 +11,11 @@ use mfcp_platform::settings::Setting;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let seeds: Vec<u64> = if quick { vec![1, 2] } else { vec![1, 2, 3, 4, 5] };
+    let seeds: Vec<u64> = if quick {
+        vec![1, 2]
+    } else {
+        vec![1, 2, 3, 4, 5]
+    };
     let setup = ExperimentSetup {
         setting: Setting::A,
         round_size: 10,

@@ -153,12 +153,8 @@ fn theorem5() -> Vec<String> {
     let (m, n) = (3, 8);
     let t = Matrix::from_fn(m, n, |_, _| rng.gen_range(0.5..2.5));
     let a = Matrix::from_fn(m, n, |_, _| rng.gen_range(0.75..1.0));
-    let problem = MatchingProblem::with_speedup(
-        t,
-        a,
-        0.78,
-        vec![SpeedupCurve::paper_parallel(); m],
-    );
+    let problem =
+        MatchingProblem::with_speedup(t, a, 0.78, vec![SpeedupCurve::paper_parallel(); m]);
     let params = RelaxationParams::default();
     let eta = 0.05;
     let f0 = objective::value(&problem, &params, &uniform_init(m, n));
@@ -166,7 +162,10 @@ fn theorem5() -> Vec<String> {
     let mut x = uniform_init(m, n);
     let mut lines = Vec::new();
     let mut sq_sum = 0.0;
-    println!("{:>8} {:>18} {:>18}", "k", "mean ||G_k||²", "2(F0-Finf)/(ηk)");
+    println!(
+        "{:>8} {:>18} {:>18}",
+        "k", "mean ||G_k||²", "2(F0-Finf)/(ηk)"
+    );
     let f_inf = {
         // Cheap lower bound on F over the feasible set: long optimized run.
         let sol = solve_relaxed(

@@ -22,7 +22,11 @@ type TrainerFn = Box<dyn Fn(u64) -> Box<dyn PerformancePredictor>>;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let seeds: Vec<u64> = if quick { vec![1, 2] } else { vec![1, 2, 3, 4, 5] };
+    let seeds: Vec<u64> = if quick {
+        vec![1, 2]
+    } else {
+        vec![1, 2, 3, 4, 5]
+    };
     let setup = ExperimentSetup {
         eval_rounds: if quick { 10 } else { 30 },
         ..Default::default()

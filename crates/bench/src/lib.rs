@@ -159,11 +159,15 @@ impl ExperimentSetup {
         let noise = self.noise;
         let mut rng = StdRng::seed_from_u64(seed);
         let train = PlatformDataset::generate(
-            &model, &embedder, &generator, self.n_train, &noise, &mut rng,
+            &model,
+            &embedder,
+            &generator,
+            self.n_train,
+            &noise,
+            &mut rng,
         );
-        let test = PlatformDataset::generate(
-            &model, &embedder, &generator, self.n_test, &noise, &mut rng,
-        );
+        let test =
+            PlatformDataset::generate(&model, &embedder, &generator, self.n_test, &noise, &mut rng);
         (train, test)
     }
 
@@ -228,10 +232,7 @@ impl ExperimentSetup {
                 Box::new(train_mfcp(train, &cfg, seed).0)
             }
             MethodKind::MfcpFg => {
-                let cfg = self.mfcp_config(
-                    m,
-                    GradientMode::ForwardGradient(self.zeroth_options()),
-                );
+                let cfg = self.mfcp_config(m, GradientMode::ForwardGradient(self.zeroth_options()));
                 Box::new(train_mfcp(train, &cfg, seed).0)
             }
         }
@@ -360,9 +361,7 @@ impl AblationVariant {
                 setup.relaxation.barrier = BarrierKind::HardPenalty;
                 GradientMode::Analytic
             }
-            AblationVariant::ZerothOrder => {
-                GradientMode::ForwardGradient(base.zeroth_options())
-            }
+            AblationVariant::ZerothOrder => GradientMode::ForwardGradient(base.zeroth_options()),
             AblationVariant::Full => GradientMode::Analytic,
         };
         (setup, mode)

@@ -100,14 +100,11 @@ pub fn evaluate_method(
             (idx, exec_seed)
         })
         .collect();
-    let per_round: Vec<(f64, f64, f64, f64, f64)> = par_map(
-        &ParallelConfig::default(),
-        &rounds,
-        |(idx, exec_seed)| {
+    let per_round: Vec<(f64, f64, f64, f64, f64)> =
+        par_map(&ParallelConfig::default(), &rounds, |(idx, exec_seed)| {
             let n = idx.len();
-            let features = Matrix::from_fn(n, test.features.cols(), |r, c| {
-                test.features[(idx[r], c)]
-            });
+            let features =
+                Matrix::from_fn(n, test.features.cols(), |r, c| test.features[(idx[r], c)]);
             let t_true = Matrix::from_fn(m, n, |i, j| test.true_times[(i, idx[j])]);
             let a_true = Matrix::from_fn(m, n, |i, j| test.true_reliability[(i, idx[j])]);
             let problem_true = MatchingProblem::with_speedup(
@@ -155,8 +152,7 @@ pub fn evaluate_method(
                 span,
                 opt_span,
             )
-        },
-    );
+        });
     let mut scores = MethodScores::default();
     for (regret, reliability, utilization, span, opt_span) in per_round {
         scores.regret.push(regret);
@@ -254,10 +250,8 @@ mod tests {
             gamma: 0.8,
             ..Default::default()
         };
-        let scores_tam =
-            evaluate_method(&tam, &test, &opts, &mut StdRng::seed_from_u64(4));
-        let scores_oracle =
-            evaluate_method(&oracle, &test, &opts, &mut StdRng::seed_from_u64(4));
+        let scores_tam = evaluate_method(&tam, &test, &opts, &mut StdRng::seed_from_u64(4));
+        let scores_oracle = evaluate_method(&oracle, &test, &opts, &mut StdRng::seed_from_u64(4));
         assert!(scores_tam.regret.mean() >= scores_oracle.regret.mean());
         assert!((0.0..=1.0).contains(&scores_tam.reliability.mean()));
         assert!((0.0..=1.0).contains(&scores_tam.utilization.mean()));

@@ -39,5 +39,7 @@ pub mod prelude {
     };
     pub use crate::platform::{ExchangePlatform, PlatformConfig};
     pub use crate::predictor::ClusterPredictor;
-    pub use crate::train::{GradientMode, MfcpTrainConfig, TsmTrainConfig};
+    pub use crate::train::{
+        GradientMode, MfcpTrainConfig, RecoveryEvent, TrainReport, TsmTrainConfig,
+    };
 }

@@ -543,10 +543,9 @@ mod tests {
         let doc = p.to_document();
         assert!(ClusterPredictor::from_document(&doc).is_ok());
         assert!(ClusterPredictor::from_document("garbage").is_err());
-        assert!(ClusterPredictor::from_document(
-            &doc.replace("--reliability--", "--oops--")
-        )
-        .is_err());
+        assert!(
+            ClusterPredictor::from_document(&doc.replace("--reliability--", "--oops--")).is_err()
+        );
         assert!(TsmPredictor::from_document(&doc).is_err());
     }
 

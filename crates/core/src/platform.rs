@@ -121,7 +121,11 @@ impl ExchangePlatform {
             self.config.gamma,
             speedup,
         );
-        solve_discrete(&problem, &self.config.train.relaxation, &self.config.train.solver)
+        solve_discrete(
+            &problem,
+            &self.config.train.relaxation,
+            &self.config.train.solver,
+        )
     }
 
     /// Records freshly profiled measurements (tasks run on *every*
@@ -133,8 +137,7 @@ impl ExchangePlatform {
             .concat(measurements)
             .truncate_front(self.config.history_capacity);
         self.fresh_since_training += measurements.len();
-        if self.config.retrain_after > 0 && self.fresh_since_training >= self.config.retrain_after
-        {
+        if self.config.retrain_after > 0 && self.fresh_since_training >= self.config.retrain_after {
             self.retrain();
             true
         } else {
@@ -243,7 +246,11 @@ mod tests {
         );
         platform.record_measurements(&profiled(30, 9));
         assert_eq!(platform.history_len(), 50, "buffer must stay bounded");
-        assert_eq!(platform.retrain_count(), 0, "retrain_after=0 disables auto retrain");
+        assert_eq!(
+            platform.retrain_count(),
+            0,
+            "retrain_after=0 disables auto retrain"
+        );
     }
 
     #[test]

@@ -115,7 +115,10 @@ mod tests {
             assert!(t > 0.0, "times must be strictly positive");
         }
         for a in p.predict_reliability(&features) {
-            assert!((0.0..=1.0).contains(&a), "reliabilities must be probabilities");
+            assert!(
+                (0.0..=1.0).contains(&a),
+                "reliabilities must be probabilities"
+            );
         }
     }
 

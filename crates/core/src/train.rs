@@ -14,6 +14,8 @@ use mfcp_parallel::{par_map, ParallelConfig};
 use mfcp_platform::dataset::PlatformDataset;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
 
 /// Configuration for the supervised (MSE) predictor training used by TSM,
 /// UCB, and MFCP's warm start.
@@ -103,6 +105,26 @@ pub struct MfcpTrainConfig {
     /// decision-focused phase on the data manifold (the standard
     /// regret + α·MSE composite loss of the DFL literature).
     pub mse_anchor: f64,
+    /// Loss-spike guard: a round whose relaxed regret exceeds
+    /// `spike_factor · |recent baseline| + spike_slack` (or is non-finite)
+    /// is treated as a destroyed iterate — the predictors and optimizer
+    /// states roll back to the last healthy snapshot and the round's
+    /// update is skipped. Set to `f64::INFINITY` to disable.
+    pub spike_factor: f64,
+    /// Absolute slack added to the spike threshold so near-zero baselines
+    /// (a well-trained predictor has regret ≈ 0) don't flag ordinary
+    /// round-to-round sampling noise.
+    pub spike_slack: f64,
+    /// Write a checkpoint of all cluster predictors every this many
+    /// rounds (0 disables). Requires [`MfcpTrainConfig::checkpoint_dir`].
+    pub checkpoint_every: usize,
+    /// Directory for periodic checkpoints; also the resume source when
+    /// [`MfcpTrainConfig::resume`] is set.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Start from the predictors checkpointed in `checkpoint_dir`
+    /// (skipping the supervised warm start) when a complete checkpoint is
+    /// present; falls back to the normal warm start otherwise.
+    pub resume: bool,
 }
 
 impl Default for MfcpTrainConfig {
@@ -123,6 +145,11 @@ impl Default for MfcpTrainConfig {
             validate_every: 10,
             validation_split: 0.0,
             mse_anchor: 0.3,
+            spike_factor: 3.0,
+            spike_slack: 0.02,
+            checkpoint_every: 0,
+            checkpoint_dir: None,
+            resume: false,
         }
     }
 }
@@ -148,19 +175,147 @@ fn clip_l2(v: &mut [f64], cap: f64) -> f64 {
     norm
 }
 
+/// True when every entry of every gradient tensor is finite. A single NaN
+/// measurement (or an exploded activation) poisons Adam's moment estimates
+/// permanently, so non-finite steps are dropped rather than applied.
+fn grads_finite(grads: &[Matrix]) -> bool {
+    grads
+        .iter()
+        .all(|g| g.as_slice().iter().all(|v| v.is_finite()))
+}
+
 /// Per-cluster decision gradients plus the (round-scaled) predictions
 /// they were computed at: `(∂L/∂t̂, ∂L/∂â, t̂, â)`.
 type ClusterGradients = (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>);
 
+/// A recovery action taken by the guarded training loop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoveryEvent {
+    /// A cluster produced no usable decision gradient this round (singular
+    /// KKT system or non-finite zeroth-order estimate) and was skipped.
+    SkippedCluster {
+        /// Training round (0-based).
+        round: usize,
+        /// Cluster whose gradient was dropped.
+        cluster: usize,
+    },
+    /// A gradient seed came out non-finite after pullback/clipping; the
+    /// affected optimizer step was skipped.
+    SkippedGradient {
+        /// Training round (0-based).
+        round: usize,
+        /// Cluster whose step was skipped.
+        cluster: usize,
+    },
+    /// The round loss spiked (or went non-finite); predictors and
+    /// optimizer states were rolled back to the last healthy snapshot.
+    Rollback {
+        /// Training round (0-based).
+        round: usize,
+        /// The offending loss value (may be NaN/∞).
+        loss: f64,
+        /// The recent-loss baseline the spike was measured against.
+        baseline: f64,
+    },
+    /// A periodic checkpoint was written to disk.
+    Checkpoint {
+        /// Training round (0-based) after which the checkpoint was taken.
+        round: usize,
+    },
+    /// Training resumed from an on-disk checkpoint instead of the
+    /// supervised warm start.
+    Resumed,
+}
+
+impl std::fmt::Display for RecoveryEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryEvent::SkippedCluster { round, cluster } => {
+                write!(
+                    f,
+                    "round {round}: cluster {cluster} gradient unavailable, skipped"
+                )
+            }
+            RecoveryEvent::SkippedGradient { round, cluster } => {
+                write!(
+                    f,
+                    "round {round}: cluster {cluster} non-finite seed, step skipped"
+                )
+            }
+            RecoveryEvent::Rollback {
+                round,
+                loss,
+                baseline,
+            } => {
+                write!(
+                    f,
+                    "round {round}: loss {loss:.4} spiked past baseline {baseline:.4}, rolled back"
+                )
+            }
+            RecoveryEvent::Checkpoint { round } => write!(f, "round {round}: checkpoint written"),
+            RecoveryEvent::Resumed => write!(f, "resumed from checkpoint"),
+        }
+    }
+}
+
 /// Diagnostics from an MFCP training run.
 #[derive(Debug, Clone, Default)]
 pub struct TrainReport {
-    /// Relaxed regret loss (Eq. 12's upper level) per round.
+    /// Relaxed regret loss (Eq. 12's upper level) per round. Rounds that
+    /// triggered a rollback record the observed (spiked) value.
     pub loss_history: Vec<f64>,
     /// Validation (discrete regret) at each validation checkpoint.
     pub validation_history: Vec<f64>,
     /// The round whose snapshot was ultimately returned.
     pub best_round: usize,
+    /// Recovery actions, in the order they happened.
+    pub recovery: Vec<RecoveryEvent>,
+}
+
+impl TrainReport {
+    /// Number of loss-spike rollbacks that occurred during training.
+    pub fn rollbacks(&self) -> usize {
+        self.recovery
+            .iter()
+            .filter(|e| matches!(e, RecoveryEvent::Rollback { .. }))
+            .count()
+    }
+
+    /// Rounds (0-based) whose updates were rolled back.
+    pub fn rolled_back_rounds(&self) -> Vec<usize> {
+        self.recovery
+            .iter()
+            .filter_map(|e| match e {
+                RecoveryEvent::Rollback { round, .. } => Some(*round),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Writes every cluster predictor to `<dir>/cluster_<i>.mfcp` (creating
+/// `dir` if needed). The write is not atomic across clusters; resume
+/// validates completeness before using any of it.
+pub fn write_checkpoint(dir: &Path, predictors: &[ClusterPredictor]) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    for (i, p) in predictors.iter().enumerate() {
+        std::fs::write(dir.join(format!("cluster_{i}.mfcp")), p.to_document())?;
+    }
+    Ok(())
+}
+
+/// Loads a complete `clusters`-wide checkpoint written by
+/// [`write_checkpoint`]; any missing or corrupt file fails the whole load.
+pub fn load_checkpoint(
+    dir: &Path,
+    clusters: usize,
+) -> Result<Vec<ClusterPredictor>, Box<dyn std::error::Error>> {
+    let mut predictors = Vec::with_capacity(clusters);
+    for i in 0..clusters {
+        let text = std::fs::read_to_string(dir.join(format!("cluster_{i}.mfcp")))?;
+        predictors.push(ClusterPredictor::from_document(&text)?);
+    }
+    Ok(predictors)
 }
 
 /// Discrete-regret validation: match each validation round with the
@@ -180,17 +335,12 @@ fn validation_regret(
     let mut total = 0.0;
     for idx in val_rounds {
         let n = idx.len();
-        let features = Matrix::from_fn(n, train.features.cols(), |r, c| {
-            train.features[(idx[r], c)]
-        });
+        let features =
+            Matrix::from_fn(n, train.features.cols(), |r, c| train.features[(idx[r], c)]);
         let t_meas = Matrix::from_fn(m, n, |i, j| times_scaled[(i, idx[j])]);
         let a_meas = Matrix::from_fn(m, n, |i, j| train.reliability[(i, idx[j])]);
-        let problem_true = MatchingProblem::with_speedup(
-            t_meas,
-            a_meas,
-            cfg.gamma,
-            speedup.to_vec(),
-        );
+        let problem_true =
+            MatchingProblem::with_speedup(t_meas, a_meas, cfg.gamma, speedup.to_vec());
         let (t_hat, a_hat) = predicted_matrices(predictors, &features);
         let scale = t_hat.mean().max(1e-9);
         let problem_pred = MatchingProblem::with_speedup(
@@ -201,9 +351,8 @@ fn validation_regret(
         );
         let assignment = solve_discrete(&problem_pred, &cfg.relaxation, &cfg.solver);
         let optimal = solve_exact(&problem_true, &ExactOptions::default());
-        total += (assignment.makespan(&problem_true)
-            - optimal.assignment.makespan(&problem_true))
-        .max(0.0);
+        total += (assignment.makespan(&problem_true) - optimal.assignment.makespan(&problem_true))
+            .max(0.0);
     }
     total / val_rounds.len().max(1) as f64
 }
@@ -227,9 +376,7 @@ fn train_cluster_supervised(
     for _ in 0..cfg.epochs {
         mfcp_nn::data::shuffle(&mut order, &mut rng);
         for chunk in order.chunks(cfg.batch_size.max(1)) {
-            let xb = Matrix::from_fn(chunk.len(), features.cols(), |r, c| {
-                features[(chunk[r], c)]
-            });
+            let xb = Matrix::from_fn(chunk.len(), features.cols(), |r, c| features[(chunk[r], c)]);
             let tb = Matrix::from_fn(chunk.len(), 1, |r, _| {
                 times_scaled[(chunk[r], 0)].max(1e-9).ln()
             });
@@ -242,8 +389,10 @@ fn train_cluster_supervised(
             let loss = cfg.time_loss.build(&mut g, pass.output, ti);
             g.backward(loss);
             let grads = predictor.time_model.grads(&g, &pass);
-            let mut params = predictor.time_model.params_mut();
-            opt_t.step(&mut params, &grads);
+            if grads_finite(&grads) {
+                let mut params = predictor.time_model.params_mut();
+                opt_t.step(&mut params, &grads);
+            }
 
             let mut g = Graph::new();
             let xi = g.input(xb);
@@ -252,8 +401,10 @@ fn train_cluster_supervised(
             let loss = g.mse(pass.output, ai);
             g.backward(loss);
             let grads = predictor.rel_model.grads(&g, &pass);
-            let mut params = predictor.rel_model.params_mut();
-            opt_a.step(&mut params, &grads);
+            if grads_finite(&grads) {
+                let mut params = predictor.rel_model.params_mut();
+                opt_a.step(&mut params, &grads);
+            }
         }
     }
     predictor
@@ -335,7 +486,10 @@ pub fn train_mfcp(
     seed: u64,
 ) -> (MfcpPredictor, TrainReport) {
     let m = train.clusters();
-    assert!(train.len() >= cfg.round_size, "need at least one full round of tasks");
+    assert!(
+        train.len() >= cfg.round_size,
+        "need at least one full round of tasks"
+    );
     let speedup = speedup_vec(cfg, m);
 
     // Hold out a validation slice for best-snapshot selection. Validating
@@ -344,9 +498,8 @@ pub fn train_mfcp(
     // phase's gains only show on unseen tasks.
     let mut val_rng = StdRng::seed_from_u64(seed.wrapping_add(0x7A11));
     let use_validation = cfg.validation_rounds > 0;
-    let use_split = use_validation
-        && cfg.validation_split > 0.0
-        && train.len() >= 2 * cfg.round_size.max(4);
+    let use_split =
+        use_validation && cfg.validation_split > 0.0 && train.len() >= 2 * cfg.round_size.max(4);
     let (fit, val) = if use_split {
         train.split(1.0 - cfg.validation_split, &mut val_rng)
     } else {
@@ -354,11 +507,30 @@ pub fn train_mfcp(
     };
     let fit = &fit;
 
+    let mut report = TrainReport::default();
+
     // Phase 1: supervised warm start (standard DFL practice — start the
-    // decision-focused phase from sensible point predictions).
-    let warm = train_tsm(fit, &cfg.warm_start, seed);
-    let time_scale = warm.time_scale;
-    let mut predictors = warm.predictors;
+    // decision-focused phase from sensible point predictions), unless a
+    // complete checkpoint is available to resume from. The time scale is
+    // a dataset statistic, not a model parameter, so a resumed run
+    // recomputes the same value the checkpointed run used.
+    let resumed: Option<Vec<ClusterPredictor>> = if cfg.resume {
+        cfg.checkpoint_dir
+            .as_deref()
+            .and_then(|dir| load_checkpoint(dir, m).ok())
+    } else {
+        None
+    };
+    let (time_scale, mut predictors) = match resumed {
+        Some(predictors) => {
+            report.recovery.push(RecoveryEvent::Resumed);
+            (fit.times.mean().max(1e-9), predictors)
+        }
+        None => {
+            let warm = train_tsm(fit, &cfg.warm_start, seed);
+            (warm.time_scale, warm.predictors)
+        }
+    };
 
     let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0xDF));
     let mut opt_t: Vec<Adam> = (0..m).map(|_| Adam::new(cfg.lr)).collect();
@@ -382,12 +554,28 @@ pub fn train_mfcp(
     let mut best_score = if val_rounds.is_empty() {
         f64::INFINITY
     } else {
-        validation_regret(&predictors, &val, &val_times_scaled, &val_rounds, cfg, &speedup)
+        validation_regret(
+            &predictors,
+            &val,
+            &val_times_scaled,
+            &val_rounds,
+            cfg,
+            &speedup,
+        )
     };
     let mut best_predictors = predictors.clone();
     let mut best_round = 0usize;
-    let mut report = TrainReport::default();
     report.validation_history.push(best_score);
+
+    // Loss-spike guard state: a sliding window of recently accepted
+    // losses forms the baseline, and `last_good` holds the newest
+    // predictor + optimizer snapshot whose loss cleared the guard.
+    // Optimizer states roll back together with the parameters — restoring
+    // weights under stale Adam momentum would immediately replay the
+    // destructive step.
+    let spike_window = 8usize;
+    let mut recent_losses: VecDeque<f64> = VecDeque::with_capacity(spike_window);
+    let mut last_good = (predictors.clone(), opt_t.clone(), opt_a.clone());
 
     for round in 0..cfg.rounds {
         // ---- sample a round of N tasks --------------------------------
@@ -395,20 +583,47 @@ pub fn train_mfcp(
         mfcp_nn::data::shuffle(&mut idx, &mut rng);
         idx.truncate(cfg.round_size);
         let n = idx.len();
-        let features = Matrix::from_fn(n, fit.features.cols(), |r, c| {
-            fit.features[(idx[r], c)]
-        });
+        let features = Matrix::from_fn(n, fit.features.cols(), |r, c| fit.features[(idx[r], c)]);
         // Per-round normalization: divide this round's times (measured
         // and predicted alike) by the round's mean measured time, so the
         // smooth-max temperature β sees O(1) values regardless of which
         // tasks were drawn. The normalizer depends only on measured data,
         // so it is a constant w.r.t. the predictor parameters.
-        let t_meas_raw = Matrix::from_fn(m, n, |i, j| times_scaled[(i, idx[j])]);
+        let data_ok = idx.iter().all(|&j| {
+            (0..m).all(|i| {
+                let t = times_scaled[(i, j)];
+                let a = fit.reliability[(i, j)];
+                t.is_finite() && t >= 0.0 && a.is_finite()
+            })
+        });
+        // Corrupt measurements (a NaN probe, a wrapped timer) would trip
+        // the matching layer's input asserts, so a poisoned round gets
+        // bland finite stand-ins here and is rejected by the spike guard
+        // below via a NaN loss — no update ever sees the bad data.
+        let t_meas_raw = Matrix::from_fn(m, n, |i, j| {
+            let v = times_scaled[(i, idx[j])];
+            if v.is_finite() && v >= 0.0 {
+                v
+            } else {
+                1.0
+            }
+        });
         let round_scale = t_meas_raw.mean().max(1e-9);
         let t_meas = t_meas_raw.scale(1.0 / round_scale);
-        let a_meas = Matrix::from_fn(m, n, |i, j| fit.reliability[(i, idx[j])]);
-        let problem_true =
-            MatchingProblem::with_speedup(t_meas.clone(), a_meas.clone(), cfg.gamma, speedup.clone());
+        let a_meas = Matrix::from_fn(m, n, |i, j| {
+            let v = fit.reliability[(i, idx[j])];
+            if v.is_finite() {
+                v.clamp(0.0, 1.0)
+            } else {
+                0.5
+            }
+        });
+        let problem_true = MatchingProblem::with_speedup(
+            t_meas.clone(),
+            a_meas.clone(),
+            cfg.gamma,
+            speedup.clone(),
+        );
 
         // ---- loss bookkeeping (all-clusters-predicted regret) ----------
         let (t_all, a_all) = predicted_matrices(&predictors, &features);
@@ -420,13 +635,46 @@ pub fn train_mfcp(
         );
         let sol_pred_all = solve_relaxed(&problem_all, &cfg.relaxation, &cfg.solver);
         let sol_true = solve_relaxed(&problem_true, &cfg.relaxation, &cfg.solver);
-        let loss = (objective::value(&problem_true, &cfg.relaxation, &sol_pred_all.x)
-            - objective::value(&problem_true, &cfg.relaxation, &sol_true.x))
-            / n as f64;
+        let loss = if data_ok {
+            (objective::value(&problem_true, &cfg.relaxation, &sol_pred_all.x)
+                - objective::value(&problem_true, &cfg.relaxation, &sol_true.x))
+                / n as f64
+        } else {
+            f64::NAN
+        };
         report.loss_history.push(loss);
 
-        let update_time = !cfg.alternating || round % 2 == 0;
-        let update_rel = !cfg.alternating || round % 2 == 1;
+        // ---- loss-spike guard ------------------------------------------
+        // The loss is computed *before* this round's update, so a spike
+        // indicts an earlier accepted step: restore the last snapshot
+        // whose loss cleared the guard and sit this round out.
+        let baseline = if recent_losses.is_empty() {
+            f64::INFINITY
+        } else {
+            recent_losses.iter().sum::<f64>() / recent_losses.len() as f64
+        };
+        let spiked = !loss.is_finite()
+            || (recent_losses.len() >= 3
+                && loss > cfg.spike_factor * baseline.abs() + cfg.spike_slack);
+        if spiked {
+            report.recovery.push(RecoveryEvent::Rollback {
+                round,
+                loss,
+                baseline,
+            });
+            predictors = last_good.0.clone();
+            opt_t = last_good.1.clone();
+            opt_a = last_good.2.clone();
+        } else {
+            if recent_losses.len() == spike_window {
+                recent_losses.pop_front();
+            }
+            recent_losses.push_back(loss);
+            last_good = (predictors.clone(), opt_t.clone(), opt_a.clone());
+        }
+
+        let update_time = !spiked && (!cfg.alternating || round % 2 == 0);
+        let update_rel = !spiked && (!cfg.alternating || round % 2 == 1);
 
         // ---- per-cluster decision gradients (parallel) ------------------
         // Each cluster's matching solve and gradient pullback is
@@ -434,84 +682,105 @@ pub fn train_mfcp(
         // measured values), so the expensive part fans out across threads;
         // the optimizer steps below stay sequential.
         let cluster_seeds: Vec<(usize, u64)> = (0..m).map(|i| (i, rng.gen::<u64>())).collect();
-        let cluster_grads: Vec<Option<ClusterGradients>> = par_map(
-            &ParallelConfig::default(),
-            &cluster_seeds,
-            |&(i, fg_seed)| {
-                let t_hat: Vec<f64> = predictors[i]
-                    .predict_times(&features)
-                    .into_iter()
-                    .map(|v| v / round_scale)
-                    .collect();
-                let a_hat: Vec<f64> = predictors[i]
-                    .predict_reliability(&features)
-                    .into_iter()
-                    .map(|v| v.clamp(0.0, 1.0))
-                    .collect();
-                let problem_pred = problem_true
-                    .with_time_row(i, &t_hat)
-                    .with_reliability_row(i, &a_hat);
-                let sol = solve_relaxed(&problem_pred, &cfg.relaxation, &cfg.solver);
+        let cluster_grads: Vec<Option<ClusterGradients>> = if spiked {
+            Vec::new() // rolled back: no updates this round
+        } else {
+            par_map(
+                &ParallelConfig::default(),
+                &cluster_seeds,
+                |&(i, fg_seed)| {
+                    let t_hat: Vec<f64> = predictors[i]
+                        .predict_times(&features)
+                        .into_iter()
+                        .map(|v| v / round_scale)
+                        .collect();
+                    let a_hat: Vec<f64> = predictors[i]
+                        .predict_reliability(&features)
+                        .into_iter()
+                        .map(|v| v.clamp(0.0, 1.0))
+                        .collect();
+                    let problem_pred = problem_true
+                        .with_time_row(i, &t_hat)
+                        .with_reliability_row(i, &a_hat);
+                    let sol = solve_relaxed(&problem_pred, &cfg.relaxation, &cfg.solver);
 
-                // ∂L/∂X* = (1/N)·∇_X F(X, T_meas, A_meas) at X = X*(T̂, Â).
-                let dl_dx = objective::grad_x(&problem_true, &cfg.relaxation, &sol.x)
-                    .scale(1.0 / n as f64);
+                    // ∂L/∂X* = (1/N)·∇_X F(X, T_meas, A_meas) at X = X*(T̂, Â).
+                    let dl_dx = objective::grad_x(&problem_true, &cfg.relaxation, &sol.x)
+                        .scale(1.0 / n as f64);
 
-                let grads = match &cfg.mode {
-                    GradientMode::Analytic => {
-                        // A singular KKT system (a fully collapsed vertex
-                        // solution) carries no usable gradient — skip the
-                        // round for this cluster rather than aborting.
-                        match kkt::implicit_gradients(
-                            &problem_pred,
-                            &cfg.relaxation,
-                            &sol.x,
-                            &dl_dx,
-                        ) {
-                            Ok(g) => (g.dl_dt.row(i).to_vec(), g.dl_da.row(i).to_vec()),
-                            Err(_) => return None,
+                    let grads = match &cfg.mode {
+                        GradientMode::Analytic => {
+                            // A singular KKT system (a fully collapsed vertex
+                            // solution) carries no usable gradient — skip the
+                            // round for this cluster rather than aborting.
+                            match kkt::implicit_gradients(
+                                &problem_pred,
+                                &cfg.relaxation,
+                                &sol.x,
+                                &dl_dx,
+                            ) {
+                                Ok(g) => (g.dl_dt.row(i).to_vec(), g.dl_da.row(i).to_vec()),
+                                Err(_) => return None,
+                            }
                         }
-                    }
-                    GradientMode::ForwardGradient(zo) => {
-                        let mut fg_rng = StdRng::seed_from_u64(fg_seed);
-                        let solve_t = |theta: &[f64]| {
-                            let p = problem_pred.with_time_row(
-                                i,
-                                &theta.iter().map(|&v| v.max(1e-6)).collect::<Vec<_>>(),
-                            );
-                            solve_relaxed(&p, &cfg.relaxation, &cfg.solver).x
-                        };
-                        let solve_a = |theta: &[f64]| {
-                            let p = problem_pred.with_reliability_row(i, theta);
-                            solve_relaxed(&p, &cfg.relaxation, &cfg.solver).x
-                        };
-                        // The S perturbation solves are already parallel
-                        // inside estimate_gradient; keep them sequential
-                        // here to avoid nested fan-out.
-                        let zo_inner = ZerothOrderOptions {
-                            parallel: ParallelConfig::sequential(),
-                            ..zo.clone()
-                        };
-                        let gt = if update_time {
-                            estimate_gradient(&t_hat, &sol.x, &dl_dx, solve_t, &zo_inner, &mut fg_rng)
-                        } else {
-                            vec![0.0; n]
-                        };
-                        let ga = if update_rel {
-                            estimate_gradient(&a_hat, &sol.x, &dl_dx, solve_a, &zo_inner, &mut fg_rng)
-                        } else {
-                            vec![0.0; n]
-                        };
-                        (gt, ga)
-                    }
-                };
-                Some((grads.0, grads.1, t_hat, a_hat))
-            },
-        );
+                        GradientMode::ForwardGradient(zo) => {
+                            let mut fg_rng = StdRng::seed_from_u64(fg_seed);
+                            let solve_t = |theta: &[f64]| {
+                                let p = problem_pred.with_time_row(
+                                    i,
+                                    &theta.iter().map(|&v| v.max(1e-6)).collect::<Vec<_>>(),
+                                );
+                                solve_relaxed(&p, &cfg.relaxation, &cfg.solver).x
+                            };
+                            let solve_a = |theta: &[f64]| {
+                                let p = problem_pred.with_reliability_row(i, theta);
+                                solve_relaxed(&p, &cfg.relaxation, &cfg.solver).x
+                            };
+                            // The S perturbation solves are already parallel
+                            // inside estimate_gradient; keep them sequential
+                            // here to avoid nested fan-out.
+                            let zo_inner = ZerothOrderOptions {
+                                parallel: ParallelConfig::sequential(),
+                                ..zo.clone()
+                            };
+                            let gt = if update_time {
+                                estimate_gradient(
+                                    &t_hat,
+                                    &sol.x,
+                                    &dl_dx,
+                                    solve_t,
+                                    &zo_inner,
+                                    &mut fg_rng,
+                                )
+                            } else {
+                                vec![0.0; n]
+                            };
+                            let ga = if update_rel {
+                                estimate_gradient(
+                                    &a_hat,
+                                    &sol.x,
+                                    &dl_dx,
+                                    solve_a,
+                                    &zo_inner,
+                                    &mut fg_rng,
+                                )
+                            } else {
+                                vec![0.0; n]
+                            };
+                            (gt, ga)
+                        }
+                    };
+                    Some((grads.0, grads.1, t_hat, a_hat))
+                },
+            )
+        };
 
         // ---- sequential optimizer steps ---------------------------------
         for (i, cluster_grad) in cluster_grads.into_iter().enumerate() {
             let Some((dl_dt_i, dl_da_i, t_hat, a_hat)) = cluster_grad else {
+                report
+                    .recovery
+                    .push(RecoveryEvent::SkippedCluster { round, cluster: i });
                 continue;
             };
 
@@ -529,7 +798,11 @@ pub fn train_mfcp(
                         *s += cfg.mse_anchor * 2.0 * (out - target) / n as f64;
                     }
                 }
-                if clipped > 0.0 || cfg.mse_anchor > 0.0 {
+                if seed.iter().any(|v| !v.is_finite()) {
+                    report
+                        .recovery
+                        .push(RecoveryEvent::SkippedGradient { round, cluster: i });
+                } else if clipped > 0.0 || cfg.mse_anchor > 0.0 {
                     let seed_grad = Matrix::from_fn(n, 1, |r, _| seed[r]);
                     let mut g = Graph::new();
                     let xi = g.input(features.clone());
@@ -548,7 +821,11 @@ pub fn train_mfcp(
                         *s += cfg.mse_anchor * 2.0 * (a_hat[r] - a_meas[(i, r)]) / n as f64;
                     }
                 }
-                if clipped > 0.0 || cfg.mse_anchor > 0.0 {
+                if seed.iter().any(|v| !v.is_finite()) {
+                    report
+                        .recovery
+                        .push(RecoveryEvent::SkippedGradient { round, cluster: i });
+                } else if clipped > 0.0 || cfg.mse_anchor > 0.0 {
                     let seed_grad = Matrix::from_fn(n, 1, |r, _| seed[r]);
                     let mut g = Graph::new();
                     let xi = g.input(features.clone());
@@ -561,11 +838,26 @@ pub fn train_mfcp(
             }
         }
 
+        // ---- periodic checkpoint ---------------------------------------
+        if cfg.checkpoint_every > 0 && (round + 1) % cfg.checkpoint_every == 0 {
+            if let Some(dir) = &cfg.checkpoint_dir {
+                if write_checkpoint(dir, &predictors).is_ok() {
+                    report.recovery.push(RecoveryEvent::Checkpoint { round });
+                }
+            }
+        }
+
         // ---- best-snapshot validation ----------------------------------
         let last = round + 1 == cfg.rounds;
         if !val_rounds.is_empty() && ((round + 1) % cfg.validate_every.max(1) == 0 || last) {
-            let score =
-                validation_regret(&predictors, &val, &val_times_scaled, &val_rounds, cfg, &speedup);
+            let score = validation_regret(
+                &predictors,
+                &val,
+                &val_times_scaled,
+                &val_rounds,
+                cfg,
+                &speedup,
+            );
             report.validation_history.push(score);
             if score < best_score {
                 best_score = score;
@@ -707,15 +999,32 @@ mod tests {
         assert_eq!(pred.variant, "MFCP-AD");
         assert_eq!(report.loss_history.len(), 40);
         assert!(report.loss_history.iter().all(|l| l.is_finite()));
-        // Decision loss should be non-negative up to smoothing slack and
-        // trend downward: compare first-quarter and last-quarter means.
-        let q = 10;
-        let early: f64 = report.loss_history[..q].iter().sum::<f64>() / q as f64;
-        let late: f64 =
-            report.loss_history[report.loss_history.len() - q..].iter().sum::<f64>() / q as f64;
+        // Sampled-round regret is heavy-tailed — a hard draw can spike an
+        // order of magnitude above the median regardless of predictor
+        // quality — and the spike guard records exactly which rounds it
+        // rejected (their updates never happened). Judge training health
+        // on the accepted trajectory: it must not drift upward.
+        let rolled: std::collections::HashSet<usize> =
+            report.rolled_back_rounds().into_iter().collect();
+        let accepted: Vec<f64> = report
+            .loss_history
+            .iter()
+            .enumerate()
+            .filter(|(r, _)| !rolled.contains(r))
+            .map(|(_, &l)| l)
+            .collect();
+        assert!(
+            accepted.len() >= 20,
+            "guard should accept most rounds: {} of 40 ({:?})",
+            accepted.len(),
+            report.recovery
+        );
+        let q = accepted.len() / 4;
+        let early: f64 = accepted[..q].iter().sum::<f64>() / q as f64;
+        let late: f64 = accepted[accepted.len() - q..].iter().sum::<f64>() / q as f64;
         assert!(
             late <= early + 0.05,
-            "regret loss should not blow up: early {early}, late {late}"
+            "accepted regret loss should not blow up: early {early}, late {late}"
         );
     }
 
@@ -736,9 +1045,8 @@ mod tests {
             ..Default::default()
         };
         let idx: Vec<usize> = (0..n).collect();
-        let features = Matrix::from_fn(n, train.features.cols(), |r, c| {
-            train.features[(idx[r], c)]
-        });
+        let features =
+            Matrix::from_fn(n, train.features.cols(), |r, c| train.features[(idx[r], c)]);
         let time_scale = train.times.mean();
         let t_meas = Matrix::from_fn(m, n, |i, j| train.times[(i, idx[j])] / time_scale);
         let a_meas = Matrix::from_fn(m, n, |i, j| train.reliability[(i, idx[j])]);
@@ -774,10 +1082,8 @@ mod tests {
             .with_time_row(cluster, &t_hat)
             .with_reliability_row(cluster, &a_hat);
         let sol = solve_relaxed(&problem_pred, &relaxation, &solver);
-        let dl_dx =
-            objective::grad_x(&problem_true, &relaxation, &sol.x).scale(1.0 / n as f64);
-        let grads =
-            kkt::implicit_gradients(&problem_pred, &relaxation, &sol.x, &dl_dx).unwrap();
+        let dl_dx = objective::grad_x(&problem_true, &relaxation, &sol.x).scale(1.0 / n as f64);
+        let grads = kkt::implicit_gradients(&problem_pred, &relaxation, &sol.x, &dl_dx).unwrap();
         let dl_dt_row = grads.dl_dt.row(cluster).to_vec();
         let seed_grad = Matrix::from_fn(n, 1, |r, _| dl_dt_row[r] * t_hat[r]);
         let mut g = Graph::new();
@@ -853,6 +1159,94 @@ mod tests {
         };
         let (_pred, report) = train_mfcp(&train, &cfg, 23);
         assert!(report.loss_history.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn nan_poisoned_round_rolls_back_instead_of_diverging() {
+        let mut train = dataset(12, 31);
+        // One corrupted measurement: any round that samples task 3 sees a
+        // NaN execution time, so its regret loss is NaN and the guard must
+        // roll the iterate back rather than let Adam ingest NaN gradients.
+        train.times[(0, 3)] = f64::NAN;
+        let cfg = MfcpTrainConfig {
+            warm_start: quick_tsm_cfg(),
+            rounds: 12,
+            round_size: 6,
+            gamma: 0.8,
+            validation_rounds: 0,
+            ..Default::default()
+        };
+        let (pred, report) = train_mfcp(&train, &cfg, 41);
+        assert!(
+            report.rollbacks() >= 1,
+            "expected at least one rollback: {:?}",
+            report.recovery
+        );
+        let (t, a) = predicted_matrices(&pred.predictors, &train.features);
+        assert!(t.as_slice().iter().all(|v| v.is_finite() && *v > 0.0));
+        assert!(a.as_slice().iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn tight_spike_guard_triggers_rollbacks() {
+        let train = dataset(40, 9);
+        // With the threshold at exactly the recent mean, ordinary
+        // round-to-round sampling noise counts as a spike, so the guard
+        // machinery must fire and training must still finish cleanly.
+        let cfg = MfcpTrainConfig {
+            warm_start: quick_tsm_cfg(),
+            rounds: 20,
+            round_size: 5,
+            gamma: 0.8,
+            validation_rounds: 0,
+            spike_factor: 1.0,
+            spike_slack: 0.0,
+            ..Default::default()
+        };
+        let (_pred, report) = train_mfcp(&train, &cfg, 3);
+        assert!(
+            report.rollbacks() >= 1,
+            "mean-level threshold should flag sampling noise: {:?}",
+            report.recovery
+        );
+        assert_eq!(report.loss_history.len(), 20);
+        assert_eq!(report.rolled_back_rounds().len(), report.rollbacks());
+    }
+
+    #[test]
+    fn checkpoint_and_resume_round_trip() {
+        let train = dataset(30, 8);
+        let dir = std::env::temp_dir().join("mfcp_train_ckpt_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let cfg = MfcpTrainConfig {
+            warm_start: quick_tsm_cfg(),
+            rounds: 6,
+            round_size: 5,
+            gamma: 0.8,
+            validation_rounds: 0,
+            checkpoint_every: 3,
+            checkpoint_dir: Some(dir.clone()),
+            ..Default::default()
+        };
+        let (_pred, report) = train_mfcp(&train, &cfg, 29);
+        assert!(report
+            .recovery
+            .iter()
+            .any(|e| matches!(e, RecoveryEvent::Checkpoint { .. })));
+        let loaded = load_checkpoint(&dir, train.clusters()).expect("checkpoint loads");
+        assert_eq!(loaded.len(), train.clusters());
+
+        // Resuming skips the warm start and starts from the checkpoint.
+        let resume_cfg = MfcpTrainConfig {
+            rounds: 2,
+            resume: true,
+            ..cfg.clone()
+        };
+        let (pred2, report2) = train_mfcp(&train, &resume_cfg, 29);
+        assert!(report2.recovery.contains(&RecoveryEvent::Resumed));
+        let (t, _) = predicted_matrices(&pred2.predictors, &train.features);
+        assert!(t.as_slice().iter().all(|v| v.is_finite()));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -37,13 +37,7 @@ pub fn symmetric_eigen(a: &Matrix) -> Result<SymmetricEigen> {
     }
     let n = a.rows();
     // Work on a symmetrized copy.
-    let mut m = Matrix::from_fn(n, n, |r, c| {
-        if r >= c {
-            a[(r, c)]
-        } else {
-            a[(c, r)]
-        }
-    });
+    let mut m = Matrix::from_fn(n, n, |r, c| if r >= c { a[(r, c)] } else { a[(c, r)] });
     let mut v = Matrix::identity(n);
     let scale = m.max_abs().max(1e-300);
     let tol = 1e-14 * scale;

@@ -3,8 +3,7 @@
 use mfcp_autodiff::{Graph, NodeId};
 
 /// Which regression loss to record on the graph.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum Loss {
     /// Mean squared error.
     #[default]
@@ -17,7 +16,6 @@ pub enum Loss {
         delta: f64,
     },
 }
-
 
 impl Loss {
     /// Records `loss(pred, target)` on the graph as a `1 x 1` node.
@@ -69,10 +67,13 @@ mod tests {
             g.value(l)[(0, 0)]
         };
         let mse_ratio = value(Loss::Mse, &big) / value(Loss::Mse, &small);
-        let huber_ratio = value(Loss::Huber { delta: 1.0 }, &big)
-            / value(Loss::Huber { delta: 1.0 }, &small);
+        let huber_ratio =
+            value(Loss::Huber { delta: 1.0 }, &big) / value(Loss::Huber { delta: 1.0 }, &small);
         assert!((mse_ratio - 4.0).abs() < 1e-12);
-        assert!(huber_ratio < 2.2, "Huber must grow ~linearly, got {huber_ratio}");
+        assert!(
+            huber_ratio < 2.2,
+            "Huber must grow ~linearly, got {huber_ratio}"
+        );
     }
 
     #[test]

@@ -322,7 +322,12 @@ mod tests {
     fn training_reduces_loss_on_toy_regression() {
         // Fit y = x0 - 2 x1 with plain gradient descent.
         let mut rng = StdRng::seed_from_u64(5);
-        let mut mlp = Mlp::new(&[2, 16, 1], Activation::Tanh, Activation::Identity, &mut rng);
+        let mut mlp = Mlp::new(
+            &[2, 16, 1],
+            Activation::Tanh,
+            Activation::Identity,
+            &mut rng,
+        );
         use rand::Rng;
         let xs = Matrix::from_fn(64, 2, |_, _| rng.gen_range(-1.0..1.0));
         let ys = Matrix::from_fn(64, 1, |r, _| xs[(r, 0)] - 2.0 * xs[(r, 1)]);

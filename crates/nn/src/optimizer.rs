@@ -187,7 +187,10 @@ impl Optimizer for Adam {
             .zip(grads)
             .zip(self.m.iter_mut().zip(self.v.iter_mut()))
         {
-            *m = m.scale(self.beta1).axpy(1.0 - self.beta1, g).expect("shape");
+            *m = m
+                .scale(self.beta1)
+                .axpy(1.0 - self.beta1, g)
+                .expect("shape");
             let g2 = g.hadamard(g).expect("shape");
             *v = v
                 .scale(self.beta2)

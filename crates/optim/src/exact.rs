@@ -54,8 +54,16 @@ pub fn greedy_lpt(problem: &MatchingProblem) -> Assignment {
     let n = problem.tasks();
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| {
-        let ta = problem.times.col(a).into_iter().fold(f64::INFINITY, f64::min);
-        let tb = problem.times.col(b).into_iter().fold(f64::INFINITY, f64::min);
+        let ta = problem
+            .times
+            .col(a)
+            .into_iter()
+            .fold(f64::INFINITY, f64::min);
+        let tb = problem
+            .times
+            .col(b)
+            .into_iter()
+            .fold(f64::INFINITY, f64::min);
         tb.total_cmp(&ta)
     });
     let mut cluster_of = vec![0usize; n];
@@ -123,9 +131,7 @@ impl Search<'_> {
             return;
         }
         // Bound 2: makespan lower bounds.
-        let lb_cluster = (0..m)
-            .map(|i| self.floors[i] * sums[i])
-            .fold(0.0, f64::max);
+        let lb_cluster = (0..m).map(|i| self.floors[i] * sums[i]).fold(0.0, f64::max);
         let lb_avg = ((0..m).map(|i| self.floors[i] * sums[i]).sum::<f64>()
             + self.min_time_suffix[depth])
             / m as f64;
@@ -210,8 +216,16 @@ pub fn solve_exact(problem: &MatchingProblem, opts: &ExactOptions) -> ExactResul
     // Order tasks by decreasing minimum execution time (hardest first).
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| {
-        let ta = problem.times.col(a).into_iter().fold(f64::INFINITY, f64::min);
-        let tb = problem.times.col(b).into_iter().fold(f64::INFINITY, f64::min);
+        let ta = problem
+            .times
+            .col(a)
+            .into_iter()
+            .fold(f64::INFINITY, f64::min);
+        let tb = problem
+            .times
+            .col(b)
+            .into_iter()
+            .fold(f64::INFINITY, f64::min);
         tb.total_cmp(&ta)
     });
 
@@ -221,8 +235,7 @@ pub fn solve_exact(problem: &MatchingProblem, opts: &ExactOptions) -> ExactResul
     for k in (0..n).rev() {
         let j = order[k];
         let col_rel = problem.reliability.col(j);
-        max_rel_suffix[k] =
-            max_rel_suffix[k + 1] + col_rel.iter().cloned().fold(0.0, f64::max);
+        max_rel_suffix[k] = max_rel_suffix[k + 1] + col_rel.iter().cloned().fold(0.0, f64::max);
         let min_t = (0..m)
             .map(|i| floors[i] * problem.times[(i, j)])
             .fold(f64::INFINITY, f64::min);
@@ -269,10 +282,13 @@ pub fn solve_exact(problem: &MatchingProblem, opts: &ExactOptions) -> ExactResul
 }
 
 /// Brute-force enumeration (`m^n` assignments) — test oracle only.
+///
+/// Returns `None` both when no feasible assignment exists and when the
+/// instance is too large to enumerate (`m^n` overflows `u64`).
 pub fn solve_brute_force(problem: &MatchingProblem) -> Option<Assignment> {
     let m = problem.clusters();
     let n = problem.tasks();
-    let total = (m as u64).checked_pow(n as u32).expect("instance too large");
+    let total = (m as u64).checked_pow(n as u32)?;
     let mut best: Option<(f64, Assignment)> = None;
     for code in 0..total {
         let mut c = code;
@@ -305,7 +321,13 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    fn random_problem(seed: u64, m: usize, n: usize, gamma: f64, parallel: bool) -> MatchingProblem {
+    fn random_problem(
+        seed: u64,
+        m: usize,
+        n: usize,
+        gamma: f64,
+        parallel: bool,
+    ) -> MatchingProblem {
         let mut rng = StdRng::seed_from_u64(seed);
         let t = Matrix::from_fn(m, n, |_, _| rng.gen_range(0.5..3.0));
         let a = Matrix::from_fn(m, n, |_, _| rng.gen_range(0.7..1.0));
@@ -367,7 +389,10 @@ mod tests {
         let greedy = greedy_lpt(&problem);
         let exact = solve_exact(&problem, &ExactOptions::default());
         let ratio = greedy.makespan(&problem) / exact.assignment.makespan(&problem);
-        assert!(ratio < 2.0, "LPT should be within 2x of optimal, got {ratio}");
+        assert!(
+            ratio < 2.0,
+            "LPT should be within 2x of optimal, got {ratio}"
+        );
     }
 
     #[test]

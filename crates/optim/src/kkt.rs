@@ -89,12 +89,12 @@ pub fn assemble_kkt_matrix(
     // H3 (entropy):    ρ / x_ij on the diagonal
     // H4 (capacity):   per-cluster rank-1 blocks
     //                  φ''(slack_i) u_ij u_il / limit_i²
-    let cap_ddphi: Vec<f64> = match &problem.capacity {
-        Some(cap) => (0..m)
+    let capacity = problem.capacity.as_ref().map(|cap| {
+        let cap_ddphi: Vec<f64> = (0..m)
             .map(|i| barrier_second_derivative(params, cap.slack(x, i)))
-            .collect(),
-        None => vec![0.0; m],
-    };
+            .collect();
+        (cap, cap_ddphi)
+    });
     for i in 0..m {
         for j in 0..n {
             let row = idx(i, j);
@@ -104,10 +104,13 @@ pub fn assemble_kkt_matrix(
                     let mut h =
                         beta * t[(i, j)] * t[(kk, l)] * w[i] * ((i == kk) as u8 as f64 - w[kk]);
                     h += ddphi * a[(i, j)] * a[(kk, l)] / (nf * nf);
-                    if i == kk && cap_ddphi[i] != 0.0 {
-                        let cap = problem.capacity.as_ref().expect("capacity present");
-                        h += cap_ddphi[i] * cap.usage[(i, j)] * cap.usage[(i, l)]
-                            / (cap.limits[i] * cap.limits[i]);
+                    if i == kk {
+                        if let Some((cap, cap_ddphi)) = &capacity {
+                            if cap_ddphi[i] != 0.0 {
+                                h += cap_ddphi[i] * cap.usage[(i, j)] * cap.usage[(i, l)]
+                                    / (cap.limits[i] * cap.limits[i]);
+                            }
+                        }
                     }
                     k[(row, col)] += h;
                 }
@@ -367,7 +370,13 @@ mod tests {
     /// Jacobians of an argmin.
     fn probe_loss(problem: &MatchingProblem, params: &RelaxationParams, c: &Matrix) -> f64 {
         let sol = solve_relaxed(problem, params, &tight_opts());
-        c.hadamard(&sol.x).unwrap().sum()
+        // Elementwise contraction <c, X*> without going through the
+        // shape-checked hadamard Result (shapes are equal by construction).
+        c.as_slice()
+            .iter()
+            .zip(sol.x.as_slice())
+            .map(|(ci, xi)| ci * xi)
+            .sum()
     }
 
     #[test]
@@ -471,8 +480,7 @@ mod tests {
             tp.times[(i, j)] += h;
             let mut tm = problem.clone();
             tm.times[(i, j)] -= h;
-            let numeric =
-                (probe_loss(&tp, &params, &c) - probe_loss(&tm, &params, &c)) / (2.0 * h);
+            let numeric = (probe_loss(&tp, &params, &c) - probe_loss(&tm, &params, &c)) / (2.0 * h);
             let analytic = grads.dl_dt[(i, j)];
             assert!(
                 (analytic - numeric).abs() < 2e-3 * (1.0 + numeric.abs()),

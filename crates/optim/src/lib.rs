@@ -24,6 +24,9 @@
 //!   stationarity system (Eq. 14–15), the MFCP-AD gradient path.
 //! * [`zeroth`] — the zeroth-order forward-gradient estimator of
 //!   Algorithm 2 (lines 5–11), the MFCP-FG gradient path.
+//! * [`recovery`] — fault-tolerant solving: health-guarded solver runs
+//!   with a fallback ladder (backed-off parameters → Newton → PGD
+//!   variants → greedy rounding) and per-stage diagnostics.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,6 +35,7 @@ pub mod exact;
 pub mod kkt;
 pub mod objective;
 pub mod problem;
+pub mod recovery;
 pub mod rounding;
 pub mod solver;
 pub mod speedup;
@@ -39,5 +43,9 @@ pub mod zeroth;
 
 pub use objective::{BarrierKind, CostKind, RelaxationParams};
 pub use problem::{Assignment, CapacityConstraint, MatchingProblem};
+pub use recovery::{
+    BackoffSchedule, FallbackStage, HealthPolicy, RobustSolution, RobustSolver, SolveDiagnostics,
+    SolveError, StageAttempt, StageOutcome,
+};
 pub use solver::{NewtonOptions, ProjectionKind, RelaxedSolution, SolverOptions};
 pub use speedup::SpeedupCurve;

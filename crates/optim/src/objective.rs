@@ -114,7 +114,11 @@ pub struct ClusterStats {
 }
 
 /// Computes the per-cluster statistics of `x` under `problem`/`params`.
-pub fn cluster_stats(problem: &MatchingProblem, params: &RelaxationParams, x: &Matrix) -> ClusterStats {
+pub fn cluster_stats(
+    problem: &MatchingProblem,
+    params: &RelaxationParams,
+    x: &Matrix,
+) -> ClusterStats {
     let m = problem.clusters();
     debug_assert_eq!(x.shape(), problem.times.shape());
     let mut count = vec![0.0; m];
@@ -347,7 +351,10 @@ mod tests {
             assert!(gap <= prev_gap + 1e-12, "gap must shrink with beta");
             prev_gap = gap;
         }
-        assert!(prev_gap < 1e-3, "beta=625 should be within 1e-3 of true max");
+        assert!(
+            prev_gap < 1e-3,
+            "beta=625 should be within 1e-3 of true max"
+        );
     }
 
     #[test]

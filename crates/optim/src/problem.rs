@@ -193,9 +193,7 @@ impl Assignment {
     /// The makespan `f(X, T)` of Eq. (3)/(16): the slowest cluster's
     /// completion time.
     pub fn makespan(&self, problem: &MatchingProblem) -> f64 {
-        self.cluster_times(problem)
-            .into_iter()
-            .fold(0.0, f64::max)
+        self.cluster_times(problem).into_iter().fold(0.0, f64::max)
     }
 
     /// Mean per-task success probability `(1/N) Σ_j a_{c(j), j}` — the

@@ -1,0 +1,1122 @@
+//! Fault-tolerant solving: health-guarded solver runs plus a fallback
+//! ladder.
+//!
+//! The plain solvers in [`crate::solver`] assume well-posed inputs and
+//! well-behaved parameters. Production traces are messier: predictors
+//! occasionally emit `NaN` execution times, barrier parameters get tuned
+//! to the edge of numerical validity, and a diverging run silently
+//! poisons everything downstream. [`RobustSolver`] wraps the existing
+//! solvers with per-iterate health checks (finiteness, objective
+//! divergence, stall and wall-clock budgets) and, on failure, walks a
+//! configurable ladder of progressively more conservative methods:
+//!
+//! 1. the configured first-order solver with the caller's parameters
+//!    ([`FallbackStage::Primary`]),
+//! 2. the same solver with backed-off relaxation parameters — smaller
+//!    smooth-max `β`, larger entropy `ρ`, softer barrier `ε`
+//!    ([`FallbackStage::BackedOff`]),
+//! 3. damped Newton on the barrier problem, skipped outside the convex
+//!    sequential setting ([`FallbackStage::Newton`]),
+//! 4. mirror-descent PGD with conservative parameters
+//!    ([`FallbackStage::MirrorDescent`]),
+//! 5. Euclidean PGD with conservative parameters
+//!    ([`FallbackStage::EuclideanPgd`]),
+//! 6. feasible greedy rounding — LPT assignment plus reliability and
+//!    capacity repair, which always produces a 0/1 column-stochastic
+//!    matching ([`FallbackStage::GreedyRounding`]).
+//!
+//! Every attempt is recorded in [`SolveDiagnostics`] so callers can see
+//! the recovery path taken instead of just a final answer.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use crate::objective::{self, BarrierKind, RelaxationParams};
+use crate::problem::{Assignment, MatchingProblem};
+use crate::solver::{
+    is_column_stochastic, solve_relaxed_from_guarded, solve_relaxed_newton_guarded, uniform_init,
+    NewtonOptions, ProjectionKind, RelaxedSolution, SolverOptions,
+};
+use mfcp_linalg::Matrix;
+
+/// A rung of the fallback ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackStage {
+    /// The configured first-order solver with the caller's parameters.
+    Primary,
+    /// The primary solver re-run with backed-off relaxation parameters.
+    BackedOff,
+    /// Damped Newton on the barrier problem (convex setting only).
+    Newton,
+    /// Mirror-descent PGD with conservative parameters.
+    MirrorDescent,
+    /// Euclidean-projection PGD with conservative parameters.
+    EuclideanPgd,
+    /// Greedy LPT rounding plus reliability/capacity repair.
+    GreedyRounding,
+}
+
+impl fmt::Display for FallbackStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            FallbackStage::Primary => "primary",
+            FallbackStage::BackedOff => "backoff",
+            FallbackStage::Newton => "newton",
+            FallbackStage::MirrorDescent => "mirror-descent",
+            FallbackStage::EuclideanPgd => "euclidean-pgd",
+            FallbackStage::GreedyRounding => "greedy-rounding",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Typed failure modes surfaced by [`RobustSolver`] instead of panics or
+/// silent `NaN` propagation.
+#[derive(Debug, Clone)]
+pub enum SolveError {
+    /// The problem data or relaxation parameters failed validation.
+    InvalidInput(String),
+    /// An iterate or its objective became `NaN`/`±∞`.
+    NonFinite {
+        /// Stage that produced the non-finite value.
+        stage: FallbackStage,
+        /// Iteration at which it was detected.
+        iteration: usize,
+    },
+    /// The objective rose far above the best value seen in this stage.
+    Diverged {
+        /// Diverging stage.
+        stage: FallbackStage,
+        /// Iteration at which divergence was detected.
+        iteration: usize,
+        /// Objective value at detection.
+        objective: f64,
+        /// Best objective seen before divergence.
+        reference: f64,
+    },
+    /// No measurable objective improvement for the configured window
+    /// while the step-change tolerance was still unmet.
+    Stalled {
+        /// Stalled stage.
+        stage: FallbackStage,
+        /// Iteration at which the stall was declared.
+        iteration: usize,
+    },
+    /// The shared wall-clock budget ran out mid-stage.
+    WallBudget {
+        /// Stage that exceeded the budget.
+        stage: FallbackStage,
+        /// Iteration at which the budget check fired.
+        iteration: usize,
+        /// Elapsed seconds since the solve started.
+        elapsed_secs: f64,
+    },
+    /// The Newton KKT system was singular.
+    SingularKkt {
+        /// Stage running the Newton iteration.
+        stage: FallbackStage,
+        /// Iteration whose factorization failed.
+        iteration: usize,
+    },
+    /// A stage returned an iterate whose columns left the simplex.
+    OffSimplex {
+        /// Offending stage.
+        stage: FallbackStage,
+    },
+    /// Every zeroth-order perturbation sample produced a non-finite
+    /// directional derivative (see
+    /// [`crate::zeroth::estimate_gradient_checked`]).
+    AllSamplesNonFinite {
+        /// Number of samples attempted.
+        samples: usize,
+    },
+    /// Every rung of the ladder failed; diagnostics record each attempt.
+    Exhausted {
+        /// Full per-stage record of the failed solve.
+        diagnostics: Box<SolveDiagnostics>,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::InvalidInput(reason) => write!(f, "invalid input: {reason}"),
+            SolveError::NonFinite { stage, iteration } => {
+                write!(f, "{stage}: non-finite iterate at iteration {iteration}")
+            }
+            SolveError::Diverged {
+                stage,
+                iteration,
+                objective,
+                reference,
+            } => write!(
+                f,
+                "{stage}: objective diverged at iteration {iteration} ({objective} vs best {reference})"
+            ),
+            SolveError::Stalled { stage, iteration } => {
+                write!(f, "{stage}: stalled without progress at iteration {iteration}")
+            }
+            SolveError::WallBudget {
+                stage,
+                iteration,
+                elapsed_secs,
+            } => write!(
+                f,
+                "{stage}: wall-clock budget exhausted at iteration {iteration} after {elapsed_secs:.3}s"
+            ),
+            SolveError::SingularKkt { stage, iteration } => {
+                write!(f, "{stage}: singular KKT system at iteration {iteration}")
+            }
+            SolveError::OffSimplex { stage } => {
+                write!(f, "{stage}: result columns left the probability simplex")
+            }
+            SolveError::AllSamplesNonFinite { samples } => {
+                write!(
+                    f,
+                    "all {samples} zeroth-order samples gave non-finite directional derivatives"
+                )
+            }
+            SolveError::Exhausted { diagnostics } => {
+                write!(f, "all fallback stages failed: {}", diagnostics.path())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Per-iterate health thresholds applied by [`RobustSolver`].
+#[derive(Debug, Clone, Copy)]
+pub struct HealthPolicy {
+    /// Objective-based checks run every this many iterations (finiteness
+    /// of the iterate itself is checked on every iteration).
+    pub check_every: usize,
+    /// Declare divergence when the objective exceeds
+    /// `best + slack + ratio·|best|`.
+    pub divergence_ratio: f64,
+    /// Additive part of the divergence threshold.
+    pub divergence_slack: f64,
+    /// Declare a stall after this many consecutive objective checks
+    /// without relative improvement beyond [`HealthPolicy::stall_tol`].
+    pub stall_checks: usize,
+    /// Relative improvement below which a check counts as stalled.
+    pub stall_tol: f64,
+    /// Stall checks only count while the solver's step magnitude exceeds
+    /// this floor — an iterate crawling toward its step-change tolerance
+    /// is converging, not stalled; large steps with no objective
+    /// improvement are an oscillation.
+    pub stall_step_floor: f64,
+    /// Shared wall-clock budget for the whole ladder; `None` disables
+    /// the budget. Greedy rounding always runs regardless.
+    pub wall_limit: Option<Duration>,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            check_every: 10,
+            divergence_ratio: 5.0,
+            divergence_slack: 5.0,
+            stall_checks: 25,
+            stall_tol: 1e-12,
+            stall_step_floor: 1e-4,
+            wall_limit: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+/// Parameter back-off schedule used by [`FallbackStage::BackedOff`] and,
+/// at full strength, by the conservative fallback rungs.
+#[derive(Debug, Clone, Copy)]
+pub struct BackoffSchedule {
+    /// Number of backed-off retries before moving down the ladder.
+    pub retries: usize,
+    /// Multiplicative shrink applied to the smooth-max sharpness `β`
+    /// per retry.
+    pub beta_factor: f64,
+    /// Lower clamp for the backed-off `β`.
+    pub beta_floor: f64,
+    /// Multiplicative growth applied to the entropy weight `ρ` per
+    /// retry (a larger `ρ` keeps the KKT system better conditioned).
+    pub rho_factor: f64,
+    /// `ρ` is raised to at least this value before growing.
+    pub rho_floor: f64,
+    /// Multiplicative growth applied to the log-barrier cutoff `ε` per
+    /// retry (a softer barrier keeps gradients finite near the
+    /// constraint boundary).
+    pub eps_factor: f64,
+    /// `ε` is raised to at least this value before growing.
+    pub eps_floor: f64,
+}
+
+impl Default for BackoffSchedule {
+    fn default() -> Self {
+        BackoffSchedule {
+            retries: 2,
+            beta_factor: 0.5,
+            beta_floor: 0.5,
+            rho_factor: 4.0,
+            rho_floor: 1e-3,
+            eps_factor: 10.0,
+            eps_floor: 1e-4,
+        }
+    }
+}
+
+impl BackoffSchedule {
+    /// Relaxation parameters after `level` rounds of back-off
+    /// (`level = 0` returns `params` unchanged).
+    pub fn backed_off(&self, params: &RelaxationParams, level: usize) -> RelaxationParams {
+        let mut out = *params;
+        for _ in 0..level {
+            out.beta = (out.beta * self.beta_factor).max(self.beta_floor);
+            out.rho = out.rho.max(self.rho_floor) * self.rho_factor;
+            if let BarrierKind::Log { eps } = out.barrier {
+                let softened = (eps.max(self.eps_floor) * self.eps_factor).min(0.1);
+                out.barrier = BarrierKind::Log { eps: softened };
+            }
+        }
+        out
+    }
+}
+
+/// How a single ladder attempt ended.
+#[derive(Debug, Clone)]
+pub enum StageOutcome {
+    /// The stage produced a healthy solution.
+    Success,
+    /// The stage aborted with a typed error.
+    Failed(SolveError),
+    /// The stage was not applicable and was skipped (reason attached).
+    Skipped(String),
+}
+
+/// Record of one attempt at one rung of the ladder.
+#[derive(Debug, Clone)]
+pub struct StageAttempt {
+    /// The rung attempted.
+    pub stage: FallbackStage,
+    /// Retry index within the rung (only [`FallbackStage::BackedOff`]
+    /// retries; every other rung uses `0`).
+    pub retry: usize,
+    /// Iterations the underlying solver performed.
+    pub iterations: usize,
+    /// Whether the underlying solver reported convergence.
+    pub converged: bool,
+    /// Final objective of the attempt, when one was computed.
+    pub objective: Option<f64>,
+    /// Wall-clock seconds spent in this attempt.
+    pub elapsed_secs: f64,
+    /// Outcome of the attempt.
+    pub outcome: StageOutcome,
+}
+
+/// Diagnostics for a whole [`RobustSolver::solve`] call: every attempt in
+/// order, whether recovery was needed, and total wall time.
+#[derive(Debug, Clone)]
+pub struct SolveDiagnostics {
+    /// Every stage attempt, in execution order.
+    pub attempts: Vec<StageAttempt>,
+    /// True when at least one attempt failed before a later one
+    /// succeeded (i.e. the ladder actually recovered something).
+    pub recovered: bool,
+    /// Total wall-clock seconds across all attempts.
+    pub total_secs: f64,
+}
+
+impl SolveDiagnostics {
+    /// Human-readable recovery path, e.g.
+    /// `"primary x(non-finite) -> backoff#1 ok"`.
+    pub fn path(&self) -> String {
+        let mut parts = Vec::with_capacity(self.attempts.len());
+        for a in &self.attempts {
+            let label = if a.stage == FallbackStage::BackedOff {
+                format!("{}#{}", a.stage, a.retry)
+            } else {
+                a.stage.to_string()
+            };
+            let mark = match &a.outcome {
+                StageOutcome::Success => "ok".to_string(),
+                StageOutcome::Failed(err) => format!("x({})", short_reason(err)),
+                StageOutcome::Skipped(_) => "skipped".to_string(),
+            };
+            parts.push(format!("{label} {mark}"));
+        }
+        parts.join(" -> ")
+    }
+
+    /// Number of attempts that ended in [`StageOutcome::Failed`].
+    pub fn failures(&self) -> usize {
+        self.attempts
+            .iter()
+            .filter(|a| matches!(a.outcome, StageOutcome::Failed(_)))
+            .count()
+    }
+}
+
+fn short_reason(err: &SolveError) -> &'static str {
+    match err {
+        SolveError::InvalidInput(_) => "invalid-input",
+        SolveError::NonFinite { .. } => "non-finite",
+        SolveError::Diverged { .. } => "diverged",
+        SolveError::Stalled { .. } => "stalled",
+        SolveError::WallBudget { .. } => "wall-budget",
+        SolveError::SingularKkt { .. } => "singular-kkt",
+        SolveError::OffSimplex { .. } => "off-simplex",
+        SolveError::AllSamplesNonFinite { .. } => "non-finite-samples",
+        SolveError::Exhausted { .. } => "exhausted",
+    }
+}
+
+/// A successful robust solve: the matching plus how it was obtained.
+#[derive(Debug, Clone)]
+pub struct RobustSolution {
+    /// Column-stochastic matching (fractional, or 0/1 from the greedy
+    /// rung).
+    pub x: Matrix,
+    /// Objective value of `x` (for the greedy rung, evaluated under the
+    /// conservative backed-off parameters so it stays finite even when
+    /// the caller's parameters are degenerate).
+    pub objective: f64,
+    /// The rung that produced the result.
+    pub stage: FallbackStage,
+    /// Discrete assignment, present when the greedy rung produced the
+    /// result.
+    pub assignment: Option<Assignment>,
+    /// Full record of the recovery path.
+    pub diagnostics: SolveDiagnostics,
+}
+
+/// The default rung order: primary, backed-off retries, Newton, mirror
+/// descent, Euclidean PGD, greedy rounding.
+pub fn default_ladder() -> Vec<FallbackStage> {
+    vec![
+        FallbackStage::Primary,
+        FallbackStage::BackedOff,
+        FallbackStage::Newton,
+        FallbackStage::MirrorDescent,
+        FallbackStage::EuclideanPgd,
+        FallbackStage::GreedyRounding,
+    ]
+}
+
+/// Fault-tolerant wrapper around the relaxed-matching solvers.
+///
+/// ```
+/// use mfcp_linalg::Matrix;
+/// use mfcp_optim::recovery::RobustSolver;
+/// use mfcp_optim::{MatchingProblem, RelaxationParams};
+///
+/// let times = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+/// let rel = Matrix::filled(2, 2, 0.9);
+/// let problem = MatchingProblem::new(times, rel, 0.8);
+/// let sol = RobustSolver::new(RelaxationParams::default())
+///     .solve(&problem)
+///     .expect("healthy instance solves");
+/// assert!(sol.objective.is_finite());
+/// assert!(!sol.diagnostics.recovered);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RobustSolver {
+    /// Relaxation parameters for the primary attempt.
+    pub params: RelaxationParams,
+    /// First-order solver options (projection kind, step size, budget).
+    pub solver_opts: SolverOptions,
+    /// Newton options for the [`FallbackStage::Newton`] rung.
+    pub newton_opts: NewtonOptions,
+    /// Health thresholds applied to every guarded stage.
+    pub policy: HealthPolicy,
+    /// Parameter back-off schedule.
+    pub backoff: BackoffSchedule,
+    /// Rung order; defaults to [`default_ladder`].
+    pub ladder: Vec<FallbackStage>,
+}
+
+impl RobustSolver {
+    /// A robust solver with default options around `params`.
+    pub fn new(params: RelaxationParams) -> Self {
+        RobustSolver {
+            params,
+            solver_opts: SolverOptions::default(),
+            newton_opts: NewtonOptions::default(),
+            policy: HealthPolicy::default(),
+            backoff: BackoffSchedule::default(),
+            ladder: default_ladder(),
+        }
+    }
+
+    /// The conservative parameters used by the fallback rungs (full
+    /// back-off applied to the caller's parameters).
+    pub fn safe_params(&self) -> RelaxationParams {
+        self.backoff
+            .backed_off(&self.params, self.backoff.retries.max(1))
+    }
+
+    /// Solves `problem`, walking the fallback ladder on failure.
+    ///
+    /// Returns the first healthy solution together with the full
+    /// per-stage diagnostics, [`SolveError::InvalidInput`] when the
+    /// problem data or parameters are malformed, or
+    /// [`SolveError::Exhausted`] when every configured rung failed.
+    pub fn solve(&self, problem: &MatchingProblem) -> Result<RobustSolution, SolveError> {
+        validate_problem(problem)?;
+        validate_params(&self.params)?;
+        let start = Instant::now();
+        let convex = problem.speedup.iter().all(|c| c.is_trivial());
+        let mut attempts: Vec<StageAttempt> = Vec::new();
+
+        for &stage in &self.ladder {
+            if stage != FallbackStage::GreedyRounding && self.budget_spent(start) {
+                attempts.push(StageAttempt {
+                    stage,
+                    retry: 0,
+                    iterations: 0,
+                    converged: false,
+                    objective: None,
+                    elapsed_secs: 0.0,
+                    outcome: StageOutcome::Skipped("wall-clock budget exhausted".into()),
+                });
+                continue;
+            }
+            match stage {
+                FallbackStage::Primary => {
+                    let opts = self.solver_opts;
+                    if let Some(sol) =
+                        self.try_pgd(problem, stage, 0, self.params, opts, start, &mut attempts)
+                    {
+                        return Ok(self.finish(sol, stage, None, attempts, start));
+                    }
+                }
+                FallbackStage::BackedOff => {
+                    for retry in 1..=self.backoff.retries {
+                        if self.budget_spent(start) {
+                            break;
+                        }
+                        let params = self.backoff.backed_off(&self.params, retry);
+                        let opts = self.solver_opts;
+                        if let Some(sol) =
+                            self.try_pgd(problem, stage, retry, params, opts, start, &mut attempts)
+                        {
+                            return Ok(self.finish(sol, stage, None, attempts, start));
+                        }
+                    }
+                }
+                FallbackStage::Newton => {
+                    if !convex {
+                        attempts.push(StageAttempt {
+                            stage,
+                            retry: 0,
+                            iterations: 0,
+                            converged: false,
+                            objective: None,
+                            elapsed_secs: 0.0,
+                            outcome: StageOutcome::Skipped(
+                                "parallel speedup curves: Newton needs the convex sequential \
+                                 setting"
+                                    .into(),
+                            ),
+                        });
+                        continue;
+                    }
+                    if let Some(sol) = self.try_newton(problem, start, &mut attempts) {
+                        return Ok(self.finish(sol, stage, None, attempts, start));
+                    }
+                }
+                FallbackStage::MirrorDescent | FallbackStage::EuclideanPgd => {
+                    let mut opts = self.solver_opts;
+                    opts.projection = if stage == FallbackStage::MirrorDescent {
+                        ProjectionKind::MirrorDescent
+                    } else {
+                        ProjectionKind::Euclidean
+                    };
+                    let params = self.safe_params();
+                    if let Some(sol) =
+                        self.try_pgd(problem, stage, 0, params, opts, start, &mut attempts)
+                    {
+                        return Ok(self.finish(sol, stage, None, attempts, start));
+                    }
+                }
+                FallbackStage::GreedyRounding => {
+                    let t0 = Instant::now();
+                    let mut asg = crate::exact::greedy_lpt(problem);
+                    crate::rounding::repair_reliability(problem, &mut asg);
+                    if problem.capacity.is_some() {
+                        crate::rounding::repair_capacity(problem, &mut asg);
+                    }
+                    let x = asg.to_matrix(problem.clusters());
+                    let objective = objective::value(problem, &self.safe_params(), &x);
+                    let sol = RelaxedSolution {
+                        x,
+                        objective,
+                        iterations: 0,
+                        converged: true,
+                    };
+                    attempts.push(StageAttempt {
+                        stage,
+                        retry: 0,
+                        iterations: 0,
+                        converged: true,
+                        objective: Some(objective),
+                        elapsed_secs: t0.elapsed().as_secs_f64(),
+                        outcome: StageOutcome::Success,
+                    });
+                    return Ok(self.finish(sol, stage, Some(asg), attempts, start));
+                }
+            }
+        }
+
+        Err(SolveError::Exhausted {
+            diagnostics: Box::new(SolveDiagnostics {
+                recovered: false,
+                total_secs: start.elapsed().as_secs_f64(),
+                attempts,
+            }),
+        })
+    }
+
+    fn budget_spent(&self, start: Instant) -> bool {
+        self.policy
+            .wall_limit
+            .is_some_and(|limit| start.elapsed() >= limit)
+    }
+
+    /// Runs a guarded PGD attempt; records it and returns the solution
+    /// on success.
+    #[allow(clippy::too_many_arguments)]
+    fn try_pgd(
+        &self,
+        problem: &MatchingProblem,
+        stage: FallbackStage,
+        retry: usize,
+        params: RelaxationParams,
+        opts: SolverOptions,
+        start: Instant,
+        attempts: &mut Vec<StageAttempt>,
+    ) -> Option<RelaxedSolution> {
+        let t0 = Instant::now();
+        let mut guard = GuardRunner::new(problem, params, &self.policy, start, stage);
+        let x0 = uniform_init(problem.clusters(), problem.tasks());
+        let result = solve_relaxed_from_guarded(problem, &params, &opts, x0, &mut |it, x, step| {
+            guard.check(it, x, step)
+        });
+        self.record(stage, retry, t0, result, attempts)
+    }
+
+    /// Runs the guarded Newton attempt with conservative parameters.
+    fn try_newton(
+        &self,
+        problem: &MatchingProblem,
+        start: Instant,
+        attempts: &mut Vec<StageAttempt>,
+    ) -> Option<RelaxedSolution> {
+        let stage = FallbackStage::Newton;
+        let params = self.safe_params();
+        let t0 = Instant::now();
+        let mut guard = GuardRunner::new(problem, params, &self.policy, start, stage);
+        let result = solve_relaxed_newton_guarded(
+            problem,
+            &params,
+            &self.newton_opts,
+            &mut |it, x, step| guard.check(it, x, step),
+        );
+        self.record(stage, 0, t0, result, attempts)
+    }
+
+    /// Health-checks a finished attempt, records it, and returns the
+    /// solution when it is usable.
+    fn record(
+        &self,
+        stage: FallbackStage,
+        retry: usize,
+        t0: Instant,
+        result: Result<RelaxedSolution, SolveError>,
+        attempts: &mut Vec<StageAttempt>,
+    ) -> Option<RelaxedSolution> {
+        let elapsed_secs = t0.elapsed().as_secs_f64();
+        match result {
+            Ok(sol) => {
+                let healthy =
+                    sol.objective.is_finite() && sol.x.as_slice().iter().all(|v| v.is_finite());
+                let on_simplex = healthy && is_column_stochastic(&sol.x, 1e-6);
+                let outcome = if !healthy {
+                    StageOutcome::Failed(SolveError::NonFinite {
+                        stage,
+                        iteration: sol.iterations,
+                    })
+                } else if !on_simplex {
+                    StageOutcome::Failed(SolveError::OffSimplex { stage })
+                } else {
+                    StageOutcome::Success
+                };
+                let usable = matches!(outcome, StageOutcome::Success);
+                attempts.push(StageAttempt {
+                    stage,
+                    retry,
+                    iterations: sol.iterations,
+                    converged: sol.converged,
+                    objective: Some(sol.objective),
+                    elapsed_secs,
+                    outcome,
+                });
+                usable.then_some(sol)
+            }
+            Err(err) => {
+                attempts.push(StageAttempt {
+                    stage,
+                    retry,
+                    iterations: error_iteration(&err),
+                    converged: false,
+                    objective: None,
+                    elapsed_secs,
+                    outcome: StageOutcome::Failed(err),
+                });
+                None
+            }
+        }
+    }
+
+    fn finish(
+        &self,
+        sol: RelaxedSolution,
+        stage: FallbackStage,
+        assignment: Option<Assignment>,
+        attempts: Vec<StageAttempt>,
+        start: Instant,
+    ) -> RobustSolution {
+        let recovered = attempts
+            .iter()
+            .any(|a| matches!(a.outcome, StageOutcome::Failed(_)));
+        RobustSolution {
+            x: sol.x,
+            objective: sol.objective,
+            stage,
+            assignment,
+            diagnostics: SolveDiagnostics {
+                attempts,
+                recovered,
+                total_secs: start.elapsed().as_secs_f64(),
+            },
+        }
+    }
+}
+
+fn error_iteration(err: &SolveError) -> usize {
+    match err {
+        SolveError::NonFinite { iteration, .. }
+        | SolveError::Diverged { iteration, .. }
+        | SolveError::Stalled { iteration, .. }
+        | SolveError::WallBudget { iteration, .. }
+        | SolveError::SingularKkt { iteration, .. } => *iteration,
+        _ => 0,
+    }
+}
+
+/// Per-iterate health state threaded through a guarded solver run.
+struct GuardRunner<'a> {
+    problem: &'a MatchingProblem,
+    params: RelaxationParams,
+    policy: &'a HealthPolicy,
+    start: Instant,
+    stage: FallbackStage,
+    best: f64,
+    stall_count: usize,
+}
+
+impl<'a> GuardRunner<'a> {
+    fn new(
+        problem: &'a MatchingProblem,
+        params: RelaxationParams,
+        policy: &'a HealthPolicy,
+        start: Instant,
+        stage: FallbackStage,
+    ) -> Self {
+        GuardRunner {
+            problem,
+            params,
+            policy,
+            start,
+            stage,
+            best: f64::INFINITY,
+            stall_count: 0,
+        }
+    }
+
+    fn check(&mut self, iteration: usize, x: &Matrix, step: f64) -> Result<(), SolveError> {
+        if x.as_slice().iter().any(|v| !v.is_finite()) {
+            return Err(SolveError::NonFinite {
+                stage: self.stage,
+                iteration,
+            });
+        }
+        if let Some(limit) = self.policy.wall_limit {
+            if self.start.elapsed() >= limit {
+                return Err(SolveError::WallBudget {
+                    stage: self.stage,
+                    iteration,
+                    elapsed_secs: self.start.elapsed().as_secs_f64(),
+                });
+            }
+        }
+        if iteration == 1 || iteration.is_multiple_of(self.policy.check_every.max(1)) {
+            let obj = objective::value(self.problem, &self.params, x);
+            if !obj.is_finite() {
+                return Err(SolveError::NonFinite {
+                    stage: self.stage,
+                    iteration,
+                });
+            }
+            if self.best.is_finite() {
+                let ceiling = self.best
+                    + self.policy.divergence_slack
+                    + self.policy.divergence_ratio * self.best.abs();
+                if obj > ceiling {
+                    return Err(SolveError::Diverged {
+                        stage: self.stage,
+                        iteration,
+                        objective: obj,
+                        reference: self.best,
+                    });
+                }
+                let improved = obj < self.best - self.policy.stall_tol * (1.0 + self.best.abs());
+                if improved {
+                    self.stall_count = 0;
+                } else if step > self.policy.stall_step_floor {
+                    // Sizable steps with no objective improvement: the
+                    // iterate is bouncing, not converging.
+                    self.stall_count += 1;
+                    if self.stall_count > self.policy.stall_checks {
+                        return Err(SolveError::Stalled {
+                            stage: self.stage,
+                            iteration,
+                        });
+                    }
+                }
+            }
+            if obj < self.best {
+                self.best = obj;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn validate_problem(problem: &MatchingProblem) -> Result<(), SolveError> {
+    let (m, n) = (problem.clusters(), problem.tasks());
+    if m == 0 && n > 0 {
+        return Err(SolveError::InvalidInput(format!(
+            "{n} tasks but no clusters to place them on"
+        )));
+    }
+    if problem.reliability.shape() != (m, n) {
+        return Err(SolveError::InvalidInput(format!(
+            "reliability shape {:?} does not match times shape {:?}",
+            problem.reliability.shape(),
+            (m, n)
+        )));
+    }
+    if problem.speedup.len() != m {
+        return Err(SolveError::InvalidInput(format!(
+            "{} speedup curves for {m} clusters",
+            problem.speedup.len()
+        )));
+    }
+    if !problem.gamma.is_finite() {
+        return Err(SolveError::InvalidInput(format!(
+            "non-finite reliability threshold gamma = {}",
+            problem.gamma
+        )));
+    }
+    for i in 0..m {
+        for j in 0..n {
+            let t = problem.times[(i, j)];
+            if !t.is_finite() || t < 0.0 {
+                return Err(SolveError::InvalidInput(format!(
+                    "times[({i}, {j})] = {t} (must be finite and non-negative)"
+                )));
+            }
+            let a = problem.reliability[(i, j)];
+            if !a.is_finite() || !(0.0..=1.0).contains(&a) {
+                return Err(SolveError::InvalidInput(format!(
+                    "reliability[({i}, {j})] = {a} (must be in [0, 1])"
+                )));
+            }
+        }
+    }
+    if let Some(cap) = &problem.capacity {
+        if cap.usage.shape() != (m, n) {
+            return Err(SolveError::InvalidInput(format!(
+                "capacity usage shape {:?} does not match {:?}",
+                cap.usage.shape(),
+                (m, n)
+            )));
+        }
+        if cap.limits.len() != m {
+            return Err(SolveError::InvalidInput(format!(
+                "{} capacity limits for {m} clusters",
+                cap.limits.len()
+            )));
+        }
+        if cap
+            .usage
+            .as_slice()
+            .iter()
+            .any(|u| !u.is_finite() || *u < 0.0)
+        {
+            return Err(SolveError::InvalidInput(
+                "capacity usage must be finite and non-negative".into(),
+            ));
+        }
+        if cap.limits.iter().any(|l| !l.is_finite() || *l <= 0.0) {
+            return Err(SolveError::InvalidInput(
+                "capacity limits must be finite and positive".into(),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn validate_params(params: &RelaxationParams) -> Result<(), SolveError> {
+    if !params.beta.is_finite() || params.beta <= 0.0 {
+        return Err(SolveError::InvalidInput(format!(
+            "smooth-max beta = {} (must be finite and positive)",
+            params.beta
+        )));
+    }
+    if !params.lambda.is_finite() || params.lambda < 0.0 {
+        return Err(SolveError::InvalidInput(format!(
+            "barrier weight lambda = {} (must be finite and non-negative)",
+            params.lambda
+        )));
+    }
+    if !params.rho.is_finite() || params.rho < 0.0 {
+        return Err(SolveError::InvalidInput(format!(
+            "entropy weight rho = {} (must be finite and non-negative)",
+            params.rho
+        )));
+    }
+    if let BarrierKind::Log { eps } = params.barrier {
+        if !eps.is_finite() || eps < 0.0 {
+            return Err(SolveError::InvalidInput(format!(
+                "log-barrier eps = {eps} (must be finite and non-negative)"
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::speedup::SpeedupCurve;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_problem(seed: u64, m: usize, n: usize) -> MatchingProblem {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = Matrix::from_fn(m, n, |_, _| rng.gen_range(0.5..3.0));
+        let a = Matrix::from_fn(m, n, |_, _| rng.gen_range(0.7..1.0));
+        MatchingProblem::new(t, a, 0.75)
+    }
+
+    /// A problem that is reliability-infeasible at the uniform starting
+    /// point: with a zero-cutoff log barrier the very first gradient is
+    /// `-∞` and the plain solver's iterates go `NaN` immediately.
+    fn degenerate_barrier_setup() -> (MatchingProblem, RelaxationParams) {
+        let t = Matrix::filled(2, 4, 1.0);
+        let a = Matrix::filled(2, 4, 0.7);
+        let problem = MatchingProblem::new(t, a, 0.95);
+        let params = RelaxationParams {
+            barrier: BarrierKind::Log { eps: 0.0 },
+            ..Default::default()
+        };
+        (problem, params)
+    }
+
+    #[test]
+    fn healthy_problem_succeeds_on_primary() {
+        let problem = random_problem(1, 3, 6);
+        let mut solver = RobustSolver::new(RelaxationParams::default());
+        // At the default lr = 0.8 mirror descent enters a large-step limit
+        // cycle on this instance (which the stall guard rightly flags and
+        // the ladder recovers from); lr = 0.3 converges monotonically.
+        solver.solver_opts.lr = 0.3;
+        let sol = solver.solve(&problem).expect("healthy instance solves");
+        assert_eq!(
+            sol.stage,
+            FallbackStage::Primary,
+            "path: {} | attempts: {:?}",
+            sol.diagnostics.path(),
+            sol.diagnostics.attempts
+        );
+        assert!(!sol.diagnostics.recovered);
+        assert_eq!(sol.diagnostics.attempts.len(), 1);
+        assert!(is_column_stochastic(&sol.x, 1e-6));
+        assert!(sol.objective.is_finite());
+    }
+
+    #[test]
+    fn zero_eps_barrier_recovers_through_backoff() {
+        let (problem, params) = degenerate_barrier_setup();
+        // The unguarded solver silently returns a NaN matching here.
+        let raw = crate::solver::solve_relaxed(&problem, &params, &SolverOptions::default());
+        assert!(
+            raw.x.as_slice().iter().any(|v| v.is_nan()),
+            "setup must actually break the plain solver"
+        );
+
+        let sol = RobustSolver::new(params)
+            .solve(&problem)
+            .expect("ladder must recover");
+        assert!(
+            sol.diagnostics.recovered,
+            "path: {}",
+            sol.diagnostics.path()
+        );
+        assert_ne!(sol.stage, FallbackStage::Primary);
+        assert!(is_column_stochastic(&sol.x, 1e-6));
+        assert!(sol.x.as_slice().iter().all(|v| v.is_finite()));
+        assert!(sol.objective.is_finite());
+        // The primary attempt must be on record as a non-finite failure.
+        let first = &sol.diagnostics.attempts[0];
+        assert_eq!(first.stage, FallbackStage::Primary);
+        assert!(
+            matches!(
+                first.outcome,
+                StageOutcome::Failed(SolveError::NonFinite { .. })
+            ),
+            "unexpected first outcome: {:?}",
+            first.outcome
+        );
+    }
+
+    #[test]
+    fn nan_times_rejected_as_invalid_input() {
+        let mut problem = random_problem(2, 2, 3);
+        problem.times[(0, 0)] = f64::NAN;
+        let err = RobustSolver::new(RelaxationParams::default())
+            .solve(&problem)
+            .unwrap_err();
+        assert!(matches!(err, SolveError::InvalidInput(_)), "{err}");
+    }
+
+    #[test]
+    fn nan_beta_rejected_as_invalid_input() {
+        let problem = random_problem(3, 2, 3);
+        let params = RelaxationParams {
+            beta: f64::NAN,
+            ..Default::default()
+        };
+        let err = RobustSolver::new(params).solve(&problem).unwrap_err();
+        assert!(matches!(err, SolveError::InvalidInput(_)), "{err}");
+    }
+
+    #[test]
+    fn tasks_without_clusters_rejected() {
+        let problem = MatchingProblem::new(Matrix::zeros(0, 3), Matrix::zeros(0, 3), 0.5);
+        let err = RobustSolver::new(RelaxationParams::default())
+            .solve(&problem)
+            .unwrap_err();
+        assert!(matches!(err, SolveError::InvalidInput(_)), "{err}");
+    }
+
+    #[test]
+    fn truncated_ladder_exhausts_with_diagnostics() {
+        let (problem, params) = degenerate_barrier_setup();
+        let mut solver = RobustSolver::new(params);
+        solver.ladder = vec![FallbackStage::Primary];
+        let err = solver.solve(&problem).unwrap_err();
+        let SolveError::Exhausted { diagnostics } = err else {
+            panic!("expected exhaustion, got {err}");
+        };
+        assert_eq!(diagnostics.attempts.len(), 1);
+        assert_eq!(diagnostics.failures(), 1);
+    }
+
+    #[test]
+    fn greedy_rung_alone_produces_feasible_assignment() {
+        let problem = random_problem(4, 3, 7);
+        let mut solver = RobustSolver::new(RelaxationParams::default());
+        solver.ladder = vec![FallbackStage::GreedyRounding];
+        let sol = solver.solve(&problem).expect("greedy rung is infallible");
+        assert_eq!(sol.stage, FallbackStage::GreedyRounding);
+        let asg = sol.assignment.expect("greedy rung returns an assignment");
+        assert_eq!(asg.tasks(), 7);
+        assert!(is_column_stochastic(&sol.x, 1e-12));
+        assert!(sol.x.as_slice().iter().all(|&v| v == 0.0 || v == 1.0));
+    }
+
+    #[test]
+    fn newton_skipped_for_parallel_speedups() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = Matrix::from_fn(2, 4, |_, _| rng.gen_range(0.5..2.0));
+        let a = Matrix::from_fn(2, 4, |_, _| rng.gen_range(0.7..1.0));
+        let problem =
+            MatchingProblem::with_speedup(t, a, 0.95, vec![SpeedupCurve::paper_parallel(); 2]);
+        let params = RelaxationParams {
+            barrier: BarrierKind::Log { eps: 0.0 },
+            ..Default::default()
+        };
+        // Skip the backed-off retries (which would already fix the broken
+        // barrier) so the ladder actually reaches the Newton rung.
+        let mut solver = RobustSolver::new(params);
+        solver.ladder = vec![
+            FallbackStage::Primary,
+            FallbackStage::Newton,
+            FallbackStage::GreedyRounding,
+        ];
+        let sol = solver
+            .solve(&problem)
+            .expect("ladder must not panic on the parallel setting");
+        assert!(
+            sol.diagnostics.attempts.iter().any(|a| {
+                a.stage == FallbackStage::Newton && matches!(a.outcome, StageOutcome::Skipped(_))
+            }),
+            "Newton must be recorded as skipped, path: {}",
+            sol.diagnostics.path()
+        );
+        assert!(is_column_stochastic(&sol.x, 1e-6));
+    }
+
+    #[test]
+    fn empty_task_set_is_fine() {
+        let problem = MatchingProblem::new(Matrix::zeros(2, 0), Matrix::zeros(2, 0), 0.5);
+        let sol = RobustSolver::new(RelaxationParams::default())
+            .solve(&problem)
+            .expect("empty task set solves trivially");
+        assert_eq!(sol.x.shape(), (2, 0));
+    }
+
+    #[test]
+    fn backoff_schedule_softens_parameters() {
+        let schedule = BackoffSchedule::default();
+        let params = RelaxationParams {
+            beta: 8.0,
+            rho: 0.0,
+            barrier: BarrierKind::Log { eps: 0.0 },
+            ..Default::default()
+        };
+        let once = schedule.backed_off(&params, 1);
+        assert!((once.beta - 4.0).abs() < 1e-12);
+        assert!(once.rho > 0.0);
+        let BarrierKind::Log { eps } = once.barrier else {
+            panic!("barrier kind must be preserved");
+        };
+        assert!(eps > 0.0);
+        // Floors hold under heavy back-off.
+        let deep = schedule.backed_off(&params, 40);
+        assert!(deep.beta >= schedule.beta_floor);
+        let BarrierKind::Log { eps } = deep.barrier else {
+            panic!("barrier kind must be preserved");
+        };
+        assert!(eps <= 0.1 + 1e-12);
+    }
+
+    #[test]
+    fn diagnostics_path_is_readable() {
+        let (problem, params) = degenerate_barrier_setup();
+        let sol = RobustSolver::new(params).solve(&problem).unwrap();
+        let path = sol.diagnostics.path();
+        assert!(path.contains("primary x(non-finite)"), "path: {path}");
+        assert!(path.contains("ok"), "path: {path}");
+    }
+}

@@ -49,8 +49,7 @@ pub fn repair_reliability(problem: &MatchingProblem, assignment: &mut Assignment
                 if c == current {
                     continue;
                 }
-                let gain =
-                    problem.reliability[(c, j)] - problem.reliability[(current, j)];
+                let gain = problem.reliability[(c, j)] - problem.reliability[(current, j)];
                 if gain <= 0.0 {
                     continue;
                 }
@@ -324,8 +323,7 @@ mod tests {
         for seed in 0..10 {
             let problem = random_problem(seed, 3, 8, 0.75);
             let mut rng = StdRng::seed_from_u64(100 + seed);
-            let mut asg =
-                Assignment::new((0..8).map(|_| rng.gen_range(0..3)).collect());
+            let mut asg = Assignment::new((0..8).map(|_| rng.gen_range(0..3)).collect());
             let before = asg.makespan(&problem);
             let feasible_before = asg.is_feasible(&problem);
             local_search(&problem, &mut asg, 10);
@@ -350,15 +348,12 @@ mod tests {
         assert!(asg.capacity_feasible(&problem));
 
         // Impossible case: total usage exceeds total capacity.
-        let problem2 = MatchingProblem::new(
-            Matrix::filled(2, 4, 1.0),
-            Matrix::filled(2, 4, 0.95),
-            0.0,
-        )
-        .with_capacity(CapacityConstraint::new(
-            Matrix::filled(2, 4, 1.0),
-            vec![1.0, 1.0],
-        ));
+        let problem2 =
+            MatchingProblem::new(Matrix::filled(2, 4, 1.0), Matrix::filled(2, 4, 0.95), 0.0)
+                .with_capacity(CapacityConstraint::new(
+                    Matrix::filled(2, 4, 1.0),
+                    vec![1.0, 1.0],
+                ));
         let mut asg2 = Assignment::new(vec![0, 0, 1, 1]);
         assert!(!repair_capacity(&problem2, &mut asg2));
     }

@@ -17,7 +17,15 @@
 
 use crate::objective::{self, RelaxationParams};
 use crate::problem::MatchingProblem;
+use crate::recovery::{FallbackStage, SolveError};
 use mfcp_linalg::{vector, Matrix};
+
+/// Per-iterate health hook used by the guarded solver entry points in
+/// [`crate::recovery`]: called after every accepted iterate with the
+/// iteration count, the current matching, and the step magnitude
+/// (`max |ΔX|` for PGD, `α·max|Δx|` for Newton); returning an error
+/// aborts the solve.
+pub(crate) type IterGuard<'a> = &'a mut dyn FnMut(usize, &Matrix, f64) -> Result<(), SolveError>;
 
 /// Simplex-projection flavor used after each gradient step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,18 +110,33 @@ pub fn solve_relaxed_from(
     problem: &MatchingProblem,
     params: &RelaxationParams,
     opts: &SolverOptions,
-    mut x: Matrix,
+    x: Matrix,
 ) -> RelaxedSolution {
+    match solve_relaxed_from_guarded(problem, params, opts, x, &mut |_, _, _| Ok(())) {
+        Ok(sol) => sol,
+        Err(_) => unreachable!("the no-op guard never fails"),
+    }
+}
+
+/// Guarded variant of [`solve_relaxed_from`]: `guard` is invoked after
+/// every iterate update and may abort the solve with a typed error.
+pub(crate) fn solve_relaxed_from_guarded(
+    problem: &MatchingProblem,
+    params: &RelaxationParams,
+    opts: &SolverOptions,
+    mut x: Matrix,
+    guard: IterGuard<'_>,
+) -> Result<RelaxedSolution, SolveError> {
     let (m, n) = (problem.clusters(), problem.tasks());
     assert_eq!(x.shape(), (m, n), "x0 shape mismatch");
     if n == 0 || m == 0 {
         let objective = objective::value(problem, params, &x);
-        return RelaxedSolution {
+        return Ok(RelaxedSolution {
             x,
             objective,
             iterations: 0,
             converged: true,
-        };
+        });
     }
     let mut converged = false;
     let mut iterations = 0;
@@ -161,18 +184,19 @@ pub fn solve_relaxed_from(
                 }
             }
         }
+        guard(iterations, &x, max_change)?;
         if max_change < opts.tol {
             converged = true;
             break;
         }
     }
     let objective = objective::value(problem, params, &x);
-    RelaxedSolution {
+    Ok(RelaxedSolution {
         x,
         objective,
         iterations,
         converged,
-    }
+    })
 }
 
 /// Options for [`solve_relaxed_newton`].
@@ -223,6 +247,32 @@ pub fn solve_relaxed_newton(
     params: &RelaxationParams,
     opts: &NewtonOptions,
 ) -> RelaxedSolution {
+    match solve_relaxed_newton_impl(problem, params, opts, false, &mut |_, _, _| Ok(())) {
+        Ok(sol) => sol,
+        Err(_) => unreachable!("non-strict Newton with a no-op guard never fails"),
+    }
+}
+
+/// Guarded variant of [`solve_relaxed_newton`]. With `strict` set, a
+/// singular KKT system is reported as [`SolveError::SingularKkt`] instead
+/// of silently returning the current iterate; `guard` runs after every
+/// accepted Newton step.
+pub(crate) fn solve_relaxed_newton_guarded(
+    problem: &MatchingProblem,
+    params: &RelaxationParams,
+    opts: &NewtonOptions,
+    guard: IterGuard<'_>,
+) -> Result<RelaxedSolution, SolveError> {
+    solve_relaxed_newton_impl(problem, params, opts, true, guard)
+}
+
+fn solve_relaxed_newton_impl(
+    problem: &MatchingProblem,
+    params: &RelaxationParams,
+    opts: &NewtonOptions,
+    strict: bool,
+    guard: IterGuard<'_>,
+) -> Result<RelaxedSolution, SolveError> {
     assert!(
         problem.speedup.iter().all(|c| c.is_trivial()),
         "Newton solver requires the convex (sequential) setting"
@@ -231,12 +281,12 @@ pub fn solve_relaxed_newton(
     let mut x = uniform_init(m, n);
     if m == 0 || n == 0 {
         let objective = objective::value(problem, params, &x);
-        return RelaxedSolution {
+        return Ok(RelaxedSolution {
             x,
             objective,
             iterations: 0,
             converged: true,
-        };
+        });
     }
     let mn = m * n;
     let mut converged = false;
@@ -279,11 +329,16 @@ pub fn solve_relaxed_newton(
                 rhs[i * n + j] = -grad[(i, j)];
             }
         }
-        let Ok(lu) = mfcp_linalg::lu::Lu::factor(&k) else {
-            break; // singular KKT system: return the current iterate
-        };
-        let Ok(step_full) = lu.solve(&rhs) else {
-            break;
+        let factored = mfcp_linalg::lu::Lu::factor(&k).and_then(|lu| lu.solve(&rhs));
+        let step_full = match factored {
+            Ok(step_full) => step_full,
+            Err(_) if strict => {
+                return Err(SolveError::SingularKkt {
+                    stage: FallbackStage::Newton,
+                    iteration: iterations,
+                })
+            }
+            Err(_) => break, // singular KKT system: return the current iterate
         };
         let mut step = Matrix::from_fn(m, n, |i, j| step_full[i * n + j]);
 
@@ -339,6 +394,7 @@ pub fn solve_relaxed_newton(
             converged = true;
             break;
         }
+        guard(iterations, &x, alpha * step.max_abs())?;
         // Objective stagnation: the clamped/renormalized iterate has hit
         // the resolution limit of the floored entropy term — the point is
         // optimal to within floating-point reproducibility.
@@ -355,35 +411,67 @@ pub fn solve_relaxed_newton(
         f_prev = f_new;
     }
     let objective = objective::value(problem, params, &x);
-    RelaxedSolution {
+    Ok(RelaxedSolution {
         x,
         objective,
         iterations,
         converged,
-    }
+    })
 }
 
 /// Euclidean projection of `v` onto the probability simplex
 /// (Held–Wolfe–Crowder / sort-based algorithm).
+///
+/// Non-finite input is handled deterministically instead of poisoning the
+/// sort-based path (where a NaN pivot silently corrupts `θ`):
+///
+/// * `NaN` and `-∞` entries carry no mass and project to `0`.
+/// * If any entry is `+∞`, the unit mass is split uniformly over the
+///   `+∞` entries and every other entry is `0`.
+/// * If *no* entry is finite (and none is `+∞`), the result is the
+///   uniform vector `1/n`.
 pub fn project_simplex(v: &mut [f64]) {
     let n = v.len();
     if n == 0 {
         return;
     }
+    if v.iter().any(|x| !x.is_finite()) {
+        let pos_inf = v.iter().filter(|x| **x == f64::INFINITY).count();
+        if pos_inf > 0 {
+            let share = 1.0 / pos_inf as f64;
+            for vi in v.iter_mut() {
+                *vi = if *vi == f64::INFINITY { share } else { 0.0 };
+            }
+            return;
+        }
+        let finite: Vec<f64> = v.iter().copied().filter(|x| x.is_finite()).collect();
+        if finite.is_empty() {
+            v.fill(1.0 / n as f64);
+            return;
+        }
+        let mut projected = finite;
+        project_simplex(&mut projected);
+        let mut next = projected.into_iter();
+        for vi in v.iter_mut() {
+            *vi = if vi.is_finite() {
+                next.next().expect("one projected value per finite entry")
+            } else {
+                0.0
+            };
+        }
+        return;
+    }
     let mut u = v.to_vec();
     u.sort_by(|a, b| b.total_cmp(a));
     let mut css = 0.0;
-    let mut rho = 0;
     let mut theta = 0.0;
     for (k, &uk) in u.iter().enumerate() {
         css += uk;
         let t = (css - 1.0) / (k + 1) as f64;
         if uk - t > 0.0 {
-            rho = k;
             theta = t;
         }
     }
-    let _ = rho;
     for vi in v.iter_mut() {
         *vi = (*vi - theta).max(0.0);
     }
@@ -454,6 +542,57 @@ mod tests {
             }
             assert!((v.iter().sum::<f64>() - 1.0).abs() < 1e-9);
             assert!(v.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn project_simplex_nan_entries_get_no_mass() {
+        let mut v = vec![f64::NAN, 2.0, f64::NAN, 0.0];
+        project_simplex(&mut v);
+        assert_eq!(v[0], 0.0);
+        assert_eq!(v[2], 0.0);
+        assert!((v[1] - 1.0).abs() < 1e-12, "{v:?}");
+        assert_eq!(v[3], 0.0);
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn project_simplex_neg_infinity_gets_no_mass() {
+        let mut v = vec![f64::NEG_INFINITY, 0.25, 0.25];
+        project_simplex(&mut v);
+        assert_eq!(v[0], 0.0);
+        assert!((v[1] - 0.5).abs() < 1e-12, "{v:?}");
+        assert!((v[2] - 0.5).abs() < 1e-12, "{v:?}");
+    }
+
+    #[test]
+    fn project_simplex_pos_infinity_dominates() {
+        let mut v = vec![1.0, f64::INFINITY, f64::INFINITY, f64::NAN];
+        project_simplex(&mut v);
+        assert_eq!(v, vec![0.0, 0.5, 0.5, 0.0]);
+    }
+
+    #[test]
+    fn project_simplex_all_invalid_falls_back_to_uniform() {
+        let mut v = vec![f64::NAN, f64::NEG_INFINITY, f64::NAN, f64::NAN];
+        project_simplex(&mut v);
+        assert_eq!(v, vec![0.25; 4]);
+    }
+
+    #[test]
+    fn project_simplex_nonfinite_result_is_idempotent() {
+        for case in [
+            vec![f64::NAN, 3.0, -1.0],
+            vec![f64::INFINITY, 0.0, f64::NAN],
+            vec![f64::NAN, f64::NAN],
+        ] {
+            let mut v = case;
+            project_simplex(&mut v);
+            let first = v.clone();
+            project_simplex(&mut v);
+            assert_eq!(v, first);
+            assert!((v.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            assert!(v.iter().all(|&x| x.is_finite() && x >= 0.0));
         }
     }
 
@@ -563,7 +702,10 @@ mod tests {
             "tight constraint should shift mass to the reliable cluster: {mass1_loose} vs {mass1_tight}"
         );
         let slack = objective::reliability_slack(&tight, &sol_tight.x);
-        assert!(slack > -0.02, "solution should be near-feasible, slack={slack}");
+        assert!(
+            slack > -0.02,
+            "solution should be near-feasible, slack={slack}"
+        );
     }
 
     #[test]
@@ -574,11 +716,15 @@ mod tests {
         let problem = random_problem(7, 3, 5);
         let params = RelaxationParams::default();
         let mut gaps = Vec::new();
+        // A conservative step size keeps the trajectory monotone; at the
+        // default lr = 0.8 this instance overshoots early and transiently
+        // dips below its own limit point, which breaks the gap comparison.
         let final_sol = solve_relaxed(
             &problem,
             &params,
             &SolverOptions {
                 max_iters: 2000,
+                lr: 0.4,
                 tol: 0.0,
                 ..Default::default()
             },
@@ -589,6 +735,7 @@ mod tests {
                 &params,
                 &SolverOptions {
                     max_iters: iters,
+                    lr: 0.4,
                     tol: 0.0,
                     ..Default::default()
                 },
@@ -606,12 +753,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let t = Matrix::from_fn(3, 8, |_, _| rng.gen_range(0.5..3.0));
         let a = Matrix::from_fn(3, 8, |_, _| rng.gen_range(0.7..1.0));
-        let problem = MatchingProblem::with_speedup(
-            t,
-            a,
-            0.75,
-            vec![SpeedupCurve::paper_parallel(); 3],
-        );
+        let problem =
+            MatchingProblem::with_speedup(t, a, 0.75, vec![SpeedupCurve::paper_parallel(); 3]);
         let params = RelaxationParams::default();
         let x0 = uniform_init(3, 8);
         let initial = objective::value(&problem, &params, &x0);
@@ -636,14 +779,21 @@ mod tests {
         };
         let sol = solve_relaxed(&problem, &params, &SolverOptions::default());
         for j in 0..3 {
-            assert!(sol.x[(0, j)] > 0.9, "task {j} should sit on the fast cluster");
+            assert!(
+                sol.x[(0, j)] > 0.9,
+                "task {j} should sit on the fast cluster"
+            );
         }
     }
 
     #[test]
     fn empty_problem() {
         let problem = MatchingProblem::new(Matrix::zeros(2, 0), Matrix::zeros(2, 0), 0.5);
-        let sol = solve_relaxed(&problem, &RelaxationParams::default(), &SolverOptions::default());
+        let sol = solve_relaxed(
+            &problem,
+            &RelaxationParams::default(),
+            &SolverOptions::default(),
+        );
         assert!(sol.converged);
         assert_eq!(sol.x.shape(), (2, 0));
     }
@@ -715,19 +865,23 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let t = Matrix::from_fn(2, 3, |_, _| rng.gen_range(0.5..2.0));
         let a = Matrix::from_fn(2, 3, |_, _| rng.gen_range(0.7..1.0));
-        let problem = MatchingProblem::with_speedup(
-            t,
-            a,
-            0.7,
-            vec![SpeedupCurve::paper_parallel(); 2],
+        let problem =
+            MatchingProblem::with_speedup(t, a, 0.7, vec![SpeedupCurve::paper_parallel(); 2]);
+        solve_relaxed_newton(
+            &problem,
+            &RelaxationParams::default(),
+            &NewtonOptions::default(),
         );
-        solve_relaxed_newton(&problem, &RelaxationParams::default(), &NewtonOptions::default());
     }
 
     #[test]
     fn newton_empty_problem() {
         let problem = MatchingProblem::new(Matrix::zeros(2, 0), Matrix::zeros(2, 0), 0.5);
-        let sol = solve_relaxed_newton(&problem, &RelaxationParams::default(), &NewtonOptions::default());
+        let sol = solve_relaxed_newton(
+            &problem,
+            &RelaxationParams::default(),
+            &NewtonOptions::default(),
+        );
         assert!(sol.converged);
     }
 }

@@ -119,9 +119,7 @@ impl ThreadPool {
     {
         let sender = self.sender.as_ref().ok_or(PoolError::Closed)?;
         self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
-        sender
-            .send(Box::new(job))
-            .map_err(|_| PoolError::Closed)?;
+        sender.send(Box::new(job)).map_err(|_| PoolError::Closed)?;
         Ok(())
     }
 

@@ -161,10 +161,7 @@ where
 {
     let threads = config.effective_threads(items.len());
     if threads <= 1 {
-        return items
-            .iter()
-            .map(map)
-            .fold(identity, &reduce);
+        return items.iter().map(map).fold(identity, &reduce);
     }
     let chunk = items.len().div_ceil(threads);
     let partials: Vec<U> = crossbeam::thread::scope(|scope| {
@@ -174,20 +171,13 @@ where
             .chunks(chunk)
             .map(|in_chunk| {
                 let id = identity.clone();
-                scope.spawn(move |_| {
-                    in_chunk
-                        .iter()
-                        .map(map)
-                        .fold(id, reduce)
-                })
+                scope.spawn(move |_| in_chunk.iter().map(map).fold(id, reduce))
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     })
     .expect("par_reduce worker panicked");
-    partials
-        .into_iter()
-        .fold(identity, reduce)
+    partials.into_iter().fold(identity, reduce)
 }
 
 #[cfg(test)]
@@ -230,11 +220,16 @@ mod tests {
     #[test]
     fn chunks_mut_writes_disjoint_ranges() {
         let mut data = vec![0usize; 103];
-        par_chunks_mut(&ParallelConfig::with_threads(4), &mut data, 10, |base, chunk| {
-            for (i, slot) in chunk.iter_mut().enumerate() {
-                *slot = base + i;
-            }
-        });
+        par_chunks_mut(
+            &ParallelConfig::with_threads(4),
+            &mut data,
+            10,
+            |base, chunk| {
+                for (i, slot) in chunk.iter_mut().enumerate() {
+                    *slot = base + i;
+                }
+            },
+        );
         assert_eq!(data, (0..103).collect::<Vec<_>>());
     }
 

@@ -143,9 +143,8 @@ impl PlatformDataset {
     /// Selects a subset of task indices into a new dataset.
     pub fn select(&self, indices: &[usize]) -> PlatformDataset {
         let tasks: Vec<TaskSpec> = indices.iter().map(|&j| self.tasks[j].clone()).collect();
-        let pick_cols = |m: &Matrix| {
-            Matrix::from_fn(m.rows(), indices.len(), |r, c| m[(r, indices[c])])
-        };
+        let pick_cols =
+            |m: &Matrix| Matrix::from_fn(m.rows(), indices.len(), |r, c| m[(r, indices[c])]);
         let features = Matrix::from_fn(indices.len(), self.features.cols(), |r, c| {
             self.features[(indices[r], c)]
         });
@@ -176,7 +175,10 @@ impl PlatformDataset {
         tasks.extend(other.tasks.iter().cloned());
         PlatformDataset {
             tasks,
-            features: self.features.vstack(&other.features).expect("shapes checked"),
+            features: self
+                .features
+                .vstack(&other.features)
+                .expect("shapes checked"),
             times: self.times.hstack(&other.times).expect("shapes checked"),
             reliability: self
                 .reliability
@@ -204,7 +206,11 @@ impl PlatformDataset {
     }
 
     /// Deterministic split into `(train, test)` by shuffled indices.
-    pub fn split(&self, train_fraction: f64, rng: &mut impl Rng) -> (PlatformDataset, PlatformDataset) {
+    pub fn split(
+        &self,
+        train_fraction: f64,
+        rng: &mut impl Rng,
+    ) -> (PlatformDataset, PlatformDataset) {
         let mut idx: Vec<usize> = (0..self.len()).collect();
         for i in (1..idx.len()).rev() {
             let j = rng.gen_range(0..=i);
@@ -251,7 +257,10 @@ mod tests {
         let d = make(12, 1, NoiseConfig::default());
         assert_eq!(d.len(), 12);
         assert_eq!(d.clusters(), 3);
-        assert_eq!(d.features.shape(), (12, FeatureEmbedder::default_platform().dim()));
+        assert_eq!(
+            d.features.shape(),
+            (12, FeatureEmbedder::default_platform().dim())
+        );
         assert_eq!(d.times.shape(), (3, 12));
         assert_eq!(d.reliability.shape(), (3, 12));
     }

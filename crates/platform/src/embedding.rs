@@ -48,8 +48,7 @@ impl FeatureEmbedder {
         assert!(raw_indices.iter().all(|&i| i < RAW_FEATURES));
         let mut rng = StdRng::seed_from_u64(seed);
         let scale = (2.0 / RAW_FEATURES as f64).sqrt();
-        let projection =
-            Matrix::from_fn(RAW_FEATURES, dim, |_, _| rng.gen_range(-scale..scale));
+        let projection = Matrix::from_fn(RAW_FEATURES, dim, |_, _| rng.gen_range(-scale..scale));
         FeatureEmbedder {
             dim,
             projection,

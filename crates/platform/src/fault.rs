@@ -1,0 +1,471 @@
+//! Cluster-outage and straggler fault injection.
+//!
+//! [`crate::execution`] replays a matching under *task-level* failures
+//! (reliability draws). Real exchange platforms also lose whole clusters
+//! mid-run — a third-party provider reboots, a network partition hits —
+//! and individual attempts straggle. This module injects both fault
+//! classes into the execution replay and adds the operational response:
+//! failure-aware re-matching, where a failed attempt may move to the
+//! cluster with the earliest projected finish, under a bounded per-task
+//! attempt budget.
+//!
+//! The timing model extends the aggregate one of
+//! [`mfcp_optim::Assignment::cluster_times`]: each cluster processes its
+//! queue sequentially at `ζ_i(n_i) · t_ij` per attempt (the batching
+//! factor `ζ` stays fixed at the *planned* loads, so re-matching does not
+//! retroactively re-batch), and the simulation interleaves clusters by
+//! picking whichever has the earliest clock.
+
+use mfcp_optim::{Assignment, MatchingProblem};
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// A full-cluster outage window: the cluster performs no work during
+/// `[start, start + duration)`, and any attempt in flight when the window
+/// opens is killed with its partial work lost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterOutage {
+    /// Index of the cluster that goes down.
+    pub cluster: usize,
+    /// Wall-clock time at which the outage begins.
+    pub start: f64,
+    /// Length of the outage.
+    pub duration: f64,
+}
+
+impl ClusterOutage {
+    /// An outage of `duration` on `cluster` beginning at `start`.
+    pub fn new(cluster: usize, start: f64, duration: f64) -> Self {
+        ClusterOutage {
+            cluster,
+            start,
+            duration,
+        }
+    }
+}
+
+/// A fault-injection plan for one simulated round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Scheduled cluster outages.
+    pub outages: Vec<ClusterOutage>,
+    /// Probability that any single attempt straggles.
+    pub straggler_prob: f64,
+    /// Execution-time multiplier applied to a straggling attempt (≥ 1).
+    pub straggler_slowdown: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// The empty plan: no outages, no stragglers.
+    pub fn none() -> Self {
+        FaultPlan {
+            outages: Vec::new(),
+            straggler_prob: 0.0,
+            straggler_slowdown: 1.0,
+        }
+    }
+
+    /// Adds an outage window (builder-style).
+    pub fn with_outage(mut self, outage: ClusterOutage) -> Self {
+        self.outages.push(outage);
+        self
+    }
+
+    /// Sets the straggler model (builder-style).
+    pub fn with_stragglers(mut self, prob: f64, slowdown: f64) -> Self {
+        self.straggler_prob = prob;
+        self.straggler_slowdown = slowdown;
+        self
+    }
+
+    /// Checks the plan against a platform of `clusters` clusters.
+    pub fn validate(&self, clusters: usize) -> Result<(), String> {
+        for (k, o) in self.outages.iter().enumerate() {
+            if o.cluster >= clusters {
+                return Err(format!(
+                    "outage {k}: cluster {} out of range (m = {clusters})",
+                    o.cluster
+                ));
+            }
+            if !o.start.is_finite() || o.start < 0.0 {
+                return Err(format!("outage {k}: bad start {}", o.start));
+            }
+            if !o.duration.is_finite() || o.duration < 0.0 {
+                return Err(format!("outage {k}: bad duration {}", o.duration));
+            }
+        }
+        if !(0.0..=1.0).contains(&self.straggler_prob) {
+            return Err(format!("bad straggler_prob {}", self.straggler_prob));
+        }
+        if !self.straggler_slowdown.is_finite() || self.straggler_slowdown < 1.0 {
+            return Err(format!(
+                "bad straggler_slowdown {} (must be ≥ 1)",
+                self.straggler_slowdown
+            ));
+        }
+        Ok(())
+    }
+
+    /// Per-cluster outage windows `(start, end)`, sorted by start;
+    /// zero-length windows are dropped.
+    fn windows(&self, clusters: usize) -> Vec<Vec<(f64, f64)>> {
+        let mut w = vec![Vec::new(); clusters];
+        for o in &self.outages {
+            if o.duration > 0.0 {
+                w[o.cluster].push((o.start, o.start + o.duration));
+            }
+        }
+        for wi in &mut w {
+            wi.sort_by(|a, b| a.0.total_cmp(&b.0));
+        }
+        w
+    }
+}
+
+/// The outcome of one fault-injected execution round.
+#[derive(Debug, Clone)]
+pub struct FaultyExecutionReport {
+    /// Wall-clock time at which the last task completed (0 if none did).
+    pub makespan: f64,
+    /// Total attempts per task.
+    pub attempts: Vec<usize>,
+    /// Tasks that exhausted their attempt budget.
+    pub abandoned: Vec<usize>,
+    /// Tasks that were re-matched away from their planned cluster at
+    /// least once.
+    pub remapped: Vec<usize>,
+    /// The cluster each task last ran (or was queued) on.
+    pub final_cluster: Vec<usize>,
+    /// Attempts killed in flight by an opening outage window.
+    pub outage_kills: usize,
+    /// Attempts that straggled.
+    pub stragglers: usize,
+    /// Time burnt on failed or killed attempts, per cluster.
+    pub wasted_time: Vec<f64>,
+    /// Tasks that completed successfully.
+    pub successes: usize,
+    /// `successes / N` (1.0 for an empty round).
+    pub success_rate: f64,
+}
+
+/// Advances `clock` past every outage window that contains it (windows
+/// sorted by start, so one pass suffices).
+fn past_outages(mut clock: f64, windows: &[(f64, f64)]) -> f64 {
+    for &(s, e) in windows {
+        if s <= clock && clock < e {
+            clock = e;
+        }
+    }
+    clock
+}
+
+/// Replays `assignment` under the fault plan with failure-aware
+/// re-matching: every failed attempt (reliability draw or outage kill)
+/// consumes one unit of the task's `max_attempts` budget, and a task with
+/// budget left re-queues on the cluster with the earliest projected
+/// finish — which may be a different cluster than the planned one.
+///
+/// # Panics
+///
+/// Panics if the plan fails [`FaultPlan::validate`], the assignment and
+/// problem disagree on size, or `max_attempts == 0`.
+pub fn simulate_with_faults(
+    problem: &MatchingProblem,
+    assignment: &Assignment,
+    plan: &FaultPlan,
+    max_attempts: usize,
+    rng: &mut impl Rng,
+) -> FaultyExecutionReport {
+    let m = problem.clusters();
+    let n = assignment.tasks();
+    assert_eq!(n, problem.tasks(), "assignment/problem size mismatch");
+    assert!(max_attempts >= 1, "need at least one attempt per task");
+    if let Err(msg) = plan.validate(m) {
+        panic!("invalid fault plan: {msg}");
+    }
+
+    // Batching factors frozen at the planned loads.
+    let counts = assignment.loads(m);
+    let factor: Vec<f64> = (0..m)
+        .map(|i| problem.speedup[i].eval(counts[i] as f64))
+        .collect();
+    let windows = plan.windows(m);
+
+    let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); m];
+    for (j, &c) in assignment.cluster_of.iter().enumerate() {
+        queues[c].push_back(j);
+    }
+
+    let mut clock = vec![0.0f64; m];
+    let mut finish = vec![0.0f64; m];
+    let mut wasted_time = vec![0.0f64; m];
+    let mut attempts = vec![0usize; n];
+    let mut final_cluster = assignment.cluster_of.clone();
+    let mut was_remapped = vec![false; n];
+    let mut abandoned = Vec::new();
+    let mut outage_kills = 0usize;
+    let mut stragglers = 0usize;
+    let mut successes = 0usize;
+
+    // Next attempt runs on the busiest-free (earliest-clock) cluster
+    // with pending work; ties break toward the lowest index.
+    while let Some(i) = (0..m)
+        .filter(|&i| !queues[i].is_empty())
+        .min_by(|&a, &b| clock[a].total_cmp(&clock[b]))
+    {
+        let j = queues[i].pop_front().expect("non-empty queue");
+
+        // Dispatch-time re-matching: if this cluster is down right now,
+        // move the task to the cluster with the earliest projected finish
+        // instead of waiting out the outage (no attempt is consumed — the
+        // task never started). Moves require a strictly better candidate,
+        // so a task on the least-bad cluster settles and waits.
+        let ready = past_outages(clock[i], &windows[i]);
+        if ready > clock[i] {
+            let k = (0..m)
+                .min_by(|&a, &b| {
+                    let fa =
+                        past_outages(clock[a], &windows[a]) + factor[a] * problem.times[(a, j)];
+                    let fb =
+                        past_outages(clock[b], &windows[b]) + factor[b] * problem.times[(b, j)];
+                    fa.total_cmp(&fb)
+                })
+                .expect("at least one cluster");
+            if k != i {
+                was_remapped[j] = true;
+                final_cluster[j] = k;
+                queues[k].push_back(j);
+                continue;
+            }
+        }
+
+        attempts[j] += 1;
+        clock[i] = ready;
+
+        let mut duration = factor[i] * problem.times[(i, j)];
+        if plan.straggler_prob > 0.0 && rng.gen_bool(plan.straggler_prob) {
+            duration *= plan.straggler_slowdown;
+            stragglers += 1;
+        }
+
+        // An outage window opening mid-attempt kills the attempt: the
+        // partial work until the window opens is lost.
+        let kill = windows[i]
+            .iter()
+            .find(|&&(s, _)| clock[i] < s && s < clock[i] + duration)
+            .copied();
+        let failed = if let Some((s, _)) = kill {
+            // The clock stops where the cluster went down, not at the
+            // window's end — the next dispatch sees the cluster as down
+            // and can migrate instead of waiting.
+            wasted_time[i] += s - clock[i];
+            clock[i] = s;
+            outage_kills += 1;
+            true
+        } else {
+            clock[i] += duration;
+            let p = problem.reliability[(i, j)].clamp(0.0, 1.0);
+            if rng.gen_bool(p) {
+                finish[i] = clock[i];
+                successes += 1;
+                false
+            } else {
+                wasted_time[i] += duration;
+                true
+            }
+        };
+
+        if failed {
+            if attempts[j] >= max_attempts {
+                abandoned.push(j);
+                continue;
+            }
+            // Failure-aware re-matching: earliest projected finish,
+            // looking past any outage the candidate is currently in.
+            let k = (0..m)
+                .min_by(|&a, &b| {
+                    let fa =
+                        past_outages(clock[a], &windows[a]) + factor[a] * problem.times[(a, j)];
+                    let fb =
+                        past_outages(clock[b], &windows[b]) + factor[b] * problem.times[(b, j)];
+                    fa.total_cmp(&fb)
+                })
+                .expect("at least one cluster");
+            if k != i {
+                was_remapped[j] = true;
+            }
+            final_cluster[j] = k;
+            queues[k].push_back(j);
+        }
+    }
+
+    let makespan = finish.iter().cloned().fold(0.0, f64::max);
+    let success_rate = if n == 0 {
+        1.0
+    } else {
+        successes as f64 / n as f64
+    };
+    let remapped = (0..n).filter(|&j| was_remapped[j]).collect();
+    FaultyExecutionReport {
+        makespan,
+        attempts,
+        abandoned,
+        remapped,
+        final_cluster,
+        outage_kills,
+        stragglers,
+        wasted_time,
+        successes,
+        success_rate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfcp_linalg::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn reliable_problem(m: usize, n: usize, t: f64) -> MatchingProblem {
+        MatchingProblem::new(Matrix::filled(m, n, t), Matrix::filled(m, n, 1.0), 0.5)
+    }
+
+    #[test]
+    fn no_faults_matches_planned_makespan() {
+        let p = reliable_problem(2, 4, 1.0);
+        let asg = Assignment::new(vec![0, 0, 1, 1]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = simulate_with_faults(&p, &asg, &FaultPlan::none(), 3, &mut rng);
+        assert_eq!(r.attempts, vec![1; 4]);
+        assert!(r.abandoned.is_empty());
+        assert!(r.remapped.is_empty());
+        assert_eq!(r.outage_kills, 0);
+        assert_eq!(r.stragglers, 0);
+        assert_eq!(r.successes, 4);
+        assert!((r.makespan - asg.makespan(&p)).abs() < 1e-12);
+        assert_eq!(r.final_cluster, asg.cluster_of);
+    }
+
+    #[test]
+    fn outage_kills_inflight_work_and_remaps_to_survivor() {
+        // Cluster 0 dies at t = 0.5 for effectively the whole run; its
+        // tasks (1s each) are killed mid-flight and must migrate to
+        // cluster 1.
+        let p = reliable_problem(2, 3, 1.0);
+        let asg = Assignment::new(vec![0, 0, 0]);
+        let plan = FaultPlan::none().with_outage(ClusterOutage::new(0, 0.5, 1000.0));
+        let mut rng = StdRng::seed_from_u64(2);
+        let r = simulate_with_faults(&p, &asg, &plan, 3, &mut rng);
+        assert!(r.outage_kills >= 1, "first attempt must be killed at 0.5");
+        assert_eq!(r.successes, 3, "all tasks recover on the survivor");
+        assert!(r.abandoned.is_empty());
+        assert_eq!(r.remapped, vec![0, 1, 2]);
+        assert!(r.final_cluster.iter().all(|&c| c == 1));
+        // Cluster 1 is idle (ζ at planned load 0 is 1): three serial
+        // seconds there, so the makespan lands at ~3 despite the outage.
+        assert!(r.makespan <= 3.0 + 1e-9, "makespan {}", r.makespan);
+        assert!(r.wasted_time[0] > 0.0, "killed work is wasted");
+    }
+
+    #[test]
+    fn outage_kill_consumes_the_only_attempt() {
+        // One cluster, attempt budget 1. The first task is killed in
+        // flight when the outage opens and has no budget left; the second
+        // was still queued, so it waits the outage out (there is nowhere
+        // to migrate) and completes afterwards.
+        let p = reliable_problem(1, 2, 1.0);
+        let asg = Assignment::new(vec![0, 0]);
+        let plan = FaultPlan::none().with_outage(ClusterOutage::new(0, 0.25, 1e9));
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = simulate_with_faults(&p, &asg, &plan, 1, &mut rng);
+        assert_eq!(r.abandoned, vec![0]);
+        assert_eq!(r.successes, 1);
+        assert_eq!(r.outage_kills, 1);
+        assert!(r.remapped.is_empty(), "nowhere to migrate");
+        assert!(r.makespan > 1e9, "the survivor ran after the outage");
+        assert_eq!(r.success_rate, 0.5);
+    }
+
+    #[test]
+    fn stragglers_inflate_makespan() {
+        let p = reliable_problem(1, 4, 1.0);
+        let asg = Assignment::new(vec![0; 4]);
+        let plan = FaultPlan::none().with_stragglers(1.0, 5.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let r = simulate_with_faults(&p, &asg, &plan, 2, &mut rng);
+        assert_eq!(r.stragglers, 4);
+        assert!((r.makespan - 5.0 * asg.makespan(&p)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn retry_in_place_when_own_cluster_is_fastest() {
+        // Unreliable but much faster than the alternative: failed
+        // attempts should retry in place, not migrate.
+        let t = Matrix::from_rows(&[&[1.0, 1.0], &[50.0, 50.0]]);
+        let a = Matrix::from_rows(&[&[0.5, 0.5], &[1.0, 1.0]]);
+        let p = MatchingProblem::new(t, a, 0.0);
+        let asg = Assignment::new(vec![0, 0]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let r = simulate_with_faults(&p, &asg, &FaultPlan::none(), 10, &mut rng);
+        assert!(r.remapped.is_empty(), "no reason to leave the fast cluster");
+        assert_eq!(r.successes, 2);
+        assert!(r.final_cluster.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let p = reliable_problem(2, 5, 1.0);
+        let asg = Assignment::new(vec![0, 1, 0, 1, 0]);
+        let plan = FaultPlan::none()
+            .with_outage(ClusterOutage::new(0, 1.0, 2.0))
+            .with_stragglers(0.3, 2.0);
+        let a = simulate_with_faults(&p, &asg, &plan, 4, &mut StdRng::seed_from_u64(9));
+        let b = simulate_with_faults(&p, &asg, &plan, 4, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a.attempts, b.attempts);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.final_cluster, b.final_cluster);
+        assert_eq!(a.stragglers, b.stragglers);
+    }
+
+    #[test]
+    fn validate_rejects_malformed_plans() {
+        assert!(FaultPlan::none().validate(2).is_ok());
+        assert!(FaultPlan::none()
+            .with_outage(ClusterOutage::new(5, 0.0, 1.0))
+            .validate(2)
+            .is_err());
+        assert!(FaultPlan::none()
+            .with_outage(ClusterOutage::new(0, f64::NAN, 1.0))
+            .validate(2)
+            .is_err());
+        assert!(FaultPlan::none()
+            .with_outage(ClusterOutage::new(0, 0.0, -1.0))
+            .validate(2)
+            .is_err());
+        assert!(FaultPlan::none()
+            .with_stragglers(1.5, 2.0)
+            .validate(2)
+            .is_err());
+        assert!(FaultPlan::none()
+            .with_stragglers(0.5, 0.5)
+            .validate(2)
+            .is_err());
+    }
+
+    #[test]
+    fn empty_round_is_trivially_successful() {
+        let p = MatchingProblem::new(Matrix::zeros(2, 0), Matrix::zeros(2, 0), 0.5);
+        let asg = Assignment::new(vec![]);
+        let mut rng = StdRng::seed_from_u64(11);
+        let r = simulate_with_faults(&p, &asg, &FaultPlan::none(), 3, &mut rng);
+        assert_eq!(r.success_rate, 1.0);
+        assert_eq!(r.makespan, 0.0);
+    }
+}

@@ -30,6 +30,9 @@
 //!   A/B/C (§4.3).
 //! * [`execution`] — a failure-injecting execution simulator producing
 //!   the makespan / reliability / utilization numbers of §4.1.3.
+//! * [`fault`] — mid-run cluster outages and stragglers on top of the
+//!   execution replay, with failure-aware re-matching under a bounded
+//!   attempt budget.
 //! * [`metrics`] — mean ± std accumulators used by every experiment.
 //! * [`trace`] — CSV import/export of measurement traces.
 //! * [`scheduler`] — explicit within-cluster schedules (sequential and
@@ -42,6 +45,7 @@ pub mod cluster;
 pub mod dataset;
 pub mod embedding;
 pub mod execution;
+pub mod fault;
 pub mod metrics;
 pub mod scheduler;
 pub mod settings;
@@ -54,6 +58,7 @@ pub mod prelude {
     pub use crate::dataset::{ClusterTaskData, PlatformDataset};
     pub use crate::embedding::FeatureEmbedder;
     pub use crate::execution::{simulate_execution, ExecutionReport};
+    pub use crate::fault::{simulate_with_faults, ClusterOutage, FaultPlan, FaultyExecutionReport};
     pub use crate::metrics::{paired_comparison, MeanStd, PairedComparison};
     pub use crate::settings::{ClusterPool, Setting};
     pub use crate::task::{TaskFamily, TaskGenerator, TaskSpec};

@@ -159,8 +159,7 @@ mod tests {
     fn standard_pool_has_eight_diverse_clusters() {
         let pool = ClusterPool::standard();
         assert_eq!(pool.len(), 8);
-        let classes: std::collections::HashSet<_> =
-            pool.clusters.iter().map(|c| c.accel).collect();
+        let classes: std::collections::HashSet<_> = pool.clusters.iter().map(|c| c.accel).collect();
         assert!(classes.len() >= 4, "pool should span accelerator classes");
     }
 

@@ -121,8 +121,7 @@ impl TaskSpec {
     /// checkpointing and micro-batching in practice), linearly in width
     /// and depth.
     pub fn memory_units(&self) -> f64 {
-        let act =
-            (self.batch_size as f64).sqrt() * self.width as f64 * self.depth as f64 * 1.2e-4;
+        let act = (self.batch_size as f64).sqrt() * self.width as f64 * self.depth as f64 * 1.2e-4;
         act * self.corpus.sample_size().sqrt() + self.params_millions() * 0.05
     }
 
@@ -214,21 +213,21 @@ impl TaskGenerator {
         let width = match family {
             TaskFamily::Cnn => {
                 if heavyweight {
-                    *[64, 128, 192].get(rng.gen_range(0..3)).unwrap()
+                    *[64, 128, 192].get(rng.gen_range(0..3usize)).unwrap()
                 } else {
-                    *[64, 128, 256, 384].get(rng.gen_range(0..4)).unwrap()
+                    *[64, 128, 256, 384].get(rng.gen_range(0..4usize)).unwrap()
                 }
             }
             TaskFamily::Transformer => {
                 if heavyweight {
-                    *[192, 256, 384].get(rng.gen_range(0..3)).unwrap()
+                    *[192, 256, 384].get(rng.gen_range(0..3usize)).unwrap()
                 } else {
-                    *[256, 384, 512, 768].get(rng.gen_range(0..4)).unwrap()
+                    *[256, 384, 512, 768].get(rng.gen_range(0..4usize)).unwrap()
                 }
             }
-            TaskFamily::Rnn => *[128, 256, 512].get(rng.gen_range(0..3)).unwrap(),
+            TaskFamily::Rnn => *[128, 256, 512].get(rng.gen_range(0..3usize)).unwrap(),
         };
-        let batch_size = *[16, 32, 64, 128].get(rng.gen_range(0..4)).unwrap();
+        let batch_size = *[16, 32, 64, 128].get(rng.gen_range(0..4usize)).unwrap();
         TaskSpec {
             family,
             corpus,
@@ -285,7 +284,10 @@ mod tests {
         // Params grow 16x with width 4x; flops must grow even faster.
         let param_ratio = wide.params_millions() / base.params_millions();
         let flop_ratio = wide.epoch_tflops() / base.epoch_tflops();
-        assert!(flop_ratio > param_ratio * 1.2, "{flop_ratio} vs {param_ratio}");
+        assert!(
+            flop_ratio > param_ratio * 1.2,
+            "{flop_ratio} vs {param_ratio}"
+        );
     }
 
     #[test]

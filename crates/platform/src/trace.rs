@@ -106,7 +106,10 @@ pub fn to_csv(dataset: &PlatformDataset) -> String {
 /// `embedder` (features are a pure function of the task descriptor, so
 /// they are not stored).
 pub fn from_csv(text: &str, embedder: &FeatureEmbedder) -> Result<PlatformDataset, TraceError> {
-    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
     let (_, header) = lines.next().ok_or_else(|| err("empty trace"))?;
     let columns: Vec<&str> = header.split(',').collect();
     if columns.len() < 9 || columns[0] != "family" {

@@ -53,7 +53,10 @@ fn main() {
     let fg = estimate_gradient(&theta, &sol.x, &c, solve, &zo, &mut rng);
 
     // Finite differences as ground truth.
-    println!("\ndL/dt_0j:   {:>12} {:>12} {:>12}", "KKT (AD)", "zeroth (FG)", "finite diff");
+    println!(
+        "\ndL/dt_0j:   {:>12} {:>12} {:>12}",
+        "KKT (AD)", "zeroth (FG)", "finite diff"
+    );
     let h = 1e-5;
     for j in 0..n {
         let mut tp = problem.clone();

@@ -26,7 +26,10 @@ fn main() {
 
     // Initial profiling campaign: 80 tasks measured on every cluster.
     let initial = PlatformDataset::generate(&model, &embedder, &generator, 80, &noise, &mut rng);
-    println!("bootstrapping platform from {} profiled tasks...", initial.len());
+    println!(
+        "bootstrapping platform from {} profiled tasks...",
+        initial.len()
+    );
     let config = PlatformConfig {
         gamma: 0.82,
         train: MfcpTrainConfig {
@@ -69,8 +72,7 @@ fn main() {
 
         // Ops also profiles a few fresh tasks on all clusters; every
         // `retrain_after` of those triggers a decision-focused retrain.
-        let fresh =
-            PlatformDataset::generate(&model, &embedder, &generator, 8, &noise, &mut rng);
+        let fresh = PlatformDataset::generate(&model, &embedder, &generator, 8, &noise, &mut rng);
         platform.record_measurements(&fresh);
 
         println!(

@@ -37,15 +37,17 @@ fn main() {
     );
     let opt_seq = solve_exact(&sequential, &ExactOptions::default()).assignment;
     let opt_par = solve_exact(&parallel, &ExactOptions::default()).assignment;
-    println!("sequential optimum: loads {:?}, makespan {:.2} h", opt_seq.loads(3), opt_seq.makespan(&sequential));
+    println!(
+        "sequential optimum: loads {:?}, makespan {:.2} h",
+        opt_seq.loads(3),
+        opt_seq.makespan(&sequential)
+    );
     println!(
         "parallel  optimum: loads {:?}, makespan {:.2} h",
         opt_par.loads(3),
         opt_par.makespan(&parallel)
     );
-    println!(
-        "(batching concentrates work: ζ rewards loading a cluster past one job)\n"
-    );
+    println!("(batching concentrates work: ζ rewards loading a cluster past one job)\n");
 
     // ---- part 2: MFCP-FG through the non-convex matching layer ---------
     let embedder = FeatureEmbedder::bottlenecked_platform();
@@ -90,7 +92,10 @@ fn main() {
         speedup: vec![SpeedupCurve::paper_parallel(); 3],
         ..Default::default()
     };
-    println!("{:<10} {:>10} {:>14} {:>14}", "method", "regret", "reliability", "utilization");
+    println!(
+        "{:<10} {:>10} {:>14} {:>14}",
+        "method", "regret", "reliability", "utilization"
+    );
     for method in [&tsm as &dyn PerformancePredictor, &mfcp_fg] {
         let scores = evaluate_method(method, &test, &opts, &mut StdRng::seed_from_u64(5));
         println!(

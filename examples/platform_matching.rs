@@ -60,16 +60,14 @@ fn main() {
             .min_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
             .unwrap();
-        let naive_matrix = Matrix::from_fn(problem.clusters(), tasks_per_round, |i, _| {
-            mean_times[i]
-        });
-        let naive_problem = MatchingProblem::new(
-            naive_matrix,
-            problem.reliability.clone(),
-            gamma,
+        let naive_matrix =
+            Matrix::from_fn(problem.clusters(), tasks_per_round, |i, _| mean_times[i]);
+        let naive_problem = MatchingProblem::new(naive_matrix, problem.reliability.clone(), gamma);
+        let naive = solve_discrete(
+            &naive_problem,
+            &RelaxationParams::default(),
+            &SolverOptions::default(),
         );
-        let naive =
-            solve_discrete(&naive_problem, &RelaxationParams::default(), &SolverOptions::default());
         // A fully average-driven scheduler degenerates toward cluster
         // `best_avg`; the barrier and rounding may still spread a little.
         let _ = best_avg;

@@ -22,7 +22,10 @@ fn main() {
     let model = pool.setting(Setting::A);
     println!("clusters:");
     for c in &model.clusters {
-        println!("  - {} ({:?}, {:.0} TFLOP/s)", c.name, c.accel, c.throughput);
+        println!(
+            "  - {} ({:?}, {:.0} TFLOP/s)",
+            c.name, c.accel, c.throughput
+        );
     }
 
     // 2. Measure a training workload on every cluster (runtimes carry
@@ -45,7 +48,11 @@ fn main() {
         &NoiseConfig::default(),
         &mut rng,
     );
-    println!("\nmeasured {} training tasks, {} test tasks", train.len(), test.len());
+    println!(
+        "\nmeasured {} training tasks, {} test tasks",
+        train.len(),
+        test.len()
+    );
 
     // 3. Train the two-stage baseline (MSE) and MFCP (regret-trained via
     //    analytic KKT differentiation of the matching layer).
@@ -79,7 +86,10 @@ fn main() {
         gamma: 0.82,
         ..Default::default()
     };
-    println!("\n{:<10} {:>10} {:>14} {:>14}", "method", "regret", "reliability", "utilization");
+    println!(
+        "\n{:<10} {:>10} {:>14} {:>14}",
+        "method", "regret", "reliability", "utilization"
+    );
     for method in [&tsm as &dyn PerformancePredictor, &mfcp] {
         let scores = evaluate_method(method, &test, &opts, &mut StdRng::seed_from_u64(99));
         println!(

@@ -23,14 +23,23 @@ fn gantt(schedule: &Schedule, label: &str, width: usize) {
         let mut bar = String::new();
         bar.push_str(&" ".repeat(start));
         bar.push_str(&"█".repeat(end - start));
-        println!("  task {:>2} |{bar:<width$}| {:>5.2} → {:>5.2}", e.task, e.start, e.end);
+        println!(
+            "  task {:>2} |{bar:<width$}| {:>5.2} → {:>5.2}",
+            e.task, e.start, e.end
+        );
     }
 }
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(7);
     let times: Vec<f64> = (0..6).map(|_| rng.gen_range(0.5..2.5)).collect();
-    println!("batch of 6 jobs, per-job times: {:?}", times.iter().map(|t| (t * 100.0).round() / 100.0).collect::<Vec<_>>());
+    println!(
+        "batch of 6 jobs, per-job times: {:?}",
+        times
+            .iter()
+            .map(|t| (t * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    );
 
     let curve = SpeedupCurve::paper_parallel();
     let seq = sequential_schedule(&times);

@@ -209,7 +209,10 @@ fn cmd_evaluate(flags: &HashMap<String, String>) -> Result<(), String> {
     println!("regret:       {}", scores.regret);
     println!("reliability:  {}", scores.reliability);
     println!("utilization:  {}", scores.utilization);
-    println!("makespan:     {} (optimal {})", scores.makespan, scores.optimal_makespan);
+    println!(
+        "makespan:     {} (optimal {})",
+        scores.makespan, scores.optimal_makespan
+    );
     Ok(())
 }
 
@@ -225,13 +228,12 @@ fn cmd_match(flags: &HashMap<String, String>) -> Result<(), String> {
         &RelaxationParams::default(),
         &SolverOptions::default(),
     );
-    println!("matched {} tasks onto {} clusters:", dataset.len(), dataset.clusters());
-    for (j, (task, &cluster)) in dataset
-        .tasks
-        .iter()
-        .zip(&assignment.cluster_of)
-        .enumerate()
-    {
+    println!(
+        "matched {} tasks onto {} clusters:",
+        dataset.len(),
+        dataset.clusters()
+    );
+    for (j, (task, &cluster)) in dataset.tasks.iter().zip(&assignment.cluster_of).enumerate() {
         println!(
             "  task {j:>3} ({:?} depth {} width {} batch {}) -> cluster {cluster}",
             task.family, task.depth, task.width, task.batch_size

@@ -80,11 +80,8 @@ fn solver_steers_away_from_saturated_clusters() {
         "relaxed solution nearly respects the limit"
     );
     // Without the capacity constraint the fast cluster takes much more.
-    let unconstrained = MatchingProblem::new(
-        problem.times.clone(),
-        problem.reliability.clone(),
-        0.5,
-    );
+    let unconstrained =
+        MatchingProblem::new(problem.times.clone(), problem.reliability.clone(), 0.5);
     let free = solve_relaxed(&unconstrained, &params, &SolverOptions::default());
     let free_mass0: f64 = (0..6).map(|j| free.x[(0, j)]).sum();
     assert!(free_mass0 > mass0 + 0.5);

@@ -106,7 +106,11 @@ fn relaxed_solver_scales_to_hundreds_of_tasks() {
     assert_eq!(asg.tasks(), n);
     assert!(asg.is_feasible(&problem));
     // Utilization of the pipeline matching should be high at this scale.
-    assert!(asg.utilization(&problem) > 0.7, "{}", asg.utilization(&problem));
+    assert!(
+        asg.utilization(&problem) > 0.7,
+        "{}",
+        asg.utilization(&problem)
+    );
 }
 
 #[test]

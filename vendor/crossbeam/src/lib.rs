@@ -1,0 +1,5 @@
+//! Offline stand-in for the subset of `crossbeam` used by the MFCP
+//! workspace: an unbounded MPMC channel and scoped threads.
+
+pub mod channel;
+pub mod thread;

@@ -1,0 +1,67 @@
+//! Scoped threads with the `crossbeam::thread` calling convention
+//! (`scope` returns a `Result`, `spawn` closures take a scope argument),
+//! implemented on top of `std::thread::scope`.
+
+use std::any::Any;
+
+/// Handle to a scoped thread; joining yields the closure's result or the
+/// payload of its panic.
+pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.0.join()
+    }
+}
+
+/// The scope passed to [`scope`]'s closure. Spawn closures receive a
+/// placeholder `()` argument where crossbeam passes a nested scope; the
+/// workspace's call sites all ignore it (`|_| …`).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(()) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        ScopedJoinHandle(self.inner.spawn(move || f(())))
+    }
+}
+
+/// Runs `f` with a scope that may borrow from the caller's stack; all
+/// spawned threads are joined before returning. If a spawned thread
+/// panicked and its handle was not joined, the panic propagates (as with
+/// `std::thread::scope`), so the `Ok` path means every thread finished.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn borrows_stack_data() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unjoined_panics_propagate() {
+        let _ = scope(|s| {
+            s.spawn(|_| panic!("worker failed"));
+        });
+    }
+}

@@ -1,0 +1,65 @@
+//! Input strategies: numeric ranges sample uniformly; see
+//! [`crate::collection`] for container strategies.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A source of sampled test inputs.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_strategies {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let width = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % width;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (s, e) = (*self.start(), *self.end());
+                assert!(s <= e, "empty strategy range");
+                let width = (e as i128 - s as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % width;
+                (s as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        let v = self.start + (self.end - self.start) * rng.unit_f64();
+        if v < self.end {
+            v
+        } else {
+            self.start
+        }
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        let (s, e) = (*self.start(), *self.end());
+        assert!(s <= e, "empty strategy range");
+        s + (e - s) * rng.unit_f64()
+    }
+}

@@ -1,0 +1,41 @@
+//! Concrete generators. `StdRng` here is a SplitMix64 generator — small,
+//! fast, and statistically sound for simulation workloads, though not
+//! cryptographic and not stream-compatible with upstream `rand`.
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard deterministic generator (SplitMix64).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut first = [0u8; 8];
+        first.copy_from_slice(&seed[..8]);
+        Self::seed_from_u64(u64::from_le_bytes(first))
+    }
+
+    fn seed_from_u64(state: u64) -> Self {
+        // Pre-mix so that small sequential seeds (0, 1, 2, …) start from
+        // well-separated states.
+        let mut rng = StdRng {
+            state: state ^ 0x5DEE_CE66_D1CE_4E5B,
+        };
+        rng.next_u64();
+        rng
+    }
+}
