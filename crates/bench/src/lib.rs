@@ -11,6 +11,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod report;
+
 use mfcp_core::eval::{evaluate_method, EvalOptions, MethodScores};
 use mfcp_core::methods::{PerformancePredictor, TamPredictor};
 use mfcp_core::train::{

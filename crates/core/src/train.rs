@@ -373,7 +373,9 @@ fn train_cluster_supervised(
     let mut opt_a = Adam::new(cfg.lr);
     let n = features.rows();
     let mut order: Vec<usize> = (0..n).collect();
+    let epoch_counter = mfcp_obs::counter("train.supervised.epochs");
     for _ in 0..cfg.epochs {
+        epoch_counter.inc();
         mfcp_nn::data::shuffle(&mut order, &mut rng);
         for chunk in order.chunks(cfg.batch_size.max(1)) {
             let xb = Matrix::from_fn(chunk.len(), features.cols(), |r, c| features[(chunk[r], c)]);
@@ -485,6 +487,7 @@ pub fn train_mfcp(
     cfg: &MfcpTrainConfig,
     seed: u64,
 ) -> (MfcpPredictor, TrainReport) {
+    let _span = mfcp_obs::span("train_mfcp");
     let m = train.clusters();
     assert!(
         train.len() >= cfg.round_size,
@@ -527,6 +530,7 @@ pub fn train_mfcp(
             (fit.times.mean().max(1e-9), predictors)
         }
         None => {
+            let _warm_span = mfcp_obs::span("warm_start");
             let warm = train_tsm(fit, &cfg.warm_start, seed);
             (warm.time_scale, warm.predictors)
         }
@@ -554,6 +558,7 @@ pub fn train_mfcp(
     let mut best_score = if val_rounds.is_empty() {
         f64::INFINITY
     } else {
+        let _val_span = mfcp_obs::span("validation");
         validation_regret(
             &predictors,
             &val,
@@ -578,6 +583,8 @@ pub fn train_mfcp(
     let mut last_good = (predictors.clone(), opt_t.clone(), opt_a.clone());
 
     for round in 0..cfg.rounds {
+        let _round_span = mfcp_obs::span("round");
+        mfcp_obs::counter("train.rounds").inc();
         // ---- sample a round of N tasks --------------------------------
         let mut idx: Vec<usize> = (0..fit.len()).collect();
         mfcp_nn::data::shuffle(&mut idx, &mut rng);
@@ -643,6 +650,7 @@ pub fn train_mfcp(
             f64::NAN
         };
         report.loss_history.push(loss);
+        mfcp_obs::histogram("train.round.loss").record(loss);
 
         // ---- loss-spike guard ------------------------------------------
         // The loss is computed *before* this round's update, so a spike
@@ -657,6 +665,7 @@ pub fn train_mfcp(
             || (recent_losses.len() >= 3
                 && loss > cfg.spike_factor * baseline.abs() + cfg.spike_slack);
         if spiked {
+            mfcp_obs::counter("train.rollbacks").inc();
             report.recovery.push(RecoveryEvent::Rollback {
                 round,
                 loss,
@@ -778,6 +787,7 @@ pub fn train_mfcp(
         // ---- sequential optimizer steps ---------------------------------
         for (i, cluster_grad) in cluster_grads.into_iter().enumerate() {
             let Some((dl_dt_i, dl_da_i, t_hat, a_hat)) = cluster_grad else {
+                mfcp_obs::counter("train.skipped_clusters").inc();
                 report
                     .recovery
                     .push(RecoveryEvent::SkippedCluster { round, cluster: i });
@@ -791,6 +801,7 @@ pub fn train_mfcp(
                 // anchor in log space: ∂/∂out mean((out − log t_meas)²).
                 let mut seed: Vec<f64> = (0..n).map(|r| dl_dt_i[r] * t_hat[r]).collect();
                 let clipped = clip_l2(&mut seed, cfg.grad_clip);
+                mfcp_obs::histogram("train.grad_norm.time").record(clipped);
                 if cfg.mse_anchor > 0.0 {
                     for (r, s) in seed.iter_mut().enumerate() {
                         let out = (t_hat[r] * round_scale).max(1e-12).ln();
@@ -799,6 +810,7 @@ pub fn train_mfcp(
                     }
                 }
                 if seed.iter().any(|v| !v.is_finite()) {
+                    mfcp_obs::counter("train.skipped_gradients").inc();
                     report
                         .recovery
                         .push(RecoveryEvent::SkippedGradient { round, cluster: i });
@@ -816,12 +828,14 @@ pub fn train_mfcp(
             if update_rel {
                 let mut seed: Vec<f64> = dl_da_i.clone();
                 let clipped = clip_l2(&mut seed, cfg.grad_clip);
+                mfcp_obs::histogram("train.grad_norm.rel").record(clipped);
                 if cfg.mse_anchor > 0.0 {
                     for (r, s) in seed.iter_mut().enumerate() {
                         *s += cfg.mse_anchor * 2.0 * (a_hat[r] - a_meas[(i, r)]) / n as f64;
                     }
                 }
                 if seed.iter().any(|v| !v.is_finite()) {
+                    mfcp_obs::counter("train.skipped_gradients").inc();
                     report
                         .recovery
                         .push(RecoveryEvent::SkippedGradient { round, cluster: i });
@@ -841,7 +855,11 @@ pub fn train_mfcp(
         // ---- periodic checkpoint ---------------------------------------
         if cfg.checkpoint_every > 0 && (round + 1) % cfg.checkpoint_every == 0 {
             if let Some(dir) = &cfg.checkpoint_dir {
+                let _ckpt_span = mfcp_obs::span("checkpoint");
+                let started = std::time::Instant::now();
                 if write_checkpoint(dir, &predictors).is_ok() {
+                    mfcp_obs::counter("train.checkpoints").inc();
+                    mfcp_obs::histogram("train.checkpoint_secs").record_duration(started.elapsed());
                     report.recovery.push(RecoveryEvent::Checkpoint { round });
                 }
             }
@@ -850,14 +868,18 @@ pub fn train_mfcp(
         // ---- best-snapshot validation ----------------------------------
         let last = round + 1 == cfg.rounds;
         if !val_rounds.is_empty() && ((round + 1) % cfg.validate_every.max(1) == 0 || last) {
-            let score = validation_regret(
-                &predictors,
-                &val,
-                &val_times_scaled,
-                &val_rounds,
-                cfg,
-                &speedup,
-            );
+            let score = {
+                let _val_span = mfcp_obs::span("validation");
+                validation_regret(
+                    &predictors,
+                    &val,
+                    &val_times_scaled,
+                    &val_rounds,
+                    cfg,
+                    &speedup,
+                )
+            };
+            mfcp_obs::histogram("train.validation.regret").record(score);
             report.validation_history.push(score);
             if score < best_score {
                 best_score = score;

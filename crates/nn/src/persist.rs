@@ -36,6 +36,56 @@ impl fmt::Display for ModelFormatError {
 
 impl std::error::Error for ModelFormatError {}
 
+/// Errors from loading or saving a persisted model file: either the I/O
+/// failed or the content failed to parse. Replaces the former
+/// `Box<dyn Error>` / bare `io::Result` returns so callers can branch on
+/// the failure kind (retry I/O, discard corrupt checkpoints).
+#[derive(Debug)]
+pub enum PersistError {
+    /// Reading or writing the file failed.
+    Io(std::io::Error),
+    /// The file was read but its content is not a valid model document
+    /// (truncated, corrupted, or wrong format).
+    Format(ModelFormatError),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "model file I/O error: {e}"),
+            PersistError::Format(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Format(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<ModelFormatError> for PersistError {
+    fn from(e: ModelFormatError) -> Self {
+        PersistError::Format(e)
+    }
+}
+
+/// Parsing limits for untrusted checkpoint files. A corrupted size field
+/// must produce a typed error, not a multi-gigabyte allocation (or the
+/// capacity-overflow panic inside `Vec::with_capacity`/`Matrix::zeros`).
+const MAX_LAYERS: usize = 512;
+const MAX_DIM: usize = 65_536;
+const MAX_LAYER_ELEMS: usize = 1 << 24;
+
 fn err(message: impl Into<String>) -> ModelFormatError {
     ModelFormatError {
         message: message.into(),
@@ -55,11 +105,16 @@ fn activation_tag(a: Activation) -> String {
 
 fn parse_activation(tokens: &[&str]) -> Result<Activation, ModelFormatError> {
     let parse_param = |tokens: &[&str]| -> Result<f64, ModelFormatError> {
-        tokens
+        let v: f64 = tokens
             .get(1)
             .ok_or_else(|| err("missing activation parameter"))?
             .parse()
-            .map_err(|_| err("bad activation parameter"))
+            .map_err(|_| err("bad activation parameter"))?;
+        if v.is_finite() {
+            Ok(v)
+        } else {
+            Err(err("non-finite activation parameter"))
+        }
     };
     match tokens.first().copied() {
         Some("identity") => Ok(Activation::Identity),
@@ -115,9 +170,21 @@ pub fn mlp_from_string(text: &str) -> Result<Mlp, ModelFormatError> {
     if count == 0 {
         return Err(err("zero layers"));
     }
+    if count > MAX_LAYERS {
+        return Err(err(format!(
+            "layer count {count} exceeds the limit of {MAX_LAYERS}"
+        )));
+    }
     let parse_floats = |line: &str| -> Result<Vec<f64>, ModelFormatError> {
         line.split_whitespace()
-            .map(|t| t.parse().map_err(|_| err(format!("bad float {t:?}"))))
+            .map(|t| {
+                let v: f64 = t.parse().map_err(|_| err(format!("bad float {t:?}")))?;
+                if v.is_finite() {
+                    Ok(v)
+                } else {
+                    Err(err(format!("non-finite parameter {t:?}")))
+                }
+            })
             .collect()
     };
     let mut specs = Vec::with_capacity(count);
@@ -131,6 +198,14 @@ pub fn mlp_from_string(text: &str) -> Result<Mlp, ModelFormatError> {
         }
         let rows: usize = tokens[1].parse().map_err(|_| err("bad layer rows"))?;
         let cols: usize = tokens[2].parse().map_err(|_| err("bad layer cols"))?;
+        if rows == 0 || cols == 0 {
+            return Err(err(format!("layer {li}: degenerate shape {rows}x{cols}")));
+        }
+        if rows > MAX_DIM || cols > MAX_DIM || rows.saturating_mul(cols) > MAX_LAYER_ELEMS {
+            return Err(err(format!(
+                "layer {li}: shape {rows}x{cols} exceeds the size limits"
+            )));
+        }
         let activation = parse_activation(&tokens[3..])?;
         let mut weight = Matrix::zeros(rows, cols);
         for r in 0..rows {
@@ -172,12 +247,20 @@ pub fn mlp_from_string(text: &str) -> Result<Mlp, ModelFormatError> {
 }
 
 /// Saves an MLP to a file.
-pub fn save_mlp(mlp: &Mlp, path: impl AsRef<Path>) -> std::io::Result<()> {
-    std::fs::write(path, mlp_to_string(mlp))
+///
+/// # Errors
+/// [`PersistError::Io`] when the file cannot be written.
+pub fn save_mlp(mlp: &Mlp, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    std::fs::write(path, mlp_to_string(mlp))?;
+    Ok(())
 }
 
 /// Loads an MLP from a file.
-pub fn load_mlp(path: impl AsRef<Path>) -> Result<Mlp, Box<dyn std::error::Error>> {
+///
+/// # Errors
+/// [`PersistError::Io`] when the file cannot be read;
+/// [`PersistError::Format`] when its content is truncated or corrupt.
+pub fn load_mlp(path: impl AsRef<Path>) -> Result<Mlp, PersistError> {
     let text = std::fs::read_to_string(path)?;
     Ok(mlp_from_string(&text)?)
 }
@@ -260,5 +343,74 @@ mod tests {
     fn rejects_shape_mismatch() {
         let text = "mfcp-mlp v1\nlayers 2\nlayer 2 3 relu\n1 2 3\n4 5 6\nbias 1 2 3\nlayer 4 1 identity\n1\n2\n3\n4\nbias 1\n";
         assert!(mlp_from_string(text).is_err());
+    }
+
+    #[test]
+    fn rejects_hostile_sizes_without_allocating() {
+        // A corrupted size field must come back as a typed error, not an
+        // abort inside Vec::with_capacity / Matrix::zeros.
+        let huge_layers = format!("mfcp-mlp v1\nlayers {}\n", usize::MAX);
+        assert!(mlp_from_string(&huge_layers).is_err());
+        let huge_dims = format!(
+            "mfcp-mlp v1\nlayers 1\nlayer {} {} relu\n",
+            usize::MAX,
+            usize::MAX
+        );
+        assert!(mlp_from_string(&huge_dims).is_err());
+        let big_product = "mfcp-mlp v1\nlayers 1\nlayer 60000 60000 relu\n";
+        assert!(mlp_from_string(big_product).is_err());
+        let zero_dim = "mfcp-mlp v1\nlayers 1\nlayer 0 3 relu\nbias 1 2 3\n";
+        assert!(mlp_from_string(zero_dim).is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite_parameters() {
+        let mlp = sample_mlp(9);
+        let good = mlp_to_string(&mlp);
+        // Swap one weight for NaN / inf; both must be typed errors rather
+        // than silently loading a poisoned network.
+        let first_weight = good
+            .lines()
+            .nth(3)
+            .unwrap()
+            .split_whitespace()
+            .next()
+            .unwrap();
+        for bad in ["NaN", "inf", "-inf"] {
+            let corrupted = good.replacen(first_weight, bad, 1);
+            let e = mlp_from_string(&corrupted).unwrap_err();
+            assert!(e.message.contains("non-finite"), "{e}");
+        }
+        assert!(
+            mlp_from_string("mfcp-mlp v1\nlayers 1\nlayer 1 1 leaky_relu NaN\n1\nbias 1\n")
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn corrupt_file_round_trip_surfaces_typed_errors() {
+        let mlp = sample_mlp(11);
+        let dir = std::env::temp_dir().join("mfcp_persist_corrupt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.txt");
+        save_mlp(&mlp, &path).unwrap();
+
+        // Truncate the checkpoint mid-document (a crashed writer).
+        let full = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        match load_mlp(&path) {
+            Err(PersistError::Format(e)) => assert!(!e.message.is_empty()),
+            other => panic!("expected Format error, got {other:?}"),
+        }
+
+        // Missing file: an I/O error, distinguishable from corruption.
+        std::fs::remove_file(&path).unwrap();
+        match load_mlp(&path) {
+            Err(PersistError::Io(e)) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::NotFound)
+            }
+            other => panic!("expected Io error, got {other:?}"),
+        }
+        std::fs::remove_dir(&dir).ok();
     }
 }

@@ -1,0 +1,163 @@
+//! Zero-dependency observability for the MFCP pipeline.
+//!
+//! Decision-focused pipelines are opaque about *why* regret moves: a perf
+//! PR needs to know whether the time went into solver iterations, the
+//! fallback ladder, gradient pullback, or queue wait. This crate is the
+//! measuring substrate — no external dependencies (the build environment
+//! has no registry access), `std` only:
+//!
+//! * [`span`] — RAII wall-time timers with nested scopes. Spans opened
+//!   while another span is live on the same thread nest under it, so the
+//!   snapshot reconstructs a profile tree (`train_mfcp/round/cluster_grads`).
+//! * [`counter`] — monotonic `u64` counters.
+//! * [`histogram`] — log-linear-bucket value distributions (durations,
+//!   iteration counts, gradient norms). See [`histogram::bucket_index`]
+//!   for the bucketing scheme.
+//! * [`snapshot`] — a consistent copy of every metric, renderable as JSON
+//!   (machine artifact for perf trajectories) or human-readable text.
+//!
+//! Everything lives in one process-wide [`Registry`]. Recording is a few
+//! atomic operations per event; instrumentation sits on coarse operations
+//! (a solve, a training round, a pool job), keeping overhead well under
+//! the 5% budget measured in DESIGN.md. [`set_enabled`]`(false)` turns
+//! every record path into a cheap early return for A/B overhead runs.
+//!
+//! ```
+//! mfcp_obs::reset();
+//! {
+//!     let _outer = mfcp_obs::span("work");
+//!     let _inner = mfcp_obs::span("step");
+//!     mfcp_obs::counter("work.items").add(3);
+//!     mfcp_obs::histogram("work.value").record(0.25);
+//! }
+//! let snap = mfcp_obs::snapshot();
+//! assert_eq!(snap.counters["work.items"], 3);
+//! assert!(snap.spans.contains_key("work/step"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod registry;
+pub mod snapshot;
+pub mod span;
+
+pub use histogram::Histogram;
+pub use registry::{Counter, Registry};
+pub use snapshot::{HistogramSnapshot, Snapshot, SpanSnapshot};
+pub use span::SpanGuard;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+fn global() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::new)
+}
+
+/// Globally enables or disables recording. Handles stay valid; their
+/// record operations become cheap no-ops while disabled. Used by the
+/// `report --overhead` mode to A/B the instrumentation cost.
+pub fn set_enabled(enabled: bool) {
+    ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether recording is currently enabled.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Returns (interning on first use) the counter registered under `name`.
+///
+/// The handle is cheap to clone; hot paths should look it up once and
+/// keep it.
+pub fn counter(name: &str) -> Counter {
+    global().counter(name)
+}
+
+/// Returns (interning on first use) the histogram registered under `name`.
+pub fn histogram(name: &str) -> Histogram {
+    global().histogram(name)
+}
+
+/// Opens a nested span scope; the returned guard records wall time under
+/// the current thread's span path when dropped.
+pub fn span(name: &'static str) -> SpanGuard {
+    span::enter(global(), name)
+}
+
+/// Takes a consistent snapshot of every registered metric.
+pub fn snapshot() -> Snapshot {
+    global().snapshot()
+}
+
+/// Clears every registered metric (counts to zero, spans/histograms
+/// emptied). Intended for benches and the report bin, not for concurrent
+/// production use — events recorded while the reset runs may land on
+/// either side of it.
+pub fn reset() {
+    global().reset();
+}
+
+/// Serializes the enabled flag and recording assertions across this
+/// crate's unit tests (they all share the one global registry).
+#[cfg(test)]
+pub(crate) fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+    static M: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    M.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let _g = test_guard();
+        let c = counter("lib.test.counter");
+        let before = snapshot().counters["lib.test.counter"];
+        c.inc();
+        c.add(4);
+        assert_eq!(snapshot().counters["lib.test.counter"], before + 5);
+    }
+
+    #[test]
+    fn disabled_recording_is_a_no_op() {
+        let _g = test_guard();
+        let c = counter("lib.test.disabled");
+        set_enabled(false);
+        c.inc();
+        histogram("lib.test.disabled.hist").record(1.0);
+        set_enabled(true);
+        let snap = snapshot();
+        assert_eq!(snap.counters["lib.test.disabled"], 0);
+        assert_eq!(snap.histograms["lib.test.disabled.hist"].count, 0);
+    }
+
+    #[test]
+    fn spans_nest_into_paths() {
+        let _g = test_guard();
+        {
+            let _a = span("lib_outer");
+            let _b = span("lib_inner");
+        }
+        let snap = snapshot();
+        assert!(snap.spans.contains_key("lib_outer"));
+        let inner = &snap.spans["lib_outer/lib_inner"];
+        assert!(inner.count >= 1);
+        assert!(inner.total_secs >= 0.0);
+    }
+
+    #[test]
+    fn same_name_same_handle() {
+        let _g = test_guard();
+        let a = counter("lib.test.same");
+        let b = counter("lib.test.same");
+        a.add(2);
+        b.add(3);
+        assert!(snapshot().counters["lib.test.same"] >= 5);
+    }
+}

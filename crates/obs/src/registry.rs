@@ -1,0 +1,139 @@
+//! The process-wide metric registry.
+
+use crate::histogram::{Histogram, HistogramInner};
+use crate::snapshot::Snapshot;
+use crate::span::SpanStat;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// A handle to a registered monotonic counter. Cloning is cheap; all
+/// clones share the same cell.
+#[derive(Clone)]
+pub struct Counter {
+    pub(crate) cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// Holds every registered metric. Normally accessed through the global
+/// instance behind [`crate::counter`]/[`crate::histogram`]/[`crate::span`];
+/// a private `Registry` is only useful for isolated tests.
+pub struct Registry {
+    counters: RwLock<HashMap<String, Arc<AtomicU64>>>,
+    histograms: RwLock<HashMap<String, Arc<HistogramInner>>>,
+    pub(crate) spans: RwLock<HashMap<String, Arc<SpanStat>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry {
+            counters: RwLock::new(HashMap::new()),
+            histograms: RwLock::new(HashMap::new()),
+            spans: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Interns and returns the counter named `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        if let Some(cell) = self.counters.read().unwrap().get(name) {
+            return Counter {
+                cell: Arc::clone(cell),
+            };
+        }
+        let mut map = self.counters.write().unwrap();
+        let cell = map
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)));
+        Counter {
+            cell: Arc::clone(cell),
+        }
+    }
+
+    /// Interns and returns the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        if let Some(inner) = self.histograms.read().unwrap().get(name) {
+            return Histogram {
+                inner: Arc::clone(inner),
+            };
+        }
+        let mut map = self.histograms.write().unwrap();
+        let inner = map
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(HistogramInner::new()));
+        Histogram {
+            inner: Arc::clone(inner),
+        }
+    }
+
+    pub(crate) fn span_stat(&self, path: &str) -> Arc<SpanStat> {
+        if let Some(stat) = self.spans.read().unwrap().get(path) {
+            return Arc::clone(stat);
+        }
+        let mut map = self.spans.write().unwrap();
+        Arc::clone(
+            map.entry(path.to_string())
+                .or_insert_with(|| Arc::new(SpanStat::new())),
+        )
+    }
+
+    /// Takes a snapshot of every metric.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::capture(self)
+    }
+
+    /// Zeroes every metric in place (handles stay valid).
+    pub fn reset(&self) {
+        for cell in self.counters.read().unwrap().values() {
+            cell.store(0, Ordering::Relaxed);
+        }
+        for hist in self.histograms.read().unwrap().values() {
+            hist.reset();
+        }
+        for span in self.spans.read().unwrap().values() {
+            span.reset();
+        }
+    }
+
+    pub(crate) fn counters_map(&self) -> HashMap<String, u64> {
+        self.counters
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    pub(crate) fn histograms_map(&self) -> HashMap<String, Arc<HistogramInner>> {
+        self.histograms
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect()
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}

@@ -1,0 +1,347 @@
+//! Consistent metric snapshots plus the JSON and human-readable sinks.
+
+use crate::histogram::{bucket_bounds, BUCKETS};
+use crate::registry::Registry;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::Ordering;
+
+/// Aggregate timing of one span path at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanSnapshot {
+    /// Completed executions of the span.
+    pub count: u64,
+    /// Total wall seconds across executions.
+    pub total_secs: f64,
+    /// Longest single execution, seconds.
+    pub max_secs: f64,
+}
+
+/// One histogram's state at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Finite observations recorded.
+    pub count: u64,
+    /// Non-finite observations rejected.
+    pub nonfinite: u64,
+    /// Sum of finite observations.
+    pub sum: f64,
+    /// Smallest observation (`NaN` when empty).
+    pub min: f64,
+    /// Largest observation (`NaN` when empty).
+    pub max: f64,
+    /// Occupied buckets as `(lo, hi, count)`, ascending.
+    pub buckets: Vec<(f64, f64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean of the recorded values (`NaN` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Approximate quantile from the bucket midpoints (`NaN` when empty).
+    /// Accuracy is bounded by the log-linear bucket width (~11%).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for &(lo, hi, c) in &self.buckets {
+            seen += c;
+            if seen >= rank {
+                // Midpoint of the bucket, clamped to observed extremes and
+                // with open-ended buckets collapsed onto them.
+                let lo = if lo.is_finite() { lo } else { self.min };
+                let hi = if hi.is_finite() { hi } else { self.max };
+                return (0.5 * (lo + hi)).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// A consistent copy of every registered metric.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Span timings by `/`-joined path.
+    pub spans: BTreeMap<String, SpanSnapshot>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    pub(crate) fn capture(reg: &Registry) -> Snapshot {
+        let counters = reg.counters_map().into_iter().collect();
+        let spans = reg
+            .spans
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(path, stat)| {
+                (
+                    path.clone(),
+                    SpanSnapshot {
+                        count: stat.count.load(Ordering::Relaxed),
+                        total_secs: stat.total_ns.load(Ordering::Relaxed) as f64 * 1e-9,
+                        max_secs: stat.max_ns.load(Ordering::Relaxed) as f64 * 1e-9,
+                    },
+                )
+            })
+            .collect();
+        let histograms = reg
+            .histograms_map()
+            .into_iter()
+            .map(|(name, h)| {
+                let count = h.count.load(Ordering::Relaxed);
+                let buckets: Vec<(f64, f64, u64)> = (0..BUCKETS)
+                    .filter_map(|i| {
+                        let c = h.buckets[i].load(Ordering::Relaxed);
+                        (c > 0).then(|| {
+                            let (lo, hi) = bucket_bounds(i);
+                            (lo, hi, c)
+                        })
+                    })
+                    .collect();
+                let (min, max) = if count == 0 {
+                    (f64::NAN, f64::NAN)
+                } else {
+                    (
+                        f64::from_bits(h.min_bits.load(Ordering::Relaxed)),
+                        f64::from_bits(h.max_bits.load(Ordering::Relaxed)),
+                    )
+                };
+                (
+                    name,
+                    HistogramSnapshot {
+                        count,
+                        nonfinite: h.nonfinite.load(Ordering::Relaxed),
+                        sum: f64::from_bits(h.sum_bits.load(Ordering::Relaxed)),
+                        min,
+                        max,
+                        buckets,
+                    },
+                )
+            })
+            .collect();
+        Snapshot {
+            counters,
+            spans,
+            histograms,
+        }
+    }
+
+    /// Serializes the snapshot as a JSON document (hand-rolled; the build
+    /// environment has no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        push_entries(&mut out, self.counters.iter(), |out, (name, v)| {
+            let _ = write!(out, "{}: {v}", json_str(name));
+        });
+        out.push_str("},\n  \"spans\": {");
+        push_entries(&mut out, self.spans.iter(), |out, (path, s)| {
+            let _ = write!(
+                out,
+                "{}: {{\"count\": {}, \"total_secs\": {}, \"max_secs\": {}}}",
+                json_str(path),
+                s.count,
+                json_f64(s.total_secs),
+                json_f64(s.max_secs)
+            );
+        });
+        out.push_str("},\n  \"histograms\": {");
+        push_entries(&mut out, self.histograms.iter(), |out, (name, h)| {
+            let _ = write!(
+                out,
+                "{}: {{\"count\": {}, \"nonfinite\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                 \"mean\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"buckets\": [",
+                json_str(name),
+                h.count,
+                h.nonfinite,
+                json_f64(h.sum),
+                json_f64(h.min),
+                json_f64(h.max),
+                json_f64(h.mean()),
+                json_f64(h.quantile(0.5)),
+                json_f64(h.quantile(0.9)),
+                json_f64(h.quantile(0.99)),
+            );
+            for (i, &(lo, hi, c)) in h.buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(
+                    out,
+                    "{{\"lo\": {}, \"hi\": {}, \"count\": {c}}}",
+                    json_f64(lo),
+                    json_f64(hi)
+                );
+            }
+            out.push_str("]}");
+        });
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Renders the snapshot as indented human-readable text: the span
+    /// profile tree first, then counters, then histogram summaries.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("profile tree (count, total, mean, max):\n");
+        // BTreeMap order sorts parents directly before their children.
+        for (path, s) in &self.spans {
+            let depth = path.matches('/').count();
+            let name = path.rsplit('/').next().unwrap_or(path);
+            let mean = if s.count > 0 {
+                s.total_secs / s.count as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "{:indent$}{name:<28} x{:<6} {:>10.4}s  {:>10.6}s  {:>10.6}s",
+                "",
+                s.count,
+                s.total_secs,
+                mean,
+                s.max_secs,
+                indent = depth * 2
+            );
+        }
+        out.push_str("\ncounters:\n");
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "  {name:<44} {v}");
+        }
+        out.push_str("\nhistograms (count, mean, p50, p90, p99, max):\n");
+        for (name, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "  {name:<36} x{:<7} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>10.4}",
+                h.count,
+                h.mean(),
+                h.quantile(0.5),
+                h.quantile(0.9),
+                h.quantile(0.99),
+                h.max
+            );
+        }
+        out
+    }
+}
+
+fn push_entries<'a, T: 'a>(
+    out: &mut String,
+    entries: impl Iterator<Item = T>,
+    write_one: impl Fn(&mut String, T),
+) {
+    let mut first = true;
+    for entry in entries {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n    ");
+        write_one(out, entry);
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON has no NaN/Infinity literals; encode them as null.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn json_is_parseable_shape() {
+        let _g = crate::test_guard();
+        crate::counter("snap.test.counter").add(7);
+        crate::histogram("snap.test.hist").record(0.5);
+        crate::histogram("snap.test.hist").record(2.0);
+        {
+            let _s = crate::span("snap_test_span");
+        }
+        let json = crate::snapshot().to_json();
+        assert!(json.contains("\"snap.test.counter\": 7"));
+        assert!(json.contains("\"snap.test.hist\""));
+        assert!(json.contains("\"snap_test_span\""));
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(!json.contains("NaN") && !json.contains("inf"));
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_in_range() {
+        let _g = crate::test_guard();
+        let h = crate::histogram("snap.test.quant");
+        for i in 1..=1000 {
+            h.record(i as f64 / 100.0); // 0.01 .. 10.0
+        }
+        let snap = crate::snapshot();
+        let hs = &snap.histograms["snap.test.quant"];
+        let (p50, p90, p99) = (hs.quantile(0.5), hs.quantile(0.9), hs.quantile(0.99));
+        assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
+        assert!(p50 >= hs.min && p99 <= hs.max);
+        // p50 of uniform 0.01..10 is ~5, allow bucket resolution slack.
+        assert!((p50 - 5.0).abs() < 1.0, "p50 {p50}");
+    }
+
+    #[test]
+    fn text_sink_renders_tree() {
+        let _g = crate::test_guard();
+        {
+            let _a = crate::span("text_root");
+            let _b = crate::span("text_child");
+        }
+        let text = crate::snapshot().to_text();
+        assert!(text.contains("text_root"));
+        assert!(text.contains("text_child"));
+    }
+
+    #[test]
+    fn empty_histogram_mean_is_nan() {
+        let _g = crate::test_guard();
+        crate::histogram("snap.test.empty");
+        let snap = crate::snapshot();
+        assert!(snap.histograms["snap.test.empty"].mean().is_nan());
+    }
+}

@@ -1,0 +1,122 @@
+//! Nested span timers.
+//!
+//! A span is a named RAII scope: `let _g = mfcp_obs::span("round");`
+//! records wall time from creation to drop. Spans opened while another
+//! span is live on the same thread nest under it — the metric key is the
+//! `/`-joined path of open span names (`train_mfcp/round/cluster_grads`),
+//! which the snapshot renders as a profile tree. Worker threads start
+//! with an empty path, so spans opened inside `par_map` closures become
+//! roots of their own subtrees.
+
+use crate::registry::Registry;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+thread_local! {
+    static PATH: RefCell<String> = const { RefCell::new(String::new()) };
+}
+
+/// Aggregate timing of one span path.
+pub(crate) struct SpanStat {
+    pub(crate) count: AtomicU64,
+    pub(crate) total_ns: AtomicU64,
+    pub(crate) max_ns: AtomicU64,
+}
+
+impl SpanStat {
+    pub(crate) fn new() -> Self {
+        SpanStat {
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.total_ns.store(0, Ordering::Relaxed);
+        self.max_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+/// RAII guard returned by [`crate::span`]; records elapsed wall time on
+/// drop and pops its name off the thread's span path.
+pub struct SpanGuard {
+    stat: Option<Arc<SpanStat>>,
+    start: Instant,
+    prev_len: usize,
+}
+
+pub(crate) fn enter(reg: &'static Registry, name: &'static str) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard {
+            stat: None,
+            start: Instant::now(),
+            prev_len: usize::MAX,
+        };
+    }
+    let (stat, prev_len) = PATH.with(|p| {
+        let mut path = p.borrow_mut();
+        let prev_len = path.len();
+        if !path.is_empty() {
+            path.push('/');
+        }
+        path.push_str(name);
+        (reg.span_stat(&path), prev_len)
+    });
+    SpanGuard {
+        stat: Some(stat),
+        start: Instant::now(),
+        prev_len,
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(stat) = self.stat.take() else {
+            return;
+        };
+        let ns = self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        stat.count.fetch_add(1, Ordering::Relaxed);
+        stat.total_ns.fetch_add(ns, Ordering::Relaxed);
+        stat.max_ns.fetch_max(ns, Ordering::Relaxed);
+        PATH.with(|p| {
+            let mut path = p.borrow_mut();
+            path.truncate(self.prev_len);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_restored_after_drop() {
+        let _g = crate::test_guard();
+        {
+            let _a = crate::span("span_test_a");
+            PATH.with(|p| assert!(p.borrow().ends_with("span_test_a")));
+            {
+                let _b = crate::span("span_test_b");
+                PATH.with(|p| assert!(p.borrow().ends_with("span_test_a/span_test_b")));
+            }
+            PATH.with(|p| assert!(p.borrow().ends_with("span_test_a")));
+        }
+        PATH.with(|p| assert!(p.borrow().is_empty()));
+    }
+
+    #[test]
+    fn disabled_span_does_not_touch_path() {
+        let _g = crate::test_guard();
+        crate::set_enabled(false);
+        {
+            let _a = crate::span("span_test_disabled");
+            PATH.with(|p| assert!(p.borrow().is_empty()));
+        }
+        crate::set_enabled(true);
+        assert!(!crate::snapshot().spans.contains_key("span_test_disabled"));
+    }
+}

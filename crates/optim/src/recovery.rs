@@ -459,6 +459,8 @@ impl RobustSolver {
     /// problem data or parameters are malformed, or
     /// [`SolveError::Exhausted`] when every configured rung failed.
     pub fn solve(&self, problem: &MatchingProblem) -> Result<RobustSolution, SolveError> {
+        let _span = mfcp_obs::span("robust_solve");
+        mfcp_obs::counter("optim.robust.calls").inc();
         validate_problem(problem)?;
         validate_params(&self.params)?;
         let start = Instant::now();
@@ -476,6 +478,7 @@ impl RobustSolver {
                     elapsed_secs: 0.0,
                     outcome: StageOutcome::Skipped("wall-clock budget exhausted".into()),
                 });
+                record_attempt_metrics(attempts.last().expect("just pushed"));
                 continue;
             }
             match stage {
@@ -516,6 +519,7 @@ impl RobustSolver {
                                     .into(),
                             ),
                         });
+                        record_attempt_metrics(attempts.last().expect("just pushed"));
                         continue;
                     }
                     if let Some(sol) = self.try_newton(problem, start, &mut attempts) {
@@ -560,11 +564,13 @@ impl RobustSolver {
                         elapsed_secs: t0.elapsed().as_secs_f64(),
                         outcome: StageOutcome::Success,
                     });
+                    record_attempt_metrics(attempts.last().expect("just pushed"));
                     return Ok(self.finish(sol, stage, Some(asg), attempts, start));
                 }
             }
         }
 
+        mfcp_obs::counter("optim.robust.exhausted").inc();
         Err(SolveError::Exhausted {
             diagnostics: Box::new(SolveDiagnostics {
                 recovered: false,
@@ -594,6 +600,11 @@ impl RobustSolver {
         attempts: &mut Vec<StageAttempt>,
     ) -> Option<RelaxedSolution> {
         let t0 = Instant::now();
+        // The softened barrier cutoff is this ladder's μ-style continuation
+        // knob; its per-attempt trajectory shows how far back-off had to go.
+        if let BarrierKind::Log { eps } = params.barrier {
+            mfcp_obs::histogram("optim.robust.barrier_eps").record(eps);
+        }
         let mut guard = GuardRunner::new(problem, params, &self.policy, start, stage);
         let x0 = uniform_init(problem.clusters(), problem.tasks());
         let result = solve_relaxed_from_guarded(problem, &params, &opts, x0, &mut |it, x, step| {
@@ -658,6 +669,7 @@ impl RobustSolver {
                     elapsed_secs,
                     outcome,
                 });
+                record_attempt_metrics(attempts.last().expect("just pushed"));
                 usable.then_some(sol)
             }
             Err(err) => {
@@ -670,6 +682,7 @@ impl RobustSolver {
                     elapsed_secs,
                     outcome: StageOutcome::Failed(err),
                 });
+                record_attempt_metrics(attempts.last().expect("just pushed"));
                 None
             }
         }
@@ -686,6 +699,9 @@ impl RobustSolver {
         let recovered = attempts
             .iter()
             .any(|a| matches!(a.outcome, StageOutcome::Failed(_)));
+        if recovered {
+            mfcp_obs::counter("optim.robust.recovered").inc();
+        }
         RobustSolution {
             x: sol.x,
             objective: sol.objective,
@@ -697,6 +713,26 @@ impl RobustSolver {
                 total_secs: start.elapsed().as_secs_f64(),
             },
         }
+    }
+}
+
+/// Feeds one finished [`StageAttempt`] into the observability registry:
+/// the attempt counter, per-stage outcome counters, and the wall-time /
+/// iteration histograms that the `report` bin surfaces.
+fn record_attempt_metrics(attempt: &StageAttempt) {
+    if !mfcp_obs::enabled() {
+        return;
+    }
+    mfcp_obs::counter("optim.robust.attempts").inc();
+    let suffix = match attempt.outcome {
+        StageOutcome::Success => "ok",
+        StageOutcome::Failed(_) => "failed",
+        StageOutcome::Skipped(_) => "skipped",
+    };
+    mfcp_obs::counter(&format!("optim.robust.stage.{}.{suffix}", attempt.stage)).inc();
+    if !matches!(attempt.outcome, StageOutcome::Skipped(_)) {
+        mfcp_obs::histogram("optim.robust.attempt_secs").record(attempt.elapsed_secs);
+        mfcp_obs::histogram("optim.robust.attempt_iters").record(attempt.iterations as f64);
     }
 }
 

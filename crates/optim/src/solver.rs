@@ -100,8 +100,12 @@ pub fn solve_relaxed(
     params: &RelaxationParams,
     opts: &SolverOptions,
 ) -> RelaxedSolution {
+    let _span = mfcp_obs::span("solve_relaxed");
+    mfcp_obs::counter("optim.solve.calls").inc();
     let x0 = uniform_init(problem.clusters(), problem.tasks());
-    solve_relaxed_from(problem, params, opts, x0)
+    let sol = solve_relaxed_from(problem, params, opts, x0);
+    mfcp_obs::histogram("optim.solve.iters").record(sol.iterations as f64);
+    sol
 }
 
 /// Solves the relaxed matching problem starting from `x0` (columns must

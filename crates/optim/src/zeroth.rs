@@ -41,26 +41,100 @@ impl Default for ZerothOrderOptions {
     }
 }
 
+/// Fallback perturbation size used when [`ZerothOrderOptions::optimal_delta`]
+/// cannot be computed from degenerate inputs; equals the default `delta`.
+pub const FALLBACK_DELTA: f64 = 0.05;
+
 impl ZerothOrderOptions {
     /// The bias/variance-optimal perturbation size of Theorem 3,
     /// `Δ* = (2σ²_F / (β² S))^{1/4}`, for smoothness `beta` and function
     /// noise scale `sigma_f`.
+    ///
+    /// Degenerate inputs (`beta == 0`, `sigma_f == 0`, negatives, or
+    /// non-finite values) would make the formula return `0`, `inf`, or
+    /// `NaN` — all of which poison the estimator downstream. This variant
+    /// clamps those cases to [`FALLBACK_DELTA`]; use
+    /// [`ZerothOrderOptions::try_optimal_delta`] to detect them instead.
     pub fn optimal_delta(beta: f64, sigma_f: f64, samples: usize) -> f64 {
-        (2.0 * sigma_f * sigma_f / (beta * beta * samples.max(1) as f64)).powf(0.25)
+        Self::try_optimal_delta(beta, sigma_f, samples).unwrap_or(FALLBACK_DELTA)
+    }
+
+    /// Fallible form of [`ZerothOrderOptions::optimal_delta`].
+    ///
+    /// # Errors
+    /// [`SolveError::InvalidInput`] when `beta` or `sigma_f` is zero,
+    /// negative, or non-finite — the Theorem 3 formula divides by
+    /// `β²` and vanishes with `σ_F`, so no meaningful `Δ*` exists.
+    pub fn try_optimal_delta(beta: f64, sigma_f: f64, samples: usize) -> Result<f64, SolveError> {
+        if !beta.is_finite() || beta <= 0.0 {
+            return Err(SolveError::InvalidInput(format!(
+                "optimal_delta: smoothness beta = {beta} (must be finite and positive)"
+            )));
+        }
+        if !sigma_f.is_finite() || sigma_f <= 0.0 {
+            return Err(SolveError::InvalidInput(format!(
+                "optimal_delta: noise scale sigma_f = {sigma_f} (must be finite and positive)"
+            )));
+        }
+        let delta = (2.0 * sigma_f * sigma_f / (beta * beta * samples.max(1) as f64)).powf(0.25);
+        if delta.is_finite() && delta > 0.0 {
+            Ok(delta)
+        } else {
+            // Extreme but individually-finite inputs can still overflow or
+            // underflow the quotient (e.g. sigma_f near f64::MAX).
+            Err(SolveError::InvalidInput(format!(
+                "optimal_delta: beta = {beta}, sigma_f = {sigma_f} produce a non-finite delta"
+            )))
+        }
+    }
+}
+
+/// Box–Muller sampler that keeps the paired variate.
+///
+/// One Box–Muller transform yields two independent normals (the cosine and
+/// sine projections of the same radius); discarding the sine half doubles
+/// the RNG draws and the `ln`/`sqrt` work. The spare is cached per sampler
+/// — estimator-local state, so seeded runs stay reproducible regardless of
+/// what other threads are sampling.
+#[derive(Debug, Clone, Default)]
+pub struct NormalSampler {
+    spare: Option<f64>,
+}
+
+impl NormalSampler {
+    /// A sampler with no cached variate.
+    pub fn new() -> Self {
+        NormalSampler { spare: None }
+    }
+
+    /// Draws a standard normal.
+    pub fn sample(&mut self, rng: &mut impl Rng) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        loop {
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let angle = 2.0 * std::f64::consts::PI * u2;
+            let z0 = r * angle.cos();
+            let z1 = r * angle.sin();
+            if z0.is_finite() && z1.is_finite() {
+                self.spare = Some(z1);
+                return z0;
+            }
+        }
     }
 }
 
 /// Draws a standard normal via Box–Muller (the `rand` crate alone, without
 /// `rand_distr`, has no Gaussian sampler).
+///
+/// Single-shot form that discards the paired variate; callers drawing many
+/// normals should hold a [`NormalSampler`] to use both halves of each
+/// transform.
 pub fn sample_standard_normal(rng: &mut impl Rng) -> f64 {
-    loop {
-        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-        let u2: f64 = rng.gen_range(0.0..1.0);
-        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-        if z.is_finite() {
-            return z;
-        }
-    }
+    NormalSampler::new().sample(rng)
 }
 
 /// Estimates `∂L/∂θ` by forward-mode zeroth-order perturbation.
@@ -88,8 +162,9 @@ pub fn estimate_gradient(
 
     // Directions are drawn sequentially (determinism under a seeded RNG),
     // then the S re-solves fan out across threads.
+    let mut sampler = NormalSampler::new();
     let directions: Vec<Vec<f64>> = (0..opts.samples)
-        .map(|_| (0..d).map(|_| sample_standard_normal(rng)).collect())
+        .map(|_| (0..d).map(|_| sampler.sample(rng)).collect())
         .collect();
 
     let contributions: Vec<Vec<f64>> = par_map(&opts.parallel, &directions, |v| {
@@ -185,8 +260,9 @@ pub fn estimate_gradient_checked(
         });
     }
 
+    let mut sampler = NormalSampler::new();
     let directions: Vec<Vec<f64>> = (0..opts.samples)
-        .map(|_| (0..d).map(|_| sample_standard_normal(rng)).collect())
+        .map(|_| (0..d).map(|_| sampler.sample(rng)).collect())
         .collect();
 
     let contributions: Vec<Option<Vec<f64>>> = par_map(&opts.parallel, &directions, |v| {
@@ -337,13 +413,60 @@ mod tests {
 
     #[test]
     fn normal_sampler_moments() {
+        // Mean, variance, AND kurtosis over a large sample, exercising the
+        // cached-spare path (even draws come from the sine half of each
+        // Box–Muller transform). Tolerances sit at ~6 standard errors:
+        // SE(mean) = 1/√n, SE(var) ≈ √(2/n), SE(kurtosis) ≈ √(24/n).
         let mut rng = StdRng::seed_from_u64(3);
-        let n = 20_000;
-        let xs: Vec<f64> = (0..n).map(|_| sample_standard_normal(&mut rng)).collect();
-        let mean = xs.iter().sum::<f64>() / n as f64;
-        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
-        assert!(mean.abs() < 0.03, "mean {mean}");
-        assert!((var - 1.0).abs() < 0.05, "var {var}");
+        let mut sampler = NormalSampler::new();
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| sampler.sample(&mut rng)).collect();
+        let nf = n as f64;
+        let mean = xs.iter().sum::<f64>() / nf;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / nf;
+        let kurtosis = xs.iter().map(|x| (x - mean).powi(4)).sum::<f64>() / (nf * var * var);
+        assert!(mean.abs() < 0.015, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+        assert!((kurtosis - 3.0).abs() < 0.08, "kurtosis {kurtosis}");
+    }
+
+    #[test]
+    fn sampler_halves_rng_draws() {
+        // The cached spare means two normals per two uniforms; the old
+        // sampler burned two uniforms per normal. Count draws through a
+        // wrapper RNG.
+        struct Counting<R> {
+            inner: R,
+            draws: u64,
+        }
+        impl<R: rand::RngCore> rand::RngCore for Counting<R> {
+            fn next_u64(&mut self) -> u64 {
+                self.draws += 1;
+                self.inner.next_u64()
+            }
+        }
+        let n = 1000;
+        let mut paired = Counting {
+            inner: StdRng::seed_from_u64(11),
+            draws: 0,
+        };
+        let mut sampler = NormalSampler::new();
+        for _ in 0..n {
+            sampler.sample(&mut paired);
+        }
+        let mut single = Counting {
+            inner: StdRng::seed_from_u64(11),
+            draws: 0,
+        };
+        for _ in 0..n {
+            sample_standard_normal(&mut single);
+        }
+        assert!(
+            paired.draws * 2 <= single.draws + 4,
+            "paired sampler used {} draws, single-shot {}",
+            paired.draws,
+            single.draws
+        );
     }
 
     #[test]
@@ -353,6 +476,41 @@ mod tests {
         assert!((d1 - 2.0_f64.powf(0.25)).abs() < 1e-12);
         let d_many = ZerothOrderOptions::optimal_delta(1.0, 1.0, 256);
         assert!(d_many < d1, "more samples allow a smaller Δ");
+    }
+
+    #[test]
+    fn optimal_delta_zero_beta_clamps_to_fallback() {
+        // β = 0 used to divide by zero and return inf.
+        let d = ZerothOrderOptions::optimal_delta(0.0, 1.0, 8);
+        assert_eq!(d, FALLBACK_DELTA);
+        let err = ZerothOrderOptions::try_optimal_delta(0.0, 1.0, 8).unwrap_err();
+        assert!(matches!(err, SolveError::InvalidInput(_)), "{err}");
+    }
+
+    #[test]
+    fn optimal_delta_zero_sigma_clamps_to_fallback() {
+        // σ_F = 0 used to return Δ* = 0, which divides by zero later in the
+        // estimator.
+        let d = ZerothOrderOptions::optimal_delta(1.0, 0.0, 8);
+        assert_eq!(d, FALLBACK_DELTA);
+        let err = ZerothOrderOptions::try_optimal_delta(1.0, 0.0, 8).unwrap_err();
+        assert!(matches!(err, SolveError::InvalidInput(_)), "{err}");
+    }
+
+    #[test]
+    fn optimal_delta_rejects_non_finite_inputs() {
+        for (beta, sigma) in [
+            (f64::NAN, 1.0),
+            (1.0, f64::NAN),
+            (f64::INFINITY, 1.0),
+            (1.0, f64::INFINITY),
+            (-1.0, 1.0),
+            (1.0, -1.0),
+        ] {
+            assert!(ZerothOrderOptions::try_optimal_delta(beta, sigma, 8).is_err());
+            let d = ZerothOrderOptions::optimal_delta(beta, sigma, 8);
+            assert_eq!(d, FALLBACK_DELTA, "beta={beta} sigma={sigma}");
+        }
     }
 
     #[test]

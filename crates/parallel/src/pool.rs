@@ -1,11 +1,10 @@
 //! A fixed-size worker pool for `'static` jobs.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -29,11 +28,31 @@ impl fmt::Display for PoolError {
 
 impl std::error::Error for PoolError {}
 
-struct Shared {
+#[derive(Default)]
+struct State {
     /// Number of jobs submitted but not yet completed.
-    in_flight: AtomicUsize,
-    /// Number of jobs that ended in a panic.
-    panicked: AtomicUsize,
+    in_flight: usize,
+    /// Number of jobs that ended in a panic since the last `join`.
+    panicked: usize,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signalled by workers whenever `in_flight` reaches zero.
+    all_done: Condvar,
+    /// Observability handles, resolved once at pool construction so the
+    /// per-job cost is a couple of atomic ops rather than a registry lookup.
+    jobs_counter: mfcp_obs::Counter,
+    queue_wait: mfcp_obs::Histogram,
+    job_secs: mfcp_obs::Histogram,
+}
+
+impl Shared {
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        // Worker panics are caught before they can poison this mutex, but
+        // recover anyway rather than propagate a spurious poison.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
 }
 
 /// A fixed-size thread pool executing boxed `'static` jobs.
@@ -59,21 +78,27 @@ struct Shared {
 /// assert_eq!(counter.load(Ordering::SeqCst), 100);
 /// ```
 pub struct ThreadPool {
-    sender: Option<Sender<Job>>,
+    sender: Option<Sender<TimedJob>>,
     workers: Vec<JoinHandle<()>>,
     shared: Arc<Shared>,
-    /// Guards `join` so concurrent joins don't race on the busy-wait.
-    join_lock: Mutex<()>,
+}
+
+struct TimedJob {
+    job: Job,
+    submitted: Instant,
 }
 
 impl ThreadPool {
     /// Creates a pool with `threads` workers (clamped to at least 1).
     pub fn new(threads: usize) -> Self {
         let threads = threads.max(1);
-        let (sender, receiver): (Sender<Job>, Receiver<Job>) = unbounded();
+        let (sender, receiver): (Sender<TimedJob>, Receiver<TimedJob>) = unbounded();
         let shared = Arc::new(Shared {
-            in_flight: AtomicUsize::new(0),
-            panicked: AtomicUsize::new(0),
+            state: Mutex::new(State::default()),
+            all_done: Condvar::new(),
+            jobs_counter: mfcp_obs::counter("parallel.pool.jobs"),
+            queue_wait: mfcp_obs::histogram("parallel.pool.queue_wait_secs"),
+            job_secs: mfcp_obs::histogram("parallel.pool.job_secs"),
         });
         let workers = (0..threads)
             .map(|i| {
@@ -89,7 +114,6 @@ impl ThreadPool {
             sender: Some(sender),
             workers,
             shared,
-            join_lock: Mutex::new(()),
         }
     }
 
@@ -118,20 +142,39 @@ impl ThreadPool {
         F: FnOnce() + Send + 'static,
     {
         let sender = self.sender.as_ref().ok_or(PoolError::Closed)?;
-        self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
-        sender.send(Box::new(job)).map_err(|_| PoolError::Closed)?;
+        self.shared.lock().in_flight += 1;
+        let timed = TimedJob {
+            job: Box::new(job),
+            submitted: Instant::now(),
+        };
+        if sender.send(timed).is_err() {
+            // Channel closed under us: the accounting increment must be
+            // rolled back or join would wait forever.
+            let mut state = self.shared.lock();
+            state.in_flight -= 1;
+            if state.in_flight == 0 {
+                self.shared.all_done.notify_all();
+            }
+            return Err(PoolError::Closed);
+        }
         Ok(())
     }
 
     /// Blocks until every submitted job has completed.
     ///
-    /// Returns an error if any job panicked since the last call to `join`.
+    /// The wait parks on a condition variable signalled by the workers, so
+    /// a joiner consumes no CPU while jobs run. Returns an error if any job
+    /// panicked since the last call to `join`.
     pub fn join(&self) -> Result<(), PoolError> {
-        let _guard = self.join_lock.lock();
-        while self.shared.in_flight.load(Ordering::SeqCst) != 0 {
-            std::thread::yield_now();
+        let mut state = self.shared.lock();
+        while state.in_flight != 0 {
+            state = self
+                .shared
+                .all_done
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
         }
-        let panics = self.shared.panicked.swap(0, Ordering::SeqCst);
+        let panics = std::mem::take(&mut state.panicked);
         if panics > 0 {
             Err(PoolError::WorkerPanicked)
         } else {
@@ -141,7 +184,7 @@ impl ThreadPool {
 
     /// Number of jobs submitted but not yet finished.
     pub fn in_flight(&self) -> usize {
-        self.shared.in_flight.load(Ordering::SeqCst)
+        self.shared.lock().in_flight
     }
 }
 
@@ -165,13 +208,23 @@ impl fmt::Debug for ThreadPool {
     }
 }
 
-fn worker_loop(rx: Receiver<Job>, shared: Arc<Shared>) {
-    while let Ok(job) = rx.recv() {
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+fn worker_loop(rx: Receiver<TimedJob>, shared: Arc<Shared>) {
+    while let Ok(timed) = rx.recv() {
+        let started = Instant::now();
+        shared
+            .queue_wait
+            .record_duration(started.duration_since(timed.submitted));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(timed.job));
+        shared.job_secs.record_duration(started.elapsed());
+        shared.jobs_counter.inc();
+        let mut state = shared.lock();
         if result.is_err() {
-            shared.panicked.fetch_add(1, Ordering::SeqCst);
+            state.panicked += 1;
         }
-        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        state.in_flight -= 1;
+        if state.in_flight == 0 {
+            shared.all_done.notify_all();
+        }
     }
 }
 
@@ -179,6 +232,7 @@ fn worker_loop(rx: Receiver<Job>, shared: Arc<Shared>) {
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
 
     #[test]
     fn executes_all_jobs() {
@@ -250,5 +304,56 @@ mod tests {
         }
         pool.join().unwrap();
         assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn concurrent_joins_all_wake() {
+        let pool = Arc::new(ThreadPool::new(1));
+        pool.execute(|| std::thread::sleep(Duration::from_millis(50)));
+        let joiners: Vec<_> = (0..4)
+            .map(|_| {
+                let p = Arc::clone(&pool);
+                std::thread::spawn(move || p.join())
+            })
+            .collect();
+        for j in joiners {
+            j.join().unwrap().unwrap();
+        }
+    }
+
+    /// CPU time (user + system) consumed so far by the calling thread, in
+    /// clock ticks, read from /proc/thread-self/stat. Thread-scoped so
+    /// other tests running concurrently in this process don't pollute the
+    /// measurement.
+    #[cfg(target_os = "linux")]
+    fn this_thread_cpu_ticks() -> u64 {
+        let stat = std::fs::read_to_string("/proc/thread-self/stat").unwrap();
+        // comm can contain spaces; fields are positional after the ')'.
+        let after = stat.rsplit(')').next().unwrap();
+        let fields: Vec<&str> = after.split_whitespace().collect();
+        // After the closing paren, utime and stime are fields 12 and 13
+        // (0-indexed) of the remainder.
+        fields[11].parse::<u64>().unwrap() + fields[12].parse::<u64>().unwrap()
+    }
+
+    /// Regression test for the old busy-wait join: a joiner blocked on a
+    /// slow job must park, not spin. With the yield_now loop this burned a
+    /// full core for the duration of the sleep (~40+ ticks at 100 Hz);
+    /// parked on the condvar it is near zero.
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn join_does_not_busy_wait() {
+        let pool = ThreadPool::new(1);
+        pool.execute(|| std::thread::sleep(Duration::from_millis(400)));
+        let wall = Instant::now();
+        let cpu_before = this_thread_cpu_ticks();
+        pool.join().unwrap();
+        let cpu_ticks = this_thread_cpu_ticks() - cpu_before;
+        assert!(wall.elapsed() >= Duration::from_millis(350));
+        // 400 ms of spinning is ~40 ticks; allow generous scheduler noise.
+        assert!(
+            cpu_ticks < 10,
+            "join consumed {cpu_ticks} CPU ticks while waiting"
+        );
     }
 }

@@ -1,5 +1,28 @@
 //! Borrow-friendly fork/join helpers built on `crossbeam::thread::scope`.
 
+use std::sync::OnceLock;
+
+/// Cached observability handles so the fork/join helpers pay a registry
+/// lookup once per process, not once per call.
+struct ScopedMetrics {
+    calls: mfcp_obs::Counter,
+    items: mfcp_obs::Histogram,
+}
+
+fn metrics() -> &'static ScopedMetrics {
+    static METRICS: OnceLock<ScopedMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| ScopedMetrics {
+        calls: mfcp_obs::counter("parallel.scoped.calls"),
+        items: mfcp_obs::histogram("parallel.scoped.items"),
+    })
+}
+
+fn record_scoped_call(len: usize) {
+    let m = metrics();
+    m.calls.inc();
+    m.items.record(len as f64);
+}
+
 /// Tuning knobs for the scoped parallel helpers.
 #[derive(Debug, Clone, Copy)]
 pub struct ParallelConfig {
@@ -60,6 +83,7 @@ where
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
+    record_scoped_call(items.len());
     let threads = config.effective_threads(items.len());
     if threads <= 1 {
         return items.iter().map(f).collect();
@@ -92,6 +116,7 @@ where
     T: Sync,
     F: Fn(&T) + Sync,
 {
+    record_scoped_call(items.len());
     let threads = config.effective_threads(items.len());
     if threads <= 1 {
         items.iter().for_each(f);
@@ -159,6 +184,7 @@ where
     M: Fn(&T) -> U + Sync,
     R: Fn(U, U) -> U + Sync,
 {
+    record_scoped_call(items.len());
     let threads = config.effective_threads(items.len());
     if threads <= 1 {
         return items.iter().map(map).fold(identity, &reduce);

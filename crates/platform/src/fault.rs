@@ -190,6 +190,12 @@ pub fn simulate_with_faults(
         panic!("invalid fault plan: {msg}");
     }
 
+    let _span = mfcp_obs::span("simulate_with_faults");
+    let c_attempts = mfcp_obs::counter("platform.faults.attempts");
+    let c_rematch = mfcp_obs::counter("platform.faults.rematch");
+    let c_outage = mfcp_obs::counter("platform.faults.outage_hits");
+    let c_straggle = mfcp_obs::counter("platform.faults.stragglers");
+
     // Batching factors frozen at the planned loads.
     let counts = assignment.loads(m);
     let factor: Vec<f64> = (0..m)
@@ -238,6 +244,7 @@ pub fn simulate_with_faults(
                 })
                 .expect("at least one cluster");
             if k != i {
+                c_rematch.inc();
                 was_remapped[j] = true;
                 final_cluster[j] = k;
                 queues[k].push_back(j);
@@ -246,12 +253,14 @@ pub fn simulate_with_faults(
         }
 
         attempts[j] += 1;
+        c_attempts.inc();
         clock[i] = ready;
 
         let mut duration = factor[i] * problem.times[(i, j)];
         if plan.straggler_prob > 0.0 && rng.gen_bool(plan.straggler_prob) {
             duration *= plan.straggler_slowdown;
             stragglers += 1;
+            c_straggle.inc();
         }
 
         // An outage window opening mid-attempt kills the attempt: the
@@ -267,6 +276,7 @@ pub fn simulate_with_faults(
             wasted_time[i] += s - clock[i];
             clock[i] = s;
             outage_kills += 1;
+            c_outage.inc();
             true
         } else {
             clock[i] += duration;
@@ -300,6 +310,7 @@ pub fn simulate_with_faults(
             if k != i {
                 was_remapped[j] = true;
             }
+            c_rematch.inc();
             final_cluster[j] = k;
             queues[k].push_back(j);
         }
@@ -312,6 +323,8 @@ pub fn simulate_with_faults(
         successes as f64 / n as f64
     };
     let remapped = (0..n).filter(|&j| was_remapped[j]).collect();
+    mfcp_obs::counter("platform.faults.abandoned").add(abandoned.len() as u64);
+    mfcp_obs::counter("platform.faults.successes").add(successes as u64);
     FaultyExecutionReport {
         makespan,
         attempts,

@@ -11,6 +11,8 @@
 //!   KKT differentiation and zeroth-order gradient estimation.
 //! * [`mfcp_nn`] / [`mfcp_autodiff`] / [`mfcp_linalg`] / [`mfcp_parallel`] —
 //!   the neural-network, autodiff, linear-algebra and parallelism substrates.
+//! * [`mfcp_obs`] — observability: span timers, counters, histograms and
+//!   profile snapshots across the solve-and-train pipeline.
 
 #![forbid(unsafe_code)]
 
@@ -18,6 +20,7 @@ pub use mfcp_autodiff as autodiff;
 pub use mfcp_core as core;
 pub use mfcp_linalg as linalg;
 pub use mfcp_nn as nn;
+pub use mfcp_obs as obs;
 pub use mfcp_optim as optim;
 pub use mfcp_parallel as parallel;
 pub use mfcp_platform as platform;
