@@ -1,0 +1,196 @@
+//! Continuous benchmark gate for the solve-and-train pipeline.
+//!
+//! Runs the fixed perfgate suite (MFCP-AD solve, MFCP-FG solve, one
+//! training round, pool throughput, fault replay — see
+//! `mfcp_bench::perfgate`), writes the schema-stable JSON report, and in
+//! `--check` mode compares it against the checked-in baseline, exiting
+//! nonzero on regression.
+//!
+//! Usage:
+//!   cargo run --release -p mfcp-bench --bin perfgate -- \
+//!     [--runs N] [--tasks N] [--rounds N] [--seed N] \
+//!     [--out PATH] [--baseline PATH] [--check] [--tolerance F] \
+//!     [--trace PATH]
+//!
+//! `--trace PATH` additionally exports the flight-recorder contents of
+//! the final training-round run as Chrome trace-event JSON (loadable in
+//! chrome://tracing or Perfetto).
+
+use mfcp_bench::perfgate::{run_perfgate, PerfgateConfig, PerfgateReport, DEFAULT_TOLERANCE};
+use std::path::{Path, PathBuf};
+
+struct Args {
+    cfg: PerfgateConfig,
+    out: PathBuf,
+    baseline: PathBuf,
+    check: bool,
+    tolerance: f64,
+    trace: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        cfg: PerfgateConfig::default(),
+        out: PathBuf::from("BENCH_perfgate.json"),
+        baseline: PathBuf::from("bench/baseline.json"),
+        check: false,
+        tolerance: DEFAULT_TOLERANCE,
+        trace: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let take_value = |i: usize| -> Result<&str, String> {
+            argv.get(i + 1)
+                .map(String::as_str)
+                .ok_or_else(|| format!("{} needs a value", argv[i]))
+        };
+        match argv[i].as_str() {
+            "--runs" => {
+                args.cfg.runs = take_value(i)?.parse().map_err(|e| format!("--runs: {e}"))?;
+                i += 2;
+            }
+            "--tasks" => {
+                args.cfg.tasks = take_value(i)?
+                    .parse()
+                    .map_err(|e| format!("--tasks: {e}"))?;
+                i += 2;
+            }
+            "--rounds" => {
+                args.cfg.rounds = take_value(i)?
+                    .parse()
+                    .map_err(|e| format!("--rounds: {e}"))?;
+                i += 2;
+            }
+            "--seed" => {
+                args.cfg.seed = take_value(i)?.parse().map_err(|e| format!("--seed: {e}"))?;
+                i += 2;
+            }
+            "--out" => {
+                args.out = PathBuf::from(take_value(i)?);
+                i += 2;
+            }
+            "--baseline" => {
+                args.baseline = PathBuf::from(take_value(i)?);
+                i += 2;
+            }
+            "--check" => {
+                args.check = true;
+                i += 1;
+            }
+            "--tolerance" => {
+                args.tolerance = take_value(i)?
+                    .parse()
+                    .map_err(|e| format!("--tolerance: {e}"))?;
+                if !(args.tolerance >= 0.0 && args.tolerance.is_finite()) {
+                    return Err("--tolerance must be a finite non-negative number".into());
+                }
+                i += 2;
+            }
+            "--trace" => {
+                args.trace = Some(PathBuf::from(take_value(i)?));
+                i += 2;
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn write_creating_dir(path: &Path, content: &str) -> Result<(), String> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        }
+    }
+    std::fs::write(path, content).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("perfgate: {msg}");
+            eprintln!(
+                "usage: perfgate [--runs N] [--tasks N] [--rounds N] [--seed N] [--out PATH] \
+                 [--baseline PATH] [--check] [--tolerance F] [--trace PATH]"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    println!(
+        "perfgate: runs {} tasks {} rounds {} seed {}",
+        args.cfg.runs, args.cfg.tasks, args.cfg.rounds, args.cfg.seed
+    );
+    let mut trace_json = String::new();
+    let report = run_perfgate(&args.cfg, args.trace.is_some().then_some(&mut trace_json));
+    for s in &report.suites {
+        println!(
+            "  {:<16} median {:>9.4}s  p95 {:>9.4}s  over {} runs",
+            s.name,
+            s.median_wall_secs,
+            s.p95_wall_secs,
+            s.wall_secs.len()
+        );
+    }
+
+    if let Err(msg) = write_creating_dir(&args.out, &report.to_json()) {
+        eprintln!("perfgate: {msg}");
+        std::process::exit(1);
+    }
+    println!("wrote {}", args.out.display());
+
+    if let Some(trace_path) = &args.trace {
+        if let Err(msg) = write_creating_dir(trace_path, &trace_json) {
+            eprintln!("perfgate: {msg}");
+            std::process::exit(1);
+        }
+        println!("wrote {}", trace_path.display());
+    }
+
+    if args.check {
+        let baseline_text = match std::fs::read_to_string(&args.baseline) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!(
+                    "perfgate: cannot read baseline {}: {e}",
+                    args.baseline.display()
+                );
+                std::process::exit(1);
+            }
+        };
+        let baseline = mfcp_obs::json::parse(&baseline_text)
+            .map_err(|e| e.to_string())
+            .and_then(|doc| PerfgateReport::from_json(&doc));
+        let baseline = match baseline {
+            Ok(b) => b,
+            Err(msg) => {
+                eprintln!(
+                    "perfgate: invalid baseline {}: {msg}",
+                    args.baseline.display()
+                );
+                std::process::exit(1);
+            }
+        };
+        let violations = report.compare(&baseline, args.tolerance);
+        if violations.is_empty() {
+            println!(
+                "check PASSED against {} (tolerance {:.0}%)",
+                args.baseline.display(),
+                args.tolerance * 100.0
+            );
+        } else {
+            eprintln!(
+                "check FAILED against {} (tolerance {:.0}%):",
+                args.baseline.display(),
+                args.tolerance * 100.0
+            );
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

@@ -8,10 +8,13 @@
 //!
 //! Usage:
 //!   cargo run --release -p mfcp-bench --bin report -- \
-//!     [--tasks N] [--rounds N] [--seed N] [--out PATH] [--overhead [REPS]]
+//!     [--tasks N] [--rounds N] [--seed N] [--out PATH] [--overhead [REPS]] \
+//!     [--trace PATH]
 //!
 //! `--overhead` additionally A/Bs the workload with recording enabled
 //! vs. disabled and prints the relative instrumentation cost.
+//! `--trace PATH` exports the workload's flight-recorder contents as
+//! Chrome trace-event JSON (loadable in chrome://tracing or Perfetto).
 
 use mfcp_bench::report::{measure_overhead, run_report, ReportConfig};
 use std::path::PathBuf;
@@ -20,12 +23,14 @@ struct Args {
     cfg: ReportConfig,
     out: PathBuf,
     overhead_reps: Option<usize>,
+    trace: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut cfg = ReportConfig::default();
     let mut out = PathBuf::from("results/profile.json");
     let mut overhead_reps = None;
+    let mut trace = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -55,6 +60,10 @@ fn parse_args() -> Result<Args, String> {
                 out = PathBuf::from(take_value(i)?);
                 i += 2;
             }
+            "--trace" => {
+                trace = Some(PathBuf::from(take_value(i)?));
+                i += 2;
+            }
             "--overhead" => {
                 // Optional numeric value; defaults to 3 repetitions.
                 match argv.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
@@ -75,6 +84,7 @@ fn parse_args() -> Result<Args, String> {
         cfg,
         out,
         overhead_reps,
+        trace,
     })
 }
 
@@ -84,7 +94,8 @@ fn main() {
         Err(msg) => {
             eprintln!("report: {msg}");
             eprintln!(
-                "usage: report [--tasks N] [--rounds N] [--seed N] [--out PATH] [--overhead [REPS]]"
+                "usage: report [--tasks N] [--rounds N] [--seed N] [--out PATH] \
+                 [--overhead [REPS]] [--trace PATH]"
             );
             std::process::exit(2);
         }
@@ -96,6 +107,28 @@ fn main() {
     );
     let snap = run_report(&args.cfg);
     print!("{}", snap.to_text());
+
+    if let Some(trace_path) = &args.trace {
+        let trace = mfcp_obs::trace::drain();
+        if let Some(dir) = trace_path.parent() {
+            if !dir.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("report: cannot create {}: {e}", dir.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+        if let Err(e) = std::fs::write(trace_path, trace.to_chrome_json()) {
+            eprintln!("report: cannot write {}: {e}", trace_path.display());
+            std::process::exit(1);
+        }
+        println!(
+            "wrote {} ({} events, {} dropped)",
+            trace_path.display(),
+            trace.events.len(),
+            trace.dropped
+        );
+    }
 
     if let Some(dir) = args.out.parent() {
         if !dir.as_os_str().is_empty() {

@@ -11,6 +11,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod perfgate;
 pub mod report;
 
 use mfcp_core::eval::{evaluate_method, EvalOptions, MethodScores};

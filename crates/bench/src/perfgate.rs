@@ -1,0 +1,690 @@
+//! Continuous benchmark gate behind the `perfgate` binary.
+//!
+//! Runs a fixed suite of tier-1 workloads — an MFCP-AD solve, an MFCP-FG
+//! solve, one guarded training round, a thread-pool throughput burst, and
+//! a fault-injected replay — each repeated `runs` times, and emits a
+//! schema-stable JSON report (`BENCH_perfgate.json` at the repo root):
+//! median/p95 wall time per suite, the deterministic observability
+//! counters and histogram quantiles from the final run, and enough
+//! environment metadata to interpret a number before comparing it.
+//!
+//! `--check` mode reads a checked-in baseline (`bench/baseline.json`),
+//! compares suite-by-suite, and exits nonzero on regression:
+//!
+//! * `median_wall_secs` gates with a noise-tolerant relative threshold
+//!   (default 25%, `--tolerance` overrides, and a baseline may pin a
+//!   per-metric threshold in its `"thresholds"` map);
+//! * counter metrics gate on *increases* only (more solver attempts,
+//!   more rollbacks, more re-matches than the baseline is a regression;
+//!   fewer is an improvement);
+//! * `hist.*` quantile metrics are informational — bucket resolution and
+//!   scheduling noise make them poor gates.
+//!
+//! Everything is hand-rolled JSON validated by [`mfcp_obs::json`]; there
+//! is no serde in this workspace.
+
+use crate::report::{fault_stage, training_stage, ReportConfig};
+use mfcp_core::train::{train_mfcp, GradientMode, MfcpTrainConfig, TsmTrainConfig};
+use mfcp_obs::json::{self, Json};
+use mfcp_optim::zeroth::ZerothOrderOptions;
+use mfcp_parallel::{ParallelConfig, ThreadPool};
+use mfcp_platform::dataset::{NoiseConfig, PlatformDataset};
+use mfcp_platform::embedding::FeatureEmbedder;
+use mfcp_platform::settings::{ClusterPool, Setting};
+use mfcp_platform::task::TaskGenerator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Report schema version; bump on any field rename or semantic change.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Default relative regression threshold (25%).
+pub const DEFAULT_TOLERANCE: f64 = 0.25;
+
+/// Size knobs for one perfgate pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PerfgateConfig {
+    /// Timed repetitions per suite (median over these).
+    pub runs: usize,
+    /// Tasks per generated dataset / fault round.
+    pub tasks: usize,
+    /// Decision-focused training rounds in the solve suites.
+    pub rounds: usize,
+    /// Base RNG seed (suites derive their own sub-seeds).
+    pub seed: u64,
+}
+
+impl Default for PerfgateConfig {
+    fn default() -> Self {
+        PerfgateConfig {
+            runs: 3,
+            tasks: 12,
+            rounds: 3,
+            seed: 7,
+        }
+    }
+}
+
+impl PerfgateConfig {
+    fn report_cfg(&self) -> ReportConfig {
+        ReportConfig {
+            tasks: self.tasks,
+            rounds: self.rounds,
+            seed: self.seed,
+        }
+    }
+}
+
+/// One suite's aggregated timings plus the final run's metric snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteResult {
+    /// Suite name (stable across versions; baseline keys match on it).
+    pub name: String,
+    /// Per-run wall times, in run order.
+    pub wall_secs: Vec<f64>,
+    /// Median of `wall_secs`.
+    pub median_wall_secs: f64,
+    /// 95th percentile of `wall_secs` (max for small run counts).
+    pub p95_wall_secs: f64,
+    /// Observability counters (`name -> value`) and histogram quantiles
+    /// (`hist.<name>.p50` / `.p95`) from the final run.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+/// A full perfgate pass: config echo, environment, and per-suite results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfgateReport {
+    /// Schema version of the serialized form.
+    pub schema_version: u64,
+    /// Seconds since the Unix epoch when the report was produced.
+    pub created_unix: u64,
+    /// `std::env::consts::OS`.
+    pub os: String,
+    /// `std::env::consts::ARCH`.
+    pub arch: String,
+    /// Available parallelism on the producing machine.
+    pub threads: u64,
+    /// The config the pass ran with.
+    pub config: PerfgateConfig,
+    /// Suite results in fixed suite order.
+    pub suites: Vec<SuiteResult>,
+    /// Optional per-metric tolerance overrides, keyed
+    /// `"<suite>.<metric>"`. Only meaningful on a baseline.
+    pub thresholds: BTreeMap<String, f64>,
+}
+
+/// One gate failure found by [`PerfgateReport::compare`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Suite the metric belongs to.
+    pub suite: String,
+    /// Metric name (`median_wall_secs` or a counter name).
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// Relative change `(current - baseline) / baseline`.
+    pub rel_change: f64,
+    /// Tolerance the change was gated against.
+    pub tolerance: f64,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}.{}: {:.6} -> {:.6} (+{:.1}%, tolerance {:.0}%)",
+            self.suite,
+            self.metric,
+            self.baseline,
+            self.current,
+            self.rel_change * 100.0,
+            self.tolerance * 100.0
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// Suites
+// ---------------------------------------------------------------------
+
+fn tiny_dataset(cfg: &PerfgateConfig, salt: u64) -> PlatformDataset {
+    let model = ClusterPool::standard().setting(Setting::A);
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(salt));
+    PlatformDataset::generate(
+        &model,
+        &FeatureEmbedder::bottlenecked_platform(),
+        &TaskGenerator::default(),
+        cfg.tasks.max(8),
+        &NoiseConfig::default(),
+        &mut rng,
+    )
+}
+
+fn solve_train_cfg(cfg: &PerfgateConfig, mode: GradientMode) -> MfcpTrainConfig {
+    MfcpTrainConfig {
+        warm_start: TsmTrainConfig {
+            hidden: vec![8],
+            epochs: 20,
+            ..Default::default()
+        },
+        rounds: cfg.rounds.max(1),
+        round_size: 4,
+        gamma: 0.8,
+        validation_rounds: 0,
+        mode,
+        ..Default::default()
+    }
+}
+
+/// MFCP-AD: decision-focused rounds with analytic KKT gradients. This is
+/// the tier-1 hot path — PGD solves plus implicit differentiation.
+fn suite_solve_ad(cfg: &PerfgateConfig) {
+    let data = tiny_dataset(cfg, 11);
+    let train_cfg = solve_train_cfg(cfg, GradientMode::Analytic);
+    let _ = train_mfcp(&data, &train_cfg, cfg.seed.wrapping_add(1));
+}
+
+/// MFCP-FG: the same rounds with zeroth-order forward gradients, which
+/// multiplies the solve count by the perturbation sample count.
+fn suite_solve_fg(cfg: &PerfgateConfig) {
+    let data = tiny_dataset(cfg, 13);
+    let zeroth = ZerothOrderOptions {
+        delta: 0.05,
+        samples: 4,
+        parallel: ParallelConfig::default(),
+    };
+    let train_cfg = solve_train_cfg(cfg, GradientMode::ForwardGradient(zeroth));
+    let _ = train_mfcp(&data, &train_cfg, cfg.seed.wrapping_add(2));
+}
+
+/// One guarded training round with a poisoned sample and a checkpoint —
+/// the rollback/checkpoint machinery, not just the solver.
+fn suite_train_round(cfg: &PerfgateConfig) {
+    training_stage(&cfg.report_cfg());
+}
+
+/// Thread-pool throughput: a burst of ~200 trivial jobs through a
+/// 2-worker pool, dominated by enqueue/dispatch cost.
+fn suite_pool_throughput(_cfg: &PerfgateConfig) {
+    let pool = ThreadPool::new(2);
+    let hits = Arc::new(AtomicUsize::new(0));
+    for _ in 0..200 {
+        let hits = Arc::clone(&hits);
+        pool.execute(move || {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    let _ = pool.join();
+}
+
+/// Fault-injected replay: outage + stragglers over a discrete matching.
+fn suite_fault_replay(cfg: &PerfgateConfig) {
+    fault_stage(&cfg.report_cfg());
+}
+
+type SuiteFn = fn(&PerfgateConfig);
+
+const SUITES: [(&str, SuiteFn); 5] = [
+    ("solve_ad", suite_solve_ad),
+    ("solve_fg", suite_solve_fg),
+    ("train_round", suite_train_round),
+    ("pool_throughput", suite_pool_throughput),
+    ("fault_replay", suite_fault_replay),
+];
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+fn median(sorted: &[f64]) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
+}
+
+fn metrics_from(snap: &mfcp_obs::Snapshot) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    for (name, v) in &snap.counters {
+        out.insert(name.clone(), *v as f64);
+    }
+    for (name, h) in &snap.histograms {
+        for (label, q) in [("p50", 0.5), ("p95", 0.95)] {
+            let v = h.quantile(q);
+            if v.is_finite() {
+                out.insert(format!("hist.{name}.{label}"), v);
+            }
+        }
+    }
+    out
+}
+
+/// Runs every suite `cfg.runs` times and aggregates. When `trace_sink`
+/// is provided, the flight-recorder contents of the final `train_round`
+/// run are exported as Chrome trace JSON into it.
+pub fn run_perfgate(cfg: &PerfgateConfig, mut trace_sink: Option<&mut String>) -> PerfgateReport {
+    let runs = cfg.runs.max(1);
+    let mut suites = Vec::with_capacity(SUITES.len());
+    for (name, workload) in SUITES {
+        let mut wall_secs = Vec::with_capacity(runs);
+        let mut metrics = BTreeMap::new();
+        for run in 0..runs {
+            mfcp_obs::set_enabled(true);
+            mfcp_obs::reset();
+            let t0 = Instant::now();
+            workload(cfg);
+            wall_secs.push(t0.elapsed().as_secs_f64());
+            if run + 1 == runs {
+                metrics = metrics_from(&mfcp_obs::snapshot());
+                if name == "train_round" {
+                    if let Some(sink) = trace_sink.as_deref_mut() {
+                        *sink = mfcp_obs::trace::drain().to_chrome_json();
+                    }
+                }
+            }
+        }
+        let mut sorted = wall_secs.clone();
+        sorted.sort_by(f64::total_cmp);
+        suites.push(SuiteResult {
+            name: name.to_string(),
+            median_wall_secs: median(&sorted),
+            p95_wall_secs: percentile(&sorted, 0.95),
+            wall_secs,
+            metrics,
+        });
+    }
+    PerfgateReport {
+        schema_version: SCHEMA_VERSION,
+        created_unix: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        os: std::env::consts::OS.to_string(),
+        arch: std::env::consts::ARCH.to_string(),
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get() as u64)
+            .unwrap_or(1),
+        config: cfg.clone(),
+        suites,
+        thresholds: BTreeMap::new(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------
+
+impl PerfgateReport {
+    /// Serializes the report as schema-stable JSON (keys in fixed order,
+    /// suites in suite order, metric maps sorted by name).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema_version\": {},", self.schema_version);
+        let _ = writeln!(out, "  \"created_unix\": {},", self.created_unix);
+        let _ = writeln!(
+            out,
+            "  \"env\": {{\"os\": {}, \"arch\": {}, \"threads\": {}}},",
+            json::escape(&self.os),
+            json::escape(&self.arch),
+            self.threads
+        );
+        let _ = writeln!(
+            out,
+            "  \"config\": {{\"runs\": {}, \"tasks\": {}, \"rounds\": {}, \"seed\": {}}},",
+            self.config.runs, self.config.tasks, self.config.rounds, self.config.seed
+        );
+        out.push_str("  \"thresholds\": {");
+        for (i, (k, v)) in self.thresholds.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{}: {}", json::escape(k), json::number(*v));
+        }
+        out.push_str("},\n");
+        out.push_str("  \"suites\": [\n");
+        for (i, s) in self.suites.iter().enumerate() {
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"name\": {},", json::escape(&s.name));
+            let _ = writeln!(out, "      \"runs\": {},", s.wall_secs.len());
+            let _ = writeln!(
+                out,
+                "      \"median_wall_secs\": {},",
+                json::number(s.median_wall_secs)
+            );
+            let _ = writeln!(
+                out,
+                "      \"p95_wall_secs\": {},",
+                json::number(s.p95_wall_secs)
+            );
+            let walls: Vec<String> = s.wall_secs.iter().map(|w| json::number(*w)).collect();
+            let _ = writeln!(out, "      \"wall_secs\": [{}],", walls.join(", "));
+            out.push_str("      \"metrics\": {");
+            for (j, (k, v)) in s.metrics.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\n        {}: {}", json::escape(k), json::number(*v));
+            }
+            if !s.metrics.is_empty() {
+                out.push_str("\n      ");
+            }
+            out.push_str("}\n");
+            out.push_str(if i + 1 == self.suites.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Deserializes a report (or baseline) previously written by
+    /// [`PerfgateReport::to_json`]. Unknown keys are ignored so a newer
+    /// binary can read an older baseline.
+    pub fn from_json(doc: &Json) -> Result<PerfgateReport, String> {
+        let num = |j: Option<&Json>, what: &str| -> Result<f64, String> {
+            j.and_then(Json::as_f64)
+                .ok_or_else(|| format!("missing or non-numeric {what}"))
+        };
+        let schema_version = num(doc.get("schema_version"), "schema_version")? as u64;
+        if schema_version != SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported schema_version {schema_version} (expected {SCHEMA_VERSION})"
+            ));
+        }
+        let env = doc.get("env");
+        let config = doc.get("config");
+        let mut thresholds = BTreeMap::new();
+        if let Some(t) = doc.get("thresholds").and_then(Json::as_object) {
+            for (k, v) in t {
+                thresholds.insert(
+                    k.clone(),
+                    v.as_f64()
+                        .ok_or_else(|| format!("threshold {k} not numeric"))?,
+                );
+            }
+        }
+        let mut suites = Vec::new();
+        for (i, s) in doc
+            .get("suites")
+            .and_then(Json::as_array)
+            .ok_or("missing suites array")?
+            .iter()
+            .enumerate()
+        {
+            let name = s
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("suite {i}: missing name"))?
+                .to_string();
+            let wall_secs: Vec<f64> = s
+                .get("wall_secs")
+                .and_then(Json::as_array)
+                .map(|a| a.iter().filter_map(Json::as_f64).collect())
+                .unwrap_or_default();
+            let mut metrics = BTreeMap::new();
+            if let Some(m) = s.get("metrics").and_then(Json::as_object) {
+                for (k, v) in m {
+                    metrics.insert(
+                        k.clone(),
+                        v.as_f64()
+                            .ok_or_else(|| format!("suite {name}: metric {k} not numeric"))?,
+                    );
+                }
+            }
+            suites.push(SuiteResult {
+                median_wall_secs: num(s.get("median_wall_secs"), "median_wall_secs")?,
+                p95_wall_secs: num(s.get("p95_wall_secs"), "p95_wall_secs")?,
+                name,
+                wall_secs,
+                metrics,
+            });
+        }
+        Ok(PerfgateReport {
+            schema_version,
+            created_unix: num(doc.get("created_unix"), "created_unix").unwrap_or(0.0) as u64,
+            os: env
+                .and_then(|e| e.get("os"))
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string(),
+            arch: env
+                .and_then(|e| e.get("arch"))
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string(),
+            threads: env
+                .and_then(|e| e.get("threads"))
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0) as u64,
+            config: PerfgateConfig {
+                runs: num(config.and_then(|c| c.get("runs")), "config.runs")? as usize,
+                tasks: num(config.and_then(|c| c.get("tasks")), "config.tasks")? as usize,
+                rounds: num(config.and_then(|c| c.get("rounds")), "config.rounds")? as usize,
+                seed: num(config.and_then(|c| c.get("seed")), "config.seed")? as u64,
+            },
+            suites,
+            thresholds,
+        })
+    }
+
+    /// Gates `self` (the current run) against `baseline`. Returns every
+    /// violation found; empty means the gate passes.
+    ///
+    /// * `median_wall_secs` fails when it grew more than the tolerance.
+    /// * Counter metrics fail on relative *increase* beyond the
+    ///   tolerance; a baseline value of zero cannot gate relatively and
+    ///   is skipped. `hist.*` metrics are informational only.
+    /// * Tolerance per metric: `baseline.thresholds["<suite>.<metric>"]`
+    ///   when present, else `default_tolerance`.
+    /// * A suite present in the baseline but missing here is a violation
+    ///   (the gate must not silently shrink its coverage).
+    pub fn compare(&self, baseline: &PerfgateReport, default_tolerance: f64) -> Vec<Violation> {
+        let tol_for = |suite: &str, metric: &str| -> f64 {
+            baseline
+                .thresholds
+                .get(&format!("{suite}.{metric}"))
+                .copied()
+                .unwrap_or(default_tolerance)
+        };
+        let mut violations = Vec::new();
+        for base in &baseline.suites {
+            let Some(cur) = self.suites.iter().find(|s| s.name == base.name) else {
+                violations.push(Violation {
+                    suite: base.name.clone(),
+                    metric: "missing_suite".into(),
+                    baseline: 1.0,
+                    current: 0.0,
+                    rel_change: -1.0,
+                    tolerance: 0.0,
+                });
+                continue;
+            };
+            let mut gate = |metric: &str, base_v: f64, cur_v: f64| {
+                if base_v <= 0.0 || !base_v.is_finite() || !cur_v.is_finite() {
+                    return;
+                }
+                let rel = (cur_v - base_v) / base_v;
+                let tol = tol_for(&base.name, metric);
+                if rel > tol {
+                    violations.push(Violation {
+                        suite: base.name.clone(),
+                        metric: metric.to_string(),
+                        baseline: base_v,
+                        current: cur_v,
+                        rel_change: rel,
+                        tolerance: tol,
+                    });
+                }
+            };
+            gate(
+                "median_wall_secs",
+                base.median_wall_secs,
+                cur.median_wall_secs,
+            );
+            for (name, base_v) in &base.metrics {
+                if name.starts_with("hist.") {
+                    continue;
+                }
+                if let Some(cur_v) = cur.metrics.get(name) {
+                    gate(name, *base_v, *cur_v);
+                }
+            }
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_report() -> PerfgateReport {
+        let mut metrics = BTreeMap::new();
+        metrics.insert("optim.robust.attempts".to_string(), 10.0);
+        metrics.insert("train.rollbacks".to_string(), 1.0);
+        metrics.insert("hist.train.round.loss.p50".to_string(), 0.25);
+        PerfgateReport {
+            schema_version: SCHEMA_VERSION,
+            created_unix: 1_700_000_000,
+            os: "linux".into(),
+            arch: "x86_64".into(),
+            threads: 8,
+            config: PerfgateConfig::default(),
+            suites: vec![SuiteResult {
+                name: "solve_ad".into(),
+                wall_secs: vec![0.5, 0.4, 0.6],
+                median_wall_secs: 0.5,
+                p95_wall_secs: 0.6,
+                metrics,
+            }],
+            thresholds: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let r = small_report();
+        assert!(r.compare(&r, DEFAULT_TOLERANCE).is_empty());
+    }
+
+    #[test]
+    fn injected_slowdown_fails_check() {
+        let base = small_report();
+        let mut slow = base.clone();
+        slow.suites[0].median_wall_secs *= 2.0; // +100% >> 25%
+        let violations = slow.compare(&base, DEFAULT_TOLERANCE);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].metric, "median_wall_secs");
+        assert!(violations[0].rel_change > 0.9);
+        // The other direction (a speedup) is not a violation.
+        assert!(base.compare(&slow, DEFAULT_TOLERANCE).is_empty());
+    }
+
+    #[test]
+    fn counter_regressions_gate_but_hist_quantiles_do_not() {
+        let base = small_report();
+        let mut cur = base.clone();
+        *cur.suites[0]
+            .metrics
+            .get_mut("optim.robust.attempts")
+            .unwrap() = 20.0;
+        *cur.suites[0]
+            .metrics
+            .get_mut("hist.train.round.loss.p50")
+            .unwrap() = 100.0;
+        let violations = cur.compare(&base, DEFAULT_TOLERANCE);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert_eq!(violations[0].metric, "optim.robust.attempts");
+    }
+
+    #[test]
+    fn per_metric_threshold_overrides_default() {
+        let mut base = small_report();
+        base.thresholds
+            .insert("solve_ad.median_wall_secs".to_string(), 3.0);
+        let mut cur = base.clone();
+        cur.suites[0].median_wall_secs *= 2.0;
+        // +100% clears the 300% override even though it fails the default.
+        assert!(cur.compare(&base, DEFAULT_TOLERANCE).is_empty());
+        base.thresholds.clear();
+        assert!(!cur.compare(&base, DEFAULT_TOLERANCE).is_empty());
+    }
+
+    #[test]
+    fn missing_suite_is_a_violation() {
+        let base = small_report();
+        let mut cur = base.clone();
+        cur.suites.clear();
+        let violations = cur.compare(&base, DEFAULT_TOLERANCE);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].metric, "missing_suite");
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut r = small_report();
+        r.thresholds.insert("solve_ad.median_wall_secs".into(), 0.5);
+        let json_text = r.to_json();
+        let doc = json::parse(&json_text).unwrap_or_else(|e| panic!("{e}\n{json_text}"));
+        let back = PerfgateReport::from_json(&doc).expect("deserializes");
+        assert_eq!(back.suites, r.suites);
+        assert_eq!(back.thresholds, r.thresholds);
+        assert_eq!(back.config.runs, r.config.runs);
+        assert_eq!(back.schema_version, SCHEMA_VERSION);
+    }
+
+    #[test]
+    fn wrong_schema_version_is_rejected() {
+        let mut r = small_report();
+        r.schema_version = SCHEMA_VERSION + 1;
+        let doc = json::parse(&r.to_json()).unwrap();
+        assert!(PerfgateReport::from_json(&doc).is_err());
+    }
+
+    /// End-to-end smoke at the smallest sizes: every suite produces a
+    /// median and at least one metric, and the report's JSON parses.
+    #[test]
+    fn tiny_pass_covers_every_suite() {
+        let cfg = PerfgateConfig {
+            runs: 1,
+            tasks: 6,
+            rounds: 1,
+            seed: 3,
+        };
+        let mut trace = String::new();
+        let report = run_perfgate(&cfg, Some(&mut trace));
+        assert_eq!(report.suites.len(), 5);
+        for s in &report.suites {
+            assert!(s.median_wall_secs.is_finite() && s.median_wall_secs >= 0.0);
+            assert!(!s.metrics.is_empty(), "suite {} has no metrics", s.name);
+        }
+        assert!(
+            report.suites[2].metrics.contains_key("train.rounds"),
+            "train_round suite records training counters"
+        );
+        let doc = json::parse(&report.to_json()).expect("report JSON is valid");
+        assert!(PerfgateReport::from_json(&doc).is_ok());
+        // The train_round trace export is valid Chrome trace JSON.
+        let trace_doc = json::parse(&trace).expect("trace JSON is valid");
+        assert!(trace_doc.get("traceEvents").is_some());
+    }
+}

@@ -55,7 +55,7 @@ impl Default for ReportConfig {
 
 /// Stage 1: a degenerate barrier instance (`eps = 0`, infeasible uniform
 /// start) that forces the robust solver down its fallback ladder.
-fn solver_stage(cfg: &ReportConfig) {
+pub(crate) fn solver_stage(cfg: &ReportConfig) {
     let n = cfg.tasks.max(2);
     let problem = MatchingProblem::new(Matrix::filled(2, n, 1.0), Matrix::filled(2, n, 0.7), 0.95);
     let params = RelaxationParams {
@@ -68,7 +68,7 @@ fn solver_stage(cfg: &ReportConfig) {
 
 /// Stage 2: a tiny guarded training run with one poisoned measurement
 /// (exercising rollbacks) and periodic checkpoints.
-fn training_stage(cfg: &ReportConfig) {
+pub(crate) fn training_stage(cfg: &ReportConfig) {
     let model = ClusterPool::standard().setting(Setting::A);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut train = PlatformDataset::generate(
@@ -107,7 +107,7 @@ fn training_stage(cfg: &ReportConfig) {
 
 /// Stage 3: a burst of jobs through the [`ThreadPool`] (the pool is not
 /// on the training path, so the report drives it directly).
-fn pool_stage(cfg: &ReportConfig) {
+pub(crate) fn pool_stage(cfg: &ReportConfig) {
     let pool = ThreadPool::new(2);
     let hits = Arc::new(AtomicUsize::new(0));
     for _ in 0..cfg.tasks.max(4) {
@@ -121,7 +121,7 @@ fn pool_stage(cfg: &ReportConfig) {
 
 /// Stage 4: a fault-injected execution round with a mid-run outage and
 /// stragglers, exercising dispatch-time migration and failure re-queues.
-fn fault_stage(cfg: &ReportConfig) {
+pub(crate) fn fault_stage(cfg: &ReportConfig) {
     let n = cfg.tasks.max(4);
     let t = Matrix::from_fn(2, n, |i, j| 1.0 + 0.1 * ((i + j) % 5) as f64);
     let a = Matrix::filled(2, n, 0.9);

@@ -666,6 +666,7 @@ pub fn train_mfcp(
                 && loss > cfg.spike_factor * baseline.abs() + cfg.spike_slack);
         if spiked {
             mfcp_obs::counter("train.rollbacks").inc();
+            mfcp_obs::trace::instant("train.rollback", Some(round as u64));
             report.recovery.push(RecoveryEvent::Rollback {
                 round,
                 loss,

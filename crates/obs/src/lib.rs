@@ -15,6 +15,12 @@
 //!   for the bucketing scheme.
 //! * [`snapshot`] — a consistent copy of every metric, renderable as JSON
 //!   (machine artifact for perf trajectories) or human-readable text.
+//! * [`trace`] — a flight recorder: per-thread ring buffers of
+//!   sequence-stamped begin/end/instant events (spans emit their
+//!   begin/end pairs automatically), drained into Chrome `trace_event`
+//!   JSON or a text timeline.
+//! * [`json`] — a minimal strict JSON parser, used to validate this
+//!   crate's hand-rolled serializers and to read benchmark baselines.
 //!
 //! Everything lives in one process-wide [`Registry`]. Recording is a few
 //! atomic operations per event; instrumentation sits on coarse operations
@@ -39,9 +45,11 @@
 #![warn(missing_docs)]
 
 pub mod histogram;
+pub mod json;
 pub mod registry;
 pub mod snapshot;
 pub mod span;
+pub mod trace;
 
 pub use histogram::Histogram;
 pub use registry::{Counter, Registry};
@@ -61,6 +69,11 @@ fn global() -> &'static Registry {
 /// Globally enables or disables recording. Handles stay valid; their
 /// record operations become cheap no-ops while disabled. Used by the
 /// `report --overhead` mode to A/B the instrumentation cost.
+///
+/// `set_enabled(false)` also disables the [`trace`] flight recorder —
+/// the kill-switch gates every record path in this crate, events
+/// included, so the disabled arm of an A/B run measures a clean
+/// zero-instrumentation baseline.
 pub fn set_enabled(enabled: bool) {
     ENABLED.store(enabled, Ordering::Relaxed);
 }
@@ -95,11 +108,14 @@ pub fn snapshot() -> Snapshot {
 }
 
 /// Clears every registered metric (counts to zero, spans/histograms
-/// emptied). Intended for benches and the report bin, not for concurrent
-/// production use — events recorded while the reset runs may land on
-/// either side of it.
+/// emptied) and discards buffered flight-recorder events. Counter and
+/// span resets are per-cell stores, so an event recorded while the reset
+/// runs lands on one side of it whole; histogram resets are epoch-based
+/// (see [`histogram`]) and guarantee a concurrent record is either fully
+/// counted in the post-reset state or fully discarded — never torn.
 pub fn reset() {
     global().reset();
+    trace::clear();
 }
 
 /// Serializes the enabled flag and recording assertions across this

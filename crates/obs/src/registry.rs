@@ -89,10 +89,11 @@ impl Registry {
             return Arc::clone(stat);
         }
         let mut map = self.spans.write().unwrap();
-        Arc::clone(
-            map.entry(path.to_string())
-                .or_insert_with(|| Arc::new(SpanStat::new())),
-        )
+        Arc::clone(map.entry(path.to_string()).or_insert_with(|| {
+            // Interned once per distinct path; from then on the span's
+            // flight-recorder events are id-only ring pushes.
+            Arc::new(SpanStat::new(crate::trace::intern(path)))
+        }))
     }
 
     /// Takes a snapshot of every metric.

@@ -100,10 +100,13 @@ impl Snapshot {
             .histograms_map()
             .into_iter()
             .map(|(name, h)| {
-                let count = h.count.load(Ordering::Relaxed);
+                // Read the active generation; the inactive one is zeroed
+                // (see histogram.rs reset semantics).
+                let sh = h.active_shard();
+                let count = sh.count.load(Ordering::Relaxed);
                 let buckets: Vec<(f64, f64, u64)> = (0..BUCKETS)
                     .filter_map(|i| {
-                        let c = h.buckets[i].load(Ordering::Relaxed);
+                        let c = sh.buckets[i].load(Ordering::Relaxed);
                         (c > 0).then(|| {
                             let (lo, hi) = bucket_bounds(i);
                             (lo, hi, c)
@@ -114,16 +117,16 @@ impl Snapshot {
                     (f64::NAN, f64::NAN)
                 } else {
                     (
-                        f64::from_bits(h.min_bits.load(Ordering::Relaxed)),
-                        f64::from_bits(h.max_bits.load(Ordering::Relaxed)),
+                        f64::from_bits(sh.min_bits.load(Ordering::Relaxed)),
+                        f64::from_bits(sh.max_bits.load(Ordering::Relaxed)),
                     )
                 };
                 (
                     name,
                     HistogramSnapshot {
                         count,
-                        nonfinite: h.nonfinite.load(Ordering::Relaxed),
-                        sum: f64::from_bits(h.sum_bits.load(Ordering::Relaxed)),
+                        nonfinite: sh.nonfinite.load(Ordering::Relaxed),
+                        sum: f64::from_bits(sh.sum_bits.load(Ordering::Relaxed)),
                         min,
                         max,
                         buckets,
@@ -255,7 +258,7 @@ fn push_entries<'a, T: 'a>(
     }
 }
 
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -335,6 +338,46 @@ mod tests {
         let text = crate::snapshot().to_text();
         assert!(text.contains("text_root"));
         assert!(text.contains("text_child"));
+    }
+
+    /// Round-trip through the strict in-repo parser: escaping of control
+    /// chars and non-ASCII in interned names, no trailing commas, finite
+    /// numbers only.
+    #[test]
+    fn json_round_trips_through_strict_parser() {
+        let _g = crate::test_guard();
+        let nasty = "snap.nasty \"quoted\"\\\n\t\u{1}控制字符😀";
+        crate::counter(nasty).add(3);
+        let h = crate::histogram("snap.nasty.hist é😀");
+        h.record(2.5);
+        h.record(f64::INFINITY); // must surface as a nonfinite tally, not a literal
+        {
+            let _s = crate::span("snap_nasty_span");
+        }
+        let json = crate::snapshot().to_json();
+        let parsed = crate::json::parse(&json).unwrap_or_else(|e| panic!("{e}\n{json}"));
+        let counters = parsed.get("counters").expect("counters object");
+        assert_eq!(
+            counters.get(nasty).and_then(crate::json::Json::as_f64),
+            Some(3.0),
+            "nasty counter name must survive the round trip"
+        );
+        let hist = parsed
+            .get("histograms")
+            .and_then(|h| h.get("snap.nasty.hist é😀"))
+            .expect("nasty histogram name");
+        assert_eq!(
+            hist.get("nonfinite").and_then(crate::json::Json::as_f64),
+            Some(1.0)
+        );
+        assert_eq!(
+            hist.get("count").and_then(crate::json::Json::as_f64),
+            Some(1.0)
+        );
+        assert!(parsed
+            .get("spans")
+            .and_then(|s| s.get("snap_nasty_span"))
+            .is_some());
     }
 
     #[test]

@@ -7,6 +7,12 @@
 //! which the snapshot renders as a profile tree. Worker threads start
 //! with an empty path, so spans opened inside `par_map` closures become
 //! roots of their own subtrees.
+//!
+//! Besides the aggregate wall-time statistic, every span emits a
+//! begin/end event pair into the [`crate::trace`] flight recorder under
+//! its full path, so queue wait vs. run time (and any other gap between
+//! scopes) can be separated post-hoc from the drained event timeline
+//! instead of being folded into one aggregate duration.
 
 use crate::registry::Registry;
 use std::cell::RefCell;
@@ -23,14 +29,18 @@ pub(crate) struct SpanStat {
     pub(crate) count: AtomicU64,
     pub(crate) total_ns: AtomicU64,
     pub(crate) max_ns: AtomicU64,
+    /// Interned trace-event name of this path, resolved once so the
+    /// per-execution recorder cost is a ring push, not a string intern.
+    pub(crate) trace_name: u32,
 }
 
 impl SpanStat {
-    pub(crate) fn new() -> Self {
+    pub(crate) fn new(trace_name: u32) -> Self {
         SpanStat {
             count: AtomicU64::new(0),
             total_ns: AtomicU64::new(0),
             max_ns: AtomicU64::new(0),
+            trace_name,
         }
     }
 
@@ -66,6 +76,7 @@ pub(crate) fn enter(reg: &'static Registry, name: &'static str) -> SpanGuard {
         path.push_str(name);
         (reg.span_stat(&path), prev_len)
     });
+    crate::trace::begin_id(stat.trace_name, None);
     SpanGuard {
         stat: Some(stat),
         start: Instant::now(),
@@ -79,6 +90,7 @@ impl Drop for SpanGuard {
             return;
         };
         let ns = self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        crate::trace::end_id(stat.trace_name, None);
         stat.count.fetch_add(1, Ordering::Relaxed);
         stat.total_ns.fetch_add(ns, Ordering::Relaxed);
         stat.max_ns.fetch_max(ns, Ordering::Relaxed);
@@ -106,6 +118,58 @@ mod tests {
             PATH.with(|p| assert!(p.borrow().ends_with("span_test_a")));
         }
         PATH.with(|p| assert!(p.borrow().is_empty()));
+    }
+
+    #[test]
+    fn nested_paths_survive_panics() {
+        let _g = crate::test_guard();
+        // Guard drops run during unwind, so the thread-local path must be
+        // fully restored once the panic is caught — a later span on this
+        // thread must not inherit a stale prefix.
+        let caught = std::panic::catch_unwind(|| {
+            let _a = crate::span("span_panic_outer");
+            let _b = crate::span("span_panic_inner");
+            panic!("unwind through open spans");
+        });
+        assert!(caught.is_err());
+        PATH.with(|p| assert!(p.borrow().is_empty(), "path: {:?}", p.borrow()));
+        {
+            let _c = crate::span("span_after_panic");
+            PATH.with(|p| assert_eq!(*p.borrow(), "span_after_panic"));
+        }
+        let snap = crate::snapshot();
+        // Both panicked spans still recorded their timing on unwind…
+        assert!(snap.spans.contains_key("span_panic_outer"));
+        assert!(snap.spans.contains_key("span_panic_outer/span_panic_inner"));
+        // …and the post-panic span is a root, not nested under them.
+        assert!(snap.spans.contains_key("span_after_panic"));
+    }
+
+    #[test]
+    fn span_emits_trace_begin_end_pair() {
+        let _g = crate::test_guard();
+        crate::trace::clear();
+        {
+            let _a = crate::span("span_trace_outer");
+            let _b = crate::span("span_trace_inner");
+        }
+        let trace = crate::trace::drain();
+        let kinds: Vec<(crate::trace::EventKind, &str)> = trace
+            .events
+            .iter()
+            .filter(|e| e.name.starts_with("span_trace_outer"))
+            .map(|e| (e.kind, e.name.as_str()))
+            .collect();
+        use crate::trace::EventKind::*;
+        assert_eq!(
+            kinds,
+            vec![
+                (Begin, "span_trace_outer"),
+                (Begin, "span_trace_outer/span_trace_inner"),
+                (End, "span_trace_outer/span_trace_inner"),
+                (End, "span_trace_outer"),
+            ]
+        );
     }
 
     #[test]

@@ -1,0 +1,617 @@
+//! Flight-recorder event tracing.
+//!
+//! Aggregate counters and span totals (the rest of this crate) answer
+//! *how much*; the flight recorder answers *what happened, in what
+//! order*. Every participating thread owns a fixed-capacity ring buffer
+//! of events — overwrite-oldest, so a long run always retains the most
+//! recent window — and recording an event is a few thread-local writes
+//! plus one global sequence-number fetch-add. There are no cross-thread
+//! locks on the hot path: the per-thread buffer's mutex is only ever
+//! contended by [`drain`].
+//!
+//! Events are sequence-stamped begin/end/instant records carrying an
+//! interned name (for spans, the full `/`-joined span path), the
+//! recording thread's id, and an optional `u64` argument (an iteration
+//! number, a job id, a round index). [`drain`] merges every thread's
+//! buffer into one time-ordered [`Trace`], which exports to
+//! Chrome `trace_event` JSON ([`Trace::to_chrome_json`], loadable in
+//! `chrome://tracing` or <https://ui.perfetto.dev>) or a compact text
+//! timeline ([`Trace::to_text`]).
+//!
+//! Recording is gated on both [`crate::enabled`] (the crate-wide
+//! kill-switch: `set_enabled(false)` also disables the recorder) and the
+//! recorder's own [`set_recording`] flag, so metrics can stay on while
+//! tracing is off.
+//!
+//! ```
+//! mfcp_obs::trace::clear();
+//! {
+//!     let _span = mfcp_obs::span("demo_work");
+//!     mfcp_obs::trace::instant("demo_tick", Some(3));
+//! }
+//! let trace = mfcp_obs::trace::drain();
+//! assert!(trace.events.iter().any(|e| e.name == "demo_tick"));
+//! let json = trace.to_chrome_json();
+//! assert!(json.contains("\"traceEvents\""));
+//! ```
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::Instant;
+
+/// Default per-thread ring capacity, in events.
+pub const DEFAULT_THREAD_CAPACITY: usize = 8192;
+
+static RECORDING: AtomicBool = AtomicBool::new(true);
+static THREAD_CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_THREAD_CAPACITY);
+static SEQ: AtomicU64 = AtomicU64::new(0);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+/// The recorder's time origin: every event timestamp is nanoseconds since
+/// the first event recorded by this process.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Turns the flight recorder on or off without touching the metric
+/// paths. Recording also requires [`crate::enabled`] to be true.
+pub fn set_recording(on: bool) {
+    RECORDING.store(on, Ordering::Relaxed);
+}
+
+/// Whether the recorder would currently accept events.
+pub fn recording() -> bool {
+    RECORDING.load(Ordering::Relaxed) && crate::enabled()
+}
+
+/// Sets the ring capacity (events per thread) applied to buffers created
+/// after this call; existing per-thread buffers keep their capacity.
+/// Clamped to at least 16.
+pub fn set_thread_capacity(events: usize) {
+    THREAD_CAPACITY.store(events.max(16), Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------
+// Name interning
+// ---------------------------------------------------------------------
+
+#[derive(Default)]
+struct NameTable {
+    ids: HashMap<String, u32>,
+    names: Vec<String>,
+}
+
+fn names() -> &'static RwLock<NameTable> {
+    static NAMES: OnceLock<RwLock<NameTable>> = OnceLock::new();
+    NAMES.get_or_init(|| RwLock::new(NameTable::default()))
+}
+
+/// Interns `name` and returns its stable id. Hot paths that emit the
+/// same event name repeatedly should intern once and use the `_id`
+/// record variants.
+pub fn intern(name: &str) -> u32 {
+    if let Some(&id) = names().read().unwrap().ids.get(name) {
+        return id;
+    }
+    let mut table = names().write().unwrap();
+    if let Some(&id) = table.ids.get(name) {
+        return id;
+    }
+    let id = table.names.len() as u32;
+    table.names.push(name.to_string());
+    table.ids.insert(name.to_string(), id);
+    id
+}
+
+fn resolve(id: u32) -> String {
+    names()
+        .read()
+        .unwrap()
+        .names
+        .get(id as usize)
+        .cloned()
+        .unwrap_or_else(|| format!("<unknown:{id}>"))
+}
+
+// ---------------------------------------------------------------------
+// Events and per-thread rings
+// ---------------------------------------------------------------------
+
+/// What a recorded event marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A scope opened (paired with a later [`EventKind::End`]).
+    Begin,
+    /// A scope closed.
+    End,
+    /// A point-in-time marker.
+    Instant,
+}
+
+#[derive(Clone, Copy)]
+struct RawEvent {
+    seq: u64,
+    t_ns: u64,
+    kind: EventKind,
+    name: u32,
+    arg: Option<u64>,
+}
+
+struct Ring {
+    slots: Vec<RawEvent>,
+    capacity: usize,
+    /// Index of the next slot to write once the ring is full.
+    next: usize,
+    /// Events overwritten since the last drain.
+    dropped: u64,
+}
+
+impl Ring {
+    fn new(capacity: usize) -> Self {
+        Ring {
+            slots: Vec::with_capacity(capacity),
+            capacity,
+            next: 0,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, e: RawEvent) {
+        if self.slots.len() < self.capacity {
+            self.slots.push(e);
+        } else {
+            self.slots[self.next] = e;
+            self.next = (self.next + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Removes and returns the buffered events, oldest first.
+    fn take(&mut self) -> (Vec<RawEvent>, u64) {
+        let mut out = Vec::with_capacity(self.slots.len());
+        out.extend_from_slice(&self.slots[self.next..]);
+        out.extend_from_slice(&self.slots[..self.next]);
+        self.slots.clear();
+        self.next = 0;
+        (out, std::mem::take(&mut self.dropped))
+    }
+}
+
+struct ThreadBuffer {
+    tid: u64,
+    thread_name: Option<String>,
+    ring: Mutex<Ring>,
+}
+
+fn buffers() -> &'static Mutex<Vec<Arc<ThreadBuffer>>> {
+    static BUFFERS: OnceLock<Mutex<Vec<Arc<ThreadBuffer>>>> = OnceLock::new();
+    BUFFERS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static TLS_BUFFER: RefCell<Option<Arc<ThreadBuffer>>> = const { RefCell::new(None) };
+}
+
+fn register_thread() -> Arc<ThreadBuffer> {
+    let buf = Arc::new(ThreadBuffer {
+        tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+        thread_name: std::thread::current().name().map(str::to_string),
+        ring: Mutex::new(Ring::new(THREAD_CAPACITY.load(Ordering::Relaxed))),
+    });
+    buffers()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(Arc::clone(&buf));
+    buf
+}
+
+fn record(kind: EventKind, name: u32, arg: Option<u64>) {
+    if !recording() {
+        return;
+    }
+    let t_ns = epoch().elapsed().as_nanos().min(u64::MAX as u128) as u64;
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let e = RawEvent {
+        seq,
+        t_ns,
+        kind,
+        name,
+        arg,
+    };
+    TLS_BUFFER.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        let buf = slot.get_or_insert_with(register_thread);
+        buf.ring.lock().unwrap_or_else(|p| p.into_inner()).push(e);
+    });
+}
+
+/// Records a scope-open event under a pre-interned name.
+pub fn begin_id(name: u32, arg: Option<u64>) {
+    record(EventKind::Begin, name, arg);
+}
+
+/// Records a scope-close event under a pre-interned name.
+pub fn end_id(name: u32, arg: Option<u64>) {
+    record(EventKind::End, name, arg);
+}
+
+/// Records an instant event under a pre-interned name.
+pub fn instant_id(name: u32, arg: Option<u64>) {
+    record(EventKind::Instant, name, arg);
+}
+
+/// Records a scope-open event, interning `name` on the fly.
+pub fn begin(name: &str, arg: Option<u64>) {
+    if recording() {
+        begin_id(intern(name), arg);
+    }
+}
+
+/// Records a scope-close event, interning `name` on the fly.
+pub fn end(name: &str, arg: Option<u64>) {
+    if recording() {
+        end_id(intern(name), arg);
+    }
+}
+
+/// Records an instant event, interning `name` on the fly.
+pub fn instant(name: &str, arg: Option<u64>) {
+    if recording() {
+        instant_id(intern(name), arg);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Draining and exporting
+// ---------------------------------------------------------------------
+
+/// One drained event with its name resolved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Global sequence number (total order across threads).
+    pub seq: u64,
+    /// Nanoseconds since the recorder's first event.
+    pub t_ns: u64,
+    /// Recorder-assigned id of the thread that emitted the event.
+    pub tid: u64,
+    /// Begin / end / instant.
+    pub kind: EventKind,
+    /// Resolved event name (for spans, the full span path).
+    pub name: String,
+    /// Optional argument (iteration, job id, round index, …).
+    pub arg: Option<u64>,
+}
+
+/// A merged, sequence-ordered view of every thread's ring buffer.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Events in global sequence order (per-thread order is preserved).
+    pub events: Vec<TraceEvent>,
+    /// Events lost to ring overwrites since the previous drain.
+    pub dropped: u64,
+    /// `tid -> thread name` for threads that had one.
+    pub thread_names: Vec<(u64, String)>,
+}
+
+/// Drains every thread's ring buffer into one time-ordered [`Trace`].
+/// The buffers are left empty; names stay interned.
+pub fn drain() -> Trace {
+    let mut events = Vec::new();
+    let mut dropped = 0;
+    let mut thread_names = Vec::new();
+    for buf in buffers().lock().unwrap_or_else(|e| e.into_inner()).iter() {
+        let (raw, lost) = buf.ring.lock().unwrap_or_else(|p| p.into_inner()).take();
+        dropped += lost;
+        if let Some(name) = &buf.thread_name {
+            if !raw.is_empty() {
+                thread_names.push((buf.tid, name.clone()));
+            }
+        }
+        events.extend(raw.into_iter().map(|e| TraceEvent {
+            seq: e.seq,
+            t_ns: e.t_ns,
+            tid: buf.tid,
+            kind: e.kind,
+            name: resolve(e.name),
+            arg: e.arg,
+        }));
+    }
+    events.sort_unstable_by_key(|e| e.seq);
+    Trace {
+        events,
+        dropped,
+        thread_names,
+    }
+}
+
+/// Discards every buffered event (a drain whose result is thrown away).
+pub fn clear() {
+    let _ = drain();
+}
+
+impl Trace {
+    /// Exports the trace as Chrome `trace_event` JSON (the
+    /// `{"traceEvents": [...]}` object form), loadable in
+    /// `chrome://tracing` and Perfetto.
+    ///
+    /// Ring overwrites can orphan one half of a begin/end pair, so the
+    /// exporter re-balances each thread's stream: an `E` with no open
+    /// `B` is demoted to an instant, and any `B` still open at the end
+    /// of the trace is closed at the trace's last timestamp.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::from("{\"traceEvents\": [\n");
+        let mut first = true;
+        let mut push = |out: &mut String, line: &str| {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str("  ");
+            out.push_str(line);
+        };
+        push(
+            &mut out,
+            "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, \
+             \"args\": {\"name\": \"mfcp\"}}",
+        );
+        for (tid, name) in &self.thread_names {
+            push(
+                &mut out,
+                &format!(
+                    "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": {tid}, \
+                     \"args\": {{\"name\": {}}}}}",
+                    crate::snapshot::json_str(name)
+                ),
+            );
+        }
+        // Per-thread stacks of open begins, for re-balancing.
+        let mut open: HashMap<u64, Vec<&TraceEvent>> = HashMap::new();
+        let last_ns = self.events.last().map_or(0, |e| e.t_ns);
+        for e in &self.events {
+            let ts = e.t_ns as f64 / 1e3; // trace_event timestamps are µs
+            match e.kind {
+                EventKind::Begin => {
+                    open.entry(e.tid).or_default().push(e);
+                    push(
+                        &mut out,
+                        &chrome_line("B", &e.name, ts, e.tid, e.arg, e.seq),
+                    );
+                }
+                EventKind::End => {
+                    if open.entry(e.tid).or_default().pop().is_some() {
+                        push(
+                            &mut out,
+                            &chrome_line("E", &e.name, ts, e.tid, e.arg, e.seq),
+                        );
+                    } else {
+                        // Begin was overwritten in the ring: keep the
+                        // information without breaking nesting.
+                        push(
+                            &mut out,
+                            &chrome_line("i", &e.name, ts, e.tid, e.arg, e.seq),
+                        );
+                    }
+                }
+                EventKind::Instant => {
+                    push(
+                        &mut out,
+                        &chrome_line("i", &e.name, ts, e.tid, e.arg, e.seq),
+                    );
+                }
+            }
+        }
+        // Close scopes whose end was never recorded (still open, or lost
+        // to an overwrite), innermost first.
+        let mut tids: Vec<u64> = open.keys().copied().collect();
+        tids.sort_unstable();
+        for tid in tids {
+            let mut stack = open.remove(&tid).unwrap_or_default();
+            while let Some(b) = stack.pop() {
+                let ts = last_ns.max(b.t_ns) as f64 / 1e3;
+                push(&mut out, &chrome_line("E", &b.name, ts, tid, None, b.seq));
+            }
+        }
+        out.push_str("\n], \"displayTimeUnit\": \"ms\"}\n");
+        out
+    }
+
+    /// Renders the trace as a compact text timeline: one line per event,
+    /// sequence-ordered, indented by the emitting thread's scope depth.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "flight recorder: {} events, {} dropped to ring overwrite",
+            self.events.len(),
+            self.dropped
+        );
+        let mut depth: HashMap<u64, usize> = HashMap::new();
+        for e in &self.events {
+            let d = depth.entry(e.tid).or_insert(0);
+            let (mark, indent) = match e.kind {
+                EventKind::Begin => {
+                    let i = *d;
+                    *d += 1;
+                    ('>', i)
+                }
+                EventKind::End => {
+                    *d = d.saturating_sub(1);
+                    ('<', *d)
+                }
+                EventKind::Instant => ('.', *d),
+            };
+            let _ = write!(
+                out,
+                "[{:>12.6}ms] t{:02} {:indent$}{mark} {}",
+                e.t_ns as f64 / 1e6,
+                e.tid,
+                "",
+                e.name,
+                indent = indent * 2
+            );
+            match e.arg {
+                Some(a) => {
+                    let _ = writeln!(out, " ({a})");
+                }
+                None => out.push('\n'),
+            }
+        }
+        out
+    }
+}
+
+fn chrome_line(ph: &str, name: &str, ts: f64, tid: u64, arg: Option<u64>, seq: u64) -> String {
+    let mut line = format!(
+        "{{\"name\": {}, \"cat\": \"mfcp\", \"ph\": \"{ph}\", \"ts\": {ts}, \
+         \"pid\": 1, \"tid\": {tid}",
+        crate::snapshot::json_str(name)
+    );
+    if ph == "i" {
+        line.push_str(", \"s\": \"t\"");
+    }
+    match arg {
+        Some(a) => {
+            let _ = write!(line, ", \"args\": {{\"arg\": {a}, \"seq\": {seq}}}}}");
+        }
+        None => {
+            let _ = write!(line, ", \"args\": {{\"seq\": {seq}}}}}");
+        }
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_drain_in_order_with_args() {
+        let _g = crate::test_guard();
+        clear();
+        begin("trace_outer", None);
+        instant("trace_tick", Some(41));
+        end("trace_outer", None);
+        let trace = drain();
+        let mine: Vec<&TraceEvent> = trace
+            .events
+            .iter()
+            .filter(|e| e.name.starts_with("trace_"))
+            .collect();
+        assert_eq!(mine.len(), 3);
+        assert_eq!(mine[0].kind, EventKind::Begin);
+        assert_eq!(mine[1].arg, Some(41));
+        assert_eq!(mine[2].kind, EventKind::End);
+        assert!(mine[0].seq < mine[1].seq && mine[1].seq < mine[2].seq);
+        assert!(mine[0].t_ns <= mine[2].t_ns);
+        // Buffers are empty after a drain.
+        assert!(!drain().events.iter().any(|e| e.name.starts_with("trace_")));
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let mut ring = Ring::new(4);
+        for i in 0..10u64 {
+            ring.push(RawEvent {
+                seq: i,
+                t_ns: i,
+                kind: EventKind::Instant,
+                name: 0,
+                arg: None,
+            });
+        }
+        let (events, dropped) = ring.take();
+        assert_eq!(dropped, 6);
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn disabled_recorder_drops_events() {
+        let _g = crate::test_guard();
+        clear();
+        crate::set_enabled(false);
+        instant("trace_disabled_evt", None);
+        crate::set_enabled(true);
+        set_recording(false);
+        instant("trace_disabled_evt", None);
+        set_recording(true);
+        assert!(!drain()
+            .events
+            .iter()
+            .any(|e| e.name == "trace_disabled_evt"));
+    }
+
+    #[test]
+    fn chrome_export_balances_orphan_ends_and_unclosed_begins() {
+        let _g = crate::test_guard();
+        clear();
+        // Orphan end (its begin was "overwritten"), then an unclosed begin.
+        end("trace_orphan_end", None);
+        begin("trace_unclosed", Some(7));
+        let trace = drain();
+        let json = trace.to_chrome_json();
+        // Orphan end demoted to an instant.
+        let orphan = json
+            .lines()
+            .find(|l| l.contains("trace_orphan_end"))
+            .expect("orphan event present");
+        assert!(orphan.contains("\"ph\": \"i\""), "{orphan}");
+        // Unclosed begin gets a synthetic close.
+        let opens = json.matches("trace_unclosed").count();
+        assert_eq!(opens, 2, "begin + synthetic end:\n{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn text_timeline_indents_by_depth() {
+        let _g = crate::test_guard();
+        clear();
+        begin("trace_text_a", None);
+        instant("trace_text_b", Some(1));
+        end("trace_text_a", None);
+        let text = drain().to_text();
+        assert!(text.contains("> trace_text_a"));
+        assert!(text.contains(". trace_text_b (1)"));
+        assert!(text.contains("< trace_text_a"));
+    }
+
+    /// The Chrome exporter's output must be strictly valid JSON even for
+    /// hostile event names (control chars, quotes, non-ASCII).
+    #[test]
+    fn chrome_export_round_trips_through_strict_parser() {
+        let _g = crate::test_guard();
+        clear();
+        begin("trace \"nasty\"\\\n\t\u{2}名前😀", Some(u64::MAX));
+        instant("trace_plain", None);
+        end("trace \"nasty\"\\\n\t\u{2}名前😀", None);
+        let json = drain().to_chrome_json();
+        let parsed = crate::json::parse(&json).unwrap_or_else(|e| panic!("{e}\n{json}"));
+        let events = parsed
+            .get("traceEvents")
+            .and_then(crate::json::Json::as_array)
+            .expect("traceEvents array");
+        assert!(events
+            .iter()
+            .any(|e| e.get("name").and_then(crate::json::Json::as_str)
+                == Some("trace \"nasty\"\\\n\t\u{2}名前😀")));
+        // Every event has the fields a trace viewer needs.
+        for e in events {
+            assert!(e.get("ph").is_some());
+            assert!(e.get("pid").is_some());
+            assert!(e.get("tid").is_some());
+        }
+    }
+
+    #[test]
+    fn interning_is_stable() {
+        let a = intern("trace.intern.same");
+        let b = intern("trace.intern.same");
+        assert_eq!(a, b);
+        assert_eq!(resolve(a), "trace.intern.same");
+    }
+}

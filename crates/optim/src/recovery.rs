@@ -542,6 +542,7 @@ impl RobustSolver {
                 }
                 FallbackStage::GreedyRounding => {
                     let t0 = Instant::now();
+                    mfcp_obs::trace::begin(stage_trace_name(stage), None);
                     let mut asg = crate::exact::greedy_lpt(problem);
                     crate::rounding::repair_reliability(problem, &mut asg);
                     if problem.capacity.is_some() {
@@ -564,6 +565,7 @@ impl RobustSolver {
                         elapsed_secs: t0.elapsed().as_secs_f64(),
                         outcome: StageOutcome::Success,
                     });
+                    mfcp_obs::trace::end(stage_trace_name(stage), None);
                     record_attempt_metrics(attempts.last().expect("just pushed"));
                     return Ok(self.finish(sol, stage, Some(asg), attempts, start));
                 }
@@ -600,6 +602,7 @@ impl RobustSolver {
         attempts: &mut Vec<StageAttempt>,
     ) -> Option<RelaxedSolution> {
         let t0 = Instant::now();
+        mfcp_obs::trace::begin(stage_trace_name(stage), Some(retry as u64));
         // The softened barrier cutoff is this ladder's μ-style continuation
         // knob; its per-attempt trajectory shows how far back-off had to go.
         if let BarrierKind::Log { eps } = params.barrier {
@@ -623,6 +626,7 @@ impl RobustSolver {
         let stage = FallbackStage::Newton;
         let params = self.safe_params();
         let t0 = Instant::now();
+        mfcp_obs::trace::begin(stage_trace_name(stage), None);
         let mut guard = GuardRunner::new(problem, params, &self.policy, start, stage);
         let result = solve_relaxed_newton_guarded(
             problem,
@@ -644,6 +648,11 @@ impl RobustSolver {
         attempts: &mut Vec<StageAttempt>,
     ) -> Option<RelaxedSolution> {
         let elapsed_secs = t0.elapsed().as_secs_f64();
+        let iters = match &result {
+            Ok(sol) => sol.iterations,
+            Err(err) => error_iteration(err),
+        };
+        mfcp_obs::trace::end(stage_trace_name(stage), Some(iters as u64));
         match result {
             Ok(sol) => {
                 let healthy =
@@ -716,6 +725,20 @@ impl RobustSolver {
     }
 }
 
+/// Flight-recorder event name for a ladder stage. Attempts that actually
+/// run emit a begin/end pair under this name; skipped stages emit an
+/// instant, so the trace timeline shows where the ladder jumped.
+fn stage_trace_name(stage: FallbackStage) -> &'static str {
+    match stage {
+        FallbackStage::Primary => "robust.primary",
+        FallbackStage::BackedOff => "robust.backoff",
+        FallbackStage::Newton => "robust.newton",
+        FallbackStage::MirrorDescent => "robust.mirror-descent",
+        FallbackStage::EuclideanPgd => "robust.euclidean-pgd",
+        FallbackStage::GreedyRounding => "robust.greedy-rounding",
+    }
+}
+
 /// Feeds one finished [`StageAttempt`] into the observability registry:
 /// the attempt counter, per-stage outcome counters, and the wall-time /
 /// iteration histograms that the `report` bin surfaces.
@@ -730,7 +753,9 @@ fn record_attempt_metrics(attempt: &StageAttempt) {
         StageOutcome::Skipped(_) => "skipped",
     };
     mfcp_obs::counter(&format!("optim.robust.stage.{}.{suffix}", attempt.stage)).inc();
-    if !matches!(attempt.outcome, StageOutcome::Skipped(_)) {
+    if matches!(attempt.outcome, StageOutcome::Skipped(_)) {
+        mfcp_obs::trace::instant(stage_trace_name(attempt.stage), Some(attempt.retry as u64));
+    } else {
         mfcp_obs::histogram("optim.robust.attempt_secs").record(attempt.elapsed_secs);
         mfcp_obs::histogram("optim.robust.attempt_iters").record(attempt.iterations as f64);
     }

@@ -188,6 +188,14 @@ pub(crate) fn solve_relaxed_from_guarded(
                 }
             }
         }
+        // Strided flight-recorder markers: iteration 1 plus every 8th keep
+        // the per-iteration cost a single branch while still showing PGD
+        // progress (arg = iteration) on the trace timeline.
+        if (iterations == 1 || iterations.is_multiple_of(8)) && mfcp_obs::trace::recording() {
+            static PGD_ITER: std::sync::OnceLock<u32> = std::sync::OnceLock::new();
+            let id = *PGD_ITER.get_or_init(|| mfcp_obs::trace::intern("pgd.iter"));
+            mfcp_obs::trace::instant_id(id, Some(iterations as u64));
+        }
         guard(iterations, &x, max_change)?;
         if max_change < opts.tol {
             converged = true;

@@ -2,6 +2,7 @@
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -45,6 +46,14 @@ struct Shared {
     jobs_counter: mfcp_obs::Counter,
     queue_wait: mfcp_obs::Histogram,
     job_secs: mfcp_obs::Histogram,
+    /// Pre-interned flight-recorder event names. The enqueue instant fires
+    /// on the submitting thread and the job begin/end pair on the worker;
+    /// matching job ids (the event arg) make queue wait visible as the gap
+    /// between the instant and the begin.
+    ev_enqueue: u32,
+    ev_job: u32,
+    /// Monotonic job id shared by the enqueue instant and the job span.
+    next_job: AtomicU64,
 }
 
 impl Shared {
@@ -86,6 +95,7 @@ pub struct ThreadPool {
 struct TimedJob {
     job: Job,
     submitted: Instant,
+    job_id: u64,
 }
 
 impl ThreadPool {
@@ -99,6 +109,9 @@ impl ThreadPool {
             jobs_counter: mfcp_obs::counter("parallel.pool.jobs"),
             queue_wait: mfcp_obs::histogram("parallel.pool.queue_wait_secs"),
             job_secs: mfcp_obs::histogram("parallel.pool.job_secs"),
+            ev_enqueue: mfcp_obs::trace::intern("pool.enqueue"),
+            ev_job: mfcp_obs::trace::intern("pool.job"),
+            next_job: AtomicU64::new(0),
         });
         let workers = (0..threads)
             .map(|i| {
@@ -143,9 +156,12 @@ impl ThreadPool {
     {
         let sender = self.sender.as_ref().ok_or(PoolError::Closed)?;
         self.shared.lock().in_flight += 1;
+        let job_id = self.shared.next_job.fetch_add(1, Ordering::Relaxed);
+        mfcp_obs::trace::instant_id(self.shared.ev_enqueue, Some(job_id));
         let timed = TimedJob {
             job: Box::new(job),
             submitted: Instant::now(),
+            job_id,
         };
         if sender.send(timed).is_err() {
             // Channel closed under us: the accounting increment must be
@@ -214,7 +230,9 @@ fn worker_loop(rx: Receiver<TimedJob>, shared: Arc<Shared>) {
         shared
             .queue_wait
             .record_duration(started.duration_since(timed.submitted));
+        mfcp_obs::trace::begin_id(shared.ev_job, Some(timed.job_id));
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(timed.job));
+        mfcp_obs::trace::end_id(shared.ev_job, Some(timed.job_id));
         shared.job_secs.record_duration(started.elapsed());
         shared.jobs_counter.inc();
         let mut state = shared.lock();
@@ -319,6 +337,57 @@ mod tests {
         for j in joiners {
             j.join().unwrap().unwrap();
         }
+    }
+
+    /// Every job leaves an enqueue instant plus a begin/end pair carrying
+    /// the same job id on the flight recorder, and the enqueue precedes
+    /// the begin in the global sequence order (the gap between them is
+    /// the queue wait). Counts are lower bounds because other tests in
+    /// this binary share the global recorder.
+    #[test]
+    fn jobs_emit_trace_lifecycle() {
+        let pool = ThreadPool::new(2);
+        let k = 8u64;
+        for _ in 0..k {
+            pool.execute(|| std::thread::sleep(Duration::from_millis(1)));
+        }
+        pool.join().unwrap();
+        let trace = mfcp_obs::trace::drain();
+        let enqueues: Vec<_> = trace
+            .events
+            .iter()
+            .filter(|e| e.name == "pool.enqueue" && e.kind == mfcp_obs::trace::EventKind::Instant)
+            .collect();
+        let begins: Vec<_> = trace
+            .events
+            .iter()
+            .filter(|e| e.name == "pool.job" && e.kind == mfcp_obs::trace::EventKind::Begin)
+            .collect();
+        let ends = trace
+            .events
+            .iter()
+            .filter(|e| e.name == "pool.job" && e.kind == mfcp_obs::trace::EventKind::End)
+            .count();
+        assert!(
+            enqueues.len() >= k as usize,
+            "got {} enqueues",
+            enqueues.len()
+        );
+        assert!(begins.len() >= k as usize, "got {} begins", begins.len());
+        assert!(ends >= k as usize, "got {ends} ends");
+        // This pool's k jobs were fully buffered before the drain (join
+        // returned), so at least k begins must pair with an earlier
+        // enqueue instant carrying the same job id. Begins from tests
+        // running concurrently can be torn across the drain, hence the
+        // lower bound rather than a per-begin assertion.
+        let paired = begins
+            .iter()
+            .filter(|b| b.arg.is_some() && enqueues.iter().any(|e| e.arg == b.arg && e.seq < b.seq))
+            .count();
+        assert!(
+            paired >= k as usize,
+            "only {paired} begins paired with enqueues"
+        );
     }
 
     /// CPU time (user + system) consumed so far by the calling thread, in

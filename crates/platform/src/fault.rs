@@ -195,6 +195,11 @@ pub fn simulate_with_faults(
     let c_rematch = mfcp_obs::counter("platform.faults.rematch");
     let c_outage = mfcp_obs::counter("platform.faults.outage_hits");
     let c_straggle = mfcp_obs::counter("platform.faults.stragglers");
+    // Flight-recorder markers: one instant per dispatched attempt and per
+    // re-match decision, arg = task index, so a trace shows which tasks
+    // bounced between clusters during the replay.
+    let ev_attempt = mfcp_obs::trace::intern("fault.attempt");
+    let ev_rematch = mfcp_obs::trace::intern("fault.rematch");
 
     // Batching factors frozen at the planned loads.
     let counts = assignment.loads(m);
@@ -245,6 +250,7 @@ pub fn simulate_with_faults(
                 .expect("at least one cluster");
             if k != i {
                 c_rematch.inc();
+                mfcp_obs::trace::instant_id(ev_rematch, Some(j as u64));
                 was_remapped[j] = true;
                 final_cluster[j] = k;
                 queues[k].push_back(j);
@@ -254,6 +260,7 @@ pub fn simulate_with_faults(
 
         attempts[j] += 1;
         c_attempts.inc();
+        mfcp_obs::trace::instant_id(ev_attempt, Some(j as u64));
         clock[i] = ready;
 
         let mut duration = factor[i] * problem.times[(i, j)];
@@ -311,6 +318,7 @@ pub fn simulate_with_faults(
                 was_remapped[j] = true;
             }
             c_rematch.inc();
+            mfcp_obs::trace::instant_id(ev_rematch, Some(j as u64));
             final_cluster[j] = k;
             queues[k].push_back(j);
         }
