@@ -1,0 +1,113 @@
+//! Shared batched-solving workload: the `batch_solve` perfgate suite and
+//! the `batch_demo` binary both run this, so the gated number and the
+//! human-inspectable demo measure the same thing.
+//!
+//! The workload mirrors a platform tick: `problems` matching rounds are
+//! sampled from one generated dataset (structurally identical problems —
+//! same clusters, same `N`, same constraint parameters — with different
+//! measured data), then every round is solved through
+//! [`mfcp_parallel::solve_batch`]. Results come back in input order
+//! regardless of thread count, which is what makes the sequential and
+//! batched paths comparable bit for bit.
+
+use mfcp_linalg::Matrix;
+use mfcp_optim::solver::{solve_relaxed, SolverOptions};
+use mfcp_optim::{MatchingProblem, RelaxationParams};
+use mfcp_parallel::{solve_batch, ParallelConfig};
+use mfcp_platform::dataset::{NoiseConfig, PlatformDataset};
+use mfcp_platform::embedding::FeatureEmbedder;
+use mfcp_platform::settings::{ClusterPool, Setting};
+use mfcp_platform::task::TaskGenerator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Size knobs for the batched-solving workload.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchWorkloadConfig {
+    /// Number of matching rounds (= batch slots) to solve.
+    pub problems: usize,
+    /// Tasks in the generated dataset the rounds are sampled from.
+    pub tasks: usize,
+    /// Tasks per round (`N`).
+    pub round_size: usize,
+    /// Reliability threshold `γ`.
+    pub gamma: f64,
+    /// Dataset / round-sampling seed.
+    pub seed: u64,
+}
+
+impl Default for BatchWorkloadConfig {
+    fn default() -> Self {
+        BatchWorkloadConfig {
+            problems: 16,
+            tasks: 24,
+            round_size: 5,
+            gamma: 0.8,
+            seed: 7,
+        }
+    }
+}
+
+/// Samples `cfg.problems` matching rounds from one generated dataset.
+///
+/// All returned problems share one structure (cluster set, `N`, γ); only
+/// the measured time/reliability data differs round to round.
+pub fn build_round_problems(cfg: &BatchWorkloadConfig) -> Vec<MatchingProblem> {
+    let model = ClusterPool::standard().setting(Setting::A);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let data = PlatformDataset::generate(
+        &model,
+        &FeatureEmbedder::bottlenecked_platform(),
+        &TaskGenerator::default(),
+        cfg.tasks.max(cfg.round_size),
+        &NoiseConfig::default(),
+        &mut rng,
+    );
+    let m = data.clusters();
+    let scale = data.times.mean().max(1e-9);
+    (0..cfg.problems)
+        .map(|_| {
+            let idx = mfcp_core::train::sample_round_indices(data.len(), cfg.round_size, &mut rng);
+            let n = idx.len();
+            let t = Matrix::from_fn(m, n, |i, j| data.times[(i, idx[j])] / scale);
+            let a = Matrix::from_fn(m, n, |i, j| data.reliability[(i, idx[j])]);
+            MatchingProblem::new(t, a, cfg.gamma)
+        })
+        .collect()
+}
+
+/// Solves every round through [`solve_batch`] and returns the relaxed
+/// objectives in input order. Panics if any slot panicked — the bench
+/// workload contains no fault injection, so a slot panic is a real bug.
+pub fn solve_rounds(problems: &[MatchingProblem], parallel: &ParallelConfig) -> Vec<f64> {
+    let params = RelaxationParams::default();
+    let opts = SolverOptions::default();
+    solve_batch(parallel, problems, |_, p| {
+        solve_relaxed(p, &params, &opts).objective
+    })
+    .into_iter()
+    .map(|slot| slot.expect("bench workload slots do not panic"))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batched_objectives_match_sequential_bitwise() {
+        let cfg = BatchWorkloadConfig {
+            problems: 6,
+            tasks: 12,
+            ..Default::default()
+        };
+        let problems = build_round_problems(&cfg);
+        assert_eq!(problems.len(), 6);
+        let seq = solve_rounds(&problems, &ParallelConfig::sequential());
+        let par = solve_rounds(&problems, &ParallelConfig::with_threads(4));
+        let seq_bits: Vec<u64> = seq.iter().map(|v| v.to_bits()).collect();
+        let par_bits: Vec<u64> = par.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(seq_bits, par_bits);
+        assert!(seq.iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,8 +1,10 @@
 //! Continuous benchmark gate behind the `perfgate` binary.
 //!
 //! Runs a fixed suite of tier-1 workloads — an MFCP-AD solve, an MFCP-FG
-//! solve, one guarded training round, a thread-pool throughput burst, and
-//! a fault-injected replay — each repeated `runs` times, and emits a
+//! solve, one guarded training round, a thread-pool throughput burst, a
+//! fault-injected replay, the warm-started MFCP-AD solve (`solve_warm`),
+//! and a batched relaxed-solve fan-out (`batch_solve`) — each repeated
+//! `runs` times, and emits a
 //! schema-stable JSON report (`BENCH_perfgate.json` at the repo root):
 //! median/p95 wall time per suite, the deterministic observability
 //! counters and histogram quantiles from the final run, and enough
@@ -23,10 +25,12 @@
 //! Everything is hand-rolled JSON validated by [`mfcp_obs::json`]; there
 //! is no serde in this workspace.
 
+use crate::batch::{build_round_problems, solve_rounds, BatchWorkloadConfig};
 use crate::report::{fault_stage, training_stage, ReportConfig};
 use mfcp_core::train::{train_mfcp, GradientMode, MfcpTrainConfig, TsmTrainConfig};
 use mfcp_obs::json::{self, Json};
 use mfcp_optim::zeroth::ZerothOrderOptions;
+use mfcp_optim::SolverOptions;
 use mfcp_parallel::{ParallelConfig, ThreadPool};
 use mfcp_platform::dataset::{NoiseConfig, PlatformDataset};
 use mfcp_platform::embedding::FeatureEmbedder;
@@ -174,11 +178,29 @@ fn solve_train_cfg(cfg: &PerfgateConfig, mode: GradientMode) -> MfcpTrainConfig 
             epochs: 20,
             ..Default::default()
         },
-        rounds: cfg.rounds.max(1),
-        round_size: 4,
+        // Full-population rounds over enough of them for the predictors to
+        // settle: every round re-solves the same task set (shuffled), which
+        // is the slowly-drifting re-solve regime the warm-start cache is
+        // built for — and the regime where `solve_warm` vs `solve_ad` is a
+        // pure measurement of the cache, not of round-composition churn.
+        rounds: cfg.rounds.max(6),
+        round_size: cfg.tasks.max(8),
         gamma: 0.8,
         validation_rounds: 0,
         mode,
+        // Run-to-convergence solver (the deployed `ExperimentSetup` regime)
+        // rather than the 400-iteration default cap: iteration counts must
+        // respond to solve difficulty for the warm-start suite to measure
+        // anything — a capped solver burns the same budget cold or warm.
+        // lr 0.2 keeps mirror descent monotone on these instances; at the
+        // default 0.8 several solves limit-cycle above the tolerance and
+        // burn `max_iters` no matter where they start.
+        solver: SolverOptions {
+            max_iters: 20_000,
+            tol: 1e-8,
+            lr: 0.2,
+            ..Default::default()
+        },
         ..Default::default()
     }
 }
@@ -200,7 +222,12 @@ fn suite_solve_fg(cfg: &PerfgateConfig) {
         samples: 4,
         parallel: ParallelConfig::default(),
     };
-    let train_cfg = solve_train_cfg(cfg, GradientMode::ForwardGradient(zeroth));
+    let mut train_cfg = solve_train_cfg(cfg, GradientMode::ForwardGradient(zeroth));
+    // FG multiplies the solve count by ~2·samples per cluster; keep this
+    // suite at the smaller round shape so it tracks the FG machinery's
+    // cost without dominating the gate's wall time.
+    train_cfg.rounds = cfg.rounds.max(1);
+    train_cfg.round_size = 4;
     let _ = train_mfcp(&data, &train_cfg, cfg.seed.wrapping_add(2));
 }
 
@@ -229,14 +256,38 @@ fn suite_fault_replay(cfg: &PerfgateConfig) {
     fault_stage(&cfg.report_cfg());
 }
 
+/// Warm-started MFCP-AD: byte-identical workload to `solve_ad` except the
+/// round solves seed from a [`mfcp_core::train::SolveCache`]. The gap
+/// between this suite's median and `solve_ad`'s is the warm-start payoff.
+fn suite_solve_warm(cfg: &PerfgateConfig) {
+    let data = tiny_dataset(cfg, 11);
+    let mut train_cfg = solve_train_cfg(cfg, GradientMode::Analytic);
+    train_cfg.solve_cache = true;
+    let _ = train_mfcp(&data, &train_cfg, cfg.seed.wrapping_add(1));
+}
+
+/// Batched relaxed solves over structurally identical round problems
+/// through `solve_batch` (deterministic ordering, per-slot isolation).
+fn suite_batch_solve(cfg: &PerfgateConfig) {
+    let bcfg = BatchWorkloadConfig {
+        tasks: cfg.tasks.max(8) * 2,
+        seed: cfg.seed.wrapping_add(17),
+        ..Default::default()
+    };
+    let problems = build_round_problems(&bcfg);
+    let _ = solve_rounds(&problems, &ParallelConfig::default());
+}
+
 type SuiteFn = fn(&PerfgateConfig);
 
-const SUITES: [(&str, SuiteFn); 5] = [
+const SUITES: [(&str, SuiteFn); 7] = [
     ("solve_ad", suite_solve_ad),
     ("solve_fg", suite_solve_fg),
     ("train_round", suite_train_round),
     ("pool_throughput", suite_pool_throughput),
     ("fault_replay", suite_fault_replay),
+    ("solve_warm", suite_solve_warm),
+    ("batch_solve", suite_batch_solve),
 ];
 
 fn percentile(sorted: &[f64], q: f64) -> f64 {
@@ -672,7 +723,7 @@ mod tests {
         };
         let mut trace = String::new();
         let report = run_perfgate(&cfg, Some(&mut trace));
-        assert_eq!(report.suites.len(), 5);
+        assert_eq!(report.suites.len(), 7);
         for s in &report.suites {
             assert!(s.median_wall_secs.is_finite() && s.median_wall_secs >= 0.0);
             assert!(!s.metrics.is_empty(), "suite {} has no metrics", s.name);

@@ -6,15 +6,18 @@ use crate::predictor::ClusterPredictor;
 use mfcp_autodiff::Graph;
 use mfcp_linalg::Matrix;
 use mfcp_nn::{Adam, Loss, Optimizer};
+use mfcp_optim::cache::warm_init;
 use mfcp_optim::objective;
-use mfcp_optim::solver::{solve_relaxed, SolverOptions};
+use mfcp_optim::solver::{solve_relaxed, solve_relaxed_from, SolverOptions};
 use mfcp_optim::zeroth::{estimate_gradient, ZerothOrderOptions};
-use mfcp_optim::{kkt, MatchingProblem, RelaxationParams, SpeedupCurve};
-use mfcp_parallel::{par_map, ParallelConfig};
+use mfcp_optim::{
+    kkt, CacheStats, MatchingProblem, RelaxationParams, RelaxedSolution, SpeedupCurve,
+};
+use mfcp_parallel::{par_map, solve_batch, ParallelConfig};
 use mfcp_platform::dataset::PlatformDataset;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::path::{Path, PathBuf};
 
 /// Configuration for the supervised (MSE) predictor training used by TSM,
@@ -125,6 +128,15 @@ pub struct MfcpTrainConfig {
     /// (skipping the supervised warm start) when a complete checkpoint is
     /// present; falls back to the normal warm start otherwise.
     pub resume: bool,
+    /// Warm-start the round solves from a per-sample [`SolveCache`]:
+    /// each solved task's assignment column is cached by global task
+    /// index and spliced into the next round that samples the task.
+    /// Task-level matching preferences drift slowly with the predictors,
+    /// so a resampled task's previous column is an excellent PGD seed.
+    /// Poisoned or aged-out cached columns fall back to a cold seed with
+    /// a [`RecoveryEvent::StaleWarmStart`] — warm starts can change
+    /// solve speed, never validity.
+    pub solve_cache: bool,
 }
 
 impl Default for MfcpTrainConfig {
@@ -150,6 +162,7 @@ impl Default for MfcpTrainConfig {
             checkpoint_every: 0,
             checkpoint_dir: None,
             resume: false,
+            solve_cache: false,
         }
     }
 }
@@ -225,6 +238,17 @@ pub enum RecoveryEvent {
     /// Training resumed from an on-disk checkpoint instead of the
     /// supervised warm start.
     Resumed,
+    /// A cached warm-start state was poisoned (non-finite entries) or no
+    /// longer matched the round's problem shape; the affected solve ran
+    /// cold instead and the stale state was evicted.
+    StaleWarmStart {
+        /// Training round (0-based).
+        round: usize,
+        /// The cluster whose spliced-problem warm start went stale, or
+        /// `None` when a shared (all-predicted / all-measured) round
+        /// solve's cache entry did.
+        cluster: Option<usize>,
+    },
 }
 
 impl std::fmt::Display for RecoveryEvent {
@@ -254,6 +278,16 @@ impl std::fmt::Display for RecoveryEvent {
             }
             RecoveryEvent::Checkpoint { round } => write!(f, "round {round}: checkpoint written"),
             RecoveryEvent::Resumed => write!(f, "resumed from checkpoint"),
+            RecoveryEvent::StaleWarmStart { round, cluster } => match cluster {
+                Some(i) => write!(
+                    f,
+                    "round {round}: cluster {i} warm-start state stale, solved cold"
+                ),
+                None => write!(
+                    f,
+                    "round {round}: shared-solve warm-start entry stale, solved cold"
+                ),
+            },
         }
     }
 }
@@ -473,6 +507,200 @@ fn speedup_vec(cfg: &MfcpTrainConfig, m: usize) -> Vec<SpeedupCurve> {
     }
 }
 
+/// Rounds a stored per-task column survives without being refreshed;
+/// beyond this it is dropped as stale (the predictors have drifted too
+/// far for the old assignment to be a useful seed).
+const TASK_COLUMN_MAX_AGE: usize = 8;
+
+/// True when `col` is a valid simplex column of height `m`.
+fn valid_column(col: &[f64], m: usize) -> bool {
+    col.len() == m
+        && col.iter().all(|v| v.is_finite() && *v >= -1e-9)
+        && (col.iter().sum::<f64>() - 1.0).abs() <= 1e-6
+}
+
+/// Per-task (per-sample) warm-start columns for one family of round
+/// solves. Rounds resample task subsets, so whole solution matrices do
+/// not transfer between rounds — but a task's *column* (its assignment
+/// distribution) does: it is keyed here by global task index and spliced
+/// into the next round that samples the task.
+#[derive(Debug, Clone, Default)]
+pub struct TaskColumns {
+    /// `task index -> (round the column was stored at, column)`.
+    cols: HashMap<usize, (usize, Vec<f64>)>,
+}
+
+/// What building a warm seed from [`TaskColumns`] found.
+struct SeedOutcome {
+    /// The seed (uniform columns for unseen tasks), or `None` when no
+    /// sampled task had a usable cached column.
+    x0: Option<Matrix>,
+    /// Sampled tasks with a valid cached column.
+    hits: u64,
+    /// Sampled tasks never seen (or aged out) by this family.
+    misses: u64,
+    /// Cached columns evicted as poisoned or past the staleness bound.
+    stale: u64,
+}
+
+impl TaskColumns {
+    /// Number of tasks with a cached column.
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// True when no column is cached.
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+
+    /// Inserts a raw column for `task` (stamped at round 0). Validation
+    /// happens at seed time, so poisoned state injected here is detected
+    /// and evicted on the next lookup — used by tests and by callers
+    /// migrating state between cache instances.
+    pub fn insert(&mut self, task: usize, column: Vec<f64>) {
+        self.cols.insert(task, (0, column));
+    }
+
+    /// Builds a warm-start seed for the sampled tasks `idx` on `m`
+    /// clusters, evicting any stale or poisoned columns encountered.
+    ///
+    /// `fallback` is a same-round solution of a nearby problem over the
+    /// *same* task subset (e.g. the all-measured optimum when seeding a
+    /// cluster's one-row-spliced solve): columns the cache cannot supply
+    /// are taken from it instead of the uniform point, so the seed has
+    /// full coverage even on the first round. Fallback columns are not
+    /// counted as cache hits — the miss still records that the task's
+    /// own column was absent.
+    fn seed(
+        &mut self,
+        idx: &[usize],
+        m: usize,
+        round: usize,
+        fallback: Option<&Matrix>,
+    ) -> SeedOutcome {
+        let uniform = 1.0 / m as f64;
+        let fallback = fallback.filter(|f| f.rows() == m && f.cols() == idx.len());
+        let mut x0 = Matrix::filled(m, idx.len(), uniform);
+        let (mut hits, mut misses, mut stale) = (0u64, 0u64, 0u64);
+        for (j, &task) in idx.iter().enumerate() {
+            let cached = match self.cols.get(&task) {
+                None => {
+                    misses += 1;
+                    false
+                }
+                Some((stored_at, col)) => {
+                    if round.saturating_sub(*stored_at) > TASK_COLUMN_MAX_AGE
+                        || !valid_column(col, m)
+                    {
+                        self.cols.remove(&task);
+                        stale += 1;
+                        false
+                    } else {
+                        for (i, &v) in col.iter().enumerate() {
+                            x0[(i, j)] = v.max(0.0);
+                        }
+                        hits += 1;
+                        true
+                    }
+                }
+            };
+            if !cached {
+                if let Some(f) = fallback {
+                    for i in 0..m {
+                        x0[(i, j)] = f[(i, j)].max(0.0);
+                    }
+                }
+            }
+        }
+        SeedOutcome {
+            x0: (hits > 0 || fallback.is_some()).then_some(x0),
+            hits,
+            misses,
+            stale,
+        }
+    }
+
+    /// Stores the solved columns of `x` under the sampled task indices.
+    fn store(&mut self, idx: &[usize], x: &Matrix, round: usize) {
+        if x.rows() == 0 || x.cols() != idx.len() {
+            return;
+        }
+        for (j, &task) in idx.iter().enumerate() {
+            let col = x.col(j);
+            if valid_column(&col, x.rows()) {
+                self.cols.insert(task, (round, col));
+            }
+        }
+    }
+}
+
+/// Cross-round (and cross-run) warm-start state for [`train_mfcp`]: one
+/// [`TaskColumns`] family per distinct round-solve problem shape — the
+/// shared all-predicted and all-measured solves plus each cluster's
+/// spliced problem. Every cached column is re-validated before use; a
+/// poisoned one triggers a cold seed plus a
+/// [`RecoveryEvent::StaleWarmStart`], never a panic or a wrong answer.
+#[derive(Debug, Clone, Default)]
+pub struct SolveCache {
+    /// Columns for the all-predicted shared solve.
+    pub pred: TaskColumns,
+    /// Columns for the all-measured shared solve.
+    pub meas: TaskColumns,
+    /// Columns for each cluster's spliced-prediction solve.
+    pub clusters: Vec<TaskColumns>,
+    /// Aggregate hit/miss/stale accounting across all families.
+    pub stats: CacheStats,
+}
+
+impl SolveCache {
+    /// An empty cache; fills lazily as training rounds complete.
+    pub fn new() -> Self {
+        SolveCache::default()
+    }
+}
+
+/// Folds a [`SeedOutcome`]'s accounting into the cache stats and the
+/// `cache.*` observability counters.
+fn record_seed(outcome: &SeedOutcome, stats: &mut CacheStats) {
+    stats.hits += outcome.hits;
+    stats.misses += outcome.misses;
+    stats.stale += outcome.stale;
+    if outcome.hits > 0 {
+        mfcp_obs::counter("cache.hit").add(outcome.hits);
+    }
+    if outcome.misses > 0 {
+        mfcp_obs::counter("cache.miss").add(outcome.misses);
+    }
+    if outcome.stale > 0 {
+        mfcp_obs::counter("cache.stale").add(outcome.stale);
+        mfcp_obs::trace::instant("train.warm_stale", Some(outcome.stale));
+    }
+}
+
+/// Solves one shared round problem through its [`TaskColumns`] family:
+/// seeds Algorithm 1 from the cached per-task columns when any are
+/// available, then stores the solved columns back. Returns the solution
+/// and whether any cached column went stale (caller reports the event).
+fn solve_family_warm(
+    problem: &MatchingProblem,
+    cfg: &MfcpTrainConfig,
+    idx: &[usize],
+    round: usize,
+    family: &mut TaskColumns,
+    stats: &mut CacheStats,
+    fallback: Option<&Matrix>,
+) -> (RelaxedSolution, bool) {
+    let outcome = family.seed(idx, problem.clusters(), round, fallback);
+    record_seed(&outcome, stats);
+    let sol = match &outcome.x0 {
+        Some(x0) => solve_relaxed_from(problem, &cfg.relaxation, &cfg.solver, warm_init(x0)),
+        None => solve_relaxed(problem, &cfg.relaxation, &cfg.solver),
+    };
+    family.store(idx, &sol.x, round);
+    (sol, outcome.stale > 0)
+}
+
 /// The end-to-end MFCP training loop (paper Fig. 3 / Algorithm 2).
 ///
 /// Each round samples `N = round_size` tasks, and for each cluster `i`
@@ -482,10 +710,41 @@ fn speedup_vec(cfg: &MfcpTrainConfig, m: usize) -> Vec<SpeedupCurve> {
 /// matrices, pulls it back to `∂L/∂t̂_i`, `∂L/∂â_i` through the matching
 /// layer (analytically or by forward gradients), and finally
 /// backpropagates into the predictor parameters.
+///
+/// With [`MfcpTrainConfig::solve_cache`] set, round solves warm-start
+/// from a run-local [`SolveCache`]; use [`train_mfcp_with_cache`] to
+/// carry that state across calls.
 pub fn train_mfcp(
     train: &PlatformDataset,
     cfg: &MfcpTrainConfig,
     seed: u64,
+) -> (MfcpPredictor, TrainReport) {
+    if cfg.solve_cache {
+        let mut cache = SolveCache::new();
+        train_mfcp_impl(train, cfg, seed, Some(&mut cache))
+    } else {
+        train_mfcp_impl(train, cfg, seed, None)
+    }
+}
+
+/// [`train_mfcp`] with caller-owned warm-start state, used regardless of
+/// [`MfcpTrainConfig::solve_cache`]. Successive re-trainings on a live
+/// platform (same cluster set, fresh measurements) can pass the same
+/// `cache` so the first rounds of the next run already warm-start.
+pub fn train_mfcp_with_cache(
+    train: &PlatformDataset,
+    cfg: &MfcpTrainConfig,
+    seed: u64,
+    cache: &mut SolveCache,
+) -> (MfcpPredictor, TrainReport) {
+    train_mfcp_impl(train, cfg, seed, Some(cache))
+}
+
+fn train_mfcp_impl(
+    train: &PlatformDataset,
+    cfg: &MfcpTrainConfig,
+    seed: u64,
+    mut cache: Option<&mut SolveCache>,
 ) -> (MfcpPredictor, TrainReport) {
     let _span = mfcp_obs::span("train_mfcp");
     let m = train.clusters();
@@ -494,6 +753,9 @@ pub fn train_mfcp(
         "need at least one full round of tasks"
     );
     let speedup = speedup_vec(cfg, m);
+    if let Some(c) = cache.as_deref_mut() {
+        c.clusters.resize(m, TaskColumns::default());
+    }
 
     // Hold out a validation slice for best-snapshot selection. Validating
     // on the fitting tasks is useless: the warm start memorizes their
@@ -640,8 +902,44 @@ pub fn train_mfcp(
             cfg.gamma,
             speedup.clone(),
         );
-        let sol_pred_all = solve_relaxed(&problem_all, &cfg.relaxation, &cfg.solver);
-        let sol_true = solve_relaxed(&problem_true, &cfg.relaxation, &cfg.solver);
+        let (sol_pred_all, sol_true) = if let Some(c) = cache.as_deref_mut() {
+            // Measured solve first: its optimum backstops the per-cluster
+            // seeds below (those problems differ from it in one row). The
+            // all-predicted solve gets no fallback — early in training the
+            // predicted matrices sit far from the measured ones, so the
+            // measured optimum is a worse seed than uniform there; its own
+            // family's cached columns cover it from the second round on.
+            let (sol_true, stale_meas) = solve_family_warm(
+                &problem_true,
+                cfg,
+                &idx,
+                round,
+                &mut c.meas,
+                &mut c.stats,
+                None,
+            );
+            let (sol_pred_all, stale_pred) = solve_family_warm(
+                &problem_all,
+                cfg,
+                &idx,
+                round,
+                &mut c.pred,
+                &mut c.stats,
+                None,
+            );
+            if stale_pred || stale_meas {
+                report.recovery.push(RecoveryEvent::StaleWarmStart {
+                    round,
+                    cluster: None,
+                });
+            }
+            (sol_pred_all, sol_true)
+        } else {
+            (
+                solve_relaxed(&problem_all, &cfg.relaxation, &cfg.solver),
+                solve_relaxed(&problem_true, &cfg.relaxation, &cfg.solver),
+            )
+        };
         let loss = if data_ok {
             (objective::value(&problem_true, &cfg.relaxation, &sol_pred_all.x)
                 - objective::value(&problem_true, &cfg.relaxation, &sol_true.x))
@@ -689,16 +987,41 @@ pub fn train_mfcp(
         // ---- per-cluster decision gradients (parallel) ------------------
         // Each cluster's matching solve and gradient pullback is
         // independent of the others (Algorithm 2 fixes all other rows at
-        // measured values), so the expensive part fans out across threads;
-        // the optimizer steps below stay sequential.
+        // measured values), so the expensive part fans out across batch
+        // slots (panic-isolated: a poisoned slot becomes a SkippedCluster,
+        // not a dead round); the optimizer steps below stay sequential.
+        //
+        // Build per-cluster warm seeds from each cluster family's cached
+        // task columns, evicting any state that no longer validates.
+        // Each cluster's spliced problem differs from `problem_true` in a
+        // single row, so the measured optimum backstops any column the
+        // cluster family cannot supply — full-coverage seeds from round
+        // one onward.
+        let use_cache = cache.is_some();
+        let mut cluster_warm: Vec<Option<Matrix>> = vec![None; m];
+        if !spiked {
+            if let Some(c) = cache.as_deref_mut() {
+                for (i, slot) in cluster_warm.iter_mut().enumerate() {
+                    let outcome = c.clusters[i].seed(&idx, m, round, Some(&sol_true.x));
+                    record_seed(&outcome, &mut c.stats);
+                    *slot = outcome.x0;
+                    if outcome.stale > 0 {
+                        report.recovery.push(RecoveryEvent::StaleWarmStart {
+                            round,
+                            cluster: Some(i),
+                        });
+                    }
+                }
+            }
+        }
         let cluster_seeds: Vec<(usize, u64)> = (0..m).map(|i| (i, rng.gen::<u64>())).collect();
-        let cluster_grads: Vec<Option<ClusterGradients>> = if spiked {
+        let batch_out = if spiked {
             Vec::new() // rolled back: no updates this round
         } else {
-            par_map(
+            solve_batch(
                 &ParallelConfig::default(),
                 &cluster_seeds,
-                |&(i, fg_seed)| {
+                |_, &(i, fg_seed)| {
                     let t_hat: Vec<f64> = predictors[i]
                         .predict_times(&features)
                         .into_iter()
@@ -712,7 +1035,19 @@ pub fn train_mfcp(
                     let problem_pred = problem_true
                         .with_time_row(i, &t_hat)
                         .with_reliability_row(i, &a_hat);
-                    let sol = solve_relaxed(&problem_pred, &cfg.relaxation, &cfg.solver);
+                    let sol = match &cluster_warm[i] {
+                        Some(x0) => solve_relaxed_from(
+                            &problem_pred,
+                            &cfg.relaxation,
+                            &cfg.solver,
+                            warm_init(x0),
+                        ),
+                        None => solve_relaxed(&problem_pred, &cfg.relaxation, &cfg.solver),
+                    };
+                    // Hand the optimum back even when the gradient below
+                    // fails — it still seeds next round's solve (store
+                    // validates column by column).
+                    let keep_x = use_cache.then(|| sol.x.clone());
 
                     // ∂L/∂X* = (1/N)·∇_X F(X, T_meas, A_meas) at X = X*(T̂, Â).
                     let dl_dx = objective::grad_x(&problem_true, &cfg.relaxation, &sol.x)
@@ -730,7 +1065,7 @@ pub fn train_mfcp(
                                 &dl_dx,
                             ) {
                                 Ok(g) => (g.dl_dt.row(i).to_vec(), g.dl_da.row(i).to_vec()),
-                                Err(_) => return None,
+                                Err(_) => return (None, keep_x),
                             }
                         }
                         GradientMode::ForwardGradient(zo) => {
@@ -740,50 +1075,74 @@ pub fn train_mfcp(
                                     i,
                                     &theta.iter().map(|&v| v.max(1e-6)).collect::<Vec<_>>(),
                                 );
-                                solve_relaxed(&p, &cfg.relaxation, &cfg.solver).x
+                                // Perturbed problems sit within O(δ) of the
+                                // unperturbed optimum — share it as a common
+                                // warm start across all S perturbation solves.
+                                if use_cache {
+                                    solve_relaxed_from(
+                                        &p,
+                                        &cfg.relaxation,
+                                        &cfg.solver,
+                                        warm_init(&sol.x),
+                                    )
+                                    .x
+                                } else {
+                                    solve_relaxed(&p, &cfg.relaxation, &cfg.solver).x
+                                }
                             };
                             let solve_a = |theta: &[f64]| {
                                 let p = problem_pred.with_reliability_row(i, theta);
-                                solve_relaxed(&p, &cfg.relaxation, &cfg.solver).x
+                                if use_cache {
+                                    solve_relaxed_from(
+                                        &p,
+                                        &cfg.relaxation,
+                                        &cfg.solver,
+                                        warm_init(&sol.x),
+                                    )
+                                    .x
+                                } else {
+                                    solve_relaxed(&p, &cfg.relaxation, &cfg.solver).x
+                                }
                             };
-                            // The S perturbation solves are already parallel
-                            // inside estimate_gradient; keep them sequential
-                            // here to avoid nested fan-out.
-                            let zo_inner = ZerothOrderOptions {
-                                parallel: ParallelConfig::sequential(),
-                                ..zo.clone()
-                            };
+                            // estimate_gradient runs the S perturbation
+                            // solves under the caller's `zo.parallel`
+                            // directly: the probe directions are pre-drawn
+                            // sequentially and the summation order is fixed,
+                            // so the estimate is bitwise identical at any
+                            // thread count.
                             let gt = if update_time {
-                                estimate_gradient(
-                                    &t_hat,
-                                    &sol.x,
-                                    &dl_dx,
-                                    solve_t,
-                                    &zo_inner,
-                                    &mut fg_rng,
-                                )
+                                estimate_gradient(&t_hat, &sol.x, &dl_dx, solve_t, zo, &mut fg_rng)
                             } else {
                                 vec![0.0; n]
                             };
                             let ga = if update_rel {
-                                estimate_gradient(
-                                    &a_hat,
-                                    &sol.x,
-                                    &dl_dx,
-                                    solve_a,
-                                    &zo_inner,
-                                    &mut fg_rng,
-                                )
+                                estimate_gradient(&a_hat, &sol.x, &dl_dx, solve_a, zo, &mut fg_rng)
                             } else {
                                 vec![0.0; n]
                             };
                             (gt, ga)
                         }
                     };
-                    Some((grads.0, grads.1, t_hat, a_hat))
+                    (Some((grads.0, grads.1, t_hat, a_hat)), keep_x)
                 },
             )
         };
+        // Unpack in slot order: refresh the per-cluster warm state and
+        // fold panicked slots into the existing skipped-cluster path.
+        let mut cluster_grads: Vec<Option<ClusterGradients>> = Vec::with_capacity(batch_out.len());
+        for (i, slot) in batch_out.into_iter().enumerate() {
+            match slot {
+                Ok((grad, new_x)) => {
+                    if let Some(c) = cache.as_deref_mut() {
+                        if let Some(x) = new_x {
+                            c.clusters[i].store(&idx, &x, round);
+                        }
+                    }
+                    cluster_grads.push(grad);
+                }
+                Err(_slot_panic) => cluster_grads.push(None),
+            }
+        }
 
         // ---- sequential optimizer steps ---------------------------------
         for (i, cluster_grad) in cluster_grads.into_iter().enumerate() {
@@ -1270,6 +1629,124 @@ mod tests {
         let (t, _) = predicted_matrices(&pred2.predictors, &train.features);
         assert!(t.as_slice().iter().all(|v| v.is_finite()));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn solve_cache_training_hits_and_stays_healthy() {
+        // 5-of-8 task rounds: any two rounds overlap in at least two
+        // tasks (pigeonhole), so warm hits are guaranteed from round 1.
+        let train = dataset(8, 14);
+        let cfg = MfcpTrainConfig {
+            warm_start: quick_tsm_cfg(),
+            rounds: 8,
+            round_size: 5,
+            gamma: 0.8,
+            validation_rounds: 0,
+            solve_cache: true,
+            ..Default::default()
+        };
+        let mut cache = SolveCache::new();
+        let (pred, report) = train_mfcp_with_cache(&train, &cfg, 15, &mut cache);
+        assert!(report.loss_history.iter().all(|l| l.is_finite()));
+        assert!(
+            cache.stats.hits >= 2 * 7 * 2,
+            "resampled tasks must hit their cached columns: {:?}",
+            cache.stats
+        );
+        assert_eq!(cache.clusters.len(), train.clusters());
+        assert!(!cache.pred.is_empty() && !cache.meas.is_empty());
+        assert!(cache.clusters.iter().all(|f| !f.is_empty()));
+        let (t, a) = predicted_matrices(&pred.predictors, &train.features);
+        assert!(t.as_slice().iter().all(|&v| v > 0.0 && v.is_finite()));
+        assert!(a.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn poisoned_cluster_warm_state_goes_stale_not_wrong() {
+        let train = dataset(12, 21);
+        let cfg = MfcpTrainConfig {
+            warm_start: quick_tsm_cfg(),
+            rounds: 3,
+            round_size: 5,
+            gamma: 0.8,
+            validation_rounds: 0,
+            solve_cache: true,
+            ..Default::default()
+        };
+        let mut cache = SolveCache::new();
+        // Poison every task's cached column in every cluster family:
+        // NaN entries AND the wrong height at once.
+        cache.clusters = vec![TaskColumns::default(); train.clusters()];
+        for family in cache.clusters.iter_mut() {
+            for task in 0..train.len() {
+                family.insert(task, vec![f64::NAN; 1]);
+            }
+        }
+        let (_pred, report) = train_mfcp_with_cache(&train, &cfg, 33, &mut cache);
+        let stale_clusters: Vec<_> = report
+            .recovery
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    RecoveryEvent::StaleWarmStart {
+                        round: 0,
+                        cluster: Some(_)
+                    }
+                )
+            })
+            .collect();
+        assert_eq!(
+            stale_clusters.len(),
+            train.clusters(),
+            "every poisoned cluster family must report stale state: {:?}",
+            report.recovery
+        );
+        // One eviction per sampled task per cluster family in round 0.
+        assert!(cache.stats.stale >= (5 * train.clusters()) as u64);
+        assert!(report.loss_history.iter().all(|l| l.is_finite()));
+        // The poisoned columns were replaced by real solutions.
+        assert!(cache.clusters.iter().all(|f| !f.is_empty()));
+    }
+
+    #[test]
+    fn fg_gradients_identical_under_one_and_many_threads() {
+        // Regression for the forced-sequential perturbation solves: the
+        // caller's `parallel` config must be respected AND must not change
+        // the FG estimates — probe directions are pre-drawn sequentially
+        // and the summation order is fixed, so the whole training
+        // trajectory is bitwise reproducible at any thread count.
+        let train = dataset(30, 12);
+        let mk = |threads: usize| MfcpTrainConfig {
+            warm_start: quick_tsm_cfg(),
+            rounds: 6,
+            round_size: 5,
+            gamma: 0.8,
+            validation_rounds: 0,
+            mode: GradientMode::ForwardGradient(ZerothOrderOptions {
+                delta: 0.05,
+                samples: 4,
+                parallel: if threads == 1 {
+                    ParallelConfig::sequential()
+                } else {
+                    ParallelConfig::with_threads(threads)
+                },
+            }),
+            ..Default::default()
+        };
+        let (p1, r1) = train_mfcp(&train, &mk(1), 77);
+        let (p4, r4) = train_mfcp(&train, &mk(4), 77);
+        assert_eq!(r1.loss_history.len(), r4.loss_history.len());
+        for (a, b) in r1.loss_history.iter().zip(&r4.loss_history) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "loss history must be bit-identical across thread counts"
+            );
+        }
+        let (t1, _) = predicted_matrices(&p1.predictors, &train.features);
+        let (t4, _) = predicted_matrices(&p4.predictors, &train.features);
+        assert_eq!(t1.as_slice(), t4.as_slice());
     }
 
     #[test]

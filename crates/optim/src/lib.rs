@@ -27,10 +27,15 @@
 //! * [`recovery`] — fault-tolerant solving: health-guarded solver runs
 //!   with a fallback ladder (backed-off parameters → Newton → PGD
 //!   variants → greedy rounding) and per-stage diagnostics.
+//! * [`cache`] — a fingerprint-keyed warm-start cache: successive solves
+//!   of structurally identical problems seed PGD from the previous
+//!   optimum instead of the uniform simplex point (see DESIGN.md,
+//!   "Warm-start cache and batched solving").
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod exact;
 pub mod kkt;
 pub mod objective;
@@ -41,6 +46,9 @@ pub mod solver;
 pub mod speedup;
 pub mod zeroth;
 
+pub use cache::{
+    CacheOutcome, CacheStats, KktStructure, WarmStartCache, WarmStartConfig, WarmStartEntry,
+};
 pub use objective::{BarrierKind, CostKind, RelaxationParams};
 pub use problem::{Assignment, CapacityConstraint, MatchingProblem};
 pub use recovery::{

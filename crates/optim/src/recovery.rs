@@ -27,10 +27,17 @@
 //!
 //! Every attempt is recorded in [`SolveDiagnostics`] so callers can see
 //! the recovery path taken instead of just a final answer.
+//!
+//! [`RobustSolver::solve_with_cache`] additionally seeds the primary
+//! attempt from a [`crate::cache::WarmStartCache`]: a validated cache
+//! hit runs one warm attempt before the cold ladder, and a diverging
+//! warm attempt marks the entry stale and falls back to the exact cold
+//! path, so warm starts can change only speed — never the answer.
 
 use std::fmt;
 use std::time::{Duration, Instant};
 
+use crate::cache::{fingerprint, warm_init, CacheOutcome, WarmStartCache, WarmStartEntry};
 use crate::objective::{self, BarrierKind, RelaxationParams};
 use crate::problem::{Assignment, MatchingProblem};
 use crate::solver::{
@@ -307,6 +314,9 @@ pub struct StageAttempt {
     pub objective: Option<f64>,
     /// Wall-clock seconds spent in this attempt.
     pub elapsed_secs: f64,
+    /// Whether the attempt was seeded from a cached warm start instead
+    /// of the uniform simplex point (see [`crate::cache`]).
+    pub warm_start: bool,
     /// Outcome of the attempt.
     pub outcome: StageOutcome,
 }
@@ -322,6 +332,9 @@ pub struct SolveDiagnostics {
     pub recovered: bool,
     /// Total wall-clock seconds across all attempts.
     pub total_secs: f64,
+    /// Warm-start cache outcome for this solve; `None` for plain
+    /// [`RobustSolver::solve`] calls that never consulted a cache.
+    pub cache: Option<CacheOutcome>,
 }
 
 impl SolveDiagnostics {
@@ -330,11 +343,14 @@ impl SolveDiagnostics {
     pub fn path(&self) -> String {
         let mut parts = Vec::with_capacity(self.attempts.len());
         for a in &self.attempts {
-            let label = if a.stage == FallbackStage::BackedOff {
+            let mut label = if a.stage == FallbackStage::BackedOff {
                 format!("{}#{}", a.stage, a.retry)
             } else {
                 a.stage.to_string()
             };
+            if a.warm_start {
+                label = format!("warm-{label}");
+            }
             let mark = match &a.outcome {
                 StageOutcome::Success => "ok".to_string(),
                 StageOutcome::Failed(err) => format!("x({})", short_reason(err)),
@@ -459,6 +475,69 @@ impl RobustSolver {
     /// problem data or parameters are malformed, or
     /// [`SolveError::Exhausted`] when every configured rung failed.
     pub fn solve(&self, problem: &MatchingProblem) -> Result<RobustSolution, SolveError> {
+        self.solve_inner(problem, None)
+    }
+
+    /// Solves `problem`, seeding the primary attempt from `cache` when a
+    /// valid entry exists for the problem's [`fingerprint`].
+    ///
+    /// A cache hit blends the cached optimum toward the interior (see
+    /// [`crate::cache::warm_init`]) and runs one warm primary attempt
+    /// before the regular ladder; if that attempt diverges the entry is
+    /// marked stale (`cache.stale`) and the full cold ladder runs, so a
+    /// poisoned entry can cost at most one failed attempt — never a
+    /// wrong answer. Successful non-greedy solves refresh the cache.
+    /// [`SolveDiagnostics::cache`] records the outcome.
+    pub fn solve_with_cache(
+        &self,
+        problem: &MatchingProblem,
+        cache: &mut WarmStartCache,
+    ) -> Result<RobustSolution, SolveError> {
+        validate_problem(problem)?;
+        validate_params(&self.params)?;
+        let key = fingerprint(problem, &self.params);
+        let (outcome, warm) = cache.lookup(key, problem.clusters(), problem.tasks());
+        let warm_used = warm.is_some();
+        match self.solve_inner(problem, warm) {
+            Ok(mut sol) => {
+                let warm_failed = warm_used
+                    && sol.diagnostics.attempts.first().is_some_and(|a| {
+                        a.warm_start && !matches!(a.outcome, StageOutcome::Success)
+                    });
+                sol.diagnostics.cache = Some(if warm_failed {
+                    cache.note_stale(key);
+                    CacheOutcome::Stale
+                } else {
+                    outcome
+                });
+                // Greedy 0/1 vertices are poor seeds for multiplicative
+                // mirror-descent updates; only cache fractional optima.
+                if sol.stage != FallbackStage::GreedyRounding {
+                    cache.store(
+                        key,
+                        WarmStartEntry::from_solution(problem, &self.params, &sol.x, sol.objective),
+                    );
+                }
+                Ok(sol)
+            }
+            Err(SolveError::Exhausted { mut diagnostics }) => {
+                diagnostics.cache = Some(if warm_used {
+                    cache.note_stale(key);
+                    CacheOutcome::Stale
+                } else {
+                    outcome
+                });
+                Err(SolveError::Exhausted { diagnostics })
+            }
+            Err(other) => Err(other),
+        }
+    }
+
+    fn solve_inner(
+        &self,
+        problem: &MatchingProblem,
+        mut warm: Option<Matrix>,
+    ) -> Result<RobustSolution, SolveError> {
         let _span = mfcp_obs::span("robust_solve");
         mfcp_obs::counter("optim.robust.calls").inc();
         validate_problem(problem)?;
@@ -476,6 +555,7 @@ impl RobustSolver {
                     converged: false,
                     objective: None,
                     elapsed_secs: 0.0,
+                    warm_start: false,
                     outcome: StageOutcome::Skipped("wall-clock budget exhausted".into()),
                 });
                 record_attempt_metrics(attempts.last().expect("just pushed"));
@@ -484,9 +564,33 @@ impl RobustSolver {
             match stage {
                 FallbackStage::Primary => {
                     let opts = self.solver_opts;
-                    if let Some(sol) =
-                        self.try_pgd(problem, stage, 0, self.params, opts, start, &mut attempts)
-                    {
+                    // One warm attempt first, when a cached optimum was
+                    // supplied; its failure falls through to the regular
+                    // cold primary attempt and the rest of the ladder.
+                    if let Some(x0) = warm.take() {
+                        if let Some(sol) = self.try_pgd(
+                            problem,
+                            stage,
+                            0,
+                            self.params,
+                            opts,
+                            start,
+                            Some(x0),
+                            &mut attempts,
+                        ) {
+                            return Ok(self.finish(sol, stage, None, attempts, start));
+                        }
+                    }
+                    if let Some(sol) = self.try_pgd(
+                        problem,
+                        stage,
+                        0,
+                        self.params,
+                        opts,
+                        start,
+                        None,
+                        &mut attempts,
+                    ) {
                         return Ok(self.finish(sol, stage, None, attempts, start));
                     }
                 }
@@ -497,9 +601,16 @@ impl RobustSolver {
                         }
                         let params = self.backoff.backed_off(&self.params, retry);
                         let opts = self.solver_opts;
-                        if let Some(sol) =
-                            self.try_pgd(problem, stage, retry, params, opts, start, &mut attempts)
-                        {
+                        if let Some(sol) = self.try_pgd(
+                            problem,
+                            stage,
+                            retry,
+                            params,
+                            opts,
+                            start,
+                            None,
+                            &mut attempts,
+                        ) {
                             return Ok(self.finish(sol, stage, None, attempts, start));
                         }
                     }
@@ -513,6 +624,7 @@ impl RobustSolver {
                             converged: false,
                             objective: None,
                             elapsed_secs: 0.0,
+                            warm_start: false,
                             outcome: StageOutcome::Skipped(
                                 "parallel speedup curves: Newton needs the convex sequential \
                                  setting"
@@ -535,7 +647,7 @@ impl RobustSolver {
                     };
                     let params = self.safe_params();
                     if let Some(sol) =
-                        self.try_pgd(problem, stage, 0, params, opts, start, &mut attempts)
+                        self.try_pgd(problem, stage, 0, params, opts, start, None, &mut attempts)
                     {
                         return Ok(self.finish(sol, stage, None, attempts, start));
                     }
@@ -563,6 +675,7 @@ impl RobustSolver {
                         converged: true,
                         objective: Some(objective),
                         elapsed_secs: t0.elapsed().as_secs_f64(),
+                        warm_start: false,
                         outcome: StageOutcome::Success,
                     });
                     mfcp_obs::trace::end(stage_trace_name(stage), None);
@@ -578,6 +691,7 @@ impl RobustSolver {
                 recovered: false,
                 total_secs: start.elapsed().as_secs_f64(),
                 attempts,
+                cache: None,
             }),
         })
     }
@@ -599,6 +713,7 @@ impl RobustSolver {
         params: RelaxationParams,
         opts: SolverOptions,
         start: Instant,
+        warm: Option<Matrix>,
         attempts: &mut Vec<StageAttempt>,
     ) -> Option<RelaxedSolution> {
         let t0 = Instant::now();
@@ -609,11 +724,15 @@ impl RobustSolver {
             mfcp_obs::histogram("optim.robust.barrier_eps").record(eps);
         }
         let mut guard = GuardRunner::new(problem, params, &self.policy, start, stage);
-        let x0 = uniform_init(problem.clusters(), problem.tasks());
+        let warm_start = warm.is_some();
+        let x0 = match warm {
+            Some(x) => warm_init(&x),
+            None => uniform_init(problem.clusters(), problem.tasks()),
+        };
         let result = solve_relaxed_from_guarded(problem, &params, &opts, x0, &mut |it, x, step| {
             guard.check(it, x, step)
         });
-        self.record(stage, retry, t0, result, attempts)
+        self.record(stage, retry, t0, result, warm_start, attempts)
     }
 
     /// Runs the guarded Newton attempt with conservative parameters.
@@ -634,7 +753,7 @@ impl RobustSolver {
             &self.newton_opts,
             &mut |it, x, step| guard.check(it, x, step),
         );
-        self.record(stage, 0, t0, result, attempts)
+        self.record(stage, 0, t0, result, false, attempts)
     }
 
     /// Health-checks a finished attempt, records it, and returns the
@@ -645,6 +764,7 @@ impl RobustSolver {
         retry: usize,
         t0: Instant,
         result: Result<RelaxedSolution, SolveError>,
+        warm_start: bool,
         attempts: &mut Vec<StageAttempt>,
     ) -> Option<RelaxedSolution> {
         let elapsed_secs = t0.elapsed().as_secs_f64();
@@ -676,6 +796,7 @@ impl RobustSolver {
                     converged: sol.converged,
                     objective: Some(sol.objective),
                     elapsed_secs,
+                    warm_start,
                     outcome,
                 });
                 record_attempt_metrics(attempts.last().expect("just pushed"));
@@ -689,6 +810,7 @@ impl RobustSolver {
                     converged: false,
                     objective: None,
                     elapsed_secs,
+                    warm_start,
                     outcome: StageOutcome::Failed(err),
                 });
                 record_attempt_metrics(attempts.last().expect("just pushed"));
@@ -720,6 +842,7 @@ impl RobustSolver {
                 attempts,
                 recovered,
                 total_secs: start.elapsed().as_secs_f64(),
+                cache: None,
             },
         }
     }
@@ -1179,5 +1302,149 @@ mod tests {
         let path = sol.diagnostics.path();
         assert!(path.contains("primary x(non-finite)"), "path: {path}");
         assert!(path.contains("ok"), "path: {path}");
+    }
+
+    fn cached_solver() -> RobustSolver {
+        let mut solver = RobustSolver::new(RelaxationParams::default());
+        // Converge tightly so warm and cold land on the same unique
+        // entropic optimum (the default budget of 400 iterations stops
+        // short of the 1e-8 objective agreement these tests assert).
+        solver.solver_opts.lr = 0.3;
+        solver.solver_opts.max_iters = 20_000;
+        solver.solver_opts.tol = 1e-12;
+        solver
+    }
+
+    #[test]
+    fn warm_cache_hit_matches_cold_solve() {
+        let problem = random_problem(7, 3, 6);
+        let solver = cached_solver();
+        let cold = solver.solve(&problem).expect("cold solve");
+
+        let mut cache = WarmStartCache::new();
+        let first = solver
+            .solve_with_cache(&problem, &mut cache)
+            .expect("miss populates");
+        assert_eq!(first.diagnostics.cache, Some(CacheOutcome::Miss));
+        let warm = solver
+            .solve_with_cache(&problem, &mut cache)
+            .expect("hit solves");
+        assert_eq!(warm.diagnostics.cache, Some(CacheOutcome::Hit));
+        assert!(warm.diagnostics.attempts[0].warm_start);
+        assert!(warm.diagnostics.path().starts_with("warm-primary"));
+        assert!((warm.objective - cold.objective).abs() < 1e-8);
+        // Warm convergence from (near) the optimum takes far fewer
+        // iterations than the cold run.
+        assert!(
+            warm.diagnostics.attempts[0].iterations <= cold.diagnostics.attempts[0].iterations,
+            "warm {} vs cold {}",
+            warm.diagnostics.attempts[0].iterations,
+            cold.diagnostics.attempts[0].iterations
+        );
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn poisoned_nan_duals_fall_back_to_cold() {
+        let problem = random_problem(8, 3, 5);
+        let solver = cached_solver();
+        let mut cache = WarmStartCache::new();
+        solver
+            .solve_with_cache(&problem, &mut cache)
+            .expect("populate");
+        let key = fingerprint(&problem, &solver.params);
+        cache.entry_mut(key).expect("entry exists").duals[0] = f64::NAN;
+
+        let cold = solver.solve(&problem).expect("plain solve");
+        let sol = solver
+            .solve_with_cache(&problem, &mut cache)
+            .expect("poisoned entry must not panic or fail the solve");
+        assert_eq!(sol.diagnostics.cache, Some(CacheOutcome::Stale));
+        assert!(
+            !sol.diagnostics.attempts[0].warm_start,
+            "stale entry must be dropped before the solver runs"
+        );
+        assert_eq!(sol.objective.to_bits(), cold.objective.to_bits());
+        assert_eq!(sol.x.as_slice(), cold.x.as_slice());
+        assert_eq!(cache.stats().stale, 1);
+    }
+
+    #[test]
+    fn wrong_dimension_cached_assignment_falls_back_to_cold() {
+        let problem = random_problem(9, 3, 5);
+        let solver = cached_solver();
+        let mut cache = WarmStartCache::new();
+        solver
+            .solve_with_cache(&problem, &mut cache)
+            .expect("populate");
+        let key = fingerprint(&problem, &solver.params);
+        cache.entry_mut(key).expect("entry exists").x = Matrix::filled(2, 2, 0.5);
+
+        let cold = solver.solve(&problem).expect("plain solve");
+        let sol = solver
+            .solve_with_cache(&problem, &mut cache)
+            .expect("wrong-dimension entry must not panic");
+        assert_eq!(sol.diagnostics.cache, Some(CacheOutcome::Stale));
+        assert_eq!(sol.objective.to_bits(), cold.objective.to_bits());
+        assert_eq!(cache.stats().stale, 1);
+    }
+
+    #[test]
+    fn warm_divergence_falls_back_to_cold_ladder() {
+        // The degenerate barrier breaks the warm attempt (the entry
+        // itself validates fine), so the solver must record the warm
+        // failure, mark the entry stale, and recover through the ladder
+        // with the same answer as a plain solve.
+        let (problem, params) = degenerate_barrier_setup();
+        let solver = RobustSolver::new(params);
+        let (m, n) = (problem.clusters(), problem.tasks());
+        let mut cache = WarmStartCache::new();
+        let key = fingerprint(&problem, &solver.params);
+        cache.store(
+            key,
+            WarmStartEntry {
+                x: uniform_init(m, n),
+                objective: 1.0,
+                duals: vec![0.0; n],
+                kkt: None,
+                stored_at: 0,
+            },
+        );
+
+        let cold = solver.solve(&problem).expect("plain ladder recovers");
+        let sol = solver
+            .solve_with_cache(&problem, &mut cache)
+            .expect("warm divergence must fall back, not fail");
+        assert_eq!(sol.diagnostics.cache, Some(CacheOutcome::Stale));
+        let first = &sol.diagnostics.attempts[0];
+        assert!(first.warm_start, "path: {}", sol.diagnostics.path());
+        assert!(
+            matches!(first.outcome, StageOutcome::Failed(_)),
+            "warm attempt must be on record as failed"
+        );
+        assert!(sol.diagnostics.recovered);
+        assert_eq!(sol.stage, cold.stage);
+        assert_eq!(sol.objective.to_bits(), cold.objective.to_bits());
+        assert_eq!(sol.x.as_slice(), cold.x.as_slice());
+        assert_eq!(cache.stats().stale, 1);
+        // The divergent entry was evicted and replaced by the recovered
+        // solution, not left in place to diverge again.
+        let entry = cache
+            .entry_mut(key)
+            .expect("recovered solve refreshed the entry");
+        assert_eq!(entry.x.as_slice(), cold.x.as_slice());
+    }
+
+    #[test]
+    fn greedy_results_are_not_cached() {
+        let problem = random_problem(10, 3, 7);
+        let mut solver = cached_solver();
+        solver.ladder = vec![FallbackStage::GreedyRounding];
+        let mut cache = WarmStartCache::new();
+        solver
+            .solve_with_cache(&problem, &mut cache)
+            .expect("greedy rung is infallible");
+        assert!(cache.is_empty(), "0/1 vertices must not be cached");
     }
 }

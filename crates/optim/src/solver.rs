@@ -100,26 +100,28 @@ pub fn solve_relaxed(
     params: &RelaxationParams,
     opts: &SolverOptions,
 ) -> RelaxedSolution {
-    let _span = mfcp_obs::span("solve_relaxed");
-    mfcp_obs::counter("optim.solve.calls").inc();
     let x0 = uniform_init(problem.clusters(), problem.tasks());
-    let sol = solve_relaxed_from(problem, params, opts, x0);
-    mfcp_obs::histogram("optim.solve.iters").record(sol.iterations as f64);
-    sol
+    solve_relaxed_from(problem, params, opts, x0)
 }
 
 /// Solves the relaxed matching problem starting from `x0` (columns must
-/// lie on the simplex).
+/// lie on the simplex). Warm starts from a cached optimum enter here;
+/// the solve counter and iteration histogram cover both cold and warm
+/// entries.
 pub fn solve_relaxed_from(
     problem: &MatchingProblem,
     params: &RelaxationParams,
     opts: &SolverOptions,
     x: Matrix,
 ) -> RelaxedSolution {
-    match solve_relaxed_from_guarded(problem, params, opts, x, &mut |_, _, _| Ok(())) {
+    let _span = mfcp_obs::span("solve_relaxed");
+    mfcp_obs::counter("optim.solve.calls").inc();
+    let sol = match solve_relaxed_from_guarded(problem, params, opts, x, &mut |_, _, _| Ok(())) {
         Ok(sol) => sol,
         Err(_) => unreachable!("the no-op guard never fails"),
-    }
+    };
+    mfcp_obs::histogram("optim.solve.iters").record(sol.iterations as f64);
+    sol
 }
 
 /// Guarded variant of [`solve_relaxed_from`]: `guard` is invoked after

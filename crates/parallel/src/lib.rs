@@ -13,6 +13,10 @@
 //!   [`par_reduce`]) — borrow-friendly fork/join over slices built on
 //!   `crossbeam::thread::scope`, so callers can parallelize over borrowed
 //!   data without `Arc`-wrapping everything.
+//! * [`solve_batch`] / [`solve_batch_on_pool`] — batched fan-out with
+//!   deterministic result ordering and per-slot panic isolation
+//!   ([`SlotPanic`]), used by training to keep one poisoned solve from
+//!   taking down a whole round.
 //!
 //! All helpers fall back to sequential execution for tiny inputs where
 //! thread spawn overhead would dominate.
@@ -20,9 +24,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod pool;
 mod scoped;
 
+pub use batch::{solve_batch, solve_batch_on_pool, SlotPanic};
 pub use pool::{PoolError, ThreadPool};
 pub use scoped::{par_chunks_mut, par_for_each, par_map, par_reduce, ParallelConfig};
 

@@ -58,7 +58,7 @@ impl ParallelConfig {
         }
     }
 
-    fn effective_threads(&self, len: usize) -> usize {
+    pub(crate) fn effective_threads(&self, len: usize) -> usize {
         if len < self.sequential_cutoff {
             1
         } else {
