@@ -3,8 +3,9 @@
 //! Runs a fixed suite of tier-1 workloads — an MFCP-AD solve, an MFCP-FG
 //! solve, one guarded training round, a thread-pool throughput burst, a
 //! fault-injected replay, the warm-started MFCP-AD solve (`solve_warm`),
-//! and a batched relaxed-solve fan-out (`batch_solve`) — each repeated
-//! `runs` times, and emits a
+//! a batched relaxed-solve fan-out (`batch_solve`), and a head-to-head
+//! of the structured vs dense implicit-gradient paths (`kkt_grad`) —
+//! each repeated `runs` times, and emits a
 //! schema-stable JSON report (`BENCH_perfgate.json` at the repo root):
 //! median/p95 wall time per suite, the deterministic observability
 //! counters and histogram quantiles from the final run, and enough
@@ -28,15 +29,18 @@
 use crate::batch::{build_round_problems, solve_rounds, BatchWorkloadConfig};
 use crate::report::{fault_stage, training_stage, ReportConfig};
 use mfcp_core::train::{train_mfcp, GradientMode, MfcpTrainConfig, TsmTrainConfig};
+use mfcp_linalg::Matrix;
 use mfcp_obs::json::{self, Json};
+use mfcp_optim::kkt::{self, KktWorkspace};
 use mfcp_optim::zeroth::ZerothOrderOptions;
-use mfcp_optim::SolverOptions;
+use mfcp_optim::{MatchingProblem, RelaxationParams, SolverOptions};
 use mfcp_parallel::{ParallelConfig, ThreadPool};
 use mfcp_platform::dataset::{NoiseConfig, PlatformDataset};
 use mfcp_platform::embedding::FeatureEmbedder;
 use mfcp_platform::settings::{ClusterPool, Setting};
 use mfcp_platform::task::TaskGenerator;
 use rand::rngs::StdRng;
+use rand::Rng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -278,9 +282,64 @@ fn suite_batch_solve(cfg: &PerfgateConfig) {
     let _ = solve_rounds(&problems, &ParallelConfig::default());
 }
 
+/// Implicit KKT gradients head-to-head: the structured Woodbury/Schur
+/// elimination against the dense saddle-LU oracle on one deterministic
+/// interior instance. Per-call wall times land in the
+/// `kkt.grad.structured_secs` / `kkt.grad.dense_secs` histograms; the
+/// ratio of their medians is the structured-elimination speedup.
+fn suite_kkt_grad(cfg: &PerfgateConfig) {
+    const M: usize = 10;
+    const STRUCTURED_REPS: usize = 8;
+    const DENSE_REPS: usize = 2;
+    // N scales with the task knob so tiny smoke configs stay cheap in
+    // debug builds; the default config (tasks = 12) lands exactly on the
+    // Table-1 scale M = 10, N = 100 where the dense saddle system is
+    // (MN + N) x (MN + N) = 1100 x 1100.
+    let n = (cfg.tasks * 100).div_ceil(12).min(100);
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(23));
+    let times = Matrix::from_fn(M, n, |_, _| rng.gen_range(0.5..3.0));
+    let rel = Matrix::from_fn(M, n, |_, _| rng.gen_range(0.8..0.999));
+    let problem = MatchingProblem::new(times, rel, 0.5);
+    let mut x = Matrix::from_fn(M, n, |_, _| rng.gen_range(0.1..1.0));
+    for j in 0..n {
+        let col: f64 = (0..M).map(|i| x[(i, j)]).sum();
+        for i in 0..M {
+            x[(i, j)] /= col;
+        }
+    }
+    let dl_dx = Matrix::from_fn(M, n, |_, _| rng.gen_range(-1.0..1.0));
+    let params = RelaxationParams::default();
+    let structured_h = mfcp_obs::histogram("kkt.grad.structured_secs");
+    let dense_h = mfcp_obs::histogram("kkt.grad.dense_secs");
+    let mut ws = KktWorkspace::new();
+    // Size the workspace outside the timed reps so they measure the
+    // steady-state reuse regime training rounds run in.
+    kkt::implicit_gradients_with(&problem, &params, &x, &dl_dx, &mut ws)
+        .expect("interior instance must factor");
+    for _ in 0..STRUCTURED_REPS {
+        let t0 = Instant::now();
+        let grads = kkt::implicit_gradients_with(&problem, &params, &x, &dl_dx, &mut ws)
+            .expect("interior instance must factor");
+        structured_h.record_duration(t0.elapsed());
+        assert!(grads.dl_dt[(0, 0)].is_finite());
+    }
+    assert_eq!(
+        ws.dense_fallbacks(),
+        0,
+        "the structured reps must not silently measure the dense fallback"
+    );
+    for _ in 0..DENSE_REPS {
+        let t0 = Instant::now();
+        let grads = kkt::implicit_gradients_dense(&problem, &params, &x, &dl_dx)
+            .expect("dense oracle must solve");
+        dense_h.record_duration(t0.elapsed());
+        assert!(grads.dl_dt[(0, 0)].is_finite());
+    }
+}
+
 type SuiteFn = fn(&PerfgateConfig);
 
-const SUITES: [(&str, SuiteFn); 7] = [
+const SUITES: [(&str, SuiteFn); 8] = [
     ("solve_ad", suite_solve_ad),
     ("solve_fg", suite_solve_fg),
     ("train_round", suite_train_round),
@@ -288,6 +347,7 @@ const SUITES: [(&str, SuiteFn); 7] = [
     ("fault_replay", suite_fault_replay),
     ("solve_warm", suite_solve_warm),
     ("batch_solve", suite_batch_solve),
+    ("kkt_grad", suite_kkt_grad),
 ];
 
 fn percentile(sorted: &[f64], q: f64) -> f64 {
@@ -723,7 +783,7 @@ mod tests {
         };
         let mut trace = String::new();
         let report = run_perfgate(&cfg, Some(&mut trace));
-        assert_eq!(report.suites.len(), 7);
+        assert_eq!(report.suites.len(), 8);
         for s in &report.suites {
             assert!(s.median_wall_secs.is_finite() && s.median_wall_secs >= 0.0);
             assert!(!s.metrics.is_empty(), "suite {} has no metrics", s.name);

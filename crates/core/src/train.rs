@@ -1055,15 +1055,26 @@ fn train_mfcp_impl(
 
                     let grads = match &cfg.mode {
                         GradientMode::Analytic => {
+                            // One KKT workspace per worker thread keeps the
+                            // backward pass allocation-free across rounds
+                            // without sharing mutable state between the
+                            // batch closures.
+                            thread_local! {
+                                static KKT_WS: std::cell::RefCell<kkt::KktWorkspace> =
+                                    std::cell::RefCell::new(kkt::KktWorkspace::new());
+                            }
                             // A singular KKT system (a fully collapsed vertex
                             // solution) carries no usable gradient — skip the
                             // round for this cluster rather than aborting.
-                            match kkt::implicit_gradients(
-                                &problem_pred,
-                                &cfg.relaxation,
-                                &sol.x,
-                                &dl_dx,
-                            ) {
+                            match KKT_WS.with(|ws| {
+                                kkt::implicit_gradients_with(
+                                    &problem_pred,
+                                    &cfg.relaxation,
+                                    &sol.x,
+                                    &dl_dx,
+                                    &mut ws.borrow_mut(),
+                                )
+                            }) {
                                 Ok(g) => (g.dl_dt.row(i).to_vec(), g.dl_da.row(i).to_vec()),
                                 Err(_) => return (None, keep_x),
                             }

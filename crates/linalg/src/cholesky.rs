@@ -11,17 +11,46 @@ pub struct Cholesky {
     l: Matrix,
 }
 
+impl Default for Cholesky {
+    fn default() -> Self {
+        Cholesky::empty()
+    }
+}
+
 impl Cholesky {
+    /// An empty (0×0) factorization intended as reusable storage for
+    /// [`Cholesky::refactor`]. Solving with it fails with a shape
+    /// mismatch until a refactor succeeds.
+    pub fn empty() -> Cholesky {
+        Cholesky {
+            l: Matrix::zeros(0, 0),
+        }
+    }
+
     /// Factors a symmetric positive-definite matrix.
     ///
     /// Only the lower triangle of `a` is read; symmetry of the upper
     /// triangle is the caller's responsibility.
     pub fn factor(a: &Matrix) -> Result<Cholesky> {
+        let mut f = Cholesky::empty();
+        f.refactor(a)?;
+        Ok(f)
+    }
+
+    /// Re-factors `a` into this factorization's storage, reallocating only
+    /// when the dimension changes. After an error the factorization is
+    /// unusable until the next successful refactor.
+    pub fn refactor(&mut self, a: &Matrix) -> Result<()> {
         if a.rows() != a.cols() {
             return Err(LinalgError::NotSquare { shape: a.shape() });
         }
         let n = a.rows();
-        let mut l = Matrix::zeros(n, n);
+        if self.l.shape() == (n, n) {
+            self.l.as_mut_slice().fill(0.0);
+        } else {
+            self.l = Matrix::zeros(n, n);
+        }
+        let l = &mut self.l;
         for i in 0..n {
             for j in 0..=i {
                 let mut sum = a[(i, j)];
@@ -38,7 +67,7 @@ impl Cholesky {
                 }
             }
         }
-        Ok(Cholesky { l })
+        Ok(())
     }
 
     /// The lower-triangular factor `L`.
@@ -53,6 +82,14 @@ impl Cholesky {
 
     /// Solves `A x = b` via forward/back substitution.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let mut y = b.to_vec();
+        self.solve_in_place(&mut y)?;
+        Ok(y)
+    }
+
+    /// Solves `A x = b` in place, overwriting `b` with the solution.
+    /// Performs no heap allocation.
+    pub fn solve_in_place(&self, b: &mut [f64]) -> Result<()> {
         let n = self.dim();
         if b.len() != n {
             return Err(LinalgError::ShapeMismatch {
@@ -62,23 +99,22 @@ impl Cholesky {
             });
         }
         // L y = b
-        let mut y = b.to_vec();
         for i in 0..n {
-            let mut acc = y[i];
+            let mut acc = b[i];
             for j in 0..i {
-                acc -= self.l[(i, j)] * y[j];
+                acc -= self.l[(i, j)] * b[j];
             }
-            y[i] = acc / self.l[(i, i)];
+            b[i] = acc / self.l[(i, i)];
         }
         // Lᵀ x = y
         for i in (0..n).rev() {
-            let mut acc = y[i];
+            let mut acc = b[i];
             for j in (i + 1)..n {
-                acc -= self.l[(j, i)] * y[j];
+                acc -= self.l[(j, i)] * b[j];
             }
-            y[i] = acc / self.l[(i, i)];
+            b[i] = acc / self.l[(i, i)];
         }
-        Ok(y)
+        Ok(())
     }
 
     /// Log-determinant of `A` (sum of `2 log L_ii`), handy for Gaussian
@@ -152,5 +188,23 @@ mod tests {
         let ch = Cholesky::factor(&Matrix::identity(4)).unwrap();
         let b = [1.0, 2.0, 3.0, 4.0];
         assert_eq!(ch.solve(&b).unwrap(), b.to_vec());
+    }
+
+    #[test]
+    fn refactor_reuses_storage_and_matches_factor() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut f = Cholesky::empty();
+        // Repeats a dimension (buffer reuse, must clear stale entries)
+        // and changes it (regrowth).
+        for n in [5, 5, 8, 3] {
+            let a = random_spd(&mut rng, n);
+            f.refactor(&a).unwrap();
+            let fresh = Cholesky::factor(&a).unwrap();
+            assert_eq!(f.l().as_slice(), fresh.l().as_slice());
+            let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let mut x = b.clone();
+            f.solve_in_place(&mut x).unwrap();
+            assert_eq!(x, fresh.solve(&b).unwrap());
+        }
     }
 }

@@ -30,16 +30,49 @@ pub struct Lu {
     perm_sign: f64,
 }
 
+impl Default for Lu {
+    fn default() -> Self {
+        Lu::empty()
+    }
+}
+
 impl Lu {
+    /// An empty (0×0) factorization intended as reusable storage for
+    /// [`Lu::refactor`]. Solving with it fails with a shape mismatch
+    /// until a refactor succeeds.
+    pub fn empty() -> Lu {
+        Lu {
+            lu: Matrix::zeros(0, 0),
+            perm: Vec::new(),
+            perm_sign: 1.0,
+        }
+    }
+
     /// Factors a square matrix. Fails on non-square or singular input.
     pub fn factor(a: &Matrix) -> Result<Lu> {
+        let mut f = Lu::empty();
+        f.refactor(a)?;
+        Ok(f)
+    }
+
+    /// Re-factors `a` into this factorization's storage, reallocating only
+    /// when the dimension changes. After an error the factorization is
+    /// unusable until the next successful refactor.
+    pub fn refactor(&mut self, a: &Matrix) -> Result<()> {
         if a.rows() != a.cols() {
             return Err(LinalgError::NotSquare { shape: a.shape() });
         }
         let n = a.rows();
-        let mut lu = a.clone();
-        let mut perm: Vec<usize> = (0..n).collect();
-        let mut perm_sign = 1.0;
+        if self.lu.shape() == (n, n) {
+            self.lu.as_mut_slice().copy_from_slice(a.as_slice());
+        } else {
+            self.lu = a.clone();
+        }
+        self.perm.clear();
+        self.perm.extend(0..n);
+        self.perm_sign = 1.0;
+        let lu = &mut self.lu;
+        let perm = &mut self.perm;
         let scale = lu.max_abs().max(1.0);
 
         for k in 0..n {
@@ -58,7 +91,7 @@ impl Lu {
             }
             if pivot_row != k {
                 perm.swap(k, pivot_row);
-                perm_sign = -perm_sign;
+                self.perm_sign = -self.perm_sign;
                 for c in 0..n {
                     let tmp = lu[(k, c)];
                     lu[(k, c)] = lu[(pivot_row, c)];
@@ -76,11 +109,7 @@ impl Lu {
                 }
             }
         }
-        Ok(Lu {
-            lu,
-            perm,
-            perm_sign,
-        })
+        Ok(())
     }
 
     /// Dimension of the factored matrix.
@@ -90,6 +119,15 @@ impl Lu {
 
     /// Solves `A x = b` for one right-hand side.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let mut x = Vec::new();
+        self.solve_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// Solves `A x = b`, writing the solution into `x`. After `x` has
+    /// grown to capacity `n` once, repeated solves perform no heap
+    /// allocation.
+    pub fn solve_into(&self, b: &[f64], x: &mut Vec<f64>) -> Result<()> {
         let n = self.dim();
         if b.len() != n {
             return Err(LinalgError::ShapeMismatch {
@@ -99,7 +137,8 @@ impl Lu {
             });
         }
         // Apply permutation: y = P b.
-        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        x.clear();
+        x.extend(self.perm.iter().map(|&p| b[p]));
         // Forward substitution with unit-diagonal L.
         for i in 1..n {
             let mut acc = x[i];
@@ -116,7 +155,7 @@ impl Lu {
             }
             x[i] = acc / self.lu[(i, i)];
         }
-        Ok(x)
+        Ok(())
     }
 
     /// Solves `A X = B` column by column.
@@ -284,6 +323,28 @@ mod tests {
         let a = Matrix::identity(3);
         let lu = Lu::factor(&a).unwrap();
         assert!(lu.solve(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn refactor_reuses_storage_and_matches_factor() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut f = Lu::empty();
+        let mut x = Vec::new();
+        // Repeats a dimension (buffer reuse) and changes it (regrowth).
+        for n in [4, 4, 7, 3] {
+            let a = random_matrix(&mut rng, n);
+            f.refactor(&a).unwrap();
+            let fresh = Lu::factor(&a).unwrap();
+            let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            f.solve_into(&b, &mut x).unwrap();
+            assert_eq!(x, fresh.solve(&b).unwrap());
+            assert_eq!(f.det().to_bits(), fresh.det().to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_factor_rejects_solves() {
+        assert!(Lu::empty().solve(&[1.0]).is_err());
     }
 
     proptest::proptest! {

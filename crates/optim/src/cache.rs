@@ -25,6 +25,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use crate::kkt::KktWorkspace;
 use crate::objective::{self, BarrierKind, CostKind, RelaxationParams};
 use crate::problem::MatchingProblem;
 use crate::solver::is_column_stochastic;
@@ -123,14 +124,20 @@ impl Fnv {
     }
 }
 
-/// Symbolic shape of the KKT factorization for one problem size.
+/// Symbolic shape of the KKT factorization for one problem size, plus
+/// the numeric factorization buffers that go with it.
 ///
-/// The KKT system in [`crate::kkt`] is a dense `(mn + n) × (mn + n)` LU
-/// factorization, so its "symbolic analysis" reduces to the dimensions;
-/// caching them lets a warm entry be pre-validated against the problem
-/// size before any numeric work, and gives a future sparse factorization
-/// a slot to persist its elimination ordering into.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// The "symbolic analysis" of the KKT system in [`crate::kkt`] reduces
+/// to the dimensions; caching them lets a warm entry be pre-validated
+/// against the problem size before any numeric work. The entry also
+/// carries the [`KktWorkspace`] used by the previous solve, so a warm
+/// hit reuses the structured-elimination storage (`Σ⁻¹`, the low-rank
+/// blocks, the Schur Cholesky, and the dense-fallback LU) instead of
+/// reallocating it.
+///
+/// Equality compares the symbolic dimensions only — the numeric buffers
+/// are transient state, not identity.
+#[derive(Debug, Clone)]
 pub struct KktStructure {
     /// Total system dimension `m·n + n`.
     pub dim: usize,
@@ -138,21 +145,33 @@ pub struct KktStructure {
     pub mn: usize,
     /// Number of per-task simplex constraints `n`.
     pub n: usize,
+    /// Numeric factorization buffers from the last solve at this shape.
+    pub workspace: KktWorkspace,
 }
 
+impl PartialEq for KktStructure {
+    fn eq(&self, other: &Self) -> bool {
+        self.dim == other.dim && self.mn == other.mn && self.n == other.n
+    }
+}
+
+impl Eq for KktStructure {}
+
 impl KktStructure {
-    /// The symbolic structure for an `m × n` problem.
+    /// The symbolic structure for an `m × n` problem, with fresh (empty)
+    /// numeric buffers.
     pub fn for_shape(m: usize, n: usize) -> Self {
         KktStructure {
             dim: m * n + n,
             mn: m * n,
             n,
+            workspace: KktWorkspace::default(),
         }
     }
 
     /// Whether this structure matches an `m × n` problem.
     pub fn matches(&self, m: usize, n: usize) -> bool {
-        *self == KktStructure::for_shape(m, n)
+        self.dim == m * n + n && self.mn == m * n && self.n == n
     }
 }
 
@@ -361,7 +380,7 @@ impl WarmStartCache {
                 && entry.objective.is_finite()
                 && entry.duals.len() == n
                 && entry.duals.iter().all(|d| d.is_finite())
-                && entry.kkt.is_none_or(|k| k.matches(m, n));
+                && entry.kkt.as_ref().is_none_or(|k| k.matches(m, n));
             valid.then(|| entry.x.clone())
         });
         match verdict {
@@ -420,6 +439,31 @@ impl WarmStartCache {
     /// cached state.
     pub fn entry_mut(&mut self, key: u64) -> Option<&mut WarmStartEntry> {
         self.entries.get_mut(&key)
+    }
+
+    /// Takes the numeric KKT workspace out of the entry under `key`,
+    /// leaving empty buffers behind. The solver threads the workspace
+    /// through the solve and hands it back via
+    /// [`WarmStartCache::restore_kkt_workspace`], so repeated solves of
+    /// the same problem reuse factorization storage across calls.
+    pub fn take_kkt_workspace(&mut self, key: u64) -> Option<KktWorkspace> {
+        self.entries
+            .get_mut(&key)
+            .and_then(|entry| entry.kkt.as_mut())
+            .map(|kkt| std::mem::take(&mut kkt.workspace))
+    }
+
+    /// Moves `workspace` into the entry under `key` (a no-op when the
+    /// entry is gone or carries no KKT structure, e.g. for non-convex
+    /// problems whose solutions skip the structure entirely).
+    pub fn restore_kkt_workspace(&mut self, key: u64, workspace: KktWorkspace) {
+        if let Some(kkt) = self
+            .entries
+            .get_mut(&key)
+            .and_then(|entry| entry.kkt.as_mut())
+        {
+            kkt.workspace = workspace;
+        }
     }
 }
 

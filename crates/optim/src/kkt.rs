@@ -28,9 +28,10 @@
 //! regime where the paper applies MFCP-AD; the parallel case goes through
 //! [`crate::zeroth`].
 
-use crate::objective::{self, BarrierKind, CostKind, RelaxationParams};
+use crate::objective::{self, BarrierKind, ClusterStats, CostKind, RelaxationParams};
 use crate::problem::MatchingProblem;
-use mfcp_linalg::{lu::Lu, LinalgError, Matrix};
+use mfcp_linalg::{cholesky::Cholesky, lu::Lu, vector, LinalgError, Matrix};
+use std::sync::OnceLock;
 
 /// Gradients of a scalar loss with respect to the problem's performance
 /// matrices, obtained by implicit differentiation.
@@ -56,18 +57,82 @@ fn barrier_second_derivative(params: &RelaxationParams, g: f64) -> f64 {
     }
 }
 
+/// Tikhonov damping applied to the primal diagonal of the KKT matrix.
+///
+/// Computed from cheap structural bounds on the largest Hessian entry —
+/// never from the assembled matrix — so the dense and structured paths
+/// apply bitwise-identical damping and their solutions agree to solver
+/// precision.
+fn structural_damping(
+    problem: &MatchingProblem,
+    params: &RelaxationParams,
+    x: &Matrix,
+    beta: f64,
+    w: &[f64],
+    ddphi: f64,
+    cap_ddphi: &[f64],
+) -> f64 {
+    let (m, n) = x.shape();
+    let nf = n as f64;
+    let mut bound: f64 = 0.0;
+    if beta != 0.0 {
+        let tmax = problem.times.max_abs();
+        let wmax = w.iter().copied().fold(0.0, f64::max);
+        bound += beta * tmax * tmax * wmax;
+    }
+    if ddphi != 0.0 && n > 0 {
+        let amax = problem.reliability.max_abs();
+        bound += ddphi * amax * amax / (nf * nf);
+    }
+    if params.rho != 0.0 {
+        let xmin = x
+            .as_slice()
+            .iter()
+            .fold(f64::INFINITY, |acc, &v| acc.min(v.max(1e-7)));
+        if xmin.is_finite() {
+            bound += params.rho / xmin;
+        }
+    }
+    if let Some(cap) = &problem.capacity {
+        let mut cap_bound: f64 = 0.0;
+        for i in 0..m {
+            let dd = cap_ddphi.get(i).copied().unwrap_or(0.0);
+            if dd != 0.0 {
+                let umax = vector::norm_inf(cap.usage.row(i));
+                cap_bound = cap_bound.max(dd * umax * umax / (cap.limits[i] * cap.limits[i]));
+            }
+        }
+        bound += cap_bound;
+    }
+    // The D blocks contribute entries of exactly 1.0, hence the floor.
+    1e-10 * (1.0 + bound.max(1.0))
+}
+
 /// Assembles the symmetric KKT saddle matrix `[[H, Dᵀ], [D, 0]]` at `x`,
 /// where `H = ∇²_XX F` (smooth-max + barrier + entropy terms, plus mild
 /// Tikhonov damping) and `D` stacks the per-task simplex equalities.
 ///
-/// Shared by [`implicit_gradients`] (which solves the adjoint system) and
-/// the Newton solver in [`crate::solver`] (which solves the primal step
-/// system).
+/// This is the *dense* reference path; [`KktWorkspace`] factors the same
+/// system via structured block elimination and falls back to this
+/// assembly when the structure is unusable.
 pub fn assemble_kkt_matrix(
     problem: &MatchingProblem,
     params: &RelaxationParams,
     x: &Matrix,
 ) -> Matrix {
+    let mut k = Matrix::zeros(0, 0);
+    assemble_kkt_matrix_into(problem, params, x, &mut k);
+    k
+}
+
+/// [`assemble_kkt_matrix`] into a caller-owned buffer, reallocating only
+/// when the dimension changes.
+pub(crate) fn assemble_kkt_matrix_into(
+    problem: &MatchingProblem,
+    params: &RelaxationParams,
+    x: &Matrix,
+    k: &mut Matrix,
+) {
     let (m, n) = x.shape();
     let mn = m * n;
     let dim = mn + n;
@@ -82,7 +147,11 @@ pub fn assemble_kkt_matrix(
     let a = &problem.reliability;
     let nf = n as f64;
     let idx = |i: usize, j: usize| i * n + j;
-    let mut k = Matrix::zeros(dim, dim);
+    if k.shape() != (dim, dim) {
+        *k = Matrix::zeros(dim, dim);
+    } else {
+        k.as_mut_slice().fill(0.0);
+    }
 
     // H1 (smooth max): β t_ij t_kl (δ_ik w_i − w_i w_k)
     // H2 (barrier):    φ''(g) a_ij a_kl / N²
@@ -124,7 +193,8 @@ pub fn assemble_kkt_matrix(
         }
     }
     // Mild Tikhonov damping for numerical safety on near-singular systems.
-    let damping = 1e-10 * (1.0 + k.max_abs());
+    let cap_ddphi_slice = capacity.as_ref().map(|(_, v)| v.as_slice()).unwrap_or(&[]);
+    let damping = structural_damping(problem, params, x, beta, &w, ddphi, cap_ddphi_slice);
     for d in 0..mn {
         k[(d, d)] += damping;
     }
@@ -135,11 +205,645 @@ pub fn assemble_kkt_matrix(
             k[(mn + j, idx(i, j))] = 1.0; // D
         }
     }
-    k
+}
+
+/// Which factorization a [`KktWorkspace`] currently holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum KktMode {
+    /// No successful factorization yet.
+    Empty,
+    /// Structured block elimination (Woodbury + Schur complement).
+    Structured,
+    /// Dense LU of the assembled saddle matrix.
+    Dense,
+}
+
+/// Applies `H⁻¹ = Σ⁻¹ − W Cap⁻¹ Wᵀ` (Woodbury, `W = Σ⁻¹U`) to `src`,
+/// writing into `dst`. `sr`/`qr` are rank-sized scratch vectors.
+#[allow(clippy::too_many_arguments)]
+fn apply_h_inv(
+    sigma_inv: &[f64],
+    ut: &Matrix,
+    wt: &Matrix,
+    rank: usize,
+    cap_lu: &Lu,
+    src: &[f64],
+    dst: &mut [f64],
+    sr: &mut Vec<f64>,
+    qr: &mut Vec<f64>,
+) -> Result<(), LinalgError> {
+    for (d, (&s, &v)) in dst.iter_mut().zip(sigma_inv.iter().zip(src)) {
+        *d = s * v;
+    }
+    if rank == 0 {
+        return Ok(());
+    }
+    sr.clear();
+    for k in 0..rank {
+        sr.push(vector::dot(ut.row(k), dst));
+    }
+    cap_lu.solve_into(sr, qr)?;
+    for (k, &q) in qr.iter().enumerate().take(rank) {
+        let wrow = wt.row(k);
+        for (d, &wv) in dst.iter_mut().zip(wrow) {
+            *d -= q * wv;
+        }
+    }
+    Ok(())
+}
+
+/// Reusable factorization and scratch storage for the KKT saddle systems.
+///
+/// The Hessian of the relaxed objective is **diagonal plus rank-≤(2M+2)**
+/// by construction: `H = Σ + U C Uᵀ`, where `Σ` collects the elementwise
+/// entropy/damping terms and the columns of `U` are the per-cluster time
+/// vectors (smooth-max curvature `β·Cov_w`), the flattened reliability
+/// matrix (barrier curvature `φ''·aaᵀ/N²`), and the per-cluster capacity
+/// usage vectors. [`KktWorkspace::factor`] exploits this: it applies
+/// `H⁻¹` via the Woodbury identity (one rank×rank LU) and eliminates the
+/// simplex rows through the Schur complement `S = D H⁻¹ Dᵀ` (N×N SPD,
+/// Cholesky), dropping the solve from `O((MN)³)` to
+/// `O(N³ + M³ + M²·MN)`. When the structure is unusable (no entropy term
+/// so `Σ` is damping-only, a near-active log barrier whose curvature
+/// coefficient `λ/g²` ill-scales the capacitance system, or a downstream
+/// factorization failure) it falls back to the dense LU path
+/// automatically and counts the event.
+///
+/// All buffers are reused across calls, so holding one workspace per
+/// thread makes repeated backward passes allocation-free after warm-up.
+#[derive(Debug, Clone)]
+pub struct KktWorkspace {
+    mode: KktMode,
+    m: usize,
+    n: usize,
+    // Coefficients at the factored point.
+    stats: ClusterStats,
+    w_buf: Vec<f64>,
+    cap_ddphi: Vec<f64>,
+    beta: f64,
+    dphi: f64,
+    ddphi: f64,
+    // Structured factor: H = Σ + U C Uᵀ, S = D H⁻¹ Dᵀ.
+    sigma_inv: Vec<f64>,
+    rank: usize,
+    /// Columns of `U`, stored row-major transposed (`rank × MN`).
+    ut: Matrix,
+    /// `W = Σ⁻¹ U`, same layout as `ut`.
+    wt: Matrix,
+    /// Diagonal of `C`.
+    coeff: Vec<f64>,
+    /// Capacitance `C⁻¹ + Uᵀ Σ⁻¹ U` (indefinite: the −β entry), LU-solved.
+    cap_mat: Matrix,
+    cap_lu: Lu,
+    d_diag: Vec<f64>,
+    /// `G = D W` (`N × rank`).
+    g_mat: Matrix,
+    /// `Q = Cap⁻¹ Gᵀ` (`rank × N`).
+    q_mat: Matrix,
+    s_mat: Matrix,
+    schur: Cholesky,
+    // Dense fallback.
+    k_dense: Matrix,
+    dense_lu: Lu,
+    // Solve scratch.
+    t1: Vec<f64>,
+    t2: Vec<f64>,
+    sr: Vec<f64>,
+    qr: Vec<f64>,
+    zn: Vec<f64>,
+    rhs: Vec<f64>,
+    sol: Vec<f64>,
+    refine_x: Vec<f64>,
+    refine_r: Vec<f64>,
+    // Telemetry (also mirrored to the `kkt.structured` /
+    // `kkt.dense_fallback` observability counters).
+    structured_factors: u64,
+    dense_fallbacks: u64,
+}
+
+impl Default for KktWorkspace {
+    fn default() -> Self {
+        KktWorkspace {
+            mode: KktMode::Empty,
+            m: 0,
+            n: 0,
+            stats: ClusterStats::default(),
+            w_buf: Vec::new(),
+            cap_ddphi: Vec::new(),
+            beta: 0.0,
+            dphi: 0.0,
+            ddphi: 0.0,
+            sigma_inv: Vec::new(),
+            rank: 0,
+            ut: Matrix::zeros(0, 0),
+            wt: Matrix::zeros(0, 0),
+            coeff: Vec::new(),
+            cap_mat: Matrix::zeros(0, 0),
+            cap_lu: Lu::empty(),
+            d_diag: Vec::new(),
+            g_mat: Matrix::zeros(0, 0),
+            q_mat: Matrix::zeros(0, 0),
+            s_mat: Matrix::zeros(0, 0),
+            schur: Cholesky::empty(),
+            k_dense: Matrix::zeros(0, 0),
+            dense_lu: Lu::empty(),
+            t1: Vec::new(),
+            t2: Vec::new(),
+            sr: Vec::new(),
+            qr: Vec::new(),
+            zn: Vec::new(),
+            rhs: Vec::new(),
+            sol: Vec::new(),
+            refine_x: Vec::new(),
+            refine_r: Vec::new(),
+            structured_factors: 0,
+            dense_fallbacks: 0,
+        }
+    }
+}
+
+impl KktWorkspace {
+    /// A fresh workspace holding no factorization.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of structured factorizations performed by this workspace.
+    pub fn structured_factors(&self) -> u64 {
+        self.structured_factors
+    }
+
+    /// Number of dense-LU fallbacks taken by this workspace.
+    pub fn dense_fallbacks(&self) -> u64 {
+        self.dense_fallbacks
+    }
+
+    /// Whether the most recent successful factorization was structured.
+    pub fn last_factor_structured(&self) -> bool {
+        self.mode == KktMode::Structured
+    }
+
+    /// Dense-fallback guard: the structured elimination needs an SPD
+    /// diagonal `Σ` (entropy present) and a barrier curvature that does
+    /// not swamp it — approaching the active log barrier, `φ'' = λ/g²`
+    /// blows up and the capacitance system becomes too ill-scaled.
+    fn structured_applicable(&self, params: &RelaxationParams, g: f64) -> bool {
+        if params.rho <= 0.0 || params.rho.is_nan() {
+            return false;
+        }
+        if let BarrierKind::Log { eps } = params.barrier {
+            if g >= eps && g < 2.0 * eps {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Factors the KKT saddle system at `x`, preferring the structured
+    /// elimination and falling back to dense LU when necessary.
+    ///
+    /// # Errors
+    /// Returns an error only when the dense fallback itself fails (e.g. a
+    /// singular system at a vertex solution with `rho = 0`).
+    pub fn factor(
+        &mut self,
+        problem: &MatchingProblem,
+        params: &RelaxationParams,
+        x: &Matrix,
+    ) -> Result<(), LinalgError> {
+        let (m, n) = x.shape();
+        debug_assert_eq!(problem.times.shape(), (m, n));
+        self.m = m;
+        self.n = n;
+        self.mode = KktMode::Empty;
+        let mn = m * n;
+
+        objective::cluster_stats_into(problem, params, x, &mut self.stats);
+        let g = objective::reliability_slack(problem, x);
+        self.dphi = objective::barrier_derivative(params, g);
+        self.ddphi = barrier_second_derivative(params, g);
+        self.beta = match params.cost {
+            CostKind::SmoothMax => params.beta,
+            CostKind::LinearSum => 0.0,
+        };
+        self.w_buf.clear();
+        match params.cost {
+            CostKind::SmoothMax => self.w_buf.extend_from_slice(&self.stats.weights),
+            CostKind::LinearSum => self.w_buf.resize(m, 1.0),
+        }
+        self.cap_ddphi.clear();
+        if let Some(cap) = &problem.capacity {
+            self.cap_ddphi
+                .extend((0..m).map(|i| barrier_second_derivative(params, cap.slack(x, i))));
+        }
+        let damping = structural_damping(
+            problem,
+            params,
+            x,
+            self.beta,
+            &self.w_buf,
+            self.ddphi,
+            &self.cap_ddphi,
+        );
+
+        if mn > 0
+            && self.structured_applicable(params, g)
+            && self.factor_structured(problem, params, x, damping).is_ok()
+        {
+            self.mode = KktMode::Structured;
+            self.structured_factors += 1;
+            mfcp_obs::counter("kkt.structured").inc();
+            if mfcp_obs::trace::recording() {
+                static STRUCTURED: OnceLock<u32> = OnceLock::new();
+                let id = *STRUCTURED.get_or_init(|| mfcp_obs::trace::intern("kkt.structured"));
+                mfcp_obs::trace::instant_id(id, None);
+            }
+            return Ok(());
+        }
+
+        self.factor_dense(problem, params, x)?;
+        self.mode = KktMode::Dense;
+        self.dense_fallbacks += 1;
+        mfcp_obs::counter("kkt.dense_fallback").inc();
+        if mfcp_obs::trace::recording() {
+            static DENSE: OnceLock<u32> = OnceLock::new();
+            let id = *DENSE.get_or_init(|| mfcp_obs::trace::intern("kkt.dense_fallback"));
+            mfcp_obs::trace::instant_id(id, None);
+        }
+        Ok(())
+    }
+
+    fn factor_structured(
+        &mut self,
+        problem: &MatchingProblem,
+        params: &RelaxationParams,
+        x: &Matrix,
+        damping: f64,
+    ) -> Result<(), LinalgError> {
+        let (m, n) = (self.m, self.n);
+        let mn = m * n;
+        let nf = n as f64;
+        let t = &problem.times;
+        let a = &problem.reliability;
+
+        // Σ⁻¹: entropy + damping diagonal (floored like the dense path).
+        self.sigma_inv.clear();
+        self.sigma_inv.reserve(mn);
+        for i in 0..m {
+            for j in 0..n {
+                let sigma = damping + params.rho / x[(i, j)].max(1e-7);
+                if !(sigma.is_finite() && sigma > 0.0) {
+                    return Err(LinalgError::NotPositiveDefinite { pivot: i * n + j });
+                }
+                self.sigma_inv.push(1.0 / sigma);
+            }
+        }
+
+        // Enumerate the low-rank columns of U (C's diagonal in `coeff`).
+        let smoothmax = self.beta != 0.0;
+        let barrier_col = self.ddphi != 0.0 && n > 0;
+        let ncap = self.cap_ddphi.iter().filter(|&&v| v != 0.0).count();
+        let rank = if smoothmax { m + 1 } else { 0 } + usize::from(barrier_col) + ncap;
+        self.rank = rank;
+        if self.ut.shape() != (rank, mn) {
+            self.ut = Matrix::zeros(rank, mn);
+            self.wt = Matrix::zeros(rank, mn);
+        } else {
+            self.ut.as_mut_slice().fill(0.0);
+        }
+        self.coeff.clear();
+        let mut row = 0;
+        if smoothmax {
+            // Per-cluster columns e_i ⊗ t_i with coefficient β·w_i …
+            for i in 0..m {
+                let dst = self.ut.row_mut(row);
+                dst[i * n..(i + 1) * n].copy_from_slice(t.row(i));
+                self.coeff.push(self.beta * self.w_buf[i]);
+                row += 1;
+            }
+            // … and the global column p (p_ij = w_i·t_ij) with coefficient
+            // −β; together they form the PSD smooth-max covariance β·Cov_w.
+            let dst = self.ut.row_mut(row);
+            for i in 0..m {
+                for j in 0..n {
+                    dst[i * n + j] = self.w_buf[i] * t[(i, j)];
+                }
+            }
+            self.coeff.push(-self.beta);
+            row += 1;
+        }
+        if barrier_col {
+            let dst = self.ut.row_mut(row);
+            for i in 0..m {
+                dst[i * n..(i + 1) * n].copy_from_slice(a.row(i));
+            }
+            self.coeff.push(self.ddphi / (nf * nf));
+            row += 1;
+        }
+        if let Some(cap) = &problem.capacity {
+            for i in 0..m {
+                if self.cap_ddphi[i] != 0.0 {
+                    let dst = self.ut.row_mut(row);
+                    dst[i * n..(i + 1) * n].copy_from_slice(cap.usage.row(i));
+                    self.coeff
+                        .push(self.cap_ddphi[i] / (cap.limits[i] * cap.limits[i]));
+                    row += 1;
+                }
+            }
+        }
+        debug_assert_eq!(row, rank);
+
+        // W = Σ⁻¹ U.
+        for k in 0..rank {
+            let urow = self.ut.row(k);
+            let wrow = self.wt.row_mut(k);
+            for p in 0..mn {
+                wrow[p] = self.sigma_inv[p] * urow[p];
+            }
+        }
+
+        // Capacitance Cap = C⁻¹ + Uᵀ Σ⁻¹ U (LU: indefinite by design).
+        if self.cap_mat.shape() != (rank, rank) {
+            self.cap_mat = Matrix::zeros(rank, rank);
+        }
+        for k in 0..rank {
+            for l in 0..rank {
+                let mut v = vector::dot(self.ut.row(k), self.wt.row(l));
+                if k == l {
+                    v += 1.0 / self.coeff[k];
+                }
+                self.cap_mat[(k, l)] = v;
+            }
+        }
+        if rank > 0 {
+            self.cap_lu.refactor(&self.cap_mat)?;
+        }
+
+        // d_j = (D Σ⁻¹ Dᵀ)_jj — the simplex rows touch disjoint entries,
+        // so this block is exactly diagonal.
+        self.d_diag.clear();
+        self.d_diag.resize(n, 0.0);
+        for i in 0..m {
+            for j in 0..n {
+                self.d_diag[j] += self.sigma_inv[i * n + j];
+            }
+        }
+
+        // G = D W and Q = Cap⁻¹ Gᵀ.
+        if self.g_mat.shape() != (n, rank) {
+            self.g_mat = Matrix::zeros(n, rank);
+        } else {
+            self.g_mat.as_mut_slice().fill(0.0);
+        }
+        for k in 0..rank {
+            let wrow = self.wt.row(k);
+            for i in 0..m {
+                for j in 0..n {
+                    self.g_mat[(j, k)] += wrow[i * n + j];
+                }
+            }
+        }
+        if self.q_mat.shape() != (rank, n) {
+            self.q_mat = Matrix::zeros(rank, n);
+        }
+        if rank > 0 {
+            for j in 0..n {
+                self.cap_lu.solve_into(self.g_mat.row(j), &mut self.sr)?;
+                for k in 0..rank {
+                    self.q_mat[(k, j)] = self.sr[k];
+                }
+            }
+        }
+
+        // Schur complement S = D H⁻¹ Dᵀ = diag(d) − G Cap⁻¹ Gᵀ: SPD since
+        // H is SPD, so Cholesky doubles as the fallback trigger.
+        if self.s_mat.shape() != (n, n) {
+            self.s_mat = Matrix::zeros(n, n);
+        }
+        for j1 in 0..n {
+            let grow = self.g_mat.row(j1);
+            for j2 in 0..n {
+                let mut v = if j1 == j2 { self.d_diag[j1] } else { 0.0 };
+                for (k, &gv) in grow.iter().enumerate().take(rank) {
+                    v -= gv * self.q_mat[(k, j2)];
+                }
+                self.s_mat[(j1, j2)] = v;
+            }
+        }
+        self.schur.refactor(&self.s_mat)?;
+        Ok(())
+    }
+
+    fn factor_dense(
+        &mut self,
+        problem: &MatchingProblem,
+        params: &RelaxationParams,
+        x: &Matrix,
+    ) -> Result<(), LinalgError> {
+        assemble_kkt_matrix_into(problem, params, x, &mut self.k_dense);
+        self.dense_lu.refactor(&self.k_dense)
+    }
+
+    /// Solves `K [y; z] = rhs` in place (`rhs.len() == MN + N`), reusing
+    /// the current factorization. Allocation-free after warm-up.
+    ///
+    /// Performs one step of iterative refinement in working precision:
+    /// the Woodbury/Schur recipe and the dense LU round differently, and
+    /// the residual-correction solve pushes both to the same accuracy
+    /// limit, which is what lets the structured path agree with the
+    /// dense oracle to 1e-9 even on ill-conditioned saddle systems.
+    pub fn solve_in_place(&mut self, rhs: &mut [f64]) -> Result<(), LinalgError> {
+        if self.mode == KktMode::Empty {
+            return Err(LinalgError::Singular { pivot: 0 });
+        }
+        let mut x = std::mem::take(&mut self.refine_x);
+        let mut r = std::mem::take(&mut self.refine_r);
+        x.clear();
+        x.extend_from_slice(rhs);
+        let result = (|| {
+            self.solve_once(&mut x)?;
+            r.clear();
+            r.resize(rhs.len(), 0.0);
+            self.apply_k(&x, &mut r);
+            for (ri, &bi) in r.iter_mut().zip(rhs.iter()) {
+                *ri = bi - *ri;
+            }
+            self.solve_once(&mut r)?;
+            for (xi, &di) in x.iter_mut().zip(r.iter()) {
+                *xi += di;
+            }
+            Ok(())
+        })();
+        if result.is_ok() {
+            rhs.copy_from_slice(&x);
+        }
+        self.refine_x = x;
+        self.refine_r = r;
+        result
+    }
+
+    /// Multiplies the factored saddle matrix: `out = K v`, using the
+    /// structured representation (`Σ + U C Uᵀ` plus the simplex rows) or
+    /// the assembled dense matrix, matching the current mode.
+    fn apply_k(&mut self, v: &[f64], out: &mut [f64]) {
+        let (m, n) = (self.m, self.n);
+        let mn = m * n;
+        match self.mode {
+            KktMode::Empty => unreachable!("apply_k requires a factorization"),
+            KktMode::Dense => {
+                for (o, row) in out.iter_mut().zip((0..mn + n).map(|p| self.k_dense.row(p))) {
+                    *o = vector::dot(row, v);
+                }
+            }
+            KktMode::Structured => {
+                let (y, z) = v.split_at(mn);
+                let (oy, oz) = out.split_at_mut(mn);
+                // oy = Σ y (Σ is stored inverted) + U C Uᵀ y + Dᵀ z.
+                for (o, (&si, &yv)) in oy.iter_mut().zip(self.sigma_inv.iter().zip(y)) {
+                    *o = yv / si;
+                }
+                self.sr.clear();
+                for k in 0..self.rank {
+                    self.sr.push(self.coeff[k] * vector::dot(self.ut.row(k), y));
+                }
+                for k in 0..self.rank {
+                    let urow = self.ut.row(k);
+                    let cv = self.sr[k];
+                    for (o, &uv) in oy.iter_mut().zip(urow) {
+                        *o += cv * uv;
+                    }
+                }
+                oz.fill(0.0);
+                for i in 0..m {
+                    for j in 0..n {
+                        oy[i * n + j] += z[j];
+                        oz[j] += y[i * n + j];
+                    }
+                }
+            }
+        }
+    }
+
+    /// One pass of the factored solve recipe, without refinement.
+    fn solve_once(&mut self, rhs: &mut [f64]) -> Result<(), LinalgError> {
+        let (m, n) = (self.m, self.n);
+        let mn = m * n;
+        match self.mode {
+            KktMode::Empty => Err(LinalgError::Singular { pivot: 0 }),
+            KktMode::Dense => {
+                self.dense_lu.solve_into(rhs, &mut self.sol)?;
+                rhs.copy_from_slice(&self.sol);
+                Ok(())
+            }
+            KktMode::Structured => {
+                assert_eq!(rhs.len(), mn + n, "kkt rhs length");
+                let (b, c) = rhs.split_at_mut(mn);
+                // t1 = H⁻¹ b
+                self.t1.clear();
+                self.t1.resize(mn, 0.0);
+                apply_h_inv(
+                    &self.sigma_inv,
+                    &self.ut,
+                    &self.wt,
+                    self.rank,
+                    &self.cap_lu,
+                    b,
+                    &mut self.t1,
+                    &mut self.sr,
+                    &mut self.qr,
+                )?;
+                // z = S⁻¹ (D t1 − c)
+                self.zn.clear();
+                self.zn.extend(c.iter().take(n).map(|&v| -v));
+                for i in 0..m {
+                    for j in 0..n {
+                        self.zn[j] += self.t1[i * n + j];
+                    }
+                }
+                self.schur.solve_in_place(&mut self.zn)?;
+                // y = H⁻¹ (b − Dᵀ z)
+                self.t2.clear();
+                self.t2.resize(mn, 0.0);
+                for i in 0..m {
+                    for j in 0..n {
+                        self.t2[i * n + j] = b[i * n + j] - self.zn[j];
+                    }
+                }
+                apply_h_inv(
+                    &self.sigma_inv,
+                    &self.ut,
+                    &self.wt,
+                    self.rank,
+                    &self.cap_lu,
+                    &self.t2,
+                    &mut self.t1,
+                    &mut self.sr,
+                    &mut self.qr,
+                )?;
+                b.copy_from_slice(&self.t1);
+                c.copy_from_slice(&self.zn);
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Contracts the adjoint solution `y` (flattened `M·N`) with the
+/// closed-form cross Hessians:
+///
+/// ```text
+/// ∂²F/∂x_ij ∂t_kl = w_i δ_ik δ_jl + β t_ij w_i (δ_ik − w_k) x_kl
+/// (∇²_XT F)ᵀ y [kl] = w_k y_kl + β w_k x_kl (r_k − r̄)
+/// ∂²F/∂x_ij ∂a_kl = φ''(g) (x_kl/N)(a_ij/N) + φ'(g) δ_ik δ_jl / N
+/// (∇²_XA F)ᵀ y [kl] = φ'' x_kl q / N² + φ' y_kl / N
+/// ```
+///
+/// with `r_i = Σ_j t_ij y_ij`, `r̄ = Σ_i w_i r_i`, `q = Σ_ij y_ij a_ij`.
+fn contract_cross_hessians(
+    problem: &MatchingProblem,
+    x_star: &Matrix,
+    y: &[f64],
+    beta: f64,
+    dphi: f64,
+    ddphi: f64,
+    w: &[f64],
+) -> KktGradients {
+    let (m, n) = x_star.shape();
+    let nf = n as f64;
+    let t = &problem.times;
+    let a = &problem.reliability;
+    let idx = |i: usize, j: usize| i * n + j;
+
+    let mut r = vec![0.0; m];
+    let mut q = 0.0;
+    for i in 0..m {
+        for j in 0..n {
+            r[i] += t[(i, j)] * y[idx(i, j)];
+            q += a[(i, j)] * y[idx(i, j)];
+        }
+    }
+    let rbar: f64 = (0..m).map(|i| w[i] * r[i]).sum();
+
+    let mut dl_dt = Matrix::zeros(m, n);
+    let mut dl_da = Matrix::zeros(m, n);
+    for kcl in 0..m {
+        for l in 0..n {
+            let yv = y[idx(kcl, l)];
+            let vt = w[kcl] * yv + beta * w[kcl] * x_star[(kcl, l)] * (r[kcl] - rbar);
+            dl_dt[(kcl, l)] = -vt;
+            let va = ddphi * x_star[(kcl, l)] * q / (nf * nf) + dphi * yv / nf;
+            dl_da[(kcl, l)] = -va;
+        }
+    }
+    KktGradients { dl_dt, dl_da }
 }
 
 /// Computes `∂L/∂T` and `∂L/∂A` at the relaxed optimum `x_star` given the
 /// upstream gradient `dl_dx = ∂L/∂X*`.
+///
+/// Convenience wrapper over [`implicit_gradients_with`] with a throwaway
+/// workspace; hot paths should hold a [`KktWorkspace`] and call the
+/// `_with` variant to reuse factorization storage.
 ///
 /// # Errors
 /// Returns an error when the KKT matrix is singular (e.g. `rho = 0` with a
@@ -150,6 +854,82 @@ pub fn assemble_kkt_matrix(
 /// zeroth-order path). Both cost kinds are supported ([`CostKind::LinearSum`]
 /// is the β → 0 limit of the smooth-max formulas).
 pub fn implicit_gradients(
+    problem: &MatchingProblem,
+    params: &RelaxationParams,
+    x_star: &Matrix,
+    dl_dx: &Matrix,
+) -> Result<KktGradients, LinalgError> {
+    let mut ws = KktWorkspace::new();
+    implicit_gradients_with(problem, params, x_star, dl_dx, &mut ws)
+}
+
+/// [`implicit_gradients`] reusing a caller-owned [`KktWorkspace`]: one
+/// structured (or dense-fallback) factorization, one adjoint solve, and
+/// the closed-form contraction — no saddle matrix materialized on the
+/// structured path.
+///
+/// # Errors
+/// Returns an error when the KKT system cannot be factored or solved.
+///
+/// # Panics
+/// Same convexity restriction as [`implicit_gradients`].
+pub fn implicit_gradients_with(
+    problem: &MatchingProblem,
+    params: &RelaxationParams,
+    x_star: &Matrix,
+    dl_dx: &Matrix,
+    ws: &mut KktWorkspace,
+) -> Result<KktGradients, LinalgError> {
+    assert!(
+        problem.speedup.iter().all(|c| c.is_trivial()),
+        "MFCP-AD requires the convex (sequential) setting; use zeroth-order gradients for parallel execution"
+    );
+    let (m, n) = x_star.shape();
+    assert_eq!((m, n), problem.times.shape());
+    assert_eq!(dl_dx.shape(), (m, n));
+    let mn = m * n;
+    if mn == 0 {
+        return Ok(KktGradients {
+            dl_dt: Matrix::zeros(m, n),
+            dl_da: Matrix::zeros(m, n),
+        });
+    }
+
+    ws.factor(problem, params, x_star)?;
+
+    // ---- adjoint solve K [y; z] = [dl_dx; 0] --------------------------
+    let mut rhs = std::mem::take(&mut ws.rhs);
+    rhs.clear();
+    rhs.resize(mn + n, 0.0);
+    rhs[..mn].copy_from_slice(dl_dx.as_slice());
+    let result = match ws.solve_in_place(&mut rhs) {
+        Ok(()) => Ok(contract_cross_hessians(
+            problem,
+            x_star,
+            &rhs[..mn],
+            ws.beta,
+            ws.dphi,
+            ws.ddphi,
+            &ws.w_buf,
+        )),
+        Err(e) => Err(e),
+    };
+    ws.rhs = rhs;
+    result
+}
+
+/// Dense-LU reference implementation of [`implicit_gradients`]: assembles
+/// the full `(MN+N)×(MN+N)` saddle matrix and solves it directly,
+/// bypassing the structured elimination entirely. Kept public as the
+/// oracle for the structured-vs-dense differential test suite and for the
+/// perfgate comparison; production code should use the workspace path.
+///
+/// # Errors
+/// Returns an error when the dense KKT matrix is singular.
+///
+/// # Panics
+/// Same convexity restriction as [`implicit_gradients`].
+pub fn implicit_gradients_dense(
     problem: &MatchingProblem,
     params: &RelaxationParams,
     x_star: &Matrix,
@@ -181,56 +961,29 @@ pub fn implicit_gradients(
         CostKind::SmoothMax => (params.beta, stats.weights.clone()),
         CostKind::LinearSum => (0.0, vec![1.0; m]),
     };
-    let w = &w;
-    let t = &problem.times;
-    let a = &problem.reliability;
-    let nf = n as f64;
-    let idx = |i: usize, j: usize| i * n + j;
     let k = assemble_kkt_matrix(problem, params, x_star);
-
-    // ---- adjoint solve K [y; z] = [dl_dx; 0] --------------------------
     let mut rhs = vec![0.0; mn + n];
-    for i in 0..m {
-        for j in 0..n {
-            rhs[idx(i, j)] = dl_dx[(i, j)];
-        }
+    rhs[..mn].copy_from_slice(dl_dx.as_slice());
+    let lu = Lu::factor(&k)?;
+    let mut y_full = lu.solve(&rhs)?;
+    // One refinement step, mirroring the workspace path, so the oracle
+    // reaches the same accuracy limit it is compared against.
+    let residual: Vec<f64> = (0..mn + n)
+        .map(|p| rhs[p] - mfcp_linalg::vector::dot(k.row(p), &y_full))
+        .collect();
+    let correction = lu.solve(&residual)?;
+    for (y, d) in y_full.iter_mut().zip(&correction) {
+        *y += d;
     }
-    let y_full = Lu::factor(&k)?.solve(&rhs)?;
-    let y = Matrix::from_fn(m, n, |i, j| y_full[idx(i, j)]);
-
-    // ---- contract with the closed-form cross Hessians ------------------
-    // r_i = Σ_j t_ij y_ij ;  ȳᵗ = Σ_i w_i r_i ;  q = Σ_ij y_ij a_ij
-    let mut r = vec![0.0; m];
-    let mut q = 0.0;
-    for i in 0..m {
-        for j in 0..n {
-            r[i] += t[(i, j)] * y[(i, j)];
-            q += a[(i, j)] * y[(i, j)];
-        }
-    }
-    let rbar: f64 = (0..m).map(|i| w[i] * r[i]).sum();
-
-    // ∂²F/∂x_ij ∂t_kl = w_i δ_ik δ_jl + β t_ij w_i (δ_ik − w_k) x_kl
-    // (∇²_XT F)ᵀ y [kl] = w_k y_kl + β w_k x_kl (r_k − r̄)
-    let mut dl_dt = Matrix::zeros(m, n);
-    for kcl in 0..m {
-        for l in 0..n {
-            let v = w[kcl] * y[(kcl, l)] + beta * w[kcl] * x_star[(kcl, l)] * (r[kcl] - rbar);
-            dl_dt[(kcl, l)] = -v;
-        }
-    }
-
-    // ∂²F/∂x_ij ∂a_kl = φ''(g) (x_kl/N)(a_ij/N) + φ'(g) δ_ik δ_jl / N
-    // (∇²_XA F)ᵀ y [kl] = φ'' x_kl q / N² + φ' y_kl / N
-    let mut dl_da = Matrix::zeros(m, n);
-    for kcl in 0..m {
-        for l in 0..n {
-            let v = ddphi * x_star[(kcl, l)] * q / (nf * nf) + dphi * y[(kcl, l)] / nf;
-            dl_da[(kcl, l)] = -v;
-        }
-    }
-
-    Ok(KktGradients { dl_dt, dl_da })
+    Ok(contract_cross_hessians(
+        problem,
+        x_star,
+        &y_full[..mn],
+        beta,
+        dphi,
+        ddphi,
+        &w,
+    ))
 }
 
 /// Full Jacobians of the relaxed optimum with respect to the prediction
@@ -257,6 +1010,25 @@ pub fn solution_jacobians(
     params: &RelaxationParams,
     x_star: &Matrix,
 ) -> Result<SolutionJacobians, LinalgError> {
+    let mut ws = KktWorkspace::new();
+    solution_jacobians_with(problem, params, x_star, &mut ws)
+}
+
+/// [`solution_jacobians`] reusing a caller-owned [`KktWorkspace`]: the
+/// factorization is built once and all `2·M·N` sensitivity solves reuse
+/// it (structured elimination when applicable, dense LU otherwise).
+///
+/// # Errors
+/// Returns an error when the KKT system cannot be factored or solved.
+///
+/// # Panics
+/// Same convexity restriction as [`solution_jacobians`].
+pub fn solution_jacobians_with(
+    problem: &MatchingProblem,
+    params: &RelaxationParams,
+    x_star: &Matrix,
+    ws: &mut KktWorkspace,
+) -> Result<SolutionJacobians, LinalgError> {
     assert!(
         problem.speedup.iter().all(|c| c.is_trivial()),
         "solution Jacobians require the convex (sequential) setting"
@@ -269,69 +1041,70 @@ pub fn solution_jacobians(
             dx_da: Matrix::zeros(0, 0),
         });
     }
-    let stats = objective::cluster_stats(problem, params, x_star);
-    let g = objective::reliability_slack(problem, x_star);
-    let dphi = objective::barrier_derivative(params, g);
-    let ddphi = barrier_second_derivative(params, g);
-    let (beta, w): (f64, Vec<f64>) = match params.cost {
-        CostKind::SmoothMax => (params.beta, stats.weights.clone()),
-        CostKind::LinearSum => (0.0, vec![1.0; m]),
-    };
+    ws.factor(problem, params, x_star)?;
+    let (beta, dphi, ddphi) = (ws.beta, ws.dphi, ws.ddphi);
+    let w = ws.w_buf.clone();
     let t = &problem.times;
     let a = &problem.reliability;
     let nf = n as f64;
     let idx = |i: usize, j: usize| i * n + j;
-    let lu = Lu::factor(&assemble_kkt_matrix(problem, params, x_star))?;
 
     let mut dx_dt = Matrix::zeros(mn, mn);
     let mut dx_da = Matrix::zeros(mn, mn);
-    let mut rhs = vec![0.0; mn + n];
-    for kcl in 0..m {
-        for l in 0..n {
-            let col = idx(kcl, l);
-            // ---- dX/dT column: rhs = −∇²_XT F e_(k,l) -----------------
-            // ∂²F/∂x_ij∂t_kl = w_i δ_ik δ_jl + β t_ij w_i (δ_ik − w_k) x_kl
-            for slot in rhs.iter_mut() {
-                *slot = 0.0;
-            }
-            for i in 0..m {
-                for j in 0..n {
-                    let mut v = 0.0;
-                    if i == kcl && j == l {
-                        v += w[i];
-                    }
-                    v += beta
-                        * t[(i, j)]
-                        * w[i]
-                        * ((i == kcl) as u8 as f64 - w[kcl])
-                        * x_star[(kcl, l)];
-                    rhs[idx(i, j)] = -v;
+    let mut rhs = std::mem::take(&mut ws.rhs);
+    rhs.clear();
+    rhs.resize(mn + n, 0.0);
+    let result = (|| -> Result<(), LinalgError> {
+        for kcl in 0..m {
+            for l in 0..n {
+                let col = idx(kcl, l);
+                // ---- dX/dT column: rhs = −∇²_XT F e_(k,l) -----------------
+                // ∂²F/∂x_ij∂t_kl = w_i δ_ik δ_jl + β t_ij w_i (δ_ik − w_k) x_kl
+                for slot in rhs.iter_mut() {
+                    *slot = 0.0;
                 }
-            }
-            let sol = lu.solve(&rhs)?;
-            for p in 0..mn {
-                dx_dt[(p, col)] = sol[p];
-            }
-            // ---- dX/dA column ------------------------------------------
-            // ∂²F/∂x_ij∂a_kl = φ''(g)(x_kl/N)(a_ij/N) + φ'(g) δ_ik δ_jl/N
-            for slot in rhs.iter_mut() {
-                *slot = 0.0;
-            }
-            for i in 0..m {
-                for j in 0..n {
-                    let mut v = ddphi * x_star[(kcl, l)] * a[(i, j)] / (nf * nf);
-                    if i == kcl && j == l {
-                        v += dphi / nf;
+                for i in 0..m {
+                    for j in 0..n {
+                        let mut v = 0.0;
+                        if i == kcl && j == l {
+                            v += w[i];
+                        }
+                        v += beta
+                            * t[(i, j)]
+                            * w[i]
+                            * ((i == kcl) as u8 as f64 - w[kcl])
+                            * x_star[(kcl, l)];
+                        rhs[idx(i, j)] = -v;
                     }
-                    rhs[idx(i, j)] = -v;
                 }
-            }
-            let sol = lu.solve(&rhs)?;
-            for p in 0..mn {
-                dx_da[(p, col)] = sol[p];
+                ws.solve_in_place(&mut rhs)?;
+                for p in 0..mn {
+                    dx_dt[(p, col)] = rhs[p];
+                }
+                // ---- dX/dA column ------------------------------------------
+                // ∂²F/∂x_ij∂a_kl = φ''(g)(x_kl/N)(a_ij/N) + φ'(g) δ_ik δ_jl/N
+                for slot in rhs.iter_mut() {
+                    *slot = 0.0;
+                }
+                for i in 0..m {
+                    for j in 0..n {
+                        let mut v = ddphi * x_star[(kcl, l)] * a[(i, j)] / (nf * nf);
+                        if i == kcl && j == l {
+                            v += dphi / nf;
+                        }
+                        rhs[idx(i, j)] = -v;
+                    }
+                }
+                ws.solve_in_place(&mut rhs)?;
+                for p in 0..mn {
+                    dx_da[(p, col)] = rhs[p];
+                }
             }
         }
-    }
+        Ok(())
+    })();
+    ws.rhs = rhs;
+    result?;
     Ok(SolutionJacobians { dx_dt, dx_da })
 }
 

@@ -49,11 +49,12 @@ pub mod zeroth;
 pub use cache::{
     CacheOutcome, CacheStats, KktStructure, WarmStartCache, WarmStartConfig, WarmStartEntry,
 };
+pub use kkt::{KktGradients, KktWorkspace};
 pub use objective::{BarrierKind, CostKind, RelaxationParams};
 pub use problem::{Assignment, CapacityConstraint, MatchingProblem};
 pub use recovery::{
     BackoffSchedule, FallbackStage, HealthPolicy, RobustSolution, RobustSolver, SolveDiagnostics,
     SolveError, StageAttempt, StageOutcome,
 };
-pub use solver::{NewtonOptions, ProjectionKind, RelaxedSolution, SolverOptions};
+pub use solver::{NewtonOptions, PgdWorkspace, ProjectionKind, RelaxedSolution, SolverOptions};
 pub use speedup::SpeedupCurve;

@@ -101,7 +101,7 @@ impl Default for RelaxationParams {
 
 /// Per-cluster quantities of a relaxed matching, shared by the value,
 /// gradient and Hessian computations.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct ClusterStats {
     /// Fractional load `n_i = xᵢᵀ1`.
     pub count: Vec<f64>,
@@ -119,30 +119,48 @@ pub fn cluster_stats(
     params: &RelaxationParams,
     x: &Matrix,
 ) -> ClusterStats {
+    let mut stats = ClusterStats::default();
+    cluster_stats_into(problem, params, x, &mut stats);
+    stats
+}
+
+/// Computes the per-cluster statistics of `x` into caller-owned storage.
+/// Performs no heap allocation once `stats` has grown to `M` entries.
+pub fn cluster_stats_into(
+    problem: &MatchingProblem,
+    params: &RelaxationParams,
+    x: &Matrix,
+    stats: &mut ClusterStats,
+) {
     let m = problem.clusters();
     debug_assert_eq!(x.shape(), problem.times.shape());
-    let mut count = vec![0.0; m];
-    let mut load = vec![0.0; m];
+    let ClusterStats {
+        count,
+        load,
+        adjusted,
+        weights,
+    } = stats;
+    count.clear();
+    count.resize(m, 0.0);
+    load.clear();
+    load.resize(m, 0.0);
     for i in 0..m {
         let xi = x.row(i);
         count[i] = xi.iter().sum();
         load[i] = vector::dot(xi, problem.times.row(i));
     }
-    let adjusted: Vec<f64> = (0..m)
-        .map(|i| problem.speedup[i].eval(count[i]) * load[i])
-        .collect();
-    let weights = match params.cost {
+    adjusted.clear();
+    adjusted.extend((0..m).map(|i| problem.speedup[i].eval(count[i]) * load[i]));
+    match params.cost {
         CostKind::SmoothMax => {
-            let scaled: Vec<f64> = adjusted.iter().map(|&s| params.beta * s).collect();
-            vector::softmax(&scaled)
+            weights.clear();
+            weights.extend(adjusted.iter().map(|&s| params.beta * s));
+            vector::softmax_inplace(weights);
         }
-        CostKind::LinearSum => vec![1.0; m],
-    };
-    ClusterStats {
-        count,
-        load,
-        adjusted,
-        weights,
+        CostKind::LinearSum => {
+            weights.clear();
+            weights.resize(m, 1.0);
+        }
     }
 }
 
@@ -264,10 +282,29 @@ pub fn value(problem: &MatchingProblem, params: &RelaxationParams, x: &Matrix) -
 /// `ρ (1 + log x_ij)`.
 pub fn grad_x(problem: &MatchingProblem, params: &RelaxationParams, x: &Matrix) -> Matrix {
     let (m, n) = x.shape();
-    let stats = cluster_stats(problem, params, x);
+    let mut stats = ClusterStats::default();
+    let mut grad = Matrix::zeros(m, n);
+    grad_x_into(problem, params, x, &mut stats, &mut grad);
+    grad
+}
+
+/// Writes `∇_X F(X, T, A)` into `out`, reusing `stats` as scratch.
+/// Performs no heap allocation once `stats` and `out` have the right
+/// shape, which is what makes the PGD inner loop allocation-free.
+pub fn grad_x_into(
+    problem: &MatchingProblem,
+    params: &RelaxationParams,
+    x: &Matrix,
+    stats: &mut ClusterStats,
+    out: &mut Matrix,
+) {
+    let (m, n) = x.shape();
+    cluster_stats_into(problem, params, x, stats);
     let g = reliability_slack(problem, x);
     let dphi = barrier_derivative(params, g);
-    let mut grad = Matrix::zeros(m, n);
+    if out.shape() != (m, n) {
+        *out = Matrix::zeros(m, n);
+    }
     for i in 0..m {
         let zeta = problem.speedup[i].eval(stats.count[i]);
         let dzeta = problem.speedup[i].derivative(stats.count[i]);
@@ -289,10 +326,182 @@ pub fn grad_x(problem: &MatchingProblem, params: &RelaxationParams, x: &Matrix) 
             if params.rho != 0.0 {
                 gij += params.rho * (1.0 + x[(i, j)].max(X_FLOOR).ln());
             }
-            grad[(i, j)] = gij;
+            out[(i, j)] = gij;
         }
     }
-    grad
+}
+
+/// Transposed (task-major) problem data plus scratch buffers for the PGD
+/// hot loop: with tasks as rows, both the gradient step and the per-task
+/// simplex projection read contiguous memory instead of striding by `N`.
+///
+/// Every accumulation below runs in the same floating-point order as the
+/// row-major [`grad_x`] path (per-cluster partial sums over ascending
+/// `j`, reduced over ascending `i`), so the produced gradients — and
+/// therefore whole solver trajectories — are bitwise identical to it.
+#[derive(Debug, Clone)]
+pub(crate) struct TransposedEval {
+    /// `times` transposed to `N×M`.
+    pub tt: Matrix,
+    /// `reliability` transposed to `N×M`.
+    pub at: Matrix,
+    /// Capacity usage transposed to `N×M` (when constrained).
+    pub ut: Option<Matrix>,
+    count: Vec<f64>,
+    load: Vec<f64>,
+    weights: Vec<f64>,
+    zeta: Vec<f64>,
+    dzeta: Vec<f64>,
+    rel: Vec<f64>,
+    cap_used: Vec<f64>,
+    cap_dphi: Vec<f64>,
+}
+
+impl Default for TransposedEval {
+    fn default() -> Self {
+        TransposedEval {
+            tt: Matrix::zeros(0, 0),
+            at: Matrix::zeros(0, 0),
+            ut: None,
+            count: Vec::new(),
+            load: Vec::new(),
+            weights: Vec::new(),
+            zeta: Vec::new(),
+            dzeta: Vec::new(),
+            rel: Vec::new(),
+            cap_used: Vec::new(),
+            cap_dphi: Vec::new(),
+        }
+    }
+}
+
+fn transpose_into(src: &Matrix, dst: &mut Matrix) {
+    let (m, n) = src.shape();
+    if dst.shape() != (n, m) {
+        *dst = Matrix::zeros(n, m);
+    }
+    for i in 0..m {
+        for (j, &v) in src.row(i).iter().enumerate() {
+            dst[(j, i)] = v;
+        }
+    }
+}
+
+impl TransposedEval {
+    /// (Re)builds the transposed problem data and sizes the scratch
+    /// buffers; reuses existing storage when the shape is unchanged.
+    pub fn prepare(&mut self, problem: &MatchingProblem) {
+        let m = problem.clusters();
+        transpose_into(&problem.times, &mut self.tt);
+        transpose_into(&problem.reliability, &mut self.at);
+        match &problem.capacity {
+            Some(cap) => {
+                let ut = self.ut.get_or_insert_with(|| Matrix::zeros(0, 0));
+                transpose_into(&cap.usage, ut);
+            }
+            None => self.ut = None,
+        }
+        for buf in [
+            &mut self.count,
+            &mut self.load,
+            &mut self.weights,
+            &mut self.zeta,
+            &mut self.dzeta,
+            &mut self.rel,
+            &mut self.cap_used,
+            &mut self.cap_dphi,
+        ] {
+            buf.clear();
+            buf.resize(m, 0.0);
+        }
+    }
+
+    /// Writes `∇_X F` in task-major (`N×M`) layout into `out`, given the
+    /// task-major iterate `xt`. Allocation-free after [`Self::prepare`].
+    pub fn grad_into(
+        &mut self,
+        problem: &MatchingProblem,
+        params: &RelaxationParams,
+        xt: &Matrix,
+        out: &mut Matrix,
+    ) {
+        let m = problem.clusters();
+        let n = problem.tasks();
+        debug_assert_eq!(xt.shape(), (n, m));
+        if out.shape() != (n, m) {
+            *out = Matrix::zeros(n, m);
+        }
+        self.count.fill(0.0);
+        self.load.fill(0.0);
+        self.rel.fill(0.0);
+        self.cap_used.fill(0.0);
+        for j in 0..n {
+            let xr = xt.row(j);
+            let tr = self.tt.row(j);
+            let ar = self.at.row(j);
+            for i in 0..m {
+                self.count[i] += xr[i];
+                self.load[i] += xr[i] * tr[i];
+                self.rel[i] += xr[i] * ar[i];
+            }
+            if let Some(ut) = &self.ut {
+                let ur = ut.row(j);
+                for i in 0..m {
+                    self.cap_used[i] += xr[i] * ur[i];
+                }
+            }
+        }
+        // Reliability slack: per-cluster partials reduced in cluster order,
+        // matching `reliability_slack`'s row-by-row accumulation.
+        let g = if n == 0 {
+            1.0 - problem.gamma
+        } else {
+            let mut acc = 0.0;
+            for i in 0..m {
+                acc += self.rel[i];
+            }
+            acc / n as f64 - problem.gamma
+        };
+        let dphi = barrier_derivative(params, g);
+        for i in 0..m {
+            self.zeta[i] = problem.speedup[i].eval(self.count[i]);
+            self.dzeta[i] = problem.speedup[i].derivative(self.count[i]);
+        }
+        match params.cost {
+            CostKind::SmoothMax => {
+                for i in 0..m {
+                    self.weights[i] = params.beta * (self.zeta[i] * self.load[i]);
+                }
+                vector::softmax_inplace(&mut self.weights);
+            }
+            CostKind::LinearSum => self.weights.fill(1.0),
+        }
+        if let Some(cap) = &problem.capacity {
+            for i in 0..m {
+                let slack = (cap.limits[i] - self.cap_used[i]) / cap.limits[i];
+                self.cap_dphi[i] = barrier_derivative(params, slack);
+            }
+        }
+        for j in 0..n {
+            let tr = self.tt.row(j);
+            let ar = self.at.row(j);
+            let xr = xt.row(j);
+            for i in 0..m {
+                let ds = self.zeta[i] * tr[i] + self.dzeta[i] * self.load[i];
+                let mut gij = self.weights[i] * ds;
+                if n > 0 {
+                    gij += dphi * ar[i] / n as f64;
+                }
+                if let (Some(ut), Some(cap)) = (&self.ut, &problem.capacity) {
+                    gij -= self.cap_dphi[i] * ut[(j, i)] / cap.limits[i];
+                }
+                if params.rho != 0.0 {
+                    gij += params.rho * (1.0 + xr[i].max(X_FLOOR).ln());
+                }
+                out[(j, i)] = gij;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -464,6 +673,53 @@ mod tests {
         let uniform = Matrix::filled(2, 1, 0.5);
         let skewed = Matrix::from_rows(&[&[0.9], &[0.1]]);
         assert!(entropy_value(&params, &uniform) < entropy_value(&params, &skewed));
+    }
+
+    #[test]
+    fn grad_x_into_matches_grad_x_bitwise() {
+        let problem = random_problem(31, 4, 6, true);
+        let x = random_interior_x(32, 4, 6);
+        let params = RelaxationParams::default();
+        let expected = grad_x(&problem, &params, &x);
+        let mut stats = ClusterStats::default();
+        let mut out = Matrix::zeros(1, 1); // wrong shape: must be resized
+        grad_x_into(&problem, &params, &x, &mut stats, &mut out);
+        assert_eq!(out.as_slice(), expected.as_slice());
+    }
+
+    #[test]
+    fn transposed_gradient_is_bitwise_identical() {
+        use crate::problem::CapacityConstraint;
+        for (seed, parallel, with_cap) in
+            [(41u64, false, false), (42, true, false), (43, true, true)]
+        {
+            let mut problem = random_problem(seed, 3, 7, parallel);
+            if with_cap {
+                let mut rng = StdRng::seed_from_u64(seed + 100);
+                problem.capacity = Some(CapacityConstraint {
+                    usage: Matrix::from_fn(3, 7, |_, _| rng.gen_range(0.1..1.0)),
+                    limits: vec![4.0, 5.0, 6.0],
+                });
+            }
+            let x = random_interior_x(seed + 1, 3, 7);
+            let params = RelaxationParams::default();
+            let expected = grad_x(&problem, &params, &x);
+            let mut te = TransposedEval::default();
+            te.prepare(&problem);
+            let mut xt = Matrix::zeros(0, 0);
+            transpose_into(&x, &mut xt);
+            let mut gt = Matrix::zeros(0, 0);
+            te.grad_into(&problem, &params, &xt, &mut gt);
+            for i in 0..3 {
+                for j in 0..7 {
+                    assert_eq!(
+                        gt[(j, i)].to_bits(),
+                        expected[(i, j)].to_bits(),
+                        "seed={seed} entry ({i},{j})"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -38,11 +38,12 @@ use std::fmt;
 use std::time::{Duration, Instant};
 
 use crate::cache::{fingerprint, warm_init, CacheOutcome, WarmStartCache, WarmStartEntry};
+use crate::kkt::KktWorkspace;
 use crate::objective::{self, BarrierKind, RelaxationParams};
 use crate::problem::{Assignment, MatchingProblem};
 use crate::solver::{
     is_column_stochastic, solve_relaxed_from_guarded, solve_relaxed_newton_guarded, uniform_init,
-    NewtonOptions, ProjectionKind, RelaxedSolution, SolverOptions,
+    NewtonOptions, PgdWorkspace, ProjectionKind, RelaxedSolution, SolverOptions,
 };
 use mfcp_linalg::Matrix;
 
@@ -335,6 +336,13 @@ pub struct SolveDiagnostics {
     /// Warm-start cache outcome for this solve; `None` for plain
     /// [`RobustSolver::solve`] calls that never consulted a cache.
     pub cache: Option<CacheOutcome>,
+    /// Structured KKT factorizations performed during this solve (the
+    /// Newton rung is currently the only in-solve KKT consumer).
+    pub kkt_structured: u64,
+    /// KKT factorizations that fell back to the dense LU path during
+    /// this solve (non-positive `ρ`, near-active log barrier, or a
+    /// structured factorization error).
+    pub kkt_dense_fallbacks: u64,
 }
 
 impl SolveDiagnostics {
@@ -475,7 +483,8 @@ impl RobustSolver {
     /// problem data or parameters are malformed, or
     /// [`SolveError::Exhausted`] when every configured rung failed.
     pub fn solve(&self, problem: &MatchingProblem) -> Result<RobustSolution, SolveError> {
-        self.solve_inner(problem, None)
+        let mut kkt_ws = KktWorkspace::default();
+        self.solve_inner(problem, None, &mut kkt_ws)
     }
 
     /// Solves `problem`, seeding the primary attempt from `cache` when a
@@ -498,7 +507,10 @@ impl RobustSolver {
         let key = fingerprint(problem, &self.params);
         let (outcome, warm) = cache.lookup(key, problem.clusters(), problem.tasks());
         let warm_used = warm.is_some();
-        match self.solve_inner(problem, warm) {
+        // Reuse the previous solve's factorization buffers for this
+        // fingerprint, when the entry carries them.
+        let mut kkt_ws = cache.take_kkt_workspace(key).unwrap_or_default();
+        match self.solve_inner(problem, warm, &mut kkt_ws) {
             Ok(mut sol) => {
                 let warm_failed = warm_used
                     && sol.diagnostics.attempts.first().is_some_and(|a| {
@@ -517,6 +529,7 @@ impl RobustSolver {
                         key,
                         WarmStartEntry::from_solution(problem, &self.params, &sol.x, sol.objective),
                     );
+                    cache.restore_kkt_workspace(key, kkt_ws);
                 }
                 Ok(sol)
             }
@@ -537,6 +550,7 @@ impl RobustSolver {
         &self,
         problem: &MatchingProblem,
         mut warm: Option<Matrix>,
+        kkt_ws: &mut KktWorkspace,
     ) -> Result<RobustSolution, SolveError> {
         let _span = mfcp_obs::span("robust_solve");
         mfcp_obs::counter("optim.robust.calls").inc();
@@ -545,6 +559,12 @@ impl RobustSolver {
         let start = Instant::now();
         let convex = problem.speedup.iter().all(|c| c.is_trivial());
         let mut attempts: Vec<StageAttempt> = Vec::new();
+        // One PGD workspace serves every first-order rung; the KKT
+        // workspace (possibly carried over from a cached entry) serves
+        // the Newton rung. Counter snapshots turn the workspace's
+        // lifetime totals into per-solve diagnostics.
+        let mut pgd_ws = PgdWorkspace::default();
+        let kkt_base = (kkt_ws.structured_factors(), kkt_ws.dense_fallbacks());
 
         for &stage in &self.ladder {
             if stage != FallbackStage::GreedyRounding && self.budget_spent(start) {
@@ -577,8 +597,16 @@ impl RobustSolver {
                             start,
                             Some(x0),
                             &mut attempts,
+                            &mut pgd_ws,
                         ) {
-                            return Ok(self.finish(sol, stage, None, attempts, start));
+                            return Ok(self.finish(
+                                sol,
+                                stage,
+                                None,
+                                attempts,
+                                start,
+                                kkt_delta(kkt_ws, kkt_base),
+                            ));
                         }
                     }
                     if let Some(sol) = self.try_pgd(
@@ -590,8 +618,16 @@ impl RobustSolver {
                         start,
                         None,
                         &mut attempts,
+                        &mut pgd_ws,
                     ) {
-                        return Ok(self.finish(sol, stage, None, attempts, start));
+                        return Ok(self.finish(
+                            sol,
+                            stage,
+                            None,
+                            attempts,
+                            start,
+                            kkt_delta(kkt_ws, kkt_base),
+                        ));
                     }
                 }
                 FallbackStage::BackedOff => {
@@ -610,8 +646,16 @@ impl RobustSolver {
                             start,
                             None,
                             &mut attempts,
+                            &mut pgd_ws,
                         ) {
-                            return Ok(self.finish(sol, stage, None, attempts, start));
+                            return Ok(self.finish(
+                                sol,
+                                stage,
+                                None,
+                                attempts,
+                                start,
+                                kkt_delta(kkt_ws, kkt_base),
+                            ));
                         }
                     }
                 }
@@ -634,8 +678,15 @@ impl RobustSolver {
                         record_attempt_metrics(attempts.last().expect("just pushed"));
                         continue;
                     }
-                    if let Some(sol) = self.try_newton(problem, start, &mut attempts) {
-                        return Ok(self.finish(sol, stage, None, attempts, start));
+                    if let Some(sol) = self.try_newton(problem, start, &mut attempts, kkt_ws) {
+                        return Ok(self.finish(
+                            sol,
+                            stage,
+                            None,
+                            attempts,
+                            start,
+                            kkt_delta(kkt_ws, kkt_base),
+                        ));
                     }
                 }
                 FallbackStage::MirrorDescent | FallbackStage::EuclideanPgd => {
@@ -646,10 +697,25 @@ impl RobustSolver {
                         ProjectionKind::Euclidean
                     };
                     let params = self.safe_params();
-                    if let Some(sol) =
-                        self.try_pgd(problem, stage, 0, params, opts, start, None, &mut attempts)
-                    {
-                        return Ok(self.finish(sol, stage, None, attempts, start));
+                    if let Some(sol) = self.try_pgd(
+                        problem,
+                        stage,
+                        0,
+                        params,
+                        opts,
+                        start,
+                        None,
+                        &mut attempts,
+                        &mut pgd_ws,
+                    ) {
+                        return Ok(self.finish(
+                            sol,
+                            stage,
+                            None,
+                            attempts,
+                            start,
+                            kkt_delta(kkt_ws, kkt_base),
+                        ));
                     }
                 }
                 FallbackStage::GreedyRounding => {
@@ -680,18 +746,28 @@ impl RobustSolver {
                     });
                     mfcp_obs::trace::end(stage_trace_name(stage), None);
                     record_attempt_metrics(attempts.last().expect("just pushed"));
-                    return Ok(self.finish(sol, stage, Some(asg), attempts, start));
+                    return Ok(self.finish(
+                        sol,
+                        stage,
+                        Some(asg),
+                        attempts,
+                        start,
+                        kkt_delta(kkt_ws, kkt_base),
+                    ));
                 }
             }
         }
 
         mfcp_obs::counter("optim.robust.exhausted").inc();
+        let (kkt_structured, kkt_dense_fallbacks) = kkt_delta(kkt_ws, kkt_base);
         Err(SolveError::Exhausted {
             diagnostics: Box::new(SolveDiagnostics {
                 recovered: false,
                 total_secs: start.elapsed().as_secs_f64(),
                 attempts,
                 cache: None,
+                kkt_structured,
+                kkt_dense_fallbacks,
             }),
         })
     }
@@ -715,6 +791,7 @@ impl RobustSolver {
         start: Instant,
         warm: Option<Matrix>,
         attempts: &mut Vec<StageAttempt>,
+        pgd_ws: &mut PgdWorkspace,
     ) -> Option<RelaxedSolution> {
         let t0 = Instant::now();
         mfcp_obs::trace::begin(stage_trace_name(stage), Some(retry as u64));
@@ -729,9 +806,14 @@ impl RobustSolver {
             Some(x) => warm_init(&x),
             None => uniform_init(problem.clusters(), problem.tasks()),
         };
-        let result = solve_relaxed_from_guarded(problem, &params, &opts, x0, &mut |it, x, step| {
-            guard.check(it, x, step)
-        });
+        let result = solve_relaxed_from_guarded(
+            problem,
+            &params,
+            &opts,
+            x0,
+            &mut |it, x, step| guard.check(it, x, step),
+            pgd_ws,
+        );
         self.record(stage, retry, t0, result, warm_start, attempts)
     }
 
@@ -741,6 +823,7 @@ impl RobustSolver {
         problem: &MatchingProblem,
         start: Instant,
         attempts: &mut Vec<StageAttempt>,
+        kkt_ws: &mut KktWorkspace,
     ) -> Option<RelaxedSolution> {
         let stage = FallbackStage::Newton;
         let params = self.safe_params();
@@ -752,6 +835,7 @@ impl RobustSolver {
             &params,
             &self.newton_opts,
             &mut |it, x, step| guard.check(it, x, step),
+            kkt_ws,
         );
         self.record(stage, 0, t0, result, false, attempts)
     }
@@ -826,6 +910,7 @@ impl RobustSolver {
         assignment: Option<Assignment>,
         attempts: Vec<StageAttempt>,
         start: Instant,
+        kkt: (u64, u64),
     ) -> RobustSolution {
         let recovered = attempts
             .iter()
@@ -843,9 +928,20 @@ impl RobustSolver {
                 recovered,
                 total_secs: start.elapsed().as_secs_f64(),
                 cache: None,
+                kkt_structured: kkt.0,
+                kkt_dense_fallbacks: kkt.1,
             },
         }
     }
+}
+
+/// Per-solve deltas of a workspace's lifetime factorization counters
+/// relative to the snapshot taken at the start of the solve.
+fn kkt_delta(ws: &KktWorkspace, base: (u64, u64)) -> (u64, u64) {
+    (
+        ws.structured_factors().saturating_sub(base.0),
+        ws.dense_fallbacks().saturating_sub(base.1),
+    )
 }
 
 /// Flight-recorder event name for a ladder stage. Attempts that actually

@@ -15,10 +15,43 @@
 //! * [`ProjectionKind::Euclidean`] — classical sort-based projection onto
 //!   the simplex after the gradient step.
 
-use crate::objective::{self, RelaxationParams};
+use crate::kkt::KktWorkspace;
+use crate::objective::{self, ClusterStats, RelaxationParams, TransposedEval};
 use crate::problem::MatchingProblem;
 use crate::recovery::{FallbackStage, SolveError};
 use mfcp_linalg::{vector, Matrix};
+
+/// Reusable buffers for the PGD hot loop: the task-major working copy of
+/// the iterate, the task-major gradient, the per-task projection scratch,
+/// and the transposed problem data. One workspace per solve (or per
+/// thread) makes every inner iteration allocation-free after warm-up.
+#[derive(Debug, Clone)]
+pub struct PgdWorkspace {
+    xt: Matrix,
+    grad_t: Matrix,
+    col: Vec<f64>,
+    proj: Vec<f64>,
+    teval: TransposedEval,
+}
+
+impl Default for PgdWorkspace {
+    fn default() -> Self {
+        PgdWorkspace {
+            xt: Matrix::zeros(0, 0),
+            grad_t: Matrix::zeros(0, 0),
+            col: Vec::new(),
+            proj: Vec::new(),
+            teval: TransposedEval::default(),
+        }
+    }
+}
+
+impl PgdWorkspace {
+    /// A fresh workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Per-iterate health hook used by the guarded solver entry points in
 /// [`crate::recovery`]: called after every accepted iterate with the
@@ -116,7 +149,15 @@ pub fn solve_relaxed_from(
 ) -> RelaxedSolution {
     let _span = mfcp_obs::span("solve_relaxed");
     mfcp_obs::counter("optim.solve.calls").inc();
-    let sol = match solve_relaxed_from_guarded(problem, params, opts, x, &mut |_, _, _| Ok(())) {
+    let mut ws = PgdWorkspace::default();
+    let sol = match solve_relaxed_from_guarded(
+        problem,
+        params,
+        opts,
+        x,
+        &mut |_, _, _| Ok(()),
+        &mut ws,
+    ) {
         Ok(sol) => sol,
         Err(_) => unreachable!("the no-op guard never fails"),
     };
@@ -126,12 +167,21 @@ pub fn solve_relaxed_from(
 
 /// Guarded variant of [`solve_relaxed_from`]: `guard` is invoked after
 /// every iterate update and may abort the solve with a typed error.
+///
+/// The hot loop runs on a task-major (`N×M`) working copy of the iterate:
+/// with tasks as rows, the gradient step and the per-task simplex
+/// projection both read and write contiguous memory instead of striding
+/// by `N`, and every buffer lives in `ws` so no iteration allocates. The
+/// update arithmetic runs in the exact floating-point order of the
+/// original cluster-major loop, so trajectories are bitwise identical
+/// (see `transposed_solver_is_bitwise_identical`).
 pub(crate) fn solve_relaxed_from_guarded(
     problem: &MatchingProblem,
     params: &RelaxationParams,
     opts: &SolverOptions,
     mut x: Matrix,
     guard: IterGuard<'_>,
+    ws: &mut PgdWorkspace,
 ) -> Result<RelaxedSolution, SolveError> {
     let (m, n) = (problem.clusters(), problem.tasks());
     assert_eq!(x.shape(), (m, n), "x0 shape mismatch");
@@ -144,50 +194,81 @@ pub(crate) fn solve_relaxed_from_guarded(
             converged: true,
         });
     }
+    let PgdWorkspace {
+        xt,
+        grad_t,
+        col,
+        proj,
+        teval,
+    } = ws;
+    teval.prepare(problem);
+    if xt.shape() != (n, m) {
+        *xt = Matrix::zeros(n, m);
+    }
+    for i in 0..m {
+        for (j, &v) in x.row(i).iter().enumerate() {
+            xt[(j, i)] = v;
+        }
+    }
+    col.clear();
+    col.resize(m, 0.0);
     let mut converged = false;
     let mut iterations = 0;
-    let mut col = vec![0.0; m];
     for iter in 0..opts.max_iters {
         iterations = iter + 1;
-        let grad = objective::grad_x(problem, params, &x);
+        teval.grad_into(problem, params, xt, grad_t);
         let mut max_change: f64 = 0.0;
         match opts.projection {
             ProjectionKind::MirrorDescent => {
                 for j in 0..n {
+                    let xr = xt.row_mut(j);
+                    let gr = grad_t.row(j);
                     // x_ij ∝ x_ij · exp(-η g_ij), computed stably in log space.
-                    for (i, c) in col.iter_mut().enumerate() {
-                        *c = x[(i, j)].max(1e-300).ln() - opts.lr * grad[(i, j)];
+                    for (c, (xv, gv)) in col.iter_mut().zip(xr.iter().zip(gr)) {
+                        *c = xv.max(1e-300).ln() - opts.lr * gv;
                     }
-                    vector::softmax_inplace(&mut col);
-                    for (i, &c) in col.iter().enumerate() {
-                        max_change = max_change.max((c - x[(i, j)]).abs());
-                        x[(i, j)] = c;
+                    vector::softmax_inplace(col);
+                    for (xv, &c) in xr.iter_mut().zip(col.iter()) {
+                        max_change = max_change.max((c - *xv).abs());
+                        *xv = c;
                     }
                 }
             }
             ProjectionKind::SoftmaxPaper => {
                 for j in 0..n {
-                    for (i, c) in col.iter_mut().enumerate() {
-                        *c = x[(i, j)] - opts.lr * grad[(i, j)];
+                    let xr = xt.row_mut(j);
+                    let gr = grad_t.row(j);
+                    for (c, (xv, gv)) in col.iter_mut().zip(xr.iter().zip(gr)) {
+                        *c = xv - opts.lr * gv;
                     }
-                    vector::softmax_inplace(&mut col);
-                    for (i, &c) in col.iter().enumerate() {
-                        max_change = max_change.max((c - x[(i, j)]).abs());
-                        x[(i, j)] = c;
+                    vector::softmax_inplace(col);
+                    for (xv, &c) in xr.iter_mut().zip(col.iter()) {
+                        max_change = max_change.max((c - *xv).abs());
+                        *xv = c;
                     }
                 }
             }
             ProjectionKind::Euclidean => {
                 for j in 0..n {
-                    for (i, c) in col.iter_mut().enumerate() {
-                        *c = x[(i, j)] - opts.lr * grad[(i, j)];
+                    let xr = xt.row_mut(j);
+                    let gr = grad_t.row(j);
+                    for (c, (xv, gv)) in col.iter_mut().zip(xr.iter().zip(gr)) {
+                        *c = xv - opts.lr * gv;
                     }
-                    project_simplex(&mut col);
-                    for (i, &c) in col.iter().enumerate() {
-                        max_change = max_change.max((c - x[(i, j)]).abs());
-                        x[(i, j)] = c;
+                    project_simplex_with(col, proj);
+                    for (xv, &c) in xr.iter_mut().zip(col.iter()) {
+                        max_change = max_change.max((c - *xv).abs());
+                        *xv = c;
                     }
                 }
+            }
+        }
+        // Mirror the iterate back to cluster-major: the guard evaluates
+        // the objective on it and the caller receives it.
+        for i in 0..m {
+            let xrow = x.row_mut(i);
+            for (j, slot) in xrow.iter_mut().enumerate() {
+                *slot = xt[(j, i)];
             }
         }
         // Strided flight-recorder markers: iteration 1 plus every 8th keep
@@ -261,7 +342,8 @@ pub fn solve_relaxed_newton(
     params: &RelaxationParams,
     opts: &NewtonOptions,
 ) -> RelaxedSolution {
-    match solve_relaxed_newton_impl(problem, params, opts, false, &mut |_, _, _| Ok(())) {
+    let mut ws = KktWorkspace::new();
+    match solve_relaxed_newton_impl(problem, params, opts, false, &mut |_, _, _| Ok(()), &mut ws) {
         Ok(sol) => sol,
         Err(_) => unreachable!("non-strict Newton with a no-op guard never fails"),
     }
@@ -270,14 +352,16 @@ pub fn solve_relaxed_newton(
 /// Guarded variant of [`solve_relaxed_newton`]. With `strict` set, a
 /// singular KKT system is reported as [`SolveError::SingularKkt`] instead
 /// of silently returning the current iterate; `guard` runs after every
-/// accepted Newton step.
+/// accepted Newton step. The caller-owned `kkt_ws` carries the structured
+/// KKT factorization buffers across iterations (and across solves).
 pub(crate) fn solve_relaxed_newton_guarded(
     problem: &MatchingProblem,
     params: &RelaxationParams,
     opts: &NewtonOptions,
     guard: IterGuard<'_>,
+    kkt_ws: &mut KktWorkspace,
 ) -> Result<RelaxedSolution, SolveError> {
-    solve_relaxed_newton_impl(problem, params, opts, true, guard)
+    solve_relaxed_newton_impl(problem, params, opts, true, guard, kkt_ws)
 }
 
 fn solve_relaxed_newton_impl(
@@ -286,6 +370,7 @@ fn solve_relaxed_newton_impl(
     opts: &NewtonOptions,
     strict: bool,
     guard: IterGuard<'_>,
+    kkt_ws: &mut KktWorkspace,
 ) -> Result<RelaxedSolution, SolveError> {
     assert!(
         problem.speedup.iter().all(|c| c.is_trivial()),
@@ -307,9 +392,12 @@ fn solve_relaxed_newton_impl(
     let mut iterations = 0;
     let mut f_prev = f64::INFINITY;
     let mut stagnant = 0usize;
+    let mut stats = ClusterStats::default();
+    let mut grad = Matrix::zeros(m, n);
+    let mut rhs = vec![0.0; mn + n];
     for iter in 0..opts.max_iters {
         iterations = iter + 1;
-        let grad = objective::grad_x(problem, params, &x);
+        objective::grad_x_into(problem, params, &x, &mut stats, &mut grad);
         // Stationarity on each simplex column: the full gradient (which
         // includes the entropy term) must be constant across the *active*
         // coordinates. Collapsed coordinates (x at the numerical floor)
@@ -335,17 +423,17 @@ fn solve_relaxed_newton_impl(
             converged = true;
             break;
         }
-        // Newton step from the shared KKT assembly.
-        let k = crate::kkt::assemble_kkt_matrix(problem, params, &x);
-        let mut rhs = vec![0.0; mn + n];
-        for i in 0..m {
-            for j in 0..n {
-                rhs[i * n + j] = -grad[(i, j)];
-            }
+        // Newton step from the shared KKT factorization (structured
+        // elimination when applicable, dense LU fallback otherwise).
+        rhs.iter_mut().for_each(|v| *v = 0.0);
+        for (slot, g) in rhs[..mn].iter_mut().zip(grad.as_slice()) {
+            *slot = -g;
         }
-        let factored = mfcp_linalg::lu::Lu::factor(&k).and_then(|lu| lu.solve(&rhs));
-        let step_full = match factored {
-            Ok(step_full) => step_full,
+        let factored = kkt_ws
+            .factor(problem, params, &x)
+            .and_then(|()| kkt_ws.solve_in_place(&mut rhs));
+        match factored {
+            Ok(()) => {}
             Err(_) if strict => {
                 return Err(SolveError::SingularKkt {
                     stage: FallbackStage::Newton,
@@ -353,8 +441,8 @@ fn solve_relaxed_newton_impl(
                 })
             }
             Err(_) => break, // singular KKT system: return the current iterate
-        };
-        let mut step = Matrix::from_fn(m, n, |i, j| step_full[i * n + j]);
+        }
+        let mut step = Matrix::from_fn(m, n, |i, j| rhs[i * n + j]);
 
         // Coordinates already at the numerical floor would throttle the
         // fraction-to-boundary step length to nothing; freeze them (their
@@ -445,6 +533,15 @@ fn solve_relaxed_newton_impl(
 /// * If *no* entry is finite (and none is `+∞`), the result is the
 ///   uniform vector `1/n`.
 pub fn project_simplex(v: &mut [f64]) {
+    let mut scratch = Vec::new();
+    project_simplex_with(v, &mut scratch);
+}
+
+/// [`project_simplex`] with a caller-owned scratch buffer for the sort
+/// copy, so hot loops (the Euclidean PGD projection runs once per task
+/// per iteration) stay allocation-free after warm-up. Identical
+/// arithmetic to the allocating wrapper.
+pub fn project_simplex_with(v: &mut [f64], scratch: &mut Vec<f64>) {
     let n = v.len();
     if n == 0 {
         return;
@@ -475,8 +572,13 @@ pub fn project_simplex(v: &mut [f64]) {
         }
         return;
     }
-    let mut u = v.to_vec();
-    u.sort_by(|a, b| b.total_cmp(a));
+    scratch.clear();
+    scratch.extend_from_slice(v);
+    let u = &mut *scratch;
+    // Unstable sort: never allocates, and under `total_cmp` equal keys
+    // are bitwise-identical floats, so the sorted values — and therefore
+    // θ — match the stable sort exactly.
+    u.sort_unstable_by(|a, b| b.total_cmp(a));
     let mut css = 0.0;
     let mut theta = 0.0;
     for (k, &uk) in u.iter().enumerate() {
@@ -897,5 +999,135 @@ mod tests {
             &NewtonOptions::default(),
         );
         assert!(sol.converged);
+    }
+
+    /// The pre-transposition cluster-major PGD loop, kept verbatim as the
+    /// bitwise oracle for the transposed hot loop in
+    /// [`solve_relaxed_from_guarded`].
+    fn solve_relaxed_reference(
+        problem: &MatchingProblem,
+        params: &RelaxationParams,
+        opts: &SolverOptions,
+        mut x: Matrix,
+    ) -> RelaxedSolution {
+        let (m, n) = (problem.clusters(), problem.tasks());
+        assert_eq!(x.shape(), (m, n), "x0 shape mismatch");
+        if n == 0 || m == 0 {
+            let objective = objective::value(problem, params, &x);
+            return RelaxedSolution {
+                x,
+                objective,
+                iterations: 0,
+                converged: true,
+            };
+        }
+        let mut converged = false;
+        let mut iterations = 0;
+        let mut col = vec![0.0; m];
+        for iter in 0..opts.max_iters {
+            iterations = iter + 1;
+            let grad = objective::grad_x(problem, params, &x);
+            let mut max_change: f64 = 0.0;
+            match opts.projection {
+                ProjectionKind::MirrorDescent => {
+                    for j in 0..n {
+                        for (i, c) in col.iter_mut().enumerate() {
+                            *c = x[(i, j)].max(1e-300).ln() - opts.lr * grad[(i, j)];
+                        }
+                        vector::softmax_inplace(&mut col);
+                        for (i, &c) in col.iter().enumerate() {
+                            max_change = max_change.max((c - x[(i, j)]).abs());
+                            x[(i, j)] = c;
+                        }
+                    }
+                }
+                ProjectionKind::SoftmaxPaper => {
+                    for j in 0..n {
+                        for (i, c) in col.iter_mut().enumerate() {
+                            *c = x[(i, j)] - opts.lr * grad[(i, j)];
+                        }
+                        vector::softmax_inplace(&mut col);
+                        for (i, &c) in col.iter().enumerate() {
+                            max_change = max_change.max((c - x[(i, j)]).abs());
+                            x[(i, j)] = c;
+                        }
+                    }
+                }
+                ProjectionKind::Euclidean => {
+                    for j in 0..n {
+                        for (i, c) in col.iter_mut().enumerate() {
+                            *c = x[(i, j)] - opts.lr * grad[(i, j)];
+                        }
+                        project_simplex(&mut col);
+                        for (i, &c) in col.iter().enumerate() {
+                            max_change = max_change.max((c - x[(i, j)]).abs());
+                            x[(i, j)] = c;
+                        }
+                    }
+                }
+            }
+            if max_change < opts.tol {
+                converged = true;
+                break;
+            }
+        }
+        let objective = objective::value(problem, params, &x);
+        RelaxedSolution {
+            x,
+            objective,
+            iterations,
+            converged,
+        }
+    }
+
+    #[test]
+    fn transposed_solver_is_bitwise_identical() {
+        use crate::problem::CapacityConstraint;
+        for (seed, parallel, with_cap) in
+            [(21u64, false, false), (22, true, false), (23, false, true)]
+        {
+            let mut problem = random_problem(seed, 3, 6);
+            if parallel {
+                problem.speedup = vec![SpeedupCurve::paper_parallel(); 3];
+            }
+            if with_cap {
+                let mut rng = StdRng::seed_from_u64(seed + 50);
+                problem.capacity = Some(CapacityConstraint {
+                    usage: Matrix::from_fn(3, 6, |_, _| rng.gen_range(0.1..1.0)),
+                    limits: vec![4.0, 5.0, 6.0],
+                });
+            }
+            let params = RelaxationParams::default();
+            for proj in [
+                ProjectionKind::MirrorDescent,
+                ProjectionKind::SoftmaxPaper,
+                ProjectionKind::Euclidean,
+            ] {
+                let opts = SolverOptions {
+                    projection: proj,
+                    max_iters: 120,
+                    ..Default::default()
+                };
+                let x0 = uniform_init(3, 6);
+                let reference = solve_relaxed_reference(&problem, &params, &opts, x0.clone());
+                let sol = solve_relaxed_from(&problem, &params, &opts, x0);
+                assert_eq!(sol.iterations, reference.iterations, "{proj:?} seed {seed}");
+                assert_eq!(sol.converged, reference.converged, "{proj:?} seed {seed}");
+                for (idx, (a, b)) in sol
+                    .x
+                    .as_slice()
+                    .iter()
+                    .zip(reference.x.as_slice())
+                    .enumerate()
+                {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "{proj:?} seed {seed} entry {idx}: {a} vs {b}"
+                    );
+                }
+                assert_eq!(sol.objective.to_bits(), reference.objective.to_bits());
+            }
+        }
     }
 }

@@ -325,9 +325,9 @@ mod tests {
             assert!((cap.limits[i] - 1.5 * c.memory_capacity).abs() < 1e-12);
         }
         // Usage is per-task memory, identical across clusters.
-        for j in 0..4 {
+        for (j, task) in tasks.iter().enumerate().take(4) {
             assert_eq!(cap.usage[(0, j)], cap.usage[(1, j)]);
-            assert!((cap.usage[(0, j)] - tasks[j].memory_units()).abs() < 1e-12);
+            assert!((cap.usage[(0, j)] - task.memory_units()).abs() < 1e-12);
         }
     }
 
