@@ -1,0 +1,96 @@
+//! Temporary review probes (not part of the PR).
+
+use mfcp_linalg::Matrix;
+use mfcp_optim::kkt::{self, KktWorkspace};
+use mfcp_optim::problem::CapacityConstraint;
+use mfcp_optim::{BarrierKind, CostKind, MatchingProblem, RelaxationParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn interior_x(rng: &mut StdRng, m: usize, n: usize) -> Matrix {
+    let mut x = Matrix::from_fn(m, n, |_, _| rng.gen_range(0.1..1.0));
+    for j in 0..n {
+        let col: f64 = (0..m).map(|i| x[(i, j)]).sum();
+        for i in 0..m {
+            x[(i, j)] /= col;
+        }
+    }
+    x
+}
+
+fn max_rel_err(a: &Matrix, b: &Matrix) -> f64 {
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| (x - y).abs() / 1.0_f64.max(x.abs()).max(y.abs()))
+        .fold(0.0, f64::max)
+}
+
+#[test]
+fn probe_near_active_capacity_barrier() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let m = 3;
+    let n = 6;
+    let times = Matrix::from_fn(m, n, |_, _| rng.gen_range(0.5..3.0));
+    let rel = Matrix::from_fn(m, n, |_, _| rng.gen_range(0.8..0.999));
+    let x = interior_x(&mut rng, m, n);
+    let usage = Matrix::from_fn(m, n, |_, _| rng.gen_range(0.05..0.5));
+    // Set limits so cluster 0's capacity slack is just above eps = 1e-3
+    // (slack = (limit - used)/limit ≈ 1.2e-3, inside the λ/g² regime).
+    let mut limits = vec![0.0; m];
+    for i in 0..m {
+        let used: f64 = (0..n).map(|j| x[(i, j)] * usage[(i, j)]).sum();
+        let target_slack = if i == 0 { 1.2e-3 } else { 0.5 };
+        limits[i] = used / (1.0 - target_slack);
+    }
+    let problem = MatchingProblem::new(times, rel, 0.5)
+        .with_capacity(CapacityConstraint::new(usage, limits));
+    let params = RelaxationParams::default();
+    let dl_dx = Matrix::from_fn(m, n, |_, _| rng.gen_range(-1.0..1.0));
+    let mut ws = KktWorkspace::new();
+    let s = kkt::implicit_gradients_with(&problem, &params, &x, &dl_dx, &mut ws).unwrap();
+    let d = kkt::implicit_gradients_dense(&problem, &params, &x, &dl_dx).unwrap();
+    let e_t = max_rel_err(&s.dl_dt, &d.dl_dt);
+    let e_a = max_rel_err(&s.dl_da, &d.dl_da);
+    eprintln!(
+        "near-active capacity: structured={} err_t={e_t:.3e} err_a={e_a:.3e}",
+        ws.last_factor_structured()
+    );
+    assert!(e_t < 1e-9 && e_a < 1e-9, "err_t={e_t:.3e} err_a={e_a:.3e}");
+}
+
+#[test]
+fn probe_smoothmax_weight_underflow() {
+    let m = 3;
+    let n = 4;
+    // Huge spread in adjusted loads with big beta → softmax weights
+    // underflow to exactly 0 for the losing clusters → coeff = 0.
+    let times = Matrix::from_fn(m, n, |i, _| if i == 0 { 1000.0 } else { 0.001 });
+    let rel = Matrix::from_fn(m, n, |_, _| 0.95);
+    let problem = MatchingProblem::new(times, rel, 0.5);
+    let mut rng = StdRng::seed_from_u64(5);
+    let x = interior_x(&mut rng, m, n);
+    let params = RelaxationParams {
+        beta: 8.0,
+        barrier: BarrierKind::log(),
+        cost: CostKind::SmoothMax,
+        ..RelaxationParams::default()
+    };
+    let dl_dx = Matrix::from_fn(m, n, |_, _| rng.gen_range(-1.0..1.0));
+    let mut ws = KktWorkspace::new();
+    let s = kkt::implicit_gradients_with(&problem, &params, &x, &dl_dx, &mut ws).unwrap();
+    let d = kkt::implicit_gradients_dense(&problem, &params, &x, &dl_dx).unwrap();
+    eprintln!(
+        "underflow probe: structured={} fallbacks={}",
+        ws.last_factor_structured(),
+        ws.dense_fallbacks()
+    );
+    assert!(
+        s.dl_dt.as_slice().iter().all(|v| v.is_finite()),
+        "structured dl_dt has non-finite entries"
+    );
+    let e_t = max_rel_err(&s.dl_dt, &d.dl_dt);
+    let e_a = max_rel_err(&s.dl_da, &d.dl_da);
+    eprintln!("underflow probe: err_t={e_t:.3e} err_a={e_a:.3e}");
+    assert!(e_t < 1e-9 && e_a < 1e-9, "err_t={e_t:.3e} err_a={e_a:.3e}");
+}
