@@ -3,8 +3,10 @@
 //! Runs a fixed suite of tier-1 workloads — an MFCP-AD solve, an MFCP-FG
 //! solve, one guarded training round, a thread-pool throughput burst, a
 //! fault-injected replay, the warm-started MFCP-AD solve (`solve_warm`),
-//! a batched relaxed-solve fan-out (`batch_solve`), and a head-to-head
-//! of the structured vs dense implicit-gradient paths (`kkt_grad`) —
+//! a batched relaxed-solve fan-out (`batch_solve`), a head-to-head
+//! of the structured vs dense implicit-gradient paths (`kkt_grad`), and
+//! an online-serving trace replay with one kill/restore cycle
+//! (`serve_replay`) —
 //! each repeated `runs` times, and emits a
 //! schema-stable JSON report (`BENCH_perfgate.json` at the repo root):
 //! median/p95 wall time per suite, the deterministic observability
@@ -38,7 +40,9 @@ use mfcp_parallel::{ParallelConfig, ThreadPool};
 use mfcp_platform::dataset::{NoiseConfig, PlatformDataset};
 use mfcp_platform::embedding::FeatureEmbedder;
 use mfcp_platform::settings::{ClusterPool, Setting};
+use mfcp_platform::stream::{generate_trace, TraceConfig};
 use mfcp_platform::task::TaskGenerator;
+use mfcp_serve::{replay_with_kills, DaemonConfig, MatrixSource};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
@@ -337,9 +341,34 @@ fn suite_kkt_grad(cfg: &PerfgateConfig) {
     }
 }
 
+/// Online serving: replay a short synthetic trace through the exchange
+/// daemon, with one snapshot/kill/restore cycle at the halfway mark so
+/// the gate also times crash recovery. Latency percentiles surface as
+/// `hist.serve.match_latency_secs.*` and the shed/deadline-miss
+/// counters gate on increases like every other counter. The
+/// bit-identity of the chaotic run is asserted by the serve crate's
+/// differential tests; here we only keep the serving loop fast.
+fn suite_serve_replay(cfg: &PerfgateConfig) {
+    let trace = generate_trace(&TraceConfig {
+        seed: cfg.seed.wrapping_add(23),
+        duration_secs: 1800.0,
+        mean_interarrival_secs: 60.0,
+        mean_service_secs: 600.0,
+        ..TraceConfig::default()
+    });
+    let config = DaemonConfig::default();
+    let source = || MatrixSource::GroundTruth(ClusterPool::standard().setting(Setting::A));
+    let dir = std::env::temp_dir().join(format!("mfcp_perfgate_serve_{}", std::process::id()));
+    let outcome = replay_with_kills(&trace, &config, source, &dir, &[trace.len() / 2])
+        .expect("serve replay with one kill/restore");
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(outcome.counters.resolves > 0);
+    assert!(outcome.last.is_some());
+}
+
 type SuiteFn = fn(&PerfgateConfig);
 
-const SUITES: [(&str, SuiteFn); 8] = [
+const SUITES: [(&str, SuiteFn); 9] = [
     ("solve_ad", suite_solve_ad),
     ("solve_fg", suite_solve_fg),
     ("train_round", suite_train_round),
@@ -348,6 +377,7 @@ const SUITES: [(&str, SuiteFn); 8] = [
     ("solve_warm", suite_solve_warm),
     ("batch_solve", suite_batch_solve),
     ("kkt_grad", suite_kkt_grad),
+    ("serve_replay", suite_serve_replay),
 ];
 
 fn percentile(sorted: &[f64], q: f64) -> f64 {
@@ -783,7 +813,7 @@ mod tests {
         };
         let mut trace = String::new();
         let report = run_perfgate(&cfg, Some(&mut trace));
-        assert_eq!(report.suites.len(), 8);
+        assert_eq!(report.suites.len(), 9);
         for s in &report.suites {
             assert!(s.median_wall_secs.is_finite() && s.median_wall_secs >= 0.0);
             assert!(!s.metrics.is_empty(), "suite {} has no metrics", s.name);

@@ -328,12 +328,19 @@ impl TrainReport {
 }
 
 /// Writes every cluster predictor to `<dir>/cluster_<i>.mfcp` (creating
-/// `dir` if needed). The write is not atomic across clusters; resume
-/// validates completeness before using any of it.
+/// `dir` if needed). Each per-cluster file is written atomically
+/// (temp-file + fsync + rename via [`mfcp_nn::persist::atomic_write`]),
+/// so a crash mid-save never corrupts an existing file; the write is
+/// still not atomic *across* clusters, and resume validates completeness
+/// before using any of it.
 pub fn write_checkpoint(dir: &Path, predictors: &[ClusterPredictor]) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
     for (i, p) in predictors.iter().enumerate() {
-        std::fs::write(dir.join(format!("cluster_{i}.mfcp")), p.to_document())?;
+        mfcp_nn::persist::atomic_write(dir.join(format!("cluster_{i}.mfcp")), &p.to_document())
+            .map_err(|e| match e {
+                mfcp_nn::persist::PersistError::Io(io) => io,
+                other => std::io::Error::other(other.to_string()),
+            })?;
     }
     Ok(())
 }

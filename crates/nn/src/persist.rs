@@ -246,13 +246,60 @@ pub fn mlp_from_string(text: &str) -> Result<Mlp, ModelFormatError> {
     Ok(Mlp::from_layer_specs(specs))
 }
 
-/// Saves an MLP to a file.
+/// Atomically replaces the file at `path` with `contents`.
+///
+/// The write goes to a `<name>.tmp` sibling first, is fsynced, and only
+/// then renamed over `path`; on POSIX filesystems the rename is atomic,
+/// so a reader (or a crash at any instant) sees either the complete old
+/// file or the complete new file — never a partial document. The parent
+/// directory is fsynced afterwards so the rename itself survives a power
+/// loss. Checkpoint and snapshot writers throughout the workspace route
+/// through this helper.
+///
+/// # Errors
+/// [`PersistError::Io`] when any step fails; a failed rename cleans up
+/// the temporary file.
+pub fn atomic_write(path: impl AsRef<Path>, contents: &str) -> Result<(), PersistError> {
+    use std::io::Write;
+    let path = path.as_ref();
+    let mut tmp_name = path
+        .file_name()
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("path {} has no file name", path.display()),
+            )
+        })?
+        .to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    let result = (|| {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(contents.as_bytes())?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if let Err(e) = result {
+        std::fs::remove_file(&tmp).ok();
+        return Err(e.into());
+    }
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Ok(handle) = std::fs::File::open(dir) {
+            // Directory fsync is best-effort: not every platform or
+            // filesystem permits it, and the data rename already landed.
+            handle.sync_all().ok();
+        }
+    }
+    Ok(())
+}
+
+/// Saves an MLP to a file via [`atomic_write`], so a crash mid-save
+/// never leaves a corrupt checkpoint where a good one was.
 ///
 /// # Errors
 /// [`PersistError::Io`] when the file cannot be written.
 pub fn save_mlp(mlp: &Mlp, path: impl AsRef<Path>) -> Result<(), PersistError> {
-    std::fs::write(path, mlp_to_string(mlp))?;
-    Ok(())
+    atomic_write(path, &mlp_to_string(mlp))
 }
 
 /// Loads an MLP from a file.
@@ -385,6 +432,91 @@ mod tests {
             mlp_from_string("mfcp-mlp v1\nlayers 1\nlayer 1 1 leaky_relu NaN\n1\nbias 1\n")
                 .is_err()
         );
+    }
+
+    /// Env var that flips `kill_during_write_writer_loop` from a no-op
+    /// test into an endless checkpoint writer (the victim process of
+    /// `kill_during_write_never_corrupts`).
+    const KILL_WRITER_ENV: &str = "MFCP_PERSIST_KILL_WRITER_PATH";
+
+    /// No-op under normal test runs. When [`KILL_WRITER_ENV`] is set, this
+    /// body becomes the victim of the kill test: it overwrites the same
+    /// checkpoint path in a tight loop until the parent SIGKILLs it.
+    #[test]
+    fn kill_during_write_writer_loop() {
+        let Ok(path) = std::env::var(KILL_WRITER_ENV) else {
+            return;
+        };
+        // A model large enough (~1 MB of text) that kills land mid-write.
+        let mut rng = StdRng::seed_from_u64(13);
+        let big = Mlp::new(
+            &[64, 192, 192, 1],
+            Activation::Relu,
+            Activation::Identity,
+            &mut rng,
+        );
+        let text = mlp_to_string(&big);
+        loop {
+            atomic_write(&path, &text).unwrap();
+        }
+    }
+
+    #[test]
+    fn kill_during_write_never_corrupts() {
+        use std::process::{Command, Stdio};
+
+        let dir = std::env::temp_dir().join(format!("mfcp_kill_write_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("victim.mfcp");
+
+        // Seed a known-good checkpoint so "old file survives" is testable.
+        let mut rng = StdRng::seed_from_u64(17);
+        let seed_mlp = Mlp::new(
+            &[64, 192, 192, 1],
+            Activation::Relu,
+            Activation::Identity,
+            &mut rng,
+        );
+        save_mlp(&seed_mlp, &path).unwrap();
+
+        let exe = std::env::current_exe().unwrap();
+        for cycle in 0..6 {
+            let mut child = Command::new(&exe)
+                .args(["kill_during_write_writer_loop", "--exact", "--nocapture"])
+                .env(KILL_WRITER_ENV, &path)
+                .stdout(Stdio::null())
+                .stderr(Stdio::null())
+                .spawn()
+                .expect("spawn writer child");
+            // Stagger the kill point across cycles so it lands at
+            // different offsets inside the write+fsync+rename sequence.
+            std::thread::sleep(std::time::Duration::from_millis(40 + 17 * cycle));
+            child.kill().expect("SIGKILL the writer");
+            child.wait().expect("reap the writer");
+
+            // Whatever instant the kill landed at, the checkpoint path
+            // must hold a complete, parseable document.
+            let restored = load_mlp(&path)
+                .unwrap_or_else(|e| panic!("cycle {cycle}: checkpoint corrupt after SIGKILL: {e}"));
+            assert_eq!(restored.num_params(), seed_mlp.num_params());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_cleans_up() {
+        let dir = std::env::temp_dir().join(format!("mfcp_atomic_write_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("doc.txt");
+        atomic_write(&path, "first").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "first");
+        atomic_write(&path, "second").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second");
+        assert!(
+            !dir.join("doc.txt.tmp").exists(),
+            "temporary must not outlive a successful write"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

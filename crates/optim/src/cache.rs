@@ -252,6 +252,8 @@ impl fmt::Display for CacheOutcome {
 /// without coordinating over the global registry.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
+    /// Live entries at the moment [`WarmStartCache::stats`] was called.
+    pub entries: usize,
     /// Lookups that returned a valid warm start.
     pub hits: u64,
     /// Lookups with no entry under the fingerprint.
@@ -259,6 +261,11 @@ pub struct CacheStats {
     /// Entries evicted as stale or poisoned, plus warm attempts that
     /// diverged and fell back to cold.
     pub stale: u64,
+    /// Entries displaced by the capacity bound
+    /// ([`WarmStartConfig::max_entries`]), as opposed to staleness or
+    /// poisoning. A daemon watching this climb knows its working set no
+    /// longer fits the cache.
+    pub evicted: u64,
 }
 
 /// Tuning knobs for [`WarmStartCache`].
@@ -353,9 +360,12 @@ impl WarmStartCache {
         self.config
     }
 
-    /// Lifetime lookup statistics.
+    /// Lifetime lookup/eviction statistics plus the current entry count.
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        CacheStats {
+            entries: self.entries.len(),
+            ..self.stats
+        }
     }
 
     /// Advances the staleness clock by one generation. Call once per
@@ -363,6 +373,33 @@ impl WarmStartCache {
     /// [`WarmStartConfig::max_age`] generations are evicted on lookup.
     pub fn advance_generation(&mut self) {
         self.generation += 1;
+    }
+
+    /// Sets the generation clock directly. Exists for snapshot restore
+    /// (a resumed daemon must continue the exact clock it was killed
+    /// at, or entry ages — and thus staleness evictions — would differ
+    /// from an uninterrupted run).
+    pub fn set_generation(&mut self, generation: u64) {
+        self.generation = generation;
+    }
+
+    /// Entries in ascending key order — a deterministic view for
+    /// serialization (the underlying `HashMap` iteration order is not).
+    pub fn entries_sorted(&self) -> Vec<(u64, &WarmStartEntry)> {
+        let mut all: Vec<_> = self.entries.iter().map(|(k, e)| (*k, e)).collect();
+        all.sort_by_key(|(k, _)| *k);
+        all
+    }
+
+    /// Inserts `entry` preserving its `stored_at` stamp (unlike
+    /// [`WarmStartCache::store`], which stamps the current generation).
+    /// Exists for snapshot restore; still enforces the capacity bound.
+    pub fn insert_preserving_age(&mut self, key: u64, entry: WarmStartEntry) {
+        let stamp = entry.stored_at;
+        self.store(key, entry);
+        if let Some(e) = self.entries.get_mut(&key) {
+            e.stored_at = stamp;
+        }
     }
 
     /// Looks up the entry under `key` for an `m × n` problem.
@@ -429,6 +466,9 @@ impl WarmStartCache {
             match victim {
                 Some(k) => {
                     self.entries.remove(&k);
+                    self.stats.evicted += 1;
+                    mfcp_obs::counter("cache.evicted").inc();
+                    mfcp_obs::trace::instant("cache.evicted", Some(k));
                 }
                 None => break,
             }
@@ -547,9 +587,11 @@ mod tests {
         assert_eq!(
             cache.stats(),
             CacheStats {
+                entries: 1,
                 hits: 1,
                 misses: 1,
-                stale: 0
+                stale: 0,
+                evicted: 0,
             }
         );
     }
@@ -628,6 +670,35 @@ mod tests {
         assert_eq!(cache.lookup(1, 2, 3).0, CacheOutcome::Miss);
         assert_eq!(cache.lookup(2, 2, 3).0, CacheOutcome::Hit);
         assert_eq!(cache.lookup(3, 2, 3).0, CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn stats_distinguish_capacity_evictions_from_staleness() {
+        let params = RelaxationParams::default();
+        let p = problem(2, 3);
+        let mut cache = WarmStartCache::with_config(WarmStartConfig {
+            max_age: 8,
+            max_entries: 2,
+        });
+        cache.store(1, entry_for(&p, &params));
+        cache.store(2, entry_for(&p, &params));
+        assert_eq!(cache.stats().evicted, 0);
+        cache.store(3, entry_for(&p, &params));
+        cache.store(4, entry_for(&p, &params));
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evicted, 2, "two capacity displacements");
+        assert_eq!(stats.stale, 0, "capacity evictions are not staleness");
+
+        // A poisoned entry goes through the stale path, not evicted.
+        cache.entry_mut(4).unwrap().x[(0, 0)] = f64::NAN;
+        assert_eq!(cache.lookup(4, 2, 3).0, CacheOutcome::Stale);
+        let stats = cache.stats();
+        assert_eq!(stats.stale, 1);
+        assert_eq!(stats.evicted, 2);
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 0);
     }
 
     #[test]

@@ -31,10 +31,14 @@
 //!   of structurally identical problems seed PGD from the previous
 //!   optimum instead of the uniform simplex point (see DESIGN.md,
 //!   "Warm-start cache and batched solving").
+//! * [`budget`] — per-request deadlines and cooperative cancellation,
+//!   checked on every guarded iterate so an online daemon can bound the
+//!   latency of a single matching solve.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod cache;
 pub mod exact;
 pub mod kkt;
@@ -46,6 +50,7 @@ pub mod solver;
 pub mod speedup;
 pub mod zeroth;
 
+pub use budget::{Budget, CancelToken};
 pub use cache::{
     CacheOutcome, CacheStats, KktStructure, WarmStartCache, WarmStartConfig, WarmStartEntry,
 };

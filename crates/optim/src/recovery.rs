@@ -37,6 +37,7 @@
 use std::fmt;
 use std::time::{Duration, Instant};
 
+use crate::budget::Budget;
 use crate::cache::{fingerprint, warm_init, CacheOutcome, WarmStartCache, WarmStartEntry};
 use crate::kkt::KktWorkspace;
 use crate::objective::{self, BarrierKind, RelaxationParams};
@@ -110,6 +111,17 @@ pub enum SolveError {
         /// Iteration at which the stall was declared.
         iteration: usize,
     },
+    /// The caller's per-request [`Budget`] expired mid-stage: its
+    /// deadline passed or its cancel token fired. Unlike
+    /// [`SolveError::WallBudget`] (the solver's own safety limit), this
+    /// is the *request's* latency contract; the ladder responds by
+    /// skipping straight to the greedy rung.
+    DeadlineExceeded {
+        /// Stage that was running when the budget expired.
+        stage: FallbackStage,
+        /// Iteration at which the expiry was observed.
+        iteration: usize,
+    },
     /// The shared wall-clock budget ran out mid-stage.
     WallBudget {
         /// Stage that exceeded the budget.
@@ -163,6 +175,12 @@ impl fmt::Display for SolveError {
             ),
             SolveError::Stalled { stage, iteration } => {
                 write!(f, "{stage}: stalled without progress at iteration {iteration}")
+            }
+            SolveError::DeadlineExceeded { stage, iteration } => {
+                write!(
+                    f,
+                    "{stage}: request budget expired at iteration {iteration}"
+                )
             }
             SolveError::WallBudget {
                 stage,
@@ -384,6 +402,7 @@ fn short_reason(err: &SolveError) -> &'static str {
         SolveError::NonFinite { .. } => "non-finite",
         SolveError::Diverged { .. } => "diverged",
         SolveError::Stalled { .. } => "stalled",
+        SolveError::DeadlineExceeded { .. } => "deadline",
         SolveError::WallBudget { .. } => "wall-budget",
         SolveError::SingularKkt { .. } => "singular-kkt",
         SolveError::OffSimplex { .. } => "off-simplex",
@@ -454,6 +473,13 @@ pub struct RobustSolver {
     pub backoff: BackoffSchedule,
     /// Rung order; defaults to [`default_ladder`].
     pub ladder: Vec<FallbackStage>,
+    /// Per-request solve budget (deadline and/or cancel token); defaults
+    /// to [`Budget::unlimited`]. When the budget expires mid-solve the
+    /// running stage aborts with [`SolveError::DeadlineExceeded`] and
+    /// every remaining rung except greedy rounding is skipped, so an
+    /// over-budget request still gets a feasible answer with bounded
+    /// extra latency.
+    pub budget: Budget,
 }
 
 impl RobustSolver {
@@ -466,7 +492,16 @@ impl RobustSolver {
             policy: HealthPolicy::default(),
             backoff: BackoffSchedule::default(),
             ladder: default_ladder(),
+            budget: Budget::unlimited(),
         }
+    }
+
+    /// Returns a copy of this solver carrying `budget` (builder-style,
+    /// for per-request daemons that share one configured solver).
+    pub fn with_budget(&self, budget: Budget) -> Self {
+        let mut solver = self.clone();
+        solver.budget = budget;
+        solver
     }
 
     /// The conservative parameters used by the fallback rungs (full
@@ -567,7 +602,9 @@ impl RobustSolver {
         let kkt_base = (kkt_ws.structured_factors(), kkt_ws.dense_fallbacks());
 
         for &stage in &self.ladder {
-            if stage != FallbackStage::GreedyRounding && self.budget_spent(start) {
+            if stage != FallbackStage::GreedyRounding
+                && (self.budget_spent(start) || self.budget.expired())
+            {
                 attempts.push(StageAttempt {
                     stage,
                     retry: 0,
@@ -576,7 +613,11 @@ impl RobustSolver {
                     objective: None,
                     elapsed_secs: 0.0,
                     warm_start: false,
-                    outcome: StageOutcome::Skipped("wall-clock budget exhausted".into()),
+                    outcome: StageOutcome::Skipped(if self.budget.expired() {
+                        "request budget expired".into()
+                    } else {
+                        "wall-clock budget exhausted".into()
+                    }),
                 });
                 record_attempt_metrics(attempts.last().expect("just pushed"));
                 continue;
@@ -632,7 +673,7 @@ impl RobustSolver {
                 }
                 FallbackStage::BackedOff => {
                     for retry in 1..=self.backoff.retries {
-                        if self.budget_spent(start) {
+                        if self.budget_spent(start) || self.budget.expired() {
                             break;
                         }
                         let params = self.backoff.backed_off(&self.params, retry);
@@ -800,7 +841,7 @@ impl RobustSolver {
         if let BarrierKind::Log { eps } = params.barrier {
             mfcp_obs::histogram("optim.robust.barrier_eps").record(eps);
         }
-        let mut guard = GuardRunner::new(problem, params, &self.policy, start, stage);
+        let mut guard = GuardRunner::new(problem, params, &self.policy, &self.budget, start, stage);
         let warm_start = warm.is_some();
         let x0 = match warm {
             Some(x) => warm_init(&x),
@@ -829,7 +870,7 @@ impl RobustSolver {
         let params = self.safe_params();
         let t0 = Instant::now();
         mfcp_obs::trace::begin(stage_trace_name(stage), None);
-        let mut guard = GuardRunner::new(problem, params, &self.policy, start, stage);
+        let mut guard = GuardRunner::new(problem, params, &self.policy, &self.budget, start, stage);
         let result = solve_relaxed_newton_guarded(
             problem,
             &params,
@@ -985,6 +1026,7 @@ fn error_iteration(err: &SolveError) -> usize {
         SolveError::NonFinite { iteration, .. }
         | SolveError::Diverged { iteration, .. }
         | SolveError::Stalled { iteration, .. }
+        | SolveError::DeadlineExceeded { iteration, .. }
         | SolveError::WallBudget { iteration, .. }
         | SolveError::SingularKkt { iteration, .. } => *iteration,
         _ => 0,
@@ -996,6 +1038,7 @@ struct GuardRunner<'a> {
     problem: &'a MatchingProblem,
     params: RelaxationParams,
     policy: &'a HealthPolicy,
+    budget: &'a Budget,
     start: Instant,
     stage: FallbackStage,
     best: f64,
@@ -1007,6 +1050,7 @@ impl<'a> GuardRunner<'a> {
         problem: &'a MatchingProblem,
         params: RelaxationParams,
         policy: &'a HealthPolicy,
+        budget: &'a Budget,
         start: Instant,
         stage: FallbackStage,
     ) -> Self {
@@ -1014,6 +1058,7 @@ impl<'a> GuardRunner<'a> {
             problem,
             params,
             policy,
+            budget,
             start,
             stage,
             best: f64::INFINITY,
@@ -1022,6 +1067,14 @@ impl<'a> GuardRunner<'a> {
     }
 
     fn check(&mut self, iteration: usize, x: &Matrix, step: f64) -> Result<(), SolveError> {
+        // The request budget is the tightest contract: checked first, on
+        // every accepted iterate of both the PGD and Newton/KKT loops.
+        if self.budget.expired() {
+            return Err(SolveError::DeadlineExceeded {
+                stage: self.stage,
+                iteration,
+            });
+        }
         if x.as_slice().iter().any(|v| !v.is_finite()) {
             return Err(SolveError::NonFinite {
                 stage: self.stage,
@@ -1542,5 +1595,69 @@ mod tests {
             .solve_with_cache(&problem, &mut cache)
             .expect("greedy rung is infallible");
         assert!(cache.is_empty(), "0/1 vertices must not be cached");
+    }
+
+    #[test]
+    fn expired_budget_degrades_to_greedy_deterministically() {
+        let problem = random_problem(21, 3, 8);
+        let token = crate::budget::CancelToken::new();
+        token.cancel();
+        let solver = RobustSolver::new(RelaxationParams::default())
+            .with_budget(Budget::unlimited().with_cancel(token));
+
+        let sol = solver
+            .solve(&problem)
+            .expect("an expired budget still yields a feasible matching");
+        assert_eq!(sol.stage, FallbackStage::GreedyRounding);
+        assert!(is_column_stochastic(&sol.x, 1e-9));
+        // Every optimizing rung must be on record as budget-skipped, not
+        // silently dropped.
+        let skipped: Vec<_> = sol
+            .diagnostics
+            .attempts
+            .iter()
+            .filter(
+                |a| matches!(&a.outcome, StageOutcome::Skipped(r) if r.contains("request budget")),
+            )
+            .collect();
+        assert_eq!(skipped.len(), sol.diagnostics.attempts.len() - 1);
+
+        // Degradation is deterministic: a second run under the same fired
+        // token reproduces the assignment bit for bit.
+        let again = solver.solve(&problem).expect("greedy rung is infallible");
+        assert_eq!(again.objective.to_bits(), sol.objective.to_bits());
+        assert_eq!(again.x.as_slice(), sol.x.as_slice());
+    }
+
+    #[test]
+    fn guard_reports_deadline_exceeded_mid_iteration() {
+        let problem = random_problem(22, 2, 4);
+        let params = RelaxationParams::default();
+        let policy = HealthPolicy::default();
+        let token = crate::budget::CancelToken::new();
+        let budget = Budget::unlimited().with_cancel(token.clone());
+        let mut guard = GuardRunner::new(
+            &problem,
+            params,
+            &policy,
+            &budget,
+            Instant::now(),
+            FallbackStage::Primary,
+        );
+        let x = crate::solver::uniform_init(problem.clusters(), problem.tasks());
+
+        // Healthy while the token is quiet...
+        guard.check(0, &x, 1.0).expect("live budget passes");
+        // ...and a typed abort at the very next iterate once it fires.
+        token.cancel();
+        let err = guard.check(1, &x, 1.0).unwrap_err();
+        match err {
+            SolveError::DeadlineExceeded { stage, iteration } => {
+                assert_eq!(stage, FallbackStage::Primary);
+                assert_eq!(iteration, 1);
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert_eq!(short_reason(&err), "deadline");
     }
 }

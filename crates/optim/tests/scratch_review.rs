@@ -43,8 +43,8 @@ fn probe_near_active_capacity_barrier() {
         let target_slack = if i == 0 { 1.2e-3 } else { 0.5 };
         limits[i] = used / (1.0 - target_slack);
     }
-    let problem = MatchingProblem::new(times, rel, 0.5)
-        .with_capacity(CapacityConstraint::new(usage, limits));
+    let problem =
+        MatchingProblem::new(times, rel, 0.5).with_capacity(CapacityConstraint::new(usage, limits));
     let params = RelaxationParams::default();
     let dl_dx = Matrix::from_fn(m, n, |_, _| rng.gen_range(-1.0..1.0));
     let mut ws = KktWorkspace::new();

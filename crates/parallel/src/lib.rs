@@ -29,7 +29,7 @@ mod pool;
 mod scoped;
 
 pub use batch::{solve_batch, solve_batch_on_pool, SlotPanic};
-pub use pool::{PoolError, ThreadPool};
+pub use pool::{PoolError, ShutdownMode, ThreadPool};
 pub use scoped::{par_chunks_mut, par_for_each, par_map, par_reduce, ParallelConfig};
 
 /// Returns the number of worker threads to use by default.

@@ -2,7 +2,7 @@
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -29,6 +29,19 @@ impl fmt::Display for PoolError {
 
 impl std::error::Error for PoolError {}
 
+/// How a dropped [`ThreadPool`] treats jobs still sitting in its queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShutdownMode {
+    /// Run every queued job to completion before the workers exit
+    /// (the default, matching the pool's historical behavior).
+    #[default]
+    Drain,
+    /// Discard queued jobs without running them; the job currently
+    /// executing on each worker still finishes (cancellation is
+    /// cooperative, nothing is interrupted mid-job).
+    Cancel,
+}
+
 #[derive(Default)]
 struct State {
     /// Number of jobs submitted but not yet completed.
@@ -54,6 +67,15 @@ struct Shared {
     ev_job: u32,
     /// Monotonic job id shared by the enqueue instant and the job span.
     next_job: AtomicU64,
+    /// Once set, workers discard queued jobs instead of running them
+    /// (accounting still settles, so joiners and `in_flight` stay
+    /// consistent).
+    cancelled: AtomicBool,
+    /// Whether [`ThreadPool::drop`] should flip `cancelled` before
+    /// closing the channel ([`ShutdownMode::Cancel`]).
+    cancel_on_drop: AtomicBool,
+    /// Jobs discarded by cancellation.
+    cancelled_counter: mfcp_obs::Counter,
 }
 
 impl Shared {
@@ -112,6 +134,9 @@ impl ThreadPool {
             ev_enqueue: mfcp_obs::trace::intern("pool.enqueue"),
             ev_job: mfcp_obs::trace::intern("pool.job"),
             next_job: AtomicU64::new(0),
+            cancelled: AtomicBool::new(false),
+            cancel_on_drop: AtomicBool::new(false),
+            cancelled_counter: mfcp_obs::counter("parallel.pool.cancelled"),
         });
         let workers = (0..threads)
             .map(|i| {
@@ -202,14 +227,43 @@ impl ThreadPool {
     pub fn in_flight(&self) -> usize {
         self.shared.lock().in_flight
     }
+
+    /// Selects what happens to queued jobs when the pool is dropped.
+    /// Takes `&self` so the mode can be set through an `Arc`.
+    pub fn set_shutdown_mode(&self, mode: ShutdownMode) {
+        self.shared
+            .cancel_on_drop
+            .store(mode == ShutdownMode::Cancel, Ordering::Release);
+    }
+
+    /// Discards queued jobs from this point on: workers drain the queue
+    /// without running the jobs (each discard still decrements the
+    /// in-flight count, so [`ThreadPool::join`] returns promptly).
+    /// The job currently executing on each worker runs to completion.
+    /// Cancellation is one-way; a cancelled pool stays cancelled.
+    pub fn cancel_queued(&self) {
+        self.shared.cancelled.store(true, Ordering::Release);
+    }
 }
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
+        if self.shared.cancel_on_drop.load(Ordering::Acquire) {
+            self.shared.cancelled.store(true, Ordering::Release);
+        }
         // Closing the channel makes every worker's `recv` fail once the
-        // queue drains, so queued jobs still run before shutdown.
+        // queue drains, so queued jobs still run (Drain) or are discarded
+        // with their accounting settled (Cancel) before shutdown.
         drop(self.sender.take());
+        let me = std::thread::current().id();
         for handle in self.workers.drain(..) {
+            if handle.thread().id() == me {
+                // The last owner of the pool was dropped from inside one
+                // of its own jobs. Joining our own thread would deadlock;
+                // skip it — this thread exits on its own as soon as the
+                // current job returns and it observes the closed channel.
+                continue;
+            }
             let _ = handle.join();
         }
     }
@@ -226,6 +280,18 @@ impl fmt::Debug for ThreadPool {
 
 fn worker_loop(rx: Receiver<TimedJob>, shared: Arc<Shared>) {
     while let Ok(timed) = rx.recv() {
+        if shared.cancelled.load(Ordering::Acquire) {
+            // Discard without running; in-flight accounting must still
+            // settle or joiners would park forever.
+            shared.cancelled_counter.inc();
+            drop(timed.job);
+            let mut state = shared.lock();
+            state.in_flight -= 1;
+            if state.in_flight == 0 {
+                shared.all_done.notify_all();
+            }
+            continue;
+        }
         let started = Instant::now();
         shared
             .queue_wait
@@ -388,6 +454,72 @@ mod tests {
             paired >= k as usize,
             "only {paired} begins paired with enqueues"
         );
+    }
+
+    /// Regression test: dropping the last owner of a pool *from inside
+    /// one of its own jobs* used to self-join the worker thread and
+    /// deadlock forever. The scenario must now complete promptly.
+    #[test]
+    fn drop_from_worker_thread_does_not_deadlock() {
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let pool = Arc::new(ThreadPool::new(2));
+            let inner = Arc::clone(&pool);
+            pool.execute(move || {
+                // Give main a moment to drop its handle so this clone is
+                // the last owner and Drop runs here, on a worker.
+                std::thread::sleep(Duration::from_millis(30));
+                drop(inner);
+            });
+            drop(pool);
+            tx.send(()).unwrap();
+        });
+        rx.recv_timeout(Duration::from_secs(10))
+            .expect("pool drop from a worker thread deadlocked");
+    }
+
+    #[test]
+    fn cancel_shutdown_discards_queued_jobs() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let dropped = Instant::now();
+        {
+            let pool = ThreadPool::new(1);
+            pool.set_shutdown_mode(ShutdownMode::Cancel);
+            // Occupy the single worker so everything below stays queued.
+            pool.execute(|| std::thread::sleep(Duration::from_millis(100)));
+            for _ in 0..50 {
+                let c = Arc::clone(&counter);
+                pool.execute(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(100));
+                });
+            }
+        }
+        // Every queued job was discarded, not run; drop waited only for
+        // the in-progress sleep, not 51 sequential ones.
+        assert_eq!(counter.load(Ordering::SeqCst), 0);
+        assert!(
+            dropped.elapsed() < Duration::from_secs(4),
+            "cancel shutdown took {:?}",
+            dropped.elapsed()
+        );
+    }
+
+    #[test]
+    fn cancel_queued_unblocks_join() {
+        let pool = Arc::new(ThreadPool::new(1));
+        pool.execute(|| std::thread::sleep(Duration::from_millis(50)));
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..20 {
+            let c = Arc::clone(&counter);
+            pool.execute(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.cancel_queued();
+        pool.join().unwrap();
+        assert_eq!(pool.in_flight(), 0, "cancelled jobs settle accounting");
+        assert_eq!(counter.load(Ordering::SeqCst), 0);
     }
 
     /// CPU time (user + system) consumed so far by the calling thread, in

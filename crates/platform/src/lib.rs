@@ -34,6 +34,9 @@
 //!   execution replay, with failure-aware re-matching under a bounded
 //!   attempt budget.
 //! * [`metrics`] — mean ± std accumulators used by every experiment.
+//! * [`stream`] — streaming exchange events (arrivals, departures,
+//!   cluster outages) and a deterministic day-long trace generator for
+//!   the online serving daemon.
 //! * [`trace`] — CSV import/export of measurement traces.
 //! * [`scheduler`] — explicit within-cluster schedules (sequential and
 //!   processor-sharing), grounding the ζ speedup model of Eq. 16.
@@ -49,6 +52,7 @@ pub mod fault;
 pub mod metrics;
 pub mod scheduler;
 pub mod settings;
+pub mod stream;
 pub mod task;
 pub mod trace;
 
@@ -61,5 +65,6 @@ pub mod prelude {
     pub use crate::fault::{simulate_with_faults, ClusterOutage, FaultPlan, FaultyExecutionReport};
     pub use crate::metrics::{paired_comparison, MeanStd, PairedComparison};
     pub use crate::settings::{ClusterPool, Setting};
+    pub use crate::stream::{generate_trace, ExchangeEvent, TraceConfig, TraceEvent};
     pub use crate::task::{TaskFamily, TaskGenerator, TaskSpec};
 }

@@ -1,0 +1,211 @@
+//! Streaming exchange events for the online daemon.
+//!
+//! The paper's platform is continuously operating: tasks arrive, run,
+//! and depart while clusters come and go. This module defines the event
+//! vocabulary the `mfcp-serve` daemon consumes ([`ExchangeEvent`]) and a
+//! deterministic synthetic trace generator ([`generate_trace`]) standing
+//! in for a day of production arrivals. Determinism matters more than
+//! realism here: the kill/resume differential test replays the *same*
+//! trace twice and demands bit-identical assignments, so the generator
+//! is a pure function of its [`TraceConfig`] (one seeded RNG, stable
+//! sort, no wall clock).
+
+use crate::task::{TaskGenerator, TaskSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One thing that can happen to the exchange.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExchangeEvent {
+    /// A new task enters the platform and wants a cluster.
+    Arrival {
+        /// Platform-wide unique task id (monotonic within a trace).
+        task_id: u64,
+        /// The submitted job.
+        spec: TaskSpec,
+    },
+    /// A running task finishes (or is withdrawn) and frees its slot.
+    Departure {
+        /// Id assigned at arrival.
+        task_id: u64,
+    },
+    /// A cluster drops out of the pool (outage); tasks must route
+    /// around it until the matching `ClusterUp`.
+    ClusterDown {
+        /// Index into the serving [`crate::cluster::PerfModel`].
+        cluster: usize,
+    },
+    /// A downed cluster rejoins the pool.
+    ClusterUp {
+        /// Index into the serving [`crate::cluster::PerfModel`].
+        cluster: usize,
+    },
+}
+
+/// An [`ExchangeEvent`] stamped with its virtual arrival time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Virtual seconds since the start of the trace.
+    pub at_secs: f64,
+    /// What happened.
+    pub event: ExchangeEvent,
+}
+
+/// Knobs for [`generate_trace`]. Everything the generated trace depends
+/// on lives here, so equal configs produce equal traces.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// RNG seed; the sole source of randomness.
+    pub seed: u64,
+    /// Virtual length of the trace. Events beyond this are dropped
+    /// (departures of still-running tasks included — the daemon treats
+    /// end-of-trace as "state freezes here").
+    pub duration_secs: f64,
+    /// Mean of the exponential inter-arrival gap.
+    pub mean_interarrival_secs: f64,
+    /// Mean of the exponential task service time (arrival → departure).
+    pub mean_service_secs: f64,
+    /// Number of clusters in the serving pool (outages pick from these).
+    pub clusters: usize,
+    /// Number of outage windows to inject across the trace.
+    pub outages: usize,
+    /// Mean outage duration.
+    pub mean_outage_secs: f64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        // A synthetic "day": ~288 arrivals, jobs running a couple of
+        // hours each, three cluster outages of ~an hour.
+        TraceConfig {
+            seed: 0,
+            duration_secs: 86_400.0,
+            mean_interarrival_secs: 300.0,
+            mean_service_secs: 7_200.0,
+            clusters: 3,
+            outages: 3,
+            mean_outage_secs: 3_600.0,
+        }
+    }
+}
+
+/// Exponential draw with the given mean (inverse-CDF of a uniform).
+fn exp_sample(rng: &mut StdRng, mean: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -mean * u.ln()
+}
+
+/// Generates a deterministic synthetic event trace.
+///
+/// Arrivals follow a Poisson process (exponential gaps), each arrival
+/// schedules its own departure after an exponential service time, and
+/// `config.outages` down/up windows land on uniformly random clusters.
+/// Events are sorted by virtual time with a stable total order
+/// (time, then emission sequence), so ties cannot reorder between runs.
+///
+/// ```
+/// use mfcp_platform::stream::{generate_trace, TraceConfig};
+/// let a = generate_trace(&TraceConfig::default());
+/// let b = generate_trace(&TraceConfig::default());
+/// assert_eq!(a, b);
+/// ```
+pub fn generate_trace(config: &TraceConfig) -> Vec<TraceEvent> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let generator = TaskGenerator::default();
+    // (time, emission sequence, event): the sequence makes the sort a
+    // total order even if two virtual timestamps collide exactly.
+    let mut events: Vec<(f64, u64, ExchangeEvent)> = Vec::new();
+    let mut seq = 0u64;
+    let mut push = |events: &mut Vec<(f64, u64, ExchangeEvent)>, at: f64, ev: ExchangeEvent| {
+        events.push((at, seq, ev));
+        seq += 1;
+    };
+
+    let mut clock = 0.0;
+    let mut task_id = 0u64;
+    loop {
+        clock += exp_sample(&mut rng, config.mean_interarrival_secs);
+        if clock >= config.duration_secs {
+            break;
+        }
+        let spec = generator.sample(&mut rng);
+        push(&mut events, clock, ExchangeEvent::Arrival { task_id, spec });
+        let departs = clock + exp_sample(&mut rng, config.mean_service_secs);
+        if departs < config.duration_secs {
+            push(&mut events, departs, ExchangeEvent::Departure { task_id });
+        }
+        task_id += 1;
+    }
+
+    // Each outage lives in its own 1/outages slice of the trace, so two
+    // windows can never overlap (in particular not on the same cluster —
+    // the daemon's pool mask assumes down/up events strictly alternate
+    // per cluster).
+    if config.clusters > 0 && config.outages > 0 {
+        let segment = config.duration_secs / config.outages as f64;
+        for i in 0..config.outages {
+            let cluster = rng.gen_range(0..config.clusters);
+            let down = i as f64 * segment + rng.gen_range(0.0..segment / 2.0);
+            let up = (down + exp_sample(&mut rng, config.mean_outage_secs))
+                .min((i as f64 + 1.0) * segment);
+            push(&mut events, down, ExchangeEvent::ClusterDown { cluster });
+            if up < config.duration_secs {
+                push(&mut events, up, ExchangeEvent::ClusterUp { cluster });
+            }
+        }
+    }
+
+    events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    events
+        .into_iter()
+        .map(|(at_secs, _, event)| TraceEvent { at_secs, event })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn trace_is_deterministic() {
+        let config = TraceConfig::default();
+        let a = generate_trace(&config);
+        let b = generate_trace(&config);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        let other = generate_trace(&TraceConfig { seed: 1, ..config });
+        assert_ne!(a, other, "different seeds yield different traces");
+    }
+
+    #[test]
+    fn trace_is_time_ordered_and_consistent() {
+        let trace = generate_trace(&TraceConfig::default());
+        let mut alive: HashSet<u64> = HashSet::new();
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut down: HashSet<usize> = HashSet::new();
+        let mut last = 0.0;
+        for ev in &trace {
+            assert!(ev.at_secs >= last, "events must be time-sorted");
+            assert!(ev.at_secs < 86_400.0);
+            last = ev.at_secs;
+            match &ev.event {
+                ExchangeEvent::Arrival { task_id, spec } => {
+                    assert!(seen.insert(*task_id), "ids are unique");
+                    alive.insert(*task_id);
+                    assert!(spec.epoch_tflops() > 0.0);
+                }
+                ExchangeEvent::Departure { task_id } => {
+                    assert!(alive.remove(task_id), "departure follows its arrival");
+                }
+                ExchangeEvent::ClusterDown { cluster } => {
+                    assert!(down.insert(*cluster), "no nested outage of one cluster");
+                }
+                ExchangeEvent::ClusterUp { cluster } => {
+                    assert!(down.remove(cluster), "up follows its down");
+                }
+            }
+        }
+        assert!(seen.len() > 100, "a day should see a few hundred arrivals");
+    }
+}

@@ -1,0 +1,249 @@
+//! Trace-replay driver and CI smoke check for the exchange daemon.
+//!
+//! Generates a synthetic arrival/departure/outage trace, replays it
+//! through an [`ExchangeDaemon`], and prints an SLO summary (admit /
+//! shed / deadline-miss counters plus match-latency percentiles). With
+//! `--kills N` it additionally runs the chaos harness — snapshotting,
+//! discarding, and restoring the daemon at `N` evenly spaced points —
+//! and exits nonzero unless the chaotic run ends bit-for-bit identical
+//! to the straight one. CI runs a short trace with one kill/resume as
+//! its smoke job.
+//!
+//! ```text
+//! serve_replay [--seed N] [--duration SECS] [--interarrival SECS]
+//!              [--service SECS] [--kills N] [--deadline-ms N]
+//!              [--dir PATH] [--out PATH]
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use mfcp_platform::prelude::{ClusterPool, Setting};
+use mfcp_platform::stream::{generate_trace, TraceConfig};
+use mfcp_serve::{
+    replay, replay_with_kills, DaemonConfig, ExchangeDaemon, MatrixSource, ReplayOutcome,
+};
+
+struct Args {
+    seed: u64,
+    duration_secs: f64,
+    interarrival_secs: f64,
+    service_secs: f64,
+    kills: usize,
+    deadline_ms: Option<u64>,
+    dir: Option<PathBuf>,
+    out: Option<PathBuf>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            seed: 7,
+            duration_secs: 86_400.0,
+            interarrival_secs: 300.0,
+            service_secs: 7_200.0,
+            kills: 0,
+            deadline_ms: None,
+            dir: None,
+            out: None,
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--duration" => {
+                args.duration_secs = value("--duration")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--interarrival" => {
+                args.interarrival_secs = value("--interarrival")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--service" => {
+                args.service_secs = value("--service")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--kills" => args.kills = value("--kills")?.parse().map_err(|e| format!("{e}"))?,
+            "--deadline-ms" => {
+                args.deadline_ms = Some(
+                    value("--deadline-ms")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                )
+            }
+            "--dir" => args.dir = Some(PathBuf::from(value("--dir")?)),
+            "--out" => args.out = Some(PathBuf::from(value("--out")?)),
+            "--help" | "-h" => {
+                println!(
+                    "serve_replay [--seed N] [--duration SECS] [--interarrival SECS] \
+                     [--service SECS] [--kills N] [--deadline-ms N] [--dir PATH] [--out PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn source() -> MatrixSource {
+    MatrixSource::GroundTruth(ClusterPool::standard().setting(Setting::A))
+}
+
+fn bits(outcome: &ReplayOutcome) -> Option<(Vec<u64>, u64, Vec<u64>)> {
+    outcome.last.as_ref().map(|last| {
+        (
+            last.ids.clone(),
+            last.objective.to_bits(),
+            last.x.as_slice().iter().map(|v| v.to_bits()).collect(),
+        )
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("serve_replay: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let trace = generate_trace(&TraceConfig {
+        seed: args.seed,
+        duration_secs: args.duration_secs,
+        mean_interarrival_secs: args.interarrival_secs,
+        mean_service_secs: args.service_secs,
+        ..TraceConfig::default()
+    });
+    let config = DaemonConfig {
+        deadline: args.deadline_ms.map(Duration::from_millis),
+        ..DaemonConfig::default()
+    };
+    println!(
+        "trace: {} events over {:.0}s (seed {})",
+        trace.len(),
+        args.duration_secs,
+        args.seed
+    );
+
+    mfcp_obs::reset();
+    let started = std::time::Instant::now();
+    let mut daemon = ExchangeDaemon::new(config.clone(), source());
+    let straight = replay(&mut daemon, &trace);
+    let wall = started.elapsed().as_secs_f64();
+    let metrics = mfcp_obs::snapshot();
+
+    let c = straight.counters;
+    let shed_rate = if c.admitted + c.shed > 0 {
+        c.shed as f64 / (c.admitted + c.shed) as f64
+    } else {
+        0.0
+    };
+    println!(
+        "straight: {} events in {:.2}s — admitted {} shed {} ({:.1}% shed) \
+         resolves {} degraded {} deadline_miss {} max_pending {}",
+        straight.events,
+        wall,
+        c.admitted,
+        c.shed,
+        100.0 * shed_rate,
+        c.resolves,
+        c.degraded,
+        c.deadline_miss,
+        c.max_pending_seen,
+    );
+    let (p50, p99) = metrics
+        .histograms
+        .get("serve.match_latency_secs")
+        .map(|h| (h.quantile(0.50), h.quantile(0.99)))
+        .unwrap_or((f64::NAN, f64::NAN));
+    println!("match latency: p50 {p50:.6}s p99 {p99:.6}s");
+
+    let mut failed = false;
+    if args.kills > 0 {
+        let dir = args.dir.clone().unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("mfcp_serve_replay_{}", std::process::id()))
+        });
+        let step = trace.len() / (args.kills + 1);
+        let points: Vec<usize> = (1..=args.kills).map(|k| k * step).collect();
+        let chaotic = match replay_with_kills(&trace, &config, source, &dir, &points) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("serve_replay: chaos replay failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        if args.dir.is_none() {
+            std::fs::remove_dir_all(&dir).ok();
+        }
+        println!(
+            "chaos: {} kill/restore cycles at cursors {points:?}",
+            points.len()
+        );
+        if chaotic.counters != straight.counters {
+            eprintln!(
+                "MISMATCH: counters diverged after kill/restore\n straight: {:?}\n chaotic:  {:?}",
+                straight.counters, chaotic.counters
+            );
+            failed = true;
+        }
+        if bits(&straight) != bits(&chaotic) {
+            eprintln!("MISMATCH: final matching is not bit-identical after kill/restore");
+            failed = true;
+        }
+        if !failed {
+            println!("chaos: final matching bit-identical to straight run");
+        }
+    }
+
+    if let Some(out) = &args.out {
+        let mut json = String::from("{\n");
+        let _ = writeln!(json, "  \"events\": {},", straight.events);
+        let _ = writeln!(json, "  \"wall_secs\": {},", mfcp_obs::json::number(wall));
+        let _ = writeln!(json, "  \"admitted\": {},", c.admitted);
+        let _ = writeln!(json, "  \"shed\": {},", c.shed);
+        let _ = writeln!(
+            json,
+            "  \"shed_rate\": {},",
+            mfcp_obs::json::number(shed_rate)
+        );
+        let _ = writeln!(json, "  \"deadline_miss\": {},", c.deadline_miss);
+        let _ = writeln!(json, "  \"resolves\": {},", c.resolves);
+        let _ = writeln!(json, "  \"degraded\": {},", c.degraded);
+        let _ = writeln!(
+            json,
+            "  \"match_latency_p50\": {},",
+            mfcp_obs::json::number(p50)
+        );
+        let _ = writeln!(
+            json,
+            "  \"match_latency_p99\": {},",
+            mfcp_obs::json::number(p99)
+        );
+        let _ = writeln!(json, "  \"kills\": {}", args.kills);
+        json.push_str("}\n");
+        if let Some(parent) = out.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent).ok();
+        }
+        if let Err(e) = std::fs::write(out, json) {
+            eprintln!("serve_replay: writing {}: {e}", out.display());
+            failed = true;
+        } else {
+            println!("wrote {}", out.display());
+        }
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+}
