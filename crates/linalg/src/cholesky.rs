@@ -1,14 +1,182 @@
 //! Cholesky factorization for symmetric positive-definite systems.
 //!
-//! Used for the Gauss–Newton style preconditioning experiments and for
-//! covariance sampling in the workload generator (correlated task features).
+//! Used for the Gauss–Newton style preconditioning experiments, for
+//! covariance sampling in the workload generator (correlated task features),
+//! and as the Schur-complement solver inside the structured KKT gradient
+//! path. The factorization kernel is cache-blocked and right-looking: the
+//! panel solve and trailing update are fused into one pass per row whose
+//! inner loops are contiguous block-length dot products, so the compiler
+//! can vectorize them (same tiling idiom as `matmul_with` in `ops`).
 
 use crate::{LinalgError, Matrix, Result};
+use mfcp_parallel::{par_chunks_mut, ParallelConfig};
+
+/// Default panel width of the blocked kernel. 64 columns of f64 is 512
+/// bytes per row stripe — the same tile footprint `MatmulOptions` uses.
+pub const DEFAULT_BLOCK: usize = 64;
+
+/// Dot product with four independent accumulators.
+///
+/// A single-accumulator `f64` reduction cannot be vectorized (floating-point
+/// addition is not associative, and we forbid fast-math); fixing the
+/// association into four lanes lets LLVM keep the loop in SIMD registers
+/// while staying bit-reproducible run to run.
+#[inline]
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f64; 4];
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        acc[0] += xa[0] * xb[0];
+        acc[1] += xa[1] * xb[1];
+        acc[2] += xa[2] * xb[2];
+        acc[3] += xa[3] * xb[3];
+    }
+    let mut tail = 0.0;
+    for (xa, xb) in ca.remainder().iter().zip(cb.remainder()) {
+        tail += xa * xb;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// Cache-blocked right-looking factorization of the lower triangle held in
+/// `data` (row-major, `n × n`). Three stages per `bw`-wide panel:
+///
+/// 1. factor the diagonal block with contiguous panel-length dots;
+/// 2. panel-solve every row below against the diagonal block;
+/// 3. pack the finished panel transposed into `scratch`, then apply the
+///    trailing syrk-like update as matmul-style contiguous axpys — the
+///    innermost loop writes a streaming output row with no reduction, the
+///    same shape `matmul_with` uses, so it vectorizes fully.
+fn blocked_kernel(data: &mut [f64], scratch: &mut Vec<f64>, n: usize, block: usize) -> Result<()> {
+    if scratch.len() < block * n {
+        scratch.resize(block * n, 0.0);
+    }
+    let mut jb = 0;
+    while jb < n {
+        let je = (jb + block).min(n);
+        let bw = je - jb;
+        // Stage 1: diagonal block. Entries in columns jb..je already carry
+        // the trailing updates from every previous panel, so only
+        // intra-block contributions remain.
+        for i in jb..je {
+            let (head, tail) = data.split_at_mut(i * n);
+            let row_i = &mut tail[..n];
+            for j in jb..i {
+                let row_j = &head[j * n..j * n + n];
+                let s = row_i[j] - dot(&row_i[jb..j], &row_j[jb..j]);
+                row_i[j] = s / row_j[j];
+            }
+            let d = row_i[i] - dot(&row_i[jb..i], &row_i[jb..i]);
+            if d <= 0.0 || !d.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite { pivot: i });
+            }
+            row_i[i] = d.sqrt();
+        }
+        // Stage 2: panel solve for every row below the block.
+        for r in je..n {
+            let (head, tail) = data.split_at_mut(r * n);
+            let row_r = &mut tail[..n];
+            for j in jb..je {
+                let row_j = &head[j * n..j * n + n];
+                let s = row_r[j] - dot(&row_r[jb..j], &row_j[jb..j]);
+                row_r[j] = s / row_j[j];
+            }
+        }
+        // Stage 3: trailing update `L22 -= P Pᵀ` with the panel packed
+        // transposed (`t[kk][c] = L[je+c][jb+kk]`) so both the multiplier
+        // row and the output row stream contiguously. Target rows are
+        // register-blocked four at a time: one pass over `t` feeds four
+        // output rows, quartering the packed-panel traffic. Per output
+        // element the accumulation order over `kk` is identical in the
+        // quad and remainder paths, so the result does not depend on
+        // where the quad boundary falls.
+        let tcols = n - je;
+        if tcols > 0 {
+            let t = &mut scratch[..bw * tcols];
+            for (c, row_c) in data[je * n..].chunks(n).enumerate() {
+                for (kk, tk) in row_c[jb..je].iter().enumerate() {
+                    t[kk * tcols + c] = *tk;
+                }
+            }
+            let mut r = je;
+            while r + 4 <= n {
+                let chunk = &mut data[r * n..(r + 4) * n];
+                let (r0w, rest) = chunk.split_at_mut(n);
+                let (r1w, rest) = rest.split_at_mut(n);
+                let (r2w, r3w) = rest.split_at_mut(n);
+                let (p0, o0) = split_panel(r0w, jb, je);
+                let (p1, o1) = split_panel(r1w, jb, je);
+                let (p2, o2) = split_panel(r2w, jb, je);
+                let (p3, o3) = split_panel(r3w, jb, je);
+                // Columns je..r are common to all four rows; the last
+                // four columns form the ragged triangle tail.
+                let common = r - je;
+                let oc0 = &mut o0[..common + 1];
+                let oc1 = &mut o1[..common + 2];
+                let oc2 = &mut o2[..common + 3];
+                let oc3 = &mut o3[..common + 4];
+                for kk in 0..bw {
+                    let (a0, a1, a2, a3) = (p0[kk], p1[kk], p2[kk], p3[kk]);
+                    let brow = &t[kk * tcols..kk * tcols + common + 4];
+                    let (bc, bt) = brow.split_at(common);
+                    for (idx, &b) in bc.iter().enumerate() {
+                        oc0[idx] -= a0 * b;
+                        oc1[idx] -= a1 * b;
+                        oc2[idx] -= a2 * b;
+                        oc3[idx] -= a3 * b;
+                    }
+                    // Ragged triangle tail: row je+i additionally owns
+                    // columns r..=r+i (t indices common..=common+i).
+                    oc0[common] -= a0 * bt[0];
+                    oc1[common] -= a1 * bt[0];
+                    oc1[common + 1] -= a1 * bt[1];
+                    oc2[common] -= a2 * bt[0];
+                    oc2[common + 1] -= a2 * bt[1];
+                    oc2[common + 2] -= a2 * bt[2];
+                    oc3[common] -= a3 * bt[0];
+                    oc3[common + 1] -= a3 * bt[1];
+                    oc3[common + 2] -= a3 * bt[2];
+                    oc3[common + 3] -= a3 * bt[3];
+                }
+                r += 4;
+            }
+            while r < n {
+                let row_r = &mut data[r * n..(r + 1) * n];
+                let (left, right) = row_r.split_at_mut(je);
+                let panel_r = &left[jb..je];
+                let len = r - je + 1;
+                let out = &mut right[..len];
+                for (kk, &a) in panel_r.iter().enumerate() {
+                    let b_row = &t[kk * tcols..kk * tcols + len];
+                    for (o, &b) in out.iter_mut().zip(b_row) {
+                        *o -= a * b;
+                    }
+                }
+                r += 1;
+            }
+        }
+        jb = je;
+    }
+    Ok(())
+}
+
+/// Splits a factor row into its read-only panel (columns `jb..je`) and the
+/// mutable trailing section (columns `je..`).
+fn split_panel(row: &mut [f64], jb: usize, je: usize) -> (&[f64], &mut [f64]) {
+    let (left, right) = row.split_at_mut(je);
+    (&left[jb..je], right)
+}
 
 /// A lower-triangular Cholesky factor `A = L Lᵀ`.
 #[derive(Debug, Clone)]
 pub struct Cholesky {
     l: Matrix,
+    /// Packed transpose of the current panel, `bw × (n - je)`: the trailing
+    /// update streams it row-contiguously (matmul-style axpy, no per-element
+    /// reductions). Sized once per shape, reused across refactors.
+    scratch: Vec<f64>,
 }
 
 impl Default for Cholesky {
@@ -24,6 +192,7 @@ impl Cholesky {
     pub fn empty() -> Cholesky {
         Cholesky {
             l: Matrix::zeros(0, 0),
+            scratch: Vec::new(),
         }
     }
 
@@ -38,27 +207,44 @@ impl Cholesky {
     }
 
     /// Re-factors `a` into this factorization's storage, reallocating only
-    /// when the dimension changes. After an error the factorization is
-    /// unusable until the next successful refactor.
+    /// when the dimension changes.
+    ///
+    /// On any error the factorization is reset to the empty (0×0) state, so
+    /// subsequent solves fail with a shape mismatch instead of silently
+    /// dividing by a stale or zero pivot.
     pub fn refactor(&mut self, a: &Matrix) -> Result<()> {
-        if a.rows() != a.cols() {
-            return Err(LinalgError::NotSquare { shape: a.shape() });
+        self.refactor_with_block(a, DEFAULT_BLOCK)
+    }
+
+    /// [`Cholesky::refactor`] with an explicit panel width (benchmarks and
+    /// block-boundary tests; `refactor` uses [`DEFAULT_BLOCK`]).
+    pub fn refactor_with_block(&mut self, a: &Matrix, block: usize) -> Result<()> {
+        let n = self.load_lower_triangle(a)?;
+        let block = block.max(1);
+        if let Err(e) = blocked_kernel(self.l.as_mut_slice(), &mut self.scratch, n, block) {
+            self.l = Matrix::zeros(0, 0);
+            return Err(e);
         }
-        let n = a.rows();
-        if self.l.shape() == (n, n) {
-            self.l.as_mut_slice().fill(0.0);
-        } else {
-            self.l = Matrix::zeros(n, n);
-        }
+        Ok(())
+    }
+
+    /// The scalar i-j-k reference kernel (pre-blocking), kept for the
+    /// `chol_blocked` perfgate head-to-head and differential tests.
+    ///
+    /// Same contract as [`Cholesky::refactor`], including the
+    /// reset-to-empty-on-error behaviour.
+    pub fn refactor_scalar(&mut self, a: &Matrix) -> Result<()> {
+        let n = self.load_lower_triangle(a)?;
         let l = &mut self.l;
         for i in 0..n {
             for j in 0..=i {
-                let mut sum = a[(i, j)];
+                let mut sum = l[(i, j)];
                 for k in 0..j {
                     sum -= l[(i, k)] * l[(j, k)];
                 }
                 if i == j {
-                    if sum <= 0.0 {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        self.l = Matrix::zeros(0, 0);
                         return Err(LinalgError::NotPositiveDefinite { pivot: i });
                     }
                     l[(i, j)] = sum.sqrt();
@@ -68,6 +254,26 @@ impl Cholesky {
             }
         }
         Ok(())
+    }
+
+    /// Copies the lower triangle of `a` into the factor storage (zeroing
+    /// the strict upper triangle), reallocating only on a dimension change.
+    fn load_lower_triangle(&mut self, a: &Matrix) -> Result<usize> {
+        if a.rows() != a.cols() {
+            self.l = Matrix::zeros(0, 0);
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        if self.l.shape() != (n, n) {
+            self.l = Matrix::zeros(n, n);
+        }
+        for i in 0..n {
+            let src = a.row(i);
+            let dst = self.l.row_mut(i);
+            dst[..=i].copy_from_slice(&src[..=i]);
+            dst[i + 1..].fill(0.0);
+        }
+        Ok(n)
     }
 
     /// The lower-triangular factor `L`.
@@ -100,11 +306,9 @@ impl Cholesky {
         }
         // L y = b
         for i in 0..n {
-            let mut acc = b[i];
-            for j in 0..i {
-                acc -= self.l[(i, j)] * b[j];
-            }
-            b[i] = acc / self.l[(i, i)];
+            let row_i = self.l.row(i);
+            let acc = b[i] - dot(&row_i[..i], &b[..i]);
+            b[i] = acc / row_i[i];
         }
         // Lᵀ x = y
         for i in (0..n).rev() {
@@ -121,6 +325,82 @@ impl Cholesky {
     /// likelihoods.
     pub fn log_det(&self) -> f64 {
         (0..self.dim()).map(|i| 2.0 * self.l[(i, i)].ln()).sum()
+    }
+}
+
+/// A batch of Cholesky factorizations sharing one blocking plan and
+/// reusing per-factor storage across calls.
+///
+/// The zeroth-order estimator re-solves `S` perturbed instances whose
+/// matrices all have the same shape; factoring them through one batch
+/// amortizes the panel-width setup and keeps every factor's storage warm
+/// between rounds (no reallocation once shapes stabilize). Factors run in
+/// parallel via `mfcp_parallel::par_chunks_mut`; each factorization is
+/// internally sequential, so results are bitwise independent of the
+/// thread count.
+#[derive(Debug, Default)]
+pub struct CholeskyBatch {
+    factors: Vec<Cholesky>,
+    block: usize,
+}
+
+impl CholeskyBatch {
+    /// An empty batch using [`DEFAULT_BLOCK`].
+    pub fn new() -> CholeskyBatch {
+        CholeskyBatch::with_block(DEFAULT_BLOCK)
+    }
+
+    /// An empty batch with an explicit panel width shared by every factor.
+    pub fn with_block(block: usize) -> CholeskyBatch {
+        CholeskyBatch {
+            factors: Vec::new(),
+            block: block.max(1),
+        }
+    }
+
+    /// Re-factors every matrix in `mats`, reusing each slot's storage from
+    /// the previous call. Returns one result per input, in input order; a
+    /// slot whose refactor failed is reset to the empty state (its solves
+    /// error until the next successful refactor).
+    pub fn refactor_all(&mut self, mats: &[Matrix], parallel: &ParallelConfig) -> Vec<Result<()>> {
+        self.factors.truncate(mats.len());
+        self.factors.resize_with(mats.len(), Cholesky::empty);
+        let block = self.block;
+        struct Slot<'a> {
+            factor: &'a mut Cholesky,
+            a: &'a Matrix,
+            out: Result<()>,
+        }
+        let mut slots: Vec<Slot> = self
+            .factors
+            .iter_mut()
+            .zip(mats)
+            .map(|(factor, a)| Slot {
+                factor,
+                a,
+                out: Ok(()),
+            })
+            .collect();
+        par_chunks_mut(parallel, &mut slots, 1, |_, chunk| {
+            let slot = &mut chunk[0];
+            slot.out = slot.factor.refactor_with_block(slot.a, block);
+        });
+        slots.into_iter().map(|s| s.out).collect()
+    }
+
+    /// The factors from the last [`CholeskyBatch::refactor_all`] call.
+    pub fn factors(&self) -> &[Cholesky] {
+        &self.factors
+    }
+
+    /// Number of factors currently held.
+    pub fn len(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// Whether the batch holds no factors.
+    pub fn is_empty(&self) -> bool {
+        self.factors.is_empty()
     }
 }
 
@@ -205,6 +485,145 @@ mod tests {
             let mut x = b.clone();
             f.solve_in_place(&mut x).unwrap();
             assert_eq!(x, fresh.solve(&b).unwrap());
+        }
+    }
+
+    #[test]
+    fn blocked_matches_scalar_across_block_boundaries() {
+        // Sizes straddling the panel width: n=1, block-1, block, block+1,
+        // a non-multiple, and a multi-block odd size.
+        let mut rng = StdRng::seed_from_u64(8);
+        for block in [1usize, 2, 4, 8] {
+            for n in [
+                1usize,
+                block.saturating_sub(1).max(1),
+                block,
+                block + 1,
+                3 * block + 2,
+            ] {
+                let a = random_spd(&mut rng, n);
+                let mut blocked = Cholesky::empty();
+                blocked.refactor_with_block(&a, block).unwrap();
+                let mut scalar = Cholesky::empty();
+                scalar.refactor_scalar(&a).unwrap();
+                assert!(
+                    blocked.l().max_abs_diff(scalar.l()).unwrap() < 1e-10 * n as f64,
+                    "block={block} n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_default_reconstructs_large() {
+        // Larger than one default panel, not a multiple of it.
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = DEFAULT_BLOCK + 37;
+        let a = random_spd(&mut rng, n);
+        let ch = Cholesky::factor(&a).unwrap();
+        let llt = ch.l().matmul(&ch.l().transpose()).unwrap();
+        assert!(llt.approx_eq(&a, 1e-7));
+    }
+
+    #[test]
+    fn failed_refactor_resets_to_empty() {
+        // Regression: a failed refactor used to leave a partially-written
+        // factor with dim() == n, so solve divided by zero pivots and
+        // silently returned inf/NaN.
+        let mut rng = StdRng::seed_from_u64(10);
+        let good = random_spd(&mut rng, 6);
+        let indefinite = Matrix::from_fn(6, 6, |i, j| if i == j { -1.0 } else { 0.5 });
+        for scalar in [false, true] {
+            let mut f = Cholesky::empty();
+            f.refactor(&good).unwrap();
+            let err = if scalar {
+                f.refactor_scalar(&indefinite).unwrap_err()
+            } else {
+                f.refactor(&indefinite).unwrap_err()
+            };
+            assert!(matches!(err, LinalgError::NotPositiveDefinite { .. }));
+            assert_eq!(f.dim(), 0, "failed refactor must reset the factor");
+            let b = vec![1.0; 6];
+            let res = f.solve(&b);
+            assert!(
+                matches!(res, Err(LinalgError::ShapeMismatch { .. })),
+                "solve after failed refactor must error, got {res:?}"
+            );
+            // Recovery: the next successful refactor restores full service.
+            f.refactor(&good).unwrap();
+            let x = f.solve(&b).unwrap();
+            assert!(x.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn batch_matches_individual_factors() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mats: Vec<Matrix> = [3usize, 17, 9, 1]
+            .iter()
+            .map(|&n| random_spd(&mut rng, n))
+            .collect();
+        let mut batch = CholeskyBatch::new();
+        let results = batch.refactor_all(&mats, &ParallelConfig::with_threads(4));
+        assert_eq!(results.len(), mats.len());
+        for ((res, factor), a) in results.iter().zip(batch.factors()).zip(&mats) {
+            res.as_ref().unwrap();
+            let fresh = Cholesky::factor(a).unwrap();
+            assert_eq!(factor.l().as_slice(), fresh.l().as_slice());
+        }
+        // A second round with same shapes reuses storage and stays correct.
+        let mats2: Vec<Matrix> = [3usize, 17, 9, 1]
+            .iter()
+            .map(|&n| random_spd(&mut rng, n))
+            .collect();
+        for (res, a) in batch
+            .refactor_all(&mats2, &ParallelConfig::sequential())
+            .iter()
+            .zip(&mats2)
+        {
+            res.as_ref().unwrap();
+            let _ = a;
+        }
+    }
+
+    #[test]
+    fn batch_isolates_per_item_failures() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let good = random_spd(&mut rng, 5);
+        let bad = Matrix::from_fn(5, 5, |i, j| if i == j { -2.0 } else { 0.1 });
+        let mut batch = CholeskyBatch::new();
+        let results = batch.refactor_all(
+            &[good.clone(), bad, good.clone()],
+            &ParallelConfig::with_threads(2),
+        );
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err());
+        assert!(results[2].is_ok());
+        assert_eq!(batch.factors()[1].dim(), 0);
+        assert_eq!(batch.factors()[0].dim(), 5);
+        assert!(batch.factors()[2]
+            .solve(&[1.0; 5])
+            .unwrap()
+            .iter()
+            .all(|v| v.is_finite()));
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_blocked_matches_scalar(n in 1usize..20, block in 1usize..8, seed in 0u64..200) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = random_spd(&mut rng, n);
+            let mut blocked = Cholesky::empty();
+            blocked.refactor_with_block(&a, block).unwrap();
+            let mut scalar = Cholesky::empty();
+            scalar.refactor_scalar(&a).unwrap();
+            proptest::prop_assert!(blocked.l().max_abs_diff(scalar.l()).unwrap() < 1e-9);
+            let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let xb = blocked.solve(&b).unwrap();
+            let xs = scalar.solve(&b).unwrap();
+            for (u, v) in xb.iter().zip(&xs) {
+                proptest::prop_assert!((u - v).abs() < 1e-8);
+            }
         }
     }
 }

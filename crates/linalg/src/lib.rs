@@ -7,7 +7,10 @@
 //!   (used by the autodiff engine and the KKT system assembly).
 //! * [`lu::Lu`] — LU factorization with partial pivoting, the solver behind
 //!   the implicit differentiation of the matching layer (paper Eq. 15).
-//! * [`cholesky::Cholesky`] — for symmetric positive-definite systems.
+//! * [`cholesky::Cholesky`] — cache-blocked right-looking factorization
+//!   for symmetric positive-definite systems, with a batched refactor API
+//!   ([`cholesky::CholeskyBatch`]) that amortizes one blocking plan across
+//!   many same-shape factorizations.
 //! * [`qr::Qr`] — Householder QR and least-squares solves.
 //! * [`eigen`] — cyclic-Jacobi symmetric eigendecomposition, used for
 //!   conditioning diagnostics of the KKT systems.
@@ -33,6 +36,7 @@ pub mod lu;
 pub mod qr;
 pub mod vector;
 
+pub use cholesky::{Cholesky, CholeskyBatch};
 pub use error::LinalgError;
 pub use matrix::Matrix;
 pub use ops::MatmulOptions;

@@ -60,6 +60,9 @@ impl Lu {
     /// unusable until the next successful refactor.
     pub fn refactor(&mut self, a: &Matrix) -> Result<()> {
         if a.rows() != a.cols() {
+            self.lu = Matrix::zeros(0, 0);
+            self.perm.clear();
+            self.perm_sign = 1.0;
             return Err(LinalgError::NotSquare { shape: a.shape() });
         }
         let n = a.rows();
@@ -74,6 +77,7 @@ impl Lu {
         let lu = &mut self.lu;
         let perm = &mut self.perm;
         let scale = lu.max_abs().max(1.0);
+        let mut singular_pivot = None;
 
         for k in 0..n {
             // Find the pivot row.
@@ -87,7 +91,8 @@ impl Lu {
                 }
             }
             if pivot_val <= SINGULARITY_EPS * scale {
-                return Err(LinalgError::Singular { pivot: k });
+                singular_pivot = Some(k);
+                break;
             }
             if pivot_row != k {
                 perm.swap(k, pivot_row);
@@ -108,6 +113,15 @@ impl Lu {
                     lu[(r, c)] -= factor * u;
                 }
             }
+        }
+        if let Some(pivot) = singular_pivot {
+            // Reset to the empty state: a partially-eliminated factor
+            // still reports dim() == n, and solving with it silently
+            // returns garbage (or divides by a ~0 pivot).
+            self.lu = Matrix::zeros(0, 0);
+            self.perm.clear();
+            self.perm_sign = 1.0;
+            return Err(LinalgError::Singular { pivot });
         }
         Ok(())
     }
@@ -345,6 +359,34 @@ mod tests {
     #[test]
     fn empty_factor_rejects_solves() {
         assert!(Lu::empty().solve(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn failed_refactor_resets_to_empty() {
+        // Regression: a refactor that hit a singular pivot used to leave
+        // the partially-eliminated factor in place with dim() == n, so a
+        // later solve silently returned garbage instead of an error.
+        let mut rng = StdRng::seed_from_u64(29);
+        let good = random_matrix(&mut rng, 4);
+        let singular = Matrix::from_rows(&[
+            &[1.0, 2.0, 3.0, 4.0],
+            &[2.0, 4.0, 6.0, 8.0],
+            &[0.5, 1.0, 2.0, 3.0],
+            &[1.5, 3.0, 5.0, 7.0],
+        ]);
+        let mut f = Lu::empty();
+        f.refactor(&good).unwrap();
+        let err = f.refactor(&singular).unwrap_err();
+        assert!(matches!(err, LinalgError::Singular { .. }));
+        assert_eq!(f.dim(), 0, "failed refactor must reset the factor");
+        let res = f.solve(&[1.0; 4]);
+        assert!(
+            matches!(res, Err(LinalgError::ShapeMismatch { .. })),
+            "solve after failed refactor must error, got {res:?}"
+        );
+        // Recovery: the next successful refactor restores full service.
+        f.refactor(&good).unwrap();
+        assert!(f.solve(&[1.0; 4]).unwrap().iter().all(|v| v.is_finite()));
     }
 
     proptest::proptest! {

@@ -322,6 +322,34 @@ mod tests {
         }
 
         #[test]
+        fn prop_matmul_non_block_multiple_shapes(
+            extra in 0usize..3, block_idx in 0usize..3, seed in 0u64..300
+        ) {
+            // Shapes straddling the tile boundary: the effective block is
+            // max(block, 8), so sizes of block-1, block, block+1 plus
+            // tall/skinny and width-1 strips all hit partial tiles.
+            let block = [8usize, 16, 64][block_idx];
+            let mut rng = StdRng::seed_from_u64(seed);
+            let shapes = [
+                (1, block + extra, 1),                    // degenerate strip
+                (block - 1, block, block + 1),            // straddle on every axis
+                (2 * block + 1, 3, block - 1),            // tall/skinny
+                (3, 2 * block + 1, 2),                    // wide k, narrow out
+            ];
+            for &(m, k, n) in &shapes {
+                let a = random_matrix(&mut rng, m, k);
+                let b = random_matrix(&mut rng, k, n);
+                let opts = MatmulOptions { block, ..Default::default() };
+                let got = a.matmul_with(&b, &opts).unwrap();
+                let expected = naive_matmul(&a, &b);
+                proptest::prop_assert!(
+                    got.approx_eq(&expected, 1e-10),
+                    "mismatch at {}x{}x{} block {}", m, k, n, block
+                );
+            }
+        }
+
+        #[test]
         fn prop_transpose_of_product(
             m in 1usize..8, k in 1usize..8, n in 1usize..8, seed in 0u64..1000
         ) {

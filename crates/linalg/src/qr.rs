@@ -15,19 +15,57 @@ pub struct Qr {
     tau: Vec<f64>,
 }
 
+impl Default for Qr {
+    fn default() -> Self {
+        Qr::empty()
+    }
+}
+
 impl Qr {
+    /// An empty (0×0) factorization intended as reusable storage for
+    /// [`Qr::refactor`]. Solving with it fails with a shape mismatch
+    /// until a refactor succeeds.
+    pub fn empty() -> Qr {
+        Qr {
+            qr: Matrix::zeros(0, 0),
+            tau: Vec::new(),
+        }
+    }
+
     /// Factors an `m x n` matrix with `m >= n`.
     pub fn factor(a: &Matrix) -> Result<Qr> {
+        let mut f = Qr::empty();
+        f.refactor(a)?;
+        Ok(f)
+    }
+
+    /// Re-factors `a` into this factorization's storage, reallocating only
+    /// when the shape changes.
+    ///
+    /// On any error the factorization is reset to the empty (0×0) state —
+    /// the same stale-factor-after-error hazard as [`crate::cholesky::Cholesky`]
+    /// / [`crate::lu::Lu`]: a partially-written factor must never stay
+    /// solvable-looking.
+    pub fn refactor(&mut self, a: &Matrix) -> Result<()> {
         let (m, n) = a.shape();
         if m < n {
+            self.qr = Matrix::zeros(0, 0);
+            self.tau.clear();
             return Err(LinalgError::ShapeMismatch {
                 op: "qr (requires rows >= cols)",
                 lhs: (m, n),
                 rhs: (n, n),
             });
         }
-        let mut qr = a.clone();
-        let mut tau = vec![0.0; n];
+        if self.qr.shape() == (m, n) {
+            self.qr.as_mut_slice().copy_from_slice(a.as_slice());
+        } else {
+            self.qr = a.clone();
+        }
+        self.tau.clear();
+        self.tau.resize(n, 0.0);
+        let qr = &mut self.qr;
+        let tau = &mut self.tau;
         for k in 0..n {
             // Compute the Householder reflector for column k.
             let mut norm = 0.0;
@@ -62,7 +100,7 @@ impl Qr {
                 }
             }
         }
-        Ok(Qr { qr, tau })
+        Ok(())
     }
 
     /// Applies `Qᵀ` to a vector of length `m`.
@@ -187,6 +225,47 @@ mod tests {
     #[test]
     fn underdetermined_rejected() {
         assert!(Qr::factor(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn refactor_reuses_storage_and_matches_factor() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut f = Qr::empty();
+        // Repeats a shape (buffer reuse) and changes it (regrowth).
+        for (m, n) in [(6, 3), (6, 3), (9, 4), (4, 2)] {
+            let a = Matrix::from_fn(m, n, |_, _| rng.gen_range(-1.0..1.0));
+            f.refactor(&a).unwrap();
+            let fresh = Qr::factor(&a).unwrap();
+            let b: Vec<f64> = (0..m).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            assert_eq!(
+                f.solve_least_squares(&b).unwrap(),
+                fresh.solve_least_squares(&b).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn failed_refactor_resets_to_empty() {
+        // Same stale-factor-after-error hazard as Cholesky/Lu: a failed
+        // refactor must not leave the previous factor solvable-looking.
+        let mut rng = StdRng::seed_from_u64(9);
+        let good = Matrix::from_fn(5, 3, |_, _| rng.gen_range(-1.0..1.0));
+        let mut f = Qr::empty();
+        f.refactor(&good).unwrap();
+        let err = f.refactor(&Matrix::zeros(2, 3)).unwrap_err();
+        assert!(matches!(err, LinalgError::ShapeMismatch { .. }));
+        let res = f.solve_least_squares(&[1.0; 5]);
+        assert!(
+            matches!(res, Err(LinalgError::ShapeMismatch { .. })),
+            "solve after failed refactor must error, got {res:?}"
+        );
+        // Recovery path.
+        f.refactor(&good).unwrap();
+        assert!(f
+            .solve_least_squares(&[1.0; 5])
+            .unwrap()
+            .iter()
+            .all(|v| v.is_finite()));
     }
 
     #[test]

@@ -616,7 +616,12 @@ impl KktWorkspace {
         }
 
         // Schur complement S = D H⁻¹ Dᵀ = diag(d) − G Cap⁻¹ Gᵀ: SPD since
-        // H is SPD, so Cholesky doubles as the fallback trigger.
+        // H is SPD, so Cholesky doubles as the fallback trigger. The
+        // refactor runs the cache-blocked right-looking kernel (the N×N
+        // Schur system is the cubic term of this path at Table-1 scale);
+        // pipelines factoring many same-shape Schur systems — e.g. the S
+        // perturbed re-solves of an MFCP-FG batch — can amortize the
+        // setup further with `mfcp_linalg::CholeskyBatch`.
         if self.s_mat.shape() != (n, n) {
             self.s_mat = Matrix::zeros(n, n);
         }

@@ -36,7 +36,7 @@ use crate::problem::MatchingProblem;
 use mfcp_linalg::{vector, Matrix};
 
 /// Smallest admissible entry when evaluating `x log x` and barrier logs.
-const X_FLOOR: f64 = 1e-12;
+pub(crate) const X_FLOOR: f64 = 1e-12;
 
 /// How the reliability constraint enters the objective.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -1,0 +1,550 @@
+//! Sharded dual-decomposition solving of the relaxed matching problem.
+//!
+//! [`ShardedSolver`] partitions the task columns of one large instance
+//! into contiguous shards and solves them in parallel on a shared
+//! [`ThreadPool`] via [`solve_batch_on_pool`]. The per-task simplex
+//! constraints are separable across shards; the only coupling between
+//! shards runs through `M`-dimensional aggregates — per-cluster load
+//! `ℓ_i` and count `n_i` (the smooth-max weights), the platform
+//! reliability mass (the barrier multiplier `φ'(g)`), and per-cluster
+//! capacity usage. The solver exploits that structure with a damped
+//! Jacobi scheme:
+//!
+//! 1. **Freeze** each shard's complement: from the current global
+//!    iterate, per-shard partial aggregates are summed (in shard order,
+//!    so the arithmetic is independent of thread count) and every shard
+//!    receives the totals contributed by all *other* shards as fixed
+//!    offsets.
+//! 2. **Solve** every shard in parallel: a few mirror-descent iterations
+//!    on the shard's own columns, re-deriving the coupling multipliers
+//!    (`w_i`, `φ'(g)`, capacity `φ'`) each iteration from
+//!    `offset + live shard contribution` — exact block minimization of
+//!    the global objective over the shard's columns with the complement
+//!    frozen.
+//! 3. **Coordinate**: the concatenated shard proposals form a joint
+//!    direction `D = X' − X`; a backtracking Armijo line search on the
+//!    *global* objective picks the damping `α` and accepts `X + αD`.
+//!    Pure Jacobi can overshoot when the coupling multipliers move;
+//!    the line search restores the monotone descent each block update
+//!    has individually.
+//!
+//! Determinism: each shard's inner solve is sequential and owns cloned
+//! data; results are combined on the calling thread in shard (input)
+//! order; every global reduction runs in a fixed order. Consequently the
+//! returned iterate is **bitwise identical across pool sizes** — the
+//! `sharded_differential` suite pins this under the `strict-determinism`
+//! feature.
+//!
+//! Like the Newton path, the sharded scheme is restricted to the convex
+//! (trivial speedup-curve) setting, where block-coordinate descent on
+//! the strictly convex entropy-regularized objective converges to the
+//! unique global optimum; non-trivial `ζ_i` (or degenerate shapes) fall
+//! back to the monolithic [`solve_relaxed`] solver.
+
+use crate::objective::{self, ClusterStats, CostKind, RelaxationParams, X_FLOOR};
+use crate::problem::MatchingProblem;
+use crate::solver::{solve_relaxed, uniform_init, ProjectionKind, RelaxedSolution, SolverOptions};
+use mfcp_linalg::{vector, Matrix};
+use mfcp_parallel::{solve_batch_on_pool, ThreadPool};
+
+/// Options for [`ShardedSolver`].
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedOptions {
+    /// Number of task-column shards (clamped to the task count; fewer
+    /// than 2 effective shards falls back to the monolithic solver).
+    pub shards: usize,
+    /// Maximum outer Jacobi coordination rounds.
+    pub max_rounds: usize,
+    /// Mirror-descent iterations per shard per round. Larger values
+    /// amortize the per-round coordination cost (global aggregates,
+    /// gradient, line search) over more parallel work.
+    pub inner_iters: usize,
+    /// Mirror-descent step size `η` (same role as [`SolverOptions::lr`]).
+    pub lr: f64,
+    /// Outer convergence tolerance on `α · max |X' − X|`.
+    pub tol: f64,
+    /// Armijo sufficient-decrease coefficient for the coordination line
+    /// search.
+    pub armijo_c: f64,
+    /// Maximum halvings of `α` per round before declaring convergence.
+    pub max_backtracks: usize,
+}
+
+impl Default for ShardedOptions {
+    fn default() -> Self {
+        ShardedOptions {
+            shards: 4,
+            max_rounds: 400,
+            inner_iters: 16,
+            lr: 0.8,
+            tol: 1e-8,
+            armijo_c: 1e-4,
+            max_backtracks: 30,
+        }
+    }
+}
+
+/// Parallel sharded solver for large relaxed matching instances; see the
+/// module docs for the coordination scheme.
+#[derive(Debug)]
+pub struct ShardedSolver {
+    opts: ShardedOptions,
+    pool: ThreadPool,
+}
+
+/// One shard's cloned slice of the problem plus its frozen complement
+/// offsets; `run` is the shard-local block minimization (step 2 above).
+struct ShardJob {
+    n_total: usize,
+    gamma: f64,
+    params: RelaxationParams,
+    lr: f64,
+    inner_iters: usize,
+    inner_tol: f64,
+    /// Shard columns of `times`, task-major (`n_s × M`).
+    tt: Matrix,
+    /// Shard columns of `reliability`, task-major.
+    at: Matrix,
+    /// Shard columns of capacity usage, task-major (when constrained).
+    ut: Option<Matrix>,
+    /// Per-cluster capacity limits (empty without capacity constraints).
+    limits: Vec<f64>,
+    /// Shard block of the iterate, task-major; updated in place.
+    xt: Matrix,
+    off_count: Vec<f64>,
+    off_load: Vec<f64>,
+    off_rel: Vec<f64>,
+    off_cap: Vec<f64>,
+}
+
+impl ShardJob {
+    fn run(mut self) -> Matrix {
+        let (ns, m) = self.xt.shape();
+        let mut count = vec![0.0; m];
+        let mut load = vec![0.0; m];
+        let mut rel = vec![0.0; m];
+        let mut cap_used = vec![0.0; m];
+        let mut weights = vec![0.0; m];
+        let mut cap_dphi = vec![0.0; m];
+        let mut col = vec![0.0; m];
+        let inv_n = 1.0 / self.n_total as f64;
+        for _ in 0..self.inner_iters {
+            // Global aggregates = frozen complement + live shard sums.
+            count.copy_from_slice(&self.off_count);
+            load.copy_from_slice(&self.off_load);
+            rel.copy_from_slice(&self.off_rel);
+            cap_used.copy_from_slice(&self.off_cap);
+            for j in 0..ns {
+                let xr = self.xt.row(j);
+                let tr = self.tt.row(j);
+                let ar = self.at.row(j);
+                for i in 0..m {
+                    count[i] += xr[i];
+                    load[i] += xr[i] * tr[i];
+                    rel[i] += xr[i] * ar[i];
+                }
+                if let Some(ut) = &self.ut {
+                    let ur = ut.row(j);
+                    for i in 0..m {
+                        cap_used[i] += xr[i] * ur[i];
+                    }
+                }
+            }
+            // Coupling multipliers at the current global point. Trivial
+            // speedup curves mean ζ ≡ 1, ζ' ≡ 0, so the adjusted time is
+            // the load itself (the fallback guard enforces this).
+            let mut rel_acc = 0.0;
+            for &r in rel.iter() {
+                rel_acc += r;
+            }
+            let g = rel_acc * inv_n - self.gamma;
+            let dphi = objective::barrier_derivative(&self.params, g);
+            match self.params.cost {
+                CostKind::SmoothMax => {
+                    for i in 0..m {
+                        weights[i] = self.params.beta * load[i];
+                    }
+                    vector::softmax_inplace(&mut weights);
+                }
+                CostKind::LinearSum => weights.fill(1.0),
+            }
+            if !self.limits.is_empty() {
+                for i in 0..m {
+                    let slack = (self.limits[i] - cap_used[i]) / self.limits[i];
+                    cap_dphi[i] = objective::barrier_derivative(&self.params, slack);
+                }
+            }
+            // Mirror-descent step per shard column (same log-space
+            // arithmetic as the monolithic PGD hot loop).
+            let mut max_change: f64 = 0.0;
+            for j in 0..ns {
+                let tr = self.tt.row(j);
+                let ar = self.at.row(j);
+                let ur = self.ut.as_ref().map(|u| u.row(j));
+                let xr = self.xt.row_mut(j);
+                for i in 0..m {
+                    let mut gij = weights[i] * tr[i] + dphi * ar[i] * inv_n;
+                    if let Some(ur) = ur {
+                        gij -= cap_dphi[i] * ur[i] / self.limits[i];
+                    }
+                    if self.params.rho != 0.0 {
+                        gij += self.params.rho * (1.0 + xr[i].max(X_FLOOR).ln());
+                    }
+                    col[i] = xr[i].max(1e-300).ln() - self.lr * gij;
+                }
+                vector::softmax_inplace(&mut col);
+                for (xv, &c) in xr.iter_mut().zip(col.iter()) {
+                    max_change = max_change.max((c - *xv).abs());
+                    *xv = c;
+                }
+            }
+            if max_change < self.inner_tol {
+                break;
+            }
+        }
+        self.xt
+    }
+}
+
+impl ShardedSolver {
+    /// A solver with `threads` pool workers and explicit options.
+    pub fn new(opts: ShardedOptions, threads: usize) -> Self {
+        ShardedSolver {
+            opts,
+            pool: ThreadPool::new(threads),
+        }
+    }
+
+    /// Default options with one shard per pool worker.
+    pub fn with_threads(threads: usize) -> Self {
+        let opts = ShardedOptions {
+            shards: threads.max(1),
+            ..Default::default()
+        };
+        Self::new(opts, threads)
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> &ShardedOptions {
+        &self.opts
+    }
+
+    /// Monolithic [`SolverOptions`] matching this solver's iteration
+    /// budget — the fallback path, and the natural head-to-head baseline.
+    pub fn fallback_options(&self) -> SolverOptions {
+        SolverOptions {
+            max_iters: self.opts.max_rounds.saturating_mul(self.opts.inner_iters),
+            lr: self.opts.lr,
+            tol: self.opts.tol,
+            projection: ProjectionKind::MirrorDescent,
+        }
+    }
+
+    /// Solves the relaxed matching problem from the uniform initial
+    /// point, sharding across task columns when the instance qualifies
+    /// (convex setting, at least 2 effective shards) and falling back to
+    /// the monolithic mirror-descent solver otherwise.
+    ///
+    /// `iterations` on the returned solution counts outer coordination
+    /// rounds for the sharded path and PGD iterations for the fallback.
+    pub fn solve(&self, problem: &MatchingProblem, params: &RelaxationParams) -> RelaxedSolution {
+        let _span = mfcp_obs::span("solve_sharded");
+        let (m, n) = (problem.clusters(), problem.tasks());
+        let shards = self.opts.shards.min(n);
+        if m == 0
+            || n == 0
+            || shards < 2
+            || self.opts.inner_iters == 0
+            || !problem.speedup.iter().all(|c| c.is_trivial())
+        {
+            mfcp_obs::counter("optim.sharded.fallback").inc();
+            return solve_relaxed(problem, params, &self.fallback_options());
+        }
+        mfcp_obs::counter("optim.sharded.solves").inc();
+
+        // Contiguous column ranges, sizes differing by at most one.
+        let base = n / shards;
+        let rem = n % shards;
+        let mut ranges = Vec::with_capacity(shards);
+        let mut start = 0;
+        for s in 0..shards {
+            let len = base + usize::from(s < rem);
+            ranges.push((start, start + len));
+            start += len;
+        }
+
+        let cap = problem.capacity.as_ref();
+        let limits: Vec<f64> = cap.map(|c| c.limits.clone()).unwrap_or_default();
+        let mut x = uniform_init(m, n);
+        let mut f0 = objective::value(problem, params, &x);
+        let mut stats = ClusterStats::default();
+        let mut grad = Matrix::zeros(m, n);
+        // Per-shard partial aggregates, `shards × M` each.
+        let mut p_count = vec![vec![0.0; m]; shards];
+        let mut p_load = vec![vec![0.0; m]; shards];
+        let mut p_rel = vec![vec![0.0; m]; shards];
+        let mut p_cap = vec![vec![0.0; m]; shards];
+        let mut converged = false;
+        let mut rounds = 0;
+        let mut stagnant = 0usize;
+        for round in 0..self.opts.max_rounds {
+            rounds = round + 1;
+            for (s, &(c0, c1)) in ranges.iter().enumerate() {
+                for i in 0..m {
+                    let xr = &x.row(i)[c0..c1];
+                    let tr = &problem.times.row(i)[c0..c1];
+                    let ar = &problem.reliability.row(i)[c0..c1];
+                    let (mut cs, mut ls, mut rs) = (0.0, 0.0, 0.0);
+                    for k in 0..xr.len() {
+                        cs += xr[k];
+                        ls += xr[k] * tr[k];
+                        rs += xr[k] * ar[k];
+                    }
+                    p_count[s][i] = cs;
+                    p_load[s][i] = ls;
+                    p_rel[s][i] = rs;
+                    if let Some(c) = cap {
+                        let ur = &c.usage.row(i)[c0..c1];
+                        p_cap[s][i] = xr.iter().zip(ur).map(|(xv, uv)| xv * uv).sum();
+                    }
+                }
+            }
+            let jobs: Vec<_> = ranges
+                .iter()
+                .enumerate()
+                .map(|(s, &(c0, c1))| {
+                    let ns = c1 - c0;
+                    let slice_t = |src: &Matrix| Matrix::from_fn(ns, m, |j, i| src[(i, c0 + j)]);
+                    // Complement offsets summed in ascending shard order —
+                    // fixed arithmetic independent of pool size.
+                    let offset = |p: &[Vec<f64>]| {
+                        let mut off = vec![0.0; m];
+                        for (sp, part) in p.iter().enumerate() {
+                            if sp == s {
+                                continue;
+                            }
+                            for (o, v) in off.iter_mut().zip(part) {
+                                *o += v;
+                            }
+                        }
+                        off
+                    };
+                    let job = ShardJob {
+                        n_total: n,
+                        gamma: problem.gamma,
+                        params: *params,
+                        lr: self.opts.lr,
+                        inner_iters: self.opts.inner_iters,
+                        inner_tol: self.opts.tol,
+                        tt: slice_t(&problem.times),
+                        at: slice_t(&problem.reliability),
+                        ut: cap.map(|c| slice_t(&c.usage)),
+                        limits: limits.clone(),
+                        xt: slice_t(&x),
+                        off_count: offset(&p_count),
+                        off_load: offset(&p_load),
+                        off_rel: offset(&p_rel),
+                        off_cap: offset(&p_cap),
+                    };
+                    move || job.run()
+                })
+                .collect();
+            let results = solve_batch_on_pool(&self.pool, jobs);
+
+            // Assemble the joint proposal in shard (input) order.
+            let mut proposal = x.clone();
+            for (res, &(c0, c1)) in results.into_iter().zip(&ranges) {
+                let xs = res.expect("shard jobs are panic-free");
+                debug_assert_eq!(xs.shape(), (c1 - c0, m));
+                for j in 0..(c1 - c0) {
+                    let xr = xs.row(j);
+                    for i in 0..m {
+                        proposal[(i, c0 + j)] = xr[i];
+                    }
+                }
+            }
+            let dir = proposal.axpy(-1.0, &x).expect("shape");
+            objective::grad_x_into(problem, params, &x, &mut stats, &mut grad);
+            let slope: f64 = grad
+                .as_slice()
+                .iter()
+                .zip(dir.as_slice())
+                .map(|(g, d)| g * d)
+                .sum();
+            if slope >= 0.0 {
+                // Every block is at (or numerically past) its minimum.
+                converged = true;
+                break;
+            }
+            let mut alpha: f64 = 1.0;
+            let mut accepted = false;
+            for _ in 0..self.opts.max_backtracks {
+                let trial = x.axpy(alpha, &dir).expect("shape");
+                let f_trial = objective::value(problem, params, &trial);
+                if f_trial <= f0 + self.opts.armijo_c * alpha * slope {
+                    x = trial;
+                    // Objective stagnation: two consecutive rounds below
+                    // floating-point resolution mean the iterate is
+                    // optimal to within reproducibility, even if the raw
+                    // step-change noise floor sits above `tol`.
+                    if (f0 - f_trial).abs() <= 1e-12 * (1.0 + f_trial.abs()) {
+                        stagnant += 1;
+                    } else {
+                        stagnant = 0;
+                    }
+                    f0 = f_trial;
+                    accepted = true;
+                    break;
+                }
+                alpha *= 0.5;
+            }
+            if !accepted || stagnant >= 2 {
+                converged = true;
+                break;
+            }
+            if alpha * dir.max_abs() < self.opts.tol {
+                converged = true;
+                break;
+            }
+        }
+        mfcp_obs::histogram("optim.sharded.rounds").record(rounds as f64);
+        let objective = objective::value(problem, params, &x);
+        RelaxedSolution {
+            x,
+            objective,
+            iterations: rounds,
+            converged,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::CapacityConstraint;
+    use crate::solver::is_column_stochastic;
+    use crate::speedup::SpeedupCurve;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_problem(seed: u64, m: usize, n: usize) -> MatchingProblem {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = Matrix::from_fn(m, n, |_, _| rng.gen_range(0.5..3.0));
+        let a = Matrix::from_fn(m, n, |_, _| rng.gen_range(0.7..1.0));
+        MatchingProblem::new(t, a, 0.75)
+    }
+
+    fn tight_opts() -> ShardedOptions {
+        ShardedOptions {
+            shards: 4,
+            max_rounds: 3000,
+            inner_iters: 8,
+            lr: 0.2,
+            tol: 1e-10,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn sharded_matches_monolithic_objective() {
+        for (seed, with_cap) in [(3u64, false), (4, false), (5, true)] {
+            let mut problem = random_problem(seed, 4, 37);
+            if with_cap {
+                let mut rng = StdRng::seed_from_u64(seed + 90);
+                problem.capacity = Some(CapacityConstraint::new(
+                    Matrix::from_fn(4, 37, |_, _| rng.gen_range(0.1..1.0)),
+                    vec![30.0; 4],
+                ));
+            }
+            let params = RelaxationParams::default();
+            let solver = ShardedSolver::new(tight_opts(), 4);
+            let sharded = solver.solve(&problem, &params);
+            let mono = solve_relaxed(
+                &problem,
+                &params,
+                &SolverOptions {
+                    max_iters: 60_000,
+                    lr: 0.2,
+                    tol: 1e-12,
+                    ..Default::default()
+                },
+            );
+            assert!(sharded.converged, "seed {seed}: sharded did not converge");
+            assert!(is_column_stochastic(&sharded.x, 1e-8), "seed {seed}");
+            assert!(
+                (sharded.objective - mono.objective).abs() <= 1e-6,
+                "seed {seed} cap={with_cap}: sharded {} vs monolithic {}",
+                sharded.objective,
+                mono.objective
+            );
+        }
+    }
+
+    #[test]
+    fn bitwise_identical_across_pool_sizes() {
+        let problem = random_problem(11, 3, 29);
+        let params = RelaxationParams::default();
+        let opts = ShardedOptions {
+            shards: 4,
+            max_rounds: 40,
+            ..Default::default()
+        };
+        let a = ShardedSolver::new(opts, 1).solve(&problem, &params);
+        let b = ShardedSolver::new(opts, 4).solve(&problem, &params);
+        assert_eq!(a.iterations, b.iterations);
+        for (va, vb) in a.x.as_slice().iter().zip(b.x.as_slice()) {
+            assert_eq!(va.to_bits(), vb.to_bits());
+        }
+        assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+    }
+
+    #[test]
+    fn nontrivial_speedup_falls_back_to_monolithic() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = Matrix::from_fn(3, 12, |_, _| rng.gen_range(0.5..2.0));
+        let a = Matrix::from_fn(3, 12, |_, _| rng.gen_range(0.7..1.0));
+        let problem =
+            MatchingProblem::with_speedup(t, a, 0.7, vec![SpeedupCurve::paper_parallel(); 3]);
+        let params = RelaxationParams::default();
+        let solver = ShardedSolver::new(ShardedOptions::default(), 2);
+        let sharded = solver.solve(&problem, &params);
+        let mono = solve_relaxed(&problem, &params, &solver.fallback_options());
+        assert_eq!(sharded.x.as_slice(), mono.x.as_slice());
+        assert_eq!(sharded.iterations, mono.iterations);
+    }
+
+    #[test]
+    fn tiny_task_count_falls_back() {
+        // One task cannot form 2 shards; the fallback must still solve.
+        let problem = random_problem(13, 3, 1);
+        let solver = ShardedSolver::new(ShardedOptions::default(), 2);
+        let sol = solver.solve(&problem, &RelaxationParams::default());
+        assert!(is_column_stochastic(&sol.x, 1e-6));
+    }
+
+    #[test]
+    fn empty_problem() {
+        let problem = MatchingProblem::new(Matrix::zeros(2, 0), Matrix::zeros(2, 0), 0.5);
+        let solver = ShardedSolver::new(ShardedOptions::default(), 2);
+        let sol = solver.solve(&problem, &RelaxationParams::default());
+        assert!(sol.converged);
+        assert_eq!(sol.x.shape(), (2, 0));
+    }
+
+    #[test]
+    fn shard_count_exceeding_tasks_is_clamped() {
+        let problem = random_problem(17, 3, 5);
+        let params = RelaxationParams::default();
+        let opts = ShardedOptions {
+            shards: 64,
+            max_rounds: 500,
+            inner_iters: 8,
+            lr: 0.2,
+            tol: 1e-10,
+            ..Default::default()
+        };
+        let sol = ShardedSolver::new(opts, 4).solve(&problem, &params);
+        assert!(is_column_stochastic(&sol.x, 1e-8));
+        assert!(sol.objective.is_finite());
+    }
+}

@@ -1,0 +1,159 @@
+//! Differential suite for the sharded dual-decomposition solver:
+//! sharded ≡ monolithic within tolerance, and bitwise determinism of the
+//! sharded path across pool sizes and repeated runs.
+//!
+//! The determinism pins run under `--features strict-determinism` (the
+//! CI strict-determinism job); the equivalence tests always run.
+
+use mfcp_linalg::Matrix;
+use mfcp_optim::sharded::{ShardedOptions, ShardedSolver};
+use mfcp_optim::solver::{is_column_stochastic, solve_relaxed};
+use mfcp_optim::{CapacityConstraint, MatchingProblem, RelaxationParams, SolverOptions};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn convex_problem(seed: u64, m: usize, n: usize) -> MatchingProblem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let t = Matrix::from_fn(m, n, |_, _| rng.gen_range(0.7..1.8));
+    let a = Matrix::from_fn(m, n, |_, _| rng.gen_range(0.75..1.0));
+    MatchingProblem::new(t, a, 0.6)
+}
+
+fn with_capacity(mut problem: MatchingProblem, seed: u64) -> MatchingProblem {
+    let (m, n) = (problem.clusters(), problem.tasks());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let usage = Matrix::from_fn(m, n, |_, _| rng.gen_range(0.1..1.0));
+    // Roomy limits: ~80% headroom over a uniform split keeps the barrier
+    // active but non-binding, the convex regime both solvers share.
+    let limits = vec![n as f64 * 0.8; m];
+    problem.capacity = Some(CapacityConstraint::new(usage, limits));
+    problem
+}
+
+fn tight_sharded() -> ShardedOptions {
+    ShardedOptions {
+        shards: 4,
+        max_rounds: 4000,
+        inner_iters: 8,
+        lr: 0.2,
+        tol: 1e-10,
+        ..Default::default()
+    }
+}
+
+fn tight_mono() -> SolverOptions {
+    SolverOptions {
+        max_iters: 80_000,
+        lr: 0.2,
+        tol: 1e-10,
+        ..Default::default()
+    }
+}
+
+/// Sharded and monolithic solves agree on the (unique, entropy-
+/// regularized) optimum to 1e-6 in objective value, with and without
+/// capacity coupling.
+#[test]
+fn sharded_equals_monolithic_within_tolerance() {
+    let params = RelaxationParams::default();
+    let cases = [
+        (convex_problem(101, 5, 48), "plain"),
+        (convex_problem(102, 3, 57), "plain-ragged"),
+        (with_capacity(convex_problem(103, 4, 40), 203), "capacity"),
+    ];
+    for (problem, label) in cases {
+        let solver = ShardedSolver::new(tight_sharded(), 4);
+        let sharded = solver.solve(&problem, &params);
+        let mono = solve_relaxed(&problem, &params, &tight_mono());
+        assert!(sharded.converged, "{label}: sharded did not converge");
+        assert!(is_column_stochastic(&sharded.x, 1e-8), "{label}");
+        let gap = (sharded.objective - mono.objective).abs();
+        assert!(
+            gap <= 1e-6,
+            "{label}: |sharded - monolithic| = {gap:.3e} (sharded {}, mono {})",
+            sharded.objective,
+            mono.objective
+        );
+        // Iterate-level agreement, looser than the objective (the
+        // entropy Hessian is O(rho) so x-error ~ sqrt(gap/rho)).
+        let max_dx = sharded.x.max_abs_diff(&mono.x).unwrap();
+        assert!(max_dx < 1e-3, "{label}: max |X_s - X_m| = {max_dx:.3e}");
+    }
+}
+
+/// The shard count changes the decomposition, not the answer: different
+/// shard counts land on the same optimum within tolerance.
+#[test]
+fn shard_count_does_not_change_the_optimum() {
+    let problem = convex_problem(111, 4, 44);
+    let params = RelaxationParams::default();
+    let mut objectives = Vec::new();
+    for shards in [2, 4, 7] {
+        let opts = ShardedOptions {
+            shards,
+            ..tight_sharded()
+        };
+        let sol = ShardedSolver::new(opts, 4).solve(&problem, &params);
+        assert!(sol.converged, "shards={shards}");
+        objectives.push(sol.objective);
+    }
+    for w in objectives.windows(2) {
+        assert!(
+            (w[0] - w[1]).abs() <= 1e-6,
+            "shard counts disagree: {objectives:?}"
+        );
+    }
+}
+
+/// Bitwise determinism across pool sizes: every shard computes
+/// sequentially on cloned data and results combine in input order, so
+/// the trajectory cannot depend on how many workers the pool has.
+#[cfg(feature = "strict-determinism")]
+#[test]
+fn sharded_is_bitwise_deterministic_across_pool_sizes() {
+    let params = RelaxationParams::default();
+    for (problem, label) in [
+        (convex_problem(121, 4, 33), "plain"),
+        (with_capacity(convex_problem(122, 3, 26), 222), "capacity"),
+    ] {
+        let opts = ShardedOptions {
+            shards: 4,
+            max_rounds: 60,
+            ..Default::default()
+        };
+        let one = ShardedSolver::new(opts, 1).solve(&problem, &params);
+        let four = ShardedSolver::new(opts, 4).solve(&problem, &params);
+        let eight = ShardedSolver::new(opts, 8).solve(&problem, &params);
+        for other in [&four, &eight] {
+            assert_eq!(one.iterations, other.iterations, "{label}");
+            assert_eq!(one.converged, other.converged, "{label}");
+            for (idx, (a, b)) in one.x.as_slice().iter().zip(other.x.as_slice()).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "{label} entry {idx}: {a} vs {b}");
+            }
+            assert_eq!(
+                one.objective.to_bits(),
+                other.objective.to_bits(),
+                "{label}"
+            );
+        }
+    }
+}
+
+/// Repeated solves on the same solver instance are bitwise reproducible
+/// (no hidden state accumulates in the pool or the workspace).
+#[cfg(feature = "strict-determinism")]
+#[test]
+fn repeated_solves_are_bitwise_reproducible() {
+    let problem = convex_problem(131, 3, 21);
+    let params = RelaxationParams::default();
+    let opts = ShardedOptions {
+        shards: 3,
+        max_rounds: 40,
+        ..Default::default()
+    };
+    let solver = ShardedSolver::new(opts, 3);
+    let first = solver.solve(&problem, &params);
+    let second = solver.solve(&problem, &params);
+    assert_eq!(first.x.as_slice(), second.x.as_slice());
+    assert_eq!(first.objective.to_bits(), second.objective.to_bits());
+}
