@@ -7,8 +7,10 @@
 //! of the structured vs dense implicit-gradient paths (`kkt_grad`),
 //! an online-serving trace replay with one kill/restore cycle
 //! (`serve_replay`), the blocked-vs-scalar Cholesky kernel comparison
-//! (`chol_blocked`), and the sharded-vs-monolithic relaxed solve at
-//! platform scale (`shard_solve`) —
+//! (`chol_blocked`), the sharded-vs-monolithic relaxed solve at
+//! platform scale (`shard_solve`), and the live ops surface — endpoint
+//! latency over every `mfcp_obs::http` route plus a serve-replay
+//! overhead A/B with the ops server on vs off (`obs_http`) —
 //! each repeated `runs` times, and emits a
 //! schema-stable JSON report (`BENCH_perfgate.json` at the repo root):
 //! median/p95 wall time per suite, the deterministic observability
@@ -530,6 +532,121 @@ fn suite_shard_solve(cfg: &PerfgateConfig) {
     }
 }
 
+/// Live ops surface costs, both sides of it: (a) request latency for
+/// every `mfcp_obs::http` endpoint against a populated registry, landing
+/// in the `obs_http.request_secs` histogram plus a per-endpoint counter;
+/// (b) a serve-replay overhead A/B — the same short trace replayed with
+/// the ops surface off and on (`obs_http.replay_off_secs` /
+/// `obs_http.replay_on_secs`), with a release-build tripwire holding the
+/// enabled run inside the 5% overhead budget DESIGN.md records.
+fn suite_obs_http(cfg: &PerfgateConfig) {
+    // --- endpoint latency over a populated registry ---
+    let series = Arc::new(mfcp_obs::TimeSeries::new(
+        mfcp_obs::TimeSeriesConfig::default(),
+    ));
+    mfcp_obs::counter("obs_http.bench.events").add(41);
+    mfcp_obs::gauge("obs_http.bench.level").set(3.5);
+    let h_seed = mfcp_obs::histogram("obs_http.bench.lat");
+    for i in 0..64 {
+        h_seed.record(0.001 * (1 + i % 7) as f64);
+    }
+    series.sample_now();
+    mfcp_obs::counter("obs_http.bench.events").add(17);
+    series.sample_now();
+    let server =
+        mfcp_obs::ObsServer::start(mfcp_obs::HttpConfig::default(), Some(Arc::clone(&series)))
+            .expect("ops server binds an ephemeral port");
+    let addr = server.local_addr();
+    let h_request = mfcp_obs::histogram("obs_http.request_secs");
+    const ENDPOINT_REPS: usize = 8;
+    for path in [
+        "/healthz",
+        "/metrics",
+        "/metrics.txt",
+        "/slo",
+        "/trace",
+        "/timeseries?window=32",
+        "/dashboard",
+    ] {
+        for _ in 0..ENDPOINT_REPS {
+            let t0 = Instant::now();
+            let reply = http_get(addr, path);
+            h_request.record_duration(t0.elapsed());
+            assert!(
+                reply.starts_with("HTTP/1.1 200"),
+                "{path} did not answer 200: {reply}"
+            );
+        }
+        mfcp_obs::counter("obs_http.requests").inc();
+    }
+    drop(server);
+
+    // --- serving overhead A/B: ops surface off vs on ---
+    let trace = generate_trace(&TraceConfig {
+        seed: cfg.seed.wrapping_add(31),
+        // Long enough that the serving loop dominates the measurement:
+        // at the serve_replay suite's 30-event scale the replay is ~5 ms
+        // and the ops surface's fixed per-process costs (sampler ticks,
+        // allocator state) masquerade as double-digit relative overhead.
+        duration_secs: 7200.0,
+        mean_interarrival_secs: 30.0,
+        mean_service_secs: 900.0,
+        ..TraceConfig::default()
+    });
+    let source = || MatrixSource::GroundTruth(ClusterPool::standard().setting(Setting::A));
+    let off_h = mfcp_obs::histogram("obs_http.replay_off_secs");
+    let on_h = mfcp_obs::histogram("obs_http.replay_on_secs");
+    let (mut off_best, mut on_best) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..3 {
+        for enabled in [false, true] {
+            let config = DaemonConfig {
+                metrics_addr: enabled.then(|| "127.0.0.1:0".to_string()),
+                ..DaemonConfig::default()
+            };
+            let mut daemon = mfcp_serve::ExchangeDaemon::new(config, source());
+            assert_eq!(daemon.ops_addr().is_some(), enabled);
+            let t0 = Instant::now();
+            let outcome = mfcp_serve::replay(&mut daemon, &trace);
+            let dt = t0.elapsed().as_secs_f64();
+            assert!(outcome.counters.resolves > 0);
+            if enabled {
+                on_h.record(dt);
+                on_best = on_best.min(dt);
+            } else {
+                off_h.record(dt);
+                off_best = off_best.min(dt);
+            }
+        }
+    }
+    // Min-of-3 is robust to scheduler noise, but a ~240 ms replay on a
+    // single-core runner still jitters a few percent run to run, so the
+    // in-suite tripwire sits at 3x the 5% budget: it catches a real
+    // collapse (per-event locking, a hot sampler loop) without flaking
+    // on scheduler noise. The <5% budget itself is held by the measured
+    // medians recorded in DESIGN.md ("Live ops surface"). Only
+    // meaningful in release at the default scale — debug builds and
+    // smoke configs measure constant costs, not the serving loop.
+    if !cfg!(debug_assertions) && cfg.tasks >= 12 {
+        let overhead = on_best / off_best - 1.0;
+        assert!(
+            overhead < 0.15,
+            "ops surface overhead collapsed past 3x the 5% budget: {:.1}% \
+             ({on_best:.4}s on vs {off_best:.4}s off)",
+            overhead * 100.0
+        );
+    }
+}
+
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    use std::io::{Read, Write as _};
+    let mut s = std::net::TcpStream::connect(addr).expect("connect ops server");
+    s.write_all(format!("GET {path} HTTP/1.1\r\nHost: perfgate\r\n\r\n").as_bytes())
+        .expect("send request");
+    let mut out = String::new();
+    s.read_to_string(&mut out).expect("read response");
+    out
+}
+
 type SuiteFn = fn(&PerfgateConfig);
 
 /// Suite table: `(name, inner_reps, workload)`. `inner_reps` is the
@@ -539,7 +656,7 @@ type SuiteFn = fn(&PerfgateConfig);
 /// multi-millisecond measurement window instead of scheduler noise.
 /// Counters in those suites accumulate across the inner reps; the
 /// baseline is recorded the same way, so comparisons stay consistent.
-const SUITES: [(&str, usize, SuiteFn); 11] = [
+const SUITES: [(&str, usize, SuiteFn); 12] = [
     ("solve_ad", 1, suite_solve_ad),
     ("solve_fg", 1, suite_solve_fg),
     ("train_round", 1, suite_train_round),
@@ -551,6 +668,7 @@ const SUITES: [(&str, usize, SuiteFn); 11] = [
     ("serve_replay", 1, suite_serve_replay),
     ("chol_blocked", 1, suite_chol_blocked),
     ("shard_solve", 1, suite_shard_solve),
+    ("obs_http", 1, suite_obs_http),
 ];
 
 fn percentile(sorted: &[f64], q: f64) -> f64 {
@@ -577,6 +695,11 @@ fn metrics_from(snap: &mfcp_obs::Snapshot) -> BTreeMap<String, f64> {
     let mut out = BTreeMap::new();
     for (name, v) in &snap.counters {
         out.insert(name.clone(), *v as f64);
+    }
+    for (name, v) in &snap.gauges {
+        if v.is_finite() {
+            out.insert(format!("gauge.{name}"), *v);
+        }
     }
     for (name, h) in &snap.histograms {
         for (label, q) in [("p50", 0.5), ("p95", 0.95)] {
@@ -809,7 +932,8 @@ impl PerfgateReport {
     /// * `median_wall_secs` fails when it grew more than the tolerance.
     /// * Counter metrics fail on relative *increase* beyond the
     ///   tolerance; a baseline value of zero cannot gate relatively and
-    ///   is skipped. `hist.*` metrics are informational only.
+    ///   is skipped. `hist.*` and `gauge.*` metrics are informational
+    ///   only.
     /// * Tolerance per metric: `baseline.thresholds["<suite>.<metric>"]`
     ///   when present, else `default_tolerance`.
     /// * A suite present in the baseline but missing here is a violation
@@ -858,7 +982,9 @@ impl PerfgateReport {
                 cur.median_wall_secs,
             );
             for (name, base_v) in &base.metrics {
-                if name.starts_with("hist.") {
+                // Histogram quantiles and gauge levels are informational:
+                // bucket resolution / end-of-run levels are poor gates.
+                if name.starts_with("hist.") || name.starts_with("gauge.") {
                     continue;
                 }
                 if let Some(cur_v) = cur.metrics.get(name) {
@@ -879,6 +1005,7 @@ mod tests {
         metrics.insert("optim.robust.attempts".to_string(), 10.0);
         metrics.insert("train.rollbacks".to_string(), 1.0);
         metrics.insert("hist.train.round.loss.p50".to_string(), 0.25);
+        metrics.insert("gauge.serve.queue.pending".to_string(), 4.0);
         PerfgateReport {
             schema_version: SCHEMA_VERSION,
             created_unix: 1_700_000_000,
@@ -927,6 +1054,10 @@ mod tests {
         *cur.suites[0]
             .metrics
             .get_mut("hist.train.round.loss.p50")
+            .unwrap() = 100.0;
+        *cur.suites[0]
+            .metrics
+            .get_mut("gauge.serve.queue.pending")
             .unwrap() = 100.0;
         let violations = cur.compare(&base, DEFAULT_TOLERANCE);
         assert_eq!(violations.len(), 1, "{violations:?}");
@@ -989,7 +1120,7 @@ mod tests {
         };
         let mut trace = String::new();
         let report = run_perfgate(&cfg, Some(&mut trace));
-        assert_eq!(report.suites.len(), 11);
+        assert_eq!(report.suites.len(), 12);
         for s in &report.suites {
             assert!(s.median_wall_secs.is_finite() && s.median_wall_secs >= 0.0);
             assert!(!s.metrics.is_empty(), "suite {} has no metrics", s.name);

@@ -58,6 +58,62 @@ pub fn bucket_index(v: f64) -> usize {
     1 + (e - MIN_EXP) as usize * SUBS + (k - 1)
 }
 
+/// The shared quantile kernel: rank-selects over `(lo, hi, count)`
+/// buckets in ascending order and returns the selected bucket's
+/// midpoint. Open-ended bucket bounds collapse onto the observed
+/// `min`/`max`, and the result is clamped into `[min, max]` when both
+/// are finite. `NaN` when `total` is zero. Accuracy is bounded by the
+/// log-linear bucket width (~11%).
+///
+/// This is the one quantile implementation in the workspace: the live
+/// [`Histogram::quantile`], the snapshot-side
+/// [`crate::HistogramSnapshot::quantile`], and the time-series
+/// window quantiles ([`crate::timeseries`]) all call it.
+pub fn quantile_over(
+    total: u64,
+    buckets: impl Iterator<Item = (f64, f64, u64)>,
+    q: f64,
+    min: f64,
+    max: f64,
+) -> f64 {
+    if total == 0 {
+        return f64::NAN;
+    }
+    let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (lo, hi, c) in buckets {
+        if c == 0 {
+            continue;
+        }
+        seen += c;
+        if seen >= rank {
+            let lo = if lo.is_finite() {
+                lo
+            } else if min.is_finite() {
+                min
+            } else {
+                hi
+            };
+            let hi = if hi.is_finite() {
+                hi
+            } else if max.is_finite() {
+                max
+            } else {
+                lo
+            };
+            let mid = 0.5 * (lo + hi);
+            return if min.is_finite() && max.is_finite() {
+                mid.clamp(min, max)
+            } else {
+                mid
+            };
+        }
+    }
+    // Ranks past the last occupied bucket (or buckets torn by a
+    // concurrent writer) resolve to the largest observation.
+    max
+}
+
 /// The `[lo, hi)` value range covered by bucket `index`.
 pub fn bucket_bounds(index: usize) -> (f64, f64) {
     if index == UNDERFLOW {
@@ -226,6 +282,47 @@ impl Histogram {
     pub fn count(&self) -> u64 {
         self.inner.active_shard().count.load(Ordering::Relaxed)
     }
+
+    /// Approximate quantile of everything recorded so far, straight off
+    /// the live buckets — no snapshot, no allocation. `NaN` when empty;
+    /// accuracy is bounded by the log-linear bucket width (~11%). See
+    /// [`quantile_over`] for the selection rule.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let sh = self.inner.active_shard();
+        let count = sh.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return f64::NAN;
+        }
+        let min = f64::from_bits(sh.min_bits.load(Ordering::Relaxed));
+        let max = f64::from_bits(sh.max_bits.load(Ordering::Relaxed));
+        quantile_over(
+            count,
+            (0..BUCKETS).map(|i| {
+                let (lo, hi) = bucket_bounds(i);
+                (lo, hi, sh.buckets[i].load(Ordering::Relaxed))
+            }),
+            q,
+            min,
+            max,
+        )
+    }
+
+    /// Copies the live bucket counts into `out` (indexed by bucket
+    /// index, [`bucket_bounds`] gives each slot's range) and returns
+    /// `(count, min, max)`. This is the sampler's allocation-free read
+    /// path; concurrent writers can skew `Σ out` vs `count` by the
+    /// number of in-flight records, never more.
+    pub fn copy_buckets(&self, out: &mut [u64; BUCKETS]) -> (u64, f64, f64) {
+        let sh = self.inner.active_shard();
+        for (slot, bucket) in out.iter_mut().zip(sh.buckets.iter()) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        (
+            sh.count.load(Ordering::Relaxed),
+            f64::from_bits(sh.min_bits.load(Ordering::Relaxed)),
+            f64::from_bits(sh.max_bits.load(Ordering::Relaxed)),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -271,6 +368,69 @@ mod tests {
                 idx + 1
             );
         }
+    }
+
+    /// `Histogram::quantile` against exact sample sets: every answer
+    /// must land inside the bucket that holds the true order statistic,
+    /// i.e. within the documented ~11% relative resolution.
+    #[test]
+    fn live_quantile_tracks_exact_order_statistics() {
+        let _g = crate::test_guard();
+        let h = crate::histogram("hist.test.live_quantile");
+        assert!(h.quantile(0.5).is_nan(), "empty histogram quantile is NaN");
+        // Exact set: 1..=1000 (uniform over three decades).
+        for i in 1..=1000 {
+            h.record(i as f64);
+        }
+        for (q, exact) in [(0.0, 1.0), (0.5, 500.0), (0.95, 950.0), (0.99, 990.0)] {
+            let got = h.quantile(q);
+            let (lo, hi) = bucket_bounds(bucket_index(exact));
+            assert!(
+                got >= lo * 0.999 && got <= hi * 1.001,
+                "q={q}: got {got}, exact {exact} lives in [{lo}, {hi})"
+            );
+        }
+        assert_eq!(h.quantile(1.0), 1000.0, "p100 clamps to the observed max");
+        // Point mass: every quantile is the single value.
+        let point = crate::histogram("hist.test.point_mass");
+        for _ in 0..32 {
+            point.record(3.0);
+        }
+        for q in [0.01, 0.5, 0.99] {
+            let v = point.quantile(q);
+            assert!((3.0..4.0).contains(&v), "point mass q={q} -> {v}");
+        }
+        // Two-value set {1.0 x9, 100.0 x1}: p50 in 1.0's bucket, p99 at
+        // the top.
+        let two = crate::histogram("hist.test.two_values");
+        for _ in 0..9 {
+            two.record(1.0);
+        }
+        two.record(100.0);
+        assert!(two.quantile(0.5) < 2.0);
+        assert!(two.quantile(0.99) >= 100.0);
+        // Live handle and snapshot agree (same kernel, same buckets).
+        let snap = crate::snapshot();
+        let hs = &snap.histograms["hist.test.live_quantile"];
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(h.quantile(q), hs.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn copy_buckets_matches_count() {
+        let _g = crate::test_guard();
+        let h = crate::histogram("hist.test.copy_buckets");
+        for v in [0.5, 0.5, 2.0, 30.0] {
+            h.record(v);
+        }
+        let mut out = [0u64; BUCKETS];
+        let (count, min, max) = h.copy_buckets(&mut out);
+        assert_eq!(count, 4);
+        assert_eq!(out.iter().sum::<u64>(), 4);
+        assert_eq!(min, 0.5);
+        assert_eq!(max, 30.0);
+        assert_eq!(out[bucket_index(0.5)], 2);
     }
 
     /// The shard invariant `Σ buckets == count` (and consistent sum /

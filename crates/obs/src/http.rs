@@ -1,0 +1,659 @@
+//! A zero-dependency HTTP/1.1 ops server over the metric registry.
+//!
+//! The exchange daemon is a long-running process; operators need to ask
+//! it *right now* questions — is it healthy, what are the SLO counters,
+//! what did latency look like over the last minute — without attaching a
+//! debugger or waiting for the end-of-run artifact. This module is that
+//! surface: a deliberately small, hand-rolled HTTP/1.1 server (the build
+//! environment has no registry access, so no hyper/axum) that serves
+//! **read-only** views of the [`crate`] registry:
+//!
+//! | Path           | Content                                            |
+//! |----------------|----------------------------------------------------|
+//! | `/healthz`     | `ok` — liveness probe                              |
+//! | `/metrics`     | full [`crate::snapshot`] as JSON                   |
+//! | `/metrics.txt` | Prometheus text exposition of the same snapshot    |
+//! | `/slo`         | serve SLO counters + rolling miss rate/percentiles |
+//! | `/trace`       | drains the flight recorder as Chrome trace JSON    |
+//! | `/timeseries`  | rolling window JSON (`?window=N` ticks)            |
+//! | `/dashboard`   | inline HTML page with live sparklines              |
+//!
+//! Design constraints, in order: **never perturb the daemon** (every
+//! endpoint only reads atomics already published by the registry — the
+//! strict-determinism chaos suite runs bit-identical with the server
+//! enabled), **never trust the peer** (bounded request size, per-
+//! connection read deadline against slow-loris, strict request-line
+//! validation — see [`parse_request`], which is pure and fuzz-tested in
+//! `tests/http_hostile.rs`), and **shut down deterministically** (the
+//! accept loop is woken by a self-connection and joined on drop).
+//!
+//! The server is sequential — one connection at a time. An ops surface
+//! polled by one human and one scraper does not need concurrency, and a
+//! sequential loop cannot amplify a request flood into thread
+//! exhaustion.
+
+use crate::timeseries::TimeSeries;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning for one [`ObsServer`].
+#[derive(Debug, Clone)]
+pub struct HttpConfig {
+    /// Bind address, e.g. `127.0.0.1:9184`. Port `0` picks a free port
+    /// (read it back from [`ObsServer::local_addr`]).
+    pub addr: String,
+    /// Per-connection read deadline. A peer that trickles bytes slower
+    /// than this (slow-loris) gets a `408` and the socket closed.
+    pub read_timeout: Duration,
+    /// Maximum accepted request size in bytes; larger requests get
+    /// `413`. Generous for any `GET` this server understands.
+    pub max_request_bytes: usize,
+}
+
+impl Default for HttpConfig {
+    fn default() -> Self {
+        HttpConfig {
+            addr: "127.0.0.1:0".to_string(),
+            read_timeout: Duration::from_secs(2),
+            max_request_bytes: 8192,
+        }
+    }
+}
+
+/// A parsed request line (headers are intentionally ignored — no
+/// endpoint varies on them, and not storing them bounds memory).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The method token, verbatim (`GET`, `POST`, …). Non-`GET` methods
+    /// parse fine and are rejected with `405` by the handler.
+    pub method: String,
+    /// The path component of the request target, always starting `/`.
+    pub path: String,
+    /// The query string after `?`, if any, without the `?`.
+    pub query: Option<String>,
+}
+
+/// Outcome of [`parse_request`] over a (possibly incomplete) buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseOutcome {
+    /// The header block is complete and well-formed.
+    Complete(Request),
+    /// More bytes are needed; nothing invalid seen yet.
+    Partial,
+    /// The request can never become valid; respond `400` and close.
+    Malformed(&'static str),
+    /// The header block exceeded the size bound; respond `413`.
+    TooLarge,
+}
+
+/// Parses the accumulated bytes of one HTTP/1.1 request. Pure (no I/O),
+/// so hostile inputs are testable without sockets. Invalid requests are
+/// rejected as early as the prefix proves them invalid — a malformed
+/// request line fails [`ParseOutcome::Malformed`] without waiting for
+/// the rest of the headers, which denies slow-loris peers the read
+/// deadline's worth of patience.
+pub fn parse_request(buf: &[u8], max_bytes: usize) -> ParseOutcome {
+    // Reject embedded NUL / control bytes anywhere in the header block
+    // (CR and LF are the only permitted control bytes, and only as
+    // separators; HT never appears in a request this server accepts).
+    if buf
+        .iter()
+        .any(|&b| (b < 0x20 && b != b'\r' && b != b'\n') || b == 0x7f)
+    {
+        return ParseOutcome::Malformed("control byte in header block");
+    }
+    let head_end = find_subslice(buf, b"\r\n\r\n");
+    if head_end.is_none() && buf.len() > max_bytes {
+        return ParseOutcome::TooLarge;
+    }
+    // Validate the request line as soon as it is complete, even when
+    // the header block is still arriving.
+    let Some(line_end) = find_subslice(buf, b"\r\n") else {
+        // A lone LF before any CR can never become a CRLF request line.
+        if buf.contains(&b'\n') {
+            return ParseOutcome::Malformed("bare LF in request line");
+        }
+        return ParseOutcome::Partial;
+    };
+    let line = &buf[..line_end];
+    let Ok(line) = std::str::from_utf8(line) else {
+        return ParseOutcome::Malformed("request line is not UTF-8");
+    };
+    let mut parts = line.split(' ');
+    let (Some(method), Some(target), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return ParseOutcome::Malformed("request line is not `METHOD SP TARGET SP VERSION`");
+    };
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return ParseOutcome::Malformed("method is not an uppercase token");
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return ParseOutcome::Malformed("unsupported HTTP version");
+    }
+    if !target.starts_with('/') {
+        return ParseOutcome::Malformed("request target must be origin-form");
+    }
+    if head_end.is_none() {
+        return ParseOutcome::Partial;
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (target.to_string(), None),
+    };
+    ParseOutcome::Complete(Request {
+        method: method.to_string(),
+        path,
+        query,
+    })
+}
+
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+/// The running ops server: an accept-loop thread plus its shutdown
+/// signal. Dropping it (or calling [`Self::shutdown`]) stops accepting,
+/// wakes the blocked `accept` with a self-connection, and joins the
+/// thread — bounded, deterministic teardown.
+pub struct ObsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ObsServer {
+    /// Binds `cfg.addr` and starts serving. `series` attaches a rolling
+    /// [`TimeSeries`] for `/timeseries`, `/slo` rolling sections, and
+    /// the dashboard sparklines; without it those report "disabled".
+    pub fn start(cfg: HttpConfig, series: Option<Arc<TimeSeries>>) -> std::io::Result<ObsServer> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_seen = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("mfcp-obs-http".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop_seen.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    serve_connection(stream, &cfg, series.as_deref());
+                }
+            })?;
+        Ok(ObsServer {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (resolves port `0` binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Wake the blocking accept; the loop re-checks the flag before
+        // serving, so this connection is never answered.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ObsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, cfg: &HttpConfig, series: Option<&TimeSeries>) {
+    crate::counter("obs.http.requests").inc();
+    let _ = stream.set_read_timeout(Some(cfg.read_timeout));
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    let request = loop {
+        match parse_request(&buf, cfg.max_request_bytes) {
+            ParseOutcome::Complete(req) => break req,
+            ParseOutcome::Malformed(why) => {
+                crate::counter("obs.http.bad_requests").inc();
+                respond(&mut stream, 400, "Bad Request", "text/plain", why);
+                return;
+            }
+            ParseOutcome::TooLarge => {
+                crate::counter("obs.http.bad_requests").inc();
+                respond(
+                    &mut stream,
+                    413,
+                    "Content Too Large",
+                    "text/plain",
+                    "request exceeds size bound",
+                );
+                return;
+            }
+            ParseOutcome::Partial => {}
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                // Peer closed before completing the request.
+                crate::counter("obs.http.bad_requests").inc();
+                return;
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                crate::counter("obs.http.timeouts").inc();
+                respond(
+                    &mut stream,
+                    408,
+                    "Request Timeout",
+                    "text/plain",
+                    "read deadline exceeded",
+                );
+                return;
+            }
+            Err(_) => return,
+        }
+    };
+    if request.method != "GET" {
+        respond(
+            &mut stream,
+            405,
+            "Method Not Allowed",
+            "text/plain",
+            "only GET is supported",
+        );
+        return;
+    }
+    match request.path.as_str() {
+        "/healthz" => respond(&mut stream, 200, "OK", "text/plain", "ok\n"),
+        "/metrics" => {
+            let body = crate::snapshot().to_json();
+            respond(&mut stream, 200, "OK", "application/json", &body);
+        }
+        "/metrics.txt" => {
+            let body = crate::snapshot().to_prometheus();
+            respond(&mut stream, 200, "OK", "text/plain; version=0.0.4", &body);
+        }
+        "/slo" => {
+            let body = slo_json(series);
+            respond(&mut stream, 200, "OK", "application/json", &body);
+        }
+        "/trace" => {
+            // Draining consumes the buffered window — each poll returns
+            // the events since the previous one, like the flight
+            // recorder's artifact path.
+            let body = crate::trace::drain().to_chrome_json();
+            respond(&mut stream, 200, "OK", "application/json", &body);
+        }
+        "/timeseries" => match series {
+            Some(ts) => {
+                let window = query_window(request.query.as_deref()).unwrap_or(120);
+                let body = ts.window_json(window);
+                respond(&mut stream, 200, "OK", "application/json", &body);
+            }
+            None => respond(
+                &mut stream,
+                404,
+                "Not Found",
+                "text/plain",
+                "time-series sampling is not enabled",
+            ),
+        },
+        "/" | "/dashboard" => {
+            respond(
+                &mut stream,
+                200,
+                "OK",
+                "text/html; charset=utf-8",
+                DASHBOARD_HTML,
+            );
+        }
+        _ => {
+            crate::counter("obs.http.not_found").inc();
+            respond(&mut stream, 404, "Not Found", "text/plain", "unknown path");
+        }
+    }
+}
+
+fn query_window(query: Option<&str>) -> Option<usize> {
+    let query = query?;
+    for pair in query.split('&') {
+        if let Some(v) = pair.strip_prefix("window=") {
+            return v.parse::<usize>().ok().map(|w| w.clamp(1, 100_000));
+        }
+    }
+    None
+}
+
+fn respond(stream: &mut TcpStream, status: u16, reason: &str, content_type: &str, body: &str) {
+    // Best-effort: the peer may already be gone; errors are not ours to
+    // surface.
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Writes `v` as a JSON number, or `null` when non-finite (empty
+/// histograms yield NaN quantiles; `null` keeps the document strict).
+fn json_num_or_null(v: f64) -> String {
+    if v.is_finite() {
+        crate::json::number(v)
+    } else {
+        "null".to_string()
+    }
+}
+
+/// The `/slo` document: every `serve.*` counter, cumulative latency
+/// percentiles from the live histogram, and — when a time-series store
+/// is attached — rolling (last 60 ticks) miss rate and percentiles.
+fn slo_json(series: Option<&TimeSeries>) -> String {
+    use std::fmt::Write as _;
+    let snap = crate::snapshot();
+    let mut out = String::from("{\"counters\": {");
+    let mut first = true;
+    for (name, v) in snap
+        .counters
+        .iter()
+        .filter(|(n, _)| n.starts_with("serve."))
+    {
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        let _ = write!(out, "{}: {v}", crate::json::escape(name));
+    }
+    out.push('}');
+    let admitted = snap.counters.get("serve.admitted").copied().unwrap_or(0);
+    let misses = snap
+        .counters
+        .get("serve.deadline_miss")
+        .copied()
+        .unwrap_or(0);
+    let miss_rate = if admitted > 0 {
+        misses as f64 / admitted as f64
+    } else {
+        0.0
+    };
+    let _ = write!(
+        out,
+        ", \"deadline_miss_rate\": {}",
+        crate::json::number(miss_rate)
+    );
+    let h = crate::histogram("serve.match_latency_secs");
+    let _ = write!(
+        out,
+        ", \"match_latency_secs\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+        json_num_or_null(h.quantile(0.5)),
+        json_num_or_null(h.quantile(0.95)),
+        json_num_or_null(h.quantile(0.99))
+    );
+    match series {
+        Some(ts) => {
+            const WINDOW: usize = 60;
+            let admit_rate = ts.rolling_rate("serve.admitted", WINDOW);
+            let miss_per_sec = ts.rolling_rate("serve.deadline_miss", WINDOW);
+            let rolling_miss = if admit_rate > 0.0 {
+                miss_per_sec / admit_rate
+            } else {
+                f64::NAN
+            };
+            let _ = write!(
+                out,
+                ", \"rolling\": {{\"window_ticks\": {WINDOW}, \"interval_secs\": {}, \
+                 \"admitted_per_sec\": {}, \"deadline_miss_rate\": {}, \
+                 \"match_latency_secs\": {{\"p50\": {}, \"p95\": {}}}}}",
+                crate::json::number(ts.interval().as_secs_f64()),
+                json_num_or_null(admit_rate),
+                json_num_or_null(rolling_miss),
+                json_num_or_null(ts.rolling_quantile("serve.match_latency_secs", WINDOW, 0.5)),
+                json_num_or_null(ts.rolling_quantile("serve.match_latency_secs", WINDOW, 0.95)),
+            );
+        }
+        None => out.push_str(", \"rolling\": null"),
+    }
+    out.push('}');
+    out
+}
+
+/// The inline ops dashboard: no external assets (the daemon may run in
+/// an air-gapped environment), one page polling `/metrics` and
+/// `/timeseries` and drawing canvas sparklines per series.
+const DASHBOARD_HTML: &str = r#"<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>mfcp ops</title>
+<style>
+ body { font: 13px/1.5 ui-monospace, monospace; background: #11151a; color: #d8dee6; margin: 1.5em; }
+ h1 { font-size: 16px; } h2 { font-size: 14px; margin: 1.2em 0 .4em; color: #8fb4d8; }
+ table { border-collapse: collapse; }
+ td, th { padding: 2px 12px 2px 0; text-align: left; vertical-align: middle; }
+ td.num { text-align: right; font-variant-numeric: tabular-nums; }
+ canvas { background: #1a2028; border-radius: 3px; }
+ #status { color: #7a8694; }
+</style>
+</head>
+<body>
+<h1>mfcp ops surface <span id="status"></span></h1>
+<h2>counters (rate/s, rolling window)</h2><table id="counters"></table>
+<h2>gauges</h2><table id="gauges"></table>
+<h2>latency percentiles (p95 per tick)</h2><table id="hists"></table>
+<script>
+function spark(canvas, pts) {
+  const w = canvas.width, h = canvas.height, ctx = canvas.getContext('2d');
+  ctx.clearRect(0, 0, w, h);
+  const vals = pts.filter(p => p !== null && isFinite(p));
+  if (!vals.length) return;
+  const max = Math.max(...vals, 1e-12), min = Math.min(...vals, 0);
+  ctx.strokeStyle = '#5fb3f0'; ctx.lineWidth = 1.25; ctx.beginPath();
+  pts.forEach((p, i) => {
+    if (p === null || !isFinite(p)) return;
+    const x = pts.length > 1 ? i / (pts.length - 1) * (w - 2) + 1 : w / 2;
+    const y = h - 2 - (p - min) / (max - min || 1) * (h - 4);
+    i === 0 ? ctx.moveTo(x, y) : ctx.lineTo(x, y);
+  });
+  ctx.stroke();
+}
+function row(table, name, pts, latest) {
+  let tr = table.querySelector('tr[data-n="' + name + '"]');
+  if (!tr) {
+    tr = document.createElement('tr'); tr.dataset.n = name;
+    tr.innerHTML = '<td>' + name + '</td><td class="num"></td><td><canvas width="180" height="28"></canvas></td>';
+    table.appendChild(tr);
+  }
+  tr.children[1].textContent = latest === null ? 'n/a' : latest.toPrecision(4);
+  spark(tr.children[2].firstChild, pts);
+}
+async function tick() {
+  try {
+    const ts = await (await fetch('timeseries?window=120')).json();
+    for (const [n, pts] of Object.entries(ts.counters))
+      row(document.getElementById('counters'), n, pts, pts.length ? pts[pts.length - 1] : null);
+    for (const [n, pts] of Object.entries(ts.gauges))
+      row(document.getElementById('gauges'), n, pts, pts.length ? pts[pts.length - 1] : null);
+    for (const [n, qs] of Object.entries(ts.histograms)) {
+      const pts = qs.p95 || [];
+      const finite = pts.filter(p => p !== null && isFinite(p));
+      row(document.getElementById('hists'), n + '.p95', pts, finite.length ? finite[finite.length - 1] : null);
+    }
+    document.getElementById('status').textContent = '· tick ' + ts.ticks + ' · ' + ts.interval_secs + 's interval';
+  } catch (e) {
+    document.getElementById('status').textContent = '· ' + e;
+  }
+}
+tick(); setInterval(tick, 2000);
+</script>
+</body>
+</html>
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete(buf: &[u8]) -> Request {
+        match parse_request(buf, 8192) {
+            ParseOutcome::Complete(r) => r,
+            other => panic!("expected Complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_simple_get() {
+        let r = complete(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/healthz");
+        assert_eq!(r.query, None);
+    }
+
+    #[test]
+    fn splits_query_string() {
+        let r = complete(b"GET /timeseries?window=30&x=1 HTTP/1.0\r\n\r\n");
+        assert_eq!(r.path, "/timeseries");
+        assert_eq!(r.query.as_deref(), Some("window=30&x=1"));
+        assert_eq!(query_window(r.query.as_deref()), Some(30));
+        assert_eq!(query_window(Some("x=1")), None);
+        assert_eq!(query_window(Some("window=junk")), None);
+    }
+
+    #[test]
+    fn incomplete_requests_are_partial() {
+        assert_eq!(parse_request(b"", 8192), ParseOutcome::Partial);
+        assert_eq!(parse_request(b"GET /he", 8192), ParseOutcome::Partial);
+        assert_eq!(
+            parse_request(b"GET / HTTP/1.1\r\nHost: x\r\n", 8192),
+            ParseOutcome::Partial,
+            "request line done, header block still open"
+        );
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_early() {
+        for (bytes, why) in [
+            (&b"GET/ HTTP/1.1\r\n\r\n"[..], "missing spaces"),
+            (b"get / HTTP/1.1\r\n\r\n", "lowercase method"),
+            (b"GET / HTTP/2\r\n\r\n", "unsupported version"),
+            (b"GET example.com/x HTTP/1.1\r\n\r\n", "non-origin target"),
+            (b"GET / HTTP/1.1 extra\r\n\r\n", "trailing token"),
+            (b"GET / HTTP/1.1\n\n", "bare LF"),
+            (b"GET /\x00 HTTP/1.1\r\n\r\n", "NUL byte"),
+        ] {
+            assert!(
+                matches!(parse_request(bytes, 8192), ParseOutcome::Malformed(_)),
+                "{why}: {bytes:?}"
+            );
+        }
+        // Early rejection: malformed request line fails before the
+        // header block terminator arrives.
+        assert!(matches!(
+            parse_request(b"BROKEN\r\nHost: x\r\n", 8192),
+            ParseOutcome::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn oversized_requests_are_too_large() {
+        let mut buf = b"GET /".to_vec();
+        buf.extend(std::iter::repeat_n(b'a', 100));
+        assert_eq!(parse_request(&buf, 64), ParseOutcome::TooLarge);
+        // Under the bound it is merely partial.
+        assert_eq!(parse_request(&buf, 8192), ParseOutcome::Partial);
+    }
+
+    #[test]
+    fn slo_json_is_strict_json_even_when_empty() {
+        let _g = crate::test_guard();
+        crate::reset();
+        let doc = slo_json(None);
+        let v = crate::json::parse(&doc).unwrap_or_else(|e| panic!("{e}\n{doc}"));
+        assert!(v.get("counters").is_some());
+        assert_eq!(v.get("rolling"), Some(&crate::json::Json::Null));
+        // Empty histogram quantiles must serialize as null, not NaN.
+        assert_eq!(
+            v.get("match_latency_secs").and_then(|m| m.get("p50")),
+            Some(&crate::json::Json::Null)
+        );
+    }
+
+    #[test]
+    fn server_round_trip_and_shutdown() {
+        let _g = crate::test_guard();
+        crate::reset();
+        crate::counter("http.test.round_trip").add(7);
+        let ts = Arc::new(TimeSeries::new(crate::TimeSeriesConfig::default()));
+        ts.sample_now();
+        let mut server =
+            ObsServer::start(HttpConfig::default(), Some(Arc::clone(&ts))).expect("bind");
+        let addr = server.local_addr();
+        for (path, expect) in [
+            ("/healthz", "ok"),
+            ("/metrics", "http.test.round_trip"),
+            ("/metrics.txt", "# TYPE"),
+            ("/slo", "deadline_miss_rate"),
+            ("/trace", "traceEvents"),
+            ("/timeseries?window=10", "interval_secs"),
+            ("/dashboard", "mfcp ops"),
+            ("/", "mfcp ops"),
+        ] {
+            let body = get(addr, path);
+            assert!(
+                body.contains(expect),
+                "{path}: expected {expect:?} in {body:?}"
+            );
+        }
+        let missing = get_raw(addr, "GET /nope HTTP/1.1\r\n\r\n");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        let posted = get_raw(addr, "POST /healthz HTTP/1.1\r\n\r\n");
+        assert!(posted.starts_with("HTTP/1.1 405"), "{posted}");
+        server.shutdown();
+        server.shutdown(); // idempotent
+        assert!(
+            TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err() ||
+            // The OS may accept briefly after close on some platforms;
+            // what matters is that nothing answers.
+            get_try(addr, "/healthz").is_none()
+        );
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        get_raw(addr, &format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"))
+    }
+
+    fn get_raw(addr: SocketAddr, request: &str) -> String {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(request.as_bytes()).expect("write");
+        let mut out = String::new();
+        s.read_to_string(&mut out).expect("read");
+        out
+    }
+
+    fn get_try(addr: SocketAddr, path: &str) -> Option<String> {
+        let mut s = TcpStream::connect_timeout(&addr, Duration::from_millis(200)).ok()?;
+        let _ = s.set_read_timeout(Some(Duration::from_millis(200)));
+        s.write_all(format!("GET {path} HTTP/1.1\r\n\r\n").as_bytes())
+            .ok()?;
+        let mut out = String::new();
+        s.read_to_string(&mut out).ok()?;
+        if out.is_empty() {
+            None
+        } else {
+            Some(out)
+        }
+    }
+}

@@ -10,9 +10,19 @@
 //!   while another span is live on the same thread nest under it, so the
 //!   snapshot reconstructs a profile tree (`train_mfcp/round/cluster_grads`).
 //! * [`counter`] — monotonic `u64` counters.
+//! * [`gauge`] — last-write-wins `f64` levels (queue depth, cache
+//!   occupancy).
 //! * [`histogram`] — log-linear-bucket value distributions (durations,
 //!   iteration counts, gradient norms). See [`histogram::bucket_index`]
-//!   for the bucketing scheme.
+//!   for the bucketing scheme and [`Histogram::quantile`] for the live
+//!   percentile read.
+//! * [`timeseries`] — a background sampler that snapshots the registry
+//!   on a fixed interval into fixed-capacity ring buffers: per-counter
+//!   rates, gauge levels, and rolling histogram percentiles.
+//! * [`http`] — a zero-dependency HTTP/1.1 ops server exposing
+//!   `/healthz`, `/metrics`, `/metrics.txt` (Prometheus text),
+//!   `/slo`, `/trace` (Chrome trace JSON), `/timeseries`, and an
+//!   inline `/dashboard`.
 //! * [`snapshot`] — a consistent copy of every metric, renderable as JSON
 //!   (machine artifact for perf trajectories) or human-readable text.
 //! * [`trace`] — a flight recorder: per-thread ring buffers of
@@ -45,16 +55,20 @@
 #![warn(missing_docs)]
 
 pub mod histogram;
+pub mod http;
 pub mod json;
 pub mod registry;
 pub mod snapshot;
 pub mod span;
+pub mod timeseries;
 pub mod trace;
 
 pub use histogram::Histogram;
-pub use registry::{Counter, Registry};
+pub use http::{HttpConfig, ObsServer};
+pub use registry::{Counter, Gauge, Registry};
 pub use snapshot::{HistogramSnapshot, Snapshot, SpanSnapshot};
 pub use span::SpanGuard;
+pub use timeseries::{SamplerHandle, TimeSeries, TimeSeriesConfig};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
@@ -89,6 +103,13 @@ pub fn enabled() -> bool {
 /// keep it.
 pub fn counter(name: &str) -> Counter {
     global().counter(name)
+}
+
+/// Returns (interning on first use) the gauge registered under `name`.
+/// Gauges are last-write-wins levels (queue depth, cache occupancy)
+/// next to the monotonic [`counter`]s.
+pub fn gauge(name: &str) -> Gauge {
+    global().gauge(name)
 }
 
 /// Returns (interning on first use) the histogram registered under `name`.

@@ -33,11 +33,55 @@ impl Counter {
     }
 }
 
+/// A handle to a registered gauge: a last-write-wins `f64` level (queue
+/// depth, cache occupancy, watermark) as opposed to a monotonic
+/// [`Counter`]. Cloning is cheap; all clones share the same cell, which
+/// stores the value as `f64` bits in one atomic.
+#[derive(Clone)]
+pub struct Gauge {
+    pub(crate) cell: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Sets the gauge to `v` (last write wins).
+    pub fn set(&self, v: f64) {
+        if crate::enabled() {
+            self.cell.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `d` (negative to decrement) with a CAS loop, for callers
+    /// that track a level incrementally from several sites.
+    pub fn add(&self, d: f64) {
+        if !crate::enabled() {
+            return;
+        }
+        let mut cur = self.cell.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + d).to_bits();
+            match self
+                .cell
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.cell.load(Ordering::Relaxed))
+    }
+}
+
 /// Holds every registered metric. Normally accessed through the global
-/// instance behind [`crate::counter`]/[`crate::histogram`]/[`crate::span`];
-/// a private `Registry` is only useful for isolated tests.
+/// instance behind [`crate::counter`]/[`crate::gauge`]/
+/// [`crate::histogram`]/[`crate::span`]; a private `Registry` is only
+/// useful for isolated tests.
 pub struct Registry {
     counters: RwLock<HashMap<String, Arc<AtomicU64>>>,
+    gauges: RwLock<HashMap<String, Arc<AtomicU64>>>,
     histograms: RwLock<HashMap<String, Arc<HistogramInner>>>,
     pub(crate) spans: RwLock<HashMap<String, Arc<SpanStat>>>,
 }
@@ -47,6 +91,7 @@ impl Registry {
     pub fn new() -> Self {
         Registry {
             counters: RwLock::new(HashMap::new()),
+            gauges: RwLock::new(HashMap::new()),
             histograms: RwLock::new(HashMap::new()),
             spans: RwLock::new(HashMap::new()),
         }
@@ -64,6 +109,22 @@ impl Registry {
             .entry(name.to_string())
             .or_insert_with(|| Arc::new(AtomicU64::new(0)));
         Counter {
+            cell: Arc::clone(cell),
+        }
+    }
+
+    /// Interns and returns the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if let Some(cell) = self.gauges.read().unwrap().get(name) {
+            return Gauge {
+                cell: Arc::clone(cell),
+            };
+        }
+        let mut map = self.gauges.write().unwrap();
+        let cell = map
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0f64.to_bits())));
+        Gauge {
             cell: Arc::clone(cell),
         }
     }
@@ -106,11 +167,42 @@ impl Registry {
         for cell in self.counters.read().unwrap().values() {
             cell.store(0, Ordering::Relaxed);
         }
+        for cell in self.gauges.read().unwrap().values() {
+            cell.store(0f64.to_bits(), Ordering::Relaxed);
+        }
         for hist in self.histograms.read().unwrap().values() {
             hist.reset();
         }
         for span in self.spans.read().unwrap().values() {
             span.reset();
+        }
+    }
+
+    /// Calls `f` for every registered counter without cloning names —
+    /// this is the allocation-free walk the time-series sampler runs on
+    /// every tick (the read lock is held for the duration of the walk).
+    pub fn visit_counters(&self, mut f: impl FnMut(&str, u64)) {
+        for (name, cell) in self.counters.read().unwrap().iter() {
+            f(name, cell.load(Ordering::Relaxed));
+        }
+    }
+
+    /// Calls `f` for every registered gauge without cloning names.
+    pub fn visit_gauges(&self, mut f: impl FnMut(&str, f64)) {
+        for (name, cell) in self.gauges.read().unwrap().iter() {
+            f(name, f64::from_bits(cell.load(Ordering::Relaxed)));
+        }
+    }
+
+    /// Calls `f` for every registered histogram without cloning names.
+    /// The handle passed to `f` is an `Arc` clone of the shared storage
+    /// (no heap allocation), valid only for the call.
+    pub fn visit_histograms(&self, mut f: impl FnMut(&str, &Histogram)) {
+        for (name, inner) in self.histograms.read().unwrap().iter() {
+            let h = Histogram {
+                inner: Arc::clone(inner),
+            };
+            f(name, &h);
         }
     }
 
@@ -120,6 +212,15 @@ impl Registry {
             .unwrap()
             .iter()
             .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    pub(crate) fn gauges_map(&self) -> HashMap<String, f64> {
+        self.gauges
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
             .collect()
     }
 

@@ -46,23 +46,16 @@ impl HistogramSnapshot {
 
     /// Approximate quantile from the bucket midpoints (`NaN` when empty).
     /// Accuracy is bounded by the log-linear bucket width (~11%).
+    /// Delegates to the shared [`crate::histogram::quantile_over`]
+    /// kernel, so snapshot and live-handle quantiles always agree.
     pub fn quantile(&self, q: f64) -> f64 {
-        if self.count == 0 {
-            return f64::NAN;
-        }
-        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for &(lo, hi, c) in &self.buckets {
-            seen += c;
-            if seen >= rank {
-                // Midpoint of the bucket, clamped to observed extremes and
-                // with open-ended buckets collapsed onto them.
-                let lo = if lo.is_finite() { lo } else { self.min };
-                let hi = if hi.is_finite() { hi } else { self.max };
-                return (0.5 * (lo + hi)).clamp(self.min, self.max);
-            }
-        }
-        self.max
+        crate::histogram::quantile_over(
+            self.count,
+            self.buckets.iter().copied(),
+            q,
+            self.min,
+            self.max,
+        )
     }
 }
 
@@ -71,6 +64,8 @@ impl HistogramSnapshot {
 pub struct Snapshot {
     /// Counter values by name.
     pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
     /// Span timings by `/`-joined path.
     pub spans: BTreeMap<String, SpanSnapshot>,
     /// Histograms by name.
@@ -80,6 +75,7 @@ pub struct Snapshot {
 impl Snapshot {
     pub(crate) fn capture(reg: &Registry) -> Snapshot {
         let counters = reg.counters_map().into_iter().collect();
+        let gauges = reg.gauges_map().into_iter().collect();
         let spans = reg
             .spans
             .read()
@@ -136,6 +132,7 @@ impl Snapshot {
             .collect();
         Snapshot {
             counters,
+            gauges,
             spans,
             histograms,
         }
@@ -147,6 +144,10 @@ impl Snapshot {
         let mut out = String::from("{\n  \"counters\": {");
         push_entries(&mut out, self.counters.iter(), |out, (name, v)| {
             let _ = write!(out, "{}: {v}", json_str(name));
+        });
+        out.push_str("},\n  \"gauges\": {");
+        push_entries(&mut out, self.gauges.iter(), |out, (name, v)| {
+            let _ = write!(out, "{}: {}", json_str(name), json_f64(*v));
         });
         out.push_str("},\n  \"spans\": {");
         push_entries(&mut out, self.spans.iter(), |out, (path, s)| {
@@ -222,6 +223,12 @@ impl Snapshot {
         for (name, v) in &self.counters {
             let _ = writeln!(out, "  {name:<44} {v}");
         }
+        if !self.gauges.is_empty() {
+            out.push_str("\ngauges:\n");
+            for (name, v) in &self.gauges {
+                let _ = writeln!(out, "  {name:<44} {v}");
+            }
+        }
         out.push_str("\nhistograms (count, mean, p50, p90, p99, max):\n");
         for (name, h) in &self.histograms {
             let _ = writeln!(
@@ -236,6 +243,75 @@ impl Snapshot {
             );
         }
         out
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4), the `/metrics.txt` payload of the live ops
+    /// surface. Metric names are sanitized to `[a-zA-Z0-9_:]` (every
+    /// other byte becomes `_`); counters keep their monotone semantics,
+    /// gauges export verbatim, histograms export as summaries
+    /// (`{quantile="…"}` series plus `_sum`/`_count`), and span paths
+    /// export their cumulative seconds and execution counts.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} counter\n{n} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} gauge\n{n} {}", prom_f64(*v));
+        }
+        for (name, h) in &self.histograms {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} summary");
+            for (label, q) in [("0.5", 0.5), ("0.95", 0.95), ("0.99", 0.99)] {
+                let _ = writeln!(
+                    out,
+                    "{n}{{quantile=\"{label}\"}} {}",
+                    prom_f64(h.quantile(q))
+                );
+            }
+            let _ = writeln!(out, "{n}_sum {}", prom_f64(h.sum));
+            let _ = writeln!(out, "{n}_count {}", h.count);
+        }
+        for (path, s) in &self.spans {
+            let n = prom_name(path);
+            let _ = writeln!(
+                out,
+                "# TYPE {n}_seconds_total counter\n{n}_seconds_total {}",
+                prom_f64(s.total_secs)
+            );
+            let _ = writeln!(out, "# TYPE {n}_count counter\n{n}_count {}", s.count);
+        }
+        out
+    }
+}
+
+/// Sanitizes a metric name into the Prometheus charset: `[a-zA-Z0-9_:]`
+/// with a leading `_` when the first byte is a digit.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if ok { c } else { '_' });
+    }
+    out
+}
+
+/// Prometheus floats: `NaN`/`+Inf`/`-Inf` are legal literals there.
+fn prom_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
     }
 }
 
@@ -378,6 +454,57 @@ mod tests {
             .get("spans")
             .and_then(|s| s.get("snap_nasty_span"))
             .is_some());
+    }
+
+    #[test]
+    fn gauges_snapshot_and_serialize() {
+        let _g = crate::test_guard();
+        crate::reset();
+        let g = crate::gauge("snap.test.gauge");
+        g.set(4.5);
+        g.add(-1.5);
+        let snap = crate::snapshot();
+        assert_eq!(snap.gauges["snap.test.gauge"], 3.0);
+        let json = snap.to_json();
+        assert!(json.contains("\"gauges\""));
+        assert!(json.contains("\"snap.test.gauge\": 3"));
+        assert!(crate::json::parse(&json).is_ok(), "{json}");
+        assert!(snap.to_text().contains("snap.test.gauge"));
+        // Reset zeroes gauges like every other metric.
+        crate::reset();
+        assert_eq!(crate::snapshot().gauges["snap.test.gauge"], 0.0);
+    }
+
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let _g = crate::test_guard();
+        crate::reset();
+        crate::counter("prom.test.counter with spaces").add(2);
+        crate::gauge("prom.test.gauge").set(1.25);
+        let h = crate::histogram("prom.test.hist");
+        h.record(0.5);
+        h.record(2.0);
+        {
+            let _s = crate::span("prom_test_span");
+        }
+        let text = crate::snapshot().to_prometheus();
+        assert!(text.contains("# TYPE prom_test_counter_with_spaces counter"));
+        assert!(text.contains("prom_test_counter_with_spaces 2"));
+        assert!(text.contains("# TYPE prom_test_gauge gauge"));
+        assert!(text.contains("prom_test_gauge 1.25"));
+        assert!(text.contains("prom_test_hist{quantile=\"0.5\"}"));
+        assert!(text.contains("prom_test_hist_count 2"));
+        assert!(text.contains("prom_test_span_seconds_total"));
+        // Every non-comment line is `name[{labels}] value` with a
+        // parseable value.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name, value) = line.rsplit_once(' ').expect(line);
+            assert!(!name.is_empty(), "{line}");
+            assert!(
+                value.parse::<f64>().is_ok() || ["NaN", "+Inf", "-Inf"].contains(&value),
+                "{line}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,656 @@
+//! Rolling time-series over the metric registry.
+//!
+//! Aggregate counters answer *how much since process start*; an
+//! operator watching a live exchange needs *how much per second, right
+//! now* and *what the latency percentiles looked like over the last
+//! minute*. This module is that layer: a [`TimeSeries`] store samples
+//! the global registry on a fixed interval (a background thread via
+//! [`TimeSeries::start`], or an explicit [`TimeSeries::sample_now`] for
+//! deterministic tests) into fixed-capacity ring buffers:
+//!
+//! * **Counters** store per-tick *rates* (`Δvalue / interval`).
+//! * **Gauges** store the sampled level.
+//! * **Histograms** store a full cumulative bucket image per tick, so a
+//!   *window* quantile is exact at bucket resolution: the quantile of
+//!   `buckets(now) − buckets(now − w)` — a true rolling percentile, not
+//!   a since-startup one.
+//!
+//! The sampling path is allocation-free in steady state: every ring is
+//! preallocated at series creation (the first tick that sees a new
+//! metric name allocates its ring once), a tick is one registry walk
+//! under read locks plus ring writes. Memory is bounded by
+//! `capacity × (8 B per counter/gauge + ~1.4 KiB per histogram)`; the
+//! default (240 ticks at 1 s) keeps a 4-minute window at well under a
+//! megabyte for this workspace's metric population.
+//!
+//! ```
+//! let ts = std::sync::Arc::new(mfcp_obs::TimeSeries::new(
+//!     mfcp_obs::TimeSeriesConfig::default(),
+//! ));
+//! mfcp_obs::counter("ts.doc.events").add(10);
+//! ts.sample_now();
+//! mfcp_obs::counter("ts.doc.events").add(30);
+//! ts.sample_now();
+//! let rate = ts.rolling_rate("ts.doc.events", 1);
+//! assert!(rate > 0.0);
+//! ```
+
+use crate::histogram::{bucket_bounds, quantile_over, BUCKETS};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning for one [`TimeSeries`] store.
+#[derive(Debug, Clone)]
+pub struct TimeSeriesConfig {
+    /// Sampling interval of the background thread (and the Δt used to
+    /// convert counter deltas into rates).
+    pub interval: Duration,
+    /// Ring capacity in ticks; the rolling window can reach back at
+    /// most this far. Clamped to at least 2.
+    pub capacity: usize,
+}
+
+impl Default for TimeSeriesConfig {
+    fn default() -> Self {
+        TimeSeriesConfig {
+            interval: Duration::from_secs(1),
+            capacity: 240,
+        }
+    }
+}
+
+/// Fixed-capacity overwrite-oldest ring of `f64` points.
+struct RingF64 {
+    buf: Vec<f64>,
+    /// Next write slot.
+    head: usize,
+    len: usize,
+}
+
+impl RingF64 {
+    fn new(cap: usize) -> Self {
+        RingF64 {
+            buf: vec![0.0; cap],
+            head: 0,
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, v: f64) {
+        let cap = self.buf.len();
+        self.buf[self.head] = v;
+        self.head = (self.head + 1) % cap;
+        self.len = (self.len + 1).min(cap);
+    }
+
+    /// Last `n` points, oldest first, into `out` (cleared first).
+    fn window(&self, n: usize, out: &mut Vec<f64>) {
+        out.clear();
+        let n = n.min(self.len);
+        let cap = self.buf.len();
+        for k in 0..n {
+            out.push(self.buf[(self.head + cap - n + k) % cap]);
+        }
+    }
+}
+
+struct CounterSeries {
+    prev: u64,
+    rates: RingF64,
+}
+
+/// Ring of cumulative bucket images; one flat allocation of
+/// `cap × BUCKETS` slots plus per-tick count/min/max columns.
+struct HistSeries {
+    buckets: Vec<u64>,
+    counts: Vec<u64>,
+    mins: Vec<f64>,
+    maxs: Vec<f64>,
+    head: usize,
+    len: usize,
+    /// Scratch reused by [`Self::push_current`] so sampling allocates
+    /// nothing.
+    scratch: [u64; BUCKETS],
+}
+
+impl HistSeries {
+    fn new(cap: usize) -> Self {
+        HistSeries {
+            buckets: vec![0; cap * BUCKETS],
+            counts: vec![0; cap],
+            mins: vec![f64::NAN; cap],
+            maxs: vec![f64::NAN; cap],
+            head: 0,
+            len: 0,
+            scratch: [0; BUCKETS],
+        }
+    }
+
+    fn cap(&self) -> usize {
+        self.counts.len()
+    }
+
+    fn push_current(&mut self, h: &crate::Histogram) {
+        let (count, min, max) = h.copy_buckets(&mut self.scratch);
+        let slot = self.head;
+        self.buckets[slot * BUCKETS..(slot + 1) * BUCKETS].copy_from_slice(&self.scratch);
+        self.counts[slot] = count;
+        self.mins[slot] = min;
+        self.maxs[slot] = max;
+        self.head = (self.head + 1) % self.cap();
+        self.len = (self.len + 1).min(self.cap());
+    }
+
+    /// Physical slot of the `k`-th most recent tick (`k = 0` is the
+    /// latest); `None` when the ring holds fewer than `k + 1` ticks.
+    fn slot_back(&self, k: usize) -> Option<usize> {
+        if k >= self.len {
+            return None;
+        }
+        let cap = self.cap();
+        Some((self.head + cap - 1 - k) % cap)
+    }
+
+    /// Quantile of the observations recorded during the last `window`
+    /// ticks: rank-select over `buckets(latest) − buckets(latest − w)`.
+    fn window_quantile(&self, window: usize, q: f64) -> f64 {
+        let Some(now) = self.slot_back(0) else {
+            return f64::NAN;
+        };
+        let base = self.slot_back(window.max(1).min(self.len - 1));
+        let now_off = now * BUCKETS;
+        let (min, max) = (self.mins[now], self.maxs[now]);
+        match base {
+            Some(b) => {
+                let b_off = b * BUCKETS;
+                let total: u64 = (0..BUCKETS)
+                    .map(|i| self.buckets[now_off + i].saturating_sub(self.buckets[b_off + i]))
+                    .sum();
+                quantile_over(
+                    total,
+                    (0..BUCKETS).map(|i| {
+                        let (lo, hi) = bucket_bounds(i);
+                        let c = self.buckets[now_off + i].saturating_sub(self.buckets[b_off + i]);
+                        (lo, hi, c)
+                    }),
+                    q,
+                    min,
+                    max,
+                )
+            }
+            // Only one tick in the ring: the window is everything.
+            None => quantile_over(
+                self.counts[now],
+                (0..BUCKETS).map(|i| {
+                    let (lo, hi) = bucket_bounds(i);
+                    (lo, hi, self.buckets[now_off + i])
+                }),
+                q,
+                min,
+                max,
+            ),
+        }
+    }
+}
+
+struct SeriesStore {
+    ticks: u64,
+    counters: HashMap<String, CounterSeries>,
+    gauges: HashMap<String, RingF64>,
+    hists: HashMap<String, HistSeries>,
+}
+
+/// The rolling time-series store. Shared behind an `Arc` between the
+/// sampler thread, the HTTP server, and whoever wants window reads.
+pub struct TimeSeries {
+    store: Mutex<SeriesStore>,
+    interval: Duration,
+    capacity: usize,
+}
+
+impl TimeSeries {
+    /// An empty store; nothing is recorded until [`Self::sample_now`]
+    /// runs (directly or from the [`Self::start`] thread).
+    pub fn new(cfg: TimeSeriesConfig) -> Self {
+        TimeSeries {
+            store: Mutex::new(SeriesStore {
+                ticks: 0,
+                counters: HashMap::new(),
+                gauges: HashMap::new(),
+                hists: HashMap::new(),
+            }),
+            interval: cfg.interval.max(Duration::from_millis(1)),
+            capacity: cfg.capacity.max(2),
+        }
+    }
+
+    /// The configured sampling interval.
+    pub fn interval(&self) -> Duration {
+        self.interval
+    }
+
+    /// Ticks sampled so far.
+    pub fn ticks(&self) -> u64 {
+        self.store.lock().unwrap_or_else(|e| e.into_inner()).ticks
+    }
+
+    /// Takes one sample of the global registry. The background thread
+    /// calls this on its interval; tests call it directly for
+    /// deterministic tick control.
+    pub fn sample_now(&self) {
+        let mut store = self.store.lock().unwrap_or_else(|e| e.into_inner());
+        let store = &mut *store;
+        let dt = self.interval.as_secs_f64();
+        let cap = self.capacity;
+        crate::global().visit_counters(|name, v| {
+            match store.counters.get_mut(name) {
+                Some(s) => {
+                    s.rates.push(v.saturating_sub(s.prev) as f64 / dt);
+                    s.prev = v;
+                }
+                None => {
+                    // First sight of this counter: its ring starts at the
+                    // next tick (there is no previous value to rate
+                    // against). The one-time insert is the only
+                    // allocation this path ever performs.
+                    store.counters.insert(
+                        name.to_string(),
+                        CounterSeries {
+                            prev: v,
+                            rates: RingF64::new(cap),
+                        },
+                    );
+                }
+            }
+        });
+        crate::global().visit_gauges(|name, v| match store.gauges.get_mut(name) {
+            Some(ring) => ring.push(v),
+            None => {
+                let mut ring = RingF64::new(cap);
+                ring.push(v);
+                store.gauges.insert(name.to_string(), ring);
+            }
+        });
+        crate::global().visit_histograms(|name, h| {
+            match store.hists.get_mut(name) {
+                Some(s) => s.push_current(h),
+                None => {
+                    let mut s = HistSeries::new(cap);
+                    s.push_current(h);
+                    store.hists.insert(name.to_string(), s);
+                }
+            };
+        });
+        store.ticks += 1;
+    }
+
+    /// Mean per-second rate of counter `name` over the last `window`
+    /// ticks (`NaN` when the counter has fewer than one sampled rate).
+    pub fn rolling_rate(&self, name: &str, window: usize) -> f64 {
+        let store = self.store.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(s) = store.counters.get(name) else {
+            return f64::NAN;
+        };
+        let mut pts = Vec::new();
+        s.rates.window(window.max(1), &mut pts);
+        if pts.is_empty() {
+            return f64::NAN;
+        }
+        pts.iter().sum::<f64>() / pts.len() as f64
+    }
+
+    /// Latest sampled value of gauge `name` (`NaN` when never sampled).
+    pub fn latest_gauge(&self, name: &str) -> f64 {
+        let store = self.store.lock().unwrap_or_else(|e| e.into_inner());
+        let mut pts = Vec::new();
+        if let Some(ring) = store.gauges.get(name) {
+            ring.window(1, &mut pts);
+        }
+        pts.pop().unwrap_or(f64::NAN)
+    }
+
+    /// Rolling quantile of histogram `name` over the last `window`
+    /// ticks — the quantile of exactly the observations recorded inside
+    /// the window, at bucket resolution (`NaN` when unsampled or the
+    /// window recorded nothing).
+    pub fn rolling_quantile(&self, name: &str, window: usize, q: f64) -> f64 {
+        let store = self.store.lock().unwrap_or_else(|e| e.into_inner());
+        store
+            .hists
+            .get(name)
+            .map_or(f64::NAN, |s| s.window_quantile(window, q))
+    }
+
+    /// Serializes the last `window` ticks of every series as JSON:
+    /// `{"interval_secs": …, "ticks": …, "counters": {name: [rate, …]},
+    /// "gauges": {…}, "histograms": {name: {"p50": [...], "p95": [...],
+    /// "p99": [...]}}}`. Histogram points are per-tick quantiles (each
+    /// tick's window of 1), which is what a sparkline wants.
+    pub fn window_json(&self, window: usize) -> String {
+        let store = self.store.lock().unwrap_or_else(|e| e.into_inner());
+        let window = window.max(1);
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"interval_secs\": {}, \"ticks\": {}, \"capacity\": {}",
+            crate::json::number(self.interval.as_secs_f64()),
+            store.ticks,
+            self.capacity
+        );
+        out.push_str(", \"counters\": {");
+        let mut names: Vec<&String> = store.counters.keys().collect();
+        names.sort();
+        let mut pts = Vec::new();
+        for (i, name) in names.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            store.counters[*name].rates.window(window, &mut pts);
+            let _ = write!(out, "{}: ", crate::json::escape(name));
+            push_points(&mut out, &pts);
+        }
+        out.push_str("}, \"gauges\": {");
+        let mut names: Vec<&String> = store.gauges.keys().collect();
+        names.sort();
+        for (i, name) in names.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            store.gauges[*name].window(window, &mut pts);
+            let _ = write!(out, "{}: ", crate::json::escape(name));
+            push_points(&mut out, &pts);
+        }
+        out.push_str("}, \"histograms\": {");
+        let mut names: Vec<&String> = store.hists.keys().collect();
+        names.sort();
+        for (i, name) in names.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let s = &store.hists[*name];
+            let n = window.min(s.len);
+            let _ = write!(out, "{}: {{", crate::json::escape(name));
+            for (j, (label, q)) in [("p50", 0.5), ("p95", 0.95), ("p99", 0.99)]
+                .iter()
+                .enumerate()
+            {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                // Per-tick quantiles: quantile of the observations that
+                // arrived in each single tick, oldest first.
+                pts.clear();
+                for k in (0..n).rev() {
+                    // Window of 1 ending k ticks back == diff between
+                    // consecutive images; recompute via window_quantile
+                    // on a shifted view is not directly expressible, so
+                    // diff adjacent slots here.
+                    pts.push(s.tick_quantile(k, *q));
+                }
+                let _ = write!(out, "\"{label}\": ");
+                push_points(&mut out, &pts);
+            }
+            out.push('}');
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Spawns the background sampler thread. The handle stops and joins
+    /// the thread when dropped (or on [`SamplerHandle::stop`]).
+    pub fn start(self: &Arc<Self>) -> SamplerHandle {
+        let series = Arc::clone(self);
+        let shared = Arc::new(StopSignal {
+            stopped: AtomicBool::new(false),
+            mutex: Mutex::new(()),
+            cond: Condvar::new(),
+        });
+        let signal = Arc::clone(&shared);
+        let thread = std::thread::Builder::new()
+            .name("mfcp-obs-sampler".into())
+            .spawn(move || loop {
+                series.sample_now();
+                let guard = signal.mutex.lock().unwrap_or_else(|e| e.into_inner());
+                let (_guard, _timeout) = signal
+                    .cond
+                    .wait_timeout(guard, series.interval)
+                    .unwrap_or_else(|e| e.into_inner());
+                if signal.stopped.load(Ordering::Acquire) {
+                    return;
+                }
+            })
+            .expect("spawn sampler thread");
+        SamplerHandle {
+            signal: shared,
+            thread: Some(thread),
+        }
+    }
+}
+
+impl HistSeries {
+    /// Quantile of the observations recorded during the single tick `k`
+    /// steps back from the latest (0 = latest tick).
+    fn tick_quantile(&self, k: usize, q: f64) -> f64 {
+        let Some(now) = self.slot_back(k) else {
+            return f64::NAN;
+        };
+        let now_off = now * BUCKETS;
+        let (min, max) = (self.mins[now], self.maxs[now]);
+        match self.slot_back(k + 1) {
+            Some(prev) => {
+                let p_off = prev * BUCKETS;
+                let total: u64 = (0..BUCKETS)
+                    .map(|i| self.buckets[now_off + i].saturating_sub(self.buckets[p_off + i]))
+                    .sum();
+                quantile_over(
+                    total,
+                    (0..BUCKETS).map(|i| {
+                        let (lo, hi) = bucket_bounds(i);
+                        let c = self.buckets[now_off + i].saturating_sub(self.buckets[p_off + i]);
+                        (lo, hi, c)
+                    }),
+                    q,
+                    min,
+                    max,
+                )
+            }
+            None => quantile_over(
+                self.counts[now],
+                (0..BUCKETS).map(|i| {
+                    let (lo, hi) = bucket_bounds(i);
+                    (lo, hi, self.buckets[now_off + i])
+                }),
+                q,
+                min,
+                max,
+            ),
+        }
+    }
+}
+
+fn push_points(out: &mut String, pts: &[f64]) {
+    out.push('[');
+    for (i, p) in pts.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        if p.is_finite() {
+            let _ = write!(out, "{p}");
+        } else {
+            out.push_str("null");
+        }
+    }
+    out.push(']');
+}
+
+struct StopSignal {
+    stopped: AtomicBool,
+    mutex: Mutex<()>,
+    cond: Condvar,
+}
+
+/// Owns the background sampler thread; dropping it stops sampling and
+/// joins the thread (shutdown is bounded by one condvar wake).
+pub struct SamplerHandle {
+    signal: Arc<StopSignal>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl SamplerHandle {
+    /// Stops the sampler and joins its thread. Idempotent.
+    pub fn stop(&mut self) {
+        self.signal.stopped.store(true, Ordering::Release);
+        let _guard = self.signal.mutex.lock().unwrap_or_else(|e| e.into_inner());
+        self.signal.cond.notify_all();
+        drop(_guard);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for SamplerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(capacity: usize) -> TimeSeriesConfig {
+        TimeSeriesConfig {
+            interval: Duration::from_secs(1),
+            capacity,
+        }
+    }
+
+    #[test]
+    fn counter_rates_and_gauge_levels() {
+        let _g = crate::test_guard();
+        crate::reset();
+        let ts = TimeSeries::new(cfg(8));
+        let c = crate::counter("ts.test.rate");
+        let g = crate::gauge("ts.test.level");
+        c.add(5);
+        g.set(2.0);
+        ts.sample_now(); // first sight: establishes the counter baseline
+        c.add(10);
+        g.set(7.0);
+        ts.sample_now();
+        assert_eq!(ts.rolling_rate("ts.test.rate", 1), 10.0);
+        assert_eq!(ts.latest_gauge("ts.test.level"), 7.0);
+        c.add(2);
+        ts.sample_now();
+        // Mean of the last two per-tick rates: (10 + 2) / 2.
+        assert_eq!(ts.rolling_rate("ts.test.rate", 2), 6.0);
+        assert!(ts.rolling_rate("ts.test.missing", 4).is_nan());
+        assert_eq!(ts.ticks(), 3);
+    }
+
+    #[test]
+    fn rolling_quantiles_are_window_local() {
+        let _g = crate::test_guard();
+        crate::reset();
+        let ts = TimeSeries::new(cfg(16));
+        let h = crate::histogram("ts.test.lat");
+        // Tick 1: fast regime.
+        for _ in 0..100 {
+            h.record(0.001);
+        }
+        ts.sample_now();
+        // Ticks 2-3: slow regime, fewer observations than the fast
+        // burst so the *cumulative* median stays in the fast bucket.
+        for _ in 0..50 {
+            h.record(1.0);
+        }
+        ts.sample_now();
+        for _ in 0..50 {
+            h.record(1.0);
+        }
+        ts.sample_now();
+        // A 2-tick window sees only the slow regime; the cumulative
+        // histogram would put p50 somewhere between the regimes.
+        let rolling_p50 = ts.rolling_quantile("ts.test.lat", 2, 0.5);
+        assert!(
+            rolling_p50 >= 0.9,
+            "rolling p50 should see only the slow window, got {rolling_p50}"
+        );
+        let cumulative_p50 = h.quantile(0.5);
+        assert!(cumulative_p50 < rolling_p50);
+        // A window wider than history degrades to everything sampled.
+        let wide = ts.rolling_quantile("ts.test.lat", 64, 0.5);
+        assert!(wide.is_finite());
+    }
+
+    #[test]
+    fn rings_overwrite_oldest_at_capacity() {
+        let _g = crate::test_guard();
+        crate::reset();
+        let ts = TimeSeries::new(cfg(2));
+        let c = crate::counter("ts.test.capped");
+        for i in 0..10u64 {
+            c.add(i);
+            ts.sample_now();
+        }
+        // Ring holds the last 2 rates: 8 and 9; asking for more returns
+        // what exists.
+        assert_eq!(ts.rolling_rate("ts.test.capped", 2), 8.5);
+        assert_eq!(ts.rolling_rate("ts.test.capped", 100), 8.5);
+        assert_eq!(ts.ticks(), 10);
+    }
+
+    #[test]
+    fn window_json_parses_and_contains_series() {
+        let _g = crate::test_guard();
+        crate::reset();
+        let ts = TimeSeries::new(cfg(8));
+        crate::counter("ts.test.json.c").add(3);
+        crate::gauge("ts.test.json.g").set(1.5);
+        crate::histogram("ts.test.json.h").record(0.25);
+        ts.sample_now();
+        crate::counter("ts.test.json.c").add(4);
+        ts.sample_now();
+        let json = ts.window_json(8);
+        let doc = crate::json::parse(&json).unwrap_or_else(|e| panic!("{e}\n{json}"));
+        assert!(doc
+            .get("counters")
+            .and_then(|c| c.get("ts.test.json.c"))
+            .is_some());
+        assert!(doc
+            .get("gauges")
+            .and_then(|c| c.get("ts.test.json.g"))
+            .is_some());
+        assert!(doc
+            .get("histograms")
+            .and_then(|c| c.get("ts.test.json.h"))
+            .and_then(|h| h.get("p50"))
+            .is_some());
+    }
+
+    #[test]
+    fn sampler_thread_ticks_and_stops() {
+        let _g = crate::test_guard();
+        crate::reset();
+        let ts = Arc::new(TimeSeries::new(TimeSeriesConfig {
+            interval: Duration::from_millis(5),
+            capacity: 64,
+        }));
+        let mut handle = ts.start();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while ts.ticks() < 3 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(ts.ticks() >= 3, "sampler thread should tick");
+        handle.stop();
+        let after = ts.ticks();
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(ts.ticks(), after, "no ticks after stop");
+        handle.stop(); // idempotent
+    }
+}

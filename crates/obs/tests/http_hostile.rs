@@ -1,0 +1,141 @@
+//! Hostile-input coverage for the ops HTTP server: the parser and the
+//! socket loop must degrade to clean error responses — never a panic,
+//! never an unbounded buffer — when the peer is broken or adversarial.
+
+use mfcp_obs::http::{parse_request, HttpConfig, ObsServer, ParseOutcome, Request};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+fn start_server(read_timeout: Duration) -> ObsServer {
+    ObsServer::start(
+        HttpConfig {
+            addr: "127.0.0.1:0".into(),
+            read_timeout,
+            max_request_bytes: 1024,
+        },
+        None,
+    )
+    .expect("bind ephemeral port")
+}
+
+fn raw_exchange(addr: SocketAddr, bytes: &[u8]) -> String {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.write_all(bytes).expect("write");
+    let _ = s.set_read_timeout(Some(Duration::from_secs(10)));
+    let mut out = String::new();
+    let _ = s.read_to_string(&mut out);
+    out
+}
+
+#[test]
+fn hostile_request_lines_get_400_not_panic() {
+    let server = start_server(Duration::from_secs(2));
+    let addr = server.local_addr();
+    for bytes in [
+        &b"\x00\x01\x02\x03\r\n\r\n"[..],
+        b"GET\r\n\r\n",
+        b"GET / SPDY/9\r\n\r\n",
+        b"DELETE\t/ HTTP/1.1\r\n\r\n",
+        b"GET http://evil.example/ HTTP/1.1\r\n\r\n",
+        b"G\xffT / HTTP/1.1\r\n\r\n",
+        b"GET / HTTP/1.1\n\n",
+    ] {
+        let reply = raw_exchange(addr, bytes);
+        assert!(
+            reply.starts_with("HTTP/1.1 400"),
+            "expected 400 for {bytes:?}, got {reply:?}"
+        );
+    }
+    // The server is still alive and serving afterwards.
+    let ok = raw_exchange(addr, b"GET /healthz HTTP/1.1\r\n\r\n");
+    assert!(ok.starts_with("HTTP/1.1 200"), "{ok}");
+}
+
+#[test]
+fn oversized_request_gets_413() {
+    let server = start_server(Duration::from_secs(2));
+    let addr = server.local_addr();
+    let mut huge = b"GET /".to_vec();
+    huge.extend(std::iter::repeat_n(b'a', 4096));
+    huge.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+    let reply = raw_exchange(addr, &huge);
+    assert!(reply.starts_with("HTTP/1.1 413"), "{reply}");
+}
+
+#[test]
+fn slow_loris_hits_read_deadline_with_408() {
+    let server = start_server(Duration::from_millis(150));
+    let addr = server.local_addr();
+    let mut s = TcpStream::connect(addr).expect("connect");
+    // A valid prefix that never completes: the server must not wait
+    // forever for the header block terminator.
+    s.write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n")
+        .expect("write partial");
+    let _ = s.set_read_timeout(Some(Duration::from_secs(10)));
+    let started = std::time::Instant::now();
+    let mut out = String::new();
+    let _ = s.read_to_string(&mut out);
+    assert!(
+        out.starts_with("HTTP/1.1 408"),
+        "expected 408 on slow-loris, got {out:?}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "deadline must bound the wait"
+    );
+}
+
+#[test]
+fn partial_close_and_unknown_paths_are_handled() {
+    let server = start_server(Duration::from_secs(2));
+    let addr = server.local_addr();
+    // Peer sends a fragment and closes: no response owed, no panic.
+    {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(b"GET /par").expect("write");
+    }
+    // Unknown path 404s without killing the loop.
+    let reply = raw_exchange(addr, b"GET /definitely/not/a/route HTTP/1.1\r\n\r\n");
+    assert!(reply.starts_with("HTTP/1.1 404"), "{reply}");
+    let ok = raw_exchange(addr, b"GET /healthz HTTP/1.1\r\n\r\n");
+    assert!(ok.starts_with("HTTP/1.1 200"), "{ok}");
+}
+
+#[test]
+fn parser_never_panics_on_byte_noise() {
+    // Deterministic pseudo-random byte soup (no RNG dependency): every
+    // outcome is acceptable except a panic.
+    let mut state = 0x9e3779b97f4a7c15u64;
+    for len in 0..200usize {
+        let mut buf = Vec::with_capacity(len);
+        for _ in 0..len {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            buf.push((state >> 33) as u8);
+        }
+        let _ = parse_request(&buf, 128);
+    }
+    // And on every prefix of a valid request, the outcome is Partial,
+    // Malformed, or the final Complete — monotone, no panic.
+    let valid = b"GET /metrics?window=5 HTTP/1.1\r\nHost: h\r\nAccept: */*\r\n\r\n";
+    for cut in 0..=valid.len() {
+        let outcome = parse_request(&valid[..cut], 8192);
+        if cut == valid.len() {
+            assert_eq!(
+                outcome,
+                ParseOutcome::Complete(Request {
+                    method: "GET".into(),
+                    path: "/metrics".into(),
+                    query: Some("window=5".into()),
+                })
+            );
+        } else {
+            assert!(
+                matches!(outcome, ParseOutcome::Partial | ParseOutcome::Complete(_)),
+                "prefix of a valid request must not be Malformed at cut {cut}: {outcome:?}"
+            );
+        }
+    }
+}

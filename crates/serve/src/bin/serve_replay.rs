@@ -12,8 +12,13 @@
 //! ```text
 //! serve_replay [--seed N] [--duration SECS] [--interarrival SECS]
 //!              [--service SECS] [--kills N] [--deadline-ms N]
-//!              [--dir PATH] [--out PATH]
+//!              [--dir PATH] [--out PATH] [--metrics-addr HOST:PORT]
 //! ```
+//!
+//! `--metrics-addr` starts the live ops surface (`mfcp_obs::http`) on
+//! the daemon for the duration of the run — CI curls `/healthz`,
+//! `/metrics`, and `/slo` against a backgrounded replay as its ops
+//! smoke test.
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -21,9 +26,7 @@ use std::time::Duration;
 
 use mfcp_platform::prelude::{ClusterPool, Setting};
 use mfcp_platform::stream::{generate_trace, TraceConfig};
-use mfcp_serve::{
-    replay, replay_with_kills, DaemonConfig, ExchangeDaemon, MatrixSource, ReplayOutcome,
-};
+use mfcp_serve::{replay_with_kills, DaemonConfig, ExchangeDaemon, MatrixSource, ReplayOutcome};
 
 struct Args {
     seed: u64,
@@ -34,6 +37,7 @@ struct Args {
     deadline_ms: Option<u64>,
     dir: Option<PathBuf>,
     out: Option<PathBuf>,
+    metrics_addr: Option<String>,
 }
 
 impl Default for Args {
@@ -47,6 +51,7 @@ impl Default for Args {
             deadline_ms: None,
             dir: None,
             out: None,
+            metrics_addr: None,
         }
     }
 }
@@ -82,10 +87,12 @@ fn parse_args() -> Result<Args, String> {
             }
             "--dir" => args.dir = Some(PathBuf::from(value("--dir")?)),
             "--out" => args.out = Some(PathBuf::from(value("--out")?)),
+            "--metrics-addr" => args.metrics_addr = Some(value("--metrics-addr")?),
             "--help" | "-h" => {
                 println!(
                     "serve_replay [--seed N] [--duration SECS] [--interarrival SECS] \
-                     [--service SECS] [--kills N] [--deadline-ms N] [--dir PATH] [--out PATH]"
+                     [--service SECS] [--kills N] [--deadline-ms N] [--dir PATH] [--out PATH] \
+                     [--metrics-addr HOST:PORT]"
                 );
                 std::process::exit(0);
             }
@@ -97,6 +104,16 @@ fn parse_args() -> Result<Args, String> {
 
 fn source() -> MatrixSource {
     MatrixSource::GroundTruth(ClusterPool::standard().setting(Setting::A))
+}
+
+/// Empty histograms quantile to NaN; the JSON artifact stays strict by
+/// writing `null` instead.
+fn num_or_null(v: f64) -> String {
+    if v.is_finite() {
+        mfcp_obs::json::number(v)
+    } else {
+        "null".to_string()
+    }
 }
 
 fn bits(outcome: &ReplayOutcome) -> Option<(Vec<u64>, u64, Vec<u64>)> {
@@ -127,6 +144,7 @@ fn main() {
     });
     let config = DaemonConfig {
         deadline: args.deadline_ms.map(Duration::from_millis),
+        metrics_addr: args.metrics_addr.clone(),
         ..DaemonConfig::default()
     };
     println!(
@@ -139,9 +157,32 @@ fn main() {
     mfcp_obs::reset();
     let started = std::time::Instant::now();
     let mut daemon = ExchangeDaemon::new(config.clone(), source());
-    let straight = replay(&mut daemon, &trace);
+    if let Some(addr) = daemon.ops_addr() {
+        println!("ops surface: http://{addr}/dashboard");
+    }
+    // A bin-local rolling window sampled on event strides (deterministic
+    // per trace, unlike the daemon's wall-clock sampler): ~256 ticks per
+    // run, so the 60-tick rolling window covers the tail of the run.
+    let series = mfcp_obs::TimeSeries::new(mfcp_obs::TimeSeriesConfig::default());
+    let stride = (trace.len() / 256).max(1);
+    for (i, event) in trace.iter().enumerate() {
+        daemon.apply(&event.event);
+        if (i + 1) % stride == 0 {
+            series.sample_now();
+        }
+    }
+    daemon.finish();
+    series.sample_now();
+    let straight = ReplayOutcome {
+        events: daemon.cursor(),
+        last: daemon.last_solution().cloned(),
+        counters: daemon.counters(),
+    };
     let wall = started.elapsed().as_secs_f64();
     let metrics = mfcp_obs::snapshot();
+    const ROLLING_WINDOW: usize = 60;
+    let rolling_p50 = series.rolling_quantile("serve.match_latency_secs", ROLLING_WINDOW, 0.50);
+    let rolling_p95 = series.rolling_quantile("serve.match_latency_secs", ROLLING_WINDOW, 0.95);
 
     let c = straight.counters;
     let shed_rate = if c.admitted + c.shed > 0 {
@@ -162,12 +203,13 @@ fn main() {
         c.deadline_miss,
         c.max_pending_seen,
     );
-    let (p50, p99) = metrics
+    let (p50, p95, p99) = metrics
         .histograms
         .get("serve.match_latency_secs")
-        .map(|h| (h.quantile(0.50), h.quantile(0.99)))
-        .unwrap_or((f64::NAN, f64::NAN));
-    println!("match latency: p50 {p50:.6}s p99 {p99:.6}s");
+        .map(|h| (h.quantile(0.50), h.quantile(0.95), h.quantile(0.99)))
+        .unwrap_or((f64::NAN, f64::NAN, f64::NAN));
+    println!("match latency: p50 {p50:.6}s p95 {p95:.6}s p99 {p99:.6}s");
+    println!("rolling (last {ROLLING_WINDOW} ticks): p50 {rolling_p50:.6}s p95 {rolling_p95:.6}s");
 
     let mut failed = false;
     if args.kills > 0 {
@@ -220,15 +262,19 @@ fn main() {
         let _ = writeln!(json, "  \"deadline_miss\": {},", c.deadline_miss);
         let _ = writeln!(json, "  \"resolves\": {},", c.resolves);
         let _ = writeln!(json, "  \"degraded\": {},", c.degraded);
+        let _ = writeln!(json, "  \"match_latency_p50\": {},", num_or_null(p50));
+        let _ = writeln!(json, "  \"match_latency_p95\": {},", num_or_null(p95));
+        let _ = writeln!(json, "  \"match_latency_p99\": {},", num_or_null(p99));
+        let _ = writeln!(json, "  \"rolling_window_ticks\": {ROLLING_WINDOW},");
         let _ = writeln!(
             json,
-            "  \"match_latency_p50\": {},",
-            mfcp_obs::json::number(p50)
+            "  \"rolling_match_latency_p50\": {},",
+            num_or_null(rolling_p50)
         );
         let _ = writeln!(
             json,
-            "  \"match_latency_p99\": {},",
-            mfcp_obs::json::number(p99)
+            "  \"rolling_match_latency_p95\": {},",
+            num_or_null(rolling_p95)
         );
         let _ = writeln!(json, "  \"kills\": {}", args.kills);
         json.push_str("}\n");

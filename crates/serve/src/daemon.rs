@@ -130,6 +130,12 @@ pub struct DaemonConfig {
     pub deadline: Option<Duration>,
     /// Multiplier applied to a downed cluster's execution times.
     pub outage_slowdown: f64,
+    /// Bind address for the live ops surface (`mfcp_obs::http`), e.g.
+    /// `127.0.0.1:9184`; `None` (the default) disables it. The server
+    /// and its sampler only *read* registry atomics — solver state is
+    /// untouched, so enabling it keeps replays bit-identical (the chaos
+    /// suite asserts this).
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for DaemonConfig {
@@ -143,6 +149,48 @@ impl Default for DaemonConfig {
             degrade_watermark: 24,
             deadline: None,
             outage_slowdown: 1e4,
+            metrics_addr: None,
+        }
+    }
+}
+
+/// The daemon's live ops surface: the embedded HTTP server plus the
+/// background registry sampler feeding its rolling windows. Field order
+/// is drop order — the HTTP server stops answering before the sampler
+/// stops ticking, so no request ever reads a dead sampler's window.
+struct LiveOps {
+    server: mfcp_obs::ObsServer,
+    _sampler: mfcp_obs::SamplerHandle,
+}
+
+impl LiveOps {
+    /// Sampling interval for the daemon's rolling windows: fine enough
+    /// that a 60-tick window is ~15 s of history, coarse enough that a
+    /// tick is noise next to a resolve.
+    const SAMPLE_INTERVAL: Duration = Duration::from_millis(250);
+
+    fn start(addr: &str) -> Option<LiveOps> {
+        let series = std::sync::Arc::new(mfcp_obs::TimeSeries::new(mfcp_obs::TimeSeriesConfig {
+            interval: Self::SAMPLE_INTERVAL,
+            capacity: 480,
+        }));
+        let sampler = series.start();
+        let cfg = mfcp_obs::HttpConfig {
+            addr: addr.to_string(),
+            ..mfcp_obs::HttpConfig::default()
+        };
+        match mfcp_obs::ObsServer::start(cfg, Some(series)) {
+            Ok(server) => Some(LiveOps {
+                server,
+                _sampler: sampler,
+            }),
+            Err(e) => {
+                // The ops surface is auxiliary: a bind failure (port in
+                // use, bad address) must not take the exchange down.
+                mfcp_obs::counter("serve.ops_bind_error").inc();
+                eprintln!("serve: ops server failed to bind {addr}: {e}");
+                None
+            }
         }
     }
 }
@@ -163,6 +211,11 @@ pub struct ExchangeDaemon {
     c_degraded: mfcp_obs::Counter,
     h_latency: mfcp_obs::Histogram,
     h_batch: mfcp_obs::Histogram,
+    g_pending: mfcp_obs::Gauge,
+    g_active: mfcp_obs::Gauge,
+    g_cache_entries: mfcp_obs::Gauge,
+    g_cache_evictions: mfcp_obs::Gauge,
+    ops: Option<LiveOps>,
 }
 
 impl ExchangeDaemon {
@@ -173,6 +226,7 @@ impl ExchangeDaemon {
         // online loop favors the conservative step that converges
         // monotonically on small streaming instances.
         solver.solver_opts.lr = 0.3;
+        let ops = config.metrics_addr.as_deref().and_then(LiveOps::start);
         ExchangeDaemon {
             config,
             source,
@@ -186,7 +240,19 @@ impl ExchangeDaemon {
             c_degraded: mfcp_obs::counter("serve.degraded"),
             h_latency: mfcp_obs::histogram("serve.match_latency_secs"),
             h_batch: mfcp_obs::histogram("serve.resolve_batch_size"),
+            g_pending: mfcp_obs::gauge("serve.queue.pending"),
+            g_active: mfcp_obs::gauge("serve.active_tasks"),
+            g_cache_entries: mfcp_obs::gauge("serve.cache.entries"),
+            g_cache_evictions: mfcp_obs::gauge("serve.cache.evictions"),
+            ops,
         }
+    }
+
+    /// The bound address of the live ops surface, when
+    /// [`DaemonConfig::metrics_addr`] was set and the bind succeeded
+    /// (resolves a port-`0` request to the actual port).
+    pub fn ops_addr(&self) -> Option<std::net::SocketAddr> {
+        self.ops.as_ref().map(|o| o.server.local_addr())
     }
 
     /// Number of trace events applied so far.
@@ -261,6 +327,10 @@ impl ExchangeDaemon {
                 self.resolve();
             }
         }
+        // Levels, not counts: published once per event after the queues
+        // settle, so the sampler's rings see consistent depths.
+        self.g_pending.set(self.state.pending.len() as f64);
+        self.g_active.set(self.state.active.len() as f64);
     }
 
     /// Flushes any buffered arrivals with a final resolve. Call at end
@@ -317,6 +387,9 @@ impl ExchangeDaemon {
         self.state.counters.resolves += 1;
         self.c_resolves.inc();
         self.cache.advance_generation();
+        let cache = self.cache.stats();
+        self.g_cache_entries.set(cache.entries as f64);
+        self.g_cache_evictions.set(cache.evicted as f64);
 
         match result {
             Ok(sol) => {

@@ -245,3 +245,79 @@ fn learned_predictors_round_trip_through_snapshot() {
             .collect::<Vec<_>>()
     );
 }
+
+#[test]
+fn ops_server_enabled_stays_bit_identical() {
+    // The live ops surface must be strictly read-only against solver
+    // state: the same trace replayed with and without the HTTP server +
+    // sampler (and with requests actively hitting the endpoints
+    // mid-replay) must end in bit-identical matchings.
+    let trace = test_trace();
+    let plain_config = DaemonConfig::default();
+    let ops_config = DaemonConfig {
+        metrics_addr: Some("127.0.0.1:0".to_string()),
+        ..DaemonConfig::default()
+    };
+
+    let mut plain = ExchangeDaemon::new(plain_config, ground_truth());
+    let baseline = replay(&mut plain, &trace);
+
+    let mut served = ExchangeDaemon::new(ops_config.clone(), ground_truth());
+    let addr = served
+        .ops_addr()
+        .expect("ops server binds an ephemeral port");
+    // Poll the surface while the daemon is mid-replay, not just after
+    // (raw applies, not `replay`, whose end-of-trace flush would add a
+    // resolve the baseline run doesn't have).
+    let half = trace.len() / 2;
+    for event in &trace[..half] {
+        served.apply(&event.event);
+    }
+    for path in ["/healthz", "/metrics", "/slo", "/timeseries", "/trace"] {
+        use std::io::{Read, Write};
+        let mut s = std::net::TcpStream::connect(addr).expect("connect ops surface");
+        s.write_all(format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+            .expect("request");
+        let mut reply = String::new();
+        s.read_to_string(&mut reply).expect("response");
+        assert!(reply.starts_with("HTTP/1.1 200"), "{path}: {reply}");
+    }
+    let with_ops = replay(&mut served, &trace);
+
+    assert_eq!(baseline.events, with_ops.events);
+    assert_eq!(
+        baseline.counters, with_ops.counters,
+        "SLO counters must not see the ops surface"
+    );
+    let a = baseline.last.expect("baseline matching");
+    let b = with_ops.last.expect("matching with ops surface enabled");
+    assert_eq!(a.ids, b.ids);
+    assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+    assert_eq!(
+        a.x.as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect::<Vec<_>>(),
+        b.x.as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect::<Vec<_>>(),
+        "ops surface must leave the matching bit-identical"
+    );
+
+    // And the chaos harness composes with the server enabled: each
+    // restore rebinds a fresh ephemeral port.
+    let dir = temp_dir("ops_chaos");
+    let killed = replay_with_kills(
+        &trace,
+        &ops_config,
+        ground_truth,
+        &dir,
+        &[trace.len() / 3, 2 * trace.len() / 3],
+    )
+    .expect("chaos replay with ops surface enabled");
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(baseline.counters, killed.counters);
+    let c = killed.last.expect("matching after ops-enabled chaos run");
+    assert_eq!(a.objective.to_bits(), c.objective.to_bits());
+}
