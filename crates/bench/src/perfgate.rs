@@ -8,10 +8,12 @@
 //! an online-serving trace replay with one kill/restore cycle
 //! (`serve_replay`), the blocked-vs-scalar Cholesky kernel comparison
 //! (`chol_blocked`), the sharded-vs-monolithic relaxed solve at
-//! platform scale (`shard_solve`), and the live ops surface — endpoint
+//! platform scale (`shard_solve`), the live ops surface — endpoint
 //! latency over every `mfcp_obs::http` route plus a serve-replay
-//! overhead A/B with the ops server on vs off (`obs_http`) —
-//! each repeated `runs` times, and emits a
+//! overhead A/B with the ops server on vs off (`obs_http`) — and the
+//! learned-duals head-to-head on unseen instances: predict-seeded vs
+//! cold vs cache-warm solves with a not-worse-than-cold tripwire
+//! (`learned_duals`) — each repeated `runs` times, and emits a
 //! schema-stable JSON report (`BENCH_perfgate.json` at the repo root):
 //! median/p95 wall time per suite, the deterministic observability
 //! counters and histogram quantiles from the final run, and enough
@@ -45,7 +47,10 @@ use mfcp_obs::json::{self, Json};
 use mfcp_optim::kkt::{self, KktWorkspace};
 use mfcp_optim::solver::solve_relaxed;
 use mfcp_optim::zeroth::ZerothOrderOptions;
-use mfcp_optim::{MatchingProblem, RelaxationParams, ShardedOptions, ShardedSolver, SolverOptions};
+use mfcp_optim::{
+    CacheOutcome, LearnedDualHead, MatchingProblem, RelaxationParams, RobustSolver, ShardedOptions,
+    ShardedSolver, SolverOptions, WarmStartCache,
+};
 use mfcp_parallel::{ParallelConfig, ThreadPool};
 use mfcp_platform::dataset::{NoiseConfig, PlatformDataset};
 use mfcp_platform::embedding::FeatureEmbedder;
@@ -532,6 +537,157 @@ fn suite_shard_solve(cfg: &PerfgateConfig) {
     }
 }
 
+/// Learned-duals warm start head-to-head on *unseen* instances. A
+/// [`LearnedDualHead`] is trained by observing cold-solved siblings of
+/// a drifted convex family, then each held-out sibling is solved three
+/// ways: cold (uniform seed), predict-seeded (fresh cache each time, so
+/// only the head can help), and cache-warm (a drifted sibling's cached
+/// optimum). Per-path iteration counts and wall times land in the
+/// `learned.{cold,pred,warm}_iters` / `learned.{cold,pred,warm}_secs`
+/// histograms and the iteration speedup in `gauge.learned.iter_speedup`.
+/// Tripwires: every predict-seeded solve must report
+/// [`CacheOutcome::Predicted`] and match the cold objective to `1e-8`;
+/// at the default scale the deterministic iteration counts must show
+/// predict-seeded ≥ 1.2× faster than cold, and (release builds only)
+/// predict-seeded wall time must not be worse than cold.
+fn suite_learned_duals(cfg: &PerfgateConfig) {
+    const M: usize = 3;
+    let full_scale = cfg.tasks >= 12;
+    let n = cfg.tasks.max(4);
+    let params = RelaxationParams {
+        rho: 0.05,
+        ..Default::default()
+    };
+    // Step tolerance 1e-8 (not the differential suite's 1e-12): both
+    // paths still land well inside the 1e-8 objective-gap bar (the
+    // entropic objective is flat to ~ρ·dist² around the optimum), but
+    // the seed's head start is not drowned by the deep-tolerance tail
+    // that every start pays identically — at 1e-12 even a perfect seed
+    // saves under 5% of the iterations.
+    let mut solver = RobustSolver::new(params);
+    solver.solver_opts = SolverOptions {
+        max_iters: 20_000,
+        tol: 1e-8,
+        lr: 0.1,
+        ..Default::default()
+    };
+    solver.policy.stall_checks = usize::MAX;
+
+    // One base instance; siblings drift the data ±1% around it. The
+    // family mimics successive exchange rounds: same structure,
+    // slightly different measurements, optima that cluster.
+    let seed0 = cfg.seed.wrapping_add(31);
+    let mut rng = StdRng::seed_from_u64(seed0);
+    let t_base = Matrix::from_fn(M, n, |_, _| rng.gen_range(0.7..1.8));
+    let a_base = Matrix::from_fn(M, n, |_, _| rng.gen_range(0.75..1.0));
+    let sibling = |k: u64| {
+        let mut rng = StdRng::seed_from_u64(seed0.wrapping_add(1 + k));
+        let t = Matrix::from_fn(M, n, |i, j| {
+            t_base[(i, j)] * (1.0 + 0.01 * rng.gen_range(-1.0..1.0))
+        });
+        let a = Matrix::from_fn(M, n, |i, j| {
+            (a_base[(i, j)] * (1.0 + 0.01 * rng.gen_range(-1.0..1.0))).clamp(0.0, 1.0)
+        });
+        MatchingProblem::new(t, a, 0.6)
+    };
+
+    // Train the head on cold-solved siblings (never the eval ones).
+    let (train_count, epochs) = if full_scale { (24, 1500) } else { (6, 30) };
+    let mut head = LearnedDualHead::new(M, seed0);
+    let train: Vec<(MatchingProblem, Matrix)> = (0..train_count)
+        .map(|k| {
+            let p = sibling(k);
+            let x = solver.solve(&p).expect("train solve").x;
+            (p, x)
+        })
+        .collect();
+    for _ in 0..epochs {
+        for (p, x) in &train {
+            head.observe(p, &params, x);
+        }
+    }
+    assert!(head.ready(), "training must clear the readiness bar");
+
+    let cold_iters_h = mfcp_obs::histogram("learned.cold_iters");
+    let pred_iters_h = mfcp_obs::histogram("learned.pred_iters");
+    let warm_iters_h = mfcp_obs::histogram("learned.warm_iters");
+    let cold_secs_h = mfcp_obs::histogram("learned.cold_secs");
+    let pred_secs_h = mfcp_obs::histogram("learned.pred_secs");
+    let warm_secs_h = mfcp_obs::histogram("learned.warm_secs");
+
+    let iters_of = |sol: &mfcp_optim::RobustSolution| -> usize {
+        sol.diagnostics.attempts.iter().map(|a| a.iterations).sum()
+    };
+
+    let (mut cold_total, mut pred_total) = (0usize, 0usize);
+    let (mut cold_wall, mut pred_wall) = (0.0f64, 0.0f64);
+    for k in 0..4u64 {
+        let p = sibling(1000 + k);
+
+        let t0 = Instant::now();
+        let cold = solver.solve(&p).expect("cold solve");
+        let secs = t0.elapsed().as_secs_f64();
+        cold_secs_h.record(secs);
+        cold_wall += secs;
+        cold_iters_h.record(iters_of(&cold) as f64);
+        cold_total += iters_of(&cold);
+
+        // Predict-seeded, fresh cache: the head is the only seed source.
+        let mut cache = WarmStartCache::new();
+        let t0 = Instant::now();
+        let pred = solver
+            .solve_with_predictor(&p, &mut cache, Some(&head))
+            .expect("predicted solve");
+        let secs = t0.elapsed().as_secs_f64();
+        pred_secs_h.record(secs);
+        pred_wall += secs;
+        pred_iters_h.record(iters_of(&pred) as f64);
+        pred_total += iters_of(&pred);
+        assert_eq!(
+            pred.diagnostics.cache,
+            Some(CacheOutcome::Predicted),
+            "a ready head on an in-family instance must seed the solve"
+        );
+        assert!(
+            (cold.objective - pred.objective).abs() <= 1e-8,
+            "predicted solve off the cold objective: {} vs {}",
+            pred.objective,
+            cold.objective
+        );
+
+        // Cache-warm: a drifted sibling's optimum under the shared
+        // structural fingerprint (the existing warm-start baseline).
+        let mut warm_cache = WarmStartCache::new();
+        let _ = solver
+            .solve_with_cache(&sibling(2000 + k), &mut warm_cache)
+            .expect("sibling solve populates the cache");
+        let t0 = Instant::now();
+        let warm = solver
+            .solve_with_cache(&p, &mut warm_cache)
+            .expect("warm solve");
+        warm_secs_h.record(t0.elapsed().as_secs_f64());
+        warm_iters_h.record(iters_of(&warm) as f64);
+        assert_eq!(warm.diagnostics.cache, Some(CacheOutcome::Hit));
+    }
+    mfcp_obs::gauge("learned.iter_speedup").set(cold_total as f64 / pred_total.max(1) as f64);
+
+    if full_scale {
+        // Iteration counts are deterministic, so this tripwire holds in
+        // every build profile: the acceptance bar is ≥1.2× fewer PGD
+        // iterations than cold on unseen instances.
+        assert!(
+            5 * cold_total >= 6 * pred_total,
+            "predict-seeded speedup below 1.2x: {cold_total} cold iters vs {pred_total} predicted"
+        );
+        if !cfg!(debug_assertions) {
+            assert!(
+                pred_wall < cold_wall,
+                "predict-seeded wall time worse than cold: {pred_wall:.4}s vs {cold_wall:.4}s"
+            );
+        }
+    }
+}
+
 /// Live ops surface costs, both sides of it: (a) request latency for
 /// every `mfcp_obs::http` endpoint against a populated registry, landing
 /// in the `obs_http.request_secs` histogram plus a per-endpoint counter;
@@ -656,7 +812,7 @@ type SuiteFn = fn(&PerfgateConfig);
 /// multi-millisecond measurement window instead of scheduler noise.
 /// Counters in those suites accumulate across the inner reps; the
 /// baseline is recorded the same way, so comparisons stay consistent.
-const SUITES: [(&str, usize, SuiteFn); 12] = [
+const SUITES: [(&str, usize, SuiteFn); 13] = [
     ("solve_ad", 1, suite_solve_ad),
     ("solve_fg", 1, suite_solve_fg),
     ("train_round", 1, suite_train_round),
@@ -669,6 +825,7 @@ const SUITES: [(&str, usize, SuiteFn); 12] = [
     ("chol_blocked", 1, suite_chol_blocked),
     ("shard_solve", 1, suite_shard_solve),
     ("obs_http", 1, suite_obs_http),
+    ("learned_duals", 1, suite_learned_duals),
 ];
 
 fn percentile(sorted: &[f64], q: f64) -> f64 {
@@ -1000,6 +1157,12 @@ impl PerfgateReport {
 mod tests {
     use super::*;
 
+    #[test]
+    #[ignore = "full-scale probe for tuning the learned_duals tripwire"]
+    fn learned_duals_full_scale_probe() {
+        suite_learned_duals(&PerfgateConfig::default());
+    }
+
     fn small_report() -> PerfgateReport {
         let mut metrics = BTreeMap::new();
         metrics.insert("optim.robust.attempts".to_string(), 10.0);
@@ -1120,7 +1283,7 @@ mod tests {
         };
         let mut trace = String::new();
         let report = run_perfgate(&cfg, Some(&mut trace));
-        assert_eq!(report.suites.len(), 12);
+        assert_eq!(report.suites.len(), 13);
         for s in &report.suites {
             assert!(s.median_wall_secs.is_finite() && s.median_wall_secs >= 0.0);
             assert!(!s.metrics.is_empty(), "suite {} has no metrics", s.name);

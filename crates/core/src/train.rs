@@ -11,7 +11,8 @@ use mfcp_optim::objective;
 use mfcp_optim::solver::{solve_relaxed, solve_relaxed_from, SolverOptions};
 use mfcp_optim::zeroth::{estimate_gradient, ZerothOrderOptions};
 use mfcp_optim::{
-    kkt, CacheStats, MatchingProblem, RelaxationParams, RelaxedSolution, SpeedupCurve,
+    kkt, CacheStats, LearnedDualHead, MatchingProblem, RelaxationParams, RelaxedSolution,
+    SpeedupCurve,
 };
 use mfcp_parallel::{par_map, solve_batch, ParallelConfig};
 use mfcp_platform::dataset::PlatformDataset;
@@ -137,6 +138,15 @@ pub struct MfcpTrainConfig {
     /// a [`RecoveryEvent::StaleWarmStart`] — warm starts can change
     /// solve speed, never validity.
     pub solve_cache: bool,
+    /// Train a run-local [`LearnedDualHead`] online from each round's
+    /// measured solve: the per-column duals of `sol_true` are exactly
+    /// what the learned warm-start path must predict for unseen
+    /// siblings of the round's instance. The run-local head is dropped
+    /// when training ends — its value is the recorded fit-loss
+    /// telemetry and [`RecoveryEvent::BadDualSample`] events; use
+    /// [`train_mfcp_with_dual_head`] to keep the trained head for
+    /// serving.
+    pub learned_duals: bool,
 }
 
 impl Default for MfcpTrainConfig {
@@ -163,6 +173,7 @@ impl Default for MfcpTrainConfig {
             checkpoint_dir: None,
             resume: false,
             solve_cache: false,
+            learned_duals: false,
         }
     }
 }
@@ -249,6 +260,13 @@ pub enum RecoveryEvent {
         /// solve's cache entry did.
         cluster: Option<usize>,
     },
+    /// A round's measured optimum was rejected as a dual-head training
+    /// sample (shape mismatch, non-finite entries, or out-of-scale
+    /// duals); the head's weights were left untouched for the round.
+    BadDualSample {
+        /// Training round (0-based).
+        round: usize,
+    },
 }
 
 impl std::fmt::Display for RecoveryEvent {
@@ -288,6 +306,10 @@ impl std::fmt::Display for RecoveryEvent {
                     "round {round}: shared-solve warm-start entry stale, solved cold"
                 ),
             },
+            RecoveryEvent::BadDualSample { round } => write!(
+                f,
+                "round {round}: measured optimum rejected as dual-head sample, head untouched"
+            ),
         }
     }
 }
@@ -728,9 +750,9 @@ pub fn train_mfcp(
 ) -> (MfcpPredictor, TrainReport) {
     if cfg.solve_cache {
         let mut cache = SolveCache::new();
-        train_mfcp_impl(train, cfg, seed, Some(&mut cache))
+        train_mfcp_impl(train, cfg, seed, Some(&mut cache), None)
     } else {
-        train_mfcp_impl(train, cfg, seed, None)
+        train_mfcp_impl(train, cfg, seed, None, None)
     }
 }
 
@@ -744,7 +766,28 @@ pub fn train_mfcp_with_cache(
     seed: u64,
     cache: &mut SolveCache,
 ) -> (MfcpPredictor, TrainReport) {
-    train_mfcp_impl(train, cfg, seed, Some(cache))
+    train_mfcp_impl(train, cfg, seed, Some(cache), None)
+}
+
+/// [`train_mfcp`] with a caller-owned [`LearnedDualHead`], trained
+/// online from the duals of each round's measured solve (regardless of
+/// [`MfcpTrainConfig::learned_duals`]). The head must be sized for the
+/// dataset's cluster count. Successive re-trainings can pass the same
+/// head so it keeps refining on fresh measurements; hand the trained
+/// head to the serve daemon to seed newcomer columns on unseen
+/// instances.
+pub fn train_mfcp_with_dual_head(
+    train: &PlatformDataset,
+    cfg: &MfcpTrainConfig,
+    seed: u64,
+    head: &mut LearnedDualHead,
+) -> (MfcpPredictor, TrainReport) {
+    if cfg.solve_cache {
+        let mut cache = SolveCache::new();
+        train_mfcp_impl(train, cfg, seed, Some(&mut cache), Some(head))
+    } else {
+        train_mfcp_impl(train, cfg, seed, None, Some(head))
+    }
 }
 
 fn train_mfcp_impl(
@@ -752,6 +795,7 @@ fn train_mfcp_impl(
     cfg: &MfcpTrainConfig,
     seed: u64,
     mut cache: Option<&mut SolveCache>,
+    head: Option<&mut LearnedDualHead>,
 ) -> (MfcpPredictor, TrainReport) {
     let _span = mfcp_obs::span("train_mfcp");
     let m = train.clusters();
@@ -759,6 +803,12 @@ fn train_mfcp_impl(
         train.len() >= cfg.round_size,
         "need at least one full round of tasks"
     );
+    let mut local_head = if head.is_none() && cfg.learned_duals {
+        Some(LearnedDualHead::new(m, seed.wrapping_add(0xD0A1)))
+    } else {
+        None
+    };
+    let mut head = head.or(local_head.as_mut());
     let speedup = speedup_vec(cfg, m);
     if let Some(c) = cache.as_deref_mut() {
         c.clusters.resize(m, TaskColumns::default());
@@ -947,6 +997,20 @@ fn train_mfcp_impl(
                 solve_relaxed(&problem_true, &cfg.relaxation, &cfg.solver),
             )
         };
+
+        // ---- online dual-head training ---------------------------------
+        // The measured optimum is ground truth for the learned-duals
+        // warm-start path: its per-column duals are exactly what the head
+        // must predict for unseen siblings of this round's instance.
+        // `observe` rejects poisoned samples without touching the weights.
+        if let Some(h) = head.as_deref_mut() {
+            if h.observe(&problem_true, &cfg.relaxation, &sol_true.x)
+                .is_none()
+            {
+                report.recovery.push(RecoveryEvent::BadDualSample { round });
+            }
+        }
+
         let loss = if data_ok {
             (objective::value(&problem_true, &cfg.relaxation, &sol_pred_all.x)
                 - objective::value(&problem_true, &cfg.relaxation, &sol_true.x))
@@ -1381,6 +1445,39 @@ mod tests {
         let ucb = train_ucb(&train, &quick_tsm_cfg(), 1.0, 13);
         assert!(ucb.time_std.iter().all(|&s| s > 0.0));
         assert!(ucb.rel_std.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn dual_head_trains_online_from_measured_solves() {
+        let train = dataset(40, 21);
+        let cfg = MfcpTrainConfig {
+            warm_start: quick_tsm_cfg(),
+            rounds: 12,
+            round_size: 5,
+            mode: GradientMode::Analytic,
+            ..Default::default()
+        };
+        let mut head = LearnedDualHead::new(train.clusters(), 99);
+        let (_, report) = train_mfcp_with_dual_head(&train, &cfg, 23, &mut head);
+        let rejected = report
+            .recovery
+            .iter()
+            .filter(|e| matches!(e, RecoveryEvent::BadDualSample { .. }))
+            .count();
+        // Every round's measured optimum either trained the head or left
+        // a typed rejection event — none vanish silently.
+        assert_eq!(head.observations() as usize + rejected, cfg.rounds);
+        assert_eq!(rejected, 0, "clean synthetic data must never reject");
+        assert!(head.ready(), "12 observations clear the readiness bar");
+
+        // The config flag exercises the same path with a run-local head.
+        let flag_cfg = MfcpTrainConfig {
+            learned_duals: true,
+            rounds: 3,
+            ..cfg
+        };
+        let (_, flag_report) = train_mfcp(&train, &flag_cfg, 23);
+        assert_eq!(flag_report.loss_history.len(), 3);
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //! * [`init`] — Xavier and He initialization.
 //! * [`Sgd`] / [`Adam`] behind the [`Optimizer`] trait, with
 //!   [`LrSchedule`]s.
+//! * [`DualHead`] — a small Adam-trained regression head (MSE, full-batch
+//!   steps, non-finite rejection) backing the learned-duals warm-start
+//!   path in `mfcp-optim`.
 //! * [`data`] — deterministic shuffling, train/test splits, mini-batches.
 //! * [`persist`] — dependency-free text serialization of trained models.
 
@@ -23,6 +26,7 @@
 
 mod activation;
 pub mod data;
+mod dual_head;
 pub mod init;
 mod loss;
 mod mlp;
@@ -30,6 +34,7 @@ mod optimizer;
 pub mod persist;
 
 pub use activation::Activation;
+pub use dual_head::DualHead;
 pub use loss::Loss;
 pub use mlp::{Mlp, MlpPass};
 pub use optimizer::{Adam, LrSchedule, Optimizer, Sgd};

@@ -26,7 +26,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 use crate::kkt::KktWorkspace;
-use crate::objective::{self, BarrierKind, CostKind, RelaxationParams};
+use crate::objective::{BarrierKind, CostKind, RelaxationParams};
 use crate::problem::MatchingProblem;
 use crate::solver::is_column_stochastic;
 use crate::speedup::SpeedupCurve;
@@ -209,10 +209,7 @@ impl WarmStartEntry {
         objective: f64,
     ) -> Self {
         let (m, n) = (problem.clusters(), problem.tasks());
-        let grad = objective::grad_x(problem, params, x);
-        let duals = (0..n)
-            .map(|j| (0..m).map(|i| grad[(i, j)]).fold(f64::INFINITY, f64::min))
-            .collect();
+        let duals = crate::learned::column_duals(problem, params, x);
         let convex = problem.speedup.iter().all(|c| c.is_trivial());
         WarmStartEntry {
             x: x.clone(),
@@ -234,6 +231,12 @@ pub enum CacheOutcome {
     /// An entry existed but failed validation (or a warm attempt later
     /// diverged) and was evicted; the solve ran cold.
     Stale,
+    /// No usable entry existed, but a [`crate::learned::DualPredictor`]
+    /// supplied a repaired seed and the predicted-seed rung converged
+    /// (see [`crate::RobustSolver::solve_with_predictor`]). Ordered
+    /// behind exact hits: a valid cached optimum always beats a model
+    /// guess.
+    Predicted,
 }
 
 impl fmt::Display for CacheOutcome {
@@ -242,6 +245,7 @@ impl fmt::Display for CacheOutcome {
             CacheOutcome::Hit => "hit",
             CacheOutcome::Miss => "miss",
             CacheOutcome::Stale => "stale",
+            CacheOutcome::Predicted => "predicted",
         })
     }
 }
@@ -406,17 +410,18 @@ impl WarmStartCache {
     ///
     /// Returns the outcome plus the cached assignment on a hit. An entry
     /// that fails validation — wrong shape, non-finite values, columns
-    /// off the simplex, non-finite or mis-sized duals, mismatched KKT
-    /// structure, or age beyond the staleness bound — is evicted and
-    /// reported as [`CacheOutcome::Stale`].
+    /// off the simplex, mis-sized, non-finite, or out-of-scale duals
+    /// (the [`crate::learned::duals_admissible`] gate shared with the
+    /// prediction repair kernel), mismatched KKT structure, or age
+    /// beyond the staleness bound — is evicted and reported as
+    /// [`CacheOutcome::Stale`].
     pub fn lookup(&mut self, key: u64, m: usize, n: usize) -> (CacheOutcome, Option<Matrix>) {
         let verdict = self.entries.get(&key).map(|entry| {
             let age = self.generation.saturating_sub(entry.stored_at);
             let valid = age <= self.config.max_age
                 && validate_warm(&entry.x, m, n)
                 && entry.objective.is_finite()
-                && entry.duals.len() == n
-                && entry.duals.iter().all(|d| d.is_finite())
+                && crate::learned::duals_admissible(&entry.duals, n)
                 && entry.kkt.as_ref().is_none_or(|k| k.matches(m, n));
             valid.then(|| entry.x.clone())
         });
@@ -534,6 +539,7 @@ pub fn warm_init(x: &Matrix) -> Matrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::objective;
     use crate::problem::CapacityConstraint;
 
     fn problem(m: usize, n: usize) -> MatchingProblem {
@@ -699,6 +705,123 @@ mod tests {
         assert_eq!(stats.entries, 1);
         assert_eq!(stats.hits, 0);
         assert_eq!(stats.misses, 0);
+    }
+
+    #[test]
+    fn out_of_scale_duals_are_stale_not_warm() {
+        // Regression: validation used to accept any finite dual vector of
+        // the right length, so a ×1e6-scaled (but finite) dual survived
+        // lookup. The shared `duals_admissible` gate now bounds the
+        // magnitude exactly like the prediction repair kernel.
+        let params = RelaxationParams::default();
+        let p = problem(2, 3);
+        let key = fingerprint(&p, &params);
+        let mut cache = WarmStartCache::new();
+        cache.store(key, entry_for(&p, &params));
+        cache.entry_mut(key).unwrap().duals[1] = 1.0e9;
+        assert_eq!(cache.lookup(key, 2, 3).0, CacheOutcome::Stale);
+        assert_eq!(cache.lookup(key, 2, 3).0, CacheOutcome::Miss, "evicted");
+        assert_eq!(cache.stats().stale, 1);
+    }
+
+    #[test]
+    fn age_bound_expiry_exactly_at_max_age() {
+        // Default config: an entry is warm at age == max_age and expires
+        // one generation later; re-storing resets the clock.
+        let params = RelaxationParams::default();
+        let p = problem(2, 3);
+        let key = fingerprint(&p, &params);
+        let mut cache = WarmStartCache::new();
+        let max_age = cache.config().max_age;
+        cache.store(key, entry_for(&p, &params));
+        for _ in 0..max_age {
+            cache.advance_generation();
+        }
+        assert_eq!(
+            cache.lookup(key, 2, 3).0,
+            CacheOutcome::Hit,
+            "age == max_age is still warm"
+        );
+        cache.advance_generation();
+        assert_eq!(
+            cache.lookup(key, 2, 3).0,
+            CacheOutcome::Stale,
+            "age == max_age + 1 expires"
+        );
+        // A fresh store at the current generation is warm again.
+        cache.store(key, entry_for(&p, &params));
+        for _ in 0..max_age {
+            cache.advance_generation();
+        }
+        assert_eq!(cache.lookup(key, 2, 3).0, CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn generation_eviction_under_capacity_pressure() {
+        // Sustained stores across generations keep the cache at the
+        // capacity bound and always displace the oldest generation,
+        // with ties broken by the smallest key.
+        let params = RelaxationParams::default();
+        let p = problem(2, 3);
+        let mut cache = WarmStartCache::with_config(WarmStartConfig {
+            max_age: 64,
+            max_entries: 3,
+        });
+        for key in 0..8u64 {
+            cache.store(key, entry_for(&p, &params));
+            cache.advance_generation();
+            assert!(cache.len() <= 3);
+        }
+        assert_eq!(cache.len(), 3);
+        // Only the three youngest survive.
+        for key in 0..5u64 {
+            assert_eq!(cache.lookup(key, 2, 3).0, CacheOutcome::Miss, "key {key}");
+        }
+        for key in 5..8u64 {
+            assert_eq!(cache.lookup(key, 2, 3).0, CacheOutcome::Hit, "key {key}");
+        }
+        assert_eq!(cache.stats().evicted, 5);
+
+        // Same-generation tie: the smallest key is the deterministic
+        // victim.
+        let mut cache = WarmStartCache::with_config(WarmStartConfig {
+            max_age: 64,
+            max_entries: 2,
+        });
+        cache.store(10, entry_for(&p, &params));
+        cache.store(7, entry_for(&p, &params));
+        cache.store(9, entry_for(&p, &params));
+        assert_eq!(cache.lookup(7, 2, 3).0, CacheOutcome::Miss);
+        assert_eq!(cache.lookup(9, 2, 3).0, CacheOutcome::Hit);
+        assert_eq!(cache.lookup(10, 2, 3).0, CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn evictions_counter_is_monotone() {
+        let params = RelaxationParams::default();
+        let p = problem(2, 3);
+        let mut cache = WarmStartCache::with_config(WarmStartConfig {
+            max_age: 2,
+            max_entries: 2,
+        });
+        let mut last = 0;
+        for key in 0..10u64 {
+            cache.store(key, entry_for(&p, &params));
+            let evicted = cache.stats().evicted;
+            assert!(evicted >= last, "evictions counter must never decrease");
+            last = evicted;
+        }
+        assert_eq!(last, 8, "every store beyond capacity displaced one entry");
+        // Stale evictions and hits leave the capacity-eviction counter
+        // untouched.
+        cache.advance_generation();
+        cache.advance_generation();
+        cache.advance_generation();
+        assert_eq!(cache.lookup(9, 2, 3).0, CacheOutcome::Stale);
+        assert_eq!(cache.stats().evicted, last);
+        cache.store(11, entry_for(&p, &params));
+        assert_eq!(cache.lookup(11, 2, 3).0, CacheOutcome::Hit);
+        assert_eq!(cache.stats().evicted, last);
     }
 
     #[test]

@@ -36,6 +36,11 @@
 //!   of structurally identical problems seed PGD from the previous
 //!   optimum instead of the uniform simplex point (see DESIGN.md,
 //!   "Warm-start cache and batched solving").
+//! * [`learned`] — learned dual predictions for *unseen* instances: a
+//!   small `mfcp-nn` head maps structure-only problem features to
+//!   per-column duals and a primal seed, with instance-robust
+//!   feasibility repair before the seed reaches the ladder (see
+//!   DESIGN.md, "Learned duals and instance-robust repair").
 //! * [`budget`] — per-request deadlines and cooperative cancellation,
 //!   checked on every guarded iterate so an online daemon can bound the
 //!   latency of a single matching solve.
@@ -47,6 +52,7 @@ pub mod budget;
 pub mod cache;
 pub mod exact;
 pub mod kkt;
+pub mod learned;
 pub mod objective;
 pub mod problem;
 pub mod recovery;
@@ -61,11 +67,12 @@ pub use cache::{
     CacheOutcome, CacheStats, KktStructure, WarmStartCache, WarmStartConfig, WarmStartEntry,
 };
 pub use kkt::{KktGradients, KktWorkspace};
+pub use learned::{DualPrediction, DualPredictor, LearnedDualHead, RepairError};
 pub use objective::{BarrierKind, CostKind, RelaxationParams};
 pub use problem::{Assignment, CapacityConstraint, MatchingProblem};
 pub use recovery::{
-    BackoffSchedule, FallbackStage, HealthPolicy, RobustSolution, RobustSolver, SolveDiagnostics,
-    SolveError, StageAttempt, StageOutcome,
+    BackoffSchedule, FallbackStage, HealthPolicy, PredictionOutcome, RobustSolution, RobustSolver,
+    SolveDiagnostics, SolveError, StageAttempt, StageOutcome,
 };
 pub use sharded::{ShardedOptions, ShardedSolver};
 pub use solver::{NewtonOptions, PgdWorkspace, ProjectionKind, RelaxedSolution, SolverOptions};

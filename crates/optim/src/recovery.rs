@@ -33,6 +33,15 @@
 //! hit runs one warm attempt before the cold ladder, and a diverging
 //! warm attempt marks the entry stale and falls back to the exact cold
 //! path, so warm starts can change only speed — never the answer.
+//!
+//! [`RobustSolver::solve_with_predictor`] adds one more rung ahead of
+//! the cold ladder but *behind* exact cache hits: on a cache miss (or
+//! stale entry), a [`crate::learned::DualPredictor`] may supply a
+//! predicted seed, which is feasibility-repaired
+//! ([`crate::learned::repair`]) before one predicted primary attempt
+//! runs. A rejected or diverging prediction falls through the existing
+//! ladder with a typed [`PredictionOutcome`] in the diagnostics, so a
+//! wrong model costs at most one rung — never a wrong answer.
 
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -40,6 +49,7 @@ use std::time::{Duration, Instant};
 use crate::budget::Budget;
 use crate::cache::{fingerprint, warm_init, CacheOutcome, WarmStartCache, WarmStartEntry};
 use crate::kkt::KktWorkspace;
+use crate::learned::{repair, DualPredictor, RepairError};
 use crate::objective::{self, BarrierKind, RelaxationParams};
 use crate::problem::{Assignment, MatchingProblem};
 use crate::solver::{
@@ -336,8 +346,37 @@ pub struct StageAttempt {
     /// Whether the attempt was seeded from a cached warm start instead
     /// of the uniform simplex point (see [`crate::cache`]).
     pub warm_start: bool,
+    /// Whether the attempt was seeded from a repaired learned-dual
+    /// prediction (see [`crate::learned`]). Mutually exclusive with
+    /// `warm_start`: exact cache hits beat predictions.
+    pub predicted: bool,
     /// Outcome of the attempt.
     pub outcome: StageOutcome,
+}
+
+/// How a learned-dual prediction fared during one
+/// [`RobustSolver::solve_with_predictor`] call — the typed recovery
+/// event for a bad model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictionOutcome {
+    /// The repaired prediction seeded the successful first attempt.
+    Seeded,
+    /// The raw prediction failed [`crate::learned::repair`] and never
+    /// reached the solver; the cold ladder ran.
+    Rejected(RepairError),
+    /// The repaired prediction seeded an attempt that failed; the
+    /// ladder fell through to the cold path (cost: exactly one rung).
+    FellBack,
+}
+
+impl fmt::Display for PredictionOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PredictionOutcome::Seeded => f.write_str("seeded"),
+            PredictionOutcome::Rejected(err) => write!(f, "rejected ({err})"),
+            PredictionOutcome::FellBack => f.write_str("fell-back"),
+        }
+    }
 }
 
 /// Diagnostics for a whole [`RobustSolver::solve`] call: every attempt in
@@ -354,6 +393,11 @@ pub struct SolveDiagnostics {
     /// Warm-start cache outcome for this solve; `None` for plain
     /// [`RobustSolver::solve`] calls that never consulted a cache.
     pub cache: Option<CacheOutcome>,
+    /// What happened to the learned-dual prediction, when a predictor
+    /// was consulted and produced one; `None` when no prediction was
+    /// attempted (no predictor, predictor abstained, or a cache hit
+    /// pre-empted it).
+    pub prediction: Option<PredictionOutcome>,
     /// Structured KKT factorizations performed during this solve (the
     /// Newton rung is currently the only in-solve KKT consumer).
     pub kkt_structured: u64,
@@ -376,6 +420,8 @@ impl SolveDiagnostics {
             };
             if a.warm_start {
                 label = format!("warm-{label}");
+            } else if a.predicted {
+                label = format!("pred-{label}");
             }
             let mark = match &a.outcome {
                 StageOutcome::Success => "ok".to_string(),
@@ -428,6 +474,15 @@ pub struct RobustSolution {
     pub assignment: Option<Assignment>,
     /// Full record of the recovery path.
     pub diagnostics: SolveDiagnostics,
+}
+
+/// Origin of a non-uniform primary seed threaded through the ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SeedKind {
+    /// A validated cache hit (previous optimum of this fingerprint).
+    Warm,
+    /// A repaired learned-dual prediction.
+    Predicted,
 }
 
 /// The default rung order: primary, backed-off retries, Newton, mirror
@@ -537,26 +592,80 @@ impl RobustSolver {
         problem: &MatchingProblem,
         cache: &mut WarmStartCache,
     ) -> Result<RobustSolution, SolveError> {
+        self.solve_with_predictor(problem, cache, None)
+    }
+
+    /// Solves `problem` like [`RobustSolver::solve_with_cache`], but on a
+    /// cache miss (or stale entry) consults `predictor` for a learned
+    /// seed first.
+    ///
+    /// Seed precedence, best to worst: an exact cache hit (a previous
+    /// optimum of this fingerprint), then a repaired prediction, then
+    /// the cold uniform start. The raw prediction is passed through
+    /// [`crate::learned::repair`]; a rejected prediction
+    /// ([`PredictionOutcome::Rejected`]) never reaches the solver, and a
+    /// repaired prediction whose attempt fails falls through the
+    /// regular ladder ([`PredictionOutcome::FellBack`], counter
+    /// `optim.learned.fallback`) — a wrong model costs at most one rung
+    /// and can never change the answer. A successful predicted solve is
+    /// reported as [`CacheOutcome::Predicted`] and stores its optimum in
+    /// the cache, so later solves of the same fingerprint hit directly.
+    pub fn solve_with_predictor(
+        &self,
+        problem: &MatchingProblem,
+        cache: &mut WarmStartCache,
+        predictor: Option<&dyn DualPredictor>,
+    ) -> Result<RobustSolution, SolveError> {
         validate_problem(problem)?;
         validate_params(&self.params)?;
+        let (m, n) = (problem.clusters(), problem.tasks());
         let key = fingerprint(problem, &self.params);
-        let (outcome, warm) = cache.lookup(key, problem.clusters(), problem.tasks());
-        let warm_used = warm.is_some();
+        let (outcome, warm) = cache.lookup(key, m, n);
+        let mut seed = warm.map(|x| (x, SeedKind::Warm));
+        let mut prediction = None;
+        if seed.is_none() {
+            if let Some(predictor) = predictor {
+                let _span = mfcp_obs::span("learned.predict");
+                if let Some(raw) = predictor.predict_duals(problem, &self.params) {
+                    mfcp_obs::counter("optim.learned.predict").inc();
+                    match repair(&raw, m, n) {
+                        Ok(fixed) => {
+                            mfcp_obs::counter("optim.learned.repaired").inc();
+                            prediction = Some(PredictionOutcome::Seeded);
+                            seed = Some((fixed.x, SeedKind::Predicted));
+                        }
+                        Err(err) => {
+                            mfcp_obs::counter("optim.learned.rejected").inc();
+                            mfcp_obs::trace::instant("learned.rejected", Some(key));
+                            prediction = Some(PredictionOutcome::Rejected(err));
+                        }
+                    }
+                }
+            }
+        }
+        let warm_used = matches!(seed, Some((_, SeedKind::Warm)));
+        let predicted = matches!(seed, Some((_, SeedKind::Predicted)));
         // Reuse the previous solve's factorization buffers for this
         // fingerprint, when the entry carries them.
         let mut kkt_ws = cache.take_kkt_workspace(key).unwrap_or_default();
-        match self.solve_inner(problem, warm, &mut kkt_ws) {
+        match self.solve_inner(problem, seed, &mut kkt_ws) {
             Ok(mut sol) => {
-                let warm_failed = warm_used
-                    && sol.diagnostics.attempts.first().is_some_and(|a| {
-                        a.warm_start && !matches!(a.outcome, StageOutcome::Success)
-                    });
-                sol.diagnostics.cache = Some(if warm_failed {
+                let first_seed_failed = sol.diagnostics.attempts.first().is_some_and(|a| {
+                    (a.warm_start || a.predicted) && !matches!(a.outcome, StageOutcome::Success)
+                });
+                sol.diagnostics.cache = Some(if warm_used && first_seed_failed {
                     cache.note_stale(key);
                     CacheOutcome::Stale
+                } else if predicted && first_seed_failed {
+                    mfcp_obs::counter("optim.learned.fallback").inc();
+                    prediction = Some(PredictionOutcome::FellBack);
+                    outcome
+                } else if predicted {
+                    CacheOutcome::Predicted
                 } else {
                     outcome
                 });
+                sol.diagnostics.prediction = prediction;
                 // Greedy 0/1 vertices are poor seeds for multiplicative
                 // mirror-descent updates; only cache fractional optima.
                 if sol.stage != FallbackStage::GreedyRounding {
@@ -573,8 +682,13 @@ impl RobustSolver {
                     cache.note_stale(key);
                     CacheOutcome::Stale
                 } else {
+                    if predicted {
+                        mfcp_obs::counter("optim.learned.fallback").inc();
+                        prediction = Some(PredictionOutcome::FellBack);
+                    }
                     outcome
                 });
+                diagnostics.prediction = prediction;
                 Err(SolveError::Exhausted { diagnostics })
             }
             Err(other) => Err(other),
@@ -584,7 +698,7 @@ impl RobustSolver {
     fn solve_inner(
         &self,
         problem: &MatchingProblem,
-        mut warm: Option<Matrix>,
+        mut seed: Option<(Matrix, SeedKind)>,
         kkt_ws: &mut KktWorkspace,
     ) -> Result<RobustSolution, SolveError> {
         let _span = mfcp_obs::span("robust_solve");
@@ -613,6 +727,7 @@ impl RobustSolver {
                     objective: None,
                     elapsed_secs: 0.0,
                     warm_start: false,
+                    predicted: false,
                     outcome: StageOutcome::Skipped(if self.budget.expired() {
                         "request budget expired".into()
                     } else {
@@ -625,10 +740,11 @@ impl RobustSolver {
             match stage {
                 FallbackStage::Primary => {
                     let opts = self.solver_opts;
-                    // One warm attempt first, when a cached optimum was
-                    // supplied; its failure falls through to the regular
-                    // cold primary attempt and the rest of the ladder.
-                    if let Some(x0) = warm.take() {
+                    // One seeded attempt first, when a cached optimum or
+                    // a repaired prediction was supplied; its failure
+                    // falls through to the regular cold primary attempt
+                    // and the rest of the ladder.
+                    if let Some(seeded) = seed.take() {
                         if let Some(sol) = self.try_pgd(
                             problem,
                             stage,
@@ -636,7 +752,7 @@ impl RobustSolver {
                             self.params,
                             opts,
                             start,
-                            Some(x0),
+                            Some(seeded),
                             &mut attempts,
                             &mut pgd_ws,
                         ) {
@@ -710,6 +826,7 @@ impl RobustSolver {
                             objective: None,
                             elapsed_secs: 0.0,
                             warm_start: false,
+                            predicted: false,
                             outcome: StageOutcome::Skipped(
                                 "parallel speedup curves: Newton needs the convex sequential \
                                  setting"
@@ -783,6 +900,7 @@ impl RobustSolver {
                         objective: Some(objective),
                         elapsed_secs: t0.elapsed().as_secs_f64(),
                         warm_start: false,
+                        predicted: false,
                         outcome: StageOutcome::Success,
                     });
                     mfcp_obs::trace::end(stage_trace_name(stage), None);
@@ -807,6 +925,7 @@ impl RobustSolver {
                 total_secs: start.elapsed().as_secs_f64(),
                 attempts,
                 cache: None,
+                prediction: None,
                 kkt_structured,
                 kkt_dense_fallbacks,
             }),
@@ -830,7 +949,7 @@ impl RobustSolver {
         params: RelaxationParams,
         opts: SolverOptions,
         start: Instant,
-        warm: Option<Matrix>,
+        seed: Option<(Matrix, SeedKind)>,
         attempts: &mut Vec<StageAttempt>,
         pgd_ws: &mut PgdWorkspace,
     ) -> Option<RelaxedSolution> {
@@ -842,9 +961,18 @@ impl RobustSolver {
             mfcp_obs::histogram("optim.robust.barrier_eps").record(eps);
         }
         let mut guard = GuardRunner::new(problem, params, &self.policy, &self.budget, start, stage);
-        let warm_start = warm.is_some();
-        let x0 = match warm {
-            Some(x) => warm_init(&x),
+        let kind = seed.as_ref().map(|(_, kind)| *kind);
+        let x0 = match seed {
+            // Both seed kinds are blended toward the interior —
+            // projection output can carry exact zeros, which
+            // multiplicative mirror-descent updates could never recover
+            // from — but at very different strengths: a cached optimum
+            // only needs its exact zeros lifted (`1e-9`), while a
+            // learned prediction misplaces mass at the model's error
+            // scale and needs a floor mirror descent can grow from
+            // (see [`crate::learned::PREDICTED_BLEND`]).
+            Some((x, SeedKind::Warm)) => warm_init(&x),
+            Some((x, SeedKind::Predicted)) => crate::learned::predicted_init(&x),
             None => uniform_init(problem.clusters(), problem.tasks()),
         };
         let result = solve_relaxed_from_guarded(
@@ -855,7 +983,7 @@ impl RobustSolver {
             &mut |it, x, step| guard.check(it, x, step),
             pgd_ws,
         );
-        self.record(stage, retry, t0, result, warm_start, attempts)
+        self.record(stage, retry, t0, result, kind, attempts)
     }
 
     /// Runs the guarded Newton attempt with conservative parameters.
@@ -878,7 +1006,7 @@ impl RobustSolver {
             &mut |it, x, step| guard.check(it, x, step),
             kkt_ws,
         );
-        self.record(stage, 0, t0, result, false, attempts)
+        self.record(stage, 0, t0, result, None, attempts)
     }
 
     /// Health-checks a finished attempt, records it, and returns the
@@ -889,9 +1017,11 @@ impl RobustSolver {
         retry: usize,
         t0: Instant,
         result: Result<RelaxedSolution, SolveError>,
-        warm_start: bool,
+        seed: Option<SeedKind>,
         attempts: &mut Vec<StageAttempt>,
     ) -> Option<RelaxedSolution> {
+        let warm_start = seed == Some(SeedKind::Warm);
+        let predicted = seed == Some(SeedKind::Predicted);
         let elapsed_secs = t0.elapsed().as_secs_f64();
         let iters = match &result {
             Ok(sol) => sol.iterations,
@@ -922,6 +1052,7 @@ impl RobustSolver {
                     objective: Some(sol.objective),
                     elapsed_secs,
                     warm_start,
+                    predicted,
                     outcome,
                 });
                 record_attempt_metrics(attempts.last().expect("just pushed"));
@@ -936,6 +1067,7 @@ impl RobustSolver {
                     objective: None,
                     elapsed_secs,
                     warm_start,
+                    predicted,
                     outcome: StageOutcome::Failed(err),
                 });
                 record_attempt_metrics(attempts.last().expect("just pushed"));
@@ -969,6 +1101,7 @@ impl RobustSolver {
                 recovered,
                 total_secs: start.elapsed().as_secs_f64(),
                 cache: None,
+                prediction: None,
                 kkt_structured: kkt.0,
                 kkt_dense_fallbacks: kkt.1,
             },

@@ -41,9 +41,10 @@ use std::time::{Duration, Instant};
 use mfcp_core::predictor::ClusterPredictor;
 use mfcp_linalg::Matrix;
 use mfcp_optim::cache::{fingerprint, validate_warm};
+use mfcp_optim::learned::repair;
 use mfcp_optim::{
-    Budget, FallbackStage, MatchingProblem, RelaxationParams, RobustSolver, SolveError,
-    StageOutcome, WarmStartCache, WarmStartEntry,
+    Budget, DualPredictor, FallbackStage, LearnedDualHead, MatchingProblem, RelaxationParams,
+    RobustSolver, SolveError, StageOutcome, WarmStartCache, WarmStartEntry,
 };
 use mfcp_platform::prelude::{FeatureEmbedder, PerfModel};
 use mfcp_platform::stream::ExchangeEvent;
@@ -202,6 +203,9 @@ pub struct ExchangeDaemon {
     source: MatrixSource,
     solver: RobustSolver,
     cache: WarmStartCache,
+    // Frozen at attach time: the online loop never trains it, so a
+    // restored daemon with the same head replays bit-identically.
+    dual_head: Option<LearnedDualHead>,
     state: ExchangeState,
     // Obs handles resolved once; per-event cost is an atomic op.
     c_admitted: mfcp_obs::Counter,
@@ -232,6 +236,7 @@ impl ExchangeDaemon {
             source,
             solver,
             cache: WarmStartCache::new(),
+            dual_head: None,
             state: ExchangeState::default(),
             c_admitted: mfcp_obs::counter("serve.admitted"),
             c_shed: mfcp_obs::counter("serve.shed"),
@@ -246,6 +251,22 @@ impl ExchangeDaemon {
             g_cache_evictions: mfcp_obs::gauge("serve.cache.evictions"),
             ops,
         }
+    }
+
+    /// Attaches a trained [`LearnedDualHead`] (typically from
+    /// [`mfcp_core::train::train_mfcp_with_dual_head`]). The daemon
+    /// treats the head as frozen — it predicts seeds for newcomer
+    /// columns and first resolves but is never trained online, so two
+    /// daemons holding the same head stay bit-identical. Heads are not
+    /// part of snapshots; re-attach after [`ExchangeDaemon::restore`].
+    pub fn with_dual_head(mut self, head: LearnedDualHead) -> Self {
+        self.dual_head = Some(head);
+        self
+    }
+
+    /// The attached dual head, if any.
+    pub fn dual_head(&self) -> Option<&LearnedDualHead> {
+        self.dual_head.as_ref()
     }
 
     /// The bound address of the live ops surface, when
@@ -379,7 +400,12 @@ impl ExchangeDaemon {
 
         let started = Instant::now();
         mfcp_obs::trace::begin("serve.resolve", Some(self.state.counters.resolves));
-        let result = solver.solve_with_cache(&problem, &mut self.cache);
+        // With a dual head attached, a resolve that finds no usable
+        // cache entry (first solve, restart with a cold cache) seeds
+        // from predicted duals instead of the uniform simplex point;
+        // exact cache hits still take precedence inside the ladder.
+        let predictor = self.dual_head.as_ref().map(|h| h as &dyn DualPredictor);
+        let result = solver.solve_with_predictor(&problem, &mut self.cache, predictor);
         mfcp_obs::trace::end("serve.resolve", Some(self.state.counters.resolves));
         let elapsed = started.elapsed();
         self.h_latency.record_duration(elapsed);
@@ -424,7 +450,9 @@ impl ExchangeDaemon {
     /// Maps the previous assignment onto the current task set and
     /// plants it in the cache under the current problem fingerprint, so
     /// the ladder's cached-warm-start path picks it up. Surviving tasks
-    /// keep their columns; new tasks start uniform.
+    /// keep their columns; new tasks take predicted-dual columns when a
+    /// dual head is attached (repaired onto the simplex, uniform on
+    /// rejection) and uniform `1/m` otherwise.
     fn plant_warm_seed(&mut self, problem: &MatchingProblem, ids: &[u64]) {
         let Some(last) = &self.state.last else {
             return;
@@ -439,10 +467,22 @@ impl ExchangeDaemon {
             .enumerate()
             .map(|(j, id)| (*id, j))
             .collect();
+        let newcomers = ids.iter().filter(|id| !old_col.contains_key(id)).count();
+        let predicted = if newcomers > 0 {
+            self.predicted_newcomer_seed(problem)
+        } else {
+            None
+        };
+        if predicted.is_some() {
+            mfcp_obs::counter("serve.predicted_seed_cols").add(newcomers as u64);
+        }
         let uniform = 1.0 / m as f64;
         let seed = Matrix::from_fn(m, n, |i, j| match old_col.get(&ids[j]) {
             Some(&jj) => last.x[(i, jj)],
-            None => uniform,
+            None => match &predicted {
+                Some(px) => px[(i, j)],
+                None => uniform,
+            },
         });
         if !validate_warm(&seed, m, n) {
             return;
@@ -453,6 +493,22 @@ impl ExchangeDaemon {
             key,
             WarmStartEntry::from_solution(problem, &self.solver.params, &seed, objective),
         );
+    }
+
+    /// A repaired predicted primal for the current problem, used to
+    /// seed newcomer columns. `None` when no head is attached, the head
+    /// abstains, or the repair kernel rejects the prediction (the
+    /// newcomers then fall back to the uniform seed).
+    fn predicted_newcomer_seed(&self, problem: &MatchingProblem) -> Option<Matrix> {
+        let head = self.dual_head.as_ref()?;
+        let raw = head.predict_duals(problem, &self.solver.params)?;
+        match repair(&raw, problem.clusters(), problem.tasks()) {
+            Ok(fixed) => Some(fixed.x),
+            Err(_) => {
+                mfcp_obs::counter("serve.predicted_seed_rejected").inc();
+                None
+            }
+        }
     }
 
     /// Writes a crash-consistent snapshot of the full exchange state

@@ -9,12 +9,14 @@
 
 use std::time::Duration;
 
+use mfcp_linalg::Matrix;
+use mfcp_optim::{LearnedDualHead, MatchingProblem, RelaxationParams, RobustSolver};
 use mfcp_platform::prelude::{ClusterPool, FeatureEmbedder, Setting};
 use mfcp_platform::stream::{generate_trace, ExchangeEvent, TraceConfig, TraceEvent};
 use mfcp_platform::task::{Corpus, TaskFamily, TaskSpec};
 use mfcp_serve::{replay, replay_with_kills, DaemonConfig, ExchangeDaemon, MatrixSource};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 fn ground_truth() -> MatrixSource {
     MatrixSource::GroundTruth(ClusterPool::standard().setting(Setting::A))
@@ -320,4 +322,79 @@ fn ops_server_enabled_stays_bit_identical() {
     assert_eq!(baseline.counters, killed.counters);
     let c = killed.last.expect("matching after ops-enabled chaos run");
     assert_eq!(a.objective.to_bits(), c.objective.to_bits());
+}
+
+#[test]
+fn untrained_dual_head_is_inert_bit_for_bit() {
+    // A head below its readiness bar abstains from every prediction, so
+    // attaching it must leave the replay bit-identical to a headless
+    // daemon — the learned path can only ever *add* a seed source.
+    let trace = test_trace();
+    let config = DaemonConfig::default();
+
+    let mut plain = ExchangeDaemon::new(config.clone(), ground_truth());
+    let baseline = replay(&mut plain, &trace);
+
+    let head = LearnedDualHead::new(3, 17);
+    assert!(!head.ready());
+    let mut with_head = ExchangeDaemon::new(config, ground_truth()).with_dual_head(head);
+    let seeded = replay(&mut with_head, &trace);
+
+    assert_eq!(baseline.events, seeded.events);
+    assert_eq!(baseline.counters, seeded.counters);
+    let a = baseline.last.expect("baseline matching");
+    let b = seeded.last.expect("matching with inert head");
+    assert_eq!(a.ids, b.ids);
+    assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+    assert_eq!(
+        a.x.as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect::<Vec<_>>(),
+        b.x.as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect::<Vec<_>>(),
+        "an abstaining head must leave the matching bit-identical"
+    );
+}
+
+#[test]
+fn trained_dual_head_seeds_newcomer_columns() {
+    // Train a head offline on solved instances of the serving shape,
+    // attach it frozen, and replay: newcomer columns must be seeded
+    // from repaired predictions (counted per column), and the final
+    // matching must stay a valid, finite solution.
+    let params = RelaxationParams::default();
+    let solver = RobustSolver::new(params.clone());
+    let mut head = LearnedDualHead::new(3, 71);
+    let mut rng = StdRng::seed_from_u64(404);
+    for k in 0..10u64 {
+        let n = 3 + (k as usize % 4);
+        let t = Matrix::from_fn(3, n, |_, _| rng.gen_range(0.5..2.0));
+        let a = Matrix::from_fn(3, n, |_, _| rng.gen_range(0.8..1.0));
+        let problem = MatchingProblem::new(t, a, 0.75);
+        let sol = solver.solve(&problem).expect("training solve");
+        head.observe(&problem, &params, &sol.x);
+    }
+    assert!(head.ready(), "10 clean observations clear the bar");
+
+    let before = mfcp_obs::counter("serve.predicted_seed_cols").get();
+    let rejected_before = mfcp_obs::counter("serve.predicted_seed_rejected").get();
+    let trace = test_trace();
+    let mut daemon =
+        ExchangeDaemon::new(DaemonConfig::default(), ground_truth()).with_dual_head(head);
+    let outcome = replay(&mut daemon, &trace);
+    let seeded_cols = mfcp_obs::counter("serve.predicted_seed_cols").get() - before;
+    let rejected = mfcp_obs::counter("serve.predicted_seed_rejected").get() - rejected_before;
+
+    assert!(
+        seeded_cols > 0,
+        "a ready head must seed at least one newcomer column over a 2h trace"
+    );
+    assert_eq!(rejected, 0, "repair must accept every in-family prediction");
+    let last = outcome.last.expect("trace ends with a matching");
+    assert!(last.objective.is_finite());
+    assert!(last.x.as_slice().iter().all(|v| v.is_finite()));
+    assert!(daemon.dual_head().is_some_and(|h| h.ready()));
 }
