@@ -8,19 +8,22 @@
 //! inner loops are contiguous block-length dot products, so the compiler
 //! can vectorize them (same tiling idiom as `matmul_with` in `ops`).
 
-use crate::{LinalgError, Matrix, Result};
+use crate::{simd, LinalgError, Matrix, Result};
 use mfcp_parallel::{par_chunks_mut, ParallelConfig};
 
 /// Default panel width of the blocked kernel. 64 columns of f64 is 512
 /// bytes per row stripe — the same tile footprint `MatmulOptions` uses.
 pub const DEFAULT_BLOCK: usize = 64;
 
-/// Dot product with four independent accumulators.
+/// Dot product with four independent accumulators, used by the *solve*
+/// path (`solve_in_place` forward substitution).
 ///
 /// A single-accumulator `f64` reduction cannot be vectorized (floating-point
 /// addition is not associative, and we forbid fast-math); fixing the
 /// association into four lanes lets LLVM keep the loop in SIMD registers
-/// while staying bit-reproducible run to run.
+/// while staying bit-reproducible run to run. The *factorization* kernel
+/// routes its dots through [`crate::simd`] instead, which adds FMA on top
+/// of the same four-lane association.
 #[inline]
 fn dot(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
@@ -48,11 +51,17 @@ fn dot(a: &[f64], b: &[f64]) -> f64 {
 /// 3. pack the finished panel transposed into `scratch`, then apply the
 ///    trailing syrk-like update as matmul-style contiguous axpys — the
 ///    innermost loop writes a streaming output row with no reduction, the
-///    same shape `matmul_with` uses, so it vectorizes fully.
+///    same shape `matmul_with` uses.
+///
+/// All three stages run on the [`crate::simd`] primitives (runtime
+/// AVX2/FMA dispatch with a bitwise-matching `mul_add` scalar arm), so the
+/// factor does not depend on which arm executed it — only throughput does.
 fn blocked_kernel(data: &mut [f64], scratch: &mut Vec<f64>, n: usize, block: usize) -> Result<()> {
     if scratch.len() < block * n {
         scratch.resize(block * n, 0.0);
     }
+    let kern = simd::active_kernel();
+    simd::record_dispatch(kern);
     let mut jb = 0;
     while jb < n {
         let je = (jb + block).min(n);
@@ -65,10 +74,10 @@ fn blocked_kernel(data: &mut [f64], scratch: &mut Vec<f64>, n: usize, block: usi
             let row_i = &mut tail[..n];
             for j in jb..i {
                 let row_j = &head[j * n..j * n + n];
-                let s = row_i[j] - dot(&row_i[jb..j], &row_j[jb..j]);
+                let s = row_i[j] - kern.dot(&row_i[jb..j], &row_j[jb..j]);
                 row_i[j] = s / row_j[j];
             }
-            let d = row_i[i] - dot(&row_i[jb..i], &row_i[jb..i]);
+            let d = row_i[i] - kern.dot(&row_i[jb..i], &row_i[jb..i]);
             if d <= 0.0 || !d.is_finite() {
                 return Err(LinalgError::NotPositiveDefinite { pivot: i });
             }
@@ -80,7 +89,7 @@ fn blocked_kernel(data: &mut [f64], scratch: &mut Vec<f64>, n: usize, block: usi
             let row_r = &mut tail[..n];
             for j in jb..je {
                 let row_j = &head[j * n..j * n + n];
-                let s = row_r[j] - dot(&row_r[jb..j], &row_j[jb..j]);
+                let s = row_r[j] - kern.dot(&row_r[jb..j], &row_j[jb..j]);
                 row_r[j] = s / row_j[j];
             }
         }
@@ -121,24 +130,27 @@ fn blocked_kernel(data: &mut [f64], scratch: &mut Vec<f64>, n: usize, block: usi
                     let (a0, a1, a2, a3) = (p0[kk], p1[kk], p2[kk], p3[kk]);
                     let brow = &t[kk * tcols..kk * tcols + common + 4];
                     let (bc, bt) = brow.split_at(common);
-                    for (idx, &b) in bc.iter().enumerate() {
-                        oc0[idx] -= a0 * b;
-                        oc1[idx] -= a1 * b;
-                        oc2[idx] -= a2 * b;
-                        oc3[idx] -= a3 * b;
-                    }
+                    kern.fnma4(
+                        bc,
+                        [a0, a1, a2, a3],
+                        &mut oc0[..common],
+                        &mut oc1[..common],
+                        &mut oc2[..common],
+                        &mut oc3[..common],
+                    );
                     // Ragged triangle tail: row je+i additionally owns
-                    // columns r..=r+i (t indices common..=common+i).
-                    oc0[common] -= a0 * bt[0];
-                    oc1[common] -= a1 * bt[0];
-                    oc1[common + 1] -= a1 * bt[1];
-                    oc2[common] -= a2 * bt[0];
-                    oc2[common + 1] -= a2 * bt[1];
-                    oc2[common + 2] -= a2 * bt[2];
-                    oc3[common] -= a3 * bt[0];
-                    oc3[common + 1] -= a3 * bt[1];
-                    oc3[common + 2] -= a3 * bt[2];
-                    oc3[common + 3] -= a3 * bt[3];
+                    // columns r..=r+i (t indices common..=common+i). Same
+                    // fused arithmetic as the common path.
+                    oc0[common] = (-a0).mul_add(bt[0], oc0[common]);
+                    oc1[common] = (-a1).mul_add(bt[0], oc1[common]);
+                    oc1[common + 1] = (-a1).mul_add(bt[1], oc1[common + 1]);
+                    oc2[common] = (-a2).mul_add(bt[0], oc2[common]);
+                    oc2[common + 1] = (-a2).mul_add(bt[1], oc2[common + 1]);
+                    oc2[common + 2] = (-a2).mul_add(bt[2], oc2[common + 2]);
+                    oc3[common] = (-a3).mul_add(bt[0], oc3[common]);
+                    oc3[common + 1] = (-a3).mul_add(bt[1], oc3[common + 1]);
+                    oc3[common + 2] = (-a3).mul_add(bt[2], oc3[common + 2]);
+                    oc3[common + 3] = (-a3).mul_add(bt[3], oc3[common + 3]);
                 }
                 r += 4;
             }
@@ -150,9 +162,7 @@ fn blocked_kernel(data: &mut [f64], scratch: &mut Vec<f64>, n: usize, block: usi
                 let out = &mut right[..len];
                 for (kk, &a) in panel_r.iter().enumerate() {
                     let b_row = &t[kk * tcols..kk * tcols + len];
-                    for (o, &b) in out.iter_mut().zip(b_row) {
-                        *o -= a * b;
-                    }
+                    kern.axpy(-a, b_row, out);
                 }
                 r += 1;
             }

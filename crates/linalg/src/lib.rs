@@ -20,8 +20,13 @@
 //! Everything is `f64`; the matrices involved in MFCP (KKT systems of size
 //! `3·M·N + N` for single-digit `M` and tens of tasks `N`) are small enough
 //! that a straightforward, well-tested implementation beats FFI to BLAS.
+//!
+//! The only `unsafe` in the crate lives in [`simd`]: the runtime-dispatched
+//! AVX2/FMA arms of the blocked-kernel primitives (`deny` + a scoped allow
+//! rather than `forbid`, which cannot be overridden per-module). Everything
+//! else stays safe Rust.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 // Triangular-solve and factorization kernels read clearest in index form.
 #![allow(clippy::needless_range_loop)]
@@ -34,6 +39,7 @@ pub mod cholesky;
 pub mod eigen;
 pub mod lu;
 pub mod qr;
+pub mod simd;
 pub mod vector;
 
 pub use cholesky::{Cholesky, CholeskyBatch};

@@ -6,10 +6,14 @@
 //! square, generally non-symmetric, and of moderate size (`3MN + N`), so
 //! partial-pivoted LU is the right tool.
 
-use crate::{LinalgError, Matrix, Result};
+use crate::{simd, LinalgError, Matrix, Result};
 
 /// Relative pivot threshold below which a matrix is declared singular.
 const SINGULARITY_EPS: f64 = 1e-12;
+
+/// Default panel width of the blocked elimination (same tile footprint as
+/// the blocked Cholesky).
+pub const DEFAULT_BLOCK: usize = 64;
 
 /// An LU factorization `P * A = L * U` with partial (row) pivoting.
 ///
@@ -28,6 +32,9 @@ pub struct Lu {
     perm: Vec<usize>,
     /// Sign of the permutation (+1.0 or -1.0), for determinants.
     perm_sign: f64,
+    /// Per-strip packed multipliers (`4 × panel-width`), scratch for the
+    /// blocked trailing update; sized once and reused across refactors.
+    lpack: Vec<f64>,
 }
 
 impl Default for Lu {
@@ -45,6 +52,7 @@ impl Lu {
             lu: Matrix::zeros(0, 0),
             perm: Vec::new(),
             perm_sign: 1.0,
+            lpack: Vec::new(),
         }
     }
 
@@ -58,11 +66,216 @@ impl Lu {
     /// Re-factors `a` into this factorization's storage, reallocating only
     /// when the dimension changes. After an error the factorization is
     /// unusable until the next successful refactor.
+    ///
+    /// The elimination is cache-blocked and right-looking (panel
+    /// factorization with full-row pivot swaps, a unit-triangular U12
+    /// update, then a register-blocked trailing update). Every element
+    /// receives its rank-1 updates in the same ascending-`k` order with
+    /// the same fused `fma(-l, u, ·)` arithmetic as the scalar
+    /// reference (`f64::mul_add` is correctly rounded on every platform,
+    /// hardware FMA or libm), and pivot decisions read bitwise-identical
+    /// column values, so [`Lu::refactor`] and [`Lu::refactor_scalar`]
+    /// produce **bit-identical** factors, permutations, and singularity
+    /// verdicts — the blocking only reorders independent memory traffic.
+    /// Pivot-magnitude comparisons are what make this mandatory rather
+    /// than nice-to-have: both paths must run the *same* (fused)
+    /// arithmetic, because a 1-ulp divergence that flips a pivot choice
+    /// becomes a macroscopic divergence in the factors.
     pub fn refactor(&mut self, a: &Matrix) -> Result<()> {
+        self.refactor_with_block(a, DEFAULT_BLOCK)
+    }
+
+    /// [`Lu::refactor`] with an explicit panel width (block-boundary tests
+    /// and benchmarks; `refactor` uses [`DEFAULT_BLOCK`]).
+    pub fn refactor_with_block(&mut self, a: &Matrix, block: usize) -> Result<()> {
+        let n = self.load_square(a)?;
+        let block = block.max(1);
+        let kern = simd::active_kernel();
+        simd::record_dispatch(kern);
+        let scale = self.lu.max_abs().max(1.0);
+        self.lpack.clear();
+        self.lpack.resize(4 * block, 0.0);
+        let data = self.lu.as_mut_slice();
+        let mut kb = 0;
+        while kb < n {
+            let ke = (kb + block).min(n);
+            // Panel factorization: columns kb..ke over rows kb..n. Column
+            // k is fully updated on entry (previous panels' trailing
+            // updates plus this panel's k' < k), so the pivot search sees
+            // exactly the values the scalar elimination sees.
+            for k in kb..ke {
+                let mut pivot_row = k;
+                let mut pivot_val = data[k * n + k].abs();
+                for r in (k + 1)..n {
+                    let v = data[r * n + k].abs();
+                    if v > pivot_val {
+                        pivot_val = v;
+                        pivot_row = r;
+                    }
+                }
+                if pivot_val <= SINGULARITY_EPS * scale {
+                    // Reset to the empty state: a partially-eliminated
+                    // factor still reports dim() == n, and solving with it
+                    // silently returns garbage (or divides by a ~0 pivot).
+                    self.reset();
+                    return Err(LinalgError::Singular { pivot: k });
+                }
+                if pivot_row != k {
+                    self.perm.swap(k, pivot_row);
+                    self.perm_sign = -self.perm_sign;
+                    for c in 0..n {
+                        data.swap(k * n + c, pivot_row * n + c);
+                    }
+                }
+                let (head, tail) = data.split_at_mut((k + 1) * n);
+                let row_k = &head[k * n..(k + 1) * n];
+                let pivot = row_k[k];
+                for row_r in tail.chunks_exact_mut(n) {
+                    let factor = row_r[k] / pivot;
+                    row_r[k] = factor;
+                    // Restrict the rank-1 update to the remaining panel
+                    // columns; columns ke..n catch up in the U12/trailing
+                    // stages below, still in ascending-k order per element.
+                    kern.axpy(-factor, &row_k[k + 1..ke], &mut row_r[k + 1..ke]);
+                }
+            }
+            if ke < n {
+                // U12 stage: rows kb+1..ke, columns ke..n — forward solve
+                // against the unit-lower panel block L11.
+                for r in (kb + 1)..ke {
+                    let (head, tail) = data.split_at_mut(r * n);
+                    let row_r = &mut tail[..n];
+                    for k in kb..r {
+                        let l = row_r[k];
+                        let urow = &head[k * n + ke..(k + 1) * n];
+                        kern.axpy(-l, urow, &mut row_r[ke..]);
+                    }
+                }
+                // Trailing stage: rows ke..n, columns ke..n get the full
+                // panel's updates as GEMM-shaped 4×8 register tiles
+                // ([`simd::SimdKernel::fnma_tile8`]) with the panel index
+                // `k` innermost, multipliers packed per four-row strip.
+                // Each element still receives its updates as a running
+                // fused `fma(-l, u, ·)` chain in ascending-`k` order — the
+                // tiling only changes *which* elements share a pass, never
+                // the per-element arithmetic — so bitwise identity with
+                // the scalar elimination survives.
+                let (panel, trailing) = data.split_at_mut(ke * n);
+                let nt = n - ke;
+                let kl = ke - kb;
+                let lp = &mut self.lpack[..4 * kl];
+                let mut q = 0;
+                while q + 4 <= nt {
+                    let chunk = &mut trailing[q * n..(q + 4) * n];
+                    let (r0, rest) = chunk.split_at_mut(n);
+                    let (r1, rest) = rest.split_at_mut(n);
+                    let (r2, r3) = rest.split_at_mut(n);
+                    for (ki, k) in (kb..ke).enumerate() {
+                        lp[4 * ki] = r0[k];
+                        lp[4 * ki + 1] = r1[k];
+                        lp[4 * ki + 2] = r2[k];
+                        lp[4 * ki + 3] = r3[k];
+                    }
+                    let mut c = ke;
+                    while c + 8 <= n {
+                        kern.fnma_tile8(
+                            kl,
+                            lp,
+                            &panel[kb * n + c..],
+                            n,
+                            &mut r0[c..],
+                            &mut r1[c..],
+                            &mut r2[c..],
+                            &mut r3[c..],
+                        );
+                        c += 8;
+                    }
+                    while c < n {
+                        let (mut a0, mut a1, mut a2, mut a3) = (r0[c], r1[c], r2[c], r3[c]);
+                        for (ki, k) in (kb..ke).enumerate() {
+                            let u = panel[k * n + c];
+                            a0 = (-lp[4 * ki]).mul_add(u, a0);
+                            a1 = (-lp[4 * ki + 1]).mul_add(u, a1);
+                            a2 = (-lp[4 * ki + 2]).mul_add(u, a2);
+                            a3 = (-lp[4 * ki + 3]).mul_add(u, a3);
+                        }
+                        r0[c] = a0;
+                        r1[c] = a1;
+                        r2[c] = a2;
+                        r3[c] = a3;
+                        c += 1;
+                    }
+                    q += 4;
+                }
+                while q < nt {
+                    let row_r = &mut trailing[q * n..(q + 1) * n];
+                    for k in kb..ke {
+                        let urow = &panel[k * n + ke..(k + 1) * n];
+                        let factor = row_r[k];
+                        kern.axpy(-factor, urow, &mut row_r[ke..]);
+                    }
+                    q += 1;
+                }
+            }
+            kb = ke;
+        }
+        Ok(())
+    }
+
+    /// The unblocked right-looking reference elimination, kept for the
+    /// `lu_blocked` perfgate head-to-head and the bitwise differential
+    /// tests. Runs the same fused `fma(-l, u, ·)` per-element arithmetic
+    /// as the blocked path (through [`simd::SimdKernel::axpy`], so both
+    /// follow one dispatch policy) but with no panel/trailing blocking —
+    /// the head-to-head therefore isolates the cache-blocking win. Same
+    /// contract as [`Lu::refactor`], including storage reuse and the
+    /// reset-to-empty-on-error behaviour.
+    pub fn refactor_scalar(&mut self, a: &Matrix) -> Result<()> {
+        let n = self.load_square(a)?;
+        let kern = simd::active_kernel();
+        let scale = self.lu.max_abs().max(1.0);
+        let data = self.lu.as_mut_slice();
+
+        for k in 0..n {
+            // Find the pivot row.
+            let mut pivot_row = k;
+            let mut pivot_val = data[k * n + k].abs();
+            for r in (k + 1)..n {
+                let v = data[r * n + k].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val <= SINGULARITY_EPS * scale {
+                self.reset();
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if pivot_row != k {
+                self.perm.swap(k, pivot_row);
+                self.perm_sign = -self.perm_sign;
+                for c in 0..n {
+                    data.swap(k * n + c, pivot_row * n + c);
+                }
+            }
+            // Eliminate below the pivot: one fused axpy per row.
+            let (head, tail) = data.split_at_mut((k + 1) * n);
+            let row_k = &head[k * n..(k + 1) * n];
+            let pivot = row_k[k];
+            for row_r in tail.chunks_exact_mut(n) {
+                let factor = row_r[k] / pivot;
+                row_r[k] = factor;
+                kern.axpy(-factor, &row_k[k + 1..], &mut row_r[k + 1..]);
+            }
+        }
+        Ok(())
+    }
+
+    /// Copies `a` into the factor storage (reallocating only on a
+    /// dimension change) and resets the permutation to identity.
+    fn load_square(&mut self, a: &Matrix) -> Result<usize> {
         if a.rows() != a.cols() {
-            self.lu = Matrix::zeros(0, 0);
-            self.perm.clear();
-            self.perm_sign = 1.0;
+            self.reset();
             return Err(LinalgError::NotSquare { shape: a.shape() });
         }
         let n = a.rows();
@@ -74,56 +287,15 @@ impl Lu {
         self.perm.clear();
         self.perm.extend(0..n);
         self.perm_sign = 1.0;
-        let lu = &mut self.lu;
-        let perm = &mut self.perm;
-        let scale = lu.max_abs().max(1.0);
-        let mut singular_pivot = None;
+        Ok(n)
+    }
 
-        for k in 0..n {
-            // Find the pivot row.
-            let mut pivot_row = k;
-            let mut pivot_val = lu[(k, k)].abs();
-            for r in (k + 1)..n {
-                let v = lu[(r, k)].abs();
-                if v > pivot_val {
-                    pivot_val = v;
-                    pivot_row = r;
-                }
-            }
-            if pivot_val <= SINGULARITY_EPS * scale {
-                singular_pivot = Some(k);
-                break;
-            }
-            if pivot_row != k {
-                perm.swap(k, pivot_row);
-                self.perm_sign = -self.perm_sign;
-                for c in 0..n {
-                    let tmp = lu[(k, c)];
-                    lu[(k, c)] = lu[(pivot_row, c)];
-                    lu[(pivot_row, c)] = tmp;
-                }
-            }
-            // Eliminate below the pivot.
-            let pivot = lu[(k, k)];
-            for r in (k + 1)..n {
-                let factor = lu[(r, k)] / pivot;
-                lu[(r, k)] = factor;
-                for c in (k + 1)..n {
-                    let u = lu[(k, c)];
-                    lu[(r, c)] -= factor * u;
-                }
-            }
-        }
-        if let Some(pivot) = singular_pivot {
-            // Reset to the empty state: a partially-eliminated factor
-            // still reports dim() == n, and solving with it silently
-            // returns garbage (or divides by a ~0 pivot).
-            self.lu = Matrix::zeros(0, 0);
-            self.perm.clear();
-            self.perm_sign = 1.0;
-            return Err(LinalgError::Singular { pivot });
-        }
-        Ok(())
+    /// Resets to the empty (0×0) state; solves fail until the next
+    /// successful refactor.
+    fn reset(&mut self) {
+        self.lu = Matrix::zeros(0, 0);
+        self.perm.clear();
+        self.perm_sign = 1.0;
     }
 
     /// Dimension of the factored matrix.
@@ -387,6 +559,84 @@ mod tests {
         // Recovery: the next successful refactor restores full service.
         f.refactor(&good).unwrap();
         assert!(f.solve(&[1.0; 4]).unwrap().iter().all(|v| v.is_finite()));
+    }
+
+    /// Asserts the blocked and scalar eliminations agree **bitwise**:
+    /// factors, permutation, sign, and (on singular input) the failing
+    /// pivot index and the reset-to-empty state.
+    fn assert_blocked_matches_scalar_bitwise(a: &Matrix, block: usize) {
+        let mut blocked = Lu::empty();
+        let mut scalar = Lu::empty();
+        let rb = blocked.refactor_with_block(a, block);
+        let rs = scalar.refactor_scalar(a);
+        match (rb, rs) {
+            (Ok(()), Ok(())) => {
+                let lb: Vec<u64> = blocked.lu.as_slice().iter().map(|v| v.to_bits()).collect();
+                let ls: Vec<u64> = scalar.lu.as_slice().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(
+                    lb,
+                    ls,
+                    "factor bits diverge (n={}, block={block})",
+                    a.rows()
+                );
+                assert_eq!(blocked.perm, scalar.perm);
+                assert_eq!(blocked.perm_sign.to_bits(), scalar.perm_sign.to_bits());
+            }
+            (
+                Err(LinalgError::Singular { pivot: pb }),
+                Err(LinalgError::Singular { pivot: ps }),
+            ) => {
+                assert_eq!(pb, ps, "singular pivot index diverges");
+                assert_eq!(blocked.dim(), 0);
+                assert_eq!(scalar.dim(), 0);
+            }
+            (rb, rs) => panic!("verdicts diverge: blocked={rb:?} scalar={rs:?}"),
+        }
+    }
+
+    #[test]
+    fn blocked_matches_scalar_across_block_boundaries() {
+        // Non-block-multiple sizes straddling the default panel width, plus
+        // tiny panels that force many U12/trailing stages.
+        let mut rng = StdRng::seed_from_u64(31);
+        for n in [1, 2, 5, 63, 64, 65, 127, 130] {
+            let a = random_matrix(&mut rng, n);
+            for block in [1, 3, 7, 64, 200] {
+                assert_blocked_matches_scalar_bitwise(&a, block);
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_singular_verdict_matches_scalar() {
+        // Rank deficiency planted at different pivot positions: first
+        // column, inside the first panel, and inside a later panel.
+        let mut rng = StdRng::seed_from_u64(37);
+        for (n, dup) in [(4, 0), (9, 3), (20, 17)] {
+            let mut a = random_matrix(&mut rng, n);
+            // Make row `dup+1` a multiple of row `dup`: elimination dies at
+            // some pivot <= dup + 1.
+            for c in 0..n {
+                let v = a[(dup, c)];
+                a[(dup + 1, c)] = 2.0 * v;
+            }
+            for block in [1, 2, 5, 64] {
+                assert_blocked_matches_scalar_bitwise(&a, block);
+            }
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_blocked_matches_scalar_bitwise(
+            n in 1usize..34,
+            block in 1usize..12,
+            seed in 0u64..200,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = random_matrix(&mut rng, n);
+            assert_blocked_matches_scalar_bitwise(&a, block);
+        }
     }
 
     proptest::proptest! {

@@ -1,0 +1,114 @@
+//! Proves sharded-solver memory no longer scales with the round count:
+//! the task-major transposes are built once behind `Arc`s and the shard
+//! jobs keep persistent buffers that travel through the thread pool and
+//! back, so extra coordination rounds add only O(shards) bookkeeping
+//! bytes — not fresh copies of the problem columns.
+//!
+//! The measurement compares solves at R and R + 7 rounds on an
+//! M = 100, N = 5000 instance (each problem matrix is ~4 MB): the
+//! one-time setup cost (transposes, jobs, iterate, gradient) is
+//! identical for both, so the 7 extra rounds must stay far below a
+//! single column-block clone. The pre-Arc solver copied ≥ 3 matrices'
+//! worth of columns per round (> 12 MB/round) and fails this decisively.
+//!
+//! Lives in its own integration-test binary because a
+//! `#[global_allocator]` is process-wide; byte counts next to unrelated
+//! tests would be racy.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mfcp_linalg::Matrix;
+use mfcp_optim::sharded::{ShardedOptions, ShardedSolver};
+use mfcp_optim::{MatchingProblem, RelaxationParams};
+
+struct CountingAlloc;
+
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+const M: usize = 100;
+const N: usize = 5000;
+
+/// Deterministic dense instance; no RNG so the measured solves do the
+/// same arithmetic regardless of platform.
+fn big_problem() -> MatchingProblem {
+    let t = Matrix::from_fn(M, N, |i, j| {
+        let h = (i * 131 + j * 31 + 7) % 997;
+        0.7 + 1.1 * (h as f64 / 996.0)
+    });
+    let a = Matrix::from_fn(M, N, |i, j| {
+        let h = (i * 61 + j * 17 + 3) % 883;
+        0.75 + 0.25 * (h as f64 / 882.0)
+    });
+    MatchingProblem::new(t, a, 0.6)
+}
+
+fn opts(max_rounds: usize) -> ShardedOptions {
+    ShardedOptions {
+        shards: 4,
+        max_rounds,
+        inner_iters: 2,
+        lr: 0.2,
+        // Zero tolerance: the step-size stopping rule can never fire, so
+        // both solves run exactly `max_rounds` rounds (asserted below).
+        tol: 0.0,
+        ..Default::default()
+    }
+}
+
+fn solve_bytes(problem: &MatchingProblem, rounds: usize) -> u64 {
+    let solver = ShardedSolver::new(opts(rounds), 2);
+    let params = RelaxationParams::default();
+    let before = BYTES.load(Ordering::Relaxed);
+    let sol = solver.solve(problem, &params);
+    let after = BYTES.load(Ordering::Relaxed);
+    assert_eq!(
+        sol.iterations, rounds,
+        "solve stopped early at {} of {rounds} rounds; the round-scaling \
+         comparison needs both solves to run to their round budget",
+        sol.iterations
+    );
+    assert!(sol.objective.is_finite());
+    after - before
+}
+
+#[test]
+fn round_count_does_not_scale_allocated_bytes() {
+    let problem = big_problem();
+    // Warm-up: faults in lazy process-wide state (pool, obs registry).
+    solve_bytes(&problem, 1);
+
+    let short = solve_bytes(&problem, 3);
+    let long = solve_bytes(&problem, 10);
+    let extra = long.saturating_sub(short);
+
+    // 7 extra rounds must cost less than ONE clone of a problem matrix
+    // (M × N f64 = ~4 MB). The per-round budget is only the boxed-job
+    // handoff and line-search bookkeeping — a few KB per round.
+    let one_matrix = (M * N * std::mem::size_of::<f64>()) as u64;
+    assert!(
+        extra < one_matrix,
+        "7 extra rounds allocated {extra} bytes (short {short}, long {long}); \
+         budget is one matrix clone = {one_matrix} bytes — per-round memory \
+         is scaling with the problem again"
+    );
+}
